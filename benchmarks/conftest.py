@@ -1,0 +1,41 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each ``test_table*.py`` regenerates one published table or figure; the
+``test_ablation_*.py`` files probe the design choices DESIGN.md §5 calls
+out.  Shape assertions (who wins, by what factor) run once per session on
+the full published grid; ``benchmark()`` then times one representative
+configuration so ``--benchmark-only`` also reports real wall-clock numbers
+for the simulator itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import reproduce_table
+
+
+@pytest.fixture(scope="session")
+def table3():
+    """Full published grid of Table 3 (row partition)."""
+    return reproduce_table("table3")
+
+
+@pytest.fixture(scope="session")
+def table4():
+    """Full published grid of Table 4 (column partition)."""
+    return reproduce_table("table4")
+
+
+@pytest.fixture(scope="session")
+def table5():
+    """Full published grid of Table 5 (2-D mesh partition)."""
+    return reproduce_table("table5")
+
+
+def print_paper_comparison(repro) -> None:
+    from repro.runtime import format_table, shape_report
+
+    print()
+    print(format_table(repro))
+    print(f"   shape report: {shape_report(repro)}")

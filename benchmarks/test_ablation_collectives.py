@@ -1,0 +1,77 @@
+"""Ablation — collective algorithms for the iterative-kernel traffic.
+
+The paper's machine model routes everything through the host; modern MPI
+allgathers circulate a ring.  This bench quantifies what the host-routing
+assumption costs an iterative SpMV workload — context for reading the
+paper's absolute numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import distributed_spmv_allgather
+from repro.core import get_compression, get_scheme
+from repro.machine import Machine, Phase, unit_cost_model
+from repro.partition import RowPartition
+from repro.sparse import random_sparse
+
+N, P, ITERS = 512, 8, 5
+
+
+@pytest.fixture(scope="module")
+def setup():
+    matrix = random_sparse((N, N), 0.1, seed=1)
+    plan = RowPartition().plan(matrix.shape, P)
+    return matrix, plan
+
+
+def run_iterations(matrix, plan, collective):
+    machine = Machine(P, cost=unit_cost_model())
+    get_scheme("ed").run(machine, matrix, plan, get_compression("crs"))
+    machine.trace.clear()
+    slices = [np.linspace(0, 1, len(a.row_ids)) for a in plan]
+    for _ in range(ITERS):
+        slices = distributed_spmv_allgather(
+            machine, plan, slices, collective=collective
+        )
+        # normalise to keep values bounded (host-free, charged to procs)
+        slices = [s / max(np.abs(s).max(), 1.0) for s in slices]
+    return machine.trace.breakdown(Phase.COMPUTE)
+
+
+def test_ring_collective_traffic_and_time(benchmark, setup):
+    matrix, plan = setup
+
+    def run():
+        return {
+            "host": run_iterations(matrix, plan, "host"),
+            "ring": run_iterations(matrix, plan, "ring"),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    host, ring = results["host"], results["ring"]
+    # element totals: (p+1)*n vs (p-1)*n per iteration
+    assert host.elements_sent == ITERS * (P + 1) * N
+    assert ring.elements_sent == ITERS * (P - 1) * N
+    # the host drops out entirely: its serial comm timeline vanishes, and
+    # what remains is per-processor (overlapped) compute + ring hops
+    assert host.host_time > 0.0
+    assert ring.host_time == 0.0
+    assert ring.elapsed < host.elapsed
+    print(
+        f"\n{ITERS} iterations of distributed SpMV (n={N}, p={P}): "
+        f"host-routed {host.elapsed:.1f} sim-ms vs ring {ring.elapsed:.1f} sim-ms"
+    )
+
+
+def test_bench_ring_allgather_kernel(benchmark, setup):
+    matrix, plan = setup
+    machine = Machine(P, cost=unit_cost_model())
+    get_scheme("ed").run(machine, matrix, plan, get_compression("crs"))
+    slices = [np.linspace(0, 1, len(a.row_ids)) for a in plan]
+
+    def run():
+        return distributed_spmv_allgather(machine, plan, slices, collective="ring")
+
+    out = benchmark(run)
+    assert len(out) == P

@@ -1,0 +1,195 @@
+"""Ablations of the design choices DESIGN.md §5 calls out.
+
+* sequential vs overlapped sends (the paper's "sent in sequence" model);
+* contiguous-block index conversion vs the general gather-map path;
+* bin-packing vs contiguous row blocks on skewed workloads;
+* interconnect topology sensitivity;
+* exact-count vs Bernoulli sparse generators.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import get_compression, get_scheme
+from repro.machine import (
+    Machine,
+    Phase,
+    RingTopology,
+    unit_cost_model,
+)
+from repro.partition import (
+    BinPackingRowPartition,
+    BlockCyclicRowPartition,
+    RowPartition,
+)
+from repro.runtime import run_scheme
+from repro.sparse import bernoulli_sparse, random_sparse, row_skewed_sparse
+
+
+class TestSequentialVsOverlapped:
+    def test_overlap_bound(self, benchmark):
+        """Overlapped sends lower-bound the sequential model; the gap is
+        roughly the (p-1)/p of pure transmission time."""
+        matrix = random_sparse((512, 512), 0.1, seed=1)
+        plan = RowPartition().plan(matrix.shape, 8)
+
+        def run():
+            machine = Machine(8, cost=unit_cost_model())
+            get_scheme("ed").run(machine, matrix, plan, get_compression("crs"))
+            return (
+                machine.trace.elapsed(Phase.DISTRIBUTION),
+                machine.trace.overlapped_elapsed(Phase.DISTRIBUTION),
+            )
+
+        sequential, overlapped = benchmark(run)
+        assert overlapped < sequential
+        # with 8 equal messages, overlap saves about 7/8 of the send time
+        assert overlapped < sequential / 4
+
+    def test_overlap_gain_largest_for_sfc(self, benchmark):
+        """SFC moves the most data, so it gains the most from overlap —
+        overlap would *shrink* the paper's CFS/ED advantage."""
+        def check():
+            matrix = random_sparse((256, 256), 0.1, seed=2)
+            plan = RowPartition().plan(matrix.shape, 8)
+            gains = {}
+            for scheme in ("sfc", "ed"):
+                machine = Machine(8, cost=unit_cost_model())
+                get_scheme(scheme).run(machine, matrix, plan, get_compression("crs"))
+                seq = machine.trace.elapsed(Phase.DISTRIBUTION)
+                ovl = machine.trace.overlapped_elapsed(Phase.DISTRIBUTION)
+                gains[scheme] = seq - ovl
+            assert gains["sfc"] > gains["ed"]
+        benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+class TestConversionPathAblation:
+    def test_gather_map_no_dearer_than_offset_in_model(self, benchmark):
+        """The general conversion path charges the same one op per nonzero
+        as the paper's offset subtraction — non-contiguous ownership costs
+        extra only through its other structure, not conversion."""
+        matrix = random_sparse((256, 256), 0.1, seed=3)
+        contiguous = RowPartition().plan(matrix.shape, 8)
+        cyclic = BlockCyclicRowPartition(4).plan(matrix.shape, 8)
+
+        def run():
+            out = {}
+            for name, plan in (("offset", contiguous), ("map", cyclic)):
+                machine = Machine(8, cost=unit_cost_model())
+                get_scheme("ed").run(machine, matrix, plan, get_compression("ccs"))
+                out[name] = machine.trace.elapsed(Phase.COMPRESSION)
+            return out
+
+        times = benchmark(run)
+        # same op accounting; block sizes equal => times within a few %
+        assert times["map"] == pytest.approx(times["offset"], rel=0.05)
+
+
+class TestBinPackingAblation:
+    def test_weights_must_model_the_actual_cost(self, benchmark):
+        """Ziantz-style nnz-balanced packing balances *nnz-proportional*
+        work (ED's decode, CFS's unpack) but actively HURTS SFC, whose
+        per-processor compression cost is dominated by the dense scan
+        (rows x n), because concentrating many near-empty rows on one
+        processor balloons its scan.  Packing with cost-model weights
+        (n + 3·nnz per row) fixes SFC too — the weights must model the
+        phase being balanced."""
+        matrix = row_skewed_sparse((512, 512), 0.1, skew=2.0, seed=4)
+        n = matrix.shape[1]
+        blocked = RowPartition().plan(matrix.shape, 8)
+        nnz_packed = BinPackingRowPartition(matrix).plan(matrix.shape, 8)
+        cost_weights = n + 3.0 * matrix.row_counts()
+        cost_packed = BinPackingRowPartition(weights=cost_weights).plan(
+            matrix.shape, 8
+        )
+
+        def run():
+            out = {}
+            for name, plan, scheme in (
+                ("ed_blocked", blocked, "ed"),
+                ("ed_nnz_packed", nnz_packed, "ed"),
+                ("sfc_blocked", blocked, "sfc"),
+                ("sfc_nnz_packed", nnz_packed, "sfc"),
+                ("sfc_cost_packed", cost_packed, "sfc"),
+            ):
+                result = run_scheme(
+                    scheme, matrix, plan=plan, cost=unit_cost_model()
+                )
+                out[name] = result.t_compression
+            return out
+
+        times = benchmark(run)
+        # nnz packing balances ED's nnz-proportional decode
+        assert times["ed_nnz_packed"] < times["ed_blocked"]
+        # ... but makes SFC worse (scan-dominated cost)
+        assert times["sfc_nnz_packed"] > times["sfc_blocked"]
+        # cost-model weights repair SFC
+        assert times["sfc_cost_packed"] <= times["sfc_blocked"] * 1.01
+
+    def test_no_penalty_on_uniform_load(self, benchmark):
+        def check():
+            matrix = random_sparse((256, 256), 0.1, seed=5)
+            blocked = run_scheme(
+                "ed",
+                matrix,
+                plan=RowPartition().plan(matrix.shape, 8),
+                cost=unit_cost_model(),
+            ).t_compression
+            packed = run_scheme(
+                "ed",
+                matrix,
+                plan=BinPackingRowPartition(matrix).plan(matrix.shape, 8),
+                cost=unit_cost_model(),
+            ).t_compression
+            assert packed <= blocked * 1.05
+        benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+class TestTopologyAblation:
+    def test_ed_advantage_grows_on_multi_hop_networks(self, benchmark):
+        matrix = random_sparse((256, 256), 0.1, seed=6)
+        plan = RowPartition().plan(matrix.shape, 8)
+
+        def run():
+            speedups = {}
+            for name, topo in (("switch", None), ("ring", RingTopology(8))):
+                sfc = run_scheme(
+                    "sfc", matrix, plan=plan, cost=unit_cost_model(), topology=topo
+                ).t_distribution
+                ed = run_scheme(
+                    "ed", matrix, plan=plan, cost=unit_cost_model(), topology=topo
+                ).t_distribution
+                speedups[name] = sfc / ed
+            return speedups
+
+        speedups = benchmark(run)
+        assert speedups["ring"] > speedups["switch"]
+
+
+class TestGeneratorAblation:
+    def test_exact_vs_bernoulli_same_expected_times(self, benchmark):
+        """The paper fixes s exactly; Bernoulli filling only adds variance,
+        it does not shift the mean phase times."""
+
+        def run():
+            exact = run_scheme(
+                "ed",
+                random_sparse((256, 256), 0.1, seed=7),
+                n_procs=8,
+                cost=unit_cost_model(),
+            ).t_total
+            bern = np.mean(
+                [
+                    run_scheme(
+                        "ed",
+                        bernoulli_sparse((256, 256), 0.1, seed=70 + k),
+                        n_procs=8,
+                        cost=unit_cost_model(),
+                    ).t_total
+                    for k in range(5)
+                ]
+            )
+            return exact, float(bern)
+
+        exact, bern = benchmark.pedantic(run, rounds=1, iterations=1)
+        assert bern == pytest.approx(exact, rel=0.05)

@@ -1,0 +1,57 @@
+"""Ablation — memory footprints and break-even iteration counts.
+
+Extends the paper's time-only comparison with the two questions a
+practitioner asks next: what does each scheme's phase ordering cost in
+peak memory, and after how many solver iterations does the scheme choice
+stop mattering?
+"""
+
+import math
+
+import pytest
+
+from repro.model import ProblemSpec, amortization, memory_footprint
+
+
+GRID = [ProblemSpec(n=n, p=p, s=0.1) for n in (200, 1000, 2000) for p in (4, 16)]
+
+
+def test_memory_footprints_across_grid(benchmark):
+    def evaluate():
+        rows = []
+        for spec in GRID:
+            rows.append(
+                {s: memory_footprint(spec, s) for s in ("sfc", "cfs", "ed")}
+            )
+        return rows
+
+    rows = benchmark(evaluate)
+    print("\npeak receiver memory (elements): SFC vs ED")
+    for spec, row in zip(GRID, rows):
+        sfc, ed = row["sfc"].proc_peak, row["ed"].proc_peak
+        print(
+            f"  n={spec.n:>5} p={spec.p:>3}: SFC {sfc:>12.0f}  ED {ed:>12.0f}  "
+            f"(SFC/ED = {sfc / ed:.1f}x)"
+        )
+        # SFC's dense landing block dominates at low sparse ratios
+        assert sfc > 2.5 * ed
+        # ED never exceeds CFS on either side
+        assert row["ed"].proc_peak <= row["cfs"].proc_peak
+        assert row["ed"].host_peak <= row["cfs"].host_peak
+
+
+def test_amortization_across_grid(benchmark):
+    def evaluate():
+        return [amortization(spec) for spec in GRID]
+
+    reports = benchmark(evaluate)
+    print("\niterations until the scheme choice is within 5%:")
+    for spec, rep in zip(GRID, reports):
+        print(
+            f"  n={spec.n:>5} p={spec.p:>3}: winner {rep.winner(0).upper():>3}, "
+            f"break-even k = {rep.iterations_to_5_percent}"
+        )
+        assert rep.iterations_to_5_percent < math.inf
+        # the per-iteration cost must dwarf nothing: setup still matters
+        # for at least a handful of iterations at the paper's scales
+        assert rep.iterations_to_5_percent >= 1

@@ -1,0 +1,52 @@
+"""Extension bench — multi-dimensional distribution via EKMR (future work).
+
+The paper's conclusion promises EKMR-based schemes for multi-dimensional
+sparse arrays; this bench shows the three schemes' ordering carries over to
+3-D and 4-D tensors distributed through their EKMR images.
+"""
+
+import pytest
+
+from repro.ekmr import SparseTensor, distribute_tensor, gather_tensor
+
+
+@pytest.fixture(scope="module")
+def tensor3():
+    return SparseTensor.random((32, 48, 64), 0.05, seed=1)
+
+
+@pytest.fixture(scope="module")
+def tensor4():
+    return SparseTensor.random((12, 16, 20, 24), 0.03, seed=2)
+
+
+def distribute_all(tensor, n_procs=8):
+    return {
+        scheme: distribute_tensor(tensor, scheme=scheme, n_procs=n_procs)
+        for scheme in ("sfc", "cfs", "ed")
+    }
+
+
+def test_3d_ordering_carries_over(benchmark, tensor3):
+    dists = benchmark.pedantic(distribute_all, args=(tensor3,), rounds=1, iterations=1)
+    t = {k: d.result for k, d in dists.items()}
+    assert t["ed"].t_distribution < t["cfs"].t_distribution < t["sfc"].t_distribution
+    assert t["sfc"].t_compression < t["cfs"].t_compression < t["ed"].t_compression
+    assert t["ed"].t_total < t["cfs"].t_total
+    for d in dists.values():
+        assert gather_tensor(d) == tensor3
+
+
+def test_4d_ordering_carries_over(benchmark, tensor4):
+    dists = benchmark.pedantic(distribute_all, args=(tensor4,), rounds=1, iterations=1)
+    t = {k: d.result for k, d in dists.items()}
+    assert t["ed"].t_distribution < t["cfs"].t_distribution < t["sfc"].t_distribution
+    assert t["ed"].t_total < t["cfs"].t_total
+
+
+def test_bench_ed_tensor_distribution(benchmark, tensor3):
+    def run():
+        return distribute_tensor(tensor3, scheme="ed", n_procs=8)
+
+    dist = benchmark(run)
+    assert dist.result.t_distribution > 0

@@ -1,0 +1,55 @@
+"""Figures 1–7 — the paper's worked example, regenerated end to end.
+
+Not a timing table in the paper, but part of its evaluation narrative: the
+10×8 array walked through every scheme.  The bench regenerates all the
+figure artefacts and asserts byte-exact agreement with the published
+figures (the same ground truth the unit tests pin down), then times the
+full pipeline.
+"""
+
+from repro.core import EncodedBuffer, conversion_for, get_compression, get_scheme
+from repro.data import (
+    FIGURE4_CRS,
+    FIGURE5_CCS_GLOBAL,
+    FIGURE7_SPECIAL_BUFFERS,
+    N_PROCS,
+    sparse_array_A,
+)
+from repro.machine import Machine
+from repro.partition import RowPartition
+from repro.sparse import CCSMatrix, CRSMatrix
+
+
+def regenerate_all_figures():
+    A = sparse_array_A()
+    plan = RowPartition().plan(A.shape, N_PROCS)
+    locals_ = plan.extract_all(A)
+    fig4 = [
+        (c.RO.tolist(), c.CO.tolist(), c.VL.tolist())
+        for c in (CRSMatrix.from_coo(l) for l in locals_)
+    ]
+    fig5 = []
+    fig7 = []
+    for a, loc in zip(plan, locals_):
+        ccs = CCSMatrix.from_coo(loc)
+        conv = conversion_for(a, "ccs")
+        fig5.append(
+            (ccs.RO.tolist(), conv.to_global(ccs.indices).tolist(), ccs.VL.tolist())
+        )
+        buf, _ = EncodedBuffer.encode(loc, "ccs", conv)
+        fig7.append(buf.to_paper_format())
+    # full ED run over the example
+    machine = Machine(N_PROCS)
+    result = get_scheme("ed").run(machine, A, plan, get_compression("ccs"))
+    return fig4, fig5, fig7, result
+
+
+def test_worked_example_regenerates(benchmark):
+    fig4, fig5, fig7, result = benchmark(regenerate_all_figures)
+    for got, (RO, CO, VL) in zip(fig4, FIGURE4_CRS):
+        assert got == (RO, CO, VL)
+    for got, (RO, CO, VL) in zip(fig5, FIGURE5_CCS_GLOBAL):
+        assert got == (RO, CO, VL)
+    for got, expected in zip(fig7, FIGURE7_SPECIAL_BUFFERS):
+        assert got == [float(x) for x in expected]
+    assert result.n_procs == N_PROCS

@@ -1,0 +1,94 @@
+"""Ablation — storage-format selection across workload families.
+
+Five formats (CRS, CCS, JDS, BSR, DIA) against four workload families
+(scattered, banded, block-diagonal, row-skewed): storage overhead from the
+advisor, plus real SpMV wall-clock for each format's kernel.  Confirms the
+advisor's picks track the actual costs family by family.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    BSRMatrix,
+    CCSMatrix,
+    CRSMatrix,
+    DIAMatrix,
+    JDSMatrix,
+    banded_sparse,
+    block_diagonal_sparse,
+    random_sparse,
+    row_skewed_sparse,
+    score_formats,
+    spmv,
+    suggest_format,
+)
+
+WORKLOADS = {
+    "scattered": lambda: random_sparse((512, 512), 0.05, seed=1),
+    "banded": lambda: banded_sparse((512, 512), 3, fill=1.0, seed=2),
+    "blocky": lambda: block_diagonal_sparse(64, 8, block_ratio=0.9, seed=3),
+    "skewed": lambda: row_skewed_sparse((512, 512), 0.05, skew=2.0, seed=4),
+}
+
+EXPECTED_WINNER = {
+    "scattered": ("crs", "ccs", "jds"),
+    "banded": ("dia",),
+    "blocky": ("bsr",),
+    "skewed": ("crs", "ccs", "jds"),
+}
+
+
+def test_advisor_tracks_workload_families(benchmark):
+    def run():
+        return {name: suggest_format(make()) for name, make in WORKLOADS.items()}
+
+    picks = benchmark(run)
+    print(f"\nadvisor picks: {picks}")
+    for family, pick in picks.items():
+        assert pick in EXPECTED_WINNER[family], (family, pick)
+
+
+@pytest.mark.parametrize("family", list(WORKLOADS))
+def test_bench_spmv_per_family_best_format(benchmark, family):
+    matrix = WORKLOADS[family]()
+    x = np.linspace(-1, 1, matrix.shape[1])
+    pick = suggest_format(matrix)
+    compressed = {
+        "crs": lambda: CRSMatrix.from_coo(matrix),
+        "ccs": lambda: CCSMatrix.from_coo(matrix),
+        "jds": lambda: JDSMatrix.from_coo(matrix),
+        "bsr": lambda: BSRMatrix.from_coo(
+            matrix, (8, 8) if matrix.shape[0] % 8 == 0 else (1, 1)
+        ),
+        "dia": lambda: DIAMatrix.from_coo(matrix),
+    }[pick]()
+
+    def kernel():
+        if hasattr(compressed, "spmv"):
+            return compressed.spmv(x)
+        return spmv(compressed, x)
+
+    y = benchmark(kernel)
+    np.testing.assert_allclose(y, matrix.to_dense() @ x)
+
+
+def test_storage_overhead_report(benchmark):
+    def run():
+        table = {}
+        for name, make in WORKLOADS.items():
+            table[name] = {
+                s.format: s.overhead for s in score_formats(make())
+            }
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nstored elements per nonzero (lower is better):")
+    header = ["workload"] + list(next(iter(table.values())))
+    print("  " + "  ".join(f"{h:>10}" for h in header))
+    for family, scores in table.items():
+        cells = [f"{family:>10}"] + [f"{scores[f]:>10.2f}" for f in header[1:]]
+        print("  " + "  ".join(cells))
+    # DIA must dominate on the banded family and lose badly on scattered
+    assert table["banded"]["dia"] < table["banded"]["crs"]
+    assert table["scattered"]["dia"] > table["scattered"]["crs"]

@@ -1,0 +1,77 @@
+"""Extension bench — future work (1): the orderings under JDS compression.
+
+Runs the three phase orderings with Jagged Diagonal Storage at paper scale
+and checks the paper's conclusions are not artefacts of CRS/CCS: ED still
+wins distribution (smallest wire, no pack step), SFC still wins
+compression, and the overall winner still flips with the machine ratio.
+"""
+
+import pytest
+
+from repro.core import run_jds_scheme
+from repro.machine import Machine, ratio_cost_model, sp2_cost_model
+from repro.partition import RowPartition
+from repro.sparse import paper_test_array
+
+
+@pytest.fixture(scope="module")
+def setup():
+    matrix = paper_test_array(400, seed=5)
+    plan = RowPartition().plan(matrix.shape, 8)
+    return matrix, plan
+
+
+def run_all(matrix, plan, cost):
+    out = {}
+    for scheme in ("sfc", "cfs", "ed"):
+        machine = Machine(plan.n_procs, cost=cost)
+        out[scheme] = run_jds_scheme(scheme, machine, matrix, plan)
+    return out
+
+
+def test_jds_orderings_at_paper_scale(benchmark, setup):
+    matrix, plan = setup
+    results = benchmark.pedantic(
+        run_all, args=(matrix, plan, sp2_cost_model()), rounds=1, iterations=1
+    )
+    print("\nJDS compression, row partition, n=400, p=8 (simulated ms):")
+    for scheme, r in results.items():
+        print(
+            f"  {scheme.upper():>3}: T_dist={r.t_distribution:8.3f} "
+            f"T_comp={r.t_compression:8.3f} wire={r.wire_elements}"
+        )
+    assert (
+        results["ed"].t_distribution
+        < results["cfs"].t_distribution
+        < results["sfc"].t_distribution
+    )
+    assert results["sfc"].t_compression < results["cfs"].t_compression
+    assert results["ed"].t_total < results["cfs"].t_total
+
+
+def test_jds_remark5_crossover_survives(benchmark, setup):
+    matrix, plan = setup
+
+    def winners():
+        out = {}
+        for ratio in (0.5, 3.0):
+            results = run_all(
+                matrix, plan, ratio_cost_model(ratio, t_startup=0.04)
+            )
+            out[ratio] = min(results, key=lambda s: results[s].t_total)
+        return out
+
+    winners_by_ratio = benchmark.pedantic(winners, rounds=1, iterations=1)
+    assert winners_by_ratio[0.5] == "sfc"
+    assert winners_by_ratio[3.0] == "ed"
+
+
+def test_bench_jds_ed_cell(benchmark, setup):
+    matrix, plan = setup
+
+    def run():
+        machine = Machine(plan.n_procs)
+        return run_jds_scheme("ed", machine, matrix, plan)
+
+    result = benchmark(run)
+    assert result.t_distribution > 0

@@ -1,0 +1,58 @@
+"""Rigor bench — closed-form model vs simulator across the full Table 3 grid.
+
+For every cell of the paper's largest grid, the exact per-plan predictor
+must equal the simulator to machine precision and the paper-summary
+formula must sit within its documented rank-0-conversion slack.  This is
+the two-implementations check at full scale.
+"""
+
+import pytest
+
+from repro.core import get_compression, get_scheme
+from repro.machine import Machine, sp2_cost_model
+from repro.model import predict, predict_from_plan, spec_from_plan
+from repro.partition import RowPartition
+from repro.sparse import paper_test_array
+
+GRID = [(n, p) for n in (200, 400, 800) for p in (4, 16, 32)]
+
+
+def test_exact_model_matches_simulator_at_scale(benchmark):
+    cost = sp2_cost_model()
+
+    def run():
+        rows = []
+        for n, p in GRID:
+            matrix = paper_test_array(n, seed=n + p)
+            plan = RowPartition().plan(matrix.shape, p)
+            for scheme in ("sfc", "cfs", "ed"):
+                machine = Machine(p, cost=cost)
+                result = get_scheme(scheme).run(
+                    machine, matrix, plan, get_compression("crs")
+                )
+                exact = predict_from_plan(matrix, plan, scheme, "crs", cost)
+                summary = predict(
+                    spec_from_plan(matrix, plan, cost=cost), scheme, "row", "crs"
+                )
+                rows.append((n, p, scheme, result, exact, summary))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for n, p, scheme, result, exact, summary in rows:
+        assert result.t_distribution == pytest.approx(
+            exact.t_distribution, rel=1e-12
+        ), (n, p, scheme)
+        assert result.t_compression == pytest.approx(
+            exact.t_compression, rel=1e-12
+        ), (n, p, scheme)
+        # the paper-summary formula never under-predicts
+        assert summary.t_total >= result.t_total - 1e-9, (n, p, scheme)
+        # and its over-prediction is at most a sliver: row+CRS needs no
+        # conversion, so the only gap is ceil-block granularity — the
+        # formula's max_nnz estimate ⌈n/p⌉·n·s' can differ from the true
+        # max when n % p != 0 (s' may come from a floor-sized block)
+        assert summary.t_total == pytest.approx(result.t_total, rel=2e-3), (
+            n,
+            p,
+            scheme,
+        )

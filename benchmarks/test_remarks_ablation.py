@@ -1,0 +1,108 @@
+"""Ablation — Remark 5's crossovers, empirically, on the simulator.
+
+Sweeps the two knobs the paper's conclusions pivot on (``T_Data/T_Op`` and
+the sparse ratio) and verifies the *measured* winner flips exactly where
+the closed-form thresholds say it should.
+"""
+
+import pytest
+
+from repro.machine import ratio_cost_model
+from repro.model import ProblemSpec, data_op_ratio_crossover
+from repro.runtime import run_scheme
+from repro.sparse import random_sparse
+
+N, P, S = 512, 8, 0.1
+
+
+def total(scheme, matrix, ratio, partition="row"):
+    result = run_scheme(
+        scheme,
+        matrix,
+        partition=partition,
+        n_procs=P,
+        cost=ratio_cost_model(ratio, t_startup=1.0),
+    )
+    return result.t_total
+
+
+def sweep_ratios(matrix, ratios, partition="row"):
+    return {
+        r: {s: total(s, matrix, r, partition) for s in ("sfc", "cfs", "ed")}
+        for r in ratios
+    }
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return random_sparse((N, N), S, seed=5)
+
+
+def test_winner_flips_at_predicted_ratio(benchmark, matrix):
+    """Below the model's ED-vs-SFC crossover SFC wins overall; above, ED."""
+    spec = ProblemSpec(n=N, p=P, s=S, cost=ratio_cost_model(1.0, t_startup=1.0))
+    star = data_op_ratio_crossover(spec, "ed", "sfc", partition="row")
+    assert star is not None
+
+    results = benchmark(sweep_ratios, matrix, [star * 0.7, star * 1.3])
+    low, high = results[star * 0.7], results[star * 1.3]
+    assert low["sfc"] < low["ed"], "SFC should win below the crossover"
+    assert high["ed"] < high["sfc"], "ED should win above the crossover"
+
+
+def test_row_crossover_near_13_8(benchmark, matrix):
+    """The empirical row-partition flip point sits near the paper's 13/8
+    (finite-size effects shift it slightly down)."""
+    def check():
+        lo, hi = 1.0, 13 / 8
+        assert total("sfc", matrix, lo) < total("ed", matrix, lo)
+        assert total("ed", matrix, hi * 1.15) < total("sfc", matrix, hi * 1.15)
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_column_partition_flips_much_earlier(benchmark, matrix):
+    """Column thresholds are 3s/(1-2s) = 3/8: at the SP2 ratio 1.2 ED
+    already wins overall, unlike on the row partition."""
+    def check():
+        assert total("ed", matrix, 1.2, "column") < total("sfc", matrix, 1.2, "column")
+        assert total("sfc", matrix, 1.2, "row") < total("ed", matrix, 1.2, "row")
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_ed_beats_cfs_at_every_ratio(benchmark, matrix):
+    """Remark 4 has no crossover: ED <= CFS across three decades."""
+
+    def check():
+        for ratio in (0.01, 0.1, 1.0, 10.0, 100.0):
+            for partition in ("row", "column", "mesh2d"):
+                assert total("ed", matrix, ratio, partition) < total(
+                    "cfs", matrix, ratio, partition
+                )
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_sparse_ratio_crossover_empirical(benchmark):
+    """At the SP2 machine ratio, ED wins overall below s* and loses above
+    (s* ≈ 0.087 for row partition per the closed-form model)."""
+    from repro.machine import sp2_cost_model
+    from repro.model import sparse_ratio_crossover
+
+    spec = ProblemSpec(n=N, p=P, s=S, cost=sp2_cost_model())
+    star = sparse_ratio_crossover(spec, "ed", "sfc", partition="row")
+    assert star is not None
+
+    def measure():
+        out = {}
+        for s in (star * 0.5, min(0.45, star * 2.0)):
+            m = random_sparse((N, N), s, seed=11)
+            ed = run_scheme("ed", m, partition="row", n_procs=P).t_total
+            sfc = run_scheme("sfc", m, partition="row", n_procs=P).t_total
+            out[s] = (ed, sfc)
+        return out
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    below, above = sorted(results)
+    assert results[below][0] < results[below][1]
+    assert results[above][0] > results[above][1]

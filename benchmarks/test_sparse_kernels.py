@@ -1,0 +1,71 @@
+"""Raw substrate throughput: compression, encoding and SpMV wall-clock.
+
+Not a paper table — these benchmark the Python implementation itself so
+regressions in the vectorised kernels are visible (per the HPC guide:
+measure, don't guess).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ConversionSpec, EncodedBuffer
+from repro.sparse import CCSMatrix, CRSMatrix, random_sparse, spmv
+
+N = 1000
+S = 0.1
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return random_sparse((N, N), S, seed=1)
+
+
+@pytest.fixture(scope="module")
+def x():
+    return np.random.default_rng(2).standard_normal(N)
+
+
+def test_bench_crs_compression(benchmark, matrix):
+    result = benchmark(CRSMatrix.from_coo, matrix)
+    assert result.nnz == matrix.nnz
+
+
+def test_bench_ccs_compression(benchmark, matrix):
+    result = benchmark(CCSMatrix.from_coo, matrix)
+    assert result.nnz == matrix.nnz
+
+
+def test_bench_dense_scan_compression(benchmark, matrix):
+    dense = matrix.to_dense()
+    result = benchmark(CRSMatrix.from_dense, dense)
+    assert result.nnz == matrix.nnz
+
+
+def test_bench_encode(benchmark, matrix):
+    conv = ConversionSpec(kind="none")
+    buf, _ = benchmark(EncodedBuffer.encode, matrix, "crs", conv)
+    assert buf.nnz == matrix.nnz
+
+
+def test_bench_decode(benchmark, matrix):
+    conv = ConversionSpec(kind="none")
+    buf, _ = EncodedBuffer.encode(matrix, "crs", conv)
+    decoded, _ = benchmark(buf.decode, conv)
+    assert decoded.nnz == matrix.nnz
+
+
+def test_bench_spmv_crs(benchmark, matrix, x):
+    crs = CRSMatrix.from_coo(matrix)
+    y = benchmark(spmv, crs, x)
+    np.testing.assert_allclose(y, matrix.to_dense() @ x)
+
+
+def test_bench_spmv_ccs(benchmark, matrix, x):
+    ccs = CCSMatrix.from_coo(matrix)
+    y = benchmark(spmv, ccs, x)
+    assert y.shape == (N,)
+
+
+def test_bench_generator(benchmark):
+    m = benchmark(random_sparse, (N, N), S, seed=3)
+    assert m.nnz == round(S * N * N)

@@ -1,0 +1,83 @@
+"""Table 1 — analytic T_Distribution / T_Compression, row partition + CRS.
+
+Regenerates the published closed forms over the paper's (n, p) grid and
+checks the orderings they imply (Remarks 1–4 plus the Remark 5 threshold
+arithmetic); benchmarks the evaluation itself.
+"""
+
+import pytest
+
+from repro.model import (
+    ProblemSpec,
+    predict,
+    remark5_thresholds,
+    table1_cfs,
+    table1_ed,
+    table1_sfc,
+)
+
+GRID = [
+    ProblemSpec(n=n, p=p, s=0.1)
+    for n in (200, 400, 800, 1000, 2000)
+    for p in (4, 16, 32)
+]
+
+
+def evaluate_grid():
+    rows = []
+    for spec in GRID:
+        rows.append(
+            {
+                "spec": spec,
+                "sfc": table1_sfc(spec),
+                "cfs": table1_cfs(spec),
+                "ed": table1_ed(spec),
+            }
+        )
+    return rows
+
+
+def test_table1_regenerates_and_orders(benchmark):
+    rows = benchmark(evaluate_grid)
+    print("\nTable 1 (analytic, SP2 calibration, s=0.1) — ms")
+    print(f"{'n':>6} {'p':>3} | {'SFC dist':>10} {'CFS dist':>10} {'ED dist':>10} "
+          f"| {'SFC comp':>10} {'CFS comp':>10} {'ED comp':>10}")
+    for row in rows:
+        spec = row["spec"]
+        print(
+            f"{spec.n:>6} {spec.p:>3} | "
+            f"{row['sfc'][0]:>10.3f} {row['cfs'][0]:>10.3f} {row['ed'][0]:>10.3f} | "
+            f"{row['sfc'][1]:>10.3f} {row['cfs'][1]:>10.3f} {row['ed'][1]:>10.3f}"
+        )
+        # Remark 1 + 2: distribution ordering
+        assert row["ed"][0] < row["cfs"][0] < row["sfc"][0]
+        # Remark 3: compression ordering
+        assert row["sfc"][1] < row["cfs"][1] < row["ed"][1]
+        # Remark 4: ED beats CFS overall
+        assert sum(row["ed"]) < sum(row["cfs"])
+        # Remark 5 at the SP2 ratio (1.2 < 13/8): SFC wins overall
+        assert sum(row["sfc"]) < sum(row["ed"])
+
+
+def test_table1_matches_general_model(benchmark):
+    def check():
+        for spec in GRID:
+            for scheme, fn in (("sfc", table1_sfc), ("cfs", table1_cfs), ("ed", table1_ed)):
+                pred = predict(spec, scheme, "row", "crs")
+                t_dist, t_comp = fn(spec)
+                assert pred.t_distribution == pytest.approx(t_dist)
+                assert pred.t_compression == pytest.approx(t_comp)
+        return len(GRID)
+
+    assert benchmark(check) == 15
+
+
+def test_remark5_threshold_values(benchmark):
+    """The paper's 13/8 and 15/8 conditions at s = 0.1."""
+
+    def thresholds():
+        return remark5_thresholds(ProblemSpec(n=1000, p=16, s=0.1), "row")
+
+    ed_thr, cfs_thr = benchmark(thresholds)
+    assert ed_thr == pytest.approx(13 / 8)
+    assert cfs_thr == pytest.approx(15 / 8)

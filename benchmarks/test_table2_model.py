@@ -1,0 +1,82 @@
+"""Table 2 — analytic costs, row partition + CCS (with index conversion).
+
+Same grid as Table 1; additionally quantifies the cost of the Case
+3.2.2/3.3.2 conversion (CCS under a row partition) relative to Table 1 and
+checks the documented erratum.
+"""
+
+import pytest
+
+from repro.model import (
+    ProblemSpec,
+    predict,
+    table2_cfs,
+    table2_ed,
+    table2_sfc,
+)
+
+GRID = [
+    ProblemSpec(n=n, p=p, s=0.1)
+    for n in (200, 400, 800, 1000, 2000)
+    for p in (4, 16, 32)
+]
+
+
+def evaluate_grid():
+    return [
+        {
+            "spec": spec,
+            "sfc": table2_sfc(spec),
+            "cfs": table2_cfs(spec),
+            "ed": table2_ed(spec),
+        }
+        for spec in GRID
+    ]
+
+
+def test_table2_regenerates_and_orders(benchmark):
+    rows = benchmark(evaluate_grid)
+    for row in rows:
+        assert row["ed"][0] < row["cfs"][0] < row["sfc"][0]
+        assert row["sfc"][1] < row["cfs"][1] < row["ed"][1]
+        assert sum(row["ed"]) < sum(row["cfs"])
+
+
+def test_table2_matches_general_model(benchmark):
+    def check():
+        for spec in GRID:
+            for scheme, fn in (("sfc", table2_sfc), ("cfs", table2_cfs), ("ed", table2_ed)):
+                pred = predict(spec, scheme, "row", "ccs")
+                t_dist, t_comp = fn(spec)
+                assert pred.t_distribution == pytest.approx(t_dist)
+                assert pred.t_compression == pytest.approx(t_comp)
+        return True
+
+    assert benchmark(check)
+
+
+def test_ccs_conversion_premium_over_crs(benchmark):
+    """Row+CCS pays one extra op per nonzero at the receiver vs row+CRS,
+    and carries (p-1)·n extra RO elements on the wire."""
+
+    def premiums():
+        out = []
+        for spec in GRID:
+            crs = predict(spec, "ed", "row", "crs")
+            ccs = predict(spec, "ed", "row", "ccs")
+            out.append((spec, ccs.wire_elements - crs.wire_elements))
+        return out
+
+    for spec, wire_gap in benchmark(premiums):
+        assert wire_gap == (spec.p - 1) * spec.n
+
+
+def test_erratum_gap(benchmark):
+    def gap():
+        spec = GRID[0]
+        printed, _ = table2_cfs(spec, as_printed=True)
+        consistent, _ = table2_cfs(spec)
+        return spec, consistent - printed
+
+    spec, value = benchmark(gap)
+    assert value == pytest.approx((spec.p - 1) * spec.n * spec.cost.t_data)

@@ -1,0 +1,76 @@
+"""Table 5 — measured phase times, 2-D mesh partition (2×2, 4×4, 8×8).
+
+Section 5.3: on the mesh, ED outperforms CFS which outperforms SFC overall
+— all three of the paper's Conclusions hold simultaneously here.
+"""
+
+import pytest
+
+from repro.runtime import run_scheme, shape_report
+from repro.sparse import paper_test_array
+
+from .conftest import print_paper_comparison
+
+
+def test_table5_shapes(benchmark, table5):
+    def check():
+        print_paper_comparison(table5)
+        report = shape_report(table5)
+        assert report["cells"] == 15
+        assert report["distribution_order_ed_cfs_sfc"] == 1.0
+        assert report["compression_order_sfc_cfs_ed"] == 1.0
+        assert report["ed_beats_cfs_overall"] == 1.0
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_table5_full_overall_ordering(benchmark, table5):
+    """Section 5.3: ED > CFS > SFC in overall performance on the mesh."""
+    def check():
+        for p in table5.proc_counts:
+            for n in table5.sizes:
+                ed = table5.t(p, "ed", n, "t_total")
+                cfs = table5.t(p, "cfs", n, "t_total")
+                sfc = table5.t(p, "sfc", n, "t_total")
+                assert ed < cfs < sfc
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_table5_sfc_compression_shrinks_with_mesh_size(benchmark, table5):
+    """Local blocks shrink quadratically with the mesh side: SFC's
+    (parallel) compression time falls as p grows."""
+    def check():
+        for n in table5.sizes:
+            comp = [table5.t(p, "sfc", n, "t_compression") for p in (4, 16, 64)]
+            assert comp[0] > comp[1] > comp[2]
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_table5_startup_cost_grows_with_p(benchmark, table5):
+    """More processors = more messages.  For SFC and ED (whose receiver-side
+    distribution work is zero) T_dist strictly grows with p at every size;
+    for CFS the parallel unpack shrinks with p and can offset the extra
+    startups at large n, so we assert growth only at the smallest size."""
+    def check():
+        for scheme in ("sfc", "ed"):
+            for n in table5.sizes:
+                dist = [table5.t(p, scheme, n, "t_distribution") for p in (4, 16, 64)]
+                assert dist[0] < dist[2]
+        n0 = table5.sizes[0]
+        cfs = [table5.t(p, "cfs", n0, "t_distribution") for p in (4, 16, 64)]
+        assert cfs[0] < cfs[2]
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("mesh", [(2, 2), (4, 4)])
+def test_bench_mesh_partition_cell(benchmark, mesh):
+    matrix = paper_test_array(480, seed=3)
+    p = mesh[0] * mesh[1]
+    from repro.partition import Mesh2DPartition
+
+    def run():
+        return run_scheme(
+            "ed", matrix, partition=Mesh2DPartition(mesh), n_procs=p
+        )
+
+    result = benchmark(run)
+    assert result.t_distribution > 0

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Distribute-then-compute: the workloads the schemes exist for.
+
+Distributes a sparse system with the ED scheme, then runs the three
+distributed kernels against the in-place compressed local arrays:
+
+1. a single SpMV ``y = A·x`` checked against the dense product,
+2. power iteration for the dominant eigenvalue,
+3. a Jacobi solve of ``A·x = b`` on a diagonally dominant system,
+
+reporting simulated communication/compute cost for each (the COMPUTE phase
+of the machine's ledger) alongside the one-off distribution cost.
+
+Run:  python examples/distributed_spmv.py
+"""
+
+import numpy as np
+
+from repro.apps import (
+    diagonally_dominant,
+    distributed_jacobi,
+    distributed_power_iteration,
+    distributed_spmv,
+)
+from repro.core import get_compression, get_scheme
+from repro.machine import Machine, Phase
+from repro.partition import RowPartition
+from repro.sparse import COOMatrix, random_sparse
+
+
+def main() -> None:
+    n, p = 600, 8
+    rng = np.random.default_rng(7)
+
+    # ---- 1. one SpMV on a generic sparse array -------------------------
+    A = random_sparse((n, n), 0.1, seed=1)
+    plan = RowPartition().plan(A.shape, p)
+    machine = Machine(p)
+    result = get_scheme("ed").run(machine, A, plan, get_compression("crs"))
+    print(f"distributed with {result.summary()}")
+
+    x = rng.standard_normal(n)
+    y = distributed_spmv(machine, plan, x)
+    assert np.allclose(y, A.to_dense() @ x)
+    print(
+        f"SpMV correct; simulated compute phase: "
+        f"{machine.trace.elapsed(Phase.COMPUTE):.3f} ms\n"
+    )
+
+    # ---- 2. power iteration on a symmetric array ----------------------
+    S = random_sparse((n, n), 0.05, seed=2)
+    sym = COOMatrix.from_dense(S.to_dense() + S.to_dense().T + 5.0 * np.eye(n))
+    plan_s = RowPartition().plan(sym.shape, p)
+    machine_s = Machine(p)
+    get_scheme("cfs").run(machine_s, sym, plan_s, get_compression("crs"))
+    eig = distributed_power_iteration(machine_s, plan_s, seed=0, tol=1e-12)
+    dense_eig = float(np.max(np.abs(np.linalg.eigvalsh(sym.to_dense()))))
+    print(
+        f"power iteration: lambda = {eig.eigenvalue:.6f} "
+        f"(dense reference {dense_eig:.6f}), "
+        f"{eig.iterations} iterations, converged={eig.converged}"
+    )
+    print(
+        f"simulated compute phase: "
+        f"{machine_s.trace.elapsed(Phase.COMPUTE):.3f} ms\n"
+    )
+
+    # ---- 3. Jacobi solve ----------------------------------------------
+    system = diagonally_dominant(n, 0.02, seed=3)
+    b = rng.standard_normal(n)
+    plan_j = RowPartition().plan(system.shape, p)
+    machine_j = Machine(p)
+    get_scheme("sfc").run(machine_j, system, plan_j, get_compression("crs"))
+    sol = distributed_jacobi(machine_j, plan_j, system, b, tol=1e-12)
+    err = float(np.linalg.norm(system.to_dense() @ sol.x - b))
+    print(
+        f"Jacobi: converged={sol.converged} in {sol.iterations} iterations, "
+        f"final residual {sol.residual_norm:.2e} (true residual {err:.2e})"
+    )
+    print(
+        f"simulated compute phase: "
+        f"{machine_j.trace.elapsed(Phase.COMPUTE):.3f} ms"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""EKMR demo: distributing multi-dimensional sparse arrays.
+
+The paper's stated future work: extend the schemes to multi-dimensional
+sparse arrays using the Extended Karnaugh Map Representation (EKMR) of
+refs [11, 12].  This demo:
+
+1. builds 3-D and 4-D random sparse tensors,
+2. shows their EKMR(3)/EKMR(4) 2-D images,
+3. distributes the images with all three schemes (unchanged 2-D
+   machinery),
+4. gathers back and proves losslessness,
+5. compares the schemes' distribution costs on the tensor workload.
+
+Run:  python examples/ekmr_demo.py
+"""
+
+from repro.ekmr import EKMRMap, SparseTensor, distribute_tensor, gather_tensor
+
+
+def describe(shape) -> None:
+    emap = EKMRMap.for_shape(shape)
+    rows = "x".join(str(shape[d]) for d in emap.row_dims)
+    cols = "x".join(str(shape[d]) for d in emap.col_dims)
+    print(
+        f"  tensor {shape} -> EKMR image {emap.matrix_shape} "
+        f"(rows from dims {emap.row_dims} [{rows}], "
+        f"cols from dims {emap.col_dims} [{cols}])"
+    )
+
+
+def main() -> None:
+    print("EKMR dimension-to-axis maps:")
+    for shape in ((6, 8, 10), (4, 6, 8, 10), (3, 4, 5, 6, 7)):
+        describe(shape)
+
+    print("\ndistributing a 3-D tensor (20x24x30, s=0.05) over 6 processors:")
+    t3 = SparseTensor.random((20, 24, 30), 0.05, seed=5)
+    for scheme in ("sfc", "cfs", "ed"):
+        dist = distribute_tensor(t3, scheme=scheme, n_procs=6, compression="crs")
+        assert gather_tensor(dist) == t3
+        r = dist.result
+        print(
+            f"  {scheme.upper():>3}: T_dist = {r.t_distribution:8.3f} ms, "
+            f"T_comp = {r.t_compression:8.3f} ms, "
+            f"wire = {r.wire_elements} elements"
+        )
+    print("  (gather-back verified lossless for every scheme)")
+
+    print("\ndistributing a 4-D tensor (8x10x12x14, s=0.02) over 4 processors:")
+    t4 = SparseTensor.random((8, 10, 12, 14), 0.02, seed=6)
+    for scheme in ("sfc", "cfs", "ed"):
+        dist = distribute_tensor(t4, scheme=scheme, n_procs=4, compression="ccs")
+        assert gather_tensor(dist) == t4
+        r = dist.result
+        print(
+            f"  {scheme.upper():>3}: T_dist = {r.t_distribution:8.3f} ms, "
+            f"T_comp = {r.t_compression:8.3f} ms"
+        )
+    print("  (gather-back verified lossless for every scheme)")
+
+
+if __name__ == "__main__":
+    main()

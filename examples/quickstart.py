@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Quickstart: distribute one sparse array three ways and compare.
+
+Generates the paper's standard test sample (n×n, sparse ratio 0.1), runs
+the SFC, CFS and ED schemes on a simulated 16-processor machine with the
+row partition and CRS compression, verifies all three leave every
+processor with identical compressed local arrays, and prints the phase
+times the paper reports.
+
+Run:  python examples/quickstart.py [n]
+"""
+
+import sys
+
+from repro import random_sparse, run_scheme
+from repro.partition import RowPartition
+from repro.runtime import verify_all_schemes_agree, verify_distribution
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 1000
+    n_procs = 16
+    print(f"global sparse array: {n}x{n}, sparse ratio 0.1, p={n_procs}\n")
+
+    matrix = random_sparse((n, n), 0.1, seed=42)
+    plan = RowPartition().plan(matrix.shape, n_procs)
+
+    results = []
+    for scheme in ("sfc", "cfs", "ed"):
+        result = run_scheme(
+            scheme, matrix, plan=plan, compression="crs"
+        )
+        verify_distribution(result, matrix, plan)
+        results.append(result)
+        print(
+            f"{scheme.upper():>3}: T_dist = {result.t_distribution:9.3f} ms   "
+            f"T_comp = {result.t_compression:9.3f} ms   "
+            f"total = {result.t_total:9.3f} ms   "
+            f"(wire: {result.wire_elements} elements in "
+            f"{result.n_messages} messages)"
+        )
+
+    verify_all_schemes_agree(results)
+    print(
+        "\nall three schemes delivered identical compressed local arrays "
+        "to every processor."
+    )
+    sfc, cfs, ed = results
+    print(
+        f"\ndistribution-time speedup over SFC:  "
+        f"CFS {sfc.t_distribution / cfs.t_distribution:.2f}x,  "
+        f"ED {sfc.t_distribution / ed.t_distribution:.2f}x   (Remarks 1-2)"
+    )
+
+
+if __name__ == "__main__":
+    main()

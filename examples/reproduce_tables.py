@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Reproduce the paper's Tables 3, 4 and 5 on the simulated SP2.
+
+Runs the full published grids (array sizes up to 2000², processor counts up
+to 64) through the SFC/CFS/ED schemes on the simulated machine with the SP2
+cost-model calibration and prints every measured cell next to the published
+number.  Finishes with a shape report: the fraction of cells in which each
+of the paper's claimed orderings holds.
+
+Run:  python examples/reproduce_tables.py [--quick]
+      (--quick restricts to n <= 800 and two processor counts)
+"""
+
+import sys
+import time
+
+from repro.runtime import TABLE_SPECS, format_table, reproduce_table, shape_report
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    for table_id in ("table3", "table4", "table5"):
+        spec = TABLE_SPECS[table_id]
+        sizes = [n for n in spec.sizes if n <= 800] if quick else None
+        procs = spec.proc_counts[:2] if quick else None
+        t0 = time.time()
+        repro = reproduce_table(table_id, sizes=sizes, proc_counts=procs)
+        elapsed = time.time() - t0
+        print(format_table(repro))
+        report = shape_report(repro)
+        print(
+            f"   shape report over {report['cells']} cells "
+            f"(simulated in {elapsed:.1f}s wall):"
+        )
+        print(
+            f"     T_dist ordering ED<CFS<SFC : "
+            f"{report['distribution_order_ed_cfs_sfc']:.0%}"
+        )
+        print(
+            f"     T_comp ordering SFC<CFS<ED : "
+            f"{report['compression_order_sfc_cfs_ed']:.0%}"
+        )
+        print(
+            f"     ED beats CFS overall       : "
+            f"{report['ed_beats_cfs_overall']:.0%}"
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

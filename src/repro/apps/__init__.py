@@ -1,0 +1,24 @@
+"""Motivating workloads: distributed kernels over distributed sparse arrays."""
+
+from .conjugate_gradient import CGResult, distributed_cg, spd_system
+from .jacobi import JacobiResult, diagonally_dominant, distributed_jacobi
+from .power_iteration import PowerIterationResult, distributed_power_iteration
+from .spgemm import RESULT_KEY, distributed_spgemm
+from .spmv import distributed_spmv, distributed_spmv_transpose
+from .spmv_allgather import distributed_spmv_allgather
+
+__all__ = [
+    "CGResult",
+    "RESULT_KEY",
+    "JacobiResult",
+    "PowerIterationResult",
+    "diagonally_dominant",
+    "distributed_cg",
+    "distributed_jacobi",
+    "distributed_power_iteration",
+    "distributed_spgemm",
+    "distributed_spmv",
+    "distributed_spmv_allgather",
+    "distributed_spmv_transpose",
+    "spd_system",
+]

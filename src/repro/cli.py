@@ -1,0 +1,336 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``        distribute one generated array and print the phase times
+``tables``     reproduce the paper's Tables 3–5 next to the published numbers
+``figures``    print the Figures 1–7 worked example artefacts
+``crossover``  print the Remark-5 thresholds and exact model crossovers
+``sweep``      sweep s / T_Data/T_Op / p / n and chart the scheme costs
+``analyze``    memory footprints, break-even iterations, format advice
+``collection`` sparse-ratio statistics of the synthetic HB-style collection
+``report``     write EXPERIMENTS.md (paper-vs-measured for everything)
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Data Distribution Schemes of Sparse Arrays "
+            "on Distributed Memory Multicomputers' (ICPP 2002)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="distribute one array, print phase times")
+    run.add_argument("--scheme", choices=["sfc", "cfs", "ed", "all"], default="all")
+    run.add_argument("--n", type=int, default=1000, help="array is n x n")
+    run.add_argument("--procs", type=int, default=16)
+    run.add_argument(
+        "--partition", choices=["row", "column", "mesh2d"], default="row"
+    )
+    run.add_argument("--compression", choices=["crs", "ccs"], default="crs")
+    run.add_argument("--sparse-ratio", type=float, default=0.1)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--timeline", action="store_true",
+        help="print a per-lane ASCII busy timeline for the last scheme",
+    )
+
+    tables = sub.add_parser("tables", help="reproduce Tables 3-5")
+    tables.add_argument(
+        "table",
+        nargs="?",
+        choices=["table3", "table4", "table5", "all"],
+        default="all",
+    )
+    tables.add_argument(
+        "--quick", action="store_true", help="restrict to n <= 800, two p values"
+    )
+
+    sub.add_parser("figures", help="print the Figures 1-7 worked example")
+
+    crossover = sub.add_parser(
+        "crossover", help="Remark-5 thresholds and exact crossovers"
+    )
+    crossover.add_argument("--n", type=int, default=1000)
+    crossover.add_argument("--procs", type=int, default=16)
+    crossover.add_argument("--sparse-ratio", type=float, default=0.1)
+    crossover.add_argument(
+        "--partition", choices=["row", "column", "mesh2d"], default="row"
+    )
+
+    sweep_p = sub.add_parser(
+        "sweep", help="sweep a knob and chart the scheme costs"
+    )
+    sweep_p.add_argument(
+        "parameter", choices=["s", "ratio", "p", "n"],
+        help="what to sweep: sparse ratio, T_Data/T_Op, processors, size",
+    )
+    sweep_p.add_argument("--start", type=float, required=True)
+    sweep_p.add_argument("--stop", type=float, required=True)
+    sweep_p.add_argument("--points", type=int, default=20)
+    sweep_p.add_argument("--n", type=int, default=500)
+    sweep_p.add_argument("--procs", type=int, default=8)
+    sweep_p.add_argument("--sparse-ratio", type=float, default=0.1)
+    sweep_p.add_argument(
+        "--partition", choices=["row", "column", "mesh2d"], default="row"
+    )
+    sweep_p.add_argument("--compression", choices=["crs", "ccs"], default="crs")
+    sweep_p.add_argument(
+        "--metric",
+        choices=["t_total", "t_distribution", "t_compression"],
+        default="t_total",
+    )
+    sweep_p.add_argument(
+        "--simulate", action="store_true",
+        help="run the simulator at each point instead of the closed forms",
+    )
+
+    analyze = sub.add_parser(
+        "analyze", help="memory, break-even and format advice for a workload"
+    )
+    analyze.add_argument("--n", type=int, default=1000)
+    analyze.add_argument("--procs", type=int, default=16)
+    analyze.add_argument("--sparse-ratio", type=float, default=0.1)
+    analyze.add_argument("--seed", type=int, default=0)
+
+    collection = sub.add_parser(
+        "collection", help="sparse-ratio stats of the synthetic collection"
+    )
+    collection.add_argument("--count", type=int, default=100)
+    collection.add_argument("--seed", type=int, default=20020101)
+
+    report = sub.add_parser("report", help="write EXPERIMENTS.md")
+    report.add_argument("path", nargs="?", default="EXPERIMENTS.md")
+
+    return parser
+
+
+def _cmd_run(args) -> int:
+    from .core import get_compression, get_scheme
+    from .machine import Machine, render_timeline
+    from .runtime import run_scheme, verify_all_schemes_agree
+    from .sparse import random_sparse
+
+    matrix = random_sparse((args.n, args.n), args.sparse_ratio, seed=args.seed)
+    schemes = ["sfc", "cfs", "ed"] if args.scheme == "all" else [args.scheme]
+    print(
+        f"array {args.n}x{args.n}, s={args.sparse_ratio}, p={args.procs}, "
+        f"{args.partition} partition, {args.compression.upper()} compression"
+    )
+    results = []
+    last_machine = None
+    for scheme in schemes:
+        if args.timeline:
+            from .core.registry import get_partition
+
+            plan = get_partition(args.partition).plan(matrix.shape, args.procs)
+            last_machine = Machine(args.procs)
+            result = get_scheme(scheme).run(
+                last_machine, matrix, plan, get_compression(args.compression)
+            )
+        else:
+            result = run_scheme(
+                scheme,
+                matrix,
+                partition=args.partition,
+                n_procs=args.procs,
+                compression=args.compression,
+            )
+        results.append(result)
+        print(f"  {result.summary()}")
+    if len(results) > 1:
+        verify_all_schemes_agree(results)
+        print("  all schemes delivered identical local arrays (verified)")
+    if args.timeline and last_machine is not None:
+        print()
+        print(render_timeline(last_machine.trace))
+    return 0
+
+
+def _cmd_tables(args) -> int:
+    from .runtime import TABLE_SPECS, format_table, reproduce_table, shape_report
+
+    names = ["table3", "table4", "table5"] if args.table == "all" else [args.table]
+    for name in names:
+        spec = TABLE_SPECS[name]
+        sizes = [n for n in spec.sizes if n <= 800] if args.quick else None
+        procs = spec.proc_counts[:2] if args.quick else None
+        repro = reproduce_table(name, sizes=sizes, proc_counts=procs)
+        print(format_table(repro))
+        print(f"   shape report: {shape_report(repro)}")
+        print()
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    import runpy
+    from pathlib import Path
+
+    script = Path(__file__).resolve().parents[2] / "examples" / "paper_figures.py"
+    if script.exists():
+        runpy.run_path(str(script), run_name="__main__")
+        return 0
+    # installed without the examples tree: inline minimal rendering
+    from .data import sparse_array_A
+    from .partition import RowPartition
+    from .sparse import CRSMatrix
+
+    A = sparse_array_A()
+    print("Figure 1 — sparse array A (10x8, 16 nonzeros)")
+    plan = RowPartition().plan(A.shape, 4)
+    for a, loc in zip(plan, plan.extract_all(A)):
+        c = CRSMatrix.from_coo(loc)
+        print(f"  P{a.rank}: RO={c.RO.tolist()} CO={c.CO.tolist()} VL={c.VL.tolist()}")
+    return 0
+
+
+def _cmd_crossover(args) -> int:
+    from .machine import ratio_cost_model
+    from .model import (
+        ProblemSpec,
+        data_op_ratio_crossover,
+        remark5_thresholds,
+        sparse_ratio_crossover,
+    )
+
+    spec = ProblemSpec(
+        n=args.n, p=args.procs, s=args.sparse_ratio, cost=ratio_cost_model(1.0)
+    )
+    ed_thr, cfs_thr = remark5_thresholds(spec, args.partition)
+    print(
+        f"Remark 5 asymptotic thresholds ({args.partition}, s={args.sparse_ratio}):"
+    )
+    print(f"  ED  beats SFC overall when T_Data/T_Op > {ed_thr:.4f}")
+    print(f"  CFS beats SFC overall when T_Data/T_Op > {cfs_thr:.4f}")
+    for scheme in ("ed", "cfs"):
+        star = data_op_ratio_crossover(
+            spec, scheme, "sfc", partition=args.partition
+        )
+        print(
+            f"  exact finite-size crossover for {scheme.upper()}: "
+            + (f"{star:.4f}" if star else "none in range")
+        )
+    from .machine import sp2_cost_model
+
+    s_star = sparse_ratio_crossover(
+        spec.with_cost(sp2_cost_model()), "ed", "sfc", partition=args.partition
+    )
+    print(
+        "  sparse-ratio crossover at the SP2 ratio (1.2): "
+        + (f"s* = {s_star:.4f}" if s_star else "none in range")
+    )
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    import numpy as np
+
+    from .machine import sp2_cost_model
+    from .model import ProblemSpec, sweep
+    from .runtime import ascii_chart
+
+    spec = ProblemSpec(
+        n=args.n, p=args.procs, s=args.sparse_ratio, cost=sp2_cost_model()
+    )
+    values = np.linspace(args.start, args.stop, args.points)
+    result = sweep(
+        spec,
+        args.parameter,
+        values,
+        partition=args.partition,
+        compression=args.compression,
+        metric=args.metric,
+        simulate=args.simulate,
+    )
+    print(ascii_chart(result))
+    crossings = result.crossover_indices()
+    if crossings:
+        points = ", ".join(f"{result.series[0].x[i]:.4g}" for i in crossings)
+        print(f"winner changes near {args.parameter} = {points}")
+    else:
+        print(f"{result.winner_at(0).upper()} wins across the whole range")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from .model import ProblemSpec, amortization, memory_footprint
+    from .sparse import random_sparse, suggest_format, score_formats
+
+    spec = ProblemSpec(n=args.n, p=args.procs, s=args.sparse_ratio)
+    print(f"workload: {args.n}x{args.n}, s={args.sparse_ratio}, p={args.procs}\n")
+
+    print("peak memory (array elements):")
+    for scheme in ("sfc", "cfs", "ed"):
+        m = memory_footprint(spec, scheme)
+        print(
+            f"  {scheme.upper():>3}: receiver {m.proc_peak:>12.0f} "
+            f"(transient {m.proc_overhead:.0f})   host extra {m.host_peak:>12.0f}"
+        )
+
+    rep = amortization(spec)
+    print("\namortisation (row partition, CRS):")
+    for scheme in ("sfc", "cfs", "ed"):
+        print(f"  {scheme.upper():>3} setup: {rep.setup[scheme]:10.3f} ms")
+    print(f"  per-SpMV iteration: {rep.iteration:.3f} ms")
+    print(
+        f"  schemes within 5% of each other after "
+        f"{rep.iterations_to_5_percent} iterations"
+    )
+
+    matrix = random_sparse((args.n, args.n), args.sparse_ratio, seed=args.seed)
+    print(f"\nstorage-format advice for this workload: "
+          f"{suggest_format(matrix).upper()}")
+    for s in score_formats(matrix):
+        print(f"  {s.format:>4}: {s.overhead:6.2f} stored elements per nonzero")
+    return 0
+
+
+def _cmd_collection(args) -> int:
+    from .sparse import SyntheticCollection, ratio_statistics
+
+    col = SyntheticCollection(args.count, seed=args.seed)
+    stats = ratio_statistics(col.entries())
+    print(f"synthetic Harwell-Boeing-style collection ({args.count} matrices):")
+    for key, value in stats.items():
+        print(f"  {key}: {value:.4f}" if isinstance(value, float) else f"  {key}: {value}")
+    print(
+        "  (the paper's Remark 2 premise: >80% of applications have s < 0.1)"
+    )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .runtime.report import main as report_main
+
+    return report_main(["report", args.path])
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "tables": _cmd_tables,
+    "figures": _cmd_figures,
+    "crossover": _cmd_crossover,
+    "sweep": _cmd_sweep,
+    "analyze": _cmd_analyze,
+    "collection": _cmd_collection,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

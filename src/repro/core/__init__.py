@@ -1,0 +1,56 @@
+"""The paper's primary contribution: SFC, CFS and ED distribution schemes."""
+
+from .base import (
+    LOCAL_KEY,
+    CompressedLocal,
+    DistributionScheme,
+    SchemeResult,
+    compression_kind,
+)
+from .cfs import CFSScheme
+from .ed import EDScheme
+from .encoded_buffer import EncodedBuffer
+from .gather import gather_global
+from .jds_schemes import JDS_LOCAL_KEY, JDSResult, run_jds_scheme
+from .index_conversion import ConversionSpec, conversion_for, paper_case_label
+from .redistribute import RedistributionResult, redistribute
+from .registry import (
+    COMPRESSIONS,
+    PARTITIONS,
+    SCHEMES,
+    get_compression,
+    get_partition,
+    get_scheme,
+)
+from .sfc import SFCScheme, dense_block_is_contiguous
+from .transpose import distributed_transpose, transpose_plan
+
+__all__ = [
+    "COMPRESSIONS",
+    "CFSScheme",
+    "CompressedLocal",
+    "ConversionSpec",
+    "DistributionScheme",
+    "EDScheme",
+    "EncodedBuffer",
+    "LOCAL_KEY",
+    "PARTITIONS",
+    "RedistributionResult",
+    "SCHEMES",
+    "SFCScheme",
+    "SchemeResult",
+    "compression_kind",
+    "conversion_for",
+    "dense_block_is_contiguous",
+    "distributed_transpose",
+    "gather_global",
+    "JDS_LOCAL_KEY",
+    "JDSResult",
+    "get_compression",
+    "get_partition",
+    "get_scheme",
+    "paper_case_label",
+    "redistribute",
+    "run_jds_scheme",
+    "transpose_plan",
+]

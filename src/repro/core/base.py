@@ -1,0 +1,155 @@
+"""Scheme driver interface and result record.
+
+A *data distribution scheme* takes a global sparse array held by the host
+of a :class:`~repro.machine.machine.Machine`, a
+:class:`~repro.partition.base.PartitionPlan`, and a compression method
+(:class:`~repro.sparse.crs.CRSMatrix` or :class:`~repro.sparse.ccs.
+CCSMatrix`), runs its three phases on the machine, and leaves every
+processor holding its compressed local sparse array (with *local* indices)
+under :data:`LOCAL_KEY`.
+
+The returned :class:`SchemeResult` carries the paper's two reported
+quantities (``T_Distribution``, ``T_Compression``) plus the full trace for
+finer-grained analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Sequence, Type, Union
+
+from ..machine.machine import Machine
+from ..machine.trace import Phase, PhaseBreakdown
+from ..partition.base import PartitionPlan
+from ..sparse.ccs import CCSMatrix
+from ..sparse.coo import COOMatrix
+from ..sparse.crs import CRSMatrix
+
+__all__ = ["LOCAL_KEY", "CompressedLocal", "SchemeResult", "DistributionScheme", "compression_kind"]
+
+#: processor-memory key under which schemes store the compressed local array
+LOCAL_KEY = "local_compressed"
+
+CompressedLocal = Union[CRSMatrix, CCSMatrix]
+
+
+def compression_kind(compression: Type[CompressedLocal]) -> Literal["crs", "ccs"]:
+    """``'crs'`` / ``'ccs'`` tag for a compression class."""
+    if compression is CRSMatrix:
+        return "crs"
+    if compression is CCSMatrix:
+        return "ccs"
+    raise TypeError(
+        f"compression must be CRSMatrix or CCSMatrix, got {compression!r}"
+    )
+
+
+@dataclass(frozen=True)
+class SchemeResult:
+    """Outcome of running one scheme on one machine.
+
+    Times are simulated milliseconds under the machine's cost model; the
+    attribute names mirror the paper's notation.
+    """
+
+    scheme: str
+    partition: str
+    compression: Literal["crs", "ccs"]
+    n_procs: int
+    global_shape: tuple[int, int]
+    global_nnz: int
+    t_distribution: float
+    t_compression: float
+    distribution_breakdown: PhaseBreakdown
+    compression_breakdown: PhaseBreakdown
+    locals_: tuple[CompressedLocal, ...]
+
+    @property
+    def t_total(self) -> float:
+        """Overall scheme time (the paper's "overall performance")."""
+        return self.t_distribution + self.t_compression
+
+    @property
+    def wire_elements(self) -> int:
+        """Total array elements transmitted during distribution."""
+        return self.distribution_breakdown.elements_sent
+
+    @property
+    def n_messages(self) -> int:
+        return self.distribution_breakdown.n_messages
+
+    @property
+    def sparse_ratio(self) -> float:
+        total = self.global_shape[0] * self.global_shape[1]
+        return self.global_nnz / total if total else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.scheme.upper()} ({self.partition}+{self.compression}, "
+            f"p={self.n_procs}, n={self.global_shape}): "
+            f"T_dist={self.t_distribution:.3f}ms "
+            f"T_comp={self.t_compression:.3f}ms "
+            f"total={self.t_total:.3f}ms"
+        )
+
+
+class DistributionScheme:
+    """Base class for SFC / CFS / ED (and any future ordering)."""
+
+    #: registry / table name ("sfc", "cfs", "ed")
+    name: str = "abstract"
+
+    def run(
+        self,
+        machine: Machine,
+        global_matrix: COOMatrix,
+        plan: PartitionPlan,
+        compression: Type[CompressedLocal],
+    ) -> SchemeResult:
+        """Execute the scheme; see module docstring for the contract."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_inputs(
+        machine: Machine, global_matrix: COOMatrix, plan: PartitionPlan
+    ) -> None:
+        if plan.n_procs != machine.n_procs:
+            raise ValueError(
+                f"plan has {plan.n_procs} blocks but machine has "
+                f"{machine.n_procs} processors"
+            )
+        if plan.global_shape != global_matrix.shape:
+            raise ValueError(
+                f"plan shape {plan.global_shape} != matrix shape "
+                f"{global_matrix.shape}"
+            )
+
+    def _result(
+        self,
+        machine: Machine,
+        global_matrix: COOMatrix,
+        plan: PartitionPlan,
+        kind: Literal["crs", "ccs"],
+        locals_: Sequence[CompressedLocal],
+    ) -> SchemeResult:
+        dist = machine.trace.breakdown(Phase.DISTRIBUTION)
+        comp = machine.trace.breakdown(Phase.COMPRESSION)
+        return SchemeResult(
+            scheme=self.name,
+            partition=plan.method,
+            compression=kind,
+            n_procs=machine.n_procs,
+            global_shape=global_matrix.shape,
+            global_nnz=global_matrix.nnz,
+            t_distribution=dist.elapsed,
+            t_compression=comp.elapsed,
+            distribution_breakdown=dist,
+            compression_breakdown=comp,
+            locals_=tuple(locals_),
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

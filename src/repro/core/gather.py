@@ -1,0 +1,76 @@
+"""Gathering a distributed sparse array back to the host.
+
+The inverse of a distribution scheme: after the compute phases finish (or
+for checkpointing), the host collects every processor's compressed local
+array and reassembles the global sparse array.  The wire format is the ED
+special buffer in reverse — each processor encodes its local block
+(``R_i`` counts with ``C, V`` pairs, indices converted back to global) and
+the host decodes and merges, so the traffic is ``2·nnz + segments``
+elements, mirroring the ED distribution cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..machine.machine import Machine
+from ..machine.trace import Phase
+from ..partition.base import PartitionPlan
+from ..sparse.coo import COOMatrix
+from .base import LOCAL_KEY
+from .encoded_buffer import EncodedBuffer
+from .index_conversion import conversion_for
+
+__all__ = ["gather_global"]
+
+
+def gather_global(
+    machine: Machine, plan: PartitionPlan, *, phase: Phase = Phase.DISTRIBUTION
+) -> COOMatrix:
+    """Collect the distributed array back into one global ``COOMatrix``.
+
+    Requires a prior scheme run on ``machine`` with the same ``plan``.
+    Each processor pays the ED encode cost for its block; the host pays the
+    decode plus one op per nonzero to merge.  Local arrays stay in place
+    (gather is non-destructive).
+    """
+    buffers = []
+    for assignment in plan:
+        proc = machine.processor(assignment.rank)
+        local = proc.load(LOCAL_KEY)
+        if local.shape != assignment.local_shape:
+            raise ValueError(
+                f"rank {assignment.rank}: stored local shape {local.shape} "
+                f"does not match the plan {assignment.local_shape}"
+            )
+        kind = "crs" if type(local).__name__ == "CRSMatrix" else "ccs"
+        conv = conversion_for(assignment, kind)
+        buf, encode_ops = EncodedBuffer.encode(local.to_coo(), kind, conv)
+        machine.charge_proc_ops(assignment.rank, encode_ops, phase, label="encode-up")
+        machine.send_to_host(
+            assignment.rank, (buf, kind, assignment.rank), buf.n_elements, phase,
+            tag="gather-global",
+        )
+        buffers.append(None)  # placeholder to keep counts aligned
+
+    rows_all, cols_all, vals_all = [], [], []
+    for _ in plan:
+        msg = machine.host_receive("gather-global")
+        buf, kind, rank = msg.payload
+        assignment = plan[rank]
+        conv = conversion_for(assignment, kind)
+        local, decode_ops = buf.decode(conv)
+        machine.charge_host_ops(decode_ops, phase, label="decode-up")
+        coo = local.to_coo()
+        # lift both coordinates to global; one op per nonzero merge charge
+        rows_all.append(assignment.row_ids[coo.rows])
+        cols_all.append(assignment.col_ids[coo.cols])
+        vals_all.append(coo.values)
+        machine.charge_host_ops(coo.nnz, phase, label="merge")
+
+    return COOMatrix(
+        plan.global_shape,
+        np.concatenate(rows_all) if rows_all else np.empty(0, dtype=np.int64),
+        np.concatenate(cols_all) if cols_all else np.empty(0, dtype=np.int64),
+        np.concatenate(vals_all) if vals_all else np.empty(0, dtype=np.float64),
+    )

@@ -1,0 +1,212 @@
+"""SFC / CFS / ED orderings for the JDS compression method.
+
+The paper's future work (1): "Analyze the performance of the SFC, the CFS,
+and the ED schemes for other partition and data compression methods."
+This module carries the three orderings over to Jagged Diagonal Storage
+(:mod:`repro.sparse.jds`) under whole-row partitions:
+
+* **SFC**: send the dense block, build JDS on the processor
+  (scan + row-count sort + 3 ops per nonzero, the sort charged at one op
+  per row as a counting sort over nonzero counts);
+* **CFS**: build JDS on the host, pack ``(perm, jd_ptr, indices, values)``
+  and send; the receiver unpacks — column indices are already local under
+  a whole-row partition (the Case 3.2.1 analogue);
+* **ED**: encode a JDS special buffer — ``perm`` header followed by
+  per-jag segments ``[L_j, (C, V)...]`` mirroring Figure 6 with jags in
+  the role of rows — and decode on the processor by prefix-summing jag
+  lengths.
+
+The ED wire is again the smallest (``rows + jags + 2·nnz`` vs CFS's
+``rows + jags + 1 + 2·nnz`` plus a pack/unpack pass), so Remark 1's
+mechanism survives the change of compression method — which is the point
+of the exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..machine.machine import Machine
+from ..machine.packing import PackedBuffer
+from ..machine.trace import Phase
+from ..partition.base import PartitionPlan
+from ..sparse.coo import COOMatrix
+from ..sparse.jds import JDSMatrix
+
+__all__ = ["JDS_LOCAL_KEY", "JDSResult", "run_jds_scheme"]
+
+#: processor-memory key for the JDS local arrays (distinct from CRS/CCS runs)
+JDS_LOCAL_KEY = "local_jds"
+
+
+@dataclass(frozen=True)
+class JDSResult:
+    """Phase times and per-processor JDS locals for one run."""
+
+    scheme: str
+    partition: str
+    n_procs: int
+    t_distribution: float
+    t_compression: float
+    locals_: tuple[JDSMatrix, ...]
+    wire_elements: int
+
+    @property
+    def t_total(self) -> float:
+        return self.t_distribution + self.t_compression
+
+
+def _require_whole_rows(plan: PartitionPlan) -> None:
+    n_cols = plan.global_shape[1]
+    for a in plan:
+        if len(a.col_ids) != n_cols:
+            raise ValueError(
+                "JDS schemes require whole-row partitions; rank "
+                f"{a.rank} owns {len(a.col_ids)} of {n_cols} columns"
+            )
+
+
+def _jds_build_ops(local: COOMatrix) -> int:
+    """Scan each element + counting-sort rows + 3 ops per nonzero."""
+    return local.shape[0] * local.shape[1] + local.shape[0] + 3 * local.nnz
+
+
+def _encode_jds(jds: JDSMatrix) -> tuple[np.ndarray, int]:
+    """The ED special buffer: ``perm`` then per-jag ``[L_j, (C, V)...]``."""
+    parts = [jds.perm.astype(np.float64)]
+    for j in range(jds.n_jags):
+        cols, vals = jds.jag(j)
+        seg = np.empty(1 + 2 * len(cols), dtype=np.float64)
+        seg[0] = len(cols)
+        seg[1::2] = cols
+        seg[2::2] = vals
+        parts.append(seg)
+    buffer = np.concatenate(parts) if parts else np.empty(0)
+    return buffer, len(buffer)
+
+
+def _decode_jds(buffer: np.ndarray, n_rows: int, n_cols: int) -> tuple[JDSMatrix, int]:
+    perm = buffer[:n_rows].astype(np.int64)
+    pos = n_rows
+    lengths = []
+    indices_parts = []
+    values_parts = []
+    while pos < len(buffer):
+        length = int(buffer[pos])
+        seg = buffer[pos + 1 : pos + 1 + 2 * length]
+        indices_parts.append(seg[0::2].astype(np.int64))
+        values_parts.append(seg[1::2])
+        lengths.append(length)
+        pos += 1 + 2 * length
+    jd_ptr = np.zeros(len(lengths) + 1, dtype=np.int64)
+    np.cumsum(lengths, out=jd_ptr[1:])
+    indices = (
+        np.concatenate(indices_parts) if indices_parts else np.empty(0, np.int64)
+    )
+    values = np.concatenate(values_parts) if values_parts else np.empty(0)
+    jds = JDSMatrix((n_rows, n_cols), perm, jd_ptr, indices, values)
+    ops = 1 + len(lengths) + 2 * int(jd_ptr[-1]) + n_rows  # prefix + moves + perm
+    return jds, ops
+
+
+def run_jds_scheme(
+    scheme: str,
+    machine: Machine,
+    global_matrix: COOMatrix,
+    plan: PartitionPlan,
+) -> JDSResult:
+    """Run one ordering (``"sfc"``/``"cfs"``/``"ed"``) with JDS compression."""
+    if scheme not in ("sfc", "cfs", "ed"):
+        raise ValueError(f"scheme must be sfc, cfs or ed, got {scheme!r}")
+    if plan.n_procs != machine.n_procs:
+        raise ValueError("plan and machine disagree on processor count")
+    if plan.global_shape != global_matrix.shape:
+        raise ValueError("plan and matrix disagree on shape")
+    _require_whole_rows(plan)
+    local_arrays = plan.extract_all(global_matrix)
+
+    locals_: list[JDSMatrix] = []
+    if scheme == "sfc":
+        for a, local in zip(plan, local_arrays):
+            dense = local.to_dense()
+            machine.send(a.rank, dense, dense.size, Phase.DISTRIBUTION, tag="jds-dense")
+        for a, local in zip(plan, local_arrays):
+            proc = machine.processor(a.rank)
+            dense = proc.receive("jds-dense").payload
+            jds = JDSMatrix.from_dense(dense)
+            machine.charge_proc_ops(
+                a.rank, _jds_build_ops(local), Phase.COMPRESSION, label="jds-build"
+            )
+            proc.store(JDS_LOCAL_KEY, jds)
+            locals_.append(jds)
+    elif scheme == "cfs":
+        compressed = []
+        for a, local in zip(plan, local_arrays):
+            jds = JDSMatrix.from_coo(local)
+            machine.charge_host_ops(
+                _jds_build_ops(local), Phase.COMPRESSION, label="jds-build"
+            )
+            compressed.append(jds)
+        for a, jds in zip(plan, compressed):
+            buf, pack_ops = PackedBuffer.pack(
+                {
+                    "perm": jds.perm,
+                    "jd_ptr": jds.jd_ptr,
+                    "indices": jds.indices,
+                    "values": jds.values,
+                },
+                order=("perm", "jd_ptr", "indices", "values"),
+            )
+            machine.charge_host_ops(pack_ops, Phase.DISTRIBUTION, label="pack")
+            machine.send(a.rank, buf, buf.n_elements, Phase.DISTRIBUTION, tag="jds-triple")
+        for a in plan:
+            proc = machine.processor(a.rank)
+            buf = proc.receive("jds-triple").payload
+            arrays, unpack_ops = buf.unpack()
+            machine.charge_proc_ops(a.rank, unpack_ops, Phase.DISTRIBUTION, label="unpack")
+            jds = JDSMatrix(
+                a.local_shape,
+                arrays["perm"],
+                arrays["jd_ptr"],
+                arrays["indices"],
+                arrays["values"],
+            )
+            proc.store(JDS_LOCAL_KEY, jds)
+            locals_.append(jds)
+    else:  # ed
+        buffers = []
+        for a, local in zip(plan, local_arrays):
+            jds = JDSMatrix.from_coo(local)
+            buffer, _ = _encode_jds(jds)
+            machine.charge_host_ops(
+                _jds_build_ops(local), Phase.COMPRESSION, label="jds-encode"
+            )
+            buffers.append(buffer)
+        for a, buffer in zip(plan, buffers):
+            machine.send(
+                a.rank, buffer, len(buffer), Phase.DISTRIBUTION, tag="jds-buffer"
+            )
+        for a in plan:
+            proc = machine.processor(a.rank)
+            buffer = proc.receive("jds-buffer").payload
+            lr, lc = a.local_shape
+            jds, decode_ops = _decode_jds(buffer, lr, lc)
+            machine.charge_proc_ops(
+                a.rank, decode_ops, Phase.COMPRESSION, label="jds-decode"
+            )
+            proc.store(JDS_LOCAL_KEY, jds)
+            locals_.append(jds)
+
+    dist = machine.trace.breakdown(Phase.DISTRIBUTION)
+    comp = machine.trace.breakdown(Phase.COMPRESSION)
+    return JDSResult(
+        scheme=scheme,
+        partition=plan.method,
+        n_procs=plan.n_procs,
+        t_distribution=dist.elapsed,
+        t_compression=comp.elapsed,
+        locals_=tuple(locals_),
+        wire_elements=dist.elements_sent,
+    )

@@ -1,0 +1,70 @@
+"""Name-based registries for schemes, partitions and compressions.
+
+The experiment harness and examples refer to everything by short strings
+("ed", "row", "crs"); this module is the single place those names resolve.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Type
+
+from ..partition.base import PartitionMethod
+from ..partition.column import ColumnPartition
+from ..partition.mesh2d import Mesh2DPartition
+from ..partition.row import RowPartition
+from ..sparse.ccs import CCSMatrix
+from ..sparse.crs import CRSMatrix
+from .base import CompressedLocal, DistributionScheme
+from .cfs import CFSScheme
+from .ed import EDScheme
+from .sfc import SFCScheme
+
+__all__ = [
+    "SCHEMES",
+    "PARTITIONS",
+    "COMPRESSIONS",
+    "get_scheme",
+    "get_partition",
+    "get_compression",
+]
+
+SCHEMES: dict[str, Callable[[], DistributionScheme]] = {
+    "sfc": SFCScheme,
+    "cfs": CFSScheme,
+    "ed": EDScheme,
+}
+
+PARTITIONS: dict[str, Callable[[], PartitionMethod]] = {
+    "row": RowPartition,
+    "column": ColumnPartition,
+    "mesh2d": Mesh2DPartition,
+}
+
+COMPRESSIONS: dict[str, Type[CompressedLocal]] = {
+    "crs": CRSMatrix,
+    "ccs": CCSMatrix,
+}
+
+
+def _lookup(table: dict, name: str, what: str):
+    try:
+        return table[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown {what} {name!r}; available: {sorted(table)}"
+        ) from None
+
+
+def get_scheme(name: str) -> DistributionScheme:
+    """Instantiate a scheme by name ('sfc' | 'cfs' | 'ed')."""
+    return _lookup(SCHEMES, name, "scheme")()
+
+
+def get_partition(name: str) -> PartitionMethod:
+    """Instantiate a partition method by name ('row'|'column'|'mesh2d')."""
+    return _lookup(PARTITIONS, name, "partition method")()
+
+
+def get_compression(name: str) -> Type[CompressedLocal]:
+    """Resolve a compression method class by name ('crs' | 'ccs')."""
+    return _lookup(COMPRESSIONS, name, "compression method")

@@ -1,0 +1,21 @@
+"""Published ground-truth data: the paper's worked-example figures."""
+
+from .figures import (
+    FIGURE1_DENSE,
+    FIGURE2_ROW_BLOCKS,
+    FIGURE4_CRS,
+    FIGURE5_CCS_GLOBAL,
+    FIGURE7_SPECIAL_BUFFERS,
+    N_PROCS,
+    sparse_array_A,
+)
+
+__all__ = [
+    "FIGURE1_DENSE",
+    "FIGURE2_ROW_BLOCKS",
+    "FIGURE4_CRS",
+    "FIGURE5_CCS_GLOBAL",
+    "FIGURE7_SPECIAL_BUFFERS",
+    "N_PROCS",
+    "sparse_array_A",
+]

@@ -1,0 +1,94 @@
+"""The paper's worked example: Figures 1–7 as executable ground truth.
+
+Figure 1 gives a 10×8 sparse array ``A`` with 16 nonzero elements (the text
+calls it "8×10"; the figure itself has 10 rows of 8 columns — we follow the
+figure, which all subsequent figures are consistent with).  Figures 2–7
+walk that array through the three schemes with four processors.  This
+module hard-codes the published figures so the test suite can assert that
+our partition / compression / encoding machinery reproduces them *exactly*.
+
+Conventions (see :mod:`repro.sparse.crs`): ``RO`` entries are 1-based
+positions, ``CO`` / ``C_{i,j}`` entries are 0-based indices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse.coo import COOMatrix
+
+__all__ = [
+    "sparse_array_A",
+    "FIGURE1_DENSE",
+    "FIGURE2_ROW_BLOCKS",
+    "FIGURE4_CRS",
+    "FIGURE5_CCS_GLOBAL",
+    "FIGURE7_SPECIAL_BUFFERS",
+    "N_PROCS",
+]
+
+#: the worked example always uses four processors
+N_PROCS = 4
+
+#: Figure 1 — the 10×8 global sparse array A with 16 nonzero elements
+FIGURE1_DENSE = np.array(
+    [
+        [0, 1, 0, 0, 0, 0, 0, 0],
+        [0, 0, 0, 0, 0, 0, 2, 0],
+        [3, 0, 0, 0, 0, 0, 0, 4],
+        [0, 0, 0, 0, 0, 5, 0, 0],
+        [0, 0, 0, 6, 0, 0, 0, 0],
+        [0, 0, 0, 0, 7, 0, 0, 0],
+        [0, 0, 0, 0, 0, 0, 8, 0],
+        [0, 0, 0, 0, 9, 0, 0, 10],
+        [0, 11, 12, 0, 13, 0, 0, 0],
+        [14, 0, 0, 15, 0, 0, 16, 0],
+    ],
+    dtype=np.float64,
+)
+
+
+def sparse_array_A() -> COOMatrix:
+    """The global sparse array of Figure 1."""
+    return COOMatrix.from_dense(FIGURE1_DENSE)
+
+
+#: Figure 2 — row partition of A over four processors: global row ranges
+#: (balanced blocks of 10 rows: 3, 3, 2, 2)
+FIGURE2_ROW_BLOCKS = [(0, 3), (3, 6), (6, 8), (8, 10)]
+
+#: Figure 4 — CRS compression of each received local array.
+#: Per processor: (RO, CO, VL) with RO 1-based, CO 0-based *local* column
+#: indices (identical to global ones under the row partition).
+FIGURE4_CRS = [
+    ([1, 2, 3, 5], [1, 6, 0, 7], [1.0, 2.0, 3.0, 4.0]),
+    ([1, 2, 3, 4], [5, 3, 4], [5.0, 6.0, 7.0]),
+    ([1, 2, 4], [6, 4, 7], [8.0, 9.0, 10.0]),
+    ([1, 4, 7], [1, 2, 4, 0, 3, 6], [11.0, 12.0, 13.0, 14.0, 15.0, 16.0]),
+]
+
+#: Figure 5(b) — CFS: CCS compression of each row-partition block with
+#: *global* row indices in CO (the pre-conversion wire content).
+#: Per processor: (RO, CO_global, VL); RO spans the 8 columns (9 entries).
+FIGURE5_CCS_GLOBAL = [
+    ([1, 2, 3, 3, 3, 3, 3, 4, 5], [2, 0, 1, 2], [3.0, 1.0, 2.0, 4.0]),
+    ([1, 1, 1, 1, 2, 3, 4, 4, 4], [4, 5, 3], [6.0, 7.0, 5.0]),
+    ([1, 1, 1, 1, 1, 2, 2, 3, 4], [7, 6, 7], [9.0, 8.0, 10.0]),
+    ([1, 2, 3, 4, 5, 6, 6, 7, 7], [9, 8, 8, 9, 8, 9], [14.0, 11.0, 12.0, 15.0, 13.0, 16.0]),
+]
+
+#: Figure 7(b/c) — ED with the row partition and the CCS method: the special
+#: buffer each processor receives, flattened per Figure 6's layout
+#: ``R_col, (C, V)*`` for each of the 8 local columns; C entries are global
+#: row indices.
+FIGURE7_SPECIAL_BUFFERS = [
+    # P0 owns global rows 0-2: col0:{(2,3)} col1:{(0,1)} col6:{(1,2)} col7:{(2,4)}
+    [1, 2, 3, 1, 0, 1, 0, 0, 0, 0, 1, 1, 2, 1, 2, 4],
+    # P1 owns global rows 3-5: col3:{(4,6)} col4:{(5,7)} col5:{(3,5)}
+    [0, 0, 0, 1, 4, 6, 1, 5, 7, 1, 3, 5, 0, 0],
+    # P2 owns global rows 6-7: col4:{(7,9)} col6:{(6,8)} col7:{(7,10)}
+    [0, 0, 0, 0, 1, 7, 9, 0, 1, 6, 8, 1, 7, 10],
+    # P3 owns global rows 8-9: col0:{(9,14)} col1:{(8,11)} col2:{(8,12)}
+    # col3:{(9,15)} col4:{(8,13)} col6:{(9,16)}
+    [1, 9, 14, 1, 8, 11, 1, 8, 12, 1, 9, 15, 1, 8, 13, 0, 1, 9, 16, 0],
+]

@@ -1,0 +1,17 @@
+"""EKMR extension: multi-dimensional sparse array distribution (future work
+of the paper, refs [11, 12])."""
+
+from .distribute import TensorDistribution, distribute_tensor, gather_tensor, tensor_inner_product
+from .ekmr import EKMRMap, ekmr_to_tensor, tensor_to_ekmr
+from .tensor import SparseTensor
+
+__all__ = [
+    "EKMRMap",
+    "SparseTensor",
+    "TensorDistribution",
+    "distribute_tensor",
+    "ekmr_to_tensor",
+    "gather_tensor",
+    "tensor_inner_product",
+    "tensor_to_ekmr",
+]

@@ -1,0 +1,126 @@
+"""The Extended Karnaugh Map Representation (EKMR) of refs [11, 12].
+
+EKMR represents an n-dimensional array as a single 2-D array by assigning
+each dimension to one of the two axes, Karnaugh-map style.  The published
+layouts are
+
+* **EKMR(3)**: ``A[k][i][j] → A'[i][k·n_j + j]`` — the third dimension
+  tiles along the columns;
+* **EKMR(4)**: ``A[l][k][i][j] → A'[l·n_i + i][k·n_j + j]`` — the fourth
+  tiles along the rows.
+
+:class:`EKMRMap` generalises this to any rank: the last two dimensions form
+the base 2-D map; walking outward, each additional dimension is appended
+alternately to the column axis first, then the row axis, with outer
+dimensions more significant.  Rank 3 and 4 then reduce exactly to the
+published EKMR(3)/EKMR(4).
+
+The payoff, as in the EKMR papers, is that *all* 2-D machinery — CRS/CCS
+compression and the SFC/CFS/ED distribution schemes — applies to
+multi-dimensional sparse arrays without n-dimensional generalisations of
+the storage formats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sparse.coo import COOMatrix
+from .tensor import SparseTensor
+
+__all__ = ["EKMRMap", "tensor_to_ekmr", "ekmr_to_tensor"]
+
+
+@dataclass(frozen=True)
+class EKMRMap:
+    """The dimension-to-axis assignment for one tensor shape."""
+
+    tensor_shape: tuple[int, ...]
+    row_dims: tuple[int, ...]  # outermost first (most significant)
+    col_dims: tuple[int, ...]
+
+    @classmethod
+    def for_shape(cls, shape) -> "EKMRMap":
+        shape = tuple(int(d) for d in shape)
+        if len(shape) < 2:
+            raise ValueError(f"EKMR needs rank >= 2, got shape {shape}")
+        m = len(shape)
+        row_dims = [m - 2]
+        col_dims = [m - 1]
+        to_cols = True  # dimension m-3 goes to columns (EKMR(3))
+        for d in range(m - 3, -1, -1):
+            if to_cols:
+                col_dims.insert(0, d)
+            else:
+                row_dims.insert(0, d)
+            to_cols = not to_cols
+        return cls(shape, tuple(row_dims), tuple(col_dims))
+
+    # ------------------------------------------------------------------
+    @property
+    def matrix_shape(self) -> tuple[int, int]:
+        """Shape of the 2-D EKMR image."""
+        rows = int(np.prod([self.tensor_shape[d] for d in self.row_dims]))
+        cols = int(np.prod([self.tensor_shape[d] for d in self.col_dims]))
+        return (rows, cols)
+
+    def _axis_index(self, coords: np.ndarray, dims: tuple[int, ...]) -> np.ndarray:
+        """Mixed-radix flatten of the given dims (outer = most significant)."""
+        idx = np.zeros(coords.shape[1], dtype=np.int64)
+        for d in dims:
+            idx = idx * self.tensor_shape[d] + coords[d]
+        return idx
+
+    def _axis_unflatten(
+        self, idx: np.ndarray, dims: tuple[int, ...]
+    ) -> dict[int, np.ndarray]:
+        out: dict[int, np.ndarray] = {}
+        rem = idx.astype(np.int64, copy=True)
+        for d in reversed(dims):
+            size = self.tensor_shape[d]
+            out[d] = rem % size
+            rem //= size
+        return out
+
+    def flatten(self, coords: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Tensor coordinates ``(ndim, k)`` → EKMR ``(rows, cols)``."""
+        coords = np.asarray(coords, dtype=np.int64)
+        if coords.ndim != 2 or coords.shape[0] != len(self.tensor_shape):
+            raise ValueError(
+                f"coords must have shape ({len(self.tensor_shape)}, k), "
+                f"got {coords.shape}"
+            )
+        return self._axis_index(coords, self.row_dims), self._axis_index(
+            coords, self.col_dims
+        )
+
+    def unflatten(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """EKMR ``(rows, cols)`` → tensor coordinates ``(ndim, k)``."""
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        if rows.shape != cols.shape:
+            raise ValueError("rows and cols must be parallel")
+        parts = self._axis_unflatten(rows, self.row_dims)
+        parts.update(self._axis_unflatten(cols, self.col_dims))
+        return np.stack([parts[d] for d in range(len(self.tensor_shape))])
+
+
+def tensor_to_ekmr(tensor: SparseTensor) -> tuple[COOMatrix, EKMRMap]:
+    """The 2-D EKMR image of a sparse tensor (plus the map to invert it)."""
+    emap = EKMRMap.for_shape(tensor.shape)
+    rows, cols = emap.flatten(tensor.coords)
+    matrix = COOMatrix(emap.matrix_shape, rows, cols, tensor.values)
+    return matrix, emap
+
+
+def ekmr_to_tensor(matrix: COOMatrix, emap: EKMRMap) -> SparseTensor:
+    """Invert :func:`tensor_to_ekmr`."""
+    if matrix.shape != emap.matrix_shape:
+        raise ValueError(
+            f"matrix shape {matrix.shape} does not match the map's "
+            f"{emap.matrix_shape}"
+        )
+    coords = emap.unflatten(matrix.rows, matrix.cols)
+    return SparseTensor(emap.tensor_shape, coords, matrix.values)

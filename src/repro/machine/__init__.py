@@ -1,0 +1,46 @@
+"""Simulated distributed-memory multicomputer (the IBM SP2 stand-in).
+
+Cost model (T_Startup / T_Data / T_Operation), share-nothing processors,
+interconnect topologies, wire-buffer packing and a per-phase cost ledger.
+"""
+
+from .collectives import allgather, broadcast, gather, reduce, ring_allgather, scatter
+from .cost_model import CostModel, ratio_cost_model, sp2_cost_model, unit_cost_model
+from .export import dump_json, result_to_dict, trace_to_dict
+from .machine import HOST, Machine
+from .packing import PackedBuffer
+from .processor import Message, Processor
+from .timeline import render_timeline
+from .topology import MeshTopology, RingTopology, SwitchTopology, Topology
+from .trace import Event, EventKind, Phase, PhaseBreakdown, TraceLog
+
+__all__ = [
+    "HOST",
+    "allgather",
+    "broadcast",
+    "dump_json",
+    "gather",
+    "reduce",
+    "render_timeline",
+    "result_to_dict",
+    "ring_allgather",
+    "scatter",
+    "CostModel",
+    "Event",
+    "EventKind",
+    "Machine",
+    "MeshTopology",
+    "Message",
+    "PackedBuffer",
+    "Phase",
+    "PhaseBreakdown",
+    "Processor",
+    "RingTopology",
+    "SwitchTopology",
+    "Topology",
+    "TraceLog",
+    "ratio_cost_model",
+    "sp2_cost_model",
+    "trace_to_dict",
+    "unit_cost_model",
+]

@@ -1,0 +1,167 @@
+"""MPI-style collectives on the simulated machine.
+
+The paper's machine model is host-centric with sequential sends; these
+collectives follow the same accounting so application kernels
+(:mod:`repro.apps`) and schemes compose cleanly:
+
+* host-rooted operations (:func:`broadcast`, :func:`scatter`,
+  :func:`gather`, :func:`reduce`) serialise their messages on the host's
+  timeline — exactly ``p`` messages of the obvious sizes;
+* :func:`allgather` is gather-then-broadcast (``2p`` messages), the
+  store-and-forward realisation a front-end-centric SP2 program would use;
+* reduction arithmetic costs one ``T_Operation`` per combined element.
+
+Every function takes an explicit :class:`~repro.machine.trace.Phase` so
+callers charge the right bucket (kernels use ``Phase.COMPUTE``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .machine import Machine
+from .trace import Phase
+
+__all__ = ["broadcast", "scatter", "gather", "reduce", "allgather", "ring_allgather"]
+
+
+def broadcast(
+    machine: Machine, array: np.ndarray, phase: Phase, *, tag: str = "bcast"
+) -> list[np.ndarray]:
+    """Host sends a copy of ``array`` to every processor (p messages).
+
+    Returns the per-processor received arrays (aliases of one payload — the
+    simulator's share-nothing discipline is by convention; receivers must
+    not mutate, which the read-only flag enforces for our arrays).
+    """
+    array = np.asarray(array)
+    for rank in range(machine.n_procs):
+        machine.send(rank, array, array.size, phase, tag=tag)
+    return [machine.processor(r).receive(tag).payload for r in range(machine.n_procs)]
+
+
+def scatter(
+    machine: Machine,
+    pieces: Sequence[np.ndarray],
+    phase: Phase,
+    *,
+    tag: str = "scatter",
+) -> list[np.ndarray]:
+    """Host sends ``pieces[r]`` to processor ``r`` (p messages)."""
+    if len(pieces) != machine.n_procs:
+        raise ValueError(
+            f"need exactly {machine.n_procs} pieces, got {len(pieces)}"
+        )
+    for rank, piece in enumerate(pieces):
+        piece = np.asarray(piece)
+        machine.send(rank, piece, piece.size, phase, tag=tag)
+    return [machine.processor(r).receive(tag).payload for r in range(machine.n_procs)]
+
+
+def gather(
+    machine: Machine,
+    contributions: Sequence[np.ndarray],
+    phase: Phase,
+    *,
+    tag: str = "gather",
+) -> list[np.ndarray]:
+    """Every processor sends its contribution to the host (p messages).
+
+    ``contributions[r]`` is what processor ``r`` holds; returns them in
+    rank order after the (host-serialised) transfer.
+    """
+    if len(contributions) != machine.n_procs:
+        raise ValueError(
+            f"need exactly {machine.n_procs} contributions, got {len(contributions)}"
+        )
+    for rank, piece in enumerate(contributions):
+        piece = np.asarray(piece)
+        machine.send_to_host(rank, piece, piece.size, phase, tag=tag)
+    out: list[np.ndarray | None] = [None] * machine.n_procs
+    for _ in range(machine.n_procs):
+        msg = machine.host_receive(tag)
+        out[msg.src] = msg.payload
+    return out  # type: ignore[return-value]
+
+
+def reduce(
+    machine: Machine,
+    contributions: Sequence[np.ndarray],
+    phase: Phase,
+    *,
+    op: Callable[[np.ndarray, np.ndarray], np.ndarray] = np.add,
+    tag: str = "reduce",
+) -> np.ndarray:
+    """Gather + combine on the host (one ``T_Operation`` per element pair)."""
+    gathered = gather(machine, contributions, phase, tag=tag)
+    acc = np.array(gathered[0], dtype=np.float64, copy=True)
+    for piece in gathered[1:]:
+        acc = op(acc, piece)
+        machine.charge_host_ops(acc.size, phase, label="reduce-op")
+    return acc
+
+
+def allgather(
+    machine: Machine,
+    contributions: Sequence[np.ndarray],
+    phase: Phase,
+    *,
+    tag: str = "allgather",
+) -> list[np.ndarray]:
+    """Everyone ends with the concatenation of all contributions.
+
+    Realised as gather-to-host followed by broadcast of the concatenation
+    (2p messages) — the host-centric pattern the paper's machine model
+    implies.  Returns the per-processor received concatenations.
+    """
+    gathered = gather(machine, contributions, phase, tag=tag + "-up")
+    merged = np.concatenate([np.asarray(g).ravel() for g in gathered])
+    machine.charge_host_ops(merged.size, phase, label="concat")
+    return broadcast(machine, merged, phase, tag=tag + "-down")
+
+
+def ring_allgather(
+    machine: Machine,
+    contributions: Sequence[np.ndarray],
+    phase: Phase,
+    *,
+    tag: str = "ring-allgather",
+) -> list[list[np.ndarray]]:
+    """True multi-party allgather: pieces circulate a processor ring.
+
+    In round ``k`` every processor forwards the piece it received ``k``
+    rounds ago to its right neighbour — ``p·(p-1)`` messages carrying each
+    piece exactly ``p-1`` times, but the sends within a round run on
+    *different* senders, so they overlap; wall-clock is ``(p-1)`` rounds of
+    one message each instead of the host-rooted ``2p`` serial messages.
+    This is the collective the paper's host-centric machine model cannot
+    express, included for the collective-algorithm ablation.
+
+    Returns, per processor, the list of pieces in rank order (its own
+    included).
+    """
+    p = machine.n_procs
+    if len(contributions) != p:
+        raise ValueError(f"need exactly {p} contributions, got {len(contributions)}")
+    pieces = [np.asarray(c) for c in contributions]
+    # holdings[r][k] = piece originating at rank k, or None if not yet seen
+    holdings: list[list[np.ndarray | None]] = [
+        [pieces[r] if k == r else None for k in range(p)] for r in range(p)
+    ]
+    for round_k in range(p - 1):
+        # every processor forwards the piece that originated (rank - round)
+        for src in range(p):
+            origin = (src - round_k) % p
+            piece = holdings[src][origin]
+            dst = (src + 1) % p
+            machine.send(
+                dst, (origin, piece), piece.size, phase, src=src,
+                tag=f"{tag}-r{round_k}",
+            )
+        for dst in range(p):
+            msg = machine.processor(dst).receive(f"{tag}-r{round_k}")
+            origin, piece = msg.payload
+            holdings[dst][origin] = piece
+    return [list(h) for h in holdings]  # type: ignore[arg-type]

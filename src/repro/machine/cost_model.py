@@ -1,0 +1,106 @@
+"""The machine cost model: ``T_Startup``, ``T_Data``, ``T_Operation``.
+
+Section 4 of the paper analyses every scheme in terms of exactly three
+machine parameters:
+
+* ``T_Startup`` — fixed cost of opening a communication channel (one per
+  message);
+* ``T_Data`` — transmission time per array element;
+* ``T_Operation`` — time of one elementary operation on an array element
+  (memory access, add/subtract, pack/unpack move ...).
+
+Our simulated multicomputer charges *every* action through a
+:class:`CostModel`, so simulated phase times are directly comparable to the
+paper's closed forms and to its IBM SP2 measurements (the paper estimates
+``T_Data ≈ 1.2 × T_Operation`` on the SP2, Section 5.1 — the
+:func:`sp2_cost_model` preset bakes that ratio in and is calibrated so the
+n=200..2000 runs land in the paper's millisecond range).
+
+All times are in **milliseconds** so tables print on the same scale as the
+paper's Tables 3–5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["CostModel", "sp2_cost_model", "unit_cost_model", "ratio_cost_model"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-action costs of the simulated distributed-memory multicomputer.
+
+    Attributes
+    ----------
+    t_startup:
+        ``T_Startup`` — ms per message.
+    t_data:
+        ``T_Data`` — ms per array element transmitted.
+    t_operation:
+        ``T_Operation`` — ms per elementary array-element operation.
+    """
+
+    t_startup: float
+    t_data: float
+    t_operation: float
+
+    def __post_init__(self):
+        for name in ("t_startup", "t_data", "t_operation"):
+            v = getattr(self, name)
+            if v < 0:
+                raise ValueError(f"{name} must be non-negative, got {v}")
+
+    @property
+    def data_op_ratio(self) -> float:
+        """``T_Data / T_Operation`` — the quantity Remarks 2 and 5 pivot on."""
+        if self.t_operation == 0:
+            raise ZeroDivisionError("t_operation is zero; ratio undefined")
+        return self.t_data / self.t_operation
+
+    def message_time(self, n_elements: int, *, hops: int = 1) -> float:
+        """Time to transmit one message of ``n_elements`` over ``hops`` links.
+
+        The paper's model is single-hop (SP2 switch); multi-hop topologies
+        charge the per-element cost once per link (store-and-forward).
+        """
+        if n_elements < 0:
+            raise ValueError(f"n_elements must be non-negative, got {n_elements}")
+        if hops < 1:
+            raise ValueError(f"hops must be >= 1, got {hops}")
+        return self.t_startup + n_elements * self.t_data * hops
+
+    def ops_time(self, n_ops: int | float) -> float:
+        """Time of ``n_ops`` elementary operations."""
+        if n_ops < 0:
+            raise ValueError(f"n_ops must be non-negative, got {n_ops}")
+        return n_ops * self.t_operation
+
+    def with_ratio(self, data_op_ratio: float) -> "CostModel":
+        """A copy rescaling ``t_data`` to the given ``T_Data/T_Operation``."""
+        if data_op_ratio < 0:
+            raise ValueError(f"ratio must be non-negative, got {data_op_ratio}")
+        return replace(self, t_data=self.t_operation * data_op_ratio)
+
+
+def sp2_cost_model() -> CostModel:
+    """The IBM SP2 calibration used for reproducing Tables 3–5.
+
+    ``T_Startup`` = 40 µs (SP2 MPL/MPI latency class),
+    ``T_Data`` = 0.137 µs/element (fits the paper's SFC row-partition
+    distribution times: ``p·T_Startup + n²·T_Data`` ≈ 5.6 ms at n=200,
+    ≈ 384 ms at n=2000 with p=4), and ``T_Operation = T_Data / 1.2`` as the
+    authors estimate from their own measurements.
+    """
+    t_data = 1.37e-4  # ms per element
+    return CostModel(t_startup=0.04, t_data=t_data, t_operation=t_data / 1.2)
+
+
+def unit_cost_model() -> CostModel:
+    """All three parameters equal to 1 — convenient for exact-count tests."""
+    return CostModel(t_startup=1.0, t_data=1.0, t_operation=1.0)
+
+
+def ratio_cost_model(data_op_ratio: float, *, t_startup: float = 0.0) -> CostModel:
+    """``t_operation = 1``, ``t_data = ratio`` — for Remark 5 sweeps."""
+    return CostModel(t_startup=t_startup, t_data=data_op_ratio, t_operation=1.0)

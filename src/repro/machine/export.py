@@ -1,0 +1,79 @@
+"""Trace and result export for external tooling.
+
+Serialises a :class:`~repro.machine.trace.TraceLog` or a
+:class:`~repro.core.base.SchemeResult` to plain JSON-compatible dicts (and
+optionally to a file), so measurement pipelines can consume simulated runs
+without importing the package.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Union
+
+from .trace import Phase, TraceLog
+
+__all__ = ["trace_to_dict", "result_to_dict", "dump_json"]
+
+
+def trace_to_dict(trace: TraceLog) -> dict[str, Any]:
+    """The full event log plus per-phase aggregates."""
+    phases = {}
+    for phase in Phase:
+        bd = trace.breakdown(phase)
+        if not trace.phase_events(phase):
+            continue
+        phases[phase.value] = {
+            "elapsed_ms": bd.elapsed,
+            "host_time_ms": bd.host_time,
+            "max_proc_time_ms": bd.max_proc_time,
+            "proc_times_ms": {str(k): v for k, v in sorted(bd.proc_times.items())},
+            "messages": bd.n_messages,
+            "elements_sent": bd.elements_sent,
+            "ops": bd.ops,
+        }
+    events = [
+        {
+            "phase": e.phase.value,
+            "kind": e.kind.value,
+            "actor": e.actor,
+            "time_ms": e.time,
+            "quantity": e.quantity,
+            "label": e.label,
+            **({"src": e.src, "dst": e.dst} if e.src is not None else {}),
+        }
+        for e in trace.events
+    ]
+    return {"phases": phases, "events": events}
+
+
+def result_to_dict(result) -> dict[str, Any]:
+    """A :class:`SchemeResult` as a JSON-compatible dict (no array data)."""
+    return {
+        "scheme": result.scheme,
+        "partition": result.partition,
+        "compression": result.compression,
+        "n_procs": result.n_procs,
+        "global_shape": list(result.global_shape),
+        "global_nnz": result.global_nnz,
+        "sparse_ratio": result.sparse_ratio,
+        "t_distribution_ms": result.t_distribution,
+        "t_compression_ms": result.t_compression,
+        "t_total_ms": result.t_total,
+        "wire_elements": result.wire_elements,
+        "n_messages": result.n_messages,
+        "locals": [
+            {"shape": list(l.shape), "nnz": l.nnz} for l in result.locals_
+        ],
+    }
+
+
+def dump_json(obj: Union[TraceLog, Any], path: str | Path) -> None:
+    """Write a trace or scheme result to ``path`` as JSON."""
+    if isinstance(obj, TraceLog):
+        payload = trace_to_dict(obj)
+    else:
+        payload = result_to_dict(obj)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)

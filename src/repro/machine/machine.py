@@ -1,0 +1,240 @@
+"""The simulated distributed-memory multicomputer.
+
+This is the repo's substitute for the paper's IBM SP2 (see DESIGN.md §2):
+a host node that owns the global sparse array, ``p`` share-nothing
+processors, an interconnect topology, and a :class:`~repro.machine.
+cost_model.CostModel` through which *every* action is charged.  The
+distribution schemes in :mod:`repro.core` run on this machine; the phase
+times it reports are what the benchmark harness prints next to the paper's
+Tables 3–5.
+
+Accounting contract (matches Section 4 of the paper):
+
+* messages are sent **in sequence** by the host ("local sparse arrays ...
+  are sent to processors in sequence") — each costs
+  ``T_Startup + m·T_Data·hops`` and the host is busy for all of them;
+* host-side element operations (compressing the global array, packing
+  buffers) are charged to the host serially;
+* processor-side operations (unpacking, decoding, local compression) run in
+  parallel across processors — a phase ends when the slowest finishes.
+
+The machine *really executes* the data movement: payloads are numpy arrays
+physically handed to processor mailboxes, so correctness tests can assert
+what every processor ends up holding, and all charged quantities are
+derived from the actual buffers built — never from the closed-form
+formulas being validated.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .cost_model import CostModel, sp2_cost_model
+from .processor import Message, Processor
+from .topology import HOST, SwitchTopology, Topology
+from .trace import Event, EventKind, Phase, TraceLog
+
+__all__ = ["Machine", "HOST"]
+
+
+class Machine:
+    """A host plus ``p`` processors with explicit cost accounting.
+
+    Parameters
+    ----------
+    n_procs:
+        Number of compute processors (the paper's ``p``).
+    cost:
+        The machine cost model; defaults to the SP2 calibration.
+    topology:
+        Interconnect; defaults to the SP2-like single-hop switch.
+    proc_speeds:
+        Optional per-processor speed factors (ops complete ``speed×``
+        faster).  Defaults to a homogeneous machine — the paper's setting;
+        heterogeneous speeds back the speed-aware-partitioning ablation.
+    """
+
+    def __init__(
+        self,
+        n_procs: int,
+        *,
+        cost: CostModel | None = None,
+        topology: Topology | None = None,
+        proc_speeds: list[float] | None = None,
+    ) -> None:
+        if n_procs <= 0:
+            raise ValueError(f"n_procs must be positive, got {n_procs}")
+        self.n_procs = n_procs
+        self.cost = cost if cost is not None else sp2_cost_model()
+        if proc_speeds is None:
+            self.proc_speeds = [1.0] * n_procs
+        else:
+            if len(proc_speeds) != n_procs:
+                raise ValueError(
+                    f"need {n_procs} processor speeds, got {len(proc_speeds)}"
+                )
+            if any(s <= 0 for s in proc_speeds):
+                raise ValueError("processor speeds must be positive")
+            self.proc_speeds = [float(s) for s in proc_speeds]
+        self.topology = topology if topology is not None else SwitchTopology(n_procs)
+        if self.topology.n_procs != n_procs:
+            raise ValueError(
+                f"topology is sized for {self.topology.n_procs} processors, "
+                f"machine has {n_procs}"
+            )
+        self.procs = [Processor(r) for r in range(n_procs)]
+        #: the host's own memory (the global array lives here)
+        self.host_memory: dict[str, Any] = {}
+        #: messages sent back to the host (gather traffic), arrival order
+        self.host_mailbox: list[Message] = []
+        self.trace = TraceLog()
+
+    # ------------------------------------------------------------------
+    # cost charging
+    # ------------------------------------------------------------------
+    def charge_host_ops(self, n_ops: int, phase: Phase, label: str = "") -> float:
+        """Charge ``n_ops`` elementary operations to the host. Returns ms."""
+        t = self.cost.ops_time(n_ops)
+        self.trace.record(
+            Event(phase, EventKind.OPS, HOST, t, quantity=int(n_ops), label=label)
+        )
+        return t
+
+    def charge_proc_ops(
+        self, rank: int, n_ops: int, phase: Phase, label: str = ""
+    ) -> float:
+        """Charge ``n_ops`` elementary operations to processor ``rank``.
+
+        A processor with speed ``s`` takes ``1/s`` of the nominal
+        ``T_Operation`` per op — the heterogeneous-cluster extension
+        (uniform machines keep all speeds at 1, the paper's setting).
+        """
+        self._check_rank(rank)
+        t = self.cost.ops_time(n_ops) / self.proc_speeds[rank]
+        self.trace.record(
+            Event(phase, EventKind.OPS, rank, t, quantity=int(n_ops), label=label)
+        )
+        return t
+
+    # ------------------------------------------------------------------
+    # communication
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        dst: int,
+        payload: Any,
+        n_elements: int,
+        phase: Phase,
+        *,
+        src: int = HOST,
+        tag: str = "",
+    ) -> float:
+        """Transmit ``payload`` (``n_elements`` array elements) to ``dst``.
+
+        Charged to the *sender's* timeline (sequential sends — the paper's
+        model).  The payload object itself is handed over by reference;
+        share-nothing discipline is the scheme author's responsibility and
+        is checked by the test suite's aliasing tests.
+        """
+        self._check_rank(dst)
+        if n_elements < 0:
+            raise ValueError(f"n_elements must be non-negative, got {n_elements}")
+        hops = max(self.topology.hops(src, dst), 1)
+        t = self.cost.message_time(n_elements, hops=hops)
+        self.trace.record(
+            Event(
+                phase,
+                EventKind.MESSAGE,
+                src,
+                t,
+                quantity=int(n_elements),
+                label=tag,
+                src=src,
+                dst=dst,
+            )
+        )
+        self.procs[dst].deliver(
+            Message(src=src, dst=dst, tag=tag, payload=payload, n_elements=n_elements)
+        )
+        return t
+
+    def send_to_host(
+        self,
+        src: int,
+        payload: Any,
+        n_elements: int,
+        phase: Phase,
+        *,
+        tag: str = "",
+    ) -> float:
+        """Transmit from a processor back to the host (gather traffic).
+
+        The host receives messages serially, so the time is charged to the
+        host's timeline — consistent with the sequential-send model.
+        """
+        self._check_rank(src)
+        if n_elements < 0:
+            raise ValueError(f"n_elements must be non-negative, got {n_elements}")
+        hops = max(self.topology.hops(src, HOST), 1)
+        t = self.cost.message_time(n_elements, hops=hops)
+        self.trace.record(
+            Event(
+                phase,
+                EventKind.MESSAGE,
+                HOST,
+                t,
+                quantity=int(n_elements),
+                label=tag,
+                src=src,
+                dst=HOST,
+            )
+        )
+        self.host_mailbox.append(
+            Message(src=src, dst=HOST, tag=tag, payload=payload, n_elements=n_elements)
+        )
+        return t
+
+    def host_receive(self, tag: str | None = None) -> Message:
+        """Pop the host's oldest message (optionally the oldest with ``tag``)."""
+        for i, msg in enumerate(self.host_mailbox):
+            if tag is None or msg.tag == tag:
+                return self.host_mailbox.pop(i)
+        raise LookupError(
+            "host: no message" + (f" with tag {tag!r}" if tag else "")
+        )
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.n_procs:
+            raise ValueError(f"rank {rank} out of range for p={self.n_procs}")
+
+    def processor(self, rank: int) -> Processor:
+        self._check_rank(rank)
+        return self.procs[rank]
+
+    def reset(self) -> None:
+        """Clear all processor memories, mailboxes and the trace."""
+        for p in self.procs:
+            p.reset()
+        self.host_memory.clear()
+        self.host_mailbox.clear()
+        self.trace.clear()
+
+    # convenience accessors mirroring the paper's reported quantities -----
+    @property
+    def t_distribution(self) -> float:
+        """``T_Distribution`` so far (ms)."""
+        return self.trace.elapsed(Phase.DISTRIBUTION)
+
+    @property
+    def t_compression(self) -> float:
+        """``T_Compression`` so far (ms)."""
+        return self.trace.elapsed(Phase.COMPRESSION)
+
+    def __repr__(self) -> str:
+        return (
+            f"Machine(p={self.n_procs}, topology={self.topology.name}, "
+            f"cost={self.cost})"
+        )

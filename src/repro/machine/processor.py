@@ -1,0 +1,74 @@
+"""A simulated processor: private memory namespace plus a message mailbox.
+
+Processors in a distributed-memory multicomputer share nothing; all state a
+processor holds lives in its :attr:`memory` dict and everything it learns
+arrives through :meth:`deliver`.  Scheme code running "on" a processor is
+ordinary Python that only touches that processor's memory — the machine
+enforces the discipline, the cost model charges the time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Message", "Processor"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """An in-flight message: source, tag and an opaque payload."""
+
+    src: int
+    dst: int
+    tag: str
+    payload: Any
+    n_elements: int
+
+
+class Processor:
+    """One node of the simulated machine."""
+
+    def __init__(self, rank: int) -> None:
+        if rank < 0:
+            raise ValueError(f"processor rank must be non-negative, got {rank}")
+        self.rank = rank
+        #: the processor's private memory: name -> object
+        self.memory: dict[str, Any] = {}
+        #: received, not-yet-consumed messages in arrival order
+        self.mailbox: list[Message] = []
+
+    def deliver(self, message: Message) -> None:
+        if message.dst != self.rank:
+            raise ValueError(
+                f"message for rank {message.dst} delivered to rank {self.rank}"
+            )
+        self.mailbox.append(message)
+
+    def receive(self, tag: str | None = None) -> Message:
+        """Pop the oldest message (optionally the oldest with ``tag``)."""
+        for i, msg in enumerate(self.mailbox):
+            if tag is None or msg.tag == tag:
+                return self.mailbox.pop(i)
+        raise LookupError(
+            f"rank {self.rank}: no message" + (f" with tag {tag!r}" if tag else "")
+        )
+
+    def store(self, name: str, value: Any) -> None:
+        self.memory[name] = value
+
+    def load(self, name: str) -> Any:
+        try:
+            return self.memory[name]
+        except KeyError:
+            raise KeyError(f"rank {self.rank} has no object named {name!r}") from None
+
+    def reset(self) -> None:
+        self.memory.clear()
+        self.mailbox.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"Processor(rank={self.rank}, memory={list(self.memory)}, "
+            f"mailbox={len(self.mailbox)} msgs)"
+        )

@@ -1,0 +1,66 @@
+"""ASCII timeline rendering of a trace — who was busy when.
+
+A quick-look tool for understanding where a scheme's time goes: one lane
+for the host and one per processor, with each phase's activity drawn as a
+bar scaled to its share of the total.  Because the machine model is
+host-serial / processor-parallel rather than globally event-ordered, lanes
+show *accumulated busy time per phase*, in phase order — which is exactly
+the quantity the paper's analysis reasons about.
+
+Example (ED, row partition, 4 processors)::
+
+    phase        lane   0ms ........................................ 34ms
+    compression  host   ##############################
+    compression  P0     #
+    ...
+    distribution host   #########
+"""
+
+from __future__ import annotations
+
+from .trace import Phase, TraceLog
+from .topology import HOST
+
+__all__ = ["render_timeline"]
+
+#: lanes are printed in this phase order (partition is untimed by schemes)
+_PHASE_ORDER = [Phase.PARTITION, Phase.COMPRESSION, Phase.DISTRIBUTION, Phase.COMPUTE]
+
+
+def render_timeline(trace: TraceLog, *, width: int = 50) -> str:
+    """Render the trace as an ASCII per-lane busy chart.
+
+    ``width`` is the number of columns representing the longest single
+    lane-phase time.
+    """
+    if width < 1:
+        raise ValueError(f"width must be positive, got {width}")
+    lanes: list[tuple[Phase, int, float]] = []  # (phase, actor, busy)
+    for phase in _PHASE_ORDER:
+        events = trace.phase_events(phase)
+        if not events:
+            continue
+        busy: dict[int, float] = {}
+        for e in events:
+            busy[e.actor] = busy.get(e.actor, 0.0) + e.time
+        for actor in sorted(busy, key=lambda a: (a != HOST, a)):
+            lanes.append((phase, actor, busy[actor]))
+    if not lanes:
+        return "(empty trace)"
+    scale = max(t for _, _, t in lanes)
+    if scale == 0.0:
+        scale = 1.0
+    name_w = max(len(p.value) for p, _, _ in lanes)
+    out = [
+        f"{'phase':<{name_w}}  {'lane':<5} 0ms "
+        + "." * width
+        + f" {scale:.3f}ms"
+    ]
+    for phase, actor, busy in lanes:
+        lane = "host" if actor == HOST else f"P{actor}"
+        bar = "#" * max(1 if busy > 0 else 0, round(width * busy / scale))
+        out.append(
+            f"{phase.value:<{name_w}}  {lane:<5} {bar:<{width + 4}} "
+            f"{busy:.3f}ms"
+        )
+    return "\n".join(out)

@@ -1,0 +1,125 @@
+"""Interconnect topologies of the simulated multicomputer.
+
+The paper's machine (IBM SP2) connects nodes through a multistage switch:
+every pair of processors is one hop apart, which is exactly the single-hop
+model its ``T_Startup + m·T_Data`` analysis assumes.  We provide that as
+:class:`SwitchTopology` (the default) plus ring and 2-D mesh topologies
+where messages pay the per-element cost once per traversed link
+(store-and-forward) — used by the topology-sensitivity ablation bench to
+show the paper's conclusions are robust to (or sharpened by) multi-hop
+interconnects: the CFS/ED payload advantage grows with hop count.
+
+Rank convention: the *host* (the paper's array-owning front end, its
+``P_0`` in spirit) is rank ``HOST = -1``; compute processors are
+``0 .. p-1``.  For hop computations the host sits at position 0 of the
+physical network, like an SP2 front-end node on the same switch.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["HOST", "Topology", "SwitchTopology", "RingTopology", "MeshTopology"]
+
+#: rank of the host / front-end node
+HOST = -1
+
+
+class Topology:
+    """Base class: a topology maps (src, dst) pairs to hop counts."""
+
+    name: str = "abstract"
+
+    def __init__(self, n_procs: int) -> None:
+        if n_procs <= 0:
+            raise ValueError(f"n_procs must be positive, got {n_procs}")
+        self.n_procs = n_procs
+
+    def _check(self, rank: int) -> None:
+        if rank != HOST and not 0 <= rank < self.n_procs:
+            raise ValueError(f"rank {rank} out of range for p={self.n_procs}")
+
+    def hops(self, src: int, dst: int) -> int:
+        """Number of network links a message from ``src`` to ``dst`` crosses."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n_procs={self.n_procs})"
+
+
+class SwitchTopology(Topology):
+    """Crossbar/multistage switch: every distinct pair is one hop (SP2)."""
+
+    name = "switch"
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src)
+        self._check(dst)
+        return 0 if src == dst else 1
+
+
+class RingTopology(Topology):
+    """Bidirectional ring; the host sits between ranks p-1 and 0.
+
+    Positions on the ring: host = 0, processor r = r + 1, ring size p + 1.
+    """
+
+    name = "ring"
+
+    def _pos(self, rank: int) -> int:
+        return 0 if rank == HOST else rank + 1
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src)
+        self._check(dst)
+        if src == dst:
+            return 0
+        size = self.n_procs + 1
+        d = abs(self._pos(src) - self._pos(dst))
+        return min(d, size - d)
+
+
+class MeshTopology(Topology):
+    """2-D mesh with X-Y dimension-order routing; host adjacent to node 0.
+
+    Processors occupy a ``rows x cols`` grid in row-major rank order.  A
+    message from the host enters at node 0 (one extra hop), mirroring a
+    front-end attached at a mesh corner.
+    """
+
+    name = "mesh"
+
+    def __init__(self, n_procs: int, mesh_shape: tuple[int, int] | None = None) -> None:
+        super().__init__(n_procs)
+        if mesh_shape is None:
+            r = int(math.isqrt(n_procs))
+            while n_procs % r:
+                r -= 1
+            mesh_shape = (r, n_procs // r)
+        rows, cols = mesh_shape
+        if rows * cols != n_procs:
+            raise ValueError(f"mesh {rows}x{cols} does not hold {n_procs} processors")
+        self.mesh_shape = (rows, cols)
+
+    def _coords(self, rank: int) -> tuple[int, int]:
+        return divmod(rank, self.mesh_shape[1])
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src)
+        self._check(dst)
+        if src == dst:
+            return 0
+        extra = 0
+        if src == HOST:
+            src, extra = 0, 1
+            if src == dst:
+                return extra
+        if dst == HOST:
+            dst, extra = 0, extra + 1
+            if src == dst:
+                return extra
+        (r1, c1), (r2, c2) = self._coords(src), self._coords(dst)
+        return extra + abs(r1 - r2) + abs(c1 - c2)
+
+    def __repr__(self) -> str:
+        return f"MeshTopology(n_procs={self.n_procs}, mesh_shape={self.mesh_shape})"

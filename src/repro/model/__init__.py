@@ -1,0 +1,61 @@
+"""Closed-form cost model: Tables 1-2, Remarks 1-5, crossover analysis."""
+
+from .crossover import bisect_crossover, data_op_ratio_crossover, sparse_ratio_crossover
+from .formulas import CostPrediction, predict, predict_from_plan, structural
+from .notation import ProblemSpec, ceil_div, spec_from_plan
+from .amortization import AmortizationReport, amortization, spmv_iteration_cost
+from .memory import MemoryFootprint, memory_footprint
+from .sweep import SweepResult, SweepSeries, sweep
+from .remarks import (
+    RemarkReport,
+    evaluate_all,
+    remark1_ed_dist_fastest,
+    remark2_cfs_dist_beats_sfc,
+    remark3_compression_order,
+    remark4_ed_beats_cfs,
+    remark5_beats_sfc,
+    remark5_thresholds,
+)
+from .tables import (
+    table1_cfs,
+    table1_ed,
+    table1_sfc,
+    table2_cfs,
+    table2_ed,
+    table2_sfc,
+)
+
+__all__ = [
+    "AmortizationReport",
+    "CostPrediction",
+    "MemoryFootprint",
+    "ProblemSpec",
+    "RemarkReport",
+    "bisect_crossover",
+    "ceil_div",
+    "data_op_ratio_crossover",
+    "evaluate_all",
+    "amortization",
+    "memory_footprint",
+    "predict",
+    "predict_from_plan",
+    "spmv_iteration_cost",
+    "remark1_ed_dist_fastest",
+    "remark2_cfs_dist_beats_sfc",
+    "remark3_compression_order",
+    "remark4_ed_beats_cfs",
+    "remark5_beats_sfc",
+    "remark5_thresholds",
+    "sparse_ratio_crossover",
+    "spec_from_plan",
+    "structural",
+    "sweep",
+    "SweepResult",
+    "SweepSeries",
+    "table1_cfs",
+    "table1_ed",
+    "table1_sfc",
+    "table2_cfs",
+    "table2_ed",
+    "table2_sfc",
+]

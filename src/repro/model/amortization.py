@@ -1,0 +1,96 @@
+"""Amortisation analysis: when does the distribution choice stop mattering?
+
+Distribution is a one-off cost; the kernels that follow repay it.  For an
+iterative workload running ``k`` distributed SpMVs after distribution, the
+effective cost of a scheme is::
+
+    T_effective(k) = T_distribution + T_compression + k · T_iteration
+
+``T_iteration`` is scheme-independent (every scheme leaves identical local
+arrays), so the *difference* between schemes is constant in ``k`` — the
+relative advantage shrinks like ``1/k``.  This module quantifies that:
+after how many iterations is the worst scheme within a target factor of
+the best?  It is the honest "so what" of the paper's milliseconds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .formulas import CompressionName, PartitionName, predict
+from .notation import ProblemSpec
+
+__all__ = ["AmortizationReport", "spmv_iteration_cost", "amortization"]
+
+
+def spmv_iteration_cost(spec: ProblemSpec) -> float:
+    """One host-routed distributed SpMV under the machine model (ms).
+
+    Scatter ``p`` x-slices (n elements each for whole-row layouts), local
+    multiply (``2·max_nnz`` ops in parallel), gather ``n`` partials, and
+    ``n`` assembly ops — the accounting of :func:`repro.apps.spmv.
+    distributed_spmv` on a row partition.
+    """
+    c = spec.cost
+    n, p = spec.n, spec.p
+    comm = 2 * p * c.t_startup + (p * n + n) * c.t_data
+    compute = 2 * (n * n / p) * spec.s_prime * c.t_operation
+    assemble = n * c.t_operation
+    return comm + compute + assemble
+
+
+@dataclass(frozen=True)
+class AmortizationReport:
+    """Break-even iteration counts for one configuration."""
+
+    spec: ProblemSpec
+    partition: PartitionName
+    compression: CompressionName
+    #: per-scheme one-off cost (T_dist + T_comp), ms
+    setup: dict
+    #: scheme-independent per-iteration cost, ms
+    iteration: float
+    #: iterations until the worst setup is within 5% of the best
+    iterations_to_5_percent: int
+
+    def effective(self, scheme: str, k: int) -> float:
+        """``T_effective(k)`` for one scheme."""
+        return self.setup[scheme] + k * self.iteration
+
+    def winner(self, k: int) -> str:
+        """Best scheme after ``k`` iterations (constant in k, but explicit)."""
+        return min(self.setup, key=lambda s: self.effective(s, k))
+
+
+def amortization(
+    spec: ProblemSpec,
+    *,
+    partition: PartitionName = "row",
+    compression: CompressionName = "crs",
+    tolerance: float = 0.05,
+) -> AmortizationReport:
+    """Compute the break-even analysis for all three schemes."""
+    if tolerance <= 0:
+        raise ValueError(f"tolerance must be positive, got {tolerance}")
+    setup = {
+        scheme: predict(spec, scheme, partition, compression).t_total
+        for scheme in ("sfc", "cfs", "ed")
+    }
+    iteration = spmv_iteration_cost(spec)
+    best = min(setup.values())
+    worst = max(setup.values())
+    # (worst + k·i) <= (1+tol)(best + k·i)  =>  k >= (worst-(1+tol)best)/(tol·i)
+    if iteration <= 0:
+        k = 0 if worst <= (1 + tolerance) * best else math.inf
+    else:
+        k = max(0.0, (worst - (1 + tolerance) * best) / (tolerance * iteration))
+        k = int(math.ceil(k))
+    return AmortizationReport(
+        spec=spec,
+        partition=partition,
+        compression=compression,
+        setup=setup,
+        iteration=iteration,
+        iterations_to_5_percent=k,
+    )

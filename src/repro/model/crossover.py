@@ -1,0 +1,110 @@
+"""Crossover finders: where one scheme overtakes another.
+
+The paper's observations all hinge on crossovers in two knobs:
+
+* the sparse ratio ``s`` — below some ``s*``, compressed wire formats (CFS,
+  ED) beat SFC's dense sends;
+* the machine ratio ``T_Data / T_Operation`` — above some ``r*``, saved
+  transmission outweighs the extra compression work (Remark 5's
+  conditions).
+
+Both crossover curves are monotone in the scanned variable over the ranges
+of interest, so a bisection on the closed-form model suffices.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Literal
+
+from .formulas import CompressionName, PartitionName, predict
+from .notation import ProblemSpec
+
+__all__ = ["sparse_ratio_crossover", "data_op_ratio_crossover", "bisect_crossover"]
+
+Metric = Literal["t_total", "t_distribution", "t_compression"]
+
+
+def bisect_crossover(
+    advantage: Callable[[float], float],
+    lo: float,
+    hi: float,
+    *,
+    tol: float = 1e-9,
+    max_iter: int = 200,
+) -> float | None:
+    """Root of a monotone ``advantage`` function on ``[lo, hi]``.
+
+    Returns ``None`` when the sign does not change over the interval
+    (no crossover there).
+    """
+    if lo >= hi:
+        raise ValueError(f"need lo < hi, got [{lo}, {hi}]")
+    f_lo, f_hi = advantage(lo), advantage(hi)
+    if f_lo == 0.0:
+        return lo
+    if f_hi == 0.0:
+        return hi
+    if (f_lo > 0) == (f_hi > 0):
+        return None
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        f_mid = advantage(mid)
+        if abs(hi - lo) < tol:
+            return mid
+        if (f_mid > 0) == (f_lo > 0):
+            lo, f_lo = mid, f_mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def sparse_ratio_crossover(
+    spec: ProblemSpec,
+    scheme_a: str,
+    scheme_b: str,
+    *,
+    partition: PartitionName = "row",
+    compression: CompressionName = "crs",
+    metric: Metric = "t_total",
+    s_range: tuple[float, float] = (1e-6, 0.499),
+) -> float | None:
+    """The sparse ratio where ``scheme_a`` stops beating ``scheme_b``.
+
+    Scans ``s`` (with ``s' = s``) holding the machine fixed.  Returns
+    ``None`` when one scheme dominates across the whole range.
+    """
+
+    def advantage(s: float) -> float:
+        sp = spec.with_sparse_ratio(s)
+        a = getattr(predict(sp, scheme_a, partition, compression), metric)
+        b = getattr(predict(sp, scheme_b, partition, compression), metric)
+        return b - a  # positive while a is winning
+
+    return bisect_crossover(advantage, *s_range)
+
+
+def data_op_ratio_crossover(
+    spec: ProblemSpec,
+    scheme_a: str,
+    scheme_b: str,
+    *,
+    partition: PartitionName = "row",
+    compression: CompressionName = "crs",
+    metric: Metric = "t_total",
+    ratio_range: tuple[float, float] = (1e-3, 1e3),
+) -> float | None:
+    """The ``T_Data/T_Operation`` ratio where ``scheme_a`` overtakes
+    ``scheme_b`` (Remark 5's empirical counterpart).
+
+    ``T_Operation`` and ``T_Startup`` are held at the spec's values while
+    ``T_Data`` scans.  Returns ``None`` when there is no crossover in the
+    range.
+    """
+
+    def advantage(ratio: float) -> float:
+        sp = spec.with_cost(spec.cost.with_ratio(ratio))
+        a = getattr(predict(sp, scheme_a, partition, compression), metric)
+        b = getattr(predict(sp, scheme_b, partition, compression), metric)
+        return b - a
+
+    return bisect_crossover(advantage, *ratio_range)

@@ -1,0 +1,85 @@
+"""Memory-footprint analysis of the three schemes.
+
+The paper analyses time only, but the phase ordering also determines *peak
+memory*, and on real machines that decides feasibility:
+
+* **SFC** materialises a dense ``⌈n/p⌉·n`` block on every receiving
+  processor before compressing it — the receiver-side high-water mark is
+  the dense block plus the compressed copy;
+* **CFS** keeps the dense view only on the host (which owns the global
+  array anyway); receivers peak at wire buffer + unpacked triple;
+* **ED** is the leanest on both sides: the host writes each special buffer
+  straight from the (sparse) scan, receivers peak at buffer + decoded
+  triple.
+
+Closed forms below count array *elements* (the unit the paper's analysis
+uses throughout); multiply by 8 for bytes at float64.  These are exact for
+the balanced partitions of the paper given ``(n, p, s, s')``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .formulas import CompressionName, PartitionName, SchemeName, structural
+from .notation import ProblemSpec
+
+__all__ = ["MemoryFootprint", "memory_footprint"]
+
+
+@dataclass(frozen=True)
+class MemoryFootprint:
+    """Peak element counts for one scheme run."""
+
+    scheme: SchemeName
+    #: host high-water mark beyond the global array it already owns
+    host_peak: float
+    #: the worst receiving processor's high-water mark
+    proc_peak: float
+    #: elements of the compressed local triple the processor keeps after
+    #: the run (RO + CO + VL) — identical across schemes by construction
+    proc_resident: float
+
+    @property
+    def proc_overhead(self) -> float:
+        """Transient processor memory above what it must keep anyway."""
+        return self.proc_peak - self.proc_resident
+
+
+def memory_footprint(
+    spec: ProblemSpec,
+    scheme: SchemeName,
+    partition: PartitionName = "row",
+    compression: CompressionName = "crs",
+) -> MemoryFootprint:
+    """Peak memory (in array elements) for one configuration."""
+    geo = structural(spec, partition, compression)
+    nnz = spec.nnz
+    # the compressed local triple everyone ends up holding
+    resident = geo.max_segments + 1 + 2.0 * geo.max_nnz
+
+    if scheme == "sfc":
+        # receiver: dense block arrives, then the compressed copy is built
+        proc_peak = geo.max_elements + resident
+        # host: a send buffer for strided partitions, else sends in place
+        host_peak = float(geo.max_elements) if geo.sfc_pack else 0.0
+    elif scheme == "cfs":
+        # host: all compressed triples plus the largest packed buffer
+        all_triples = geo.sum_segments + spec.p + 2.0 * nnz
+        largest_buffer = resident
+        host_peak = all_triples + largest_buffer
+        # receiver: the packed buffer plus the unpacked triple
+        proc_peak = resident + resident
+    elif scheme == "ed":
+        # host: one special buffer at a time (encode-and-send)
+        host_peak = geo.max_segments + 2.0 * geo.max_nnz
+        # receiver: the buffer plus the decoded triple
+        proc_peak = (geo.max_segments + 2.0 * geo.max_nnz) + resident
+    else:
+        raise ValueError(f"unknown scheme {scheme!r}")
+    return MemoryFootprint(
+        scheme=scheme,
+        host_peak=host_peak,
+        proc_peak=proc_peak,
+        proc_resident=resident,
+    )

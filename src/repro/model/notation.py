@@ -1,0 +1,128 @@
+"""Section 4 notation as a value object.
+
+The paper's analysis is parameterised by: an ``n × n`` global sparse array
+``A``, ``p`` processors, the global sparse ratio ``s``, the *largest local*
+sparse ratio ``s'`` (max over processors), and the machine constants
+``T_Startup``/``T_Data``/``T_Operation``.  :class:`ProblemSpec` bundles
+them; :func:`spec_from_plan` derives ``s'`` from an actual matrix and
+partition plan instead of assuming ``s' = s``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from ..machine.cost_model import CostModel, sp2_cost_model
+from ..partition.base import PartitionPlan
+from ..sparse.coo import COOMatrix
+
+__all__ = ["ProblemSpec", "spec_from_plan", "ceil_div"]
+
+
+def ceil_div(a: int, b: int) -> int:
+    """``ceil(a / b)`` on integers (the paper's ``⌈n/p⌉``)."""
+    if b <= 0:
+        raise ValueError(f"divisor must be positive, got {b}")
+    return -(-a // b)
+
+
+@dataclass(frozen=True)
+class ProblemSpec:
+    """One analysed configuration.
+
+    Attributes
+    ----------
+    n:
+        The array is ``n × n`` (the paper analyses square arrays; the
+        simulator handles rectangular ones, the closed forms here follow
+        the paper).
+    p:
+        Number of processors.
+    s:
+        Global sparse ratio.
+    s_prime:
+        Largest local sparse ratio across processors (defaults to ``s`` —
+        exact for uniformly random fill, optimistic for skewed fill).
+    cost:
+        Machine constants; defaults to the SP2 calibration.
+    mesh_shape:
+        ``(pr, pc)`` when the 2-D mesh partition is analysed; ``None``
+        selects the most-square factorisation when needed.
+    """
+
+    n: int
+    p: int
+    s: float
+    s_prime: float | None = None
+    cost: CostModel = None  # type: ignore[assignment]
+    mesh_shape: tuple[int, int] | None = None
+
+    def __post_init__(self):
+        if self.n <= 0:
+            raise ValueError(f"n must be positive, got {self.n}")
+        if self.p <= 0:
+            raise ValueError(f"p must be positive, got {self.p}")
+        if not 0.0 <= self.s <= 1.0:
+            raise ValueError(f"s must be in [0, 1], got {self.s}")
+        if self.s_prime is None:
+            object.__setattr__(self, "s_prime", self.s)
+        if not 0.0 <= self.s_prime <= 1.0:
+            raise ValueError(f"s' must be in [0, 1], got {self.s_prime}")
+        if self.cost is None:
+            object.__setattr__(self, "cost", sp2_cost_model())
+        if self.mesh_shape is not None:
+            pr, pc = self.mesh_shape
+            if pr * pc != self.p:
+                raise ValueError(
+                    f"mesh_shape {self.mesh_shape} inconsistent with p={self.p}"
+                )
+
+    # -- derived quantities used throughout Section 4 ----------------------
+    @property
+    def nnz(self) -> float:
+        """``s·n²`` — nonzeros in the global array."""
+        return self.s * self.n**2
+
+    @property
+    def mesh(self) -> tuple[int, int]:
+        """``(pr, pc)`` for mesh analyses (most-square default)."""
+        if self.mesh_shape is not None:
+            return self.mesh_shape
+        pr = int(math.isqrt(self.p))
+        while self.p % pr:
+            pr -= 1
+        return (pr, self.p // pr)
+
+    def with_cost(self, cost: CostModel) -> "ProblemSpec":
+        return replace(self, cost=cost)
+
+    def with_sparse_ratio(self, s: float, s_prime: float | None = None) -> "ProblemSpec":
+        return replace(self, s=s, s_prime=s_prime)
+
+
+def spec_from_plan(
+    matrix: COOMatrix,
+    plan: PartitionPlan,
+    cost: CostModel | None = None,
+) -> ProblemSpec:
+    """Build a spec with the *measured* ``s'`` of an actual partition.
+
+    Requires a square matrix (the closed forms assume one).
+    """
+    n_rows, n_cols = matrix.shape
+    if n_rows != n_cols:
+        raise ValueError(
+            f"the paper's closed forms assume a square array, got {matrix.shape}"
+        )
+    locals_ = plan.extract_all(matrix)
+    ratios = [loc.sparse_ratio for loc in locals_ if loc.shape[0] * loc.shape[1]]
+    s_prime = max(ratios) if ratios else 0.0
+    return ProblemSpec(
+        n=n_rows,
+        p=plan.n_procs,
+        s=matrix.sparse_ratio,
+        s_prime=s_prime,
+        cost=cost if cost is not None else sp2_cost_model(),
+        mesh_shape=plan.mesh_shape,
+    )

@@ -1,0 +1,157 @@
+"""Remarks 1–5 and Conclusions 1–3 as executable predicates.
+
+Each remark in Section 4.1.1.D is a claim about the ordering of the three
+schemes' costs under stated conditions.  This module expresses them as
+functions of a :class:`~repro.model.notation.ProblemSpec` so the ablation
+benches can check exactly *where* each claim holds and where it stops
+holding (the crossovers the paper's Section 5 observations turn on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from .formulas import CompressionName, PartitionName, predict
+from .notation import ProblemSpec
+
+__all__ = [
+    "RemarkReport",
+    "remark1_ed_dist_fastest",
+    "remark2_cfs_dist_beats_sfc",
+    "remark3_compression_order",
+    "remark4_ed_beats_cfs",
+    "remark5_thresholds",
+    "remark5_beats_sfc",
+    "evaluate_all",
+]
+
+
+def _three(spec, partition, compression):
+    return (
+        predict(spec, "sfc", partition, compression),
+        predict(spec, "cfs", partition, compression),
+        predict(spec, "ed", partition, compression),
+    )
+
+
+def remark1_ed_dist_fastest(
+    spec: ProblemSpec,
+    partition: PartitionName = "row",
+    compression: CompressionName = "crs",
+) -> bool:
+    """Remark 1: ED's distribution time is the smallest of the three.
+
+    (The paper notes this requires ``s < 0.5`` against SFC — for ``s``
+    beyond that the compressed payload exceeds the dense one.)
+    """
+    sfc, cfs, ed = _three(spec, partition, compression)
+    return (
+        ed.t_distribution < cfs.t_distribution
+        and ed.t_distribution < sfc.t_distribution
+    )
+
+
+def remark2_cfs_dist_beats_sfc(
+    spec: ProblemSpec,
+    partition: PartitionName = "row",
+    compression: CompressionName = "crs",
+) -> bool:
+    """Remark 2: CFS's distribution time beats SFC's (most applications)."""
+    sfc, cfs, _ = _three(spec, partition, compression)
+    return cfs.t_distribution < sfc.t_distribution
+
+
+def remark2_condition(spec: ProblemSpec) -> bool:
+    """The paper's sufficient condition: ``T_Data > (2s / (1-2s))·T_Op``."""
+    s = spec.s
+    if s >= 0.5:
+        return False
+    return spec.cost.t_data > (2 * s / (1 - 2 * s)) * spec.cost.t_operation
+
+
+def remark3_compression_order(
+    spec: ProblemSpec,
+    partition: PartitionName = "row",
+    compression: CompressionName = "crs",
+) -> bool:
+    """Remark 3: ``T_comp(SFC) < T_comp(CFS) < T_comp(ED)``."""
+    sfc, cfs, ed = _three(spec, partition, compression)
+    return sfc.t_compression < cfs.t_compression < ed.t_compression
+
+
+def remark4_ed_beats_cfs(
+    spec: ProblemSpec,
+    partition: PartitionName = "row",
+    compression: CompressionName = "crs",
+) -> bool:
+    """Remark 4: overall, ED outperforms CFS."""
+    _, cfs, ed = _three(spec, partition, compression)
+    return ed.t_total < cfs.t_total
+
+
+@dataclass(frozen=True)
+class RemarkReport:
+    """All remark verdicts for one configuration."""
+
+    spec: ProblemSpec
+    partition: PartitionName
+    compression: CompressionName
+    remark1: bool
+    remark2: bool
+    remark3: bool
+    remark4: bool
+    ed_beats_sfc: bool
+    cfs_beats_sfc: bool
+
+
+def remark5_thresholds(
+    spec: ProblemSpec, partition: PartitionName = "row"
+) -> tuple[float, float]:
+    """Remark 5's asymptotic ``T_Data/T_Operation`` thresholds.
+
+    Returns ``(ed_vs_sfc, cfs_vs_sfc)``: ED (resp. CFS) outperforms SFC
+    overall when ``T_Data/T_Operation`` exceeds the returned value.  Row
+    partition: ``(1+3s)/(1-2s)`` and ``(1+5s)/(1-2s)``; column and mesh
+    partitions (where SFC pays a dense pack): ``3s/(1-2s)`` and
+    ``5s/(1-2s)``.
+    """
+    s = spec.s
+    if s >= 0.5:
+        raise ValueError("thresholds are undefined for s >= 0.5")
+    if partition == "row":
+        return ((1 + 3 * s) / (1 - 2 * s), (1 + 5 * s) / (1 - 2 * s))
+    if partition in ("column", "mesh2d"):
+        return ((3 * s) / (1 - 2 * s), (5 * s) / (1 - 2 * s))
+    raise ValueError(f"unknown partition {partition!r}")
+
+
+def remark5_beats_sfc(
+    spec: ProblemSpec,
+    scheme: Literal["cfs", "ed"],
+    partition: PartitionName = "row",
+    compression: CompressionName = "crs",
+) -> bool:
+    """Whether ``scheme`` outperforms SFC overall under the full model."""
+    sfc = predict(spec, "sfc", partition, compression)
+    other = predict(spec, scheme, partition, compression)
+    return other.t_total < sfc.t_total
+
+
+def evaluate_all(
+    spec: ProblemSpec,
+    partition: PartitionName = "row",
+    compression: CompressionName = "crs",
+) -> RemarkReport:
+    """Evaluate every remark for one configuration."""
+    return RemarkReport(
+        spec=spec,
+        partition=partition,
+        compression=compression,
+        remark1=remark1_ed_dist_fastest(spec, partition, compression),
+        remark2=remark2_cfs_dist_beats_sfc(spec, partition, compression),
+        remark3=remark3_compression_order(spec, partition, compression),
+        remark4=remark4_ed_beats_cfs(spec, partition, compression),
+        ed_beats_sfc=remark5_beats_sfc(spec, "ed", partition, compression),
+        cfs_beats_sfc=remark5_beats_sfc(spec, "cfs", partition, compression),
+    )

@@ -1,0 +1,121 @@
+"""Parameter sweeps over the cost model (and optionally the simulator).
+
+The paper's story is told through crossovers; a sweep makes them visible:
+evaluate every scheme's cost while one knob moves — the sparse ratio ``s``,
+the machine ratio ``T_Data/T_Operation``, the processor count ``p`` or the
+array size ``n`` — holding the rest of a :class:`~repro.model.notation.
+ProblemSpec` fixed.
+
+``simulate=True`` reruns each point on the simulated machine with a
+generated matrix instead of evaluating the closed forms; the shapes must
+agree (that agreement is itself tested), the simulator just pays real
+wall-clock for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Literal, Sequence
+
+from .formulas import CompressionName, PartitionName, predict
+from .notation import ProblemSpec
+
+__all__ = ["SweepSeries", "SweepResult", "sweep"]
+
+Parameter = Literal["s", "ratio", "p", "n"]
+Metric = Literal["t_total", "t_distribution", "t_compression"]
+
+
+@dataclass(frozen=True)
+class SweepSeries:
+    """One scheme's metric across the swept values."""
+
+    label: str
+    x: tuple[float, ...]
+    y: tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All series of one sweep, plus enough context to caption a plot."""
+
+    parameter: Parameter
+    metric: Metric
+    partition: PartitionName
+    compression: CompressionName
+    spec: ProblemSpec
+    series: tuple[SweepSeries, ...]
+
+    def winner_at(self, index: int) -> str:
+        """The scheme with the smallest metric at swept point ``index``."""
+        return min(self.series, key=lambda s: s.y[index]).label
+
+    def crossover_indices(self) -> list[int]:
+        """Indices ``i`` where the winner differs from point ``i-1``."""
+        winners = [self.winner_at(i) for i in range(len(self.series[0].x))]
+        return [i for i in range(1, len(winners)) if winners[i] != winners[i - 1]]
+
+
+def _spec_at(spec: ProblemSpec, parameter: Parameter, value: float) -> ProblemSpec:
+    if parameter == "s":
+        return spec.with_sparse_ratio(float(value))
+    if parameter == "ratio":
+        return spec.with_cost(spec.cost.with_ratio(float(value)))
+    if parameter == "p":
+        return replace(spec, p=int(value), mesh_shape=None)
+    if parameter == "n":
+        return replace(spec, n=int(value))
+    raise ValueError(f"unknown sweep parameter {parameter!r}")
+
+
+def sweep(
+    spec: ProblemSpec,
+    parameter: Parameter,
+    values: Sequence[float],
+    *,
+    schemes: Sequence[str] = ("sfc", "cfs", "ed"),
+    partition: PartitionName = "row",
+    compression: CompressionName = "crs",
+    metric: Metric = "t_total",
+    simulate: bool = False,
+    seed: int = 0,
+) -> SweepResult:
+    """Evaluate ``metric`` for each scheme at each swept value."""
+    xs = tuple(float(v) for v in values)
+    if not xs:
+        raise ValueError("need at least one swept value")
+    ys: dict[str, list[float]] = {s: [] for s in schemes}
+    for value in xs:
+        point = _spec_at(spec, parameter, value)
+        if simulate:
+            from ..runtime.driver import run_scheme
+            from ..sparse.generators import random_sparse
+
+            matrix = random_sparse(
+                (point.n, point.n), point.s, seed=seed + int(value * 1000)
+            )
+            for scheme in schemes:
+                result = run_scheme(
+                    scheme,
+                    matrix,
+                    partition=partition,
+                    n_procs=point.p,
+                    compression=compression,
+                    cost=point.cost,
+                )
+                ys[scheme].append(getattr(result, metric))
+        else:
+            for scheme in schemes:
+                ys[scheme].append(
+                    getattr(predict(point, scheme, partition, compression), metric)
+                )
+    return SweepResult(
+        parameter=parameter,
+        metric=metric,
+        partition=partition,
+        compression=compression,
+        spec=spec,
+        series=tuple(
+            SweepSeries(label=s, x=xs, y=tuple(ys[s])) for s in schemes
+        ),
+    )

@@ -1,0 +1,125 @@
+"""Tables 1 and 2 of the paper, transcribed literally.
+
+These are the *published* closed forms for the row partition method with
+the CRS method (Table 1) and the CCS method (Table 2).  They exist
+separately from :mod:`repro.model.formulas` so the test suite can prove the
+repo's general model reproduces the published algebra term by term.
+
+Known erratum (documented in EXPERIMENTS.md): Table 2's CFS
+``T_Distribution`` prints the transmission term as ``(2n²s + n + p)·T_Data``
+— the Table 1 value — although the packed CCS buffers under a row partition
+carry ``RO`` vectors of length ``n+1`` *per processor*, i.e.
+``(2n²s + pn + p)`` elements.  The paper's own ``T_Operation`` term in the
+same cell (and the ED row of the same table, ``(2n²s + pn)·T_Data``) uses
+the per-processor count, confirming the wire term is a typo.
+:func:`table2_cfs` therefore exposes both readings.
+"""
+
+from __future__ import annotations
+
+from .notation import ProblemSpec, ceil_div
+
+__all__ = [
+    "table1_sfc",
+    "table1_cfs",
+    "table1_ed",
+    "table2_sfc",
+    "table2_cfs",
+    "table2_ed",
+]
+
+
+def _common(spec: ProblemSpec):
+    c = spec.cost
+    return spec.n, spec.p, spec.s, spec.s_prime, c.t_startup, c.t_data, c.t_operation
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — row partition + CRS
+# ---------------------------------------------------------------------------
+def table1_sfc(spec: ProblemSpec) -> tuple[float, float]:
+    """``(T_Distribution, T_Compression)`` of SFC, row partition + CRS."""
+    n, p, s, sp_, ts, td, to = _common(spec)
+    t_dist = p * ts + n**2 * td
+    t_comp = (ceil_div(n, p) * n * (1 + 3 * sp_)) * to
+    return t_dist, t_comp
+
+
+def table1_cfs(spec: ProblemSpec) -> tuple[float, float]:
+    """``(T_Distribution, T_Compression)`` of CFS, row partition + CRS."""
+    n, p, s, sp_, ts, td, to = _common(spec)
+    t_dist = (
+        p * ts
+        + (2 * n**2 * s + n + p) * td
+        + (
+            2 * n**2 * s
+            + ceil_div(n, p) * n * (2 * sp_ + 1 / n)
+            + n
+            + p
+            + 1
+        )
+        * to
+    )
+    t_comp = (n**2 * (1 + 3 * s)) * to
+    return t_dist, t_comp
+
+
+def table1_ed(spec: ProblemSpec) -> tuple[float, float]:
+    """``(T_Distribution, T_Compression)`` of ED, row partition + CRS."""
+    n, p, s, sp_, ts, td, to = _common(spec)
+    t_dist = p * ts + (2 * n**2 * s + n) * td
+    t_comp = (
+        n**2 * (1 + 3 * s) + ceil_div(n, p) * n * (2 * sp_ + 1 / n) + 1
+    ) * to
+    return t_dist, t_comp
+
+
+# ---------------------------------------------------------------------------
+# Table 2 — row partition + CCS
+# ---------------------------------------------------------------------------
+def table2_sfc(spec: ProblemSpec) -> tuple[float, float]:
+    """``(T_Distribution, T_Compression)`` of SFC, row partition + CCS.
+
+    Identical to Table 1's SFC row: the dense wire format and the
+    scan-plus-3-ops-per-nonzero compression cost do not depend on CRS vs
+    CCS.
+    """
+    return table1_sfc(spec)
+
+
+def table2_cfs(
+    spec: ProblemSpec, *, as_printed: bool = False
+) -> tuple[float, float]:
+    """``(T_Distribution, T_Compression)`` of CFS, row partition + CCS.
+
+    With ``as_printed=True`` the transmission term uses the paper's
+    ``(2n²s + n + p)`` exactly as typeset; the default uses the
+    self-consistent ``(2n²s + pn + p)`` (see module docstring).
+    """
+    n, p, s, sp_, ts, td, to = _common(spec)
+    wire = (2 * n**2 * s + n + p) if as_printed else (2 * n**2 * s + p * n + p)
+    t_dist = (
+        p * ts
+        + wire * td
+        + (
+            2 * n**2 * s
+            + ceil_div(n, p) * n * (3 * sp_)
+            + p * n
+            + p
+            + n
+            + 1
+        )
+        * to
+    )
+    t_comp = (n**2 * (1 + 3 * s)) * to
+    return t_dist, t_comp
+
+
+def table2_ed(spec: ProblemSpec) -> tuple[float, float]:
+    """``(T_Distribution, T_Compression)`` of ED, row partition + CCS."""
+    n, p, s, sp_, ts, td, to = _common(spec)
+    t_dist = p * ts + (2 * n**2 * s + p * n) * td
+    t_comp = (
+        n**2 * (1 + 3 * s) + ceil_div(n, p) * n * (3 * sp_) + n + 1
+    ) * to
+    return t_dist, t_comp

@@ -1,0 +1,42 @@
+"""Partition methods: the paper's row / column / 2-D mesh blocks plus the
+related-work block-cyclic (BRS) and bin-packing (Ziantz et al.) baselines."""
+
+from .base import (
+    BlockAssignment,
+    PartitionMethod,
+    PartitionPlan,
+    balanced_block_sizes,
+)
+from .bin_packing import BinPackingRowPartition, lpt_pack
+from .bisection import RecursiveBisectionRowPartition, bisect_weights
+from .block_cyclic_mesh import BlockCyclicMesh2DPartition
+from .block_cyclic import (
+    BlockCyclicColumnPartition,
+    BlockCyclicRowPartition,
+    cyclic_ownership,
+)
+from .column import ColumnPartition
+from .hpf import format_distribution, parse_distribution
+from .mesh2d import Mesh2DPartition, square_mesh_shape
+from .row import RowPartition
+
+__all__ = [
+    "BinPackingRowPartition",
+    "BlockAssignment",
+    "BlockCyclicColumnPartition",
+    "BlockCyclicMesh2DPartition",
+    "BlockCyclicRowPartition",
+    "ColumnPartition",
+    "Mesh2DPartition",
+    "PartitionMethod",
+    "PartitionPlan",
+    "RecursiveBisectionRowPartition",
+    "RowPartition",
+    "balanced_block_sizes",
+    "bisect_weights",
+    "cyclic_ownership",
+    "format_distribution",
+    "lpt_pack",
+    "parse_distribution",
+    "square_mesh_shape",
+]

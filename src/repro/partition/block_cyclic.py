@@ -1,0 +1,83 @@
+"""Block-cyclic row/column partitions (the BRS/BCS family of Zapata et al.).
+
+The Block Row Scatter scheme of the paper's related work ([2, 14]) deals
+global rows to processors round-robin in fixed-size blocks — Fortran 90
+``(Cyclic(b), *)``.  Ownership is non-contiguous, so the simple
+"subtract an offset" index conversion of Cases 3.x.2/3.x.3 no longer
+applies; schemes fall back to the general gather-map conversion that
+:class:`~repro.partition.base.BlockAssignment` carries.  This is precisely
+the ablation DESIGN.md §5 calls out: the paper's cheap conversions are a
+property of *contiguous block* partitions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BlockAssignment, PartitionMethod, PartitionPlan
+
+__all__ = ["BlockCyclicRowPartition", "BlockCyclicColumnPartition", "cyclic_ownership"]
+
+
+def cyclic_ownership(n: int, n_procs: int, block: int) -> list[np.ndarray]:
+    """Global indices owned by each processor under ``Cyclic(block)`` dealing.
+
+    Index ``g`` belongs to processor ``(g // block) mod p``; each
+    processor's indices are kept in ascending global order (their local
+    order).
+    """
+    if block <= 0:
+        raise ValueError(f"block size must be positive, got {block}")
+    if n_procs <= 0:
+        raise ValueError(f"number of processors must be positive, got {n_procs}")
+    g = np.arange(n, dtype=np.int64)
+    owner = (g // block) % n_procs
+    return [g[owner == r] for r in range(n_procs)]
+
+
+class BlockCyclicRowPartition(PartitionMethod):
+    """``(Cyclic(block), *)`` — rows dealt round-robin in blocks."""
+
+    name = "block_cyclic_row"
+
+    def __init__(self, block: int = 1) -> None:
+        if block <= 0:
+            raise ValueError(f"block size must be positive, got {block}")
+        self.block = block
+
+    def plan(self, shape: tuple[int, int], n_procs: int) -> PartitionPlan:
+        n_rows, n_cols = shape
+        all_cols = np.arange(n_cols, dtype=np.int64)
+        owned = cyclic_ownership(n_rows, n_procs, self.block)
+        assignments = tuple(
+            BlockAssignment(rank=r, row_ids=rows, col_ids=all_cols)
+            for r, rows in enumerate(owned)
+        )
+        return PartitionPlan(self.name, (n_rows, n_cols), assignments)
+
+    def __repr__(self) -> str:
+        return f"BlockCyclicRowPartition(block={self.block})"
+
+
+class BlockCyclicColumnPartition(PartitionMethod):
+    """``(*, Cyclic(block))`` — columns dealt round-robin in blocks."""
+
+    name = "block_cyclic_column"
+
+    def __init__(self, block: int = 1) -> None:
+        if block <= 0:
+            raise ValueError(f"block size must be positive, got {block}")
+        self.block = block
+
+    def plan(self, shape: tuple[int, int], n_procs: int) -> PartitionPlan:
+        n_rows, n_cols = shape
+        all_rows = np.arange(n_rows, dtype=np.int64)
+        owned = cyclic_ownership(n_cols, n_procs, self.block)
+        assignments = tuple(
+            BlockAssignment(rank=r, row_ids=all_rows, col_ids=cols)
+            for r, cols in enumerate(owned)
+        )
+        return PartitionPlan(self.name, (n_rows, n_cols), assignments)
+
+    def __repr__(self) -> str:
+        return f"BlockCyclicColumnPartition(block={self.block})"

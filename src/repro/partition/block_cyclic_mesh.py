@@ -1,0 +1,88 @@
+"""2-D block-cyclic partitioning — the ScaLAPACK ``(CYCLIC(b), CYCLIC(b))``.
+
+The most general distribution in the HPF family the paper situates itself
+in: processors form a ``pr × pc`` mesh and *both* dimensions are dealt
+round-robin in blocks.  Ownership is the cross product of a cyclic row map
+and a cyclic column map, so it drops straight into this package's
+:class:`~repro.partition.base.PartitionPlan` model; the schemes handle it
+through the general gather-map index conversion (both dimensions are
+non-contiguous).
+
+This is the distribution dense ScaLAPACK uses for scalability, and the
+"sparse block and cyclic data distributions" of the paper's reference [2]
+generalise; including it shows the SFC/CFS/ED orderings are agnostic even
+to fully scattered ownership.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .base import BlockAssignment, PartitionMethod, PartitionPlan
+from .block_cyclic import cyclic_ownership
+
+__all__ = ["BlockCyclicMesh2DPartition"]
+
+
+class BlockCyclicMesh2DPartition(PartitionMethod):
+    """``(Cyclic(row_block), Cyclic(col_block))`` on a ``pr × pc`` mesh.
+
+    Parameters
+    ----------
+    row_block, col_block:
+        Dealing block sizes per dimension (default 1 — pure cyclic).
+    mesh_shape:
+        Explicit ``(pr, pc)``; default most-square factorisation.
+    """
+
+    name = "block_cyclic_mesh2d"
+
+    def __init__(
+        self,
+        row_block: int = 1,
+        col_block: int = 1,
+        mesh_shape: tuple[int, int] | None = None,
+    ) -> None:
+        if row_block <= 0 or col_block <= 0:
+            raise ValueError(
+                f"block sizes must be positive, got {(row_block, col_block)}"
+            )
+        if mesh_shape is not None and (mesh_shape[0] <= 0 or mesh_shape[1] <= 0):
+            raise ValueError(f"mesh_shape must be positive, got {mesh_shape}")
+        self.row_block = row_block
+        self.col_block = col_block
+        self.mesh_shape = mesh_shape
+
+    def plan(self, shape: tuple[int, int], n_procs: int) -> PartitionPlan:
+        n_rows, n_cols = shape
+        if self.mesh_shape is not None:
+            pr, pc = self.mesh_shape
+            if pr * pc != n_procs:
+                raise ValueError(f"mesh {pr}x{pc} does not match n_procs={n_procs}")
+        else:
+            pr = int(math.isqrt(n_procs))
+            while n_procs % pr:
+                pr -= 1
+            pc = n_procs // pr
+        row_owned = cyclic_ownership(n_rows, pr, self.row_block)
+        col_owned = cyclic_ownership(n_cols, pc, self.col_block)
+        assignments = []
+        for i in range(pr):
+            for j in range(pc):
+                assignments.append(
+                    BlockAssignment(
+                        rank=i * pc + j,
+                        row_ids=row_owned[i],
+                        col_ids=col_owned[j],
+                        mesh_coords=(i, j),
+                    )
+                )
+        return PartitionPlan(
+            self.name, (n_rows, n_cols), tuple(assignments), mesh_shape=(pr, pc)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockCyclicMesh2DPartition(row_block={self.row_block}, "
+            f"col_block={self.col_block}, mesh_shape={self.mesh_shape})"
+        )

@@ -1,0 +1,121 @@
+"""HPF/Fortran-90 distribution directives as partition methods.
+
+The paper frames its partition methods in Fortran 90 / HPF terms: "the row
+partition, the column partition, and the 2D mesh partition methods ... are
+similar to (Block, *), (*, Block), and (Block, Block) data distribution
+schemes used in Fortran 90" (Section 1), and its reference [14] is the
+Vienna Fortran/HPF extension paper.  This module closes that loop: parse a
+directive string and get the matching :class:`~repro.partition.base.
+PartitionMethod`.
+
+Grammar (case-insensitive, whitespace ignored)::
+
+    directive   := '(' dim-format ',' dim-format ')'
+    dim-format  := 'BLOCK' | 'CYCLIC' [ '(' block ')' ] | '*'
+
+Supported combinations map to the package's partitioners:
+
+=====================  =======================================
+directive              partition method
+=====================  =======================================
+``(BLOCK, *)``         :class:`RowPartition`
+``(*, BLOCK)``         :class:`ColumnPartition`
+``(BLOCK, BLOCK)``     :class:`Mesh2DPartition`
+``(CYCLIC, *)``        :class:`BlockCyclicRowPartition` (block 1)
+``(CYCLIC(b), *)``     :class:`BlockCyclicRowPartition` (block b)
+``(*, CYCLIC)``        :class:`BlockCyclicColumnPartition`
+``(*, CYCLIC(b))``     :class:`BlockCyclicColumnPartition`
+``(CYCLIC, CYCLIC)``   :class:`BlockCyclicMesh2DPartition`
+=====================  =======================================
+
+``(*, *)`` (no distribution) and BLOCK/CYCLIC mixes across dimensions are
+rejected with explanatory errors.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .base import PartitionMethod
+from .block_cyclic import BlockCyclicColumnPartition, BlockCyclicRowPartition
+from .block_cyclic_mesh import BlockCyclicMesh2DPartition
+from .column import ColumnPartition
+from .mesh2d import Mesh2DPartition
+from .row import RowPartition
+
+__all__ = ["parse_distribution", "format_distribution"]
+
+_DIM = re.compile(
+    r"^(?:(?P<star>\*)|(?P<block>BLOCK)|(?P<cyclic>CYCLIC)(?:\((?P<size>\d+)\))?)$"
+)
+
+
+def _parse_dim(text: str) -> tuple[str, int | None]:
+    m = _DIM.match(text)
+    if not m:
+        raise ValueError(
+            f"cannot parse dimension format {text!r}; expected BLOCK, "
+            "CYCLIC, CYCLIC(b) or *"
+        )
+    if m.group("star"):
+        return ("*", None)
+    if m.group("block"):
+        return ("block", None)
+    size = int(m.group("size")) if m.group("size") else 1
+    if size <= 0:
+        raise ValueError(f"cyclic block size must be positive, got {size}")
+    return ("cyclic", size)
+
+
+def parse_distribution(directive: str) -> PartitionMethod:
+    """Parse an HPF-style directive into a partition method instance."""
+    cleaned = re.sub(r"\s+", "", directive).upper()
+    if not (cleaned.startswith("(") and cleaned.endswith(")")):
+        raise ValueError(f"directive must be parenthesised, got {directive!r}")
+    parts = cleaned[1:-1].split(",")
+    if len(parts) != 2:
+        raise ValueError(
+            f"expected two dimension formats, got {len(parts)} in {directive!r}"
+        )
+    row_fmt, col_fmt = (_parse_dim(p) for p in parts)
+
+    if row_fmt[0] == "block" and col_fmt[0] == "*":
+        return RowPartition()
+    if row_fmt[0] == "*" and col_fmt[0] == "block":
+        return ColumnPartition()
+    if row_fmt[0] == "block" and col_fmt[0] == "block":
+        return Mesh2DPartition()
+    if row_fmt[0] == "cyclic" and col_fmt[0] == "*":
+        return BlockCyclicRowPartition(row_fmt[1])
+    if row_fmt[0] == "*" and col_fmt[0] == "cyclic":
+        return BlockCyclicColumnPartition(col_fmt[1])
+    if row_fmt[0] == "cyclic" and col_fmt[0] == "cyclic":
+        return BlockCyclicMesh2DPartition(row_fmt[1], col_fmt[1])
+    if row_fmt[0] == "*" and col_fmt[0] == "*":
+        raise ValueError(
+            "'(*, *)' means no distribution; pick a dimension to distribute"
+        )
+    raise ValueError(
+        f"unsupported combination {directive!r}: BLOCK/CYCLIC mixes across "
+        "dimensions are not implemented (plain HPF supports them; the "
+        "partitioners here cover the paper's cases plus full 2-D cyclic)"
+    )
+
+
+def format_distribution(method: PartitionMethod) -> str:
+    """The HPF directive string for one of the supported partitioners."""
+    if isinstance(method, RowPartition):
+        return "(BLOCK, *)"
+    if isinstance(method, ColumnPartition):
+        return "(*, BLOCK)"
+    if isinstance(method, Mesh2DPartition):
+        return "(BLOCK, BLOCK)"
+    if isinstance(method, BlockCyclicRowPartition):
+        return f"(CYCLIC({method.block}), *)"
+    if isinstance(method, BlockCyclicColumnPartition):
+        return f"(*, CYCLIC({method.block}))"
+    if isinstance(method, BlockCyclicMesh2DPartition):
+        return f"(CYCLIC({method.row_block}), CYCLIC({method.col_block}))"
+    raise TypeError(
+        f"{type(method).__name__} has no HPF directive equivalent"
+    )

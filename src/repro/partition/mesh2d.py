@@ -1,0 +1,85 @@
+"""2-D mesh partition method — Fortran 90 ``(Block, Block)``.
+
+Processors form a ``pr x pc`` logical mesh; processor ``P_{i,j}`` owns the
+intersection of row block ``i`` and column block ``j``.  Linear rank is
+row-major: ``rank = i * pc + j``.  Evaluated in the paper's Table 5 with
+square meshes 2×2, 4×4, 8×8.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .base import BlockAssignment, PartitionMethod, PartitionPlan, balanced_block_sizes
+
+__all__ = ["Mesh2DPartition", "square_mesh_shape"]
+
+
+def square_mesh_shape(n_procs: int) -> tuple[int, int]:
+    """The most-square ``pr x pc`` factorisation of ``n_procs``.
+
+    For perfect squares this is ``(sqrt(p), sqrt(p))`` (the paper's 2×2,
+    4×4, 8×8 meshes); otherwise the factor pair closest to square.
+    """
+    if n_procs <= 0:
+        raise ValueError(f"number of processors must be positive, got {n_procs}")
+    pr = int(math.isqrt(n_procs))
+    while n_procs % pr:
+        pr -= 1
+    return (pr, n_procs // pr)
+
+
+class Mesh2DPartition(PartitionMethod):
+    """Balanced ``(Block, Block)`` blocks on a ``pr x pc`` processor mesh.
+
+    Parameters
+    ----------
+    mesh_shape:
+        Explicit ``(pr, pc)``; when ``None`` (default) the most-square
+        factorisation of ``n_procs`` is used.
+    """
+
+    name = "mesh2d"
+
+    def __init__(self, mesh_shape: tuple[int, int] | None = None) -> None:
+        if mesh_shape is not None:
+            pr, pc = mesh_shape
+            if pr <= 0 or pc <= 0:
+                raise ValueError(f"mesh_shape must be positive, got {mesh_shape}")
+        self.mesh_shape = mesh_shape
+
+    def plan(self, shape: tuple[int, int], n_procs: int) -> PartitionPlan:
+        n_rows, n_cols = shape
+        if self.mesh_shape is not None:
+            pr, pc = self.mesh_shape
+            if pr * pc != n_procs:
+                raise ValueError(
+                    f"mesh {pr}x{pc} does not match n_procs={n_procs}"
+                )
+        else:
+            pr, pc = square_mesh_shape(n_procs)
+        row_sizes = balanced_block_sizes(n_rows, pr)
+        col_sizes = balanced_block_sizes(n_cols, pc)
+        row_starts = np.concatenate([[0], np.cumsum(row_sizes)])
+        col_starts = np.concatenate([[0], np.cumsum(col_sizes)])
+        assignments = []
+        for i in range(pr):
+            rows = np.arange(row_starts[i], row_starts[i + 1], dtype=np.int64)
+            for j in range(pc):
+                cols = np.arange(col_starts[j], col_starts[j + 1], dtype=np.int64)
+                assignments.append(
+                    BlockAssignment(
+                        rank=i * pc + j,
+                        row_ids=rows,
+                        col_ids=cols,
+                        mesh_coords=(i, j),
+                    )
+                )
+        return PartitionPlan(
+            self.name, (n_rows, n_cols), tuple(assignments), mesh_shape=(pr, pc)
+        )
+
+    def __repr__(self) -> str:
+        return f"Mesh2DPartition(mesh_shape={self.mesh_shape})"

@@ -1,0 +1,99 @@
+"""One-call scheme comparison on a shared problem.
+
+Every example, test and bench wants the same thing: run SFC, CFS and ED on
+*the same* matrix and plan, check they agree, and look at the times.
+:func:`compare_schemes` packages that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.base import SchemeResult
+from ..core.registry import get_compression, get_scheme
+from ..machine.cost_model import CostModel
+from ..machine.machine import Machine
+from ..machine.topology import Topology
+from ..partition.base import PartitionMethod, PartitionPlan
+from ..sparse.coo import COOMatrix
+from .driver import run_scheme
+from .verify import verify_all_schemes_agree, verify_distribution
+
+__all__ = ["SchemeComparison", "compare_schemes"]
+
+
+@dataclass(frozen=True)
+class SchemeComparison:
+    """Results of all three schemes on one problem, already verified."""
+
+    results: dict[str, SchemeResult]
+
+    def __getitem__(self, scheme: str) -> SchemeResult:
+        return self.results[scheme]
+
+    @property
+    def winner_overall(self) -> str:
+        """Scheme with the smallest total time."""
+        return min(self.results, key=lambda s: self.results[s].t_total)
+
+    @property
+    def winner_distribution(self) -> str:
+        return min(self.results, key=lambda s: self.results[s].t_distribution)
+
+    def speedup_over(self, baseline: str, metric: str = "t_distribution") -> dict[str, float]:
+        """Each scheme's speedup relative to ``baseline`` on ``metric``."""
+        base = getattr(self.results[baseline], metric)
+        return {
+            s: base / getattr(r, metric) if getattr(r, metric) else float("inf")
+            for s, r in self.results.items()
+        }
+
+    def summary(self) -> str:
+        lines = [self.results[s].summary() for s in ("sfc", "cfs", "ed")]
+        lines.append(
+            f"winner: {self.winner_overall.upper()} overall, "
+            f"{self.winner_distribution.upper()} in distribution"
+        )
+        return "\n".join(lines)
+
+
+def compare_schemes(
+    matrix: COOMatrix,
+    *,
+    partition: str | PartitionMethod = "row",
+    n_procs: int = 4,
+    compression: str = "crs",
+    cost: CostModel | None = None,
+    topology: Topology | None = None,
+    plan: PartitionPlan | None = None,
+    verify: bool = True,
+) -> SchemeComparison:
+    """Run SFC, CFS and ED on one problem and (optionally) verify them.
+
+    ``verify=True`` asserts all three leave identical compressed locals on
+    every processor and that those match a direct host-side computation.
+    """
+    if plan is None:
+        from ..core.registry import get_partition
+
+        method = (
+            partition
+            if isinstance(partition, PartitionMethod)
+            else get_partition(partition)
+        )
+        plan = method.plan(matrix.shape, n_procs)
+    results = {
+        scheme: run_scheme(
+            scheme,
+            matrix,
+            plan=plan,
+            compression=compression,
+            cost=cost,
+            topology=topology,
+        )
+        for scheme in ("sfc", "cfs", "ed")
+    }
+    if verify:
+        verify_all_schemes_agree(list(results.values()))
+        verify_distribution(results["ed"], matrix, plan)
+    return SchemeComparison(results=results)

@@ -1,0 +1,90 @@
+"""End-to-end experiment driver: matrix → machine → scheme → result.
+
+This is the API most callers want: give it a global sparse array (or just a
+size and sparse ratio), pick a scheme/partition/compression by name, and
+get back a :class:`~repro.core.base.SchemeResult` with the simulated phase
+times and every processor's compressed local array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.base import CompressedLocal, SchemeResult
+from ..core.registry import get_compression, get_partition, get_scheme
+from ..machine.cost_model import CostModel, sp2_cost_model
+from ..machine.machine import Machine
+from ..machine.topology import Topology
+from ..partition.base import PartitionMethod, PartitionPlan
+from ..partition.mesh2d import Mesh2DPartition
+from ..sparse.coo import COOMatrix
+from ..sparse.generators import random_sparse
+
+__all__ = ["ExperimentConfig", "run_scheme", "run_config"]
+
+
+def run_scheme(
+    scheme: str,
+    matrix: COOMatrix,
+    *,
+    partition: str | PartitionMethod = "row",
+    n_procs: int = 4,
+    compression: str = "crs",
+    cost: CostModel | None = None,
+    topology: Topology | None = None,
+    plan: PartitionPlan | None = None,
+) -> SchemeResult:
+    """Run one scheme on a fresh simulated machine.
+
+    Parameters mirror the paper's experimental knobs.  ``plan`` overrides
+    ``partition``/``n_procs`` when a pre-built (e.g. bin-packing) plan is
+    wanted.
+    """
+    if plan is None:
+        method = partition if isinstance(partition, PartitionMethod) else get_partition(partition)
+        plan = method.plan(matrix.shape, n_procs)
+    machine = Machine(plan.n_procs, cost=cost, topology=topology)
+    comp: type[CompressedLocal] = get_compression(compression)
+    return get_scheme(scheme).run(machine, matrix, plan, comp)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """A declarative experiment: one cell of a paper table.
+
+    ``mesh_shape`` selects an explicit processor mesh for the ``mesh2d``
+    partition (``None`` = most-square factorisation of ``n_procs``).
+    """
+
+    scheme: str
+    n: int
+    n_procs: int
+    partition: str = "row"
+    compression: str = "crs"
+    sparse_ratio: float = 0.1
+    seed: int = 0
+    mesh_shape: tuple[int, int] | None = None
+    cost: CostModel = field(default_factory=sp2_cost_model)
+
+    def make_matrix(self) -> COOMatrix:
+        """The test sample for this cell (paper: n×n, fixed sparse ratio)."""
+        return random_sparse((self.n, self.n), self.sparse_ratio, seed=self.seed)
+
+    def partition_method(self) -> PartitionMethod:
+        if self.partition == "mesh2d":
+            return Mesh2DPartition(self.mesh_shape)
+        return get_partition(self.partition)
+
+
+def run_config(config: ExperimentConfig, matrix: COOMatrix | None = None) -> SchemeResult:
+    """Execute one experiment cell (generating the matrix unless given)."""
+    if matrix is None:
+        matrix = config.make_matrix()
+    return run_scheme(
+        config.scheme,
+        matrix,
+        partition=config.partition_method(),
+        n_procs=config.n_procs,
+        compression=config.compression,
+        cost=config.cost,
+    )

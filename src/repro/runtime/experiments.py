@@ -1,0 +1,156 @@
+"""Reproductions of the paper's experiment grids (Tables 3, 4, 5).
+
+Each published table varies the array size and the processor count for one
+partition method (row / column / 2-D mesh), reports ``T_Distribution`` and
+``T_Compression`` per scheme, with the CRS compression method and sparse
+ratio 0.1.  :func:`reproduce_table` reruns the same grid on the simulated
+machine; the same generated matrix is shared by all three schemes within a
+cell, as on the real machine.
+
+The full grids (n up to 2000, p up to 64) run in seconds; tests use reduced
+grids via the ``sizes``/``proc_counts`` arguments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from ..core.base import SchemeResult
+from ..machine.cost_model import CostModel, sp2_cost_model
+from .driver import ExperimentConfig, run_config
+from .paper_results import PAPER_TABLES, TABLE3_SIZES, TABLE5_SIZES
+
+__all__ = ["TABLE_SPECS", "TableSpec", "TableReproduction", "reproduce_table", "SCHEMES_ORDER"]
+
+SCHEMES_ORDER = ("sfc", "cfs", "ed")
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """The grid of one published table."""
+
+    table_id: str
+    partition: str
+    compression: str
+    sizes: tuple[int, ...]
+    proc_counts: tuple[int, ...]
+    mesh_shapes: Mapping[int, tuple[int, int]] | None = None
+
+    def mesh_shape_for(self, p: int) -> tuple[int, int] | None:
+        return self.mesh_shapes.get(p) if self.mesh_shapes else None
+
+
+TABLE_SPECS: dict[str, TableSpec] = {
+    "table3": TableSpec(
+        "table3", "row", "crs", tuple(TABLE3_SIZES), (4, 16, 32)
+    ),
+    "table4": TableSpec(
+        "table4", "column", "crs", tuple(TABLE3_SIZES), (4, 16, 32)
+    ),
+    "table5": TableSpec(
+        "table5",
+        "mesh2d",
+        "crs",
+        tuple(TABLE5_SIZES),
+        (4, 16, 64),
+        mesh_shapes={4: (2, 2), 16: (4, 4), 64: (8, 8)},
+    ),
+}
+
+
+@dataclass
+class TableReproduction:
+    """Measured grid for one table, aligned with the published numbers."""
+
+    spec: TableSpec
+    sizes: tuple[int, ...]
+    proc_counts: tuple[int, ...]
+    #: (p, scheme, n) -> SchemeResult
+    cells: dict[tuple[int, str, int], SchemeResult] = field(default_factory=dict)
+
+    def t(self, p: int, scheme: str, n: int, which: str) -> float:
+        """Measured time of one cell (``which`` in {'t_distribution',
+        't_compression', 't_total'})."""
+        return getattr(self.cells[(p, scheme, n)], which)
+
+    def series(self, p: int, scheme: str, which: str) -> list[float]:
+        """One published-table row: times across all sizes."""
+        return [self.t(p, scheme, n, which) for n in self.sizes]
+
+    def paper_series(self, p: int, scheme: str, which: str) -> list[float] | None:
+        """The published counterpart row (None for off-grid reductions)."""
+        table = PAPER_TABLES.get(self.spec.table_id)
+        if table is None or p not in table:
+            return None
+        full = table[p][scheme][which]
+        ref_sizes = TABLE5_SIZES if self.spec.table_id == "table5" else TABLE3_SIZES
+        try:
+            return [full[ref_sizes.index(n)] for n in self.sizes]
+        except ValueError:
+            return None
+
+    # -- shape checks the benches assert on --------------------------------
+    def distribution_order_holds(self, p: int, n: int) -> bool:
+        """Observation 1+2 of Section 5.1: ED < CFS < SFC in T_dist."""
+        ed = self.t(p, "ed", n, "t_distribution")
+        cfs = self.t(p, "cfs", n, "t_distribution")
+        sfc = self.t(p, "sfc", n, "t_distribution")
+        return ed < cfs < sfc
+
+    def compression_order_holds(self, p: int, n: int) -> bool:
+        """Remark 3's observed counterpart: SFC < CFS < ED in T_comp."""
+        ed = self.t(p, "ed", n, "t_compression")
+        cfs = self.t(p, "cfs", n, "t_compression")
+        sfc = self.t(p, "sfc", n, "t_compression")
+        return sfc < cfs < ed
+
+    def ed_beats_cfs_overall(self, p: int, n: int) -> bool:
+        """Remark 4 / Conclusion 3: ED total below CFS total."""
+        return self.t(p, "ed", n, "t_total") < self.t(p, "cfs", n, "t_total")
+
+
+def reproduce_table(
+    table_id: str,
+    *,
+    sizes: Sequence[int] | None = None,
+    proc_counts: Sequence[int] | None = None,
+    sparse_ratio: float = 0.1,
+    cost: CostModel | None = None,
+    seed: int = 2002,
+    schemes: Iterable[str] = SCHEMES_ORDER,
+) -> TableReproduction:
+    """Rerun one published table's grid on the simulated machine."""
+    spec = TABLE_SPECS[table_id]
+    sizes = tuple(sizes) if sizes is not None else spec.sizes
+    proc_counts = tuple(proc_counts) if proc_counts is not None else spec.proc_counts
+    cost = cost if cost is not None else sp2_cost_model()
+    repro = TableReproduction(spec=spec, sizes=sizes, proc_counts=proc_counts)
+    for p in proc_counts:
+        for n in sizes:
+            base = ExperimentConfig(
+                scheme="sfc",
+                n=n,
+                n_procs=p,
+                partition=spec.partition,
+                compression=spec.compression,
+                sparse_ratio=sparse_ratio,
+                seed=seed + n + 131 * p,
+                mesh_shape=spec.mesh_shape_for(p),
+                cost=cost,
+            )
+            matrix = base.make_matrix()  # one sample shared by all schemes
+            for scheme in schemes:
+                cfg = ExperimentConfig(
+                    scheme=scheme,
+                    n=n,
+                    n_procs=p,
+                    partition=base.partition,
+                    compression=base.compression,
+                    sparse_ratio=sparse_ratio,
+                    seed=base.seed,
+                    mesh_shape=base.mesh_shape,
+                    cost=cost,
+                )
+                repro.cells[(p, scheme, n)] = run_config(cfg, matrix)
+    return repro

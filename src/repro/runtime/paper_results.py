@@ -1,0 +1,165 @@
+"""The paper's published measurements (Tables 3, 4 and 5), transcribed.
+
+Every number is in milliseconds, exactly as printed.  Keys:
+``PAPER_TABLES[table][p][scheme]["t_distribution"|"t_compression"]`` is the
+list of times across the table's array sizes.
+
+Transcription notes:
+
+* Table 5's processor counts are the meshes 2×2, 4×4 and 8×8 (p = 4, 16,
+  64) over array sizes 120–1920.
+* The CFS ``T_Compression`` row is byte-identical across all three tables
+  (4.573 … 507.399) even though Table 5 uses different array sizes; we
+  transcribe as printed and note it in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TABLE3_SIZES", "TABLE5_SIZES", "PAPER_TABLE3", "PAPER_TABLE4", "PAPER_TABLE5", "PAPER_TABLES"]
+
+#: array sizes (n of n×n) of Tables 3 and 4
+TABLE3_SIZES = [200, 400, 800, 1000, 2000]
+#: array sizes of Table 5 (2-D mesh partition)
+TABLE5_SIZES = [120, 240, 480, 960, 1920]
+
+_CFS_COMP = [4.573, 18.295, 73.183, 119.348, 507.399]
+
+#: Table 3 — row partition method, CRS compression
+PAPER_TABLE3 = {
+    4: {
+        "sfc": {
+            "t_distribution": [5.648, 19.009, 68.798, 94.542, 383.718],
+            "t_compression": [2.527, 7.604, 26.959, 38.778, 160.579],
+        },
+        "cfs": {
+            "t_distribution": [4.119, 10.591, 31.377, 39.265, 134.291],
+            "t_compression": list(_CFS_COMP),
+        },
+        "ed": {
+            "t_distribution": [1.716, 6.132, 18.781, 27.618, 103.443],
+            "t_compression": [6.878, 21.001, 83.453, 127.398, 520.574],
+        },
+    },
+    16: {
+        "sfc": {
+            "t_distribution": [7.234, 22.154, 71.642, 97.234, 388.184],
+            "t_compression": [0.887, 2.380, 8.406, 12.647, 40.814],
+        },
+        "cfs": {
+            "t_distribution": [4.120, 14.204, 48.825, 61.640, 187.761],
+            "t_compression": list(_CFS_COMP),
+        },
+        "ed": {
+            "t_distribution": [3.302, 8.343, 21.625, 30.309, 106.922],
+            "t_compression": [4.886, 19.575, 92.187, 146.024, 530.092],
+        },
+    },
+    32: {
+        "sfc": {
+            "t_distribution": [8.676, 25.083, 74.066, 100.102, 392.763],
+            "t_compression": [0.689, 2.069, 4.882, 8.179, 31.427],
+        },
+        "cfs": {
+            "t_distribution": [6.542, 14.908, 54.463, 71.368, 197.496],
+            "t_compression": list(_CFS_COMP),
+        },
+        "ed": {
+            "t_distribution": [4.704, 11.272, 24.049, 33.177, 111.235],
+            "t_compression": [4.832, 17.964, 95.188, 147.834, 530.887],
+        },
+    },
+}
+
+#: Table 4 — column partition method, CRS compression
+PAPER_TABLE4 = {
+    4: {
+        "sfc": {
+            "t_distribution": [12.208, 45.155, 179.714, 292.231, 909.207],
+            "t_compression": [1.914, 6.536, 24.003, 38.606, 147.746],
+        },
+        "cfs": {
+            "t_distribution": [4.734, 14.787, 61.085, 84.134, 289.102],
+            "t_compression": list(_CFS_COMP),
+        },
+        "ed": {
+            "t_distribution": [1.741, 6.182, 18.880, 27.742, 103.691],
+            "t_compression": [6.763, 24.848, 97.887, 152.643, 597.112],
+        },
+    },
+    16: {
+        "sfc": {
+            "t_distribution": [14.727, 47.457, 188.987, 301.999, 925.376],
+            "t_compression": [0.704, 1.76, 7.260, 9.691, 38.179],
+        },
+        "cfs": {
+            "t_distribution": [6.983, 17.173, 77.401, 109.220, 334.324],
+            "t_compression": list(_CFS_COMP),
+        },
+        "ed": {
+            "t_distribution": [3.427, 8.593, 22.724, 32.433, 110.170],
+            "t_compression": [7.711, 26.319, 108.886, 166.119, 630.521],
+        },
+    },
+    32: {
+        "sfc": {
+            "t_distribution": [16.057, 48.399, 196.915, 310.999, 935.492],
+            "t_compression": [0.561, 1.305, 5.188, 6.212, 22.273],
+        },
+        "cfs": {
+            "t_distribution": [8.373, 18.970, 83.835, 126.788, 346.495],
+            "t_compression": list(_CFS_COMP),
+        },
+        "ed": {
+            "t_distribution": [4.729, 10.022, 25.148, 35.301, 116.483],
+            "t_compression": [8.099, 27.005, 115.503, 176.134, 644.641],
+        },
+    },
+}
+
+#: Table 5 — 2-D mesh partition method (2×2, 4×4, 8×8), CRS compression
+PAPER_TABLE5 = {
+    4: {
+        "sfc": {
+            "t_distribution": [11.191, 46.565, 162.632, 250.151, 902.477],
+            "t_compression": [0.633, 2.789, 8.898, 32.556, 136.174],
+        },
+        "cfs": {
+            "t_distribution": [3.498, 8.192, 32.737, 54.128, 200.717],
+            "t_compression": list(_CFS_COMP),
+        },
+        "ed": {
+            "t_distribution": [1.659, 4.701, 16.718, 25.695, 100.251],
+            "t_compression": [4.926, 19.861, 75.475, 123.114, 517.207],
+        },
+    },
+    16: {
+        "sfc": {
+            "t_distribution": [14.522, 50.696, 170.702, 265.641, 914.282],
+            "t_compression": [0.339, 0.998, 2.750, 9.792, 36.127],
+        },
+        "cfs": {
+            "t_distribution": [4.303, 12.298, 44.391, 67.015, 220.96],
+            "t_compression": list(_CFS_COMP),
+        },
+        "ed": {
+            "t_distribution": [3.702, 9.143, 23.209, 32.293, 110.89],
+            "t_compression": [5.096, 20.367, 74.619, 133.49, 532.396],
+        },
+    },
+    64: {
+        "sfc": {
+            "t_distribution": [17.785, 60.028, 183.293, 285.791, 938.527],
+            "t_compression": [0.184, 0.588, 1.228, 5.376, 18.973],
+        },
+        "cfs": {
+            "t_distribution": [6.155, 15.295, 53.006, 86.23, 245.821],
+            "t_compression": list(_CFS_COMP),
+        },
+        "ed": {
+            "t_distribution": [4.177, 10.093, 25.09, 34.649, 115.602],
+            "t_compression": [6.249, 25.414, 82.027, 150.997, 570.591],
+        },
+    },
+}
+
+PAPER_TABLES = {"table3": PAPER_TABLE3, "table4": PAPER_TABLE4, "table5": PAPER_TABLE5}

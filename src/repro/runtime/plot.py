@@ -1,0 +1,66 @@
+"""Terminal ASCII charts for sweep results.
+
+No plotting dependency: a fixed-size character grid with one marker letter
+per scheme (``S``/``C``/``E`` by default), a y-axis in the metric's
+milliseconds and an x-axis over the swept values.  Enough to *see* the
+crossovers the model predicts, directly in CI logs and example output.
+"""
+
+from __future__ import annotations
+
+from ..model.sweep import SweepResult
+
+__all__ = ["ascii_chart"]
+
+_DEFAULT_MARKERS = {"sfc": "S", "cfs": "C", "ed": "E"}
+
+
+def ascii_chart(
+    result: SweepResult,
+    *,
+    width: int = 60,
+    height: int = 16,
+    markers: dict[str, str] | None = None,
+) -> str:
+    """Render a sweep as an ASCII chart (overlapping points show ``*``)."""
+    if width < 2 or height < 2:
+        raise ValueError("chart needs width >= 2 and height >= 2")
+    markers = {**_DEFAULT_MARKERS, **(markers or {})}
+    xs = result.series[0].x
+    all_y = [y for s in result.series for y in s.y]
+    y_lo, y_hi = min(all_y), max(all_y)
+    x_lo, x_hi = min(xs), max(xs)
+    y_span = (y_hi - y_lo) or 1.0
+    x_span = (x_hi - x_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for series in result.series:
+        mark = markers.get(series.label, series.label[:1].upper())
+        for x, y in zip(series.x, series.y):
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = "*" if grid[row][col] not in (" ", mark) else mark
+
+    label_w = 10
+    lines = [
+        f"{result.metric} (ms) vs {result.parameter} — "
+        f"{result.partition} partition, {result.compression.upper()}"
+    ]
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{y_hi:>{label_w}.3f}"
+        elif i == height - 1:
+            label = f"{y_lo:>{label_w}.3f}"
+        else:
+            label = " " * label_w
+        lines.append(f"{label} |{''.join(row)}|")
+    lines.append(
+        " " * label_w
+        + f" {x_lo:<{width // 2}.4g}{x_hi:>{width // 2}.4g}"
+    )
+    legend = "  ".join(
+        f"{markers.get(s.label, s.label[:1].upper())}={s.label.upper()}"
+        for s in result.series
+    )
+    lines.append(" " * (label_w + 2) + legend)
+    return "\n".join(lines)

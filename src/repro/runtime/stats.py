@@ -1,0 +1,134 @@
+"""Multi-seed replication statistics for simulated experiments.
+
+The paper reports single measurements; a careful reproduction quantifies
+run-to-run variation.  On our simulator the only stochastic input is the
+generated matrix, so replication over seeds measures exactly the
+workload-sampling noise: rerun a configuration ``k`` times with different
+seeds and report mean, standard deviation and extrema per scheme, plus how
+often each claimed ordering held.
+
+(For the paper's exact-count generator at fixed ``s`` the global nnz is
+deterministic, so variation comes only from the nonzeros' *placement* —
+the per-processor ``s'`` — which is why the spreads below are small and
+the ordering frequencies are 100% at the paper's scales.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..machine.cost_model import CostModel, sp2_cost_model
+from .driver import run_scheme
+from ..sparse.generators import random_sparse
+
+__all__ = ["ReplicationStats", "replicate"]
+
+
+@dataclass(frozen=True)
+class ReplicationStats:
+    """Aggregates over one configuration's replications."""
+
+    n: int
+    n_procs: int
+    partition: str
+    compression: str
+    replications: int
+    #: scheme -> metric -> {mean, std, min, max}
+    summary: dict
+    #: fraction of replications in which each ordering held
+    ordering_frequencies: dict
+
+    def mean(self, scheme: str, metric: str = "t_total") -> float:
+        return self.summary[scheme][metric]["mean"]
+
+    def spread(self, scheme: str, metric: str = "t_total") -> float:
+        """Coefficient of variation (std / mean)."""
+        stats = self.summary[scheme][metric]
+        return stats["std"] / stats["mean"] if stats["mean"] else 0.0
+
+
+def replicate(
+    n: int,
+    n_procs: int,
+    *,
+    partition: str = "row",
+    compression: str = "crs",
+    sparse_ratio: float = 0.1,
+    replications: int = 10,
+    seeds: Sequence[int] | None = None,
+    cost: CostModel | None = None,
+) -> ReplicationStats:
+    """Run all three schemes ``replications`` times over fresh matrices."""
+    if replications <= 0:
+        raise ValueError(f"replications must be positive, got {replications}")
+    if seeds is None:
+        seeds = range(replications)
+    else:
+        seeds = list(seeds)
+        if len(seeds) != replications:
+            raise ValueError(
+                f"need {replications} seeds, got {len(seeds)}"
+            )
+    cost = cost if cost is not None else sp2_cost_model()
+    metrics = ("t_distribution", "t_compression", "t_total")
+    values: dict[str, dict[str, list[float]]] = {
+        s: {m: [] for m in metrics} for s in ("sfc", "cfs", "ed")
+    }
+    orderings = {
+        "dist_ed_cfs_sfc": 0,
+        "comp_sfc_cfs_ed": 0,
+        "ed_total_beats_cfs": 0,
+    }
+    for seed in seeds:
+        matrix = random_sparse((n, n), sparse_ratio, seed=seed)
+        results = {
+            s: run_scheme(
+                s, matrix, partition=partition, n_procs=n_procs,
+                compression=compression, cost=cost,
+            )
+            for s in ("sfc", "cfs", "ed")
+        }
+        for s, r in results.items():
+            for m in metrics:
+                values[s][m].append(getattr(r, m))
+        if (
+            results["ed"].t_distribution
+            < results["cfs"].t_distribution
+            < results["sfc"].t_distribution
+        ):
+            orderings["dist_ed_cfs_sfc"] += 1
+        if (
+            results["sfc"].t_compression
+            < results["cfs"].t_compression
+            < results["ed"].t_compression
+        ):
+            orderings["comp_sfc_cfs_ed"] += 1
+        if results["ed"].t_total < results["cfs"].t_total:
+            orderings["ed_total_beats_cfs"] += 1
+
+    summary = {
+        s: {
+            m: {
+                "mean": float(np.mean(v)),
+                "std": float(np.std(v)),
+                "min": float(np.min(v)),
+                "max": float(np.max(v)),
+            }
+            for m, v in by_metric.items()
+        }
+        for s, by_metric in values.items()
+    }
+    return ReplicationStats(
+        n=n,
+        n_procs=n_procs,
+        partition=partition,
+        compression=compression,
+        replications=replications,
+        summary=summary,
+        ordering_frequencies={
+            k: v / replications for k, v in orderings.items()
+        },
+    )

@@ -1,0 +1,83 @@
+"""Sparse array substrate: storage formats, ops, generators, IO.
+
+This package implements from scratch everything the paper's compression
+phase relies on: COO staging, CRS/CCS compressed storage with the paper's
+1-based ``RO/CO/VL`` views, format conversions, vectorised sparse kernels,
+synthetic workload generators and a stand-in for the Harwell-Boeing
+collection.
+"""
+
+from .advisor import FormatScore, score_formats, suggest_format
+from .bsr import BSRMatrix
+from .ccs import CCSMatrix
+from .collection import CollectionEntry, SyntheticCollection, ratio_statistics
+from .convert import AnySparse, ccs_to_crs, convert, crs_to_ccs
+from .coo import COOMatrix
+from .dia import DIAMatrix
+from .crs import CRSMatrix
+from .generators import (
+    banded_sparse,
+    bernoulli_sparse,
+    block_diagonal_sparse,
+    paper_test_array,
+    random_sparse,
+    row_skewed_sparse,
+)
+from .jds import JDSMatrix
+from .io import dumps_matrix, loads_matrix, read_matrix, write_matrix
+from .interop import from_scipy, to_scipy
+from .ops import (
+    col_norms,
+    extract_diagonal,
+    frobenius_norm,
+    row_norms,
+    sp_add,
+    sp_elementwise_multiply,
+    sp_scale,
+    sp_transpose,
+    spgemm,
+    spmv,
+    spmv_transpose,
+)
+
+__all__ = [
+    "AnySparse",
+    "BSRMatrix",
+    "CCSMatrix",
+    "COOMatrix",
+    "CRSMatrix",
+    "CollectionEntry",
+    "DIAMatrix",
+    "FormatScore",
+    "JDSMatrix",
+    "SyntheticCollection",
+    "banded_sparse",
+    "bernoulli_sparse",
+    "block_diagonal_sparse",
+    "ccs_to_crs",
+    "col_norms",
+    "convert",
+    "crs_to_ccs",
+    "dumps_matrix",
+    "extract_diagonal",
+    "from_scipy",
+    "frobenius_norm",
+    "loads_matrix",
+    "paper_test_array",
+    "random_sparse",
+    "ratio_statistics",
+    "read_matrix",
+    "row_norms",
+    "row_skewed_sparse",
+    "sp_add",
+    "sp_elementwise_multiply",
+    "sp_scale",
+    "score_formats",
+    "sp_transpose",
+    "spgemm",
+    "spmv",
+    "spmv_transpose",
+    "suggest_format",
+    "to_scipy",
+    "write_matrix",
+]

@@ -1,0 +1,83 @@
+"""Storage-format advisor: which ref-[4] format fits this matrix?
+
+The paper picks CRS/CCS and defers "other data compression methods" to
+future work; with five formats implemented (CRS, CCS, JDS, BSR, DIA) the
+obvious library feature is a recommendation.  The advisor scores each
+format by its *storage efficiency* on the actual matrix — stored elements
+(values plus index overhead, in array elements) per true nonzero — which
+tracks both memory and the SpMV traffic each format implies:
+
+* CRS/CCS: ``nnz`` indices + ``segments + 1`` offsets — the safe default;
+* JDS: like CRS plus the row permutation — wins only via its vector-
+  friendly access pattern, so it is scored as CRS plus ``n_rows`` and
+  recommended over CRS only for skew (long jags);
+* BSR: one index per block, but padding zeros are stored — wins when
+  nonzeros cluster into dense tiles;
+* DIA: no indices at all, one strip per diagonal — wins when nonzeros
+  live on few diagonals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .bsr import BSRMatrix
+from .coo import COOMatrix
+from .dia import DIAMatrix
+from .jds import JDSMatrix
+
+__all__ = ["FormatScore", "score_formats", "suggest_format"]
+
+
+@dataclass(frozen=True)
+class FormatScore:
+    """One format's storage cost on a specific matrix."""
+
+    format: str
+    stored_elements: int
+    #: stored elements per true nonzero (lower is better; 1.0 is optimal)
+    overhead: float
+
+
+def score_formats(
+    matrix: COOMatrix, *, block_shape: tuple[int, int] | None = None
+) -> list[FormatScore]:
+    """Score every implemented format on ``matrix`` (ascending overhead).
+
+    ``block_shape`` overrides BSR's tile (default: the largest of 2/4/8
+    that tiles the shape, falling back to 1×1).
+    """
+    n_rows, n_cols = matrix.shape
+    nnz = matrix.nnz
+    if nnz == 0:
+        raise ValueError("cannot advise on an empty matrix")
+    scores = []
+
+    crs_stored = 2 * nnz + n_rows + 1
+    scores.append(FormatScore("crs", crs_stored, crs_stored / nnz))
+    ccs_stored = 2 * nnz + n_cols + 1
+    scores.append(FormatScore("ccs", ccs_stored, ccs_stored / nnz))
+
+    jds = JDSMatrix.from_coo(matrix)
+    jds_stored = 2 * nnz + n_rows + jds.n_jags + 1
+    scores.append(FormatScore("jds", jds_stored, jds_stored / nnz))
+
+    if block_shape is None:
+        candidates = [b for b in (8, 4, 2) if n_rows % b == 0 and n_cols % b == 0]
+        block_shape = (candidates[0], candidates[0]) if candidates else (1, 1)
+    bsr = BSRMatrix.from_coo(matrix, block_shape)
+    bsr_stored = bsr.stored_elements + bsr.n_blocks + len(bsr.indptr)
+    scores.append(FormatScore("bsr", bsr_stored, bsr_stored / nnz))
+
+    dia = DIAMatrix.from_coo(matrix)
+    dia_stored = dia.stored_elements + dia.n_diagonals
+    scores.append(FormatScore("dia", dia_stored, dia_stored / nnz))
+
+    return sorted(scores, key=lambda s: s.overhead)
+
+
+def suggest_format(
+    matrix: COOMatrix, *, block_shape: tuple[int, int] | None = None
+) -> str:
+    """The lowest-overhead format name for ``matrix``."""
+    return score_formats(matrix, block_shape=block_shape)[0].format

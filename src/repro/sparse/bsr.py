@@ -1,0 +1,190 @@
+"""Block Sparse Row (BSR) storage — the blocked format of Barrett et al. [4].
+
+FEM meshes and multi-component PDEs produce sparse matrices whose nonzeros
+cluster in small dense ``br × bc`` blocks.  BSR stores one index per
+*block* instead of one per element — CRS on the block grid with dense
+little tiles as values:
+
+* ``indptr``   — block-row offsets, length ``n_block_rows + 1``;
+* ``indices``  — block-column index of each stored block;
+* ``blocks``   — ``(n_blocks, br, bc)`` array of the dense tiles.
+
+A stored block may contain explicit zeros (that is the format's trade:
+index overhead shrinks by ``br·bc``, padding grows).  ``fill_ratio``
+reports the fraction of stored elements that are true nonzeros, the
+quantity that decides whether BSR pays off for a given matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .coo import COOMatrix
+
+__all__ = ["BSRMatrix"]
+
+
+@dataclass(frozen=True)
+class BSRMatrix:
+    """A sparse matrix in Block Sparse Row storage."""
+
+    shape: tuple[int, int]
+    block_shape: tuple[int, int]
+    indptr: np.ndarray = field(repr=False)
+    indices: np.ndarray = field(repr=False)
+    blocks: np.ndarray = field(repr=False)
+
+    def __init__(self, shape, block_shape, indptr, indices, blocks, *, check=True):
+        shape = (int(shape[0]), int(shape[1]))
+        block_shape = (int(block_shape[0]), int(block_shape[1]))
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        blocks = np.ascontiguousarray(blocks, dtype=np.float64)
+        if check:
+            self._validate(shape, block_shape, indptr, indices, blocks)
+        for arr in (indptr, indices, blocks):
+            arr.setflags(write=False)
+        object.__setattr__(self, "shape", shape)
+        object.__setattr__(self, "block_shape", block_shape)
+        object.__setattr__(self, "indptr", indptr)
+        object.__setattr__(self, "indices", indices)
+        object.__setattr__(self, "blocks", blocks)
+
+    @staticmethod
+    def _validate(shape, block_shape, indptr, indices, blocks):
+        n_rows, n_cols = shape
+        br, bc = block_shape
+        if br <= 0 or bc <= 0:
+            raise ValueError(f"block_shape must be positive, got {block_shape}")
+        if n_rows % br or n_cols % bc:
+            raise ValueError(
+                f"block_shape {block_shape} must tile the matrix shape {shape}"
+            )
+        n_block_rows = n_rows // br
+        if len(indptr) != n_block_rows + 1 or indptr[0] != 0:
+            raise ValueError("indptr must have length n_block_rows+1 and start at 0")
+        if np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        n_blocks = int(indptr[-1])
+        if len(indices) != n_blocks:
+            raise ValueError(
+                f"indices must have length indptr[-1]={n_blocks}, got {len(indices)}"
+            )
+        if blocks.shape != (n_blocks, br, bc):
+            raise ValueError(
+                f"blocks must have shape ({n_blocks}, {br}, {bc}), got {blocks.shape}"
+            )
+        if n_blocks and (indices.min() < 0 or indices.max() >= n_cols // bc):
+            raise ValueError("block-column index out of range")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(cls, coo: COOMatrix, block_shape: tuple[int, int]) -> "BSRMatrix":
+        br, bc = (int(block_shape[0]), int(block_shape[1]))
+        n_rows, n_cols = coo.shape
+        if br <= 0 or bc <= 0 or n_rows % br or n_cols % bc:
+            raise ValueError(
+                f"block_shape {block_shape} must tile the matrix shape {coo.shape}"
+            )
+        n_block_cols = n_cols // bc
+        brow = coo.rows // br
+        bcol = coo.cols // bc
+        keys = brow * n_block_cols + bcol
+        order = np.argsort(keys, kind="stable")
+        keys_sorted = keys[order]
+        unique_keys, first_idx = np.unique(keys_sorted, return_index=True)
+        block_of_entry = np.searchsorted(unique_keys, keys)
+        n_blocks = len(unique_keys)
+        blocks = np.zeros((n_blocks, br, bc), dtype=np.float64)
+        blocks[
+            block_of_entry, coo.rows % br, coo.cols % bc
+        ] = coo.values
+        indices = (unique_keys % n_block_cols).astype(np.int64)
+        block_rows = (unique_keys // n_block_cols).astype(np.int64)
+        indptr = np.zeros(n_rows // br + 1, dtype=np.int64)
+        np.cumsum(
+            np.bincount(block_rows, minlength=n_rows // br), out=indptr[1:]
+        )
+        return cls(coo.shape, (br, bc), indptr, indices, blocks, check=False)
+
+    @classmethod
+    def from_dense(cls, dense, block_shape) -> "BSRMatrix":
+        return cls.from_coo(COOMatrix.from_dense(dense), block_shape)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_blocks(self) -> int:
+        return int(self.indptr[-1])
+
+    @property
+    def nnz(self) -> int:
+        """True nonzeros (stored elements that are not padding zeros)."""
+        return int(np.count_nonzero(self.blocks))
+
+    @property
+    def stored_elements(self) -> int:
+        """All stored elements including block padding."""
+        return int(self.blocks.size)
+
+    @property
+    def fill_ratio(self) -> float:
+        """nnz / stored elements — 1.0 means no padding at all."""
+        return self.nnz / self.stored_elements if self.stored_elements else 1.0
+
+    def block_row(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(block_column_indices, tiles)`` of block-row ``i``."""
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        return self.indices[lo:hi], self.blocks[lo:hi]
+
+    def to_coo(self) -> COOMatrix:
+        br, bc = self.block_shape
+        if self.n_blocks == 0:
+            return COOMatrix.empty(self.shape)
+        counts = np.diff(self.indptr)
+        block_rows = np.repeat(np.arange(len(counts), dtype=np.int64), counts)
+        b, r, c = np.nonzero(self.blocks)
+        rows = block_rows[b] * br + r
+        cols = self.indices[b] * bc + c
+        return COOMatrix(self.shape, rows, cols, self.blocks[b, r, c])
+
+    def to_dense(self) -> np.ndarray:
+        return self.to_coo().to_dense()
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """``y = A @ x`` block row by block row (dense tile GEMVs)."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.shape[1],):
+            raise ValueError(f"x must have shape ({self.shape[1]},), got {x.shape}")
+        br, bc = self.block_shape
+        y = np.zeros(self.shape[0], dtype=np.float64)
+        if self.n_blocks == 0:
+            return y
+        counts = np.diff(self.indptr)
+        block_rows = np.repeat(np.arange(len(counts), dtype=np.int64), counts)
+        x_tiles = x.reshape(-1, bc)[self.indices]          # (n_blocks, bc)
+        partial = np.einsum("nij,nj->ni", self.blocks, x_tiles)  # (n_blocks, br)
+        np.add.at(y.reshape(-1, br), block_rows, partial)
+        return y
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, BSRMatrix):
+            return NotImplemented
+        return (
+            self.shape == other.shape
+            and self.block_shape == other.block_shape
+            and np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+            and np.array_equal(self.blocks, other.blocks)
+        )
+
+    def __hash__(self):
+        return id(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"BSRMatrix(shape={self.shape}, block_shape={self.block_shape}, "
+            f"blocks={self.n_blocks}, fill={self.fill_ratio:.2f})"
+        )

@@ -1,0 +1,177 @@
+"""Compressed Column Storage (CCS) — the paper's column-wise compression.
+
+CCS is the column-major dual of CRS (see :mod:`repro.sparse.crs`): ``RO``
+holds 1-based running offsets per *column*, ``CO`` holds the (1-based) *row*
+index of each nonzero stored column by column, and ``VL`` the values.
+
+The paper reuses the names ``RO``/``CO``/``VL`` for both methods (Section
+3.1: "The CRS (CCS) method uses two one-dimensional integer arrays, RO and
+CO, and one one-dimensional floating-point array, VL"), so we do too —
+for CCS, ``RO`` indexes columns and ``CO`` stores row indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .coo import COOMatrix
+
+__all__ = ["CCSMatrix"]
+
+
+@dataclass(frozen=True)
+class CCSMatrix:
+    """A sparse matrix in Compressed Column Storage.
+
+    Attributes
+    ----------
+    shape:
+        ``(n_rows, n_cols)``.
+    indptr:
+        0-based column offsets, length ``n_cols + 1``, ``indptr[0] == 0``.
+    indices:
+        0-based row indices, length ``nnz``, ascending within each column.
+    values:
+        The nonzero values, parallel to ``indices``.
+    """
+
+    shape: tuple[int, int]
+    indptr: np.ndarray = field(repr=False)
+    indices: np.ndarray = field(repr=False)
+    values: np.ndarray = field(repr=False)
+
+    def __init__(self, shape, indptr, indices, values, *, check: bool = True):
+        shape = (int(shape[0]), int(shape[1]))
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        values = np.ascontiguousarray(values, dtype=np.float64)
+        if check:
+            self._validate(shape, indptr, indices, values)
+        for arr in (indptr, indices, values):
+            arr.setflags(write=False)
+        object.__setattr__(self, "shape", shape)
+        object.__setattr__(self, "indptr", indptr)
+        object.__setattr__(self, "indices", indices)
+        object.__setattr__(self, "values", values)
+
+    @staticmethod
+    def _validate(shape, indptr, indices, values):
+        n_rows, n_cols = shape
+        if indptr.ndim != 1 or len(indptr) != n_cols + 1:
+            raise ValueError(
+                f"indptr must have length n_cols+1={n_cols + 1}, got {len(indptr)}"
+            )
+        if indptr[0] != 0:
+            raise ValueError(f"indptr[0] must be 0, got {indptr[0]}")
+        if np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        nnz = int(indptr[-1])
+        if len(indices) != nnz or len(values) != nnz:
+            raise ValueError(
+                f"indices/values length must equal indptr[-1]={nnz}, "
+                f"got {len(indices)}/{len(values)}"
+            )
+        if nnz:
+            if indices.min() < 0 or indices.max() >= n_rows:
+                raise ValueError("row index out of range")
+
+    # ------------------------------------------------------------------
+    # the paper's 1-based views
+    # ------------------------------------------------------------------
+    @property
+    def RO(self) -> np.ndarray:
+        """1-based column offsets (paper's ``RO`` vector for CCS)."""
+        return self.indptr + 1
+
+    @property
+    def CO(self) -> np.ndarray:
+        """Row indices (paper's ``CO`` vector for CCS).
+
+        As in CRS, the paper's ``CO`` is 0-based (only ``RO`` counts from
+        1), so this is identical to :attr:`indices`.
+        """
+        return self.indices
+
+    @property
+    def VL(self) -> np.ndarray:
+        """The nonzero values (paper's ``VL`` vector)."""
+        return self.values
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(cls, coo: COOMatrix) -> "CCSMatrix":
+        """Compress a COO matrix into CCS (column-major resorting included)."""
+        order = np.lexsort((coo.rows, coo.cols))
+        indptr = np.zeros(coo.shape[1] + 1, dtype=np.int64)
+        np.cumsum(coo.col_counts(), out=indptr[1:])
+        return cls(coo.shape, indptr, coo.rows[order], coo.values[order], check=False)
+
+    @classmethod
+    def from_dense(cls, dense) -> "CCSMatrix":
+        return cls.from_coo(COOMatrix.from_dense(dense))
+
+    @classmethod
+    def from_paper_arrays(cls, shape, RO, CO, VL) -> "CCSMatrix":
+        """Build from the paper's ``RO`` (1-based) / ``CO`` (0-based) / ``VL``."""
+        RO = np.asarray(RO, dtype=np.int64)
+        CO = np.asarray(CO, dtype=np.int64)
+        return cls(shape, RO - 1, CO, np.asarray(VL, dtype=np.float64))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(self.indptr[-1])
+
+    @property
+    def n_rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def n_cols(self) -> int:
+        return self.shape[1]
+
+    @property
+    def sparse_ratio(self) -> float:
+        total = self.shape[0] * self.shape[1]
+        return self.nnz / total if total else 0.0
+
+    def col(self, j: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(row_indices, values)`` of column ``j`` (0-based)."""
+        lo, hi = self.indptr[j], self.indptr[j + 1]
+        return self.indices[lo:hi], self.values[lo:hi]
+
+    def col_counts(self) -> np.ndarray:
+        """nnz per column (the ED scheme's ``R_i`` vector for CCS)."""
+        return np.diff(self.indptr)
+
+    def to_coo(self) -> COOMatrix:
+        cols = np.repeat(np.arange(self.shape[1], dtype=np.int64), self.col_counts())
+        return COOMatrix(self.shape, self.indices, cols, self.values)
+
+    def to_dense(self) -> np.ndarray:
+        return self.to_coo().to_dense()
+
+    # ------------------------------------------------------------------
+    # equality / repr
+    # ------------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, CCSMatrix):
+            return NotImplemented
+        return (
+            self.shape == other.shape
+            and np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+            and np.array_equal(self.values, other.values)
+        )
+
+    def __hash__(self):
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"CCSMatrix(shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,51 @@
+"""Conversions between the sparse storage formats.
+
+A thin façade over the per-class constructors plus the direct CRS<->CCS
+transposition-based conversions, so callers can write
+``convert(matrix, CCSMatrix)`` generically (the scheme drivers do this when
+parameterised over a compression method).
+"""
+
+from __future__ import annotations
+
+from typing import Type, Union
+
+import numpy as np
+
+from .ccs import CCSMatrix
+from .coo import COOMatrix
+from .crs import CRSMatrix
+
+__all__ = ["AnySparse", "convert", "crs_to_ccs", "ccs_to_crs"]
+
+AnySparse = Union[COOMatrix, CRSMatrix, CCSMatrix]
+
+
+def crs_to_ccs(m: CRSMatrix) -> CCSMatrix:
+    """Direct CRS → CCS conversion (a stable column-major resort)."""
+    return CCSMatrix.from_coo(m.to_coo())
+
+
+def ccs_to_crs(m: CCSMatrix) -> CRSMatrix:
+    """Direct CCS → CRS conversion (a stable row-major resort)."""
+    return CRSMatrix.from_coo(m.to_coo())
+
+
+def convert(m: AnySparse | np.ndarray, target: Type[AnySparse]) -> AnySparse:
+    """Convert ``m`` (any sparse class or dense ndarray) to ``target``.
+
+    Returns ``m`` unchanged when it already is a ``target`` instance.
+    """
+    if isinstance(m, target):
+        return m
+    if isinstance(m, np.ndarray):
+        return target.from_dense(m)
+    if isinstance(m, CRSMatrix) and target is CCSMatrix:
+        return crs_to_ccs(m)
+    if isinstance(m, CCSMatrix) and target is CRSMatrix:
+        return ccs_to_crs(m)
+    if isinstance(m, (CRSMatrix, CCSMatrix)) and target is COOMatrix:
+        return m.to_coo()
+    if isinstance(m, COOMatrix):
+        return target.from_coo(m)
+    raise TypeError(f"cannot convert {type(m).__name__} to {target.__name__}")

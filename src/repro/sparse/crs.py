@@ -1,0 +1,186 @@
+"""Compressed Row Storage (CRS) — the paper's row-wise compression method.
+
+The paper (Section 3.1, Figure 4) describes CRS exactly as in Barrett et al.
+[4]: two integer vectors ``RO`` and ``CO`` plus a floating-point vector
+``VL``:
+
+* ``RO`` has ``n_rows + 1`` entries, ``RO[0] = 1``, and
+  ``RO[i+1] = RO[i] + (nnz in row i)`` — i.e. 1-based running offsets;
+* ``CO`` holds the (1-based, in the paper's figures) column index of each
+  nonzero, row by row;
+* ``VL`` holds the corresponding values.
+
+Internally we store the ubiquitous 0-based ``indptr``/``indices``/``values``
+triple (identical to scipy's ``csr_matrix`` layout) and expose the paper's
+1-based ``RO``/``CO``/``VL`` as properties, so that tests can compare
+directly against the published Figure 4 and the wire format can choose
+either convention explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .coo import COOMatrix
+
+__all__ = ["CRSMatrix"]
+
+
+@dataclass(frozen=True)
+class CRSMatrix:
+    """A sparse matrix in Compressed Row Storage.
+
+    Attributes
+    ----------
+    shape:
+        ``(n_rows, n_cols)``.
+    indptr:
+        0-based row offsets, length ``n_rows + 1``, ``indptr[0] == 0``.
+    indices:
+        0-based column indices, length ``nnz``, ascending within each row.
+    values:
+        The nonzero values, parallel to ``indices``.
+    """
+
+    shape: tuple[int, int]
+    indptr: np.ndarray = field(repr=False)
+    indices: np.ndarray = field(repr=False)
+    values: np.ndarray = field(repr=False)
+
+    def __init__(self, shape, indptr, indices, values, *, check: bool = True):
+        shape = (int(shape[0]), int(shape[1]))
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        values = np.ascontiguousarray(values, dtype=np.float64)
+        if check:
+            self._validate(shape, indptr, indices, values)
+        for arr in (indptr, indices, values):
+            arr.setflags(write=False)
+        object.__setattr__(self, "shape", shape)
+        object.__setattr__(self, "indptr", indptr)
+        object.__setattr__(self, "indices", indices)
+        object.__setattr__(self, "values", values)
+
+    @staticmethod
+    def _validate(shape, indptr, indices, values):
+        n_rows, n_cols = shape
+        if indptr.ndim != 1 or len(indptr) != n_rows + 1:
+            raise ValueError(
+                f"indptr must have length n_rows+1={n_rows + 1}, got {len(indptr)}"
+            )
+        if indptr[0] != 0:
+            raise ValueError(f"indptr[0] must be 0, got {indptr[0]}")
+        if np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        nnz = int(indptr[-1])
+        if len(indices) != nnz or len(values) != nnz:
+            raise ValueError(
+                f"indices/values length must equal indptr[-1]={nnz}, "
+                f"got {len(indices)}/{len(values)}"
+            )
+        if nnz:
+            if indices.min() < 0 or indices.max() >= n_cols:
+                raise ValueError("column index out of range")
+
+    # ------------------------------------------------------------------
+    # the paper's 1-based views
+    # ------------------------------------------------------------------
+    @property
+    def RO(self) -> np.ndarray:
+        """1-based row offsets exactly as printed in the paper's Figure 4."""
+        return self.indptr + 1
+
+    @property
+    def CO(self) -> np.ndarray:
+        """Column indices exactly as printed in the paper's Figure 4.
+
+        The paper mixes conventions: ``RO`` counts positions from 1, while
+        ``CO`` stores 0-based indices (Figure 4, e.g. P3's ``CO = 1 2 4 0 3
+        6``; Figure 7 converts global rows 3..5 to local 0..2 by
+        subtracting 3).  ``CO`` is therefore identical to :attr:`indices`.
+        """
+        return self.indices
+
+    @property
+    def VL(self) -> np.ndarray:
+        """The nonzero values (paper's ``VL`` vector)."""
+        return self.values
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(cls, coo: COOMatrix) -> "CRSMatrix":
+        """Compress a canonical COO matrix (row-major sorted) into CRS."""
+        indptr = np.zeros(coo.shape[0] + 1, dtype=np.int64)
+        np.cumsum(coo.row_counts(), out=indptr[1:])
+        return cls(coo.shape, indptr, coo.cols, coo.values, check=False)
+
+    @classmethod
+    def from_dense(cls, dense) -> "CRSMatrix":
+        """Compress a dense array (the SFC scheme's per-processor step)."""
+        return cls.from_coo(COOMatrix.from_dense(dense))
+
+    @classmethod
+    def from_paper_arrays(cls, shape, RO, CO, VL) -> "CRSMatrix":
+        """Build from the paper's ``RO`` (1-based) / ``CO`` (0-based) / ``VL``."""
+        RO = np.asarray(RO, dtype=np.int64)
+        CO = np.asarray(CO, dtype=np.int64)
+        return cls(shape, RO - 1, CO, np.asarray(VL, dtype=np.float64))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(self.indptr[-1])
+
+    @property
+    def n_rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def n_cols(self) -> int:
+        return self.shape[1]
+
+    @property
+    def sparse_ratio(self) -> float:
+        total = self.shape[0] * self.shape[1]
+        return self.nnz / total if total else 0.0
+
+    def row(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(column_indices, values)`` of row ``i`` (0-based)."""
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        return self.indices[lo:hi], self.values[lo:hi]
+
+    def row_counts(self) -> np.ndarray:
+        """nnz per row (the ED scheme's ``R_i`` vector for CRS)."""
+        return np.diff(self.indptr)
+
+    def to_coo(self) -> COOMatrix:
+        rows = np.repeat(np.arange(self.shape[0], dtype=np.int64), self.row_counts())
+        return COOMatrix(self.shape, rows, self.indices, self.values, canonical=True)
+
+    def to_dense(self) -> np.ndarray:
+        return self.to_coo().to_dense()
+
+    # ------------------------------------------------------------------
+    # equality / repr
+    # ------------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, CRSMatrix):
+            return NotImplemented
+        return (
+            self.shape == other.shape
+            and np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+            and np.array_equal(self.values, other.values)
+        )
+
+    def __hash__(self):
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"CRSMatrix(shape={self.shape}, nnz={self.nnz})"

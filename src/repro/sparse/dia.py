@@ -1,0 +1,157 @@
+"""Compressed Diagonal Storage (DIA/CDS) — the banded format of ref [4].
+
+Finite-difference stencils produce matrices whose nonzeros live on a few
+diagonals.  DIA stores one dense strip per populated diagonal:
+
+* ``offsets`` — the stored diagonals, ``k = col − row`` (0 = main,
+  positive above), ascending;
+* ``data``    — ``(n_diagonals, n_rows)`` strips; ``data[d, i]`` holds
+  ``A[i, i + offsets[d]]`` (positions falling outside the matrix are
+  padding zeros).
+
+Ideal for :func:`~repro.sparse.generators.banded_sparse` workloads; the
+``density`` property reports how full the stored strips are — the
+format-selection criterion mirroring BSR's ``fill_ratio``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .coo import COOMatrix
+
+__all__ = ["DIAMatrix"]
+
+
+@dataclass(frozen=True)
+class DIAMatrix:
+    """A sparse matrix in (compressed) diagonal storage."""
+
+    shape: tuple[int, int]
+    offsets: np.ndarray = field(repr=False)
+    data: np.ndarray = field(repr=False)
+
+    def __init__(self, shape, offsets, data, *, check: bool = True):
+        shape = (int(shape[0]), int(shape[1]))
+        offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+        data = np.ascontiguousarray(data, dtype=np.float64)
+        if check:
+            self._validate(shape, offsets, data)
+        offsets.setflags(write=False)
+        data.setflags(write=False)
+        object.__setattr__(self, "shape", shape)
+        object.__setattr__(self, "offsets", offsets)
+        object.__setattr__(self, "data", data)
+
+    @staticmethod
+    def _validate(shape, offsets, data):
+        n_rows, n_cols = shape
+        if offsets.ndim != 1:
+            raise ValueError("offsets must be one-dimensional")
+        if len(np.unique(offsets)) != len(offsets):
+            raise ValueError("offsets must be unique")
+        if np.any(np.diff(offsets) <= 0):
+            raise ValueError("offsets must be strictly ascending")
+        if len(offsets) and (
+            offsets.min() < -(n_rows - 1) or offsets.max() > n_cols - 1
+        ):
+            raise ValueError("offset outside the matrix band range")
+        if data.shape != (len(offsets), n_rows):
+            raise ValueError(
+                f"data must have shape ({len(offsets)}, {n_rows}), got {data.shape}"
+            )
+        # padding positions (outside the matrix) must be zero
+        for d, k in enumerate(offsets):
+            rows = np.arange(n_rows)
+            outside = (rows + k < 0) | (rows + k >= n_cols)
+            if np.any(data[d, outside] != 0.0):
+                raise ValueError(
+                    f"diagonal {k}: nonzero stored outside the matrix"
+                )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(cls, coo: COOMatrix) -> "DIAMatrix":
+        n_rows, n_cols = coo.shape
+        diag_of = coo.cols - coo.rows
+        offsets = np.unique(diag_of)
+        data = np.zeros((len(offsets), n_rows), dtype=np.float64)
+        d_index = np.searchsorted(offsets, diag_of)
+        data[d_index, coo.rows] = coo.values
+        return cls(coo.shape, offsets, data, check=False)
+
+    @classmethod
+    def from_dense(cls, dense) -> "DIAMatrix":
+        return cls.from_coo(COOMatrix.from_dense(dense))
+
+    # ------------------------------------------------------------------
+    @property
+    def n_diagonals(self) -> int:
+        return len(self.offsets)
+
+    @property
+    def nnz(self) -> int:
+        return int(np.count_nonzero(self.data))
+
+    @property
+    def stored_elements(self) -> int:
+        return int(self.data.size)
+
+    @property
+    def density(self) -> float:
+        """nnz / stored elements — how full the diagonal strips are."""
+        return self.nnz / self.stored_elements if self.stored_elements else 1.0
+
+    @property
+    def bandwidth(self) -> int:
+        """max |offset| of a stored diagonal (0 for diagonal matrices)."""
+        return int(np.abs(self.offsets).max()) if len(self.offsets) else 0
+
+    def diagonal(self, k: int) -> np.ndarray:
+        """The full strip of diagonal ``k`` (zeros where unstored)."""
+        idx = np.searchsorted(self.offsets, k)
+        if idx < len(self.offsets) and self.offsets[idx] == k:
+            return self.data[idx].copy()
+        return np.zeros(self.shape[0], dtype=np.float64)
+
+    def to_coo(self) -> COOMatrix:
+        d, rows = np.nonzero(self.data)
+        cols = rows + self.offsets[d]
+        return COOMatrix(self.shape, rows, cols, self.data[d, rows])
+
+    def to_dense(self) -> np.ndarray:
+        return self.to_coo().to_dense()
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """``y = A @ x`` as one shifted-strip product per diagonal."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.shape[1],):
+            raise ValueError(f"x must have shape ({self.shape[1]},), got {x.shape}")
+        n_rows = self.shape[0]
+        y = np.zeros(n_rows, dtype=np.float64)
+        rows = np.arange(n_rows)
+        for d, k in enumerate(self.offsets):
+            valid = (rows + k >= 0) & (rows + k < self.shape[1])
+            y[valid] += self.data[d, valid] * x[rows[valid] + k]
+        return y
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, DIAMatrix):
+            return NotImplemented
+        return (
+            self.shape == other.shape
+            and np.array_equal(self.offsets, other.offsets)
+            and np.array_equal(self.data, other.data)
+        )
+
+    def __hash__(self):
+        return id(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"DIAMatrix(shape={self.shape}, diagonals={self.n_diagonals}, "
+            f"bandwidth={self.bandwidth}, density={self.density:.2f})"
+        )

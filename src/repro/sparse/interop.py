@@ -1,0 +1,73 @@
+"""Optional scipy.sparse interoperability.
+
+The repo's formats are self-contained (scipy appears only in the test
+suite as an oracle), but downstream users live in the scipy ecosystem, so
+adapters are provided: they import scipy lazily and raise a clear error
+when it is absent.
+
+Layout compatibility is exact — our CRS/CCS `indptr`/`indices`/`values`
+triples are bit-identical to ``csr_matrix``/``csc_matrix`` attributes — so
+conversion is a wrap, not a translation.
+"""
+
+from __future__ import annotations
+
+from .ccs import CCSMatrix
+from .coo import COOMatrix
+from .crs import CRSMatrix
+from .convert import AnySparse
+
+__all__ = ["to_scipy", "from_scipy"]
+
+
+def _scipy_sparse():
+    try:
+        import scipy.sparse as sp
+    except ImportError as exc:  # pragma: no cover - environment-dependent
+        raise ImportError(
+            "scipy is required for to_scipy/from_scipy; install the 'test' "
+            "extra or scipy itself"
+        ) from exc
+    return sp
+
+
+def to_scipy(matrix: AnySparse):
+    """Convert to the corresponding scipy.sparse class.
+
+    COO → ``coo_matrix``, CRS → ``csr_matrix``, CCS → ``csc_matrix``.
+    """
+    sp = _scipy_sparse()
+    if isinstance(matrix, COOMatrix):
+        return sp.coo_matrix(
+            (matrix.values, (matrix.rows, matrix.cols)), shape=matrix.shape
+        )
+    if isinstance(matrix, CRSMatrix):
+        return sp.csr_matrix(
+            (matrix.values, matrix.indices, matrix.indptr), shape=matrix.shape
+        )
+    if isinstance(matrix, CCSMatrix):
+        return sp.csc_matrix(
+            (matrix.values, matrix.indices, matrix.indptr), shape=matrix.shape
+        )
+    raise TypeError(f"unsupported sparse type {type(matrix).__name__}")
+
+
+def from_scipy(matrix) -> AnySparse:
+    """Convert a scipy sparse matrix to the matching repro class.
+
+    ``csr_matrix`` → CRS, ``csc_matrix`` → CCS, anything else → COO.
+    Duplicate entries are summed (our canonical-form rule).
+    """
+    sp = _scipy_sparse()
+    if sp.issparse(matrix):
+        if matrix.format == "csr":
+            m = matrix.sorted_indices()
+            m.sum_duplicates()
+            return CRSMatrix(m.shape, m.indptr, m.indices, m.data)
+        if matrix.format == "csc":
+            m = matrix.sorted_indices()
+            m.sum_duplicates()
+            return CCSMatrix(m.shape, m.indptr, m.indices, m.data)
+        coo = matrix.tocoo()
+        return COOMatrix(coo.shape, coo.row, coo.col, coo.data)
+    raise TypeError(f"expected a scipy sparse matrix, got {type(matrix).__name__}")

@@ -1,0 +1,177 @@
+"""Jagged Diagonal Storage (JDS) — from Barrett et al., the paper's ref [4].
+
+The paper notes that "many data compression methods in [4] can be used"
+in the compression phase and names analysing them as future work (1).
+JDS is the most prominent of those alternatives: rows are sorted by
+descending nonzero count, their elements compacted left, and the matrix is
+stored column-of-jags by column-of-jags — the layout vector machines (and
+the paper's Ziantz-et-al related work on SIMD SpMV) prefer.
+
+Layout
+------
+* ``perm``     — row permutation, ``perm[k]`` is the original index of the
+  k-th longest row;
+* ``jd_ptr``   — start offset of each jagged diagonal, length
+  ``max_row_nnz + 1``;
+* ``indices``  — column index of each stored element, jag by jag;
+* ``values``   — the elements, parallel to ``indices``.
+
+Jag ``j`` holds the ``j``-th nonzero of every row that has one; within a
+jag, entries follow the permuted row order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .coo import COOMatrix
+
+__all__ = ["JDSMatrix"]
+
+
+@dataclass(frozen=True)
+class JDSMatrix:
+    """A sparse matrix in Jagged Diagonal Storage."""
+
+    shape: tuple[int, int]
+    perm: np.ndarray = field(repr=False)
+    jd_ptr: np.ndarray = field(repr=False)
+    indices: np.ndarray = field(repr=False)
+    values: np.ndarray = field(repr=False)
+
+    def __init__(self, shape, perm, jd_ptr, indices, values, *, check: bool = True):
+        shape = (int(shape[0]), int(shape[1]))
+        perm = np.ascontiguousarray(perm, dtype=np.int64)
+        jd_ptr = np.ascontiguousarray(jd_ptr, dtype=np.int64)
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        values = np.ascontiguousarray(values, dtype=np.float64)
+        if check:
+            self._validate(shape, perm, jd_ptr, indices, values)
+        for arr in (perm, jd_ptr, indices, values):
+            arr.setflags(write=False)
+        object.__setattr__(self, "shape", shape)
+        object.__setattr__(self, "perm", perm)
+        object.__setattr__(self, "jd_ptr", jd_ptr)
+        object.__setattr__(self, "indices", indices)
+        object.__setattr__(self, "values", values)
+
+    @staticmethod
+    def _validate(shape, perm, jd_ptr, indices, values):
+        n_rows, n_cols = shape
+        if len(perm) != n_rows:
+            raise ValueError(f"perm must have length n_rows={n_rows}, got {len(perm)}")
+        if len(perm) and not np.array_equal(np.sort(perm), np.arange(n_rows)):
+            raise ValueError("perm must be a permutation of 0..n_rows-1")
+        if len(jd_ptr) == 0 or jd_ptr[0] != 0:
+            raise ValueError("jd_ptr must start with 0")
+        if np.any(np.diff(jd_ptr) < 0):
+            raise ValueError("jd_ptr must be non-decreasing")
+        # each jag must be no longer than the previous (jagged shape)
+        lengths = np.diff(jd_ptr)
+        if len(lengths) > 1 and np.any(np.diff(lengths) > 0):
+            raise ValueError("jag lengths must be non-increasing")
+        if len(lengths) and lengths[0] > n_rows:
+            raise ValueError("first jag longer than the row count")
+        nnz = int(jd_ptr[-1])
+        if len(indices) != nnz or len(values) != nnz:
+            raise ValueError(
+                f"indices/values must have length jd_ptr[-1]={nnz}, got "
+                f"{len(indices)}/{len(values)}"
+            )
+        if nnz and (indices.min() < 0 or indices.max() >= n_cols):
+            raise ValueError("column index out of range")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(cls, coo: COOMatrix) -> "JDSMatrix":
+        n_rows, n_cols = coo.shape
+        counts = coo.row_counts()
+        perm = np.argsort(-counts, kind="stable").astype(np.int64)
+        max_len = int(counts.max()) if n_rows else 0
+        # within-row position of every nonzero (canonical COO is row-major)
+        firsts = np.zeros(n_rows + 1, dtype=np.int64)
+        np.cumsum(counts, out=firsts[1:])
+        within = np.arange(coo.nnz, dtype=np.int64) - firsts[coo.rows]
+        # permuted row rank of every nonzero
+        rank_of_row = np.empty(n_rows, dtype=np.int64)
+        rank_of_row[perm] = np.arange(n_rows, dtype=np.int64)
+        ranks = rank_of_row[coo.rows]
+        # jag j holds rows with count > j; jag length = #rows with count > j
+        sorted_counts = counts[perm]
+        jag_lengths = np.array(
+            [(sorted_counts > j).sum() for j in range(max_len)], dtype=np.int64
+        )
+        jd_ptr = np.zeros(max_len + 1, dtype=np.int64)
+        np.cumsum(jag_lengths, out=jd_ptr[1:])
+        # position of element (jag=within, rank) = jd_ptr[within] + rank
+        pos = jd_ptr[within] + ranks
+        indices = np.empty(coo.nnz, dtype=np.int64)
+        values = np.empty(coo.nnz, dtype=np.float64)
+        indices[pos] = coo.cols
+        values[pos] = coo.values
+        return cls(coo.shape, perm, jd_ptr, indices, values, check=False)
+
+    @classmethod
+    def from_dense(cls, dense) -> "JDSMatrix":
+        return cls.from_coo(COOMatrix.from_dense(dense))
+
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(self.jd_ptr[-1])
+
+    @property
+    def n_jags(self) -> int:
+        return len(self.jd_ptr) - 1
+
+    @property
+    def sparse_ratio(self) -> float:
+        total = self.shape[0] * self.shape[1]
+        return self.nnz / total if total else 0.0
+
+    def jag(self, j: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(column_indices, values)`` of jagged diagonal ``j``."""
+        lo, hi = self.jd_ptr[j], self.jd_ptr[j + 1]
+        return self.indices[lo:hi], self.values[lo:hi]
+
+    def to_coo(self) -> COOMatrix:
+        rows = np.empty(self.nnz, dtype=np.int64)
+        for j in range(self.n_jags):
+            lo, hi = self.jd_ptr[j], self.jd_ptr[j + 1]
+            rows[lo:hi] = self.perm[: hi - lo]
+        return COOMatrix(self.shape, rows, self.indices, self.values)
+
+    def to_dense(self) -> np.ndarray:
+        return self.to_coo().to_dense()
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """``y = A @ x`` jag by jag — the vectorisable JDS kernel."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.shape[1],):
+            raise ValueError(f"x must have shape ({self.shape[1]},), got {x.shape}")
+        y = np.zeros(self.shape[0], dtype=np.float64)
+        for j in range(self.n_jags):
+            lo, hi = self.jd_ptr[j], self.jd_ptr[j + 1]
+            rows = self.perm[: hi - lo]
+            y[rows] += self.values[lo:hi] * x[self.indices[lo:hi]]
+        return y
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, JDSMatrix):
+            return NotImplemented
+        return (
+            self.shape == other.shape
+            and np.array_equal(self.perm, other.perm)
+            and np.array_equal(self.jd_ptr, other.jd_ptr)
+            and np.array_equal(self.indices, other.indices)
+            and np.array_equal(self.values, other.values)
+        )
+
+    def __hash__(self):
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"JDSMatrix(shape={self.shape}, nnz={self.nnz}, jags={self.n_jags})"

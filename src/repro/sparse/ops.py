@@ -1,0 +1,206 @@
+"""Sparse array operations on the CRS/CCS substrate.
+
+The paper's introduction motivates the distribution schemes with "array
+operations ... in a large number of important scientific codes" (molecular
+dynamics, finite elements, climate modeling).  These kernels are what a
+processor runs on its compressed local array *after* distribution, and what
+the :mod:`repro.apps` workloads are built from.
+
+All kernels are vectorised numpy (per the HPC guide: no per-element Python
+loops on hot paths); the loopy reference forms live in the test suite as
+oracles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .ccs import CCSMatrix
+from .coo import COOMatrix
+from .crs import CRSMatrix
+from .convert import AnySparse, convert
+
+__all__ = [
+    "spmv",
+    "spmv_transpose",
+    "sp_add",
+    "sp_scale",
+    "sp_transpose",
+    "sp_elementwise_multiply",
+    "spgemm",
+    "row_norms",
+    "col_norms",
+    "extract_diagonal",
+    "frobenius_norm",
+]
+
+
+def _row_ids(m: CRSMatrix) -> np.ndarray:
+    return np.repeat(np.arange(m.shape[0], dtype=np.int64), m.row_counts())
+
+
+def _col_ids(m: CCSMatrix) -> np.ndarray:
+    return np.repeat(np.arange(m.shape[1], dtype=np.int64), m.col_counts())
+
+
+def spmv(m: AnySparse, x: np.ndarray) -> np.ndarray:
+    """Sparse matrix–vector product ``y = m @ x``.
+
+    Accepts any of the three sparse classes; ``x`` must have length
+    ``m.n_cols``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape != (m.shape[1],):
+        raise ValueError(f"x must have shape ({m.shape[1]},), got {x.shape}")
+    y = np.zeros(m.shape[0], dtype=np.float64)
+    if isinstance(m, CRSMatrix):
+        np.add.at(y, _row_ids(m), m.values * x[m.indices])
+    elif isinstance(m, CCSMatrix):
+        np.add.at(y, m.indices, m.values * x[_col_ids(m)])
+    elif isinstance(m, COOMatrix):
+        np.add.at(y, m.rows, m.values * x[m.cols])
+    else:
+        raise TypeError(f"unsupported sparse type {type(m).__name__}")
+    return y
+
+
+def spmv_transpose(m: AnySparse, x: np.ndarray) -> np.ndarray:
+    """``y = m.T @ x`` without materialising the transpose."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape != (m.shape[0],):
+        raise ValueError(f"x must have shape ({m.shape[0]},), got {x.shape}")
+    y = np.zeros(m.shape[1], dtype=np.float64)
+    if isinstance(m, CRSMatrix):
+        np.add.at(y, m.indices, m.values * x[_row_ids(m)])
+    elif isinstance(m, CCSMatrix):
+        np.add.at(y, _col_ids(m), m.values * x[m.indices])
+    elif isinstance(m, COOMatrix):
+        np.add.at(y, m.cols, m.values * x[m.rows])
+    else:
+        raise TypeError(f"unsupported sparse type {type(m).__name__}")
+    return y
+
+
+def sp_add(a: AnySparse, b: AnySparse) -> COOMatrix:
+    """Sparse matrix addition ``a + b`` (result in canonical COO)."""
+    a = convert(a, COOMatrix)
+    b = convert(b, COOMatrix)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return COOMatrix(
+        a.shape,
+        np.concatenate([a.rows, b.rows]),
+        np.concatenate([a.cols, b.cols]),
+        np.concatenate([a.values, b.values]),
+    )
+
+
+def sp_scale(m: AnySparse, alpha: float) -> AnySparse:
+    """Scalar multiple ``alpha * m``, preserving the storage class."""
+    if alpha == 0.0:
+        return type(m).from_coo(COOMatrix.empty(m.shape)) if not isinstance(
+            m, COOMatrix
+        ) else COOMatrix.empty(m.shape)
+    if isinstance(m, COOMatrix):
+        return COOMatrix(m.shape, m.rows, m.cols, m.values * alpha, canonical=True)
+    if isinstance(m, CRSMatrix):
+        return CRSMatrix(m.shape, m.indptr, m.indices, m.values * alpha, check=False)
+    if isinstance(m, CCSMatrix):
+        return CCSMatrix(m.shape, m.indptr, m.indices, m.values * alpha, check=False)
+    raise TypeError(f"unsupported sparse type {type(m).__name__}")
+
+
+def sp_transpose(m: AnySparse) -> AnySparse:
+    """Transpose, preserving the storage class (CRS stays CRS, etc.)."""
+    coo_t = convert(m, COOMatrix).transpose()
+    if isinstance(m, COOMatrix):
+        return coo_t
+    return type(m).from_coo(coo_t)
+
+
+def sp_elementwise_multiply(a: AnySparse, b: AnySparse) -> COOMatrix:
+    """Hadamard product ``a * b`` (nonzero only where both are nonzero)."""
+    a = convert(a, COOMatrix)
+    b = convert(b, COOMatrix)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    # canonical COO is row-major sorted and duplicate-free: intersect keys
+    ka = a.rows * max(a.shape[1], 1) + a.cols
+    kb = b.rows * max(b.shape[1], 1) + b.cols
+    common, ia, ib = np.intersect1d(ka, kb, assume_unique=True, return_indices=True)
+    del common
+    return COOMatrix(
+        a.shape, a.rows[ia], a.cols[ia], a.values[ia] * b.values[ib], canonical=False
+    )
+
+
+def row_norms(m: AnySparse, ord: float = 2.0) -> np.ndarray:
+    """Per-row vector norms (used by the bin-packing partitioner's weights)."""
+    coo = convert(m, COOMatrix)
+    acc = np.zeros(m.shape[0], dtype=np.float64)
+    np.add.at(acc, coo.rows, np.abs(coo.values) ** ord)
+    return acc ** (1.0 / ord)
+
+
+def col_norms(m: AnySparse, ord: float = 2.0) -> np.ndarray:
+    """Per-column vector norms."""
+    coo = convert(m, COOMatrix)
+    acc = np.zeros(m.shape[1], dtype=np.float64)
+    np.add.at(acc, coo.cols, np.abs(coo.values) ** ord)
+    return acc ** (1.0 / ord)
+
+
+def extract_diagonal(m: AnySparse) -> np.ndarray:
+    """The main diagonal as a dense vector of length ``min(shape)``."""
+    coo = convert(m, COOMatrix)
+    d = np.zeros(min(m.shape), dtype=np.float64)
+    mask = coo.rows == coo.cols
+    d[coo.rows[mask]] = coo.values[mask]
+    return d
+
+
+def frobenius_norm(m: AnySparse) -> float:
+    """The Frobenius norm sqrt(sum of squares of nonzeros)."""
+    coo = convert(m, COOMatrix)
+    return float(np.sqrt(np.sum(coo.values**2)))
+
+
+def spgemm(a: AnySparse, b: AnySparse) -> COOMatrix:
+    """Sparse matrix–matrix product ``C = A @ B`` (result in canonical COO).
+
+    Row-by-row expansion on CRS operands: for each stored ``A[i, k]`` the
+    whole compressed row ``B[k, :]`` is scaled and accumulated.  Vectorised
+    per distinct ``k`` (gather–scale–scatter), so the Python-level loop is
+    over the columns of ``A`` that are actually populated, not over
+    nonzeros.
+    """
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(
+            f"inner dimensions disagree: {a.shape} @ {b.shape}"
+        )
+    a_crs = convert(a, CRSMatrix)
+    b_crs = convert(b, CRSMatrix)
+    a_coo = a_crs.to_coo()
+    rows_out: list[np.ndarray] = []
+    cols_out: list[np.ndarray] = []
+    vals_out: list[np.ndarray] = []
+    b_counts = b_crs.row_counts()
+    for k in np.unique(a_coo.cols):
+        nnz_bk = int(b_counts[k])
+        if nnz_bk == 0:
+            continue
+        mask = a_coo.cols == k
+        a_rows = a_coo.rows[mask]
+        a_vals = a_coo.values[mask]
+        b_cols, b_vals = b_crs.row(int(k))
+        rows_out.append(np.repeat(a_rows, nnz_bk))
+        cols_out.append(np.tile(b_cols, len(a_rows)))
+        vals_out.append(np.outer(a_vals, b_vals).ravel())
+    if not rows_out:
+        return COOMatrix.empty((a.shape[0], b.shape[1]))
+    return COOMatrix(
+        (a.shape[0], b.shape[1]),
+        np.concatenate(rows_out),
+        np.concatenate(cols_out),
+        np.concatenate(vals_out),
+    )

@@ -1,0 +1,113 @@
+"""Unit tests for the distributed conjugate gradient solver."""
+
+import numpy as np
+import pytest
+
+from repro.apps import distributed_cg, spd_system
+from repro.core import get_compression, get_scheme
+from repro.machine import Machine, Phase
+from repro.partition import ColumnPartition, Mesh2DPartition, RowPartition
+from repro.sparse import COOMatrix
+
+
+def distribute(matrix, plan, scheme="ed"):
+    machine = Machine(plan.n_procs)
+    get_scheme(scheme).run(machine, matrix, plan, get_compression("crs"))
+    return machine
+
+
+class TestSpdSystem:
+    def test_symmetric(self):
+        A = spd_system(20, 0.1, seed=1).to_dense()
+        np.testing.assert_array_equal(A, A.T)
+
+    def test_positive_definite(self):
+        A = spd_system(20, 0.1, seed=2).to_dense()
+        assert np.linalg.eigvalsh(A).min() > 0
+
+    def test_explicit_shift(self):
+        A = spd_system(10, 0.1, shift=100.0, seed=3)
+        assert np.all(np.diag(A.to_dense()) >= 100.0)
+
+
+class TestSolver:
+    @pytest.mark.parametrize(
+        "partition", [RowPartition(), ColumnPartition(), Mesh2DPartition()]
+    )
+    def test_converges_on_every_partition(self, partition, rng):
+        A = spd_system(30, 0.08, seed=4)
+        b = rng.standard_normal(30)
+        plan = partition.plan(A.shape, 4)
+        result = distributed_cg(distribute(A, plan), plan, b, tol=1e-12)
+        assert result.converged
+        np.testing.assert_allclose(A.to_dense() @ result.x, b, atol=1e-8)
+
+    def test_matches_numpy_solution(self, rng):
+        A = spd_system(24, 0.1, seed=5)
+        b = rng.standard_normal(24)
+        plan = RowPartition().plan(A.shape, 3)
+        result = distributed_cg(distribute(A, plan), plan, b, tol=1e-13)
+        np.testing.assert_allclose(
+            result.x, np.linalg.solve(A.to_dense(), b), atol=1e-7
+        )
+
+    def test_exact_initial_guess_converges_immediately(self, rng):
+        A = spd_system(16, 0.1, seed=6)
+        b = rng.standard_normal(16)
+        x_true = np.linalg.solve(A.to_dense(), b)
+        plan = RowPartition().plan(A.shape, 2)
+        result = distributed_cg(distribute(A, plan), plan, b, x0=x_true, tol=1e-8)
+        assert result.converged and result.iterations == 0
+
+    def test_converges_within_n_iterations(self, rng):
+        """Exact-arithmetic CG finishes in n steps; allow slack for FP."""
+        A = spd_system(32, 0.1, seed=7)
+        b = rng.standard_normal(32)
+        plan = RowPartition().plan(A.shape, 4)
+        result = distributed_cg(distribute(A, plan), plan, b, tol=1e-10)
+        assert result.converged
+        assert result.iterations <= 2 * 32
+
+    def test_iteration_cap_reported(self, rng):
+        A = spd_system(20, 0.1, seed=8)
+        b = rng.standard_normal(20)
+        plan = RowPartition().plan(A.shape, 2)
+        result = distributed_cg(
+            distribute(A, plan), plan, b, max_iter=1, tol=1e-16
+        )
+        assert not result.converged and result.iterations == 1
+
+    def test_indefinite_matrix_detected(self, rng):
+        indefinite = COOMatrix.from_dense(np.diag([1.0, -1.0, 2.0, 3.0]))
+        b = rng.standard_normal(4)
+        plan = RowPartition().plan(indefinite.shape, 2)
+        with pytest.raises(np.linalg.LinAlgError, match="positive definite"):
+            distributed_cg(distribute(indefinite, plan), plan, b, tol=1e-12)
+
+    def test_compute_phase_charged(self, rng):
+        A = spd_system(20, 0.1, seed=9)
+        b = rng.standard_normal(20)
+        plan = RowPartition().plan(A.shape, 2)
+        machine = distribute(A, plan)
+        distributed_cg(machine, plan, b, tol=1e-10)
+        assert machine.trace.elapsed(Phase.COMPUTE) > 0
+
+
+class TestValidation:
+    def test_square_required(self, rect_matrix):
+        plan = RowPartition().plan(rect_matrix.shape, 2)
+        machine = distribute(rect_matrix, plan)
+        with pytest.raises(ValueError, match="square"):
+            distributed_cg(machine, plan, np.ones(18))
+
+    def test_b_shape_checked(self, rng):
+        A = spd_system(10, 0.1, seed=10)
+        plan = RowPartition().plan(A.shape, 2)
+        with pytest.raises(ValueError, match="b must"):
+            distributed_cg(distribute(A, plan), plan, np.ones(11))
+
+    def test_x0_shape_checked(self, rng):
+        A = spd_system(10, 0.1, seed=11)
+        plan = RowPartition().plan(A.shape, 2)
+        with pytest.raises(ValueError, match="x0"):
+            distributed_cg(distribute(A, plan), plan, np.ones(10), x0=np.ones(9))

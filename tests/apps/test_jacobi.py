@@ -1,0 +1,100 @@
+"""Unit tests for the distributed Jacobi solver."""
+
+import numpy as np
+import pytest
+
+from repro.apps import diagonally_dominant, distributed_jacobi
+from repro.core import get_compression, get_scheme
+from repro.machine import Machine
+from repro.partition import Mesh2DPartition, RowPartition
+from repro.sparse import COOMatrix
+
+
+def distribute(matrix, plan, scheme="cfs"):
+    machine = Machine(plan.n_procs)
+    get_scheme(scheme).run(machine, matrix, plan, get_compression("crs"))
+    return machine
+
+
+class TestDiagonallyDominant:
+    def test_strict_dominance(self):
+        m = diagonally_dominant(40, 0.1, dominance=2.0, seed=1)
+        dense = m.to_dense()
+        diag = np.abs(np.diag(dense))
+        off = np.abs(dense).sum(axis=1) - diag
+        assert np.all(diag > off)
+
+    def test_shape_and_determinism(self):
+        assert diagonally_dominant(10, seed=3) == diagonally_dominant(10, seed=3)
+
+    def test_dominance_must_exceed_one(self):
+        with pytest.raises(ValueError, match="dominance"):
+            diagonally_dominant(10, dominance=1.0)
+
+
+class TestSolver:
+    def test_converges_to_true_solution(self, rng):
+        A = diagonally_dominant(30, 0.08, seed=2)
+        b = rng.standard_normal(30)
+        plan = RowPartition().plan(A.shape, 5)
+        machine = distribute(A, plan)
+        result = distributed_jacobi(machine, plan, A, b, tol=1e-12)
+        assert result.converged
+        np.testing.assert_allclose(A.to_dense() @ result.x, b, atol=1e-8)
+
+    def test_mesh_partition(self, rng):
+        A = diagonally_dominant(24, 0.1, seed=4)
+        b = rng.standard_normal(24)
+        plan = Mesh2DPartition().plan(A.shape, 4)
+        machine = distribute(A, plan)
+        result = distributed_jacobi(machine, plan, A, b, tol=1e-12)
+        assert result.converged
+        np.testing.assert_allclose(A.to_dense() @ result.x, b, atol=1e-8)
+
+    def test_warm_start_converges_faster(self, rng):
+        A = diagonally_dominant(30, 0.08, seed=5)
+        b = rng.standard_normal(30)
+        plan = RowPartition().plan(A.shape, 3)
+        cold = distributed_jacobi(distribute(A, plan), plan, A, b, tol=1e-10)
+        x_true = np.linalg.solve(A.to_dense(), b)
+        warm = distributed_jacobi(
+            distribute(A, plan), plan, A, b, x0=x_true, tol=1e-10
+        )
+        assert warm.iterations <= cold.iterations
+
+    def test_iteration_cap(self, rng):
+        A = diagonally_dominant(20, 0.1, seed=6)
+        b = rng.standard_normal(20)
+        plan = RowPartition().plan(A.shape, 2)
+        result = distributed_jacobi(
+            distribute(A, plan), plan, A, b, max_iter=1, tol=1e-15
+        )
+        assert not result.converged and result.iterations == 1
+
+    def test_residual_norm_reported(self, rng):
+        A = diagonally_dominant(20, 0.1, seed=7)
+        b = rng.standard_normal(20)
+        plan = RowPartition().plan(A.shape, 2)
+        result = distributed_jacobi(distribute(A, plan), plan, A, b, tol=1e-12)
+        true_res = np.linalg.norm(A.to_dense() @ result.x - b)
+        assert result.residual_norm == pytest.approx(true_res, abs=1e-9)
+
+
+class TestValidation:
+    def test_zero_diagonal_rejected(self, rng):
+        A = COOMatrix.from_dense(np.array([[0.0, 1.0], [1.0, 2.0]]))
+        plan = RowPartition().plan(A.shape, 1)
+        with pytest.raises(ValueError, match="diagonal"):
+            distributed_jacobi(distribute(A, plan), plan, A, np.ones(2))
+
+    def test_square_required(self, rect_matrix):
+        plan = RowPartition().plan(rect_matrix.shape, 2)
+        machine = distribute(rect_matrix, plan)
+        with pytest.raises(ValueError, match="square"):
+            distributed_jacobi(machine, plan, rect_matrix, np.ones(18))
+
+    def test_b_shape_checked(self):
+        A = diagonally_dominant(8, seed=8)
+        plan = RowPartition().plan(A.shape, 2)
+        with pytest.raises(ValueError, match="shape"):
+            distributed_jacobi(distribute(A, plan), plan, A, np.ones(9))

@@ -1,0 +1,103 @@
+"""Unit tests for distributed power iteration."""
+
+import numpy as np
+import pytest
+
+from repro.apps import distributed_power_iteration
+from repro.core import get_compression, get_scheme
+from repro.machine import Machine
+from repro.partition import ColumnPartition, RowPartition
+from repro.sparse import COOMatrix, random_sparse
+
+
+def symmetric_matrix(n, s, shift, seed):
+    base = random_sparse((n, n), s, seed=seed).to_dense()
+    return COOMatrix.from_dense(base + base.T + shift * np.eye(n))
+
+
+def distribute(matrix, plan):
+    machine = Machine(plan.n_procs)
+    get_scheme("ed").run(machine, matrix, plan, get_compression("crs"))
+    return machine
+
+
+class TestConvergence:
+    def test_dominant_eigenvalue_matches_dense(self):
+        m = symmetric_matrix(30, 0.15, 8.0, seed=1)
+        plan = RowPartition().plan(m.shape, 5)
+        machine = distribute(m, plan)
+        result = distributed_power_iteration(machine, plan, seed=0, tol=1e-13)
+        dense = np.max(np.abs(np.linalg.eigvalsh(m.to_dense())))
+        assert result.converged
+        assert abs(result.eigenvalue) == pytest.approx(dense, rel=1e-7)
+
+    def test_eigenvector_residual_small(self):
+        m = symmetric_matrix(24, 0.2, 6.0, seed=2)
+        plan = RowPartition().plan(m.shape, 4)
+        machine = distribute(m, plan)
+        result = distributed_power_iteration(machine, plan, seed=3, tol=1e-13)
+        A = m.to_dense()
+        v = result.eigenvector
+        residual = np.linalg.norm(A @ v - result.eigenvalue * v)
+        assert residual < 1e-5 * abs(result.eigenvalue)
+
+    def test_column_partition_works_too(self):
+        m = symmetric_matrix(20, 0.2, 5.0, seed=4)
+        plan = ColumnPartition().plan(m.shape, 4)
+        machine = distribute(m, plan)
+        result = distributed_power_iteration(machine, plan, seed=0, tol=1e-12)
+        dense = np.max(np.abs(np.linalg.eigvalsh(m.to_dense())))
+        assert abs(result.eigenvalue) == pytest.approx(dense, rel=1e-6)
+
+    def test_diagonal_matrix_exact(self):
+        m = COOMatrix.from_dense(np.diag([1.0, -7.0, 3.0, 2.0]))
+        plan = RowPartition().plan(m.shape, 2)
+        machine = distribute(m, plan)
+        result = distributed_power_iteration(machine, plan, seed=1, tol=1e-14)
+        assert abs(result.eigenvalue) == pytest.approx(7.0, rel=1e-6)
+
+    def test_iteration_cap_reported(self):
+        m = symmetric_matrix(16, 0.3, 2.0, seed=5)
+        plan = RowPartition().plan(m.shape, 2)
+        machine = distribute(m, plan)
+        result = distributed_power_iteration(machine, plan, max_iter=1, tol=0.0)
+        assert not result.converged
+        assert result.iterations == 1
+
+
+class TestValidation:
+    def test_square_required(self, rect_matrix):
+        plan = RowPartition().plan(rect_matrix.shape, 2)
+        machine = distribute(rect_matrix, plan)
+        with pytest.raises(ValueError, match="square"):
+            distributed_power_iteration(machine, plan)
+
+    def test_zero_matrix_returns_zero(self):
+        m = COOMatrix.empty((8, 8))
+        plan = RowPartition().plan(m.shape, 2)
+        machine = distribute(m, plan)
+        result = distributed_power_iteration(machine, plan, seed=0)
+        assert result.converged and result.eigenvalue == 0.0
+
+    def test_explicit_x0(self):
+        m = COOMatrix.from_dense(np.diag([5.0, 1.0]))
+        plan = RowPartition().plan(m.shape, 1)
+        machine = distribute(m, plan)
+        result = distributed_power_iteration(
+            machine, plan, x0=np.array([1.0, 0.2]), tol=1e-14
+        )
+        assert result.eigenvalue == pytest.approx(5.0, rel=1e-9)
+
+    def test_zero_x0_rejected(self):
+        m = COOMatrix.from_dense(np.eye(4))
+        plan = RowPartition().plan(m.shape, 2)
+        machine = distribute(m, plan)
+        with pytest.raises(ValueError, match="nonzero"):
+            distributed_power_iteration(machine, plan, x0=np.zeros(4))
+
+    def test_wrong_x0_shape_rejected(self):
+        m = COOMatrix.from_dense(np.eye(4))
+        plan = RowPartition().plan(m.shape, 2)
+        machine = distribute(m, plan)
+        with pytest.raises(ValueError, match="shape"):
+            distributed_power_iteration(machine, plan, x0=np.ones(5))

@@ -1,0 +1,110 @@
+"""Unit tests for distributed SpGEMM."""
+
+import numpy as np
+import pytest
+
+from repro.apps import RESULT_KEY, distributed_spgemm
+from repro.core import get_compression, get_scheme
+from repro.machine import Machine, Phase, unit_cost_model
+from repro.partition import (
+    BlockCyclicRowPartition,
+    ColumnPartition,
+    RowPartition,
+)
+from repro.sparse import random_sparse
+
+
+def distribute(matrix, plan, cost=None):
+    machine = Machine(plan.n_procs, cost=cost)
+    get_scheme("ed").run(machine, matrix, plan, get_compression("crs"))
+    return machine
+
+
+class TestCorrectness:
+    def test_matches_dense_product(self):
+        A = random_sparse((24, 18), 0.2, seed=1)
+        B = random_sparse((18, 30), 0.2, seed=2)
+        plan = RowPartition().plan(A.shape, 4)
+        machine = distribute(A, plan)
+        C = distributed_spgemm(machine, plan, B)
+        np.testing.assert_allclose(C.to_dense(), A.to_dense() @ B.to_dense())
+
+    def test_cyclic_row_partition(self):
+        A = random_sparse((20, 20), 0.25, seed=3)
+        B = random_sparse((20, 12), 0.25, seed=4)
+        plan = BlockCyclicRowPartition(3).plan(A.shape, 3)
+        machine = distribute(A, plan)
+        C = distributed_spgemm(machine, plan, B)
+        np.testing.assert_allclose(C.to_dense(), A.to_dense() @ B.to_dense())
+
+    def test_local_blocks_kept(self):
+        A = random_sparse((16, 16), 0.3, seed=5)
+        B = random_sparse((16, 16), 0.3, seed=6)
+        plan = RowPartition().plan(A.shape, 4)
+        machine = distribute(A, plan)
+        distributed_spgemm(machine, plan, B)
+        dense_c = A.to_dense() @ B.to_dense()
+        for a in plan:
+            block = machine.processor(a.rank).load(RESULT_KEY)
+            np.testing.assert_allclose(block.to_dense(), dense_c[a.row_ids, :])
+
+    def test_empty_operands(self):
+        A = random_sparse((8, 8), 0.0, seed=0)
+        B = random_sparse((8, 8), 0.5, seed=1)
+        plan = RowPartition().plan(A.shape, 2)
+        machine = distribute(A, plan)
+        C = distributed_spgemm(machine, plan, B)
+        assert C.nnz == 0
+
+    def test_chained_products(self):
+        """C = A@B gathered, then reused as the next B."""
+        A = random_sparse((12, 12), 0.3, seed=7)
+        B = random_sparse((12, 12), 0.3, seed=8)
+        plan = RowPartition().plan(A.shape, 3)
+        machine = distribute(A, plan)
+        AB = distributed_spgemm(machine, plan, B)
+        AAB = distributed_spgemm(machine, plan, AB)
+        np.testing.assert_allclose(
+            AAB.to_dense(), A.to_dense() @ A.to_dense() @ B.to_dense()
+        )
+
+
+class TestAccounting:
+    def test_broadcast_uses_compact_encoding(self):
+        A = random_sparse((32, 32), 0.1, seed=9)
+        B = random_sparse((32, 32), 0.1, seed=10)
+        plan = RowPartition().plan(A.shape, 4)
+        machine = distribute(A, plan, cost=unit_cost_model())
+        machine.trace.clear()
+        distributed_spgemm(machine, plan, B)
+        bd = machine.trace.breakdown(Phase.COMPUTE)
+        encoded_b = 32 + 2 * B.nnz
+        dense_b = 32 * 32
+        # 4 broadcasts of the encoding, not of the dense array
+        assert bd.elements_sent < 4 * dense_b
+        assert bd.elements_sent >= 4 * encoded_b
+
+    def test_flops_charged_to_processors(self):
+        A = random_sparse((16, 16), 0.3, seed=11)
+        B = random_sparse((16, 16), 0.3, seed=12)
+        plan = RowPartition().plan(A.shape, 4)
+        machine = distribute(A, plan, cost=unit_cost_model())
+        machine.trace.clear()
+        distributed_spgemm(machine, plan, B)
+        assert machine.trace.breakdown(Phase.COMPUTE).max_proc_time > 0
+
+
+class TestValidation:
+    def test_inner_dimension_checked(self):
+        A = random_sparse((10, 10), 0.2, seed=13)
+        plan = RowPartition().plan(A.shape, 2)
+        machine = distribute(A, plan)
+        with pytest.raises(ValueError, match="inner dimensions"):
+            distributed_spgemm(machine, plan, random_sparse((11, 5), 0.2, seed=14))
+
+    def test_column_partition_rejected(self):
+        A = random_sparse((10, 10), 0.2, seed=15)
+        plan = ColumnPartition().plan(A.shape, 2)
+        machine = distribute(A, plan)
+        with pytest.raises(ValueError, match="whole-row"):
+            distributed_spgemm(machine, plan, random_sparse((10, 5), 0.2, seed=16))

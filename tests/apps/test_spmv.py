@@ -1,0 +1,169 @@
+"""Unit tests for distributed SpMV."""
+
+import numpy as np
+import pytest
+
+from repro.apps import distributed_spmv
+from repro.core import get_compression, get_scheme
+from repro.machine import Machine, Phase, unit_cost_model
+from repro.partition import (
+    BinPackingRowPartition,
+    BlockCyclicRowPartition,
+    RowPartition,
+)
+from repro.sparse import random_sparse
+
+
+def distribute(matrix, plan, scheme="ed", compression="crs", cost=None):
+    machine = Machine(plan.n_procs, cost=cost)
+    get_scheme(scheme).run(machine, matrix, plan, get_compression(compression))
+    return machine
+
+
+class TestCorrectness:
+    def test_matches_dense_product(self, medium_matrix, any_partition, rng):
+        plan = any_partition.plan(medium_matrix.shape, 6)
+        machine = distribute(medium_matrix, plan)
+        x = rng.standard_normal(60)
+        np.testing.assert_allclose(
+            distributed_spmv(machine, plan, x), medium_matrix.to_dense() @ x
+        )
+
+    def test_rectangular(self, rect_matrix, any_partition, rng):
+        plan = any_partition.plan(rect_matrix.shape, 4)
+        machine = distribute(rect_matrix, plan, compression="ccs")
+        x = rng.standard_normal(30)
+        np.testing.assert_allclose(
+            distributed_spmv(machine, plan, x), rect_matrix.to_dense() @ x
+        )
+
+    @pytest.mark.parametrize("scheme", ["sfc", "cfs", "ed"])
+    @pytest.mark.parametrize("compression", ["crs", "ccs"])
+    def test_any_distribution_route(self, scheme, compression, medium_matrix, rng):
+        plan = RowPartition().plan(medium_matrix.shape, 5)
+        machine = distribute(medium_matrix, plan, scheme, compression)
+        x = rng.standard_normal(60)
+        np.testing.assert_allclose(
+            distributed_spmv(machine, plan, x), medium_matrix.to_dense() @ x
+        )
+
+    def test_non_contiguous_partitions(self, medium_matrix, rng):
+        x = rng.standard_normal(60)
+        expected = medium_matrix.to_dense() @ x
+        for plan in (
+            BlockCyclicRowPartition(2).plan(medium_matrix.shape, 4),
+            BinPackingRowPartition(medium_matrix).plan(medium_matrix.shape, 4),
+        ):
+            machine = distribute(medium_matrix, plan)
+            np.testing.assert_allclose(distributed_spmv(machine, plan, x), expected)
+
+    def test_repeated_multiplies_match_dense_chain(self, medium_matrix, rng):
+        plan = RowPartition().plan(medium_matrix.shape, 4)
+        machine = distribute(medium_matrix, plan)
+        dense = medium_matrix.to_dense()
+        x = rng.standard_normal(60)
+        expected = x.copy()
+        for _ in range(3):
+            x = distributed_spmv(machine, plan, x)
+            expected = dense @ expected
+        np.testing.assert_allclose(x, expected, rtol=1e-10)
+
+
+class TestAccounting:
+    def test_compute_phase_charged(self, medium_matrix, rng):
+        plan = RowPartition().plan(medium_matrix.shape, 4)
+        machine = distribute(medium_matrix, plan, cost=unit_cost_model())
+        before = machine.trace.elapsed(Phase.COMPUTE)
+        distributed_spmv(machine, plan, rng.standard_normal(60))
+        assert machine.trace.elapsed(Phase.COMPUTE) > before
+
+    def test_distribution_phase_untouched(self, medium_matrix, rng):
+        plan = RowPartition().plan(medium_matrix.shape, 4)
+        machine = distribute(medium_matrix, plan, cost=unit_cost_model())
+        before = machine.t_distribution
+        distributed_spmv(machine, plan, rng.standard_normal(60))
+        assert machine.t_distribution == before
+
+    def test_exact_cost_row_partition(self, rng):
+        """x-scatter (p msgs, n elements) + 2nnz ops + gather (p msgs,
+        n elements) + n assemble ops, all with unit costs."""
+        m = random_sparse((40, 40), 0.2, seed=1)
+        plan = RowPartition().plan(m.shape, 4)
+        machine = distribute(m, plan, cost=unit_cost_model())
+        distributed_spmv(machine, plan, rng.standard_normal(40))
+        bd = machine.trace.breakdown(Phase.COMPUTE)
+        # messages: 4 x-slices of 40 plus 4 partials of 10
+        assert bd.n_messages == 8
+        assert bd.elements_sent == 4 * 40 + 40
+        # proc ops 2*nnz_local (parallel: max), host assemble 40 ops
+        locals_ = plan.extract_all(m)
+        assert bd.host_time == (8 + 4 * 40 + 40) + 40  # msgs on host + assemble
+        assert bd.max_proc_time == max(2 * l.nnz for l in locals_)
+
+
+class TestValidation:
+    def test_wrong_x_length(self, medium_matrix):
+        plan = RowPartition().plan(medium_matrix.shape, 4)
+        machine = distribute(medium_matrix, plan)
+        with pytest.raises(ValueError, match="shape"):
+            distributed_spmv(machine, plan, np.zeros(61))
+
+    def test_requires_prior_distribution(self, medium_matrix):
+        plan = RowPartition().plan(medium_matrix.shape, 4)
+        machine = Machine(4)
+        with pytest.raises(KeyError):
+            distributed_spmv(machine, plan, np.zeros(60))
+
+    def test_plan_mismatch_detected(self, medium_matrix):
+        plan = RowPartition().plan(medium_matrix.shape, 4)
+        machine = distribute(medium_matrix, plan)
+        other = RowPartition().plan((60, 60), 3)
+        with pytest.raises((ValueError, LookupError, KeyError)):
+            distributed_spmv(machine, other, np.zeros(60))
+
+
+class TestTransposeKernel:
+    def test_matches_dense_transpose(self, medium_matrix, any_partition, rng):
+        from repro.apps import distributed_spmv_transpose
+
+        plan = any_partition.plan(medium_matrix.shape, 5)
+        machine = distribute(medium_matrix, plan)
+        x = rng.standard_normal(60)
+        np.testing.assert_allclose(
+            distributed_spmv_transpose(machine, plan, x),
+            medium_matrix.to_dense().T @ x,
+        )
+
+    def test_rectangular(self, rect_matrix, rng):
+        from repro.apps import distributed_spmv_transpose
+
+        plan = RowPartition().plan(rect_matrix.shape, 3)
+        machine = distribute(rect_matrix, plan, compression="ccs")
+        x = rng.standard_normal(18)
+        np.testing.assert_allclose(
+            distributed_spmv_transpose(machine, plan, x),
+            rect_matrix.to_dense().T @ x,
+        )
+
+    def test_agrees_with_transpose_then_spmv(self, medium_matrix, rng):
+        from repro.apps import distributed_spmv, distributed_spmv_transpose
+        from repro.core import distributed_transpose, get_compression
+
+        x = rng.standard_normal(60)
+        plan = RowPartition().plan(medium_matrix.shape, 4)
+
+        direct = distribute(medium_matrix, plan)
+        y_direct = distributed_spmv_transpose(direct, plan, x)
+
+        via = distribute(medium_matrix, plan)
+        t_plan, _ = distributed_transpose(via, plan, get_compression("crs"))
+        y_via = distributed_spmv(via, t_plan, x)
+        np.testing.assert_allclose(y_direct, y_via)
+
+    def test_wrong_x_shape_rejected(self, medium_matrix):
+        from repro.apps import distributed_spmv_transpose
+
+        plan = RowPartition().plan(medium_matrix.shape, 4)
+        machine = distribute(medium_matrix, plan)
+        with pytest.raises(ValueError, match="shape"):
+            distributed_spmv_transpose(machine, plan, np.zeros(61))

@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine import Machine, unit_cost_model
+from repro.partition import ColumnPartition, Mesh2DPartition, RowPartition
+from repro.sparse import COOMatrix, random_sparse
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_matrix() -> COOMatrix:
+    """A 12x12 sparse array, s = 0.15, deterministic."""
+    return random_sparse((12, 12), 0.15, seed=7)
+
+
+@pytest.fixture
+def medium_matrix() -> COOMatrix:
+    """A 60x60 sparse array divisible by common processor counts."""
+    return random_sparse((60, 60), 0.1, seed=21)
+
+
+@pytest.fixture
+def rect_matrix() -> COOMatrix:
+    """A non-square matrix to catch row/column mixups."""
+    return random_sparse((18, 30), 0.2, seed=3)
+
+
+@pytest.fixture(params=["row", "column", "mesh2d"])
+def any_partition(request):
+    """Each of the paper's three partition methods."""
+    return {
+        "row": RowPartition(),
+        "column": ColumnPartition(),
+        "mesh2d": Mesh2DPartition(),
+    }[request.param]
+
+
+@pytest.fixture(params=["crs", "ccs"])
+def compression_name(request) -> str:
+    return request.param
+
+
+@pytest.fixture(params=["sfc", "cfs", "ed"])
+def scheme_name(request) -> str:
+    return request.param
+
+
+@pytest.fixture
+def unit_machine_factory():
+    """Factory for machines with T_Startup = T_Data = T_Operation = 1."""
+
+    def make(n_procs: int) -> Machine:
+        return Machine(n_procs, cost=unit_cost_model())
+
+    return make

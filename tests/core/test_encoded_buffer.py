@@ -1,0 +1,125 @@
+"""Unit tests for the ED scheme's special buffer (Figure 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ConversionSpec, EncodedBuffer
+from repro.sparse import CCSMatrix, COOMatrix, CRSMatrix, random_sparse
+
+NONE = ConversionSpec(kind="none")
+
+
+class TestEncode:
+    def test_wire_layout_crs(self):
+        """Per row: R_i then alternating (C, V) pairs."""
+        dense = np.array([[0.0, 5.0, 6.0], [0.0, 0.0, 0.0], [7.0, 0.0, 0.0]])
+        local = COOMatrix.from_dense(dense)
+        buf, _ = EncodedBuffer.encode(local, "crs", NONE)
+        assert buf.data.tolist() == [2, 1, 5.0, 2, 6.0, 0, 1, 0, 7.0]
+
+    def test_wire_layout_ccs(self):
+        dense = np.array([[0.0, 5.0], [3.0, 4.0]])
+        local = COOMatrix.from_dense(dense)
+        buf, _ = EncodedBuffer.encode(local, "ccs", NONE)
+        assert buf.data.tolist() == [1, 1, 3.0, 2, 0, 5.0, 1, 4.0]
+
+    def test_wire_size_is_segments_plus_2nnz(self, small_matrix):
+        buf, _ = EncodedBuffer.encode(small_matrix, "crs", NONE)
+        assert buf.n_elements == small_matrix.shape[0] + 2 * small_matrix.nnz
+        assert buf.nnz == small_matrix.nnz
+        buf2, _ = EncodedBuffer.encode(small_matrix, "ccs", NONE)
+        assert buf2.n_elements == small_matrix.shape[1] + 2 * small_matrix.nnz
+
+    def test_encode_ops_match_paper_model(self, small_matrix):
+        """encode ops = elements scanned + 3 per nonzero."""
+        _, ops = EncodedBuffer.encode(small_matrix, "crs", NONE)
+        lr, lc = small_matrix.shape
+        assert ops == lr * lc + 3 * small_matrix.nnz
+
+    def test_global_indices_on_wire(self):
+        local = COOMatrix.from_dense(np.array([[1.0, 0.0], [0.0, 2.0]]))
+        conv = ConversionSpec(kind="offset", offset=10)
+        buf, _ = EncodedBuffer.encode(local, "crs", conv)
+        assert buf.data.tolist() == [1, 10, 1.0, 1, 11, 2.0]
+
+    def test_invalid_mode_rejected(self, small_matrix):
+        with pytest.raises(ValueError, match="mode"):
+            EncodedBuffer.encode(small_matrix, "coo", NONE)
+
+    def test_empty_local_array(self):
+        empty = COOMatrix.empty((3, 4))
+        buf, ops = EncodedBuffer.encode(empty, "crs", NONE)
+        assert buf.data.tolist() == [0, 0, 0]
+        assert ops == 12
+
+
+class TestDecode:
+    @pytest.mark.parametrize("mode,cls", [("crs", CRSMatrix), ("ccs", CCSMatrix)])
+    def test_roundtrip(self, mode, cls, small_matrix):
+        buf, _ = EncodedBuffer.encode(small_matrix, mode, NONE)
+        decoded, _ = buf.decode(NONE)
+        assert isinstance(decoded, cls)
+        np.testing.assert_array_equal(decoded.to_dense(), small_matrix.to_dense())
+
+    def test_decode_ops_without_conversion(self, small_matrix):
+        """decode ops = 1 + segments + 2*nnz (paper's ceil(n/p)n(2s'+1/n)+1)."""
+        buf, _ = EncodedBuffer.encode(small_matrix, "crs", NONE)
+        _, ops = buf.decode(NONE)
+        assert ops == 1 + small_matrix.shape[0] + 2 * small_matrix.nnz
+
+    def test_decode_ops_with_conversion(self, small_matrix):
+        """conversion adds one op per nonzero (Cases 3.3.2 / 3.3.3)."""
+        conv = ConversionSpec(kind="offset", offset=4)
+        buf, _ = EncodedBuffer.encode(small_matrix, "crs", conv)
+        _, ops = buf.decode(conv)
+        assert ops == 1 + small_matrix.shape[0] + 3 * small_matrix.nnz
+
+    def test_decode_applies_conversion(self):
+        local = COOMatrix.from_dense(np.array([[0.0, 3.0]]))
+        conv = ConversionSpec(kind="offset", offset=6)
+        buf, _ = EncodedBuffer.encode(local, "crs", conv)
+        decoded, _ = buf.decode(conv)
+        assert decoded.indices.tolist() == [1]
+
+    def test_decode_ro_matches_paper_prefix_sum(self):
+        """RO[0]=1; RO[i+1] = RO[i] + R_i (Section 3.3)."""
+        local = random_sparse((6, 5), 0.4, seed=2)
+        buf, _ = EncodedBuffer.encode(local, "crs", NONE)
+        decoded, _ = buf.decode(NONE)
+        counts = local.row_counts()
+        expected_ro = [1]
+        for c in counts:
+            expected_ro.append(expected_ro[-1] + int(c))
+        assert decoded.RO.tolist() == expected_ro
+
+    def test_corrupt_buffer_detected(self):
+        local = COOMatrix.from_dense(np.eye(3))
+        buf, _ = EncodedBuffer.encode(local, "crs", NONE)
+        bad = EncodedBuffer(
+            data=np.concatenate([buf.data, [9.0]]),
+            mode="crs",
+            local_shape=buf.local_shape,
+        )
+        with pytest.raises(ValueError, match="corrupt"):
+            bad.decode(NONE)
+
+    def test_empty_buffer_roundtrip(self):
+        empty = COOMatrix.empty((2, 3))
+        buf, _ = EncodedBuffer.encode(empty, "ccs", NONE)
+        decoded, ops = buf.decode(NONE)
+        assert decoded.nnz == 0 and decoded.shape == (2, 3)
+        assert ops == 1 + 3
+
+    def test_random_roundtrips_both_modes(self):
+        for seed in range(5):
+            m = random_sparse((9, 13), 0.25, seed=seed)
+            for mode in ("crs", "ccs"):
+                buf, _ = EncodedBuffer.encode(m, mode, NONE)
+                decoded, _ = buf.decode(NONE)
+                np.testing.assert_array_equal(decoded.to_dense(), m.to_dense())
+
+
+class TestPaperFormat:
+    def test_paper_format_is_plain_wire(self, small_matrix):
+        buf, _ = EncodedBuffer.encode(small_matrix, "crs", NONE)
+        assert buf.to_paper_format() == [float(x) for x in buf.data]

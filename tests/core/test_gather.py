@@ -1,0 +1,81 @@
+"""Unit tests for gathering a distributed array back to the host."""
+
+import numpy as np
+import pytest
+
+from repro.core import LOCAL_KEY, gather_global, get_compression, get_scheme
+from repro.machine import Machine, Phase, unit_cost_model
+from repro.partition import BlockCyclicRowPartition, RowPartition
+from repro.sparse import random_sparse
+
+
+def distribute(matrix, plan, scheme="ed", compression="crs", cost=None):
+    machine = Machine(plan.n_procs, cost=cost)
+    get_scheme(scheme).run(machine, matrix, plan, get_compression(compression))
+    return machine
+
+
+class TestRoundtrip:
+    def test_gather_inverts_distribution(
+        self, medium_matrix, any_partition, compression_name
+    ):
+        plan = any_partition.plan(medium_matrix.shape, 4)
+        machine = distribute(medium_matrix, plan, compression=compression_name)
+        assert gather_global(machine, plan) == medium_matrix
+
+    @pytest.mark.parametrize("scheme", ["sfc", "cfs", "ed"])
+    def test_any_scheme_route(self, scheme, medium_matrix):
+        plan = RowPartition().plan(medium_matrix.shape, 5)
+        machine = distribute(medium_matrix, plan, scheme=scheme)
+        assert gather_global(machine, plan) == medium_matrix
+
+    def test_non_contiguous_partition(self, medium_matrix):
+        plan = BlockCyclicRowPartition(3).plan(medium_matrix.shape, 4)
+        machine = distribute(medium_matrix, plan, compression="ccs")
+        assert gather_global(machine, plan) == medium_matrix
+
+    def test_empty_matrix(self):
+        empty = random_sparse((10, 10), 0.0, seed=0)
+        plan = RowPartition().plan(empty.shape, 3)
+        machine = distribute(empty, plan)
+        assert gather_global(machine, plan) == empty
+
+    def test_non_destructive(self, medium_matrix):
+        plan = RowPartition().plan(medium_matrix.shape, 4)
+        machine = distribute(medium_matrix, plan)
+        before = [machine.processor(r).load(LOCAL_KEY) for r in range(4)]
+        gather_global(machine, plan)
+        after = [machine.processor(r).load(LOCAL_KEY) for r in range(4)]
+        assert all(a is b for a, b in zip(before, after))
+
+    def test_rectangular(self, rect_matrix):
+        plan = RowPartition().plan(rect_matrix.shape, 3)
+        machine = distribute(rect_matrix, plan)
+        assert gather_global(machine, plan) == rect_matrix
+
+
+class TestAccounting:
+    def test_wire_mirrors_ed_distribution(self, medium_matrix):
+        """Gather traffic = ED distribution traffic (2*nnz + segments)."""
+        plan = RowPartition().plan(medium_matrix.shape, 4)
+        machine = distribute(
+            medium_matrix, plan, cost=unit_cost_model()
+        )
+        down = machine.trace.breakdown(Phase.DISTRIBUTION).elements_sent
+        machine.trace.clear()
+        gather_global(machine, plan)
+        up = machine.trace.breakdown(Phase.DISTRIBUTION).elements_sent
+        assert up == down
+
+    def test_custom_phase(self, medium_matrix):
+        plan = RowPartition().plan(medium_matrix.shape, 4)
+        machine = distribute(medium_matrix, plan, cost=unit_cost_model())
+        machine.trace.clear()
+        gather_global(machine, plan, phase=Phase.COMPUTE)
+        assert machine.trace.elapsed(Phase.COMPUTE) > 0
+        assert machine.trace.elapsed(Phase.DISTRIBUTION) == 0
+
+    def test_requires_prior_distribution(self, medium_matrix):
+        plan = RowPartition().plan(medium_matrix.shape, 4)
+        with pytest.raises(KeyError):
+            gather_global(Machine(4), plan)

@@ -1,0 +1,112 @@
+"""Unit tests for Cases 3.2.1–3.2.3 / 3.3.1–3.3.3 index conversion."""
+
+import numpy as np
+import pytest
+
+from repro.core import ConversionSpec, conversion_for, paper_case_label
+from repro.partition import (
+    BlockCyclicRowPartition,
+    ColumnPartition,
+    Mesh2DPartition,
+    RowPartition,
+)
+
+
+class TestPaperCases:
+    def test_case_1_row_crs_needs_no_conversion(self):
+        plan = RowPartition().plan((12, 8), 3)
+        for a in plan:
+            conv = conversion_for(a, "crs")
+            assert conv.kind == "none"
+            assert conv.ops_per_nonzero == 0
+
+    def test_case_1_column_ccs_needs_no_conversion(self):
+        plan = ColumnPartition().plan((8, 12), 3)
+        for a in plan:
+            assert conversion_for(a, "ccs").kind == "none"
+
+    def test_case_2_row_ccs_subtracts_preceding_rows(self):
+        plan = RowPartition().plan((10, 8), 4)  # blocks 3,3,2,2
+        convs = [conversion_for(a, "ccs") for a in plan]
+        assert convs[0].kind == "none"
+        assert [c.offset for c in convs[1:]] == [3, 6, 8]
+
+    def test_case_2_column_crs_subtracts_preceding_cols(self):
+        plan = ColumnPartition().plan((8, 10), 4)
+        convs = [conversion_for(a, "crs") for a in plan]
+        assert convs[0].kind == "none"
+        assert [c.offset for c in convs[1:]] == [3, 6, 8]
+
+    def test_case_3_mesh_offsets(self):
+        plan = Mesh2DPartition((2, 2)).plan((10, 10), 4)
+        # CRS converts columns: P(i,0) offset 0, P(i,1) offset 5
+        offsets_crs = [
+            conversion_for(a, "crs").offset if conversion_for(a, "crs").kind == "offset" else 0
+            for a in plan
+        ]
+        assert offsets_crs == [0, 5, 0, 5]
+        # CCS converts rows: P(0,j) offset 0, P(1,j) offset 5
+        offsets_ccs = [
+            conversion_for(a, "ccs").offset if conversion_for(a, "ccs").kind == "offset" else 0
+            for a in plan
+        ]
+        assert offsets_ccs == [0, 0, 5, 5]
+
+    def test_invalid_compression_rejected(self):
+        plan = RowPartition().plan((4, 4), 2)
+        with pytest.raises(ValueError, match="'crs' or 'ccs'"):
+            conversion_for(plan[0], "brs")
+
+
+class TestConversionSpec:
+    def test_offset_roundtrip(self):
+        conv = ConversionSpec(kind="offset", offset=7)
+        local = np.array([0, 3, 5])
+        np.testing.assert_array_equal(conv.to_global(local), [7, 10, 12])
+        np.testing.assert_array_equal(conv.to_local(conv.to_global(local)), local)
+
+    def test_none_is_identity(self):
+        conv = ConversionSpec(kind="none")
+        idx = np.array([4, 1])
+        np.testing.assert_array_equal(conv.to_global(idx), idx)
+        np.testing.assert_array_equal(conv.to_local(idx), idx)
+
+    def test_map_roundtrip(self):
+        conv = ConversionSpec(kind="map", global_ids=np.array([2, 5, 9]))
+        local = np.array([0, 2, 1, 0])
+        np.testing.assert_array_equal(conv.to_global(local), [2, 9, 5, 2])
+        np.testing.assert_array_equal(conv.to_local(conv.to_global(local)), local)
+
+    def test_map_rejects_unowned_global_index(self):
+        conv = ConversionSpec(kind="map", global_ids=np.array([2, 5]))
+        with pytest.raises(ValueError, match="does not own"):
+            conv.to_local(np.array([3]))
+
+    def test_ops_per_nonzero(self):
+        assert ConversionSpec(kind="none").ops_per_nonzero == 0
+        assert ConversionSpec(kind="offset", offset=1).ops_per_nonzero == 1
+        assert (
+            ConversionSpec(kind="map", global_ids=np.array([0])).ops_per_nonzero == 1
+        )
+
+    def test_block_cyclic_gets_map_conversion(self):
+        plan = BlockCyclicRowPartition(2).plan((12, 6), 3)
+        conv = conversion_for(plan[1], "ccs")
+        assert conv.kind == "map"
+        np.testing.assert_array_equal(conv.global_ids, plan[1].row_ids)
+        # columns are all owned contiguously from 0 -> CRS needs nothing
+        assert conversion_for(plan[1], "crs").kind == "none"
+
+
+class TestCaseLabels:
+    @pytest.mark.parametrize("scheme,section", [("cfs", "3.2"), ("ed", "3.3")])
+    def test_labels(self, scheme, section):
+        assert paper_case_label("row", "crs", scheme) == f"{section}.1"
+        assert paper_case_label("column", "ccs", scheme) == f"{section}.1"
+        assert paper_case_label("row", "ccs", scheme) == f"{section}.2"
+        assert paper_case_label("column", "crs", scheme) == f"{section}.2"
+        assert paper_case_label("mesh2d", "crs", scheme) == f"{section}.3"
+        assert paper_case_label("mesh2d", "ccs", scheme) == f"{section}.3"
+
+    def test_non_paper_partition_is_general(self):
+        assert paper_case_label("block_cyclic_row", "crs", "cfs") == "general"

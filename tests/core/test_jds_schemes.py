@@ -1,0 +1,123 @@
+"""Unit tests for the SFC/CFS/ED orderings with JDS compression
+(the paper's future work 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import JDS_LOCAL_KEY, run_jds_scheme
+from repro.machine import Machine, unit_cost_model
+from repro.partition import (
+    BinPackingRowPartition,
+    BlockCyclicRowPartition,
+    ColumnPartition,
+    RowPartition,
+)
+from repro.sparse import JDSMatrix, random_sparse, row_skewed_sparse
+
+
+def run_all(matrix, plan):
+    out = {}
+    for scheme in ("sfc", "cfs", "ed"):
+        machine = Machine(plan.n_procs, cost=unit_cost_model())
+        out[scheme] = (machine, run_jds_scheme(scheme, machine, matrix, plan))
+    return out
+
+
+class TestCorrectness:
+    def test_all_orderings_agree(self, medium_matrix):
+        plan = RowPartition().plan(medium_matrix.shape, 4)
+        results = run_all(medium_matrix, plan)
+        reference = None
+        for machine, result in results.values():
+            locals_ = result.locals_
+            if reference is None:
+                reference = locals_
+            else:
+                for a, b in zip(reference, locals_):
+                    assert a == b
+
+    def test_locals_match_direct_compression(self, medium_matrix):
+        plan = RowPartition().plan(medium_matrix.shape, 4)
+        _, result = run_all(medium_matrix, plan)["ed"]
+        for a, got in zip(plan, result.locals_):
+            assert got == JDSMatrix.from_coo(a.extract_local(medium_matrix))
+
+    def test_stored_in_processor_memory(self, medium_matrix):
+        plan = RowPartition().plan(medium_matrix.shape, 4)
+        machine, result = run_all(medium_matrix, plan)["cfs"]
+        for a, local in zip(plan, result.locals_):
+            assert machine.processor(a.rank).load(JDS_LOCAL_KEY) is local
+
+    def test_whole_row_related_work_partitions(self):
+        m = row_skewed_sparse((40, 40), 0.15, skew=1.5, seed=2)
+        for plan in (
+            BlockCyclicRowPartition(3).plan(m.shape, 4),
+            BinPackingRowPartition(m).plan(m.shape, 4),
+        ):
+            results = run_all(m, plan)
+            ref = results["sfc"][1].locals_
+            for _, result in results.values():
+                for a, b in zip(ref, result.locals_):
+                    assert a == b
+
+    def test_skewed_matrix(self):
+        m = row_skewed_sparse((32, 32), 0.2, skew=2.5, seed=3)
+        plan = RowPartition().plan(m.shape, 4)
+        _, result = run_all(m, plan)["ed"]
+        rebuilt = np.zeros(m.shape)
+        for a, local in zip(plan, result.locals_):
+            rebuilt[a.row_ids, :] = local.to_dense()
+        np.testing.assert_array_equal(rebuilt, m.to_dense())
+
+    def test_empty_matrix(self):
+        empty = random_sparse((12, 12), 0.0, seed=0)
+        plan = RowPartition().plan(empty.shape, 3)
+        for _, result in run_all(empty, plan).values():
+            assert all(l.nnz == 0 for l in result.locals_)
+
+
+class TestOrderingsSurvive:
+    """The point of future work (1): Remarks 1 and 3 are not CRS-specific."""
+
+    def test_distribution_ordering(self, medium_matrix):
+        plan = RowPartition().plan(medium_matrix.shape, 4)
+        results = {k: v[1] for k, v in run_all(medium_matrix, plan).items()}
+        assert (
+            results["ed"].t_distribution
+            < results["cfs"].t_distribution
+            < results["sfc"].t_distribution
+        )
+
+    def test_compression_ordering(self, medium_matrix):
+        plan = RowPartition().plan(medium_matrix.shape, 4)
+        results = {k: v[1] for k, v in run_all(medium_matrix, plan).items()}
+        assert results["sfc"].t_compression < results["cfs"].t_compression
+        assert results["sfc"].t_compression < results["ed"].t_compression
+
+    def test_ed_wire_smallest(self, medium_matrix):
+        plan = RowPartition().plan(medium_matrix.shape, 4)
+        results = {k: v[1] for k, v in run_all(medium_matrix, plan).items()}
+        assert results["ed"].wire_elements < results["cfs"].wire_elements
+        assert results["ed"].wire_elements < results["sfc"].wire_elements
+
+
+class TestValidation:
+    def test_column_partition_rejected(self, medium_matrix):
+        plan = ColumnPartition().plan(medium_matrix.shape, 4)
+        with pytest.raises(ValueError, match="whole-row"):
+            run_jds_scheme("ed", Machine(4), medium_matrix, plan)
+
+    def test_unknown_scheme_rejected(self, medium_matrix):
+        plan = RowPartition().plan(medium_matrix.shape, 4)
+        with pytest.raises(ValueError, match="sfc, cfs or ed"):
+            run_jds_scheme("brs", Machine(4), medium_matrix, plan)
+
+    def test_machine_size_checked(self, medium_matrix):
+        plan = RowPartition().plan(medium_matrix.shape, 4)
+        with pytest.raises(ValueError, match="processor count"):
+            run_jds_scheme("ed", Machine(5), medium_matrix, plan)
+
+    def test_shape_checked(self, medium_matrix):
+        plan = RowPartition().plan((10, 10), 2)
+        with pytest.raises(ValueError, match="shape"):
+            run_jds_scheme("ed", Machine(2), medium_matrix, plan)

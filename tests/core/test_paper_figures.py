@@ -1,0 +1,125 @@
+"""Figure-exact reproduction of the paper's worked example (Figures 1–7)."""
+
+import numpy as np
+import pytest
+
+from repro.core import EncodedBuffer, conversion_for, get_compression, get_scheme
+from repro.data import (
+    FIGURE1_DENSE,
+    FIGURE2_ROW_BLOCKS,
+    FIGURE4_CRS,
+    FIGURE5_CCS_GLOBAL,
+    FIGURE7_SPECIAL_BUFFERS,
+    N_PROCS,
+    sparse_array_A,
+)
+from repro.machine import Machine
+from repro.partition import RowPartition
+from repro.sparse import CCSMatrix, CRSMatrix
+
+
+@pytest.fixture
+def A():
+    return sparse_array_A()
+
+
+@pytest.fixture
+def plan(A):
+    return RowPartition().plan(A.shape, N_PROCS)
+
+
+class TestFigure1:
+    def test_shape_and_count(self, A):
+        assert A.shape == (10, 8)
+        assert A.nnz == 16
+
+    def test_values_are_one_to_sixteen_row_major(self, A):
+        assert A.values.tolist() == [float(v) for v in range(1, 17)]
+
+    def test_dense_matches_literal(self, A):
+        np.testing.assert_array_equal(A.to_dense(), FIGURE1_DENSE)
+
+
+class TestFigure2:
+    def test_row_blocks(self, plan):
+        for a, (r0, r1) in zip(plan, FIGURE2_ROW_BLOCKS):
+            assert a.row_ids.tolist() == list(range(r0, r1))
+
+
+class TestFigure3:
+    def test_local_arrays_received(self, A, plan):
+        """Figure 3: the dense local arrays each processor receives."""
+        for a, local in zip(plan, plan.extract_all(A)):
+            r0, r1 = a.row_ids[0], a.row_ids[-1] + 1
+            np.testing.assert_array_equal(
+                local.to_dense(), FIGURE1_DENSE[r0:r1, :]
+            )
+
+
+class TestFigure4:
+    def test_crs_vectors_exact(self, A, plan):
+        for loc, (RO, CO, VL) in zip(plan.extract_all(A), FIGURE4_CRS):
+            crs = CRSMatrix.from_coo(loc)
+            assert crs.RO.tolist() == RO
+            assert crs.CO.tolist() == CO
+            assert crs.VL.tolist() == VL
+
+    def test_sfc_scheme_delivers_figure4(self, A, plan):
+        machine = Machine(N_PROCS)
+        result = get_scheme("sfc").run(machine, A, plan, get_compression("crs"))
+        for got, (RO, CO, VL) in zip(result.locals_, FIGURE4_CRS):
+            assert got.RO.tolist() == RO
+            assert got.CO.tolist() == CO
+            assert got.VL.tolist() == VL
+
+
+class TestFigure5:
+    def test_ccs_wire_content_global_indices(self, A, plan):
+        """Figure 5(b): CCS with CO holding GLOBAL row indices."""
+        for a, loc, (RO, CO, VL) in zip(
+            plan, plan.extract_all(A), FIGURE5_CCS_GLOBAL
+        ):
+            ccs = CCSMatrix.from_coo(loc)
+            conv = conversion_for(a, "ccs")
+            assert ccs.RO.tolist() == RO
+            assert conv.to_global(ccs.indices).tolist() == CO
+            assert ccs.VL.tolist() == VL
+
+    def test_figure5c_p1_subtracts_three(self, A, plan):
+        """Figure 5(c): P1 converts by subtracting 3 (rows in P0)."""
+        conv = conversion_for(plan[1], "ccs")
+        assert conv.kind == "offset" and conv.offset == 3
+
+    def test_cfs_scheme_delivers_local_ccs(self, A, plan):
+        machine = Machine(N_PROCS)
+        result = get_scheme("cfs").run(machine, A, plan, get_compression("ccs"))
+        for a, got in zip(plan, result.locals_):
+            expected = CCSMatrix.from_coo(a.extract_local(A))
+            assert got == expected
+
+
+class TestFigures6And7:
+    def test_special_buffers_exact(self, A, plan):
+        for a, loc, expected in zip(
+            plan, plan.extract_all(A), FIGURE7_SPECIAL_BUFFERS
+        ):
+            conv = conversion_for(a, "ccs")
+            buf, _ = EncodedBuffer.encode(loc, "ccs", conv)
+            assert buf.to_paper_format() == [float(x) for x in expected]
+
+    def test_figure7d_p1_decode(self, A, plan):
+        """Figure 7(d): P1 decodes RO by prefix sum and subtracts 3."""
+        loc = plan.extract_all(A)[1]
+        conv = conversion_for(plan[1], "ccs")
+        buf, _ = EncodedBuffer.encode(loc, "ccs", conv)
+        decoded, _ = buf.decode(conv)
+        assert decoded.RO.tolist() == [1, 1, 1, 1, 2, 3, 4, 4, 4]
+        assert decoded.CO.tolist() == [1, 2, 0]  # local rows of 6, 7, 5
+        assert decoded.VL.tolist() == [6.0, 7.0, 5.0]
+
+    def test_ed_scheme_delivers_same_locals_as_cfs(self, A, plan):
+        m1, m2 = Machine(N_PROCS), Machine(N_PROCS)
+        ed = get_scheme("ed").run(m1, A, plan, get_compression("ccs"))
+        cfs = get_scheme("cfs").run(m2, A, plan, get_compression("ccs"))
+        for a, b in zip(ed.locals_, cfs.locals_):
+            assert a == b

@@ -1,0 +1,107 @@
+"""Property-based tests for the distribution schemes (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConversionSpec, EncodedBuffer, get_compression, get_scheme
+from repro.machine import Machine, unit_cost_model
+from repro.partition import ColumnPartition, Mesh2DPartition, RowPartition
+from repro.sparse import random_sparse
+
+PARTITIONS = st.sampled_from([RowPartition(), ColumnPartition(), Mesh2DPartition()])
+COMPRESSIONS = st.sampled_from(["crs", "ccs"])
+
+
+@given(
+    n=st.integers(2, 24),
+    s=st.floats(0.0, 0.6),
+    p=st.integers(1, 6),
+    partition=PARTITIONS,
+    compression=COMPRESSIONS,
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=60, deadline=None)
+def test_schemes_always_agree(n, s, p, partition, compression, seed):
+    """For any problem, the three orderings produce identical locals."""
+    matrix = random_sparse((n, n), s, seed=seed)
+    plan = partition.plan(matrix.shape, p)
+    reference = None
+    for scheme in ("sfc", "cfs", "ed"):
+        machine = Machine(p, cost=unit_cost_model())
+        result = get_scheme(scheme).run(
+            machine, matrix, plan, get_compression(compression)
+        )
+        locals_ = result.locals_
+        if reference is None:
+            reference = locals_
+        else:
+            for a, b in zip(reference, locals_):
+                assert a == b
+
+
+@given(
+    n=st.integers(2, 24),
+    s=st.floats(0.0, 0.6),
+    p=st.integers(1, 6),
+    partition=PARTITIONS,
+    compression=COMPRESSIONS,
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=60, deadline=None)
+def test_locals_reassemble_to_global(n, s, p, partition, compression, seed):
+    """Gathering all local blocks back reconstructs the global array."""
+    matrix = random_sparse((n, n), s, seed=seed)
+    plan = partition.plan(matrix.shape, p)
+    machine = Machine(p, cost=unit_cost_model())
+    result = get_scheme("ed").run(
+        machine, matrix, plan, get_compression(compression)
+    )
+    rebuilt = np.zeros((n, n))
+    for a, local in zip(plan, result.locals_):
+        rebuilt[np.ix_(a.row_ids, a.col_ids)] = local.to_dense()
+    np.testing.assert_array_equal(rebuilt, matrix.to_dense())
+
+
+@given(
+    n_rows=st.integers(1, 15),
+    n_cols=st.integers(1, 15),
+    s=st.floats(0.0, 0.8),
+    offset=st.integers(0, 50),
+    mode=st.sampled_from(["crs", "ccs"]),
+    seed=st.integers(0, 500),
+)
+@settings(max_examples=80, deadline=None)
+def test_encode_decode_inverse(n_rows, n_cols, s, offset, mode, seed):
+    """decode(encode(x)) == compress(x) for any conversion offset."""
+    local = random_sparse((n_rows, n_cols), s, seed=seed)
+    conv = (
+        ConversionSpec(kind="none")
+        if offset == 0
+        else ConversionSpec(kind="offset", offset=offset)
+    )
+    buf, _ = EncodedBuffer.encode(local, mode, conv)
+    decoded, _ = buf.decode(conv)
+    expected = get_compression(mode).from_coo(local)
+    assert decoded == expected
+
+
+@given(
+    n=st.integers(2, 20),
+    s=st.floats(0.0, 0.5),
+    p=st.integers(1, 5),
+    seed=st.integers(0, 300),
+)
+@settings(max_examples=50, deadline=None)
+def test_ed_wire_never_larger_than_cfs(n, s, p, seed):
+    """ED drops the packed RO in favour of inline counts: p fewer elements
+    under CRS row partitioning, never more in any configuration."""
+    matrix = random_sparse((n, n), s, seed=seed)
+    plan = RowPartition().plan(matrix.shape, p)
+    wire = {}
+    for scheme in ("cfs", "ed"):
+        machine = Machine(p, cost=unit_cost_model())
+        wire[scheme] = get_scheme(scheme).run(
+            machine, matrix, plan, get_compression("crs")
+        ).wire_elements
+    assert wire["ed"] == wire["cfs"] - p

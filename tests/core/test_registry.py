@@ -1,0 +1,53 @@
+"""Unit tests for the name registries."""
+
+import pytest
+
+from repro.core import (
+    CFSScheme,
+    EDScheme,
+    SFCScheme,
+    get_compression,
+    get_partition,
+    get_scheme,
+)
+from repro.partition import ColumnPartition, Mesh2DPartition, RowPartition
+from repro.sparse import CCSMatrix, CRSMatrix
+
+
+def test_scheme_lookup():
+    assert isinstance(get_scheme("sfc"), SFCScheme)
+    assert isinstance(get_scheme("cfs"), CFSScheme)
+    assert isinstance(get_scheme("ed"), EDScheme)
+
+
+def test_scheme_lookup_case_insensitive():
+    assert isinstance(get_scheme("ED"), EDScheme)
+
+
+def test_scheme_instances_fresh():
+    assert get_scheme("ed") is not get_scheme("ed")
+
+
+def test_partition_lookup():
+    assert isinstance(get_partition("row"), RowPartition)
+    assert isinstance(get_partition("column"), ColumnPartition)
+    assert isinstance(get_partition("mesh2d"), Mesh2DPartition)
+
+
+def test_compression_lookup():
+    assert get_compression("crs") is CRSMatrix
+    assert get_compression("ccs") is CCSMatrix
+
+
+def test_unknown_names_rejected_with_available_list():
+    with pytest.raises(KeyError, match="sfc"):
+        get_scheme("brs")
+    with pytest.raises(KeyError, match="row"):
+        get_partition("diagonal")
+    with pytest.raises(KeyError, match="crs"):
+        get_compression("coo")
+
+
+def test_scheme_names_match_registry_keys():
+    for name in ("sfc", "cfs", "ed"):
+        assert get_scheme(name).name == name

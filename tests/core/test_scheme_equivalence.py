@@ -1,0 +1,132 @@
+"""Integration: all schemes deliver identical local arrays everywhere.
+
+The headline correctness invariant — SFC, CFS and ED are different
+*orderings* of the same three phases, so whatever the partition,
+compression method or matrix, every processor must end up with exactly the
+same compressed local sparse array (with local indices).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import LOCAL_KEY, get_compression, get_scheme
+from repro.machine import Machine
+from repro.partition import (
+    BinPackingRowPartition,
+    BlockCyclicColumnPartition,
+    BlockCyclicRowPartition,
+)
+from repro.runtime import verify_all_schemes_agree, verify_distribution
+from repro.sparse import random_sparse, row_skewed_sparse
+
+
+def run_all_schemes(matrix, plan, compression):
+    results = []
+    for scheme in ("sfc", "cfs", "ed"):
+        machine = Machine(plan.n_procs)
+        results.append(
+            get_scheme(scheme).run(machine, matrix, plan, get_compression(compression))
+        )
+    return results
+
+
+class TestPaperPartitions:
+    @pytest.mark.parametrize("p", [1, 2, 4, 7])
+    def test_all_agree(self, any_partition, compression_name, p, medium_matrix):
+        plan = any_partition.plan(medium_matrix.shape, p)
+        results = run_all_schemes(medium_matrix, plan, compression_name)
+        verify_all_schemes_agree(results)
+        for r in results:
+            verify_distribution(r, medium_matrix, plan)
+
+    def test_rectangular_matrix(self, any_partition, compression_name, rect_matrix):
+        plan = any_partition.plan(rect_matrix.shape, 3)
+        verify_all_schemes_agree(run_all_schemes(rect_matrix, plan, compression_name))
+
+    def test_empty_matrix(self, any_partition, compression_name):
+        empty = random_sparse((16, 16), 0.0, seed=0)
+        plan = any_partition.plan(empty.shape, 4)
+        results = run_all_schemes(empty, plan, compression_name)
+        verify_all_schemes_agree(results)
+        assert all(l.nnz == 0 for l in results[0].locals_)
+
+    def test_fully_dense_matrix(self, any_partition, compression_name):
+        full = random_sparse((10, 10), 1.0, seed=1)
+        plan = any_partition.plan(full.shape, 4)
+        verify_all_schemes_agree(run_all_schemes(full, plan, compression_name))
+
+    def test_more_processors_than_rows(self, compression_name):
+        from repro.partition import RowPartition
+
+        m = random_sparse((3, 12), 0.4, seed=2)
+        plan = RowPartition().plan(m.shape, 6)  # three empty blocks
+        results = run_all_schemes(m, plan, compression_name)
+        verify_all_schemes_agree(results)
+
+
+class TestRelatedWorkPartitions:
+    """Non-contiguous ownership exercises the general (map) conversion."""
+
+    @pytest.mark.parametrize("block", [1, 2, 5])
+    def test_block_cyclic_rows(self, compression_name, block, medium_matrix):
+        plan = BlockCyclicRowPartition(block).plan(medium_matrix.shape, 4)
+        results = run_all_schemes(medium_matrix, plan, compression_name)
+        verify_all_schemes_agree(results)
+        for r in results:
+            verify_distribution(r, medium_matrix, plan)
+
+    def test_block_cyclic_columns(self, compression_name, medium_matrix):
+        plan = BlockCyclicColumnPartition(3).plan(medium_matrix.shape, 5)
+        verify_all_schemes_agree(
+            run_all_schemes(medium_matrix, plan, compression_name)
+        )
+
+    def test_bin_packing(self, compression_name):
+        m = row_skewed_sparse((48, 48), 0.1, skew=2.0, seed=4)
+        plan = BinPackingRowPartition(m).plan(m.shape, 4)
+        results = run_all_schemes(m, plan, compression_name)
+        verify_all_schemes_agree(results)
+        for r in results:
+            verify_distribution(r, m, plan)
+
+
+class TestProcessorState:
+    def test_locals_stored_in_processor_memory(self, medium_matrix, any_partition):
+        plan = any_partition.plan(medium_matrix.shape, 4)
+        machine = Machine(4)
+        result = get_scheme("ed").run(
+            machine, medium_matrix, plan, get_compression("crs")
+        )
+        for a, expected in zip(plan, result.locals_):
+            assert machine.processor(a.rank).load(LOCAL_KEY) is expected
+
+    def test_mailboxes_drained(self, medium_matrix, scheme_name):
+        from repro.partition import RowPartition
+
+        plan = RowPartition().plan(medium_matrix.shape, 4)
+        machine = Machine(4)
+        get_scheme(scheme_name).run(machine, medium_matrix, plan, get_compression("crs"))
+        for proc in machine.procs:
+            assert proc.mailbox == []
+
+    def test_input_validation(self, medium_matrix, scheme_name):
+        from repro.partition import RowPartition
+
+        plan = RowPartition().plan(medium_matrix.shape, 4)
+        machine = Machine(8)  # wrong size
+        with pytest.raises(ValueError, match="processors"):
+            get_scheme(scheme_name).run(
+                machine, medium_matrix, plan, get_compression("crs")
+            )
+        machine2 = Machine(4)
+        other = random_sparse((10, 10), 0.1, seed=0)
+        with pytest.raises(ValueError, match="shape"):
+            get_scheme(scheme_name).run(machine2, other, plan, get_compression("crs"))
+
+    def test_bad_compression_type(self, medium_matrix, scheme_name):
+        from repro.partition import RowPartition
+        from repro.sparse import COOMatrix
+
+        plan = RowPartition().plan(medium_matrix.shape, 4)
+        with pytest.raises(TypeError, match="CRSMatrix or CCSMatrix"):
+            get_scheme(scheme_name).run(Machine(4), medium_matrix, plan, COOMatrix)

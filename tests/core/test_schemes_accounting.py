@@ -1,0 +1,138 @@
+"""Hand-computed cost accounting for each scheme on the paper's example.
+
+Fixture: the Figure 1 array (10×8, 16 nonzeros), row partition over 4
+processors (blocks of 3, 3, 2, 2 rows — nnz 4, 3, 3, 6), unit cost model
+(``T_Startup = T_Data = T_Operation = 1``).  Every expected number below is
+derived by hand from the paper's Section 4 accounting.
+"""
+
+import pytest
+
+from repro.core import get_compression, get_scheme
+from repro.data import sparse_array_A
+from repro.machine import Machine, Phase, unit_cost_model
+from repro.partition import ColumnPartition, RowPartition
+
+
+@pytest.fixture
+def A():
+    return sparse_array_A()
+
+
+@pytest.fixture
+def row_plan(A):
+    return RowPartition().plan(A.shape, 4)
+
+
+def run(scheme, A, plan, compression="crs"):
+    machine = Machine(plan.n_procs, cost=unit_cost_model())
+    result = get_scheme(scheme).run(machine, A, plan, get_compression(compression))
+    return machine, result
+
+
+class TestSFCRowCRS:
+    def test_distribution_time(self, A, row_plan):
+        # 4 startups + dense wire 10*8; contiguous row blocks: no packing
+        _, res = run("sfc", A, row_plan)
+        assert res.t_distribution == 4 + 80
+
+    def test_compression_time_is_slowest_processor(self, A, row_plan):
+        # per-proc: elements + 3*nnz -> 24+12, 24+9, 16+9, 16+18 ; max = 36
+        _, res = run("sfc", A, row_plan)
+        assert res.t_compression == 36
+
+    def test_wire_statistics(self, A, row_plan):
+        _, res = run("sfc", A, row_plan)
+        assert res.wire_elements == 80
+        assert res.n_messages == 4
+
+
+class TestSFCColumnPacking:
+    def test_strided_blocks_charge_host_pack(self, A):
+        """Column blocks are strided in row-major storage: +n^2 host ops."""
+        plan = ColumnPartition().plan(A.shape, 4)
+        machine, res = run("sfc", A, plan)
+        # 4 startups + 80 wire + 80 pack ops
+        assert res.t_distribution == 4 + 80 + 80
+        dist = machine.trace.breakdown(Phase.DISTRIBUTION)
+        assert dist.host_time == res.t_distribution  # all on the host
+
+
+class TestCFSRowCRS:
+    def test_compression_on_host(self, A, row_plan):
+        # host compresses every block: sum(elements) + 3*sum(nnz) = 80 + 48
+        machine, res = run("cfs", A, row_plan)
+        assert res.t_compression == 128
+        comp = machine.trace.breakdown(Phase.COMPRESSION)
+        assert comp.host_time == 128 and comp.max_proc_time == 0
+
+    def test_distribution_time(self, A, row_plan):
+        # pack sum (RO+CO+VL lengths): 12+10+9+15 = 46 host ops
+        # sends: 4 startups + 46 wire elements
+        # unpack: same counts per proc, max = 15; Case 3.2.1: no conversion
+        _, res = run("cfs", A, row_plan)
+        assert res.t_distribution == 46 + (4 + 46) + 15
+
+    def test_wire_is_ro_co_vl(self, A, row_plan):
+        _, res = run("cfs", A, row_plan)
+        assert res.wire_elements == (10 + 4) + 2 * 16  # rows+p + 2*nnz
+
+
+class TestCFSRowCCSConversion:
+    def test_conversion_charged_once_per_nonzero(self, A, row_plan):
+        """Case 3.2.2: every processor except P0 pays nnz extra ops."""
+        # CCS per-proc RO has 9 entries (8 columns): pack = 9 + 2*nnz each
+        # pack sum = 4*9 + 2*16 = 68 ; sends = 4 + 68
+        # unpack+convert per proc: (9+2nnz) + conv*nnz ->
+        #   P0: 17+0, P1: 15+3, P2: 15+3, P3: 21+6 ; max = 27
+        _, res = run("cfs", A, row_plan, "ccs")
+        assert res.t_distribution == 68 + (4 + 68) + 27
+
+
+class TestEDRowCRS:
+    def test_distribution_is_bare_sends(self, A, row_plan):
+        # wire per proc = rows_local + 2*nnz: 11+9+8+14 = 42; no pack ops
+        machine, res = run("ed", A, row_plan)
+        assert res.t_distribution == 4 + 42
+        dist = machine.trace.breakdown(Phase.DISTRIBUTION)
+        assert dist.ops == 0  # the special buffer IS the wire format
+
+    def test_compression_includes_encode_and_decode(self, A, row_plan):
+        # encode (host) = 128 ; decode max = 1 + rows_local + 2*nnz = 15
+        _, res = run("ed", A, row_plan)
+        assert res.t_compression == 128 + 15
+
+    def test_ed_wire_strictly_smaller_than_cfs(self, A, row_plan):
+        _, ed = run("ed", A, row_plan)
+        _, cfs = run("cfs", A, row_plan)
+        assert ed.wire_elements == cfs.wire_elements - 4  # p fewer elements
+
+
+class TestEDRowCCS:
+    def test_matches_hand_computation(self, A, row_plan):
+        # wire per proc = 8 + 2*nnz -> 16,14,14,20 = 64 ; dist = 4 + 64
+        # decode max = 1 + 8 + 2*nnz + conv*nnz -> P3: 1+8+12+6 = 27
+        # comp = encode 128 + 27 = 155
+        _, res = run("ed", A, row_plan, "ccs")
+        assert res.t_distribution == 68
+        assert res.t_compression == 155
+
+
+class TestSchemeOrderingOnExample:
+    """Remarks 1 and 3 hold even on the tiny worked example."""
+
+    def test_ed_distribution_fastest(self, A, row_plan):
+        """Remark 1 holds even here; Remark 2 (CFS < SFC) is asymptotic and
+        does NOT hold on a 10x8 array where per-message constants dominate —
+        the large-grid benches cover it."""
+        results = {s: run(s, A, row_plan)[1] for s in ("sfc", "cfs", "ed")}
+        assert results["ed"].t_distribution < results["cfs"].t_distribution
+        assert results["ed"].t_distribution < results["sfc"].t_distribution
+
+    def test_compression_ordering(self, A, row_plan):
+        results = {s: run(s, A, row_plan)[1] for s in ("sfc", "cfs", "ed")}
+        assert (
+            results["sfc"].t_compression
+            < results["cfs"].t_compression
+            < results["ed"].t_compression
+        )

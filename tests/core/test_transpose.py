@@ -1,0 +1,121 @@
+"""Unit tests for the communication-free distributed transpose."""
+
+import numpy as np
+import pytest
+
+from repro.apps import distributed_spmv
+from repro.core import (
+    distributed_transpose,
+    gather_global,
+    get_compression,
+    get_scheme,
+    transpose_plan,
+)
+from repro.machine import Machine, Phase, unit_cost_model
+from repro.partition import ColumnPartition, Mesh2DPartition, RowPartition
+from repro.sparse import random_sparse
+
+
+def distribute(matrix, plan, compression="crs"):
+    machine = Machine(plan.n_procs, cost=unit_cost_model())
+    get_scheme("ed").run(machine, matrix, plan, get_compression(compression))
+    return machine
+
+
+class TestTransposePlan:
+    def test_row_becomes_column(self, rect_matrix):
+        plan = RowPartition().plan(rect_matrix.shape, 3)
+        t = transpose_plan(plan)
+        assert t.global_shape == (30, 18)
+        for a, b in zip(plan, t):
+            assert b.row_ids.tolist() == a.col_ids.tolist()
+            assert b.col_ids.tolist() == a.row_ids.tolist()
+
+    def test_mesh_shape_swaps(self):
+        plan = Mesh2DPartition((2, 3)).plan((12, 18), 6)
+        t = transpose_plan(plan)
+        assert t.mesh_shape == (3, 2)
+        assert t[1].mesh_coords == (plan[1].mesh_coords[1], plan[1].mesh_coords[0])
+
+    def test_double_transpose_restores_ownership(self, medium_matrix):
+        plan = ColumnPartition().plan(medium_matrix.shape, 4)
+        back = transpose_plan(transpose_plan(plan))
+        for a, b in zip(plan, back):
+            assert a.row_ids.tolist() == b.row_ids.tolist()
+            assert a.col_ids.tolist() == b.col_ids.tolist()
+
+
+class TestDistributedTranspose:
+    @pytest.mark.parametrize(
+        "partition", [RowPartition(), ColumnPartition(), Mesh2DPartition()]
+    )
+    @pytest.mark.parametrize("compression", ["crs", "ccs"])
+    def test_locals_are_transposed_blocks(self, partition, compression, rect_matrix):
+        plan = partition.plan(rect_matrix.shape, 4)
+        machine = distribute(rect_matrix, plan, compression)
+        new_plan, locals_ = distributed_transpose(
+            machine, plan, get_compression(compression)
+        )
+        dense_t = rect_matrix.to_dense().T
+        for a, local in zip(new_plan, locals_):
+            np.testing.assert_array_equal(
+                local.to_dense(), dense_t[np.ix_(a.row_ids, a.col_ids)]
+            )
+
+    def test_zero_communication(self, medium_matrix):
+        plan = RowPartition().plan(medium_matrix.shape, 4)
+        machine = distribute(medium_matrix, plan)
+        before = len(machine.trace.phase_events(Phase.DISTRIBUTION))
+        distributed_transpose(machine, plan, get_compression("crs"))
+        compute = machine.trace.breakdown(Phase.COMPUTE)
+        assert compute.n_messages == 0
+        assert len(machine.trace.phase_events(Phase.DISTRIBUTION)) == before
+
+    def test_cost_is_3nnz_parallel(self, medium_matrix):
+        plan = RowPartition().plan(medium_matrix.shape, 4)
+        machine = distribute(medium_matrix, plan)
+        _, locals_ = distributed_transpose(machine, plan, get_compression("crs"))
+        compute = machine.trace.breakdown(Phase.COMPUTE)
+        assert compute.max_proc_time == max(3 * l.nnz for l in locals_)
+
+    def test_gather_returns_global_transpose(self, medium_matrix):
+        plan = Mesh2DPartition().plan(medium_matrix.shape, 4)
+        machine = distribute(medium_matrix, plan)
+        new_plan, _ = distributed_transpose(machine, plan, get_compression("crs"))
+        gathered = gather_global(machine, new_plan)
+        assert gathered == medium_matrix.transpose()
+
+    def test_spmv_against_transpose(self, medium_matrix, rng):
+        """y = A^T x via transpose-then-spmv equals the dense product."""
+        plan = RowPartition().plan(medium_matrix.shape, 4)
+        machine = distribute(medium_matrix, plan)
+        new_plan, _ = distributed_transpose(machine, plan, get_compression("crs"))
+        x = rng.standard_normal(60)
+        np.testing.assert_allclose(
+            distributed_spmv(machine, new_plan, x),
+            medium_matrix.to_dense().T @ x,
+        )
+
+    def test_double_transpose_identity(self, medium_matrix):
+        plan = RowPartition().plan(medium_matrix.shape, 4)
+        machine = distribute(medium_matrix, plan)
+        mid_plan, _ = distributed_transpose(machine, plan, get_compression("crs"))
+        final_plan, locals_ = distributed_transpose(
+            machine, mid_plan, get_compression("crs")
+        )
+        direct = plan.extract_all(medium_matrix)
+        for got, exp in zip(locals_, direct):
+            np.testing.assert_array_equal(got.to_dense(), exp.to_dense())
+
+    def test_compression_switch_on_the_way(self, medium_matrix):
+        plan = RowPartition().plan(medium_matrix.shape, 4)
+        machine = distribute(medium_matrix, plan, "crs")
+        _, locals_ = distributed_transpose(machine, plan, get_compression("ccs"))
+        from repro.sparse import CCSMatrix
+
+        assert all(isinstance(l, CCSMatrix) for l in locals_)
+
+    def test_requires_prior_distribution(self, medium_matrix):
+        plan = RowPartition().plan(medium_matrix.shape, 4)
+        with pytest.raises(KeyError):
+            distributed_transpose(Machine(4), plan, get_compression("crs"))

@@ -1,0 +1,116 @@
+"""Unit tests for the EKMR mapping (published EKMR(3)/EKMR(4) layouts)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ekmr import EKMRMap, SparseTensor, ekmr_to_tensor, tensor_to_ekmr
+
+
+class TestPublishedLayouts:
+    def test_ekmr3_axes(self):
+        """A[k][i][j] -> A'[i][k*n_j + j]: dim 1 on rows, dims (0,2) on cols."""
+        emap = EKMRMap.for_shape((4, 5, 6))
+        assert emap.row_dims == (1,)
+        assert emap.col_dims == (0, 2)
+        assert emap.matrix_shape == (5, 24)
+
+    def test_ekmr3_index_formula(self):
+        emap = EKMRMap.for_shape((4, 5, 6))
+        coords = np.array([[2], [3], [1]])  # k=2, i=3, j=1
+        rows, cols = emap.flatten(coords)
+        assert rows[0] == 3
+        assert cols[0] == 2 * 6 + 1
+
+    def test_ekmr4_axes(self):
+        """A[l][k][i][j] -> A'[l*n_i + i][k*n_j + j]."""
+        emap = EKMRMap.for_shape((3, 4, 5, 6))
+        assert emap.row_dims == (0, 2)
+        assert emap.col_dims == (1, 3)
+        assert emap.matrix_shape == (15, 24)
+
+    def test_ekmr4_index_formula(self):
+        emap = EKMRMap.for_shape((3, 4, 5, 6))
+        coords = np.array([[2], [1], [4], [5]])  # l,k,i,j
+        rows, cols = emap.flatten(coords)
+        assert rows[0] == 2 * 5 + 4
+        assert cols[0] == 1 * 6 + 5
+
+    def test_rank2_is_identity(self):
+        emap = EKMRMap.for_shape((7, 9))
+        coords = np.array([[3, 0], [8, 2]])
+        rows, cols = emap.flatten(coords)
+        assert rows.tolist() == [3, 0] and cols.tolist() == [8, 2]
+
+    def test_rank5_alternation(self):
+        emap = EKMRMap.for_shape((2, 3, 4, 5, 6))
+        # base: dims 3 (rows), 4 (cols); then dim2->cols, dim1->rows, dim0->cols
+        assert emap.row_dims == (1, 3)
+        assert emap.col_dims == (0, 2, 4)
+
+    def test_rank1_rejected(self):
+        with pytest.raises(ValueError, match="rank >= 2"):
+            EKMRMap.for_shape((5,))
+
+
+class TestRoundtrips:
+    @pytest.mark.parametrize(
+        "shape", [(3, 4), (4, 5, 6), (2, 3, 4, 5), (2, 2, 3, 2, 3)]
+    )
+    def test_tensor_matrix_tensor(self, shape):
+        t = SparseTensor.random(shape, 0.3, seed=7)
+        matrix, emap = tensor_to_ekmr(t)
+        assert ekmr_to_tensor(matrix, emap) == t
+
+    def test_matrix_preserves_values_and_count(self):
+        t = SparseTensor.random((4, 4, 4), 0.25, seed=8)
+        matrix, _ = tensor_to_ekmr(t)
+        assert matrix.nnz == t.nnz
+        assert sorted(matrix.values) == sorted(t.values)
+
+    def test_dense_equivalence_ekmr3(self):
+        """The EKMR image equals the dense reshaping A'[i][k*nj+j]."""
+        t = SparseTensor.random((3, 4, 5), 0.4, seed=9)
+        matrix, emap = tensor_to_ekmr(t)
+        dense = t.to_dense()
+        expected = np.transpose(dense, (1, 0, 2)).reshape(4, 15)
+        np.testing.assert_array_equal(matrix.to_dense(), expected)
+
+    def test_mismatched_map_rejected(self):
+        t = SparseTensor.random((3, 4, 5), 0.2, seed=10)
+        matrix, _ = tensor_to_ekmr(t)
+        wrong = EKMRMap.for_shape((4, 5, 3))  # image (5, 12) != (4, 15)
+        with pytest.raises(ValueError, match="does not match"):
+            ekmr_to_tensor(matrix, wrong)
+
+    def test_flatten_validates_coord_shape(self):
+        emap = EKMRMap.for_shape((3, 4))
+        with pytest.raises(ValueError, match="coords"):
+            emap.flatten(np.zeros((3, 2), dtype=np.int64))
+
+    def test_unflatten_validates_parallel(self):
+        emap = EKMRMap.for_shape((3, 4))
+        with pytest.raises(ValueError, match="parallel"):
+            emap.unflatten(np.zeros(2, dtype=np.int64), np.zeros(3, dtype=np.int64))
+
+
+@given(
+    rank=st.integers(2, 5),
+    seed=st.integers(0, 200),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_roundtrip_any_rank(rank, seed):
+    rng = np.random.default_rng(seed)
+    shape = tuple(int(rng.integers(1, 5)) for _ in range(rank))
+    t = SparseTensor.random(shape, 0.4, seed=seed)
+    matrix, emap = tensor_to_ekmr(t)
+    assert ekmr_to_tensor(matrix, emap) == t
+
+
+@given(rank=st.integers(2, 6))
+@settings(max_examples=20, deadline=None)
+def test_property_axes_partition_dimensions(rank):
+    shape = tuple(range(2, 2 + rank))
+    emap = EKMRMap.for_shape(shape)
+    assert sorted(emap.row_dims + emap.col_dims) == list(range(rank))

@@ -1,0 +1,148 @@
+"""End-to-end pipelines: distribute → compute → verify, across the matrix
+of schemes, partitions, compressions, topologies and workload shapes."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    diagonally_dominant,
+    distributed_jacobi,
+    distributed_spmv,
+)
+from repro.core import get_compression, get_scheme
+from repro.machine import Machine, MeshTopology, Phase, RingTopology, unit_cost_model
+from repro.partition import (
+    BinPackingRowPartition,
+    Mesh2DPartition,
+    RowPartition,
+)
+from repro.runtime import run_scheme, verify_distribution
+from repro.sparse import banded_sparse, block_diagonal_sparse, random_sparse, spmv
+
+
+class TestDistributeThenCompute:
+    @pytest.mark.parametrize("scheme", ["sfc", "cfs", "ed"])
+    def test_full_pipeline(self, scheme, rng):
+        """Distribute with each scheme, then solve a system on the result."""
+        A = diagonally_dominant(36, 0.1, seed=1)
+        b = rng.standard_normal(36)
+        plan = RowPartition().plan(A.shape, 6)
+        machine = Machine(6)
+        result = get_scheme(scheme).run(machine, A, plan, get_compression("crs"))
+        verify_distribution(result, A, plan)
+        sol = distributed_jacobi(machine, plan, A, b, tol=1e-11)
+        assert sol.converged
+        np.testing.assert_allclose(A.to_dense() @ sol.x, b, atol=1e-7)
+
+    def test_structured_workloads(self, rng):
+        """The intro's workload shapes: banded (FEM) and block-diagonal."""
+        for matrix in (
+            banded_sparse((48, 48), 3, seed=2),
+            block_diagonal_sparse(6, 8, block_ratio=0.4, seed=3),
+        ):
+            plan = Mesh2DPartition().plan(matrix.shape, 4)
+            machine = Machine(4)
+            get_scheme("ed").run(machine, matrix, plan, get_compression("crs"))
+            x = rng.standard_normal(matrix.shape[1])
+            np.testing.assert_allclose(
+                distributed_spmv(machine, plan, x), matrix.to_dense() @ x
+            )
+
+    def test_load_balanced_pipeline(self, rng):
+        """Bin-packing partition (Ziantz et al.) through ED, then SpMV."""
+        from repro.sparse import row_skewed_sparse
+
+        matrix = row_skewed_sparse((50, 50), 0.12, skew=2.0, seed=4)
+        plan = BinPackingRowPartition(matrix).plan(matrix.shape, 5)
+        machine = Machine(5)
+        result = get_scheme("ed").run(machine, matrix, plan, get_compression("crs"))
+        verify_distribution(result, matrix, plan)
+        x = rng.standard_normal(50)
+        np.testing.assert_allclose(
+            distributed_spmv(machine, plan, x), matrix.to_dense() @ x
+        )
+
+
+class TestTopologies:
+    def test_multi_hop_increases_distribution_time_only(self, medium_matrix):
+        plans = RowPartition().plan(medium_matrix.shape, 4)
+        times = {}
+        for name, topo in (
+            ("switch", None),
+            ("ring", RingTopology(4)),
+            ("mesh", MeshTopology(4)),
+        ):
+            result = run_scheme(
+                "ed",
+                medium_matrix,
+                plan=plans,
+                cost=unit_cost_model(),
+                topology=topo,
+            )
+            times[name] = result
+        assert times["switch"].t_distribution < times["ring"].t_distribution
+        # compression is communication-free: identical across topologies
+        assert (
+            times["switch"].t_compression
+            == times["ring"].t_compression
+            == times["mesh"].t_compression
+        )
+
+    def test_payload_advantage_grows_with_hops(self, medium_matrix):
+        """On multi-hop networks ED's smaller wire pays off multiplicatively."""
+        plan = RowPartition().plan(medium_matrix.shape, 4)
+
+        def gap(topology):
+            sfc = run_scheme(
+                "sfc", medium_matrix, plan=plan, cost=unit_cost_model(),
+                topology=topology,
+            ).t_distribution
+            ed = run_scheme(
+                "ed", medium_matrix, plan=plan, cost=unit_cost_model(),
+                topology=topology,
+            ).t_distribution
+            return sfc - ed
+
+        assert gap(RingTopology(4)) > gap(None)
+
+
+class TestRepeatedUse:
+    def test_machine_reusable_after_reset(self, medium_matrix):
+        plan = RowPartition().plan(medium_matrix.shape, 4)
+        machine = Machine(4, cost=unit_cost_model())
+        first = get_scheme("ed").run(
+            machine, medium_matrix, plan, get_compression("crs")
+        )
+        t_first = machine.t_distribution
+        machine.reset()
+        assert machine.t_distribution == 0.0
+        second = get_scheme("ed").run(
+            machine, medium_matrix, plan, get_compression("crs")
+        )
+        assert machine.t_distribution == t_first
+        for a, b in zip(first.locals_, second.locals_):
+            assert a == b
+
+    def test_local_arrays_usable_for_local_kernels(self, medium_matrix, rng):
+        """What a real application does: use its local compressed block."""
+        plan = RowPartition().plan(medium_matrix.shape, 4)
+        machine = Machine(4)
+        result = get_scheme("cfs").run(
+            machine, medium_matrix, plan, get_compression("crs")
+        )
+        x = rng.standard_normal(60)
+        dense = medium_matrix.to_dense()
+        for a, local in zip(plan, result.locals_):
+            np.testing.assert_allclose(
+                spmv(local, x), dense[a.row_ids, :] @ x
+            )
+
+
+class TestDeterminism:
+    def test_same_seed_same_times(self):
+        m1 = random_sparse((80, 80), 0.1, seed=42)
+        m2 = random_sparse((80, 80), 0.1, seed=42)
+        r1 = run_scheme("ed", m1, n_procs=8)
+        r2 = run_scheme("ed", m2, n_procs=8)
+        assert r1.t_distribution == r2.t_distribution
+        assert r1.t_compression == r2.t_compression

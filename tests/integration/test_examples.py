@@ -1,0 +1,68 @@
+"""The shipped examples actually run (guard against example rot).
+
+Each example is executed in-process via runpy with ``sys.argv`` trimmed;
+the slowest (full-table reproduction) is exercised through its --quick
+path at reduced scale elsewhere, so here we run the fast ones end to end.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, argv: list[str], capsys) -> str:
+    old_argv = sys.argv
+    sys.argv = [str(EXAMPLES / name), *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", ["120"], capsys)
+    assert "identical compressed local arrays" in out
+    assert "speedup over SFC" in out
+
+
+def test_paper_figures(capsys):
+    out = run_example("paper_figures.py", [], capsys)
+    assert "Figure 1" in out
+    assert "RO=[1, 2, 3, 5]" in out  # Figure 4, P0
+    assert "decode cost" in out
+
+
+def test_ekmr_demo(capsys):
+    out = run_example("ekmr_demo.py", [], capsys)
+    assert "EKMR image" in out
+    assert "lossless" in out
+
+
+def test_redistribution(capsys):
+    out = run_example("redistribution.py", [], capsys)
+    assert "redistribution" in out
+    assert "correct" in out
+
+
+def test_distributed_spmv(capsys):
+    out = run_example("distributed_spmv.py", [], capsys)
+    assert "SpMV correct" in out
+    assert "Jacobi" in out
+
+
+@pytest.mark.slow
+def test_scheme_crossover(capsys):
+    out = run_example("scheme_crossover.py", [], capsys)
+    assert "13/8" in out or "1.6250" in out
+
+
+def test_capacity_planning(capsys):
+    out = run_example("capacity_planning.py", [], capsys)
+    assert "Will it fit?" in out
+    assert "break-even" in out or "iterations" in out
+    assert "improvement" in out

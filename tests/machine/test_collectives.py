@@ -1,0 +1,157 @@
+"""Unit tests for the MPI-style collectives."""
+
+import numpy as np
+import pytest
+
+from repro.machine import (
+    Machine,
+    Phase,
+    allgather,
+    broadcast,
+    gather,
+    reduce,
+    scatter,
+    unit_cost_model,
+)
+
+
+@pytest.fixture
+def machine():
+    return Machine(4, cost=unit_cost_model())
+
+
+class TestBroadcast:
+    def test_everyone_receives_the_array(self, machine):
+        data = np.arange(5.0)
+        received = broadcast(machine, data, Phase.COMPUTE)
+        assert len(received) == 4
+        for r in received:
+            np.testing.assert_array_equal(r, data)
+
+    def test_cost_is_p_messages(self, machine):
+        broadcast(machine, np.arange(10.0), Phase.COMPUTE)
+        bd = machine.trace.breakdown(Phase.COMPUTE)
+        assert bd.n_messages == 4
+        assert bd.elements_sent == 40
+        assert bd.host_time == 4 * (1.0 + 10.0)
+
+
+class TestScatter:
+    def test_rank_r_gets_piece_r(self, machine):
+        pieces = [np.full(3, float(r)) for r in range(4)]
+        received = scatter(machine, pieces, Phase.COMPUTE)
+        for r, piece in enumerate(received):
+            np.testing.assert_array_equal(piece, pieces[r])
+
+    def test_variable_sizes_costed_individually(self, machine):
+        pieces = [np.zeros(r + 1) for r in range(4)]
+        scatter(machine, pieces, Phase.COMPUTE)
+        bd = machine.trace.breakdown(Phase.COMPUTE)
+        assert bd.elements_sent == 1 + 2 + 3 + 4
+
+    def test_wrong_piece_count_rejected(self, machine):
+        with pytest.raises(ValueError, match="exactly 4"):
+            scatter(machine, [np.zeros(1)] * 3, Phase.COMPUTE)
+
+
+class TestGather:
+    def test_rank_order_preserved(self, machine):
+        contributions = [np.full(2, float(r)) for r in range(4)]
+        out = gather(machine, contributions, Phase.COMPUTE)
+        for r, piece in enumerate(out):
+            np.testing.assert_array_equal(piece, contributions[r])
+
+    def test_cost_on_host_timeline(self, machine):
+        gather(machine, [np.zeros(5)] * 4, Phase.COMPUTE)
+        bd = machine.trace.breakdown(Phase.COMPUTE)
+        assert bd.host_time == 4 * (1.0 + 5.0)
+        assert bd.max_proc_time == 0.0
+
+    def test_wrong_count_rejected(self, machine):
+        with pytest.raises(ValueError, match="exactly 4"):
+            gather(machine, [np.zeros(1)] * 5, Phase.COMPUTE)
+
+
+class TestReduce:
+    def test_sum_reduction(self, machine):
+        contributions = [np.array([1.0, 2.0]) * (r + 1) for r in range(4)]
+        total = reduce(machine, contributions, Phase.COMPUTE)
+        np.testing.assert_array_equal(total, np.array([10.0, 20.0]))
+
+    def test_custom_op(self, machine):
+        contributions = [np.array([float(r)]) for r in range(4)]
+        out = reduce(machine, contributions, Phase.COMPUTE, op=np.maximum)
+        assert out[0] == 3.0
+
+    def test_arithmetic_charged(self, machine):
+        reduce(machine, [np.zeros(6)] * 4, Phase.COMPUTE)
+        bd = machine.trace.breakdown(Phase.COMPUTE)
+        assert bd.ops == 3 * 6  # p-1 combines of 6 elements
+
+    def test_does_not_mutate_contributions(self, machine):
+        first = np.array([1.0, 1.0])
+        reduce(machine, [first, first, first, first], Phase.COMPUTE)
+        np.testing.assert_array_equal(first, [1.0, 1.0])
+
+
+class TestAllgather:
+    def test_everyone_gets_concatenation(self, machine):
+        contributions = [np.full(2, float(r)) for r in range(4)]
+        received = allgather(machine, contributions, Phase.COMPUTE)
+        expected = np.array([0.0, 0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0])
+        for piece in received:
+            np.testing.assert_array_equal(piece, expected)
+
+    def test_cost_is_two_p_messages(self, machine):
+        allgather(machine, [np.zeros(3)] * 4, Phase.COMPUTE)
+        bd = machine.trace.breakdown(Phase.COMPUTE)
+        assert bd.n_messages == 8  # 4 up + 4 down
+
+    def test_matvec_pattern(self, machine):
+        """The mpi4py tutorial's allgather-based matvec works on our
+        machine: each rank holds a block of x, gets all of it back."""
+        blocks = [np.arange(3.0) + 3 * r for r in range(4)]
+        full = allgather(machine, blocks, Phase.COMPUTE)
+        np.testing.assert_array_equal(full[0], np.arange(12.0))
+
+
+class TestRingAllgather:
+    def test_everyone_gets_every_piece(self, machine):
+        from repro.machine import ring_allgather
+
+        pieces = [np.full(2, float(r)) for r in range(4)]
+        holdings = ring_allgather(machine, pieces, Phase.COMPUTE)
+        for r in range(4):
+            for k in range(4):
+                np.testing.assert_array_equal(holdings[r][k], pieces[k])
+
+    def test_element_traffic_is_p_minus_1_n(self, machine):
+        from repro.machine import ring_allgather
+
+        ring_allgather(machine, [np.zeros(5)] * 4, Phase.COMPUTE)
+        bd = machine.trace.breakdown(Phase.COMPUTE)
+        assert bd.elements_sent == 3 * 4 * 5
+        assert bd.n_messages == 12
+
+    def test_wall_clock_beats_host_allgather(self, machine):
+        from repro.machine import Machine, ring_allgather, unit_cost_model
+
+        ring_allgather(machine, [np.zeros(10)] * 4, Phase.COMPUTE)
+        ring_elapsed = machine.trace.elapsed(Phase.COMPUTE)
+        other = Machine(4, cost=unit_cost_model())
+        allgather(other, [np.zeros(10)] * 4, Phase.COMPUTE)
+        assert ring_elapsed < other.trace.elapsed(Phase.COMPUTE)
+
+    def test_wrong_count_rejected(self, machine):
+        from repro.machine import ring_allgather
+
+        with pytest.raises(ValueError, match="exactly 4"):
+            ring_allgather(machine, [np.zeros(1)] * 2, Phase.COMPUTE)
+
+    def test_single_processor_degenerates(self):
+        from repro.machine import Machine, ring_allgather, unit_cost_model
+
+        m = Machine(1, cost=unit_cost_model())
+        holdings = ring_allgather(m, [np.arange(3.0)], Phase.COMPUTE)
+        np.testing.assert_array_equal(holdings[0][0], np.arange(3.0))
+        assert len(m.trace) == 0  # no rounds needed

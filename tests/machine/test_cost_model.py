@@ -1,0 +1,80 @@
+"""Unit tests for the T_Startup / T_Data / T_Operation cost model."""
+
+import pytest
+
+from repro.machine import CostModel, ratio_cost_model, sp2_cost_model, unit_cost_model
+
+
+class TestCostModel:
+    def test_message_time_linear_in_elements(self):
+        c = CostModel(t_startup=2.0, t_data=0.5, t_operation=1.0)
+        assert c.message_time(0) == 2.0
+        assert c.message_time(10) == 2.0 + 5.0
+
+    def test_message_time_multi_hop(self):
+        c = CostModel(t_startup=1.0, t_data=1.0, t_operation=1.0)
+        assert c.message_time(4, hops=3) == 1.0 + 12.0
+
+    def test_ops_time(self):
+        c = unit_cost_model()
+        assert c.ops_time(7) == 7.0
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(-1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            CostModel(1.0, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            CostModel(1.0, 1.0, -1.0)
+
+    def test_negative_quantities_rejected(self):
+        c = unit_cost_model()
+        with pytest.raises(ValueError):
+            c.message_time(-1)
+        with pytest.raises(ValueError):
+            c.message_time(1, hops=0)
+        with pytest.raises(ValueError):
+            c.ops_time(-1)
+
+    def test_data_op_ratio(self):
+        c = CostModel(0.0, 2.4, 2.0)
+        assert c.data_op_ratio == pytest.approx(1.2)
+
+    def test_ratio_undefined_for_zero_op(self):
+        with pytest.raises(ZeroDivisionError):
+            _ = CostModel(0.0, 1.0, 0.0).data_op_ratio
+
+    def test_with_ratio_rescales_t_data_only(self):
+        c = sp2_cost_model().with_ratio(3.0)
+        assert c.data_op_ratio == pytest.approx(3.0)
+        assert c.t_operation == sp2_cost_model().t_operation
+        assert c.t_startup == sp2_cost_model().t_startup
+
+    def test_with_ratio_negative_rejected(self):
+        with pytest.raises(ValueError):
+            sp2_cost_model().with_ratio(-1.0)
+
+
+class TestPresets:
+    def test_sp2_ratio_matches_paper_estimate(self):
+        """Section 5.1: T_Data ~= 1.2 x T_Operation on the SP2."""
+        assert sp2_cost_model().data_op_ratio == pytest.approx(1.2)
+
+    def test_sp2_calibration_magnitude(self):
+        """SFC row T_dist at n=200, p=4 should land near the paper's 5.6 ms."""
+        c = sp2_cost_model()
+        t = 4 * c.t_startup + 200**2 * c.t_data
+        assert 4.0 < t < 8.0
+
+    def test_unit_model(self):
+        c = unit_cost_model()
+        assert (c.t_startup, c.t_data, c.t_operation) == (1.0, 1.0, 1.0)
+
+    def test_ratio_model(self):
+        c = ratio_cost_model(2.5)
+        assert c.t_operation == 1.0
+        assert c.t_data == 2.5
+        assert c.t_startup == 0.0
+
+    def test_ratio_model_with_startup(self):
+        assert ratio_cost_model(1.0, t_startup=5.0).t_startup == 5.0

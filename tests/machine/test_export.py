@@ -1,0 +1,86 @@
+"""Unit tests for JSON trace/result export."""
+
+import json
+
+import pytest
+
+from repro.machine import (
+    Machine,
+    Phase,
+    dump_json,
+    result_to_dict,
+    trace_to_dict,
+    unit_cost_model,
+)
+from repro.runtime import run_scheme
+from repro.sparse import random_sparse
+
+
+@pytest.fixture
+def run():
+    matrix = random_sparse((24, 24), 0.2, seed=1)
+    machine = Machine(4, cost=unit_cost_model())
+    from repro.core import get_compression, get_scheme
+    from repro.partition import RowPartition
+
+    plan = RowPartition().plan(matrix.shape, 4)
+    result = get_scheme("ed").run(machine, matrix, plan, get_compression("crs"))
+    return machine, result
+
+
+class TestTraceExport:
+    def test_phase_aggregates(self, run):
+        machine, _ = run
+        d = trace_to_dict(machine.trace)
+        assert set(d["phases"]) == {"compression", "distribution"}
+        dist = d["phases"]["distribution"]
+        assert dist["messages"] == 4
+        assert dist["elapsed_ms"] == machine.t_distribution
+
+    def test_events_serialisable(self, run):
+        machine, _ = run
+        text = json.dumps(trace_to_dict(machine.trace))
+        parsed = json.loads(text)
+        assert len(parsed["events"]) == len(machine.trace)
+
+    def test_message_events_carry_endpoints(self, run):
+        machine, _ = run
+        d = trace_to_dict(machine.trace)
+        msgs = [e for e in d["events"] if e["kind"] == "message"]
+        assert all("dst" in e for e in msgs)
+        assert sorted(e["dst"] for e in msgs) == [0, 1, 2, 3]
+
+    def test_empty_trace(self):
+        machine = Machine(2)
+        d = trace_to_dict(machine.trace)
+        assert d == {"phases": {}, "events": []}
+
+
+class TestResultExport:
+    def test_fields(self, run):
+        _, result = run
+        d = result_to_dict(result)
+        assert d["scheme"] == "ed"
+        assert d["t_total_ms"] == result.t_total
+        assert len(d["locals"]) == 4
+        assert sum(l["nnz"] for l in d["locals"]) == result.global_nnz
+
+    def test_json_roundtrip(self, run):
+        _, result = run
+        assert json.loads(json.dumps(result_to_dict(result)))["compression"] == "crs"
+
+
+class TestDumpJson:
+    def test_trace_file(self, run, tmp_path):
+        machine, _ = run
+        path = tmp_path / "trace.json"
+        dump_json(machine.trace, path)
+        parsed = json.loads(path.read_text())
+        assert "phases" in parsed
+
+    def test_result_file(self, run, tmp_path):
+        _, result = run
+        path = tmp_path / "result.json"
+        dump_json(result, path)
+        parsed = json.loads(path.read_text())
+        assert parsed["scheme"] == "ed"

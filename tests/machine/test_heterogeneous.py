@@ -1,0 +1,84 @@
+"""Unit tests for heterogeneous processor speeds."""
+
+import numpy as np
+import pytest
+
+from repro.core import get_compression, get_scheme
+from repro.machine import Machine, Phase, unit_cost_model
+from repro.partition import RecursiveBisectionRowPartition, RowPartition
+from repro.sparse import random_sparse
+
+
+class TestSpeeds:
+    def test_default_is_homogeneous(self):
+        m = Machine(3)
+        assert m.proc_speeds == [1.0, 1.0, 1.0]
+
+    def test_ops_scaled_by_speed(self):
+        m = Machine(2, cost=unit_cost_model(), proc_speeds=[1.0, 4.0])
+        assert m.charge_proc_ops(0, 8, Phase.COMPUTE) == 8.0  # nominal speed
+        assert m.charge_proc_ops(1, 8, Phase.COMPUTE) == 2.0  # 4x faster
+
+    def test_messages_unaffected_by_speed(self):
+        m = Machine(2, cost=unit_cost_model(), proc_speeds=[1.0, 10.0])
+        assert m.send(1, None, 5, Phase.COMPUTE) == 6.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="2 processor speeds"):
+            Machine(2, proc_speeds=[1.0])
+        with pytest.raises(ValueError, match="positive"):
+            Machine(2, proc_speeds=[1.0, 0.0])
+
+
+class TestSlowProcessorDominates:
+    def test_sfc_compression_bound_by_slowest(self, medium_matrix):
+        plan = RowPartition().plan(medium_matrix.shape, 4)
+        uniform = Machine(4, cost=unit_cost_model())
+        get_scheme("sfc").run(uniform, medium_matrix, plan, get_compression("crs"))
+        slow0 = Machine(4, cost=unit_cost_model(), proc_speeds=[0.25, 1, 1, 1])
+        get_scheme("sfc").run(slow0, medium_matrix, plan, get_compression("crs"))
+        assert slow0.t_compression > 2 * uniform.t_compression
+
+    def test_speed_aware_bisection_compensates(self):
+        """Weighting rows by (cost / speed share) restores balance: give the
+        slow processor proportionally less work via a bisection plan whose
+        weights fold in the speed profile."""
+        matrix = random_sparse((120, 120), 0.1, seed=9)
+        speeds = np.array([0.5, 1.0, 1.0, 1.5])
+        n = matrix.shape[1]
+        row_cost = n + 3.0 * matrix.row_counts()  # SFC per-row compression cost
+
+        naive_plan = RowPartition().plan(matrix.shape, 4)
+
+        # allocate contiguous blocks sized so block_weight ~ speed share:
+        # scale each row's weight by total_speed / ... use bisection on raw
+        # cost, then assign blocks to processors sorted by block weight vs
+        # speed. Simpler compensation: bisect into parts proportional to
+        # speeds by repeating the weights trick — approximate with weighted
+        # targets via RecursiveBisection on cost and checking the max of
+        # (block_cost / speed) improves after matching heaviest->fastest.
+        bis = RecursiveBisectionRowPartition(weights=row_cost)
+        plan = bis.plan(matrix.shape, 4)
+        block_costs = np.array(
+            [row_cost[a.row_ids].sum() for a in plan]
+        )
+        # assign heaviest block to fastest processor via speed ordering
+        order = np.argsort(-block_costs)
+        speed_order = np.argsort(-speeds)
+        assignment_speed = np.empty(4)
+        assignment_speed[order] = speeds[speed_order]
+
+        naive_time = max(
+            row_cost[a.row_ids].sum() / s
+            for a, s in zip(naive_plan, speeds)
+        )
+        matched_time = max(
+            c / s for c, s in zip(block_costs, assignment_speed)
+        )
+        assert matched_time <= naive_time
+
+    def test_phase_time_uses_scaled_ops(self):
+        m = Machine(2, cost=unit_cost_model(), proc_speeds=[1.0, 2.0])
+        m.charge_proc_ops(0, 10, Phase.COMPUTE)
+        m.charge_proc_ops(1, 10, Phase.COMPUTE)
+        assert m.trace.elapsed(Phase.COMPUTE) == 10.0  # slow rank 0 dominates

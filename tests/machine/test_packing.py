@@ -1,0 +1,79 @@
+"""Unit tests for wire-buffer packing."""
+
+import numpy as np
+import pytest
+
+from repro.machine import PackedBuffer
+
+
+class TestPack:
+    def test_roundtrip_preserves_dtypes(self):
+        arrays = {
+            "RO": np.array([0, 2, 5], dtype=np.int64),
+            "CO": np.array([1, 3], dtype=np.int64),
+            "VL": np.array([1.5, -2.5]),
+        }
+        buf, ops = PackedBuffer.pack(arrays, order=("RO", "CO", "VL"))
+        out, uops = buf.unpack()
+        assert ops == uops == 7
+        for name in arrays:
+            np.testing.assert_array_equal(out[name], arrays[name])
+            assert out[name].dtype == arrays[name].dtype
+
+    def test_wire_is_flat_float64(self):
+        buf, _ = PackedBuffer.pack({"a": np.arange(3)})
+        assert buf.data.dtype == np.float64
+        assert buf.data.ndim == 1
+
+    def test_move_ops_equal_total_elements(self):
+        buf, ops = PackedBuffer.pack({"a": np.arange(10), "b": np.arange(5)})
+        assert ops == 15 == buf.n_elements
+
+    def test_explicit_order_respected(self):
+        buf, _ = PackedBuffer.pack(
+            {"b": np.array([2.0]), "a": np.array([1.0])}, order=("a", "b")
+        )
+        assert buf.data.tolist() == [1.0, 2.0]
+        assert [seg[0] for seg in buf.layout] == ["a", "b"]
+
+    def test_empty_arrays_allowed(self):
+        buf, ops = PackedBuffer.pack({"a": np.empty(0), "b": np.empty(0, dtype=np.int64)})
+        assert ops == 0
+        out, _ = buf.unpack()
+        assert len(out["a"]) == 0 and out["b"].dtype == np.int64
+
+    def test_no_arrays_allowed(self):
+        buf, ops = PackedBuffer.pack({})
+        assert buf.n_elements == 0 and ops == 0
+
+    def test_2d_segment_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            PackedBuffer.pack({"a": np.zeros((2, 2))})
+
+    def test_integer_precision_preserved(self):
+        big = np.array([2**52, 2**52 + 1], dtype=np.int64)
+        buf, _ = PackedBuffer.pack({"idx": big})
+        out, _ = buf.unpack()
+        np.testing.assert_array_equal(out["idx"], big)
+
+
+class TestSegmentAccess:
+    def test_segment_reads_without_unpack(self):
+        buf, _ = PackedBuffer.pack(
+            {"x": np.array([1, 2], dtype=np.int64), "y": np.array([3.5])},
+            order=("x", "y"),
+        )
+        np.testing.assert_array_equal(buf.segment("x"), [1, 2])
+        np.testing.assert_array_equal(buf.segment("y"), [3.5])
+        assert buf.segment("x").dtype == np.int64
+
+    def test_unknown_segment_raises(self):
+        buf, _ = PackedBuffer.pack({"x": np.arange(2)})
+        with pytest.raises(KeyError):
+            buf.segment("nope")
+
+    def test_corrupt_layout_detected(self):
+        buf, _ = PackedBuffer.pack({"x": np.arange(4)})
+        bad = PackedBuffer(data=buf.data[:3], layout=buf.layout)
+        with pytest.raises(ValueError, match="layout covers"):
+            bad.unpack()

@@ -1,0 +1,67 @@
+"""Unit tests for the simulated processor."""
+
+import pytest
+
+from repro.machine import Message, Processor
+
+
+def msg(dst=0, tag="t", payload="data"):
+    return Message(src=-1, dst=dst, tag=tag, payload=payload, n_elements=1)
+
+
+class TestMailbox:
+    def test_deliver_and_receive_fifo(self):
+        p = Processor(0)
+        p.deliver(msg(tag="a", payload=1))
+        p.deliver(msg(tag="b", payload=2))
+        assert p.receive().payload == 1
+        assert p.receive().payload == 2
+
+    def test_receive_by_tag_skips_others(self):
+        p = Processor(0)
+        p.deliver(msg(tag="a", payload=1))
+        p.deliver(msg(tag="b", payload=2))
+        assert p.receive("b").payload == 2
+        assert p.receive("a").payload == 1
+
+    def test_wrong_destination_rejected(self):
+        p = Processor(3)
+        with pytest.raises(ValueError, match="rank 3"):
+            p.deliver(msg(dst=1))
+
+    def test_empty_mailbox_raises(self):
+        with pytest.raises(LookupError, match="no message"):
+            Processor(0).receive()
+
+    def test_missing_tag_raises(self):
+        p = Processor(0)
+        p.deliver(msg(tag="x"))
+        with pytest.raises(LookupError, match="'y'"):
+            p.receive("y")
+
+
+class TestMemory:
+    def test_store_and_load(self):
+        p = Processor(1)
+        p.store("local", [1, 2, 3])
+        assert p.load("local") == [1, 2, 3]
+
+    def test_missing_name_raises_with_rank(self):
+        with pytest.raises(KeyError, match="rank 2"):
+            Processor(2).load("nothing")
+
+    def test_reset_clears_everything(self):
+        p = Processor(0)
+        p.store("x", 1)
+        p.deliver(msg())
+        p.reset()
+        assert p.memory == {} and p.mailbox == []
+
+    def test_negative_rank_rejected(self):
+        with pytest.raises(ValueError):
+            Processor(-1)
+
+    def test_repr(self):
+        p = Processor(5)
+        p.store("a", 0)
+        assert "rank=5" in repr(p) and "'a'" in repr(p)

@@ -1,0 +1,89 @@
+"""Property-based tests for the collectives (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import (
+    Machine,
+    Phase,
+    allgather,
+    broadcast,
+    gather,
+    reduce,
+    ring_allgather,
+    scatter,
+    unit_cost_model,
+)
+
+
+@st.composite
+def machines_and_pieces(draw):
+    p = draw(st.integers(1, 6))
+    sizes = draw(st.lists(st.integers(0, 8), min_size=p, max_size=p))
+    pieces = [
+        np.arange(size, dtype=np.float64) + 10.0 * rank
+        for rank, size in enumerate(sizes)
+    ]
+    return Machine(p, cost=unit_cost_model()), pieces
+
+
+@given(mp=machines_and_pieces())
+@settings(max_examples=50, deadline=None)
+def test_scatter_gather_roundtrip(mp):
+    machine, pieces = mp
+    received = scatter(machine, pieces, Phase.COMPUTE)
+    back = gather(machine, received, Phase.COMPUTE)
+    for a, b in zip(pieces, back):
+        np.testing.assert_array_equal(a, b)
+
+
+@given(mp=machines_and_pieces())
+@settings(max_examples=50, deadline=None)
+def test_host_and_ring_allgather_agree_on_content(mp):
+    machine, pieces = mp
+    host_out = allgather(machine, pieces, Phase.COMPUTE)
+    machine2 = Machine(machine.n_procs, cost=unit_cost_model())
+    ring_out = ring_allgather(machine2, pieces, Phase.COMPUTE)
+    expected = np.concatenate([p.ravel() for p in pieces])
+    for rank in range(machine.n_procs):
+        np.testing.assert_array_equal(host_out[rank], expected)
+        np.testing.assert_array_equal(
+            np.concatenate([p.ravel() for p in ring_out[rank]]), expected
+        )
+
+
+@given(mp=machines_and_pieces())
+@settings(max_examples=50, deadline=None)
+def test_reduce_equals_numpy_sum(mp):
+    machine, pieces = mp
+    size = min(len(p) for p in pieces)
+    trimmed = [p[:size] for p in pieces]
+    total = reduce(machine, trimmed, Phase.COMPUTE)
+    np.testing.assert_allclose(total, np.sum(trimmed, axis=0))
+
+
+@given(
+    p=st.integers(1, 6),
+    size=st.integers(0, 16),
+)
+@settings(max_examples=50, deadline=None)
+def test_broadcast_element_conservation(p, size):
+    machine = Machine(p, cost=unit_cost_model())
+    broadcast(machine, np.zeros(size), Phase.COMPUTE)
+    bd = machine.trace.breakdown(Phase.COMPUTE)
+    assert bd.elements_sent == p * size
+    assert bd.n_messages == p
+
+
+@given(mp=machines_and_pieces())
+@settings(max_examples=50, deadline=None)
+def test_ring_traffic_formula(mp):
+    machine, pieces = mp
+    ring_allgather(machine, pieces, Phase.COMPUTE)
+    bd = machine.trace.breakdown(Phase.COMPUTE)
+    p = machine.n_procs
+    total = sum(len(piece) for piece in pieces)
+    assert bd.elements_sent == (p - 1) * total
+    assert bd.n_messages == p * (p - 1)

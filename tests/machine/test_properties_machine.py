@@ -1,0 +1,106 @@
+"""Property-based tests for machine invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import (
+    CostModel,
+    Machine,
+    MeshTopology,
+    Phase,
+    RingTopology,
+    SwitchTopology,
+)
+from repro.machine.topology import HOST
+
+
+@st.composite
+def cost_models(draw):
+    return CostModel(
+        t_startup=draw(st.floats(0.0, 10.0)),
+        t_data=draw(st.floats(0.0, 10.0)),
+        t_operation=draw(st.floats(0.0, 10.0)),
+    )
+
+
+@given(
+    cost=cost_models(),
+    sends=st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 100)), max_size=20
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_conservation_every_sent_message_arrives(cost, sends):
+    """Message count and element totals match between ledger and mailboxes."""
+    machine = Machine(4, cost=cost)
+    for dst, n_elements in sends:
+        machine.send(dst, None, n_elements, Phase.DISTRIBUTION)
+    bd = machine.trace.breakdown(Phase.DISTRIBUTION)
+    delivered = sum(len(p.mailbox) for p in machine.procs)
+    assert bd.n_messages == len(sends) == delivered
+    assert bd.elements_sent == sum(n for _, n in sends)
+
+
+@given(
+    cost=cost_models(),
+    ops=st.lists(
+        st.tuples(st.integers(-1, 3), st.integers(0, 50)), max_size=20
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_elapsed_monotone_and_consistent(cost, ops):
+    """Phase elapsed = host sum + max proc sum; always non-negative and
+    non-decreasing as events accumulate."""
+    machine = Machine(4, cost=cost)
+    previous = 0.0
+    host_total = 0.0
+    proc_totals = dict.fromkeys(range(4), 0.0)
+    for actor, n in ops:
+        if actor == HOST:
+            machine.charge_host_ops(n, Phase.COMPUTE)
+            host_total += cost.ops_time(n)
+        else:
+            machine.charge_proc_ops(actor, n, Phase.COMPUTE)
+            proc_totals[actor] += cost.ops_time(n)
+        elapsed = machine.trace.elapsed(Phase.COMPUTE)
+        assert elapsed >= previous - 1e-12
+        previous = elapsed
+    expected = host_total + max(proc_totals.values())
+    assert machine.trace.elapsed(Phase.COMPUTE) == np.float64(expected)
+
+
+@given(
+    p=st.integers(1, 9),
+    topo_kind=st.sampled_from(["switch", "ring", "mesh"]),
+)
+@settings(max_examples=60, deadline=None)
+def test_topology_hops_metric_axioms(p, topo_kind):
+    """Hops form a metric-like structure: identity, symmetry, positivity."""
+    topo = {
+        "switch": lambda: SwitchTopology(p),
+        "ring": lambda: RingTopology(p),
+        "mesh": lambda: MeshTopology(p),
+    }[topo_kind]()
+    ranks = [HOST] + list(range(p))
+    for a in ranks:
+        assert topo.hops(a, a) == 0
+        for b in ranks:
+            h = topo.hops(a, b)
+            assert h == topo.hops(b, a)
+            assert (h == 0) == (a == b)
+
+
+@given(
+    p=st.integers(2, 8),
+    n_elements=st.integers(0, 1000),
+)
+@settings(max_examples=40, deadline=None)
+def test_overlapped_never_exceeds_sequential(p, n_elements):
+    machine = Machine(p)
+    for r in range(p):
+        machine.send(r, None, n_elements, Phase.DISTRIBUTION)
+        machine.charge_proc_ops(r, n_elements // 2, Phase.DISTRIBUTION)
+    sequential = machine.trace.elapsed(Phase.DISTRIBUTION)
+    overlapped = machine.trace.overlapped_elapsed(Phase.DISTRIBUTION)
+    assert overlapped <= sequential + 1e-12

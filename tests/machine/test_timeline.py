@@ -1,0 +1,83 @@
+"""Unit tests for the ASCII timeline renderer."""
+
+import pytest
+
+from repro.machine import Machine, Phase, render_timeline, unit_cost_model
+from repro.machine.topology import HOST
+
+
+@pytest.fixture
+def machine():
+    return Machine(3, cost=unit_cost_model())
+
+
+def test_empty_trace(machine):
+    assert render_timeline(machine.trace) == "(empty trace)"
+
+
+def test_lanes_for_host_and_procs(machine):
+    machine.charge_host_ops(10, Phase.COMPRESSION)
+    machine.charge_proc_ops(0, 5, Phase.COMPRESSION)
+    machine.charge_proc_ops(2, 2, Phase.COMPRESSION)
+    text = render_timeline(machine.trace)
+    assert "host" in text and "P0" in text and "P2" in text
+    assert "P1" not in text  # idle lanes are omitted
+
+
+def test_bar_lengths_proportional(machine):
+    machine.charge_host_ops(100, Phase.COMPUTE)
+    machine.charge_proc_ops(1, 50, Phase.COMPUTE)
+    lines = render_timeline(machine.trace, width=40).splitlines()
+    host_line = next(l for l in lines if "host" in l)
+    p1_line = next(l for l in lines if "P1" in l)
+    assert host_line.count("#") == 40
+    assert p1_line.count("#") == 20
+
+
+def test_phases_in_canonical_order(machine):
+    machine.charge_proc_ops(0, 1, Phase.COMPUTE)
+    machine.charge_host_ops(1, Phase.DISTRIBUTION)
+    machine.charge_host_ops(1, Phase.COMPRESSION)
+    text = render_timeline(machine.trace)
+    assert text.index("compression") < text.index("distribution") < text.index(
+        "compute"
+    )
+
+
+def test_times_printed(machine):
+    machine.charge_host_ops(7, Phase.COMPUTE)
+    assert "7.000ms" in render_timeline(machine.trace)
+
+
+def test_zero_time_events_get_empty_bar(machine):
+    machine.charge_host_ops(0, Phase.COMPUTE)
+    machine.charge_proc_ops(0, 4, Phase.COMPUTE)
+    lines = render_timeline(machine.trace, width=10).splitlines()
+    host_line = next(l for l in lines if "host" in l)
+    assert host_line.count("#") == 0
+
+
+def test_messages_accumulate_on_sender_lane(machine):
+    machine.send(1, None, 9, Phase.DISTRIBUTION)  # host-sent
+    text = render_timeline(machine.trace)
+    assert "host" in text and "10.000ms" in text  # startup 1 + 9 elements
+
+
+def test_invalid_width_rejected(machine):
+    machine.charge_host_ops(1, Phase.COMPUTE)
+    with pytest.raises(ValueError):
+        render_timeline(machine.trace, width=0)
+
+
+def test_scheme_trace_renders(medium_matrix):
+    from repro.core import get_compression, get_scheme
+    from repro.partition import RowPartition
+
+    plan = RowPartition().plan(medium_matrix.shape, 4)
+    machine = Machine(4)
+    get_scheme("cfs").run(machine, medium_matrix, plan, get_compression("crs"))
+    text = render_timeline(machine.trace)
+    # CFS: host compresses (host lane in compression), procs unpack
+    # (proc lanes in distribution)
+    assert "compression" in text and "distribution" in text
+    assert "P3" in text

@@ -1,0 +1,76 @@
+"""Unit tests for interconnect topologies."""
+
+import pytest
+
+from repro.machine import MeshTopology, RingTopology, SwitchTopology
+from repro.machine.topology import HOST
+
+
+class TestSwitch:
+    def test_single_hop_everywhere(self):
+        t = SwitchTopology(8)
+        assert t.hops(HOST, 5) == 1
+        assert t.hops(0, 7) == 1
+        assert t.hops(3, 3) == 0
+
+    def test_rank_bounds_checked(self):
+        t = SwitchTopology(4)
+        with pytest.raises(ValueError):
+            t.hops(0, 4)
+        with pytest.raises(ValueError):
+            t.hops(-2, 0)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            SwitchTopology(0)
+
+
+class TestRing:
+    def test_host_adjacency(self):
+        t = RingTopology(4)  # ring positions: host,0,1,2,3
+        assert t.hops(HOST, 0) == 1
+        assert t.hops(HOST, 3) == 1  # wraps the other way
+        assert t.hops(HOST, 1) == 2
+        assert t.hops(HOST, 2) == 2
+
+    def test_shortest_direction_chosen(self):
+        t = RingTopology(5)  # ring size 6
+        assert t.hops(0, 4) == 2  # 0 -> host -> 4 going backwards
+        assert t.hops(1, 2) == 1
+
+    def test_self_is_zero(self):
+        assert RingTopology(3).hops(2, 2) == 0
+
+    def test_symmetry(self):
+        t = RingTopology(6)
+        for a in range(6):
+            for b in range(6):
+                assert t.hops(a, b) == t.hops(b, a)
+
+
+class TestMesh:
+    def test_manhattan_distance(self):
+        t = MeshTopology(6, (2, 3))
+        # rank r at (r//3, r%3)
+        assert t.hops(0, 5) == 1 + 2  # (0,0)->(1,2)
+        assert t.hops(1, 4) == 1  # (0,1)->(1,1)
+
+    def test_host_enters_at_corner(self):
+        t = MeshTopology(4, (2, 2))
+        assert t.hops(HOST, 0) == 1
+        assert t.hops(HOST, 3) == 1 + 2
+
+    def test_default_factorisation(self):
+        assert MeshTopology(12).mesh_shape == (3, 4)
+
+    def test_bad_mesh_rejected(self):
+        with pytest.raises(ValueError, match="does not hold"):
+            MeshTopology(5, (2, 2))
+
+    def test_self_is_zero(self):
+        assert MeshTopology(4).hops(1, 1) == 0
+
+    def test_farther_nodes_cost_more_than_switch(self):
+        switch = SwitchTopology(16)
+        mesh = MeshTopology(16, (4, 4))
+        assert mesh.hops(0, 15) > switch.hops(0, 15)

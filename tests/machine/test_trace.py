@@ -1,0 +1,91 @@
+"""Unit tests for the cost ledger and phase accounting."""
+
+import pytest
+
+from repro.machine import Event, EventKind, Phase, TraceLog
+from repro.machine.topology import HOST
+
+
+def ops_event(phase, actor, time, qty=1):
+    return Event(phase, EventKind.OPS, actor, time, quantity=qty)
+
+
+def msg_event(phase, time, qty, dst=0):
+    return Event(
+        phase, EventKind.MESSAGE, HOST, time, quantity=qty, src=HOST, dst=dst
+    )
+
+
+class TestBreakdown:
+    def test_host_times_sum(self):
+        log = TraceLog()
+        log.record(ops_event(Phase.COMPRESSION, HOST, 2.0))
+        log.record(ops_event(Phase.COMPRESSION, HOST, 3.0))
+        assert log.breakdown(Phase.COMPRESSION).host_time == 5.0
+
+    def test_proc_times_max(self):
+        log = TraceLog()
+        log.record(ops_event(Phase.COMPRESSION, 0, 2.0))
+        log.record(ops_event(Phase.COMPRESSION, 1, 7.0))
+        log.record(ops_event(Phase.COMPRESSION, 1, 1.0))
+        bd = log.breakdown(Phase.COMPRESSION)
+        assert bd.max_proc_time == 8.0
+        assert bd.elapsed == 8.0
+
+    def test_elapsed_is_host_plus_slowest_proc(self):
+        """The paper's accounting: serial host, parallel processors."""
+        log = TraceLog()
+        log.record(ops_event(Phase.DISTRIBUTION, HOST, 10.0))
+        log.record(ops_event(Phase.DISTRIBUTION, 0, 4.0))
+        log.record(ops_event(Phase.DISTRIBUTION, 1, 6.0))
+        assert log.elapsed(Phase.DISTRIBUTION) == 16.0
+
+    def test_phases_isolated(self):
+        log = TraceLog()
+        log.record(ops_event(Phase.COMPRESSION, HOST, 1.0))
+        log.record(ops_event(Phase.DISTRIBUTION, HOST, 2.0))
+        assert log.elapsed(Phase.COMPRESSION) == 1.0
+        assert log.elapsed(Phase.DISTRIBUTION) == 2.0
+        assert log.elapsed(Phase.COMPUTE) == 0.0
+
+    def test_message_statistics(self):
+        log = TraceLog()
+        log.record(msg_event(Phase.DISTRIBUTION, 1.5, 100))
+        log.record(msg_event(Phase.DISTRIBUTION, 2.5, 50, dst=1))
+        bd = log.breakdown(Phase.DISTRIBUTION)
+        assert bd.n_messages == 2
+        assert bd.elements_sent == 150
+        assert bd.host_time == 4.0
+
+    def test_ops_counter(self):
+        log = TraceLog()
+        log.record(ops_event(Phase.COMPUTE, 0, 1.0, qty=40))
+        log.record(ops_event(Phase.COMPUTE, HOST, 1.0, qty=2))
+        assert log.breakdown(Phase.COMPUTE).ops == 42
+
+    def test_total_elapsed_sums_phases(self):
+        log = TraceLog()
+        log.record(ops_event(Phase.COMPRESSION, HOST, 1.0))
+        log.record(ops_event(Phase.DISTRIBUTION, HOST, 2.0))
+        log.record(ops_event(Phase.COMPUTE, 0, 3.0))
+        assert log.total_elapsed() == 6.0
+        assert log.total_elapsed([Phase.COMPRESSION, Phase.COMPUTE]) == 4.0
+
+    def test_clear_and_len(self):
+        log = TraceLog()
+        log.record(ops_event(Phase.COMPUTE, 0, 1.0))
+        assert len(log) == 1
+        log.clear()
+        assert len(log) == 0
+        assert log.elapsed(Phase.COMPUTE) == 0.0
+
+    def test_repr_lists_active_phases(self):
+        log = TraceLog()
+        log.record(ops_event(Phase.COMPRESSION, HOST, 1.0))
+        assert "compression" in repr(log)
+        assert "distribution" not in repr(log)
+
+    def test_empty_breakdown(self):
+        bd = TraceLog().breakdown(Phase.PARTITION)
+        assert bd.elapsed == 0.0
+        assert bd.n_messages == 0

@@ -1,0 +1,97 @@
+"""Unit tests for the crossover finders."""
+
+import pytest
+
+from repro.machine import ratio_cost_model
+from repro.model import (
+    ProblemSpec,
+    bisect_crossover,
+    data_op_ratio_crossover,
+    remark5_thresholds,
+    sparse_ratio_crossover,
+)
+
+
+class TestBisect:
+    def test_finds_linear_root(self):
+        root = bisect_crossover(lambda x: x - 3.0, 0.0, 10.0)
+        assert root == pytest.approx(3.0, abs=1e-6)
+
+    def test_none_when_no_sign_change(self):
+        assert bisect_crossover(lambda x: x + 1.0, 0.0, 10.0) is None
+
+    def test_exact_endpoints(self):
+        assert bisect_crossover(lambda x: x, 0.0, 5.0) == 0.0
+        assert bisect_crossover(lambda x: x - 5.0, 0.0, 5.0) == 5.0
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            bisect_crossover(lambda x: x, 5.0, 1.0)
+
+    def test_decreasing_function(self):
+        root = bisect_crossover(lambda x: 2.0 - x, 0.0, 10.0)
+        assert root == pytest.approx(2.0, abs=1e-6)
+
+
+class TestDataOpRatioCrossover:
+    def test_converges_to_remark5_threshold_for_large_n(self):
+        """As n grows, the finite-size crossover approaches (1+3s)/(1-2s)."""
+        spec = ProblemSpec(n=100_000, p=64, s=0.1, cost=ratio_cost_model(1.0))
+        star = data_op_ratio_crossover(spec, "ed", "sfc", partition="row")
+        asymptotic, _ = remark5_thresholds(spec, "row")
+        assert star == pytest.approx(asymptotic, rel=0.02)
+
+    def test_cfs_threshold_above_ed_threshold(self):
+        spec = ProblemSpec(n=2000, p=16, s=0.1, cost=ratio_cost_model(1.0))
+        ed_star = data_op_ratio_crossover(spec, "ed", "sfc")
+        cfs_star = data_op_ratio_crossover(spec, "cfs", "sfc")
+        assert ed_star < cfs_star
+
+    def test_distribution_metric_has_no_crossover_for_ed(self):
+        """ED's distribution time beats SFC's at every ratio (s < 0.5)."""
+        spec = ProblemSpec(n=1000, p=8, s=0.1, cost=ratio_cost_model(1.0))
+        star = data_op_ratio_crossover(
+            spec, "ed", "sfc", metric="t_distribution"
+        )
+        assert star is None
+
+    def test_sp2_ratio_sits_between_column_and_row_thresholds(self):
+        """1.2 beats the column threshold (5/8) but not the row one (13/8)
+        — reproducing why Table 3 and Table 4 disagree on the winner."""
+        spec = ProblemSpec(n=2000, p=16, s=0.1, cost=ratio_cost_model(1.0))
+        row_star = data_op_ratio_crossover(spec, "ed", "sfc", partition="row")
+        col_star = data_op_ratio_crossover(spec, "ed", "sfc", partition="column")
+        assert col_star < 1.2 < row_star
+
+
+class TestSparseRatioCrossover:
+    def test_ed_wins_below_crossover(self):
+        spec = ProblemSpec(n=1000, p=8, s=0.1)  # SP2 cost model
+        star = sparse_ratio_crossover(spec, "ed", "sfc")
+        assert star is not None and 0.0 < star < 0.5
+        from repro.model import predict
+
+        below = spec.with_sparse_ratio(star * 0.5)
+        assert (
+            predict(below, "ed", "row", "crs").t_total
+            < predict(below, "sfc", "row", "crs").t_total
+        )
+        above = spec.with_sparse_ratio(min(star * 1.5, 0.49))
+        assert (
+            predict(above, "ed", "row", "crs").t_total
+            > predict(above, "sfc", "row", "crs").t_total
+        )
+
+    def test_distribution_crossover_near_half_for_ed(self):
+        """In distribution time alone, ED loses to SFC only near s = 0.5."""
+        spec = ProblemSpec(n=5000, p=8, s=0.1, cost=ratio_cost_model(1.0))
+        star = sparse_ratio_crossover(
+            spec, "ed", "sfc", metric="t_distribution", s_range=(1e-6, 0.49999)
+        )
+        # exact crossover: 2n²s + n = n²  =>  s = 1/2 - 1/(2n)
+        assert star == pytest.approx(0.5 - 1 / (2 * 5000), abs=1e-4)
+
+    def test_none_when_dominating(self):
+        """ED always beats CFS (Remark 4): no total-time crossover in s."""
+        spec = ProblemSpec(n=1000, p=8, s=0.1)
+        assert sparse_ratio_crossover(spec, "ed", "cfs") is None

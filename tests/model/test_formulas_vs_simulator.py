@@ -1,0 +1,138 @@
+"""The cost models agree with the simulator's measured costs.
+
+Two levels of agreement:
+
+* :func:`~repro.model.formulas.predict_from_plan` counts each processor's
+  real block — it must match the simulator **exactly** in every
+  configuration (two independent implementations of the same accounting);
+* :func:`~repro.model.formulas.predict` works from the paper's
+  ``(n, p, s, s')`` summary, which charges the index conversion to the
+  slowest processor even when that processor is rank 0 (which never
+  converts) — it upper-bounds the simulator and matches exactly whenever
+  the configuration needs no conversion.
+"""
+
+import pytest
+
+from repro.core import get_compression, get_scheme
+from repro.machine import Machine, sp2_cost_model, unit_cost_model
+from repro.model import predict, predict_from_plan, spec_from_plan
+from repro.partition import ColumnPartition, Mesh2DPartition, RowPartition
+from repro.sparse import random_sparse
+
+PARTITIONS = {
+    "row": RowPartition(),
+    "column": ColumnPartition(),
+    "mesh2d": Mesh2DPartition(),
+}
+
+
+def run_case(scheme, partition_name, compression, n=48, p=4, s=0.25, seed=9, cost=None):
+    cost = cost or unit_cost_model()
+    matrix = random_sparse((n, n), s, seed=seed)
+    plan = PARTITIONS[partition_name].plan(matrix.shape, p)
+    machine = Machine(p, cost=cost)
+    result = get_scheme(scheme).run(
+        machine, matrix, plan, get_compression(compression)
+    )
+    return matrix, plan, cost, result
+
+
+class TestExactAgreement:
+    """predict_from_plan == simulator, always."""
+
+    @pytest.mark.parametrize("scheme", ["sfc", "cfs", "ed"])
+    @pytest.mark.parametrize("partition", ["row", "column", "mesh2d"])
+    @pytest.mark.parametrize("compression", ["crs", "ccs"])
+    def test_both_phases_agree(self, scheme, partition, compression):
+        matrix, plan, cost, result = run_case(scheme, partition, compression)
+        pred = predict_from_plan(matrix, plan, scheme, compression, cost)
+        assert result.t_distribution == pytest.approx(pred.t_distribution, rel=1e-12)
+        assert result.t_compression == pytest.approx(pred.t_compression, rel=1e-12)
+        assert result.wire_elements == pred.wire_elements
+
+    @pytest.mark.parametrize("p", [1, 3, 4, 8, 16])
+    def test_across_processor_counts(self, p):
+        matrix, plan, cost, result = run_case("ed", "row", "crs", n=64, p=p)
+        pred = predict_from_plan(matrix, plan, "ed", "crs", cost)
+        assert result.t_distribution == pytest.approx(pred.t_distribution)
+        assert result.t_compression == pytest.approx(pred.t_compression)
+
+    @pytest.mark.parametrize("s", [0.0, 0.02, 0.1, 0.4, 1.0])
+    def test_across_sparse_ratios(self, s):
+        matrix, plan, cost, result = run_case("cfs", "row", "ccs", s=s)
+        pred = predict_from_plan(matrix, plan, "cfs", "ccs", cost)
+        assert result.t_distribution == pytest.approx(pred.t_distribution)
+
+    def test_uneven_blocks(self):
+        """n not divisible by p exercises the per-proc maxima."""
+        matrix, plan, cost, result = run_case("ed", "row", "crs", n=50, p=7)
+        pred = predict_from_plan(matrix, plan, "ed", "crs", cost)
+        assert result.t_distribution == pytest.approx(pred.t_distribution)
+        assert result.t_compression == pytest.approx(pred.t_compression)
+
+    def test_sp2_cost_model(self):
+        matrix, plan, cost, result = run_case(
+            "ed", "row", "crs", n=200, s=0.1, cost=sp2_cost_model()
+        )
+        pred = predict_from_plan(matrix, plan, "ed", "crs", cost)
+        assert result.t_distribution == pytest.approx(pred.t_distribution)
+        assert result.t_compression == pytest.approx(pred.t_compression)
+
+    def test_non_paper_partition(self):
+        """predict_from_plan also covers block-cyclic (map conversion)."""
+        from repro.partition import BlockCyclicRowPartition
+
+        matrix = random_sparse((48, 48), 0.2, seed=5)
+        plan = BlockCyclicRowPartition(3).plan(matrix.shape, 4)
+        cost = unit_cost_model()
+        machine = Machine(4, cost=cost)
+        result = get_scheme("cfs").run(
+            machine, matrix, plan, get_compression("ccs")
+        )
+        pred = predict_from_plan(matrix, plan, "cfs", "ccs", cost)
+        assert result.t_distribution == pytest.approx(pred.t_distribution)
+
+
+class TestPaperSummaryFormula:
+    """predict (Tables 1-2 algebra) vs the simulator."""
+
+    @pytest.mark.parametrize("scheme", ["sfc", "cfs", "ed"])
+    @pytest.mark.parametrize(
+        "partition,compression",
+        [("row", "crs"), ("column", "ccs")],  # the conversion-free cases
+    )
+    def test_exact_when_no_conversion(self, scheme, partition, compression):
+        matrix, plan, cost, result = run_case(scheme, partition, compression)
+        spec = spec_from_plan(matrix, plan, cost=cost)
+        pred = predict(spec, scheme, partition, compression)
+        assert result.t_distribution == pytest.approx(pred.t_distribution, rel=1e-12)
+        assert result.t_compression == pytest.approx(pred.t_compression, rel=1e-12)
+
+    @pytest.mark.parametrize("scheme", ["cfs", "ed"])
+    @pytest.mark.parametrize(
+        "partition,compression",
+        [("row", "ccs"), ("column", "crs"), ("mesh2d", "crs"), ("mesh2d", "ccs")],
+    )
+    def test_upper_bound_when_conversion_needed(self, scheme, partition, compression):
+        """The summary formula over-counts by at most one conversion pass of
+        the slowest processor (it assumes that processor converts)."""
+        matrix, plan, cost, result = run_case(scheme, partition, compression)
+        spec = spec_from_plan(matrix, plan, cost=cost)
+        pred = predict(spec, scheme, partition, compression)
+        measured = result.t_distribution + result.t_compression
+        predicted = pred.t_distribution + pred.t_compression
+        assert predicted >= measured - 1e-9
+        # slack is bounded by one op per nonzero of the fullest block
+        slack_bound = (
+            max(l.nnz for l in plan.extract_all(matrix)) * cost.t_operation
+        )
+        assert predicted - measured <= slack_bound + 1e-9
+
+    def test_wire_elements_exact_even_with_conversion(self):
+        """Conversion affects ops, never the wire size."""
+        for partition, compression in [("row", "ccs"), ("mesh2d", "crs")]:
+            matrix, plan, cost, result = run_case("ed", partition, compression)
+            spec = spec_from_plan(matrix, plan, cost=cost)
+            pred = predict(spec, "ed", partition, compression)
+            assert result.wire_elements == pred.wire_elements

@@ -1,0 +1,116 @@
+"""Unit tests for the memory-footprint and amortisation analyses."""
+
+import math
+
+import pytest
+
+from repro.machine import ratio_cost_model
+from repro.model import (
+    ProblemSpec,
+    amortization,
+    memory_footprint,
+    spmv_iteration_cost,
+)
+
+
+@pytest.fixture
+def spec():
+    return ProblemSpec(n=1000, p=16, s=0.1)
+
+
+class TestMemoryFootprint:
+    def test_sfc_receiver_dominated_by_dense_block(self, spec):
+        m = memory_footprint(spec, "sfc")
+        dense_block = math.ceil(spec.n / spec.p) * spec.n
+        assert m.proc_peak == dense_block + m.proc_resident
+
+    def test_ed_receiver_leanest(self, spec):
+        peaks = {s: memory_footprint(spec, s).proc_peak for s in ("sfc", "cfs", "ed")}
+        assert peaks["ed"] <= peaks["cfs"] < peaks["sfc"]
+
+    def test_sparse_receivers_scale_with_nnz_not_area(self, spec):
+        """Halving s halves ED/CFS receiver peaks; SFC barely moves."""
+        half = spec.with_sparse_ratio(0.05)
+        for scheme, elastic in (("ed", True), ("cfs", True), ("sfc", False)):
+            full_peak = memory_footprint(spec, scheme).proc_peak
+            half_peak = memory_footprint(half, scheme).proc_peak
+            ratio = half_peak / full_peak
+            if elastic:
+                assert ratio < 0.7
+            else:
+                assert ratio > 0.8
+
+    def test_resident_identical_across_schemes(self, spec):
+        residents = {
+            memory_footprint(spec, s).proc_resident for s in ("sfc", "cfs", "ed")
+        }
+        assert len(residents) == 1
+
+    def test_cfs_host_holds_all_triples(self, spec):
+        m = memory_footprint(spec, "cfs")
+        assert m.host_peak > 2 * spec.nnz  # all CO+VL at once
+
+    def test_ed_host_one_buffer_at_a_time(self, spec):
+        ed = memory_footprint(spec, "ed")
+        cfs = memory_footprint(spec, "cfs")
+        assert ed.host_peak < cfs.host_peak / spec.p * 2
+
+    def test_sfc_host_pack_only_for_strided(self, spec):
+        assert memory_footprint(spec, "sfc", "row").host_peak == 0.0
+        assert memory_footprint(spec, "sfc", "column").host_peak > 0.0
+
+    def test_proc_overhead(self, spec):
+        m = memory_footprint(spec, "ed")
+        assert m.proc_overhead == pytest.approx(m.proc_peak - m.proc_resident)
+
+    def test_unknown_scheme_rejected(self, spec):
+        with pytest.raises(ValueError):
+            memory_footprint(spec, "brs")
+
+
+class TestAmortization:
+    def test_setup_matches_predictions(self, spec):
+        from repro.model import predict
+
+        rep = amortization(spec)
+        for scheme in ("sfc", "cfs", "ed"):
+            assert rep.setup[scheme] == pytest.approx(
+                predict(spec, scheme, "row", "crs").t_total
+            )
+
+    def test_effective_linear_in_k(self, spec):
+        rep = amortization(spec)
+        assert rep.effective("ed", 10) == pytest.approx(
+            rep.setup["ed"] + 10 * rep.iteration
+        )
+
+    def test_winner_constant_in_k(self, spec):
+        rep = amortization(spec)
+        assert rep.winner(0) == rep.winner(10_000)
+
+    def test_break_even_definition(self, spec):
+        rep = amortization(spec)
+        k = rep.iterations_to_5_percent
+        best = min(rep.setup, key=rep.setup.get)
+        worst = max(rep.setup, key=rep.setup.get)
+        assert rep.effective(worst, k) <= 1.05 * rep.effective(best, k) + 1e-9
+        if k > 0:
+            assert rep.effective(worst, k - 1) > 1.05 * rep.effective(best, k - 1)
+
+    def test_iteration_cost_positive_and_sane(self, spec):
+        t = spmv_iteration_cost(spec)
+        assert 0 < t < amortization(spec).setup["sfc"]
+
+    def test_larger_gap_needs_more_iterations(self):
+        """A machine ratio deep in SFC territory widens the setup gap and
+        pushes the break-even point out."""
+        near = ProblemSpec(n=1000, p=16, s=0.1, cost=ratio_cost_model(1.55, t_startup=0.04))
+        far = ProblemSpec(n=1000, p=16, s=0.1, cost=ratio_cost_model(0.3, t_startup=0.04))
+        assert (
+            amortization(far).iterations_to_5_percent
+            > amortization(near).iterations_to_5_percent
+        )
+
+    def test_invalid_tolerance_rejected(self, spec):
+        with pytest.raises(ValueError):
+            amortization(spec, tolerance=0.0)

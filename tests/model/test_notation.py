@@ -1,0 +1,85 @@
+"""Unit tests for the Section 4 notation object."""
+
+import pytest
+
+from repro.machine import unit_cost_model
+from repro.model import ProblemSpec, ceil_div, spec_from_plan
+from repro.partition import Mesh2DPartition, RowPartition
+from repro.sparse import random_sparse, row_skewed_sparse
+
+
+class TestCeilDiv:
+    def test_values(self):
+        assert ceil_div(10, 4) == 3
+        assert ceil_div(12, 4) == 3
+        assert ceil_div(1, 5) == 1
+        assert ceil_div(0, 5) == 0
+
+    def test_invalid_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(5, 0)
+
+
+class TestProblemSpec:
+    def test_defaults(self):
+        spec = ProblemSpec(n=100, p=4, s=0.1)
+        assert spec.s_prime == 0.1  # defaults to s
+        assert spec.cost.data_op_ratio == pytest.approx(1.2)  # SP2 preset
+
+    def test_nnz(self):
+        assert ProblemSpec(n=10, p=2, s=0.25).nnz == 25.0
+
+    def test_mesh_default_most_square(self):
+        assert ProblemSpec(n=10, p=12, s=0.1).mesh == (3, 4)
+
+    def test_mesh_explicit(self):
+        spec = ProblemSpec(n=10, p=8, s=0.1, mesh_shape=(2, 4))
+        assert spec.mesh == (2, 4)
+
+    def test_mesh_inconsistent_rejected(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            ProblemSpec(n=10, p=8, s=0.1, mesh_shape=(3, 3))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProblemSpec(n=0, p=4, s=0.1)
+        with pytest.raises(ValueError):
+            ProblemSpec(n=10, p=0, s=0.1)
+        with pytest.raises(ValueError):
+            ProblemSpec(n=10, p=4, s=1.5)
+        with pytest.raises(ValueError):
+            ProblemSpec(n=10, p=4, s=0.1, s_prime=-0.1)
+
+    def test_with_cost_and_ratio(self):
+        spec = ProblemSpec(n=10, p=2, s=0.1).with_cost(unit_cost_model())
+        assert spec.cost.t_data == 1.0
+        spec2 = spec.with_sparse_ratio(0.3)
+        assert spec2.s == 0.3 and spec2.s_prime == 0.3
+
+
+class TestSpecFromPlan:
+    def test_measures_s_prime(self):
+        m = row_skewed_sparse((40, 40), 0.1, skew=2.0, seed=1)
+        plan = RowPartition().plan(m.shape, 4)
+        spec = spec_from_plan(m, plan)
+        assert spec.s == pytest.approx(m.sparse_ratio)
+        locals_ = plan.extract_all(m)
+        assert spec.s_prime == pytest.approx(
+            max(l.sparse_ratio for l in locals_)
+        )
+        assert spec.s_prime > spec.s  # skew concentrates nonzeros
+
+    def test_uniform_matrix_s_prime_close_to_s(self):
+        m = random_sparse((60, 60), 0.1, seed=2)
+        spec = spec_from_plan(m, RowPartition().plan(m.shape, 4))
+        assert spec.s_prime == pytest.approx(spec.s, rel=0.3)
+
+    def test_mesh_shape_propagated(self):
+        m = random_sparse((24, 24), 0.1, seed=3)
+        plan = Mesh2DPartition((2, 3)).plan(m.shape, 6)
+        assert spec_from_plan(m, plan).mesh == (2, 3)
+
+    def test_square_required(self):
+        m = random_sparse((10, 20), 0.1, seed=4)
+        with pytest.raises(ValueError, match="square"):
+            spec_from_plan(m, RowPartition().plan(m.shape, 2))

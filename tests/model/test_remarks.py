@@ -1,0 +1,126 @@
+"""Unit tests for Remarks 1–5 as predicates."""
+
+import pytest
+
+from repro.machine import ratio_cost_model
+from repro.model import (
+    ProblemSpec,
+    evaluate_all,
+    remark1_ed_dist_fastest,
+    remark2_cfs_dist_beats_sfc,
+    remark3_compression_order,
+    remark4_ed_beats_cfs,
+    remark5_beats_sfc,
+    remark5_thresholds,
+)
+from repro.model.remarks import remark2_condition
+
+
+def spec(n=1000, p=16, s=0.1, ratio=1.2, startup=0.04):
+    return ProblemSpec(n=n, p=p, s=s, cost=ratio_cost_model(ratio, t_startup=startup))
+
+
+class TestRemark1:
+    def test_holds_at_paper_configuration(self):
+        assert remark1_ed_dist_fastest(spec())
+
+    @pytest.mark.parametrize("partition", ["row", "column", "mesh2d"])
+    @pytest.mark.parametrize("compression", ["crs", "ccs"])
+    def test_holds_across_grid(self, partition, compression):
+        assert remark1_ed_dist_fastest(spec(), partition, compression)
+
+    def test_fails_above_half_density(self):
+        """For s > 0.5 the compressed payload exceeds the dense one."""
+        assert not remark1_ed_dist_fastest(spec(s=0.6))
+
+
+class TestRemark2:
+    def test_holds_at_low_sparse_ratio(self):
+        assert remark2_cfs_dist_beats_sfc(spec(s=0.1))
+
+    def test_fails_at_high_sparse_ratio(self):
+        assert not remark2_cfs_dist_beats_sfc(spec(s=0.45))
+
+    def test_paper_condition(self):
+        """T_Data > (2s / (1-2s)) T_Op: at s=0.1 the bound is 0.25."""
+        assert remark2_condition(spec(s=0.1, ratio=1.2))
+        assert not remark2_condition(spec(s=0.1, ratio=0.2))
+        assert not remark2_condition(spec(s=0.6, ratio=10.0))
+
+
+class TestRemark3:
+    @pytest.mark.parametrize("partition", ["row", "column", "mesh2d"])
+    def test_compression_order(self, partition):
+        assert remark3_compression_order(spec(), partition)
+
+    def test_holds_even_at_high_density(self):
+        assert remark3_compression_order(spec(s=0.4))
+
+
+class TestRemark4:
+    @pytest.mark.parametrize("partition", ["row", "column", "mesh2d"])
+    @pytest.mark.parametrize("compression", ["crs", "ccs"])
+    def test_ed_beats_cfs_everywhere(self, partition, compression):
+        """The paper: 'the ED scheme outperforms the CFS scheme for all
+        test cases.'"""
+        assert remark4_ed_beats_cfs(spec(), partition, compression)
+
+    @pytest.mark.parametrize("ratio", [0.25, 1.0, 1.2, 4.0])
+    def test_robust_to_machine_ratio(self, ratio):
+        assert remark4_ed_beats_cfs(spec(ratio=ratio))
+
+
+class TestRemark5:
+    def test_row_thresholds_at_s01_are_13_8_and_15_8(self):
+        ed_thr, cfs_thr = remark5_thresholds(spec(s=0.1), "row")
+        assert ed_thr == pytest.approx(13 / 8)
+        assert cfs_thr == pytest.approx(15 / 8)
+
+    def test_column_thresholds_at_s01(self):
+        ed_thr, cfs_thr = remark5_thresholds(spec(s=0.1), "column")
+        assert ed_thr == pytest.approx(3 / 8)
+        assert cfs_thr == pytest.approx(5 / 8)
+
+    def test_mesh_thresholds_match_column(self):
+        assert remark5_thresholds(spec(), "mesh2d") == remark5_thresholds(
+            spec(), "column"
+        )
+
+    def test_undefined_beyond_half_density(self):
+        with pytest.raises(ValueError):
+            remark5_thresholds(spec(s=0.5))
+
+    def test_unknown_partition_rejected(self):
+        with pytest.raises(ValueError):
+            remark5_thresholds(spec(), "hex")
+
+    def test_sfc_wins_overall_below_row_threshold(self):
+        """The SP2 ratio 1.2 < 13/8: the paper's own Table 3 finding."""
+        s = spec(ratio=1.2)
+        assert not remark5_beats_sfc(s, "ed", "row")
+        assert not remark5_beats_sfc(s, "cfs", "row")
+
+    def test_ed_wins_overall_above_row_threshold(self):
+        s = spec(ratio=2.5)
+        assert remark5_beats_sfc(s, "ed", "row")
+        assert remark5_beats_sfc(s, "cfs", "row")
+
+    def test_both_win_on_column_at_sp2_ratio(self):
+        """Ratio 1.2 > 5/8: matches the paper's Table 4 observation."""
+        s = spec(ratio=1.2)
+        assert remark5_beats_sfc(s, "ed", "column")
+        assert remark5_beats_sfc(s, "cfs", "column")
+
+
+class TestEvaluateAll:
+    def test_report_shape(self):
+        report = evaluate_all(spec())
+        assert report.remark1 and report.remark2
+        assert report.remark3 and report.remark4
+        assert report.partition == "row"
+
+    def test_report_matches_individual_predicates(self):
+        s = spec(ratio=2.0, s=0.05)
+        report = evaluate_all(s, "column", "ccs")
+        assert report.remark1 == remark1_ed_dist_fastest(s, "column", "ccs")
+        assert report.ed_beats_sfc == remark5_beats_sfc(s, "ed", "column", "ccs")

@@ -1,0 +1,124 @@
+"""Unit tests for parameter sweeps and the ASCII chart."""
+
+import numpy as np
+import pytest
+
+from repro.machine import ratio_cost_model, sp2_cost_model
+from repro.model import ProblemSpec, predict, sweep
+from repro.runtime import ascii_chart
+
+
+@pytest.fixture
+def spec():
+    return ProblemSpec(n=300, p=8, s=0.1, cost=ratio_cost_model(1.0, t_startup=0.04))
+
+
+class TestSweep:
+    def test_series_match_pointwise_predictions(self, spec):
+        values = [0.05, 0.1, 0.2]
+        result = sweep(spec, "s", values)
+        for series in result.series:
+            for x, y in zip(series.x, series.y):
+                expected = predict(
+                    spec.with_sparse_ratio(x), series.label, "row", "crs"
+                ).t_total
+                assert y == pytest.approx(expected)
+
+    def test_ratio_sweep_finds_remark5_crossover(self, spec):
+        values = np.linspace(0.5, 3.0, 26)
+        result = sweep(spec, "ratio", values)
+        crossings = result.crossover_indices()
+        assert crossings, "expected a winner change across the ratio range"
+        # SFC wins at the left end, ED at the right (Remark 5)
+        assert result.winner_at(0) == "sfc"
+        assert result.winner_at(len(values) - 1) == "ed"
+
+    def test_p_sweep(self, spec):
+        result = sweep(spec, "p", [2, 4, 8, 16], metric="t_distribution")
+        sfc = next(s for s in result.series if s.label == "sfc")
+        # SFC distribution grows with p (more startups, same dense wire)
+        assert sfc.y[0] < sfc.y[-1]
+
+    def test_n_sweep_superlinear_for_sfc(self, spec):
+        result = sweep(spec, "n", [100, 200, 400], metric="t_distribution")
+        sfc = next(s for s in result.series if s.label == "sfc")
+        assert sfc.y[2] / sfc.y[1] > 3.0  # ~n² growth
+
+    def test_simulated_sweep_matches_model_shape(self):
+        spec = ProblemSpec(n=96, p=4, s=0.1, cost=sp2_cost_model())
+        values = [0.05, 0.3]
+        model = sweep(spec, "s", values)
+        simulated = sweep(spec, "s", values, simulate=True)
+        for m_series, s_series in zip(model.series, simulated.series):
+            # same winners / ordering, values within a few percent
+            for m_y, s_y in zip(m_series.y, s_series.y):
+                assert s_y == pytest.approx(m_y, rel=0.1)
+
+    def test_metric_selection(self, spec):
+        result = sweep(spec, "s", [0.1], metric="t_compression")
+        labels = {s.label: s.y[0] for s in result.series}
+        assert labels["sfc"] < labels["cfs"] < labels["ed"]  # Remark 3
+
+    def test_scheme_subset(self, spec):
+        result = sweep(spec, "s", [0.1], schemes=("ed",))
+        assert [s.label for s in result.series] == ["ed"]
+
+    def test_empty_values_rejected(self, spec):
+        with pytest.raises(ValueError, match="at least one"):
+            sweep(spec, "s", [])
+
+    def test_unknown_parameter_rejected(self, spec):
+        with pytest.raises(ValueError, match="unknown sweep parameter"):
+            sweep(spec, "bandwidth", [1.0])
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_legend(self, spec):
+        result = sweep(spec, "ratio", np.linspace(0.5, 2.5, 12))
+        chart = ascii_chart(result)
+        for token in ("S=SFC", "C=CFS", "E=ED"):
+            assert token in chart
+        assert "t_total" in chart
+
+    def test_axis_labels(self, spec):
+        result = sweep(spec, "s", [0.05, 0.4])
+        chart = ascii_chart(result, width=30, height=8)
+        assert "0.05" in chart and "0.4" in chart
+
+    def test_dimensions(self, spec):
+        result = sweep(spec, "s", [0.05, 0.1, 0.2])
+        lines = ascii_chart(result, width=40, height=10).splitlines()
+        # title + height rows + x axis + legend
+        assert len(lines) == 1 + 10 + 2
+        grid_rows = [l for l in lines if "|" in l]
+        assert all(len(l.split("|")[1]) == 40 for l in grid_rows)
+
+    def test_overlap_marker(self, spec):
+        """Different series landing on one cell collide into '*'."""
+        from repro.model import SweepResult, SweepSeries
+
+        result = SweepResult(
+            parameter="s",
+            metric="t_total",
+            partition="row",
+            compression="crs",
+            spec=spec,
+            series=(
+                SweepSeries("sfc", (0.1, 0.2), (1.0, 2.0)),
+                SweepSeries("ed", (0.1, 0.2), (1.0, 2.0)),  # identical curve
+            ),
+        )
+        chart = ascii_chart(result, width=20, height=6)
+        assert "*" in chart
+
+    def test_invalid_dimensions_rejected(self, spec):
+        result = sweep(spec, "s", [0.1])
+        with pytest.raises(ValueError):
+            ascii_chart(result, width=1)
+        with pytest.raises(ValueError):
+            ascii_chart(result, height=1)
+
+    def test_flat_series_handled(self, spec):
+        """Constant y (zero span) must not divide by zero."""
+        result = sweep(spec, "s", [0.1, 0.1, 0.1], schemes=("ed",))
+        assert "|" in ascii_chart(result, width=10, height=4)

@@ -1,0 +1,99 @@
+"""The general model reproduces the published Tables 1 and 2 term by term."""
+
+import pytest
+
+from repro.model import (
+    ProblemSpec,
+    predict,
+    table1_cfs,
+    table1_ed,
+    table1_sfc,
+    table2_cfs,
+    table2_ed,
+    table2_sfc,
+)
+
+SPECS = [
+    ProblemSpec(n=200, p=4, s=0.1),
+    ProblemSpec(n=1000, p=16, s=0.1),
+    ProblemSpec(n=2000, p=32, s=0.1),
+    ProblemSpec(n=500, p=7, s=0.05, s_prime=0.08),
+    ProblemSpec(n=64, p=3, s=0.3),
+]
+
+TABLE1 = [("sfc", table1_sfc), ("cfs", table1_cfs), ("ed", table1_ed)]
+TABLE2 = [("sfc", table2_sfc), ("cfs", table2_cfs), ("ed", table2_ed)]
+
+
+@pytest.mark.parametrize("spec", SPECS)
+@pytest.mark.parametrize("scheme,table_fn", TABLE1)
+def test_general_model_matches_table1(spec, scheme, table_fn):
+    pred = predict(spec, scheme, "row", "crs")
+    t_dist, t_comp = table_fn(spec)
+    assert pred.t_distribution == pytest.approx(t_dist, rel=1e-12)
+    assert pred.t_compression == pytest.approx(t_comp, rel=1e-12)
+
+
+@pytest.mark.parametrize("spec", SPECS)
+@pytest.mark.parametrize("scheme,table_fn", TABLE2)
+def test_general_model_matches_table2(spec, scheme, table_fn):
+    pred = predict(spec, scheme, "row", "ccs")
+    t_dist, t_comp = table_fn(spec)
+    assert pred.t_distribution == pytest.approx(t_dist, rel=1e-12)
+    assert pred.t_compression == pytest.approx(t_comp, rel=1e-12)
+
+
+def test_table2_cfs_erratum_documented():
+    """The printed T_Data term (2n²s+n+p) understates the wire by (p-1)n
+    elements; the self-consistent reading is (2n²s+pn+p)."""
+    spec = ProblemSpec(n=100, p=4, s=0.1)
+    printed, _ = table2_cfs(spec, as_printed=True)
+    consistent, _ = table2_cfs(spec)
+    gap = (spec.p - 1) * spec.n * spec.cost.t_data
+    assert consistent - printed == pytest.approx(gap)
+
+
+def test_sfc_identical_across_compressions():
+    spec = ProblemSpec(n=300, p=8, s=0.1)
+    assert table1_sfc(spec) == table2_sfc(spec)
+
+
+def test_predict_rejects_unknown_names():
+    spec = ProblemSpec(n=10, p=2, s=0.1)
+    with pytest.raises(ValueError, match="scheme"):
+        predict(spec, "brs", "row", "crs")
+    with pytest.raises(ValueError, match="partition"):
+        predict(spec, "sfc", "diagonal", "crs")
+    with pytest.raises(ValueError, match="compression"):
+        predict(spec, "sfc", "row", "coo")
+
+
+class TestStructuralShapes:
+    """Wire sizes for the column and mesh variants follow the symmetry the
+    paper describes in Remark 5's parenthetical."""
+
+    def test_column_ccs_mirrors_row_crs(self):
+        spec = ProblemSpec(n=120, p=6, s=0.1)
+        row = predict(spec, "ed", "row", "crs")
+        col = predict(spec, "ed", "column", "ccs")
+        assert row.wire_elements == col.wire_elements
+
+    def test_row_ccs_mirrors_column_crs(self):
+        spec = ProblemSpec(n=120, p=6, s=0.1)
+        assert (
+            predict(spec, "ed", "row", "ccs").wire_elements
+            == predict(spec, "ed", "column", "crs").wire_elements
+        )
+
+    def test_mesh_wire_between_row_and_column(self):
+        spec = ProblemSpec(n=120, p=16, s=0.1)
+        row = predict(spec, "ed", "row", "crs").wire_elements
+        col = predict(spec, "ed", "column", "crs").wire_elements
+        mesh = predict(spec, "ed", "mesh2d", "crs").wire_elements
+        assert row < mesh < col
+
+    def test_sfc_pack_only_for_strided_partitions(self):
+        spec = ProblemSpec(n=100, p=4, s=0.1)
+        assert predict(spec, "sfc", "row", "crs").host_distribution_ops == 0
+        assert predict(spec, "sfc", "column", "crs").host_distribution_ops == 100**2
+        assert predict(spec, "sfc", "mesh2d", "crs").host_distribution_ops == 100**2

@@ -1,0 +1,143 @@
+"""Unit tests for the Berger-Bokhari recursive bisection partitioner."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import conversion_for, get_compression, get_scheme
+from repro.machine import Machine
+from repro.partition import (
+    RecursiveBisectionRowPartition,
+    RowPartition,
+    bisect_weights,
+)
+from repro.sparse import random_sparse, row_skewed_sparse
+
+
+class TestBisectWeights:
+    def test_uniform_weights_even_split(self):
+        parts = bisect_weights(np.ones(12), 4)
+        assert parts == [(0, 3), (3, 6), (6, 9), (9, 12)]
+
+    def test_skewed_weights_balance_totals(self):
+        w = np.array([10.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 2.0])
+        parts = bisect_weights(w, 2)
+        left, right = (w[lo:hi].sum() for lo, hi in parts)
+        assert abs(left - right) <= w.max()
+
+    def test_intervals_tile_the_range(self):
+        w = np.random.default_rng(1).random(37)
+        parts = bisect_weights(w, 5)
+        assert parts[0][0] == 0 and parts[-1][1] == 37
+        for (a, b), (c, d) in zip(parts, parts[1:]):
+            assert b == c
+
+    def test_non_power_of_two_parts(self):
+        parts = bisect_weights(np.ones(9), 3)
+        assert len(parts) == 3
+        sizes = [hi - lo for lo, hi in parts]
+        assert sum(sizes) == 9 and max(sizes) - min(sizes) <= 1
+
+    def test_zero_weights_split_by_index(self):
+        parts = bisect_weights(np.zeros(8), 4)
+        assert parts == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_more_parts_than_items(self):
+        parts = bisect_weights(np.ones(2), 5)
+        assert len(parts) == 5
+        assert sum(hi - lo for lo, hi in parts) == 2
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            bisect_weights(np.ones(3), 0)
+        with pytest.raises(ValueError):
+            bisect_weights(np.array([-1.0]), 2)
+
+
+class TestRecursiveBisectionRowPartition:
+    def test_blocks_contiguous(self):
+        m = row_skewed_sparse((48, 48), 0.1, skew=2.0, seed=2)
+        plan = RecursiveBisectionRowPartition(m).plan(m.shape, 4)
+        assert all(a.rows_contiguous for a in plan)
+
+    def test_valid_partition(self):
+        m = row_skewed_sparse((40, 40), 0.15, skew=1.5, seed=3)
+        plan = RecursiveBisectionRowPartition(m).plan(m.shape, 5)
+        assert sum(l.nnz for l in plan.extract_all(m)) == m.nnz
+
+    def test_balances_better_than_uniform_blocks_on_skew(self):
+        m = row_skewed_sparse((64, 64), 0.1, skew=2.0, seed=4)
+        counts = m.row_counts().astype(float)
+
+        def max_nnz(plan):
+            return max(counts[a.row_ids].sum() for a in plan)
+
+        bisected = max_nnz(RecursiveBisectionRowPartition(m).plan(m.shape, 4))
+        uniform = max_nnz(RowPartition().plan(m.shape, 4))
+        assert bisected < uniform
+
+    def test_offset_conversion_still_applies(self):
+        """The point of contiguity: Case 3.x.2 offsets work, no gather maps."""
+        m = row_skewed_sparse((32, 32), 0.2, skew=1.5, seed=5)
+        plan = RecursiveBisectionRowPartition(m).plan(m.shape, 4)
+        for a in plan:
+            conv = conversion_for(a, "ccs")
+            assert conv.kind in ("none", "offset")
+
+    def test_schemes_run_on_bisection_plans(self):
+        m = row_skewed_sparse((36, 36), 0.15, skew=2.0, seed=6)
+        plan = RecursiveBisectionRowPartition(m).plan(m.shape, 4)
+        reference = None
+        for scheme in ("sfc", "cfs", "ed"):
+            machine = Machine(4)
+            result = get_scheme(scheme).run(machine, m, plan, get_compression("crs"))
+            if reference is None:
+                reference = result.locals_
+            else:
+                for a, b in zip(reference, result.locals_):
+                    assert a == b
+
+    def test_explicit_weights(self):
+        part = RecursiveBisectionRowPartition(weights=np.ones(10))
+        plan = part.plan((10, 4), 2)
+        assert [len(a.row_ids) for a in plan] == [5, 5]
+
+    def test_load_imbalance_reasonable(self):
+        m = row_skewed_sparse((128, 128), 0.08, skew=2.0, seed=7)
+        part = RecursiveBisectionRowPartition(m)
+        assert part.load_imbalance(4) < 2.0
+
+    def test_requires_exactly_one_source(self):
+        m = random_sparse((4, 4), 0.5, seed=0)
+        with pytest.raises(ValueError, match="exactly one"):
+            RecursiveBisectionRowPartition(m, weights=np.ones(4))
+        with pytest.raises(ValueError, match="exactly one"):
+            RecursiveBisectionRowPartition()
+
+    def test_shape_mismatch_rejected(self):
+        m = random_sparse((8, 8), 0.2, seed=1)
+        with pytest.raises(ValueError, match="does not match"):
+            RecursiveBisectionRowPartition(m).plan((9, 8), 2)
+
+
+@given(
+    n=st.integers(1, 40),
+    parts=st.integers(1, 8),
+    seed=st.integers(0, 100),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_bisection_tiles_and_balances(n, parts, seed):
+    w = np.random.default_rng(seed).random(n)
+    intervals = bisect_weights(w, parts)
+    assert len(intervals) == parts
+    assert intervals[0][0] == 0 and intervals[-1][1] == n
+    covered = sum(hi - lo for lo, hi in intervals)
+    assert covered == n
+    # each bisection level can misplace at most one item, so a block's
+    # weight exceeds its ideal share by at most ceil(log2(parts)) max items
+    ideal = w.sum() / parts
+    levels = max(1, int(np.ceil(np.log2(parts)))) if parts > 1 else 0
+    slack = levels * (w.max() if n else 0.0)
+    for lo, hi in intervals:
+        assert w[lo:hi].sum() <= ideal + slack + 1e-9

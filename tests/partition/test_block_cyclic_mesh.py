@@ -1,0 +1,90 @@
+"""Unit tests for the ScaLAPACK-style 2-D block-cyclic partition."""
+
+import numpy as np
+import pytest
+
+from repro.core import conversion_for, get_compression, get_scheme, redistribute
+from repro.machine import Machine
+from repro.partition import BlockCyclicMesh2DPartition, Mesh2DPartition, RowPartition
+from repro.sparse import random_sparse
+
+
+class TestPlan:
+    def test_valid_partition(self, medium_matrix):
+        plan = BlockCyclicMesh2DPartition(2, 3).plan(medium_matrix.shape, 6)
+        assert sum(l.nnz for l in plan.extract_all(medium_matrix)) == medium_matrix.nnz
+
+    def test_mesh_coords_row_major(self):
+        plan = BlockCyclicMesh2DPartition().plan((8, 8), 4)
+        assert [a.mesh_coords for a in plan] == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_ownership_is_cyclic_in_both_dims(self):
+        plan = BlockCyclicMesh2DPartition(1, 1, (2, 2)).plan((6, 6), 4)
+        p00 = plan[0]
+        assert p00.row_ids.tolist() == [0, 2, 4]
+        assert p00.col_ids.tolist() == [0, 2, 4]
+        assert not p00.rows_contiguous and not p00.cols_contiguous
+
+    def test_explicit_mesh_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="does not match"):
+            BlockCyclicMesh2DPartition(mesh_shape=(2, 2)).plan((8, 8), 6)
+
+    def test_invalid_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            BlockCyclicMesh2DPartition(0, 1)
+        with pytest.raises(ValueError):
+            BlockCyclicMesh2DPartition(mesh_shape=(0, 2))
+
+    def test_big_blocks_degenerate_to_mesh(self):
+        """Blocks covering the whole dimension reproduce (Block, Block)."""
+        cyc = BlockCyclicMesh2DPartition(6, 6, (2, 2)).plan((12, 12), 4)
+        mesh = Mesh2DPartition((2, 2)).plan((12, 12), 4)
+        for a, b in zip(cyc, mesh):
+            assert a.row_ids.tolist() == b.row_ids.tolist()
+            assert a.col_ids.tolist() == b.col_ids.tolist()
+
+
+class TestSchemesOnScatteredOwnership:
+    def test_all_schemes_agree(self, medium_matrix, compression_name):
+        plan = BlockCyclicMesh2DPartition(2, 2).plan(medium_matrix.shape, 4)
+        reference = None
+        for scheme in ("sfc", "cfs", "ed"):
+            machine = Machine(4)
+            result = get_scheme(scheme).run(
+                machine, medium_matrix, plan, get_compression(compression_name)
+            )
+            if reference is None:
+                reference = result.locals_
+            else:
+                for a, b in zip(reference, result.locals_):
+                    assert a == b
+
+    def test_conversion_is_gather_map_both_ways(self, medium_matrix):
+        plan = BlockCyclicMesh2DPartition(1, 1).plan(medium_matrix.shape, 4)
+        for a in plan:
+            assert conversion_for(a, "crs").kind == "map"
+            assert conversion_for(a, "ccs").kind == "map"
+
+    def test_redistribution_to_and_from(self, medium_matrix):
+        row = RowPartition().plan(medium_matrix.shape, 4)
+        scalapack = BlockCyclicMesh2DPartition(2, 2).plan(medium_matrix.shape, 4)
+        machine = Machine(4)
+        get_scheme("ed").run(machine, medium_matrix, row, get_compression("crs"))
+        result = redistribute(machine, row, scalapack, get_compression("crs"))
+        expected = [
+            get_compression("crs").from_coo(a.extract_local(medium_matrix))
+            for a in scalapack
+        ]
+        for got, exp in zip(result.locals_, expected):
+            assert got == exp
+
+    def test_spmv_pipeline(self, medium_matrix, rng):
+        from repro.apps import distributed_spmv
+
+        plan = BlockCyclicMesh2DPartition(3, 2).plan(medium_matrix.shape, 4)
+        machine = Machine(4)
+        get_scheme("cfs").run(machine, medium_matrix, plan, get_compression("crs"))
+        x = rng.standard_normal(60)
+        np.testing.assert_allclose(
+            distributed_spmv(machine, plan, x), medium_matrix.to_dense() @ x
+        )

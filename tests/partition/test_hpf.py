@@ -1,0 +1,88 @@
+"""Unit tests for the HPF distribution directive parser."""
+
+import pytest
+
+from repro.partition import (
+    BlockCyclicColumnPartition,
+    BlockCyclicRowPartition,
+    ColumnPartition,
+    Mesh2DPartition,
+    RowPartition,
+    format_distribution,
+    parse_distribution,
+)
+
+
+class TestParse:
+    def test_paper_section1_mappings(self):
+        """The three directives Section 1 names."""
+        assert isinstance(parse_distribution("(Block, *)"), RowPartition)
+        assert isinstance(parse_distribution("(*, Block)"), ColumnPartition)
+        assert isinstance(parse_distribution("(Block, Block)"), Mesh2DPartition)
+
+    def test_cyclic_variants(self):
+        m = parse_distribution("(CYCLIC, *)")
+        assert isinstance(m, BlockCyclicRowPartition) and m.block == 1
+        m = parse_distribution("(CYCLIC(4), *)")
+        assert m.block == 4
+        m = parse_distribution("(*, cyclic(2))")
+        assert isinstance(m, BlockCyclicColumnPartition) and m.block == 2
+
+    def test_whitespace_and_case_insensitive(self):
+        assert isinstance(parse_distribution("  ( block ,  * )  "), RowPartition)
+
+    def test_plans_match_direct_construction(self):
+        direct = RowPartition().plan((12, 8), 3)
+        parsed = parse_distribution("(BLOCK,*)").plan((12, 8), 3)
+        for a, b in zip(direct, parsed):
+            assert a.row_ids.tolist() == b.row_ids.tolist()
+
+    def test_no_distribution_rejected(self):
+        with pytest.raises(ValueError, match="no distribution"):
+            parse_distribution("(*, *)")
+
+    def test_double_cyclic_is_scalapack_mesh(self):
+        from repro.partition import BlockCyclicMesh2DPartition
+
+        m = parse_distribution("(CYCLIC(2), CYCLIC(3))")
+        assert isinstance(m, BlockCyclicMesh2DPartition)
+        assert (m.row_block, m.col_block) == (2, 3)
+
+    def test_block_cyclic_mix_rejected(self):
+        with pytest.raises(ValueError, match="unsupported combination"):
+            parse_distribution("(BLOCK, CYCLIC)")
+
+    def test_malformed_rejected(self):
+        for bad in ("BLOCK,*", "(BLOCK)", "(BLOCK,*,*)", "(FOO,*)", "(CYCLIC(0),*)"):
+            with pytest.raises(ValueError):
+                parse_distribution(bad)
+
+
+class TestFormat:
+    @pytest.mark.parametrize(
+        "directive",
+        ["(BLOCK, *)", "(*, BLOCK)", "(BLOCK, BLOCK)", "(CYCLIC(3), *)",
+         "(*, CYCLIC(1))", "(CYCLIC(2), CYCLIC(4))"],
+    )
+    def test_roundtrip(self, directive):
+        method = parse_distribution(directive)
+        assert parse_distribution(format_distribution(method)).name == method.name
+
+    def test_unsupported_method_rejected(self):
+        from repro.partition import BinPackingRowPartition
+        import numpy as np
+
+        with pytest.raises(TypeError, match="no HPF directive"):
+            format_distribution(BinPackingRowPartition(weights=np.ones(4)))
+
+
+class TestEndToEnd:
+    def test_directive_drives_a_scheme_run(self):
+        from repro.runtime import run_scheme
+        from repro.sparse import random_sparse
+
+        matrix = random_sparse((24, 24), 0.2, seed=1)
+        result = run_scheme(
+            "ed", matrix, partition=parse_distribution("(*, BLOCK)"), n_procs=4
+        )
+        assert result.partition == "column"

@@ -1,0 +1,129 @@
+"""Unit tests for the paper's three partition methods."""
+
+import numpy as np
+import pytest
+
+from repro.data import FIGURE2_ROW_BLOCKS, sparse_array_A
+from repro.partition import (
+    ColumnPartition,
+    Mesh2DPartition,
+    RowPartition,
+    square_mesh_shape,
+)
+
+
+class TestRowPartition:
+    def test_reproduces_figure2(self):
+        plan = RowPartition().plan((10, 8), 4)
+        for a, (r0, r1) in zip(plan, FIGURE2_ROW_BLOCKS):
+            assert a.row_ids.tolist() == list(range(r0, r1))
+            assert a.col_ids.tolist() == list(range(8))
+
+    def test_blocks_contiguous_full_width(self):
+        plan = RowPartition().plan((20, 6), 3)
+        for a in plan:
+            assert a.rows_contiguous
+            assert len(a.col_ids) == 6
+
+    def test_more_procs_than_rows(self):
+        plan = RowPartition().plan((3, 5), 6)
+        shapes = [a.local_shape for a in plan]
+        assert shapes == [(1, 5)] * 3 + [(0, 5)] * 3
+
+    def test_single_processor(self):
+        plan = RowPartition().plan((4, 4), 1)
+        assert plan[0].local_shape == (4, 4)
+
+    def test_extract_preserves_content(self, medium_matrix):
+        plan = RowPartition().plan(medium_matrix.shape, 4)
+        dense = medium_matrix.to_dense()
+        for a, local in zip(plan, plan.extract_all(medium_matrix)):
+            np.testing.assert_array_equal(
+                local.to_dense(), dense[a.row_ids[0] : a.row_ids[-1] + 1, :]
+            )
+
+
+class TestColumnPartition:
+    def test_blocks_contiguous_full_height(self):
+        plan = ColumnPartition().plan((6, 20), 3)
+        for a in plan:
+            assert a.cols_contiguous
+            assert len(a.row_ids) == 6
+
+    def test_column_split_balanced(self):
+        plan = ColumnPartition().plan((5, 10), 4)
+        sizes = [len(a.col_ids) for a in plan]
+        assert sizes == [3, 3, 2, 2]
+
+    def test_is_transpose_of_row_partition(self, rect_matrix):
+        col_plan = ColumnPartition().plan(rect_matrix.shape, 3)
+        row_plan = RowPartition().plan(rect_matrix.transpose().shape, 3)
+        for ca, ra in zip(col_plan, row_plan):
+            assert ca.col_ids.tolist() == ra.row_ids.tolist()
+
+    def test_extract_preserves_content(self, medium_matrix):
+        plan = ColumnPartition().plan(medium_matrix.shape, 5)
+        dense = medium_matrix.to_dense()
+        for a, local in zip(plan, plan.extract_all(medium_matrix)):
+            np.testing.assert_array_equal(
+                local.to_dense(), dense[:, a.col_ids[0] : a.col_ids[-1] + 1]
+            )
+
+
+class TestMesh2DPartition:
+    def test_square_mesh_shape(self):
+        assert square_mesh_shape(4) == (2, 2)
+        assert square_mesh_shape(16) == (4, 4)
+        assert square_mesh_shape(64) == (8, 8)
+        assert square_mesh_shape(12) == (3, 4)
+        assert square_mesh_shape(7) == (1, 7)
+
+    def test_square_mesh_shape_invalid(self):
+        with pytest.raises(ValueError):
+            square_mesh_shape(0)
+
+    def test_default_most_square(self):
+        plan = Mesh2DPartition().plan((12, 12), 6)
+        assert plan.mesh_shape == (2, 3)
+
+    def test_rank_row_major(self):
+        plan = Mesh2DPartition().plan((8, 8), 4)
+        coords = [a.mesh_coords for a in plan]
+        assert coords == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_explicit_mesh_shape(self):
+        plan = Mesh2DPartition((4, 1)).plan((8, 8), 4)
+        assert plan.mesh_shape == (4, 1)
+        # degenerates to a row partition
+        row = RowPartition().plan((8, 8), 4)
+        for a, b in zip(plan, row):
+            assert a.row_ids.tolist() == b.row_ids.tolist()
+            assert a.col_ids.tolist() == b.col_ids.tolist()
+
+    def test_mismatched_mesh_rejected(self):
+        with pytest.raises(ValueError, match="does not match"):
+            Mesh2DPartition((2, 2)).plan((8, 8), 6)
+
+    def test_invalid_mesh_shape_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            Mesh2DPartition((0, 4))
+
+    def test_block_shapes_balanced(self):
+        plan = Mesh2DPartition().plan((10, 10), 4)
+        shapes = [a.local_shape for a in plan]
+        assert shapes == [(5, 5)] * 4
+
+    def test_uneven_blocks(self):
+        plan = Mesh2DPartition((2, 2)).plan((5, 7), 4)
+        shapes = [a.local_shape for a in plan]
+        assert shapes == [(3, 4), (3, 3), (2, 4), (2, 3)]
+
+    def test_extract_preserves_content(self, medium_matrix):
+        plan = Mesh2DPartition().plan(medium_matrix.shape, 9)
+        total = sum(l.nnz for l in plan.extract_all(medium_matrix))
+        assert total == medium_matrix.nnz
+
+    def test_paper_worked_example_blocks(self):
+        A = sparse_array_A()
+        plan = Mesh2DPartition((2, 2)).plan(A.shape, 4)
+        assert [a.local_shape for a in plan] == [(5, 4)] * 4

@@ -1,0 +1,75 @@
+"""Property-based tests: every partition method yields a true partition."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition import (
+    BlockCyclicColumnPartition,
+    BlockCyclicMesh2DPartition,
+    BlockCyclicRowPartition,
+    ColumnPartition,
+    Mesh2DPartition,
+    RowPartition,
+)
+from repro.sparse import random_sparse
+
+METHODS = st.sampled_from(
+    [
+        RowPartition(),
+        ColumnPartition(),
+        Mesh2DPartition(),
+        BlockCyclicRowPartition(1),
+        BlockCyclicRowPartition(3),
+        BlockCyclicColumnPartition(2),
+        BlockCyclicMesh2DPartition(1, 1),
+        BlockCyclicMesh2DPartition(2, 3),
+    ]
+)
+
+
+@given(
+    method=METHODS,
+    n_rows=st.integers(1, 25),
+    n_cols=st.integers(1, 25),
+    n_procs=st.integers(1, 8),
+)
+@settings(max_examples=120, deadline=None)
+def test_every_cell_owned_exactly_once(method, n_rows, n_cols, n_procs):
+    plan = method.plan((n_rows, n_cols), n_procs)
+    cover = np.zeros((n_rows, n_cols), dtype=int)
+    for a in plan:
+        cover[np.ix_(a.row_ids, a.col_ids)] += 1
+    assert np.all(cover == 1)
+
+
+@given(
+    method=METHODS,
+    n=st.integers(2, 20),
+    n_procs=st.integers(1, 6),
+    seed=st.integers(0, 99),
+)
+@settings(max_examples=80, deadline=None)
+def test_extraction_reassembles_to_global(method, n, n_procs, seed):
+    matrix = random_sparse((n, n), 0.3, seed=seed)
+    plan = method.plan(matrix.shape, n_procs)
+    dense = matrix.to_dense()
+    rebuilt = np.zeros_like(dense)
+    for a, local in zip(plan, plan.extract_all(matrix)):
+        rebuilt[np.ix_(a.row_ids, a.col_ids)] = local.to_dense()
+    np.testing.assert_array_equal(rebuilt, dense)
+
+
+@given(
+    method=METHODS,
+    n=st.integers(1, 30),
+    n_procs=st.integers(1, 8),
+)
+@settings(max_examples=80, deadline=None)
+def test_local_ids_sorted_and_in_range(method, n, n_procs):
+    plan = method.plan((n, n), n_procs)
+    for a in plan:
+        for ids, bound in ((a.row_ids, n), (a.col_ids, n)):
+            if len(ids):
+                assert ids.min() >= 0 and ids.max() < bound
+                assert np.all(np.diff(ids) > 0)

@@ -1,0 +1,136 @@
+"""Unit tests for the related-work partitioners (block-cyclic, bin-packing)."""
+
+import numpy as np
+import pytest
+
+from repro.partition import (
+    BinPackingRowPartition,
+    BlockCyclicColumnPartition,
+    BlockCyclicRowPartition,
+    RowPartition,
+    cyclic_ownership,
+    lpt_pack,
+)
+from repro.sparse import random_sparse, row_skewed_sparse
+
+
+class TestCyclicOwnership:
+    def test_block_one_round_robin(self):
+        owned = cyclic_ownership(7, 3, 1)
+        assert owned[0].tolist() == [0, 3, 6]
+        assert owned[1].tolist() == [1, 4]
+        assert owned[2].tolist() == [2, 5]
+
+    def test_block_two(self):
+        owned = cyclic_ownership(10, 2, 2)
+        assert owned[0].tolist() == [0, 1, 4, 5, 8, 9]
+        assert owned[1].tolist() == [2, 3, 6, 7]
+
+    def test_covers_everything_once(self):
+        owned = cyclic_ownership(23, 4, 3)
+        merged = np.sort(np.concatenate(owned))
+        np.testing.assert_array_equal(merged, np.arange(23))
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            cyclic_ownership(5, 2, 0)
+        with pytest.raises(ValueError):
+            cyclic_ownership(5, 0, 1)
+
+
+class TestBlockCyclicPartitions:
+    def test_row_plan_valid_and_noncontiguous(self, medium_matrix):
+        plan = BlockCyclicRowPartition(4).plan(medium_matrix.shape, 3)
+        assert sum(l.nnz for l in plan.extract_all(medium_matrix)) == medium_matrix.nnz
+        assert not plan[0].rows_contiguous  # cyclic => gaps
+
+    def test_column_plan_valid(self, medium_matrix):
+        plan = BlockCyclicColumnPartition(2).plan(medium_matrix.shape, 5)
+        assert sum(l.nnz for l in plan.extract_all(medium_matrix)) == medium_matrix.nnz
+
+    def test_block_larger_than_n_degenerates_to_block(self):
+        plan = BlockCyclicRowPartition(100).plan((10, 4), 2)
+        assert plan[0].row_ids.tolist() == list(range(10))
+        assert plan[1].local_shape == (0, 4)
+
+    def test_local_order_ascending_global(self):
+        plan = BlockCyclicRowPartition(2).plan((16, 4), 4)
+        for a in plan:
+            assert np.all(np.diff(a.row_ids) > 0)
+
+    def test_invalid_block_rejected(self):
+        with pytest.raises(ValueError):
+            BlockCyclicRowPartition(0)
+        with pytest.raises(ValueError):
+            BlockCyclicColumnPartition(-2)
+
+
+class TestLptPack:
+    def test_all_items_assigned_once(self):
+        bins = lpt_pack(np.arange(10, dtype=float), 3)
+        merged = np.sort(np.concatenate(bins))
+        np.testing.assert_array_equal(merged, np.arange(10))
+
+    def test_balances_better_than_naive_on_skew(self):
+        weights = np.array([100.0] + [1.0] * 9)
+        bins = lpt_pack(weights, 2)
+        loads = sorted(weights[b].sum() for b in bins)
+        assert loads == [9.0, 100.0]  # the big item is isolated
+
+    def test_deterministic(self):
+        w = np.array([5.0, 3.0, 3.0, 2.0, 2.0])
+        a = [b.tolist() for b in lpt_pack(w, 2)]
+        b = [b.tolist() for b in lpt_pack(w, 2)]
+        assert a == b
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            lpt_pack(np.array([-1.0]), 2)
+
+    def test_invalid_bins_rejected(self):
+        with pytest.raises(ValueError):
+            lpt_pack(np.ones(3), 0)
+
+
+class TestBinPackingRowPartition:
+    def test_plan_is_valid_partition(self):
+        m = row_skewed_sparse((40, 40), 0.1, skew=2.0, seed=1)
+        plan = BinPackingRowPartition(m).plan(m.shape, 4)
+        assert sum(l.nnz for l in plan.extract_all(m)) == m.nnz
+
+    def test_beats_contiguous_blocks_on_skewed_load(self):
+        m = row_skewed_sparse((64, 64), 0.1, skew=2.0, seed=3)
+        counts = m.row_counts().astype(float)
+
+        def max_load(plan):
+            return max(counts[a.row_ids].sum() for a in plan)
+
+        packed = max_load(BinPackingRowPartition(m).plan(m.shape, 4))
+        blocked = max_load(RowPartition().plan(m.shape, 4))
+        assert packed <= blocked
+
+    def test_load_imbalance_metric(self):
+        m = random_sparse((32, 32), 0.2, seed=5)
+        bp = BinPackingRowPartition(m)
+        assert 1.0 <= bp.load_imbalance(4) < 1.5
+
+    def test_explicit_weights(self):
+        bp = BinPackingRowPartition(weights=np.ones(10))
+        plan = bp.plan((10, 6), 2)
+        assert sorted(len(a.row_ids) for a in plan) == [5, 5]
+
+    def test_requires_exactly_one_source(self):
+        m = random_sparse((4, 4), 0.5, seed=0)
+        with pytest.raises(ValueError, match="exactly one"):
+            BinPackingRowPartition(m, weights=np.ones(4))
+        with pytest.raises(ValueError, match="exactly one"):
+            BinPackingRowPartition()
+
+    def test_shape_mismatch_rejected(self):
+        m = random_sparse((8, 8), 0.2, seed=1)
+        with pytest.raises(ValueError, match="does not match"):
+            BinPackingRowPartition(m).plan((9, 8), 2)
+
+    def test_weight_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="weights for"):
+            BinPackingRowPartition(weights=np.ones(5)).plan((6, 4), 2)

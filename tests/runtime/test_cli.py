@@ -1,0 +1,150 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.scheme == "all" and args.n == 1000 and args.procs == 16
+
+    def test_run_options(self):
+        args = build_parser().parse_args(
+            ["run", "--scheme", "ed", "--n", "64", "--procs", "4",
+             "--partition", "mesh2d", "--compression", "ccs",
+             "--sparse-ratio", "0.2", "--seed", "7"]
+        )
+        assert args.scheme == "ed"
+        assert args.partition == "mesh2d"
+        assert args.sparse_ratio == 0.2
+
+    def test_invalid_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scheme", "brs"])
+
+    def test_tables_choices(self):
+        args = build_parser().parse_args(["tables", "table4", "--quick"])
+        assert args.table == "table4" and args.quick
+
+
+class TestCommands:
+    def test_run_all_schemes(self, capsys):
+        assert main(["run", "--n", "60", "--procs", "4"]) == 0
+        out = capsys.readouterr().out
+        for token in ("SFC", "CFS", "ED", "verified"):
+            assert token in out
+
+    def test_run_single_scheme(self, capsys):
+        assert main(["run", "--scheme", "ed", "--n", "40", "--procs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "ED" in out and "SFC" not in out
+
+    def test_run_mesh_ccs(self, capsys):
+        assert main(
+            ["run", "--n", "36", "--procs", "4", "--partition", "mesh2d",
+             "--compression", "ccs"]
+        ) == 0
+        assert "mesh2d" in capsys.readouterr().out
+
+    def test_crossover(self, capsys):
+        assert main(["crossover", "--n", "200", "--procs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "1.6250" in out and "1.8750" in out
+
+    def test_crossover_column_partition(self, capsys):
+        assert main(
+            ["crossover", "--n", "200", "--procs", "4", "--partition", "column"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "0.3750" in out and "0.6250" in out  # 3/8 and 5/8
+
+    def test_collection(self, capsys):
+        assert main(["collection", "--count", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "fraction_below_0.1" in out
+
+    def test_figures(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+
+    def test_report_written(self, tmp_path, capsys, monkeypatch):
+        # keep the report fast by shrinking the grids
+        import repro.runtime.experiments as experiments
+        import repro.runtime.report as report
+
+        original = experiments.reproduce_table
+
+        def small(table_id, **kwargs):
+            kwargs.setdefault("sizes", [40])
+            kwargs.setdefault("proc_counts", [4])
+            return original(table_id, **kwargs)
+
+        monkeypatch.setattr(report, "reproduce_table", small)
+        target = tmp_path / "EXPERIMENTS.md"
+        assert main(["report", str(target)]) == 0
+        text = target.read_text()
+        assert "# EXPERIMENTS" in text
+        assert "Table 3" in text and "Erratum" in text
+
+
+class TestSweepCommand:
+    def test_parser(self):
+        args = build_parser().parse_args(
+            ["sweep", "ratio", "--start", "0.5", "--stop", "3.0"]
+        )
+        assert args.parameter == "ratio" and args.points == 20
+
+    def test_ratio_sweep_reports_crossover(self, capsys):
+        assert main(
+            ["sweep", "ratio", "--start", "0.5", "--stop", "3.0",
+             "--points", "16", "--n", "300", "--procs", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "S=SFC" in out
+        assert "winner changes" in out
+
+    def test_dominated_sweep_reports_single_winner(self, capsys):
+        # ED beats CFS everywhere: sweeping only those two has no crossover
+        assert main(
+            ["sweep", "s", "--start", "0.01", "--stop", "0.4",
+             "--points", "8", "--n", "200", "--procs", "4",
+             "--metric", "t_distribution"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "wins across the whole range" in out or "winner changes" in out
+
+    def test_simulated_sweep(self, capsys):
+        assert main(
+            ["sweep", "s", "--start", "0.05", "--stop", "0.2", "--points", "3",
+             "--n", "64", "--procs", "4", "--simulate"]
+        ) == 0
+        assert "t_total" in capsys.readouterr().out
+
+
+class TestAnalyzeCommand:
+    def test_reports_all_three_analyses(self, capsys):
+        assert main(["analyze", "--n", "120", "--procs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "peak memory" in out
+        assert "amortisation" in out
+        assert "storage-format advice" in out
+
+    def test_advice_reflects_workload(self, capsys):
+        assert main(["analyze", "--n", "64", "--procs", "2",
+                     "--sparse-ratio", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert any(f in out for f in ("CRS", "CCS", "JDS"))
+
+
+def test_run_with_timeline(capsys):
+    assert main(["run", "--scheme", "ed", "--n", "40", "--procs", "2",
+                 "--timeline"]) == 0
+    out = capsys.readouterr().out
+    assert "phase" in out and "lane" in out and "#" in out

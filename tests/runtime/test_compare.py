@@ -1,0 +1,60 @@
+"""Unit tests for the one-call scheme comparison API."""
+
+import pytest
+
+from repro.machine import ratio_cost_model, unit_cost_model
+from repro.partition import Mesh2DPartition
+from repro.runtime import compare_schemes
+from repro.sparse import random_sparse
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    matrix = random_sparse((80, 80), 0.1, seed=1)
+    return compare_schemes(matrix, n_procs=8)
+
+
+class TestCompareSchemes:
+    def test_all_three_present(self, comparison):
+        assert set(comparison.results) == {"sfc", "cfs", "ed"}
+        assert comparison["ed"].scheme == "ed"
+
+    def test_winner_distribution_is_ed(self, comparison):
+        assert comparison.winner_distribution == "ed"
+
+    def test_winner_overall_respects_sp2_row_threshold(self, comparison):
+        """SP2 ratio 1.2 < 13/8: SFC wins overall on the row partition."""
+        assert comparison.winner_overall == "sfc"
+
+    def test_winner_flips_at_high_ratio(self):
+        matrix = random_sparse((80, 80), 0.1, seed=2)
+        fast_net = compare_schemes(
+            matrix, n_procs=8, cost=ratio_cost_model(3.0, t_startup=0.04)
+        )
+        assert fast_net.winner_overall == "ed"
+
+    def test_speedup_over_baseline(self, comparison):
+        speedups = comparison.speedup_over("sfc")
+        assert speedups["sfc"] == pytest.approx(1.0)
+        assert speedups["ed"] > speedups["cfs"] > 1.0
+
+    def test_summary_text(self, comparison):
+        text = comparison.summary()
+        assert "SFC" in text and "winner" in text
+
+    def test_partition_and_plan_options(self):
+        matrix = random_sparse((36, 36), 0.2, seed=3)
+        by_name = compare_schemes(matrix, partition="mesh2d", n_procs=4)
+        plan = Mesh2DPartition().plan(matrix.shape, 4)
+        by_plan = compare_schemes(matrix, plan=plan)
+        assert by_name["ed"].t_distribution == by_plan["ed"].t_distribution
+
+    def test_verification_can_be_disabled(self):
+        matrix = random_sparse((20, 20), 0.2, seed=4)
+        out = compare_schemes(matrix, n_procs=2, verify=False)
+        assert out.winner_distribution == "ed"
+
+    def test_custom_cost_model(self):
+        matrix = random_sparse((40, 40), 0.1, seed=5)
+        unit = compare_schemes(matrix, n_procs=4, cost=unit_cost_model())
+        assert unit["sfc"].t_distribution == 4 + 1600

@@ -1,0 +1,89 @@
+"""Sanity checks on the transcription of the paper's published tables."""
+
+import pytest
+
+from repro.runtime import (
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    PAPER_TABLE5,
+    PAPER_TABLES,
+    TABLE3_SIZES,
+    TABLE5_SIZES,
+)
+
+ALL_TABLES = [PAPER_TABLE3, PAPER_TABLE4, PAPER_TABLE5]
+
+
+def all_series(table):
+    for p, by_scheme in table.items():
+        for scheme, by_cost in by_scheme.items():
+            for which, series in by_cost.items():
+                yield p, scheme, which, series
+
+
+@pytest.mark.parametrize("table", ALL_TABLES)
+def test_every_series_has_five_sizes(table):
+    for _, _, _, series in all_series(table):
+        assert len(series) == 5
+
+
+@pytest.mark.parametrize("table", ALL_TABLES)
+def test_all_times_positive(table):
+    for _, _, _, series in all_series(table):
+        assert all(t > 0 for t in series)
+
+
+@pytest.mark.parametrize("table", ALL_TABLES)
+def test_times_grow_with_array_size(table):
+    for _, _, _, series in all_series(table):
+        assert series[-1] > series[0]
+
+
+def test_processor_counts():
+    assert set(PAPER_TABLE3) == {4, 16, 32}
+    assert set(PAPER_TABLE4) == {4, 16, 32}
+    assert set(PAPER_TABLE5) == {4, 16, 64}  # 2x2, 4x4, 8x8 meshes
+
+
+def test_sizes():
+    assert TABLE3_SIZES == [200, 400, 800, 1000, 2000]
+    assert TABLE5_SIZES == [120, 240, 480, 960, 1920]
+
+
+def test_registry_keys():
+    assert set(PAPER_TABLES) == {"table3", "table4", "table5"}
+
+
+def test_published_distribution_ordering_holds():
+    """The paper's own numbers satisfy ED < CFS < SFC in T_dist."""
+    for table in ALL_TABLES:
+        for p, by_scheme in table.items():
+            for i in range(5):
+                ed = by_scheme["ed"]["t_distribution"][i]
+                cfs = by_scheme["cfs"]["t_distribution"][i]
+                sfc = by_scheme["sfc"]["t_distribution"][i]
+                assert ed < cfs < sfc
+
+
+def test_published_compression_ordering_holds():
+    """SFC < CFS < ED in T_comp across the published grid."""
+    for table in ALL_TABLES:
+        for p, by_scheme in table.items():
+            for i in range(5):
+                sfc = by_scheme["sfc"]["t_compression"][i]
+                cfs = by_scheme["cfs"]["t_compression"][i]
+                ed = by_scheme["ed"]["t_compression"][i]
+                assert sfc < cfs
+                # ED >= CFS in all but 3 cells the paper prints lower
+                # (p=16/32 row partition at n=200/400); allow equality noise
+                if ed < cfs:
+                    assert p in (16, 32) and i <= 1
+
+
+def test_cfs_compression_row_identical_across_tables():
+    """Transcription note: the paper repeats the same CFS T_comp row in all
+    three tables (even though Table 5 uses different sizes)."""
+    reference = PAPER_TABLE3[4]["cfs"]["t_compression"]
+    for table in ALL_TABLES:
+        for p in table:
+            assert table[p]["cfs"]["t_compression"] == reference

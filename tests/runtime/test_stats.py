@@ -1,0 +1,54 @@
+"""Unit tests for replication statistics."""
+
+import pytest
+
+from repro.machine import unit_cost_model
+from repro.runtime import replicate
+
+
+@pytest.fixture(scope="module")
+def stats():
+    return replicate(80, 4, replications=5, cost=unit_cost_model())
+
+
+class TestReplicate:
+    def test_summary_structure(self, stats):
+        assert set(stats.summary) == {"sfc", "cfs", "ed"}
+        for scheme in stats.summary.values():
+            for metric in ("t_distribution", "t_compression", "t_total"):
+                entry = scheme[metric]
+                assert entry["min"] <= entry["mean"] <= entry["max"]
+                assert entry["std"] >= 0
+
+    def test_orderings_hold_at_scale(self, stats):
+        freqs = stats.ordering_frequencies
+        assert freqs["dist_ed_cfs_sfc"] == 1.0
+        assert freqs["comp_sfc_cfs_ed"] == 1.0
+        assert freqs["ed_total_beats_cfs"] == 1.0
+
+    def test_spread_small_for_exact_count_generator(self, stats):
+        """Global nnz fixed: only s' placement varies; CV stays tiny."""
+        for scheme in ("sfc", "cfs", "ed"):
+            assert stats.spread(scheme) < 0.02
+
+    def test_sfc_distribution_deterministic(self, stats):
+        """SFC sends the dense array: its wire does not depend on placement
+        at all, so its distribution time has zero variance."""
+        entry = stats.summary["sfc"]["t_distribution"]
+        assert entry["std"] == 0.0
+
+    def test_mean_accessor(self, stats):
+        assert stats.mean("ed") == stats.summary["ed"]["t_total"]["mean"]
+
+    def test_explicit_seeds(self):
+        a = replicate(40, 2, replications=3, seeds=[1, 2, 3])
+        b = replicate(40, 2, replications=3, seeds=[1, 2, 3])
+        assert a.summary == b.summary
+
+    def test_seed_count_checked(self):
+        with pytest.raises(ValueError, match="3 seeds"):
+            replicate(40, 2, replications=3, seeds=[1, 2])
+
+    def test_replications_positive(self):
+        with pytest.raises(ValueError):
+            replicate(40, 2, replications=0)

@@ -1,0 +1,102 @@
+"""Unit tests for distribution verification helpers."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import get_compression, get_scheme
+from repro.machine import Machine
+from repro.partition import RowPartition
+from repro.runtime import run_scheme, verify_all_schemes_agree, verify_distribution
+from repro.sparse import CRSMatrix
+
+
+@pytest.fixture
+def setup(medium_matrix):
+    plan = RowPartition().plan(medium_matrix.shape, 4)
+    result = run_scheme("ed", medium_matrix, plan=plan)
+    return medium_matrix, plan, result
+
+
+class TestVerifyDistribution:
+    def test_accepts_correct_result(self, setup):
+        matrix, plan, result = setup
+        verify_distribution(result, matrix, plan)
+
+    def test_detects_corrupted_values(self, setup):
+        matrix, plan, result = setup
+        bad_local = CRSMatrix(
+            result.locals_[1].shape,
+            result.locals_[1].indptr,
+            result.locals_[1].indices,
+            result.locals_[1].values * 1.5,
+            check=False,
+        )
+        corrupted = dataclasses.replace(
+            result, locals_=result.locals_[:1] + (bad_local,) + result.locals_[2:]
+        )
+        with pytest.raises(AssertionError, match="values"):
+            verify_distribution(corrupted, matrix, plan)
+
+    def test_detects_wrong_indices(self, setup):
+        matrix, plan, result = setup
+        old = result.locals_[0]
+        shifted = CRSMatrix(
+            old.shape, old.indptr, (old.indices + 1) % old.shape[1], old.values,
+            check=False,
+        )
+        corrupted = dataclasses.replace(
+            result, locals_=(shifted,) + result.locals_[1:]
+        )
+        with pytest.raises(AssertionError, match="indices"):
+            verify_distribution(corrupted, matrix, plan)
+
+    def test_detects_wrong_shape(self, setup):
+        matrix, plan, result = setup
+        old = result.locals_[0]
+        wrong = CRSMatrix(
+            (old.shape[0], old.shape[1] + 1), old.indptr, old.indices, old.values
+        )
+        corrupted = dataclasses.replace(result, locals_=(wrong,) + result.locals_[1:])
+        with pytest.raises(AssertionError, match="shape"):
+            verify_distribution(corrupted, matrix, plan)
+
+    def test_plan_size_mismatch(self, setup):
+        matrix, plan, result = setup
+        other_plan = RowPartition().plan(matrix.shape, 5)
+        with pytest.raises(ValueError, match="processor count"):
+            verify_distribution(result, matrix, other_plan)
+
+
+class TestVerifyAllSchemesAgree:
+    def test_accepts_agreeing_results(self, medium_matrix):
+        plan = RowPartition().plan(medium_matrix.shape, 4)
+        results = [
+            run_scheme(s, medium_matrix, plan=plan) for s in ("sfc", "cfs", "ed")
+        ]
+        verify_all_schemes_agree(results)
+
+    def test_rejects_single_result(self, setup):
+        with pytest.raises(ValueError, match="at least two"):
+            verify_all_schemes_agree([setup[2]])
+
+    def test_rejects_incomparable_problems(self, medium_matrix):
+        a = run_scheme("ed", medium_matrix, n_procs=4)
+        b = run_scheme("ed", medium_matrix, n_procs=5)
+        with pytest.raises(ValueError, match="not comparable"):
+            verify_all_schemes_agree([a, b])
+
+    def test_detects_disagreement(self, medium_matrix):
+        plan = RowPartition().plan(medium_matrix.shape, 4)
+        a = run_scheme("sfc", medium_matrix, plan=plan)
+        b = run_scheme("ed", medium_matrix, plan=plan)
+        old = b.locals_[2]
+        tampered = CRSMatrix(
+            old.shape, old.indptr, old.indices, old.values + 1.0, check=False
+        )
+        b_bad = dataclasses.replace(
+            b, locals_=b.locals_[:2] + (tampered,) + b.locals_[3:]
+        )
+        with pytest.raises(AssertionError, match="disagree"):
+            verify_all_schemes_agree([a, b_bad])

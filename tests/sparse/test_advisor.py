@@ -1,0 +1,67 @@
+"""Unit tests for the storage-format advisor."""
+
+import pytest
+
+from repro.sparse import (
+    COOMatrix,
+    banded_sparse,
+    block_diagonal_sparse,
+    random_sparse,
+    row_skewed_sparse,
+    score_formats,
+    suggest_format,
+)
+
+
+class TestSuggest:
+    def test_banded_prefers_dia(self):
+        assert suggest_format(banded_sparse((64, 64), 2, fill=1.0, seed=1)) == "dia"
+
+    def test_blocky_prefers_bsr(self):
+        m = block_diagonal_sparse(8, 8, block_ratio=0.95, seed=2)
+        assert suggest_format(m) == "bsr"
+
+    def test_scattered_prefers_element_formats(self):
+        m = random_sparse((64, 64), 0.05, seed=3)
+        assert suggest_format(m) in ("crs", "ccs", "jds")
+
+    def test_wide_matrix_prefers_crs_over_ccs(self):
+        """Fewer rows than columns: CRS's offset vector is shorter."""
+        m = random_sparse((8, 256), 0.1, seed=4)
+        scores = {s.format: s.overhead for s in score_formats(m)}
+        assert scores["crs"] < scores["ccs"]
+
+    def test_tall_matrix_prefers_ccs_over_crs(self):
+        m = random_sparse((256, 8), 0.1, seed=5)
+        scores = {s.format: s.overhead for s in score_formats(m)}
+        assert scores["ccs"] < scores["crs"]
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            suggest_format(COOMatrix.empty((4, 4)))
+
+
+class TestScores:
+    def test_sorted_ascending(self):
+        scores = score_formats(random_sparse((32, 32), 0.1, seed=6))
+        overheads = [s.overhead for s in scores]
+        assert overheads == sorted(overheads)
+
+    def test_all_five_formats_scored(self):
+        scores = score_formats(random_sparse((32, 32), 0.1, seed=7))
+        assert {s.format for s in scores} == {"crs", "ccs", "jds", "bsr", "dia"}
+
+    def test_overhead_at_least_storage_bound(self):
+        """Every format stores at least the values themselves."""
+        for s in score_formats(random_sparse((24, 24), 0.2, seed=8)):
+            assert s.overhead >= 1.0
+
+    def test_explicit_block_shape(self):
+        m = block_diagonal_sparse(6, 6, block_ratio=1.0, seed=9)
+        scores = {s.format: s for s in score_formats(m, block_shape=(6, 6))}
+        assert scores["bsr"].overhead < 1.4  # perfect tiles: near-optimal
+
+    def test_jds_close_to_crs(self):
+        m = row_skewed_sparse((48, 48), 0.1, skew=1.5, seed=10)
+        scores = {s.format: s.overhead for s in score_formats(m)}
+        assert scores["jds"] == pytest.approx(scores["crs"], rel=0.35)

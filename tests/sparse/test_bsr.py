@@ -1,0 +1,132 @@
+"""Unit tests for Block Sparse Row storage."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import BSRMatrix, COOMatrix, block_diagonal_sparse, random_sparse
+
+
+class TestConstruction:
+    def test_roundtrip(self):
+        m = random_sparse((12, 16), 0.2, seed=1)
+        b = BSRMatrix.from_coo(m, (3, 4))
+        np.testing.assert_array_equal(b.to_dense(), m.to_dense())
+        assert b.to_coo() == m
+
+    def test_matches_scipy_bsr(self):
+        m = random_sparse((12, 12), 0.2, seed=2)
+        ours = BSRMatrix.from_coo(m, (3, 3))
+        theirs = sp.bsr_matrix(m.to_dense(), blocksize=(3, 3))
+        theirs.sort_indices()
+        np.testing.assert_array_equal(ours.indptr, theirs.indptr)
+        np.testing.assert_array_equal(ours.indices, theirs.indices)
+        np.testing.assert_allclose(ours.blocks, theirs.data)
+
+    def test_blocky_matrix_high_fill(self):
+        m = block_diagonal_sparse(4, 6, block_ratio=1.0, seed=3)
+        b = BSRMatrix.from_coo(m, (6, 6))
+        assert b.fill_ratio == 1.0
+        assert b.n_blocks == 4  # exactly the diagonal blocks
+
+    def test_scattered_matrix_low_fill(self):
+        m = random_sparse((32, 32), 0.05, seed=4)
+        b = BSRMatrix.from_coo(m, (4, 4))
+        assert b.fill_ratio < 0.5
+
+    def test_one_by_one_blocks_degenerate_to_element_storage(self):
+        m = random_sparse((10, 10), 0.3, seed=5)
+        b = BSRMatrix.from_coo(m, (1, 1))
+        assert b.fill_ratio == 1.0
+        assert b.n_blocks == m.nnz
+
+    def test_empty_matrix(self):
+        b = BSRMatrix.from_coo(COOMatrix.empty((8, 8)), (2, 2))
+        assert b.n_blocks == 0 and b.nnz == 0
+        assert b.to_dense().sum() == 0.0
+
+    def test_non_tiling_block_rejected(self):
+        m = random_sparse((10, 10), 0.2, seed=6)
+        with pytest.raises(ValueError, match="tile"):
+            BSRMatrix.from_coo(m, (3, 3))
+
+    def test_bad_block_shape_rejected(self):
+        m = random_sparse((10, 10), 0.2, seed=7)
+        with pytest.raises(ValueError):
+            BSRMatrix.from_coo(m, (0, 2))
+
+    def test_validation_catches_inconsistency(self):
+        with pytest.raises(ValueError, match="blocks must have shape"):
+            BSRMatrix(
+                (4, 4), (2, 2), [0, 1, 1], [0], np.zeros((2, 2, 2))
+            )
+
+
+class TestQueries:
+    def test_block_row_access(self):
+        dense = np.zeros((4, 6))
+        dense[0, 0] = 1.0
+        dense[1, 5] = 2.0
+        b = BSRMatrix.from_dense(dense, (2, 3))
+        cols, tiles = b.block_row(0)
+        assert cols.tolist() == [0, 1]
+        assert tiles[0][0, 0] == 1.0 and tiles[1][1, 2] == 2.0
+        cols1, _ = b.block_row(1)
+        assert len(cols1) == 0
+
+    def test_nnz_excludes_padding(self):
+        dense = np.zeros((4, 4))
+        dense[0, 0] = 5.0
+        b = BSRMatrix.from_dense(dense, (2, 2))
+        assert b.nnz == 1
+        assert b.stored_elements == 4
+
+    def test_equality_and_repr(self):
+        m = random_sparse((8, 8), 0.3, seed=8)
+        a = BSRMatrix.from_coo(m, (2, 2))
+        b = BSRMatrix.from_coo(m, (2, 2))
+        assert a == b and "BSRMatrix" in repr(a)
+        c = BSRMatrix.from_coo(m, (4, 4))
+        assert a != c
+
+
+class TestSpmv:
+    def test_matches_dense(self, rng):
+        m = random_sparse((20, 28), 0.15, seed=9)
+        b = BSRMatrix.from_coo(m, (4, 4))
+        x = rng.standard_normal(28)
+        np.testing.assert_allclose(b.spmv(x), m.to_dense() @ x)
+
+    def test_blocky_workload(self, rng):
+        m = block_diagonal_sparse(5, 4, block_ratio=0.8, seed=10)
+        b = BSRMatrix.from_coo(m, (4, 4))
+        x = rng.standard_normal(20)
+        np.testing.assert_allclose(b.spmv(x), m.to_dense() @ x)
+
+    def test_empty_matrix_gives_zero(self):
+        b = BSRMatrix.from_coo(COOMatrix.empty((4, 6)), (2, 3))
+        np.testing.assert_array_equal(b.spmv(np.ones(6)), np.zeros(4))
+
+    def test_wrong_x_shape_rejected(self):
+        b = BSRMatrix.from_coo(COOMatrix.empty((4, 6)), (2, 3))
+        with pytest.raises(ValueError, match="shape"):
+            b.spmv(np.ones(5))
+
+
+@given(
+    block_rows=st.integers(1, 4),
+    block_cols=st.integers(1, 4),
+    grid=st.integers(1, 5),
+    s=st.floats(0.0, 0.6),
+    seed=st.integers(0, 200),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_roundtrip_and_spmv(block_rows, block_cols, grid, s, seed):
+    shape = (block_rows * grid, block_cols * grid)
+    m = random_sparse(shape, s, seed=seed)
+    b = BSRMatrix.from_coo(m, (block_rows, block_cols))
+    assert b.to_coo() == m
+    x = np.linspace(-1, 1, shape[1])
+    np.testing.assert_allclose(b.spmv(x), m.to_dense() @ x, atol=1e-9)

@@ -1,0 +1,88 @@
+"""Unit tests for Compressed Column Storage."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse import CCSMatrix, COOMatrix, random_sparse
+
+
+class TestConstruction:
+    def test_from_dense(self):
+        dense = np.array([[0.0, 5.0], [7.0, 0.0]])
+        m = CCSMatrix.from_dense(dense)
+        assert m.indptr.tolist() == [0, 1, 2]
+        assert m.indices.tolist() == [1, 0]
+        assert m.values.tolist() == [7.0, 5.0]
+
+    def test_from_coo_roundtrip(self, medium_matrix):
+        m = CCSMatrix.from_coo(medium_matrix)
+        np.testing.assert_array_equal(m.to_dense(), medium_matrix.to_dense())
+        assert m.to_coo() == medium_matrix
+
+    def test_matches_scipy_csc(self, medium_matrix):
+        ours = CCSMatrix.from_coo(medium_matrix)
+        theirs = sp.csc_matrix(medium_matrix.to_dense())
+        np.testing.assert_array_equal(ours.indptr, theirs.indptr)
+        np.testing.assert_array_equal(ours.indices, theirs.indices)
+        np.testing.assert_allclose(ours.values, theirs.data)
+
+    def test_indptr_length_is_cols_plus_one(self):
+        with pytest.raises(ValueError, match="n_cols"):
+            CCSMatrix((3, 2), [0, 0, 0, 0], [], [])
+
+    def test_row_range_checked(self):
+        with pytest.raises(ValueError, match="row index out of range"):
+            CCSMatrix((2, 2), [0, 1, 2], [0, 5], [1.0, 2.0])
+
+    def test_indptr_monotone_checked(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            CCSMatrix((2, 2), [0, 2, 1], [0, 1], [1.0, 2.0])
+
+
+class TestPaperViews:
+    def test_RO_counts_columns_one_based(self):
+        dense = np.array([[1.0, 0.0, 2.0], [3.0, 0.0, 0.0]])
+        m = CCSMatrix.from_dense(dense)
+        assert m.RO.tolist() == [1, 3, 3, 4]
+
+    def test_CO_is_zero_based_rows(self):
+        dense = np.array([[0.0, 1.0], [1.0, 0.0]])
+        m = CCSMatrix.from_dense(dense)
+        assert m.CO.tolist() == [1, 0]
+
+    def test_from_paper_arrays_inverts_views(self, small_matrix):
+        m = CCSMatrix.from_coo(small_matrix)
+        rebuilt = CCSMatrix.from_paper_arrays(m.shape, m.RO, m.CO, m.VL)
+        assert rebuilt == m
+
+
+class TestQueries:
+    def test_col_access(self):
+        dense = np.array([[0.0, 1.0], [0.0, 2.0], [3.0, 0.0]])
+        m = CCSMatrix.from_dense(dense)
+        rows, vals = m.col(1)
+        assert rows.tolist() == [0, 1] and vals.tolist() == [1.0, 2.0]
+
+    def test_col_counts(self):
+        dense = np.array([[1.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        assert CCSMatrix.from_dense(dense).col_counts().tolist() == [2, 1]
+
+    def test_within_column_rows_ascending(self):
+        coo = random_sparse((40, 40), 0.2, seed=4)
+        m = CCSMatrix.from_coo(coo)
+        for j in range(40):
+            rows, _ = m.col(j)
+            assert np.all(np.diff(rows) > 0)
+
+    def test_empty_matrix(self):
+        m = CCSMatrix.from_coo(COOMatrix.empty((4, 3)))
+        assert m.nnz == 0
+        assert m.RO.tolist() == [1, 1, 1, 1]
+
+    def test_equality(self, small_matrix):
+        assert CCSMatrix.from_coo(small_matrix) == CCSMatrix.from_coo(small_matrix)
+
+    def test_rectangular_roundtrip(self, rect_matrix):
+        m = CCSMatrix.from_coo(rect_matrix)
+        np.testing.assert_array_equal(m.to_dense(), rect_matrix.to_dense())

@@ -1,0 +1,77 @@
+"""Unit tests for the synthetic Harwell-Boeing stand-in collection."""
+
+import pytest
+
+from repro.sparse import SyntheticCollection, ratio_statistics
+
+
+def test_deterministic_for_seed():
+    a = SyntheticCollection(12, size_range=(10, 30), seed=1)
+    b = SyntheticCollection(12, size_range=(10, 30), seed=1)
+    for ea, eb in zip(a, b):
+        assert ea.name == eb.name and ea.matrix == eb.matrix
+
+
+def test_len_and_iteration():
+    col = SyntheticCollection(8, size_range=(10, 20))
+    assert len(col) == 8
+    assert len(list(col)) == 8
+
+
+def test_entries_memoised():
+    col = SyntheticCollection(5, size_range=(10, 20))
+    assert col.entries() is col.entries()
+
+
+def test_all_families_present():
+    col = SyntheticCollection(8, size_range=(10, 20))
+    families = {e.family for e in col}
+    assert families == {"unstructured", "banded", "block_diagonal", "skewed"}
+
+
+def test_sizes_within_range():
+    col = SyntheticCollection(16, size_range=(15, 25), seed=3)
+    for e in col:
+        # block_diagonal rounds the size to whole blocks; allow slack
+        assert 8 <= e.shape[0] <= 32
+
+
+def test_remark2_premise_holds():
+    """The paper's key statistic: >80% of matrices have s < 0.1."""
+    col = SyntheticCollection(100, size_range=(20, 60), seed=7)
+    stats = ratio_statistics(col.entries())
+    assert stats["fraction_below_0.1"] >= 0.8
+    assert stats["count"] == 100
+
+
+def test_statistics_fields_consistent():
+    col = SyntheticCollection(30, size_range=(10, 40), seed=2)
+    stats = ratio_statistics(col.entries())
+    assert stats["min"] <= stats["q25"] <= stats["median"] <= stats["q75"] <= stats["max"]
+
+
+def test_filter():
+    col = SyntheticCollection(20, size_range=(10, 30), seed=5)
+    small = col.filter(lambda e: e.sparse_ratio < 0.1)
+    assert all(e.sparse_ratio < 0.1 for e in small)
+    assert len(small) >= 10
+
+
+def test_entry_metadata():
+    col = SyntheticCollection(4, size_range=(10, 12), seed=9)
+    e = col.entries()[0]
+    assert e.name.startswith("synth0000")
+    assert e.nnz == e.matrix.nnz
+    assert e.sparse_ratio == e.matrix.sparse_ratio
+
+
+def test_empty_statistics_rejected():
+    with pytest.raises(ValueError, match="empty"):
+        ratio_statistics([])
+
+
+def test_invalid_args_rejected():
+    with pytest.raises(ValueError):
+        SyntheticCollection(0)
+    with pytest.raises(ValueError):
+        SyntheticCollection(5, below_01_fraction=2.0)

@@ -1,0 +1,83 @@
+"""Unit tests for format conversions."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    CCSMatrix,
+    COOMatrix,
+    CRSMatrix,
+    ccs_to_crs,
+    convert,
+    crs_to_ccs,
+    random_sparse,
+)
+
+FORMATS = [COOMatrix, CRSMatrix, CCSMatrix]
+
+
+@pytest.mark.parametrize("src", FORMATS)
+@pytest.mark.parametrize("dst", FORMATS)
+def test_all_pairs_preserve_content(src, dst, medium_matrix):
+    start = convert(medium_matrix, src)
+    out = convert(start, dst)
+    assert isinstance(out, dst)
+    np.testing.assert_array_equal(out.to_dense(), medium_matrix.to_dense())
+
+
+@pytest.mark.parametrize("fmt", FORMATS)
+def test_identity_conversion_returns_same_object(fmt, small_matrix):
+    m = convert(small_matrix, fmt)
+    assert convert(m, fmt) is m
+
+
+@pytest.mark.parametrize("fmt", FORMATS)
+def test_dense_input_accepted(fmt):
+    dense = np.diag([1.0, 2.0, 0.0, 3.0])
+    m = convert(dense, fmt)
+    assert isinstance(m, fmt)
+    np.testing.assert_array_equal(m.to_dense(), dense)
+
+
+def test_crs_to_ccs_direct(medium_matrix):
+    crs = CRSMatrix.from_coo(medium_matrix)
+    ccs = crs_to_ccs(crs)
+    assert isinstance(ccs, CCSMatrix)
+    np.testing.assert_array_equal(ccs.to_dense(), medium_matrix.to_dense())
+
+
+def test_ccs_to_crs_direct(medium_matrix):
+    ccs = CCSMatrix.from_coo(medium_matrix)
+    crs = ccs_to_crs(ccs)
+    assert isinstance(crs, CRSMatrix)
+    np.testing.assert_array_equal(crs.to_dense(), medium_matrix.to_dense())
+
+
+def test_crs_ccs_roundtrip_is_identity(medium_matrix):
+    crs = CRSMatrix.from_coo(medium_matrix)
+    assert ccs_to_crs(crs_to_ccs(crs)) == crs
+
+
+def test_unknown_source_rejected():
+    with pytest.raises(TypeError, match="cannot convert"):
+        convert("not a matrix", CRSMatrix)
+
+
+def test_rectangular_conversions(rect_matrix):
+    for fmt in FORMATS:
+        out = convert(rect_matrix, fmt)
+        assert out.shape == rect_matrix.shape
+        np.testing.assert_array_equal(out.to_dense(), rect_matrix.to_dense())
+
+
+def test_empty_matrix_conversions():
+    empty = COOMatrix.empty((5, 7))
+    for fmt in FORMATS:
+        out = convert(empty, fmt)
+        assert out.nnz == 0 and out.shape == (5, 7)
+
+
+def test_dense_values_survive_random(medium_matrix):
+    dense = random_sparse((33, 29), 0.11, seed=8).to_dense()
+    for fmt in FORMATS:
+        np.testing.assert_array_equal(convert(dense, fmt).to_dense(), dense)

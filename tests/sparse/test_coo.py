@@ -1,0 +1,150 @@
+"""Unit tests for the COO staging format."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import COOMatrix
+
+
+class TestConstruction:
+    def test_from_dense_roundtrip(self):
+        dense = np.array([[0.0, 1.0, 0.0], [2.0, 0.0, 3.0]])
+        m = COOMatrix.from_dense(dense)
+        assert m.shape == (2, 3)
+        assert m.nnz == 3
+        np.testing.assert_array_equal(m.to_dense(), dense)
+
+    def test_empty(self):
+        m = COOMatrix.empty((4, 5))
+        assert m.nnz == 0
+        assert m.shape == (4, 5)
+        assert m.to_dense().sum() == 0.0
+
+    def test_zero_shape(self):
+        m = COOMatrix.empty((0, 0))
+        assert m.sparse_ratio == 0.0
+
+    def test_canonicalisation_sorts_row_major(self):
+        m = COOMatrix((3, 3), [2, 0, 1], [0, 2, 1], [1.0, 2.0, 3.0])
+        assert m.rows.tolist() == [0, 1, 2]
+        assert m.cols.tolist() == [2, 1, 0]
+        assert m.values.tolist() == [2.0, 3.0, 1.0]
+
+    def test_duplicates_are_summed(self):
+        m = COOMatrix((2, 2), [0, 0, 1], [1, 1, 0], [1.0, 2.5, 4.0])
+        assert m.nnz == 2
+        assert m.to_dense()[0, 1] == 3.5
+
+    def test_explicit_zeros_dropped(self):
+        m = COOMatrix((2, 2), [0, 1], [0, 1], [0.0, 5.0])
+        assert m.nnz == 1
+
+    def test_duplicates_cancelling_to_zero_dropped(self):
+        m = COOMatrix((2, 2), [0, 0], [0, 0], [1.0, -1.0])
+        assert m.nnz == 0
+
+    def test_row_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="row index out of range"):
+            COOMatrix((2, 2), [2], [0], [1.0])
+
+    def test_col_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="column index out of range"):
+            COOMatrix((2, 2), [0], [5], [1.0])
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            COOMatrix((2, 2), [-1], [0], [1.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            COOMatrix((2, 2), [0, 1], [0], [1.0])
+
+    def test_2d_coords_rejected(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            COOMatrix((2, 2), [[0]], [[0]], [1.0])
+
+    def test_negative_shape_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            COOMatrix((-1, 2), [], [], [])
+
+    def test_nonzeros_in_empty_shape_rejected(self):
+        with pytest.raises(ValueError):
+            COOMatrix((0, 5), [0], [0], [1.0])
+
+    def test_arrays_are_read_only(self):
+        m = COOMatrix.from_dense(np.eye(3))
+        with pytest.raises(ValueError):
+            m.values[0] = 9.0
+
+
+class TestQueries:
+    def test_sparse_ratio(self):
+        m = COOMatrix.from_dense(np.eye(4))
+        assert m.sparse_ratio == pytest.approx(4 / 16)
+
+    def test_row_and_col_counts(self):
+        dense = np.array([[1.0, 2.0, 0.0], [0.0, 3.0, 0.0]])
+        m = COOMatrix.from_dense(dense)
+        assert m.row_counts().tolist() == [2, 1]
+        assert m.col_counts().tolist() == [1, 2, 0]
+
+    def test_n_rows_n_cols(self, rect_matrix):
+        assert rect_matrix.n_rows == 18
+        assert rect_matrix.n_cols == 30
+
+    def test_equality(self):
+        a = COOMatrix.from_dense(np.eye(3))
+        b = COOMatrix.from_dense(np.eye(3))
+        c = COOMatrix.from_dense(2 * np.eye(3))
+        assert a == b
+        assert a != c
+        assert (a == "nope") is False or a != "nope"
+
+    def test_repr_mentions_shape_and_nnz(self, small_matrix):
+        text = repr(small_matrix)
+        assert "12" in text and "nnz" in text
+
+
+class TestSlicing:
+    def test_submatrix_extracts_block(self):
+        dense = np.arange(20, dtype=float).reshape(4, 5)
+        dense[dense % 3 != 0] = 0.0
+        m = COOMatrix.from_dense(dense)
+        sub = m.submatrix(slice(1, 3), slice(2, 5))
+        np.testing.assert_array_equal(sub.to_dense(), dense[1:3, 2:5])
+
+    def test_submatrix_empty_block(self, small_matrix):
+        sub = small_matrix.submatrix(slice(0, 0), slice(0, 5))
+        assert sub.shape == (0, 5)
+        assert sub.nnz == 0
+
+    def test_submatrix_rejects_strides(self, small_matrix):
+        with pytest.raises(ValueError, match="step-1"):
+            small_matrix.submatrix(slice(0, 4, 2), slice(0, 4))
+
+    def test_take_rows_reorders(self):
+        dense = np.diag([1.0, 2.0, 3.0, 4.0])
+        m = COOMatrix.from_dense(dense)
+        taken = m.take_rows([3, 1])
+        np.testing.assert_array_equal(taken.to_dense(), dense[[3, 1], :])
+
+    def test_take_cols_reorders(self):
+        dense = np.diag([1.0, 2.0, 3.0, 4.0])
+        m = COOMatrix.from_dense(dense)
+        taken = m.take_cols([2, 0, 3])
+        np.testing.assert_array_equal(taken.to_dense(), dense[:, [2, 0, 3]])
+
+    def test_take_rows_then_cols_commutes(self, medium_matrix):
+        rows = [5, 1, 40, 13]
+        cols = [0, 59, 30]
+        a = medium_matrix.take_rows(rows).take_cols(cols)
+        b = medium_matrix.take_cols(cols).take_rows(rows)
+        np.testing.assert_array_equal(a.to_dense(), b.to_dense())
+
+    def test_transpose(self, rect_matrix):
+        t = rect_matrix.transpose()
+        assert t.shape == (30, 18)
+        np.testing.assert_array_equal(t.to_dense(), rect_matrix.to_dense().T)
+
+    def test_double_transpose_identity(self, small_matrix):
+        assert small_matrix.transpose().transpose() == small_matrix

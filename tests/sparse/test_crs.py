@@ -1,0 +1,113 @@
+"""Unit tests for Compressed Row Storage, including the paper's views."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse import COOMatrix, CRSMatrix, random_sparse
+
+
+class TestConstruction:
+    def test_from_dense(self):
+        dense = np.array([[0.0, 5.0], [7.0, 0.0]])
+        m = CRSMatrix.from_dense(dense)
+        assert m.indptr.tolist() == [0, 1, 2]
+        assert m.indices.tolist() == [1, 0]
+        assert m.values.tolist() == [5.0, 7.0]
+
+    def test_from_coo_roundtrip(self, medium_matrix):
+        m = CRSMatrix.from_coo(medium_matrix)
+        np.testing.assert_array_equal(m.to_dense(), medium_matrix.to_dense())
+        assert m.to_coo() == medium_matrix
+
+    def test_matches_scipy_csr(self, medium_matrix):
+        ours = CRSMatrix.from_coo(medium_matrix)
+        theirs = sp.csr_matrix(medium_matrix.to_dense())
+        np.testing.assert_array_equal(ours.indptr, theirs.indptr)
+        np.testing.assert_array_equal(ours.indices, theirs.indices)
+        np.testing.assert_allclose(ours.values, theirs.data)
+
+    def test_indptr_length_checked(self):
+        with pytest.raises(ValueError, match="indptr must have length"):
+            CRSMatrix((2, 2), [0, 1], [0], [1.0])
+
+    def test_indptr_start_checked(self):
+        with pytest.raises(ValueError, match=r"indptr\[0\]"):
+            CRSMatrix((2, 2), [1, 1, 2], [0, 1], [1.0, 2.0])
+
+    def test_indptr_monotone_checked(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            CRSMatrix((2, 2), [0, 2, 1], [0, 1], [1.0, 2.0])
+
+    def test_nnz_consistency_checked(self):
+        with pytest.raises(ValueError, match="indices/values length"):
+            CRSMatrix((2, 2), [0, 1, 2], [0], [1.0])
+
+    def test_column_range_checked(self):
+        with pytest.raises(ValueError, match="column index out of range"):
+            CRSMatrix((2, 2), [0, 1, 2], [0, 3], [1.0, 2.0])
+
+    def test_arrays_read_only(self, medium_matrix):
+        m = CRSMatrix.from_coo(medium_matrix)
+        with pytest.raises(ValueError):
+            m.indices[0] = 0
+
+
+class TestPaperViews:
+    """RO is 1-based, CO is 0-based — the paper's Figure 4 conventions."""
+
+    def test_RO_is_one_based(self):
+        m = CRSMatrix.from_dense(np.array([[1.0, 0.0], [1.0, 1.0]]))
+        assert m.RO.tolist() == [1, 2, 4]
+
+    def test_CO_is_zero_based(self):
+        m = CRSMatrix.from_dense(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        assert m.CO.tolist() == [1, 0]
+
+    def test_VL_is_values(self, small_matrix):
+        m = CRSMatrix.from_coo(small_matrix)
+        np.testing.assert_array_equal(m.VL, m.values)
+
+    def test_from_paper_arrays_inverts_views(self, small_matrix):
+        m = CRSMatrix.from_coo(small_matrix)
+        rebuilt = CRSMatrix.from_paper_arrays(m.shape, m.RO, m.CO, m.VL)
+        assert rebuilt == m
+
+
+class TestQueries:
+    def test_row_access(self):
+        dense = np.array([[0.0, 1.0, 2.0], [0.0, 0.0, 0.0], [3.0, 0.0, 0.0]])
+        m = CRSMatrix.from_dense(dense)
+        cols, vals = m.row(0)
+        assert cols.tolist() == [1, 2] and vals.tolist() == [1.0, 2.0]
+        cols1, vals1 = m.row(1)
+        assert len(cols1) == 0 and len(vals1) == 0
+
+    def test_row_counts(self):
+        dense = np.array([[1.0, 1.0], [0.0, 0.0], [1.0, 0.0]])
+        assert CRSMatrix.from_dense(dense).row_counts().tolist() == [2, 0, 1]
+
+    def test_sparse_ratio(self):
+        m = CRSMatrix.from_dense(np.eye(5))
+        assert m.sparse_ratio == pytest.approx(0.2)
+
+    def test_empty_matrix(self):
+        m = CRSMatrix.from_coo(COOMatrix.empty((3, 4)))
+        assert m.nnz == 0
+        assert m.RO.tolist() == [1, 1, 1, 1]
+
+    def test_equality_and_repr(self, small_matrix):
+        a = CRSMatrix.from_coo(small_matrix)
+        b = CRSMatrix.from_coo(small_matrix)
+        assert a == b and "CRSMatrix" in repr(a)
+
+    def test_inequality_different_values(self, small_matrix):
+        a = CRSMatrix.from_coo(small_matrix)
+        b = CRSMatrix(a.shape, a.indptr, a.indices, a.values * 2, check=False)
+        assert a != b
+
+    def test_large_random_roundtrip(self):
+        coo = random_sparse((200, 150), 0.07, seed=17)
+        m = CRSMatrix.from_coo(coo)
+        assert m.nnz == coo.nnz
+        np.testing.assert_array_equal(m.to_dense(), coo.to_dense())

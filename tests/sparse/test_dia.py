@@ -1,0 +1,108 @@
+"""Unit tests for compressed diagonal storage."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import COOMatrix, DIAMatrix, banded_sparse, random_sparse
+
+
+class TestConstruction:
+    def test_tridiagonal(self):
+        dense = np.diag([1.0, 2.0, 3.0]) + np.diag([4.0, 5.0], k=1)
+        m = DIAMatrix.from_dense(dense)
+        assert m.offsets.tolist() == [0, 1]
+        np.testing.assert_array_equal(m.diagonal(0), [1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(m.diagonal(1), [4.0, 5.0, 0.0])
+        np.testing.assert_array_equal(m.to_dense(), dense)
+
+    def test_matches_scipy_dia(self):
+        dense = banded_sparse((10, 10), 2, seed=1).to_dense()
+        ours = DIAMatrix.from_dense(dense)
+        theirs = sp.dia_matrix(dense)
+        their_offsets = np.sort(theirs.offsets)
+        np.testing.assert_array_equal(ours.offsets, their_offsets)
+
+    def test_roundtrip(self):
+        m = banded_sparse((20, 20), 3, fill=0.7, seed=2)
+        assert DIAMatrix.from_coo(m).to_coo() == m
+
+    def test_rectangular(self):
+        m = random_sparse((6, 10), 0.2, seed=3)
+        d = DIAMatrix.from_coo(m)
+        np.testing.assert_array_equal(d.to_dense(), m.to_dense())
+
+    def test_empty(self):
+        d = DIAMatrix.from_coo(COOMatrix.empty((5, 5)))
+        assert d.n_diagonals == 0 and d.bandwidth == 0
+        assert d.to_dense().sum() == 0.0
+
+    def test_unstored_diagonal_reads_zero(self):
+        d = DIAMatrix.from_dense(np.eye(4))
+        np.testing.assert_array_equal(d.diagonal(2), np.zeros(4))
+
+    def test_validation_duplicate_offsets(self):
+        with pytest.raises(ValueError, match="unique|ascending"):
+            DIAMatrix((3, 3), [0, 0], np.zeros((2, 3)))
+
+    def test_validation_padding_must_be_zero(self):
+        data = np.ones((1, 3))
+        with pytest.raises(ValueError, match="outside"):
+            DIAMatrix((3, 3), [2], data)  # rows 1,2 fall outside
+
+    def test_validation_offset_range(self):
+        with pytest.raises(ValueError, match="band range"):
+            DIAMatrix((3, 3), [5], np.zeros((1, 3)))
+
+
+class TestEfficiencyMetrics:
+    def test_banded_matrix_dense_strips(self):
+        m = banded_sparse((30, 30), 1, fill=1.0, seed=4)
+        d = DIAMatrix.from_coo(m)
+        assert d.density > 0.9
+        assert d.bandwidth == 1
+
+    def test_scattered_matrix_sparse_strips(self):
+        m = random_sparse((30, 30), 0.05, seed=5)
+        d = DIAMatrix.from_coo(m)
+        assert d.density < 0.3  # DIA is the wrong format here
+
+    def test_bandwidth(self):
+        m = banded_sparse((16, 16), 4, seed=6)
+        assert DIAMatrix.from_coo(m).bandwidth <= 4
+
+
+class TestSpmv:
+    def test_matches_dense(self, rng):
+        m = banded_sparse((24, 24), 3, fill=0.8, seed=7)
+        d = DIAMatrix.from_coo(m)
+        x = rng.standard_normal(24)
+        np.testing.assert_allclose(d.spmv(x), m.to_dense() @ x)
+
+    def test_rectangular_spmv(self, rng):
+        m = random_sparse((8, 14), 0.3, seed=8)
+        d = DIAMatrix.from_coo(m)
+        x = rng.standard_normal(14)
+        np.testing.assert_allclose(d.spmv(x), m.to_dense() @ x)
+
+    def test_wrong_shape_rejected(self):
+        d = DIAMatrix.from_dense(np.eye(4))
+        with pytest.raises(ValueError, match="shape"):
+            d.spmv(np.ones(5))
+
+
+@given(
+    n_rows=st.integers(1, 12),
+    n_cols=st.integers(1, 12),
+    s=st.floats(0.0, 0.6),
+    seed=st.integers(0, 200),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_roundtrip_and_spmv(n_rows, n_cols, s, seed):
+    m = random_sparse((n_rows, n_cols), s, seed=seed)
+    d = DIAMatrix.from_coo(m)
+    assert d.to_coo() == m
+    x = np.linspace(-1, 1, n_cols)
+    np.testing.assert_allclose(d.spmv(x), m.to_dense() @ x, atol=1e-9)

@@ -1,0 +1,149 @@
+"""Unit tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    banded_sparse,
+    bernoulli_sparse,
+    block_diagonal_sparse,
+    paper_test_array,
+    random_sparse,
+    row_skewed_sparse,
+)
+
+
+class TestRandomSparse:
+    def test_exact_nonzero_count(self):
+        m = random_sparse((50, 40), 0.1, seed=0)
+        assert m.nnz == round(0.1 * 50 * 40)
+
+    @pytest.mark.parametrize("s", [0.0, 0.05, 0.5, 1.0])
+    def test_exact_ratio_across_range(self, s):
+        m = random_sparse((20, 20), s, seed=1)
+        assert m.nnz == round(s * 400)
+
+    def test_deterministic_given_seed(self):
+        assert random_sparse((30, 30), 0.2, seed=5) == random_sparse(
+            (30, 30), 0.2, seed=5
+        )
+
+    def test_different_seeds_differ(self):
+        assert random_sparse((30, 30), 0.2, seed=5) != random_sparse(
+            (30, 30), 0.2, seed=6
+        )
+
+    def test_no_duplicate_coordinates(self):
+        m = random_sparse((15, 15), 0.5, seed=2)
+        keys = m.rows * 15 + m.cols
+        assert len(np.unique(keys)) == m.nnz
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ValueError, match="sparse_ratio"):
+            random_sparse((5, 5), 1.5)
+
+    def test_full_matrix(self):
+        m = random_sparse((6, 6), 1.0, seed=3)
+        assert m.nnz == 36
+
+    def test_values_nonzero(self):
+        m = random_sparse((30, 30), 0.3, seed=4)
+        assert np.all(m.values != 0.0)
+
+    def test_generator_object_as_seed(self):
+        rng = np.random.default_rng(11)
+        m = random_sparse((10, 10), 0.2, seed=rng)
+        assert m.nnz == 20
+
+
+class TestBernoulliSparse:
+    def test_expected_ratio(self):
+        m = bernoulli_sparse((200, 200), 0.1, seed=0)
+        assert 0.07 < m.sparse_ratio < 0.13  # ~6 sigma band
+
+    def test_ratio_fluctuates_unlike_exact(self):
+        ratios = {
+            bernoulli_sparse((40, 40), 0.1, seed=k).nnz for k in range(5)
+        }
+        assert len(ratios) > 1
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            bernoulli_sparse((5, 5), -0.1)
+
+
+class TestBandedSparse:
+    def test_all_nonzeros_within_band(self):
+        m = banded_sparse((30, 30), 3, seed=1)
+        assert np.all(np.abs(m.rows - m.cols) <= 3)
+
+    def test_full_fill_has_complete_band(self):
+        m = banded_sparse((10, 10), 1, fill=1.0, seed=0)
+        # tridiagonal: 10 + 9 + 9 nonzeros
+        assert m.nnz == 28
+
+    def test_partial_fill_reduces_count(self):
+        full = banded_sparse((40, 40), 5, fill=1.0, seed=0)
+        half = banded_sparse((40, 40), 5, fill=0.5, seed=0)
+        assert half.nnz < full.nnz
+
+    def test_rectangular(self):
+        m = banded_sparse((10, 20), 2, seed=2)
+        assert m.shape == (10, 20)
+        assert np.all(np.abs(m.rows - m.cols) <= 2)
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            banded_sparse((5, 5), -1)
+
+
+class TestBlockDiagonal:
+    def test_nonzeros_confined_to_blocks(self):
+        m = block_diagonal_sparse(4, 5, block_ratio=0.8, seed=0)
+        assert m.shape == (20, 20)
+        assert np.all(m.rows // 5 == m.cols // 5)
+
+    def test_block_count_scaling(self):
+        m = block_diagonal_sparse(3, 4, block_ratio=1.0, seed=1)
+        assert m.nnz == 3 * 16
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            block_diagonal_sparse(0, 5)
+
+
+class TestRowSkewed:
+    def test_total_count_exact(self):
+        m = row_skewed_sparse((60, 60), 0.1, skew=1.5, seed=0)
+        assert m.nnz == round(0.1 * 3600)
+
+    def test_skew_concentrates_low_rows(self):
+        m = row_skewed_sparse((100, 100), 0.05, skew=2.0, seed=1)
+        counts = m.row_counts()
+        top_half = counts[:50].sum()
+        assert top_half > 0.7 * m.nnz
+
+    def test_zero_skew_roughly_uniform(self):
+        m = row_skewed_sparse((100, 100), 0.1, skew=0.0, seed=2)
+        counts = m.row_counts()
+        assert counts.max() <= 100  # no row overflows its width
+
+    def test_no_row_exceeds_width(self):
+        m = row_skewed_sparse((20, 8), 0.3, skew=3.0, seed=3)
+        assert m.row_counts().max() <= 8
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            row_skewed_sparse((5, 5), 0.1, skew=-1.0)
+        with pytest.raises(ValueError):
+            row_skewed_sparse((5, 5), 2.0)
+
+
+class TestPaperTestArray:
+    def test_matches_section5_setup(self):
+        m = paper_test_array(200)
+        assert m.shape == (200, 200)
+        assert m.sparse_ratio == pytest.approx(0.1)
+
+    def test_deterministic(self):
+        assert paper_test_array(50) == paper_test_array(50)

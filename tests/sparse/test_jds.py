@@ -1,0 +1,109 @@
+"""Unit tests for Jagged Diagonal Storage."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import COOMatrix, JDSMatrix, random_sparse, row_skewed_sparse
+
+
+class TestConstruction:
+    def test_textbook_example(self):
+        """Rows sorted by length; jag j holds each row's j-th nonzero."""
+        dense = np.array(
+            [
+                [1.0, 0.0, 2.0, 0.0],   # 2 nonzeros
+                [0.0, 3.0, 0.0, 0.0],   # 1
+                [4.0, 5.0, 6.0, 0.0],   # 3
+            ]
+        )
+        j = JDSMatrix.from_dense(dense)
+        assert j.perm.tolist() == [2, 0, 1]  # longest row first
+        assert j.jd_ptr.tolist() == [0, 3, 5, 6]
+        # jag 0: first nonzero of rows 2,0,1 -> values 4,1,3
+        np.testing.assert_array_equal(j.jag(0)[1], [4.0, 1.0, 3.0])
+        np.testing.assert_array_equal(j.jag(0)[0], [0, 0, 1])
+        # jag 1: second nonzeros of rows 2,0 -> 5,2
+        np.testing.assert_array_equal(j.jag(1)[1], [5.0, 2.0])
+        # jag 2: third nonzero of row 2 -> 6
+        np.testing.assert_array_equal(j.jag(2)[1], [6.0])
+
+    def test_roundtrip(self, medium_matrix):
+        j = JDSMatrix.from_coo(medium_matrix)
+        assert j.to_coo() == medium_matrix
+
+    def test_empty_matrix(self):
+        j = JDSMatrix.from_coo(COOMatrix.empty((4, 6)))
+        assert j.nnz == 0 and j.n_jags == 0
+        assert j.to_dense().sum() == 0.0
+
+    def test_jag_count_is_max_row_length(self):
+        m = row_skewed_sparse((20, 20), 0.2, skew=2.0, seed=1)
+        j = JDSMatrix.from_coo(m)
+        assert j.n_jags == int(m.row_counts().max())
+
+    def test_jag_lengths_non_increasing(self, medium_matrix):
+        j = JDSMatrix.from_coo(medium_matrix)
+        lengths = np.diff(j.jd_ptr)
+        assert np.all(np.diff(lengths) <= 0)
+
+    def test_stable_permutation_for_ties(self):
+        dense = np.eye(4)  # all rows have one nonzero
+        j = JDSMatrix.from_dense(dense)
+        assert j.perm.tolist() == [0, 1, 2, 3]
+
+
+class TestValidation:
+    def test_bad_permutation_rejected(self):
+        with pytest.raises(ValueError, match="permutation"):
+            JDSMatrix((2, 2), [0, 0], [0, 1, 2], [0, 1], [1.0, 2.0])
+
+    def test_increasing_jags_rejected(self):
+        with pytest.raises(ValueError, match="non-increasing"):
+            JDSMatrix((3, 3), [0, 1, 2], [0, 1, 3], [0, 1, 2], [1.0, 2.0, 3.0])
+
+    def test_column_range_checked(self):
+        with pytest.raises(ValueError, match="column index"):
+            JDSMatrix((2, 2), [0, 1], [0, 2, 3], [0, 9, 1], [1.0, 2.0, 3.0])
+
+    def test_jd_ptr_start_checked(self):
+        with pytest.raises(ValueError, match="start with 0"):
+            JDSMatrix((2, 2), [0, 1], [1, 2], [0], [1.0])
+
+    def test_length_consistency_checked(self):
+        with pytest.raises(ValueError, match="length"):
+            JDSMatrix((2, 2), [0, 1], [0, 2], [0], [1.0])
+
+
+class TestSpmv:
+    def test_matches_dense(self, medium_matrix, rng):
+        j = JDSMatrix.from_coo(medium_matrix)
+        x = rng.standard_normal(60)
+        np.testing.assert_allclose(j.spmv(x), medium_matrix.to_dense() @ x)
+
+    def test_wrong_shape_rejected(self, small_matrix):
+        j = JDSMatrix.from_coo(small_matrix)
+        with pytest.raises(ValueError, match="shape"):
+            j.spmv(np.zeros(99))
+
+    def test_skewed_matrix(self, rng):
+        m = row_skewed_sparse((40, 40), 0.15, skew=2.5, seed=2)
+        j = JDSMatrix.from_coo(m)
+        x = rng.standard_normal(40)
+        np.testing.assert_allclose(j.spmv(x), m.to_dense() @ x)
+
+
+@given(
+    n_rows=st.integers(1, 15),
+    n_cols=st.integers(1, 15),
+    s=st.floats(0.0, 0.8),
+    seed=st.integers(0, 500),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_roundtrip(n_rows, n_cols, s, seed):
+    m = random_sparse((n_rows, n_cols), s, seed=seed)
+    j = JDSMatrix.from_coo(m)
+    assert j.to_coo() == m
+    x = np.linspace(-1, 1, n_cols)
+    np.testing.assert_allclose(j.spmv(x), m.to_dense() @ x, atol=1e-9)

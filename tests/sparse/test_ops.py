@@ -1,0 +1,144 @@
+"""Unit tests for the sparse kernels against dense oracles."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    CCSMatrix,
+    COOMatrix,
+    CRSMatrix,
+    col_norms,
+    convert,
+    extract_diagonal,
+    frobenius_norm,
+    random_sparse,
+    row_norms,
+    sp_add,
+    sp_elementwise_multiply,
+    sp_scale,
+    sp_transpose,
+    spmv,
+    spmv_transpose,
+)
+
+FORMATS = [COOMatrix, CRSMatrix, CCSMatrix]
+
+
+@pytest.fixture
+def dense_and_x(rng):
+    m = random_sparse((25, 31), 0.18, seed=6)
+    return m, m.to_dense(), rng.standard_normal(31), rng.standard_normal(25)
+
+
+class TestSpmv:
+    @pytest.mark.parametrize("fmt", FORMATS)
+    def test_matches_dense(self, fmt, dense_and_x):
+        m, dense, x, _ = dense_and_x
+        np.testing.assert_allclose(spmv(convert(m, fmt), x), dense @ x)
+
+    @pytest.mark.parametrize("fmt", FORMATS)
+    def test_transpose_matches_dense(self, fmt, dense_and_x):
+        m, dense, _, y = dense_and_x
+        np.testing.assert_allclose(spmv_transpose(convert(m, fmt), y), dense.T @ y)
+
+    def test_wrong_x_shape_rejected(self, small_matrix):
+        with pytest.raises(ValueError, match="shape"):
+            spmv(small_matrix, np.zeros(5))
+
+    def test_wrong_transpose_shape_rejected(self, small_matrix):
+        with pytest.raises(ValueError, match="shape"):
+            spmv_transpose(small_matrix, np.zeros(99))
+
+    def test_empty_matrix_gives_zero(self):
+        m = COOMatrix.empty((4, 6))
+        np.testing.assert_array_equal(spmv(m, np.ones(6)), np.zeros(4))
+
+    def test_unsupported_type_rejected(self):
+        class FakeSparse:
+            shape = (2, 2)
+
+        with pytest.raises(TypeError, match="unsupported sparse type"):
+            spmv(FakeSparse(), np.zeros(2))
+
+    def test_linearity(self, dense_and_x, rng):
+        m, dense, x, _ = dense_and_x
+        x2 = rng.standard_normal(31)
+        lhs = spmv(m, 2.0 * x + 3.0 * x2)
+        rhs = 2.0 * spmv(m, x) + 3.0 * spmv(m, x2)
+        np.testing.assert_allclose(lhs, rhs)
+
+
+class TestAlgebra:
+    def test_sp_add(self):
+        a = random_sparse((10, 10), 0.2, seed=1)
+        b = random_sparse((10, 10), 0.2, seed=2)
+        np.testing.assert_allclose(
+            sp_add(a, b).to_dense(), a.to_dense() + b.to_dense()
+        )
+
+    def test_sp_add_mixed_formats(self, small_matrix):
+        crs = CRSMatrix.from_coo(small_matrix)
+        ccs = CCSMatrix.from_coo(small_matrix)
+        np.testing.assert_allclose(
+            sp_add(crs, ccs).to_dense(), 2 * small_matrix.to_dense()
+        )
+
+    def test_sp_add_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            sp_add(COOMatrix.empty((2, 2)), COOMatrix.empty((3, 3)))
+
+    @pytest.mark.parametrize("fmt", FORMATS)
+    def test_sp_scale_preserves_format(self, fmt, small_matrix):
+        m = convert(small_matrix, fmt)
+        out = sp_scale(m, -2.5)
+        assert isinstance(out, fmt)
+        np.testing.assert_allclose(out.to_dense(), -2.5 * small_matrix.to_dense())
+
+    @pytest.mark.parametrize("fmt", FORMATS)
+    def test_sp_scale_by_zero_empties(self, fmt, small_matrix):
+        out = sp_scale(convert(small_matrix, fmt), 0.0)
+        assert out.nnz == 0 and isinstance(out, fmt)
+
+    @pytest.mark.parametrize("fmt", FORMATS)
+    def test_sp_transpose(self, fmt, rect_matrix):
+        m = convert(rect_matrix, fmt)
+        t = sp_transpose(m)
+        assert isinstance(t, fmt)
+        np.testing.assert_array_equal(t.to_dense(), rect_matrix.to_dense().T)
+
+    def test_elementwise_multiply(self):
+        a = random_sparse((12, 9), 0.3, seed=3)
+        b = random_sparse((12, 9), 0.3, seed=4)
+        np.testing.assert_allclose(
+            sp_elementwise_multiply(a, b).to_dense(),
+            a.to_dense() * b.to_dense(),
+        )
+
+    def test_elementwise_multiply_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            sp_elementwise_multiply(COOMatrix.empty((2, 2)), COOMatrix.empty((2, 3)))
+
+
+class TestReductions:
+    def test_row_norms(self, small_matrix):
+        expected = np.linalg.norm(small_matrix.to_dense(), axis=1)
+        np.testing.assert_allclose(row_norms(small_matrix), expected)
+
+    def test_col_norms(self, small_matrix):
+        expected = np.linalg.norm(small_matrix.to_dense(), axis=0)
+        np.testing.assert_allclose(col_norms(small_matrix), expected)
+
+    def test_row_norms_l1(self, small_matrix):
+        expected = np.abs(small_matrix.to_dense()).sum(axis=1)
+        np.testing.assert_allclose(row_norms(small_matrix, ord=1.0), expected)
+
+    def test_extract_diagonal(self):
+        dense = np.arange(12, dtype=float).reshape(3, 4)
+        m = COOMatrix.from_dense(dense)
+        np.testing.assert_allclose(extract_diagonal(m), np.diag(dense))
+
+    def test_frobenius_norm(self, small_matrix):
+        np.testing.assert_allclose(
+            frobenius_norm(small_matrix),
+            np.linalg.norm(small_matrix.to_dense(), "fro"),
+        )

@@ -1,0 +1,119 @@
+"""Property-based tests for the sparse substrate (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import (
+    CCSMatrix,
+    COOMatrix,
+    CRSMatrix,
+    dumps_matrix,
+    loads_matrix,
+    sp_add,
+    sp_transpose,
+    spmv,
+    spmv_transpose,
+)
+
+
+@st.composite
+def coo_matrices(draw, max_dim=12):
+    n_rows = draw(st.integers(1, max_dim))
+    n_cols = draw(st.integers(1, max_dim))
+    nnz = draw(st.integers(0, n_rows * n_cols))
+    idx = draw(
+        st.lists(
+            st.integers(0, n_rows * n_cols - 1),
+            min_size=nnz,
+            max_size=nnz,
+            unique=True,
+        )
+    )
+    rows = np.array([i // n_cols for i in idx], dtype=np.int64)
+    cols = np.array([i % n_cols for i in idx], dtype=np.int64)
+    vals = np.array(
+        draw(
+            st.lists(
+                st.floats(-100, 100).filter(lambda v: abs(v) > 1e-9),
+                min_size=nnz,
+                max_size=nnz,
+            )
+        ),
+        dtype=np.float64,
+    )
+    return COOMatrix((n_rows, n_cols), rows, cols, vals)
+
+
+@given(coo_matrices())
+@settings(max_examples=60, deadline=None)
+def test_crs_roundtrip_preserves_matrix(m):
+    assert CRSMatrix.from_coo(m).to_coo() == m
+
+
+@given(coo_matrices())
+@settings(max_examples=60, deadline=None)
+def test_ccs_roundtrip_preserves_matrix(m):
+    assert CCSMatrix.from_coo(m).to_coo() == m
+
+
+@given(coo_matrices())
+@settings(max_examples=60, deadline=None)
+def test_dense_roundtrip(m):
+    assert COOMatrix.from_dense(m.to_dense()) == m
+
+
+@given(coo_matrices())
+@settings(max_examples=60, deadline=None)
+def test_canonical_invariants(m):
+    """Canonical COO: row-major sorted, unique coords, no stored zeros."""
+    keys = m.rows * m.shape[1] + m.cols
+    assert np.all(np.diff(keys) > 0) if m.nnz > 1 else True
+    assert np.all(m.values != 0.0)
+
+
+@given(coo_matrices())
+@settings(max_examples=40, deadline=None)
+def test_transpose_involution(m):
+    assert sp_transpose(sp_transpose(m)) == m
+
+
+@given(coo_matrices())
+@settings(max_examples=40, deadline=None)
+def test_spmv_agrees_across_formats(m):
+    x = np.linspace(-1.0, 1.0, m.shape[1])
+    expected = m.to_dense() @ x
+    np.testing.assert_allclose(spmv(CRSMatrix.from_coo(m), x), expected, atol=1e-9)
+    np.testing.assert_allclose(spmv(CCSMatrix.from_coo(m), x), expected, atol=1e-9)
+
+
+@given(coo_matrices())
+@settings(max_examples=40, deadline=None)
+def test_spmv_transpose_duality(m):
+    """x^T (A y) == (A^T x)^T y for all x, y (tested with fixed probes)."""
+    x = np.linspace(0.5, 1.5, m.shape[0])
+    y = np.linspace(-1.0, 1.0, m.shape[1])
+    lhs = float(x @ spmv(m, y))
+    rhs = float(spmv_transpose(m, x) @ y)
+    assert abs(lhs - rhs) <= 1e-6 * (1 + abs(lhs))
+
+
+@given(coo_matrices(), coo_matrices())
+@settings(max_examples=40, deadline=None)
+def test_sp_add_commutes(a, b):
+    if a.shape != b.shape:
+        return
+    assert sp_add(a, b) == sp_add(b, a)
+
+
+@given(coo_matrices())
+@settings(max_examples=30, deadline=None)
+def test_io_roundtrip(m):
+    assert loads_matrix(dumps_matrix(m)) == m
+
+
+@given(coo_matrices())
+@settings(max_examples=40, deadline=None)
+def test_counts_sum_to_nnz(m):
+    assert m.row_counts().sum() == m.nnz
+    assert m.col_counts().sum() == m.nnz

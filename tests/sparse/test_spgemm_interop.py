@@ -1,0 +1,113 @@
+"""Unit tests for SpGEMM and the scipy interop adapters."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import (
+    CCSMatrix,
+    COOMatrix,
+    CRSMatrix,
+    from_scipy,
+    random_sparse,
+    spgemm,
+    to_scipy,
+)
+
+
+class TestSpgemm:
+    def test_matches_dense_product(self):
+        a = random_sparse((12, 9), 0.3, seed=1)
+        b = random_sparse((9, 14), 0.3, seed=2)
+        c = spgemm(a, b)
+        np.testing.assert_allclose(c.to_dense(), a.to_dense() @ b.to_dense())
+
+    def test_mixed_format_operands(self):
+        a = CRSMatrix.from_coo(random_sparse((8, 8), 0.4, seed=3))
+        b = CCSMatrix.from_coo(random_sparse((8, 8), 0.4, seed=4))
+        np.testing.assert_allclose(
+            spgemm(a, b).to_dense(), a.to_dense() @ b.to_dense()
+        )
+
+    def test_inner_dimension_checked(self):
+        with pytest.raises(ValueError, match="inner dimensions"):
+            spgemm(COOMatrix.empty((3, 4)), COOMatrix.empty((5, 3)))
+
+    def test_empty_operand_gives_empty(self):
+        a = COOMatrix.empty((3, 4))
+        b = random_sparse((4, 5), 0.5, seed=5)
+        assert spgemm(a, b).nnz == 0
+
+    def test_identity_is_neutral(self):
+        a = random_sparse((6, 6), 0.4, seed=6)
+        eye = COOMatrix.from_dense(np.eye(6))
+        assert spgemm(a, eye) == a
+        assert spgemm(eye, a) == a
+
+    def test_cancellation_dropped(self):
+        """Numerically cancelled products leave no stored zero."""
+        a = COOMatrix.from_dense(np.array([[1.0, -1.0]]))
+        b = COOMatrix.from_dense(np.array([[1.0], [1.0]]))
+        assert spgemm(a, b).nnz == 0
+
+    def test_matches_scipy(self):
+        a = random_sparse((20, 16), 0.2, seed=7)
+        b = random_sparse((16, 20), 0.2, seed=8)
+        ours = spgemm(a, b).to_dense()
+        theirs = (to_scipy(a) @ to_scipy(b)).toarray()
+        np.testing.assert_allclose(ours, theirs)
+
+    @given(
+        m=st.integers(1, 10),
+        k=st.integers(1, 10),
+        n=st.integers(1, 10),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_agrees_with_dense(self, m, k, n, seed):
+        a = random_sparse((m, k), 0.4, seed=seed)
+        b = random_sparse((k, n), 0.4, seed=seed + 1)
+        np.testing.assert_allclose(
+            spgemm(a, b).to_dense(), a.to_dense() @ b.to_dense(), atol=1e-9
+        )
+
+
+class TestScipyInterop:
+    def test_coo_roundtrip(self, medium_matrix):
+        assert from_scipy(to_scipy(medium_matrix)) == medium_matrix
+
+    def test_crs_maps_to_csr(self, medium_matrix):
+        crs = CRSMatrix.from_coo(medium_matrix)
+        s = to_scipy(crs)
+        assert s.format == "csr"
+        assert from_scipy(s) == crs
+
+    def test_ccs_maps_to_csc(self, medium_matrix):
+        ccs = CCSMatrix.from_coo(medium_matrix)
+        s = to_scipy(ccs)
+        assert s.format == "csc"
+        assert from_scipy(s) == ccs
+
+    def test_layout_shared_not_translated(self, medium_matrix):
+        crs = CRSMatrix.from_coo(medium_matrix)
+        s = to_scipy(crs)
+        np.testing.assert_array_equal(s.indptr, crs.indptr)
+        np.testing.assert_array_equal(s.indices, crs.indices)
+
+    def test_other_scipy_formats_become_coo(self, medium_matrix):
+        lil = to_scipy(medium_matrix).tolil()
+        out = from_scipy(lil)
+        assert isinstance(out, COOMatrix) and out == medium_matrix
+
+    def test_scipy_duplicates_summed(self):
+        s = sp.coo_matrix(([1.0, 2.0], ([0, 0], [1, 1])), shape=(2, 2))
+        out = from_scipy(s)
+        assert out.nnz == 1 and out.to_dense()[0, 1] == 3.0
+
+    def test_non_scipy_rejected(self):
+        with pytest.raises(TypeError):
+            from_scipy(np.eye(3))
+        with pytest.raises(TypeError):
+            to_scipy("nope")
