@@ -44,6 +44,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeline", action="store_true",
         help="print a per-lane ASCII busy timeline for the last scheme",
     )
+    run.add_argument(
+        "--faults", metavar="SPEC.json", default=None,
+        help="fault plan (JSON FaultSpec) enabling fault injection and "
+        "reliable delivery; see examples/faults/lossy.json",
+    )
+    run.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed for the deterministic fault injector (default 0)",
+    )
 
     tables = sub.add_parser("tables", help="reproduce Tables 3-5")
     tables.add_argument(
@@ -55,6 +64,11 @@ def build_parser() -> argparse.ArgumentParser:
     tables.add_argument(
         "--quick", action="store_true", help="restrict to n <= 800, two p values"
     )
+    tables.add_argument(
+        "--faults", metavar="SPEC.json", default=None,
+        help="re-derive the tables under a fault plan (JSON FaultSpec)",
+    )
+    tables.add_argument("--fault-seed", type=int, default=0)
 
     sub.add_parser("figures", help="print the Figures 1-7 worked example")
 
@@ -115,26 +129,57 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _load_fault_spec(args):
+    """Parse ``--faults`` (a JSON FaultSpec path) or return None."""
+    if getattr(args, "faults", None) is None:
+        return None
+    from .faults import FaultSpec
+
+    return FaultSpec.from_file(args.faults)
+
+
+def _print_fault_summary(result) -> None:
+    """Surface retries/drops/corruptions per phase for one scheme run."""
+    print(f"    {result.fault_line()}")
+    if result.fault_summary:
+        for phase, bucket in result.fault_summary.items():
+            counters = " ".join(f"{k}={v}" for k, v in bucket.items())
+            print(f"      {phase}: {counters}")
+
+
 def _cmd_run(args) -> int:
     from .core import get_compression, get_scheme
     from .machine import Machine, render_timeline
     from .runtime import run_scheme, verify_all_schemes_agree
     from .sparse import random_sparse
 
+    fault_spec = _load_fault_spec(args)
     matrix = random_sparse((args.n, args.n), args.sparse_ratio, seed=args.seed)
     schemes = ["sfc", "cfs", "ed"] if args.scheme == "all" else [args.scheme]
     print(
         f"array {args.n}x{args.n}, s={args.sparse_ratio}, p={args.procs}, "
         f"{args.partition} partition, {args.compression.upper()} compression"
     )
+    if fault_spec is not None:
+        print(
+            f"fault injection on (seed {args.fault_seed}): "
+            f"drop={fault_spec.drop} dup={fault_spec.duplicate} "
+            f"reorder={fault_spec.reorder} corrupt={fault_spec.corrupt}"
+        )
     results = []
     last_machine = None
     for scheme in schemes:
         if args.timeline:
             from .core.registry import get_partition
+            from .faults import FaultInjector
 
             plan = get_partition(args.partition).plan(matrix.shape, args.procs)
-            last_machine = Machine(args.procs)
+            injector = (
+                FaultInjector(fault_spec, seed=args.fault_seed)
+                if fault_spec is not None
+                else None
+            )
+            last_machine = Machine(args.procs, faults=injector)
             result = get_scheme(scheme).run(
                 last_machine, matrix, plan, get_compression(args.compression)
             )
@@ -145,9 +190,13 @@ def _cmd_run(args) -> int:
                 partition=args.partition,
                 n_procs=args.procs,
                 compression=args.compression,
+                faults=fault_spec,
+                fault_seed=args.fault_seed,
             )
         results.append(result)
         print(f"  {result.summary()}")
+        if fault_spec is not None:
+            _print_fault_summary(result)
     if len(results) > 1:
         verify_all_schemes_agree(results)
         print("  all schemes delivered identical local arrays (verified)")
@@ -160,14 +209,27 @@ def _cmd_run(args) -> int:
 def _cmd_tables(args) -> int:
     from .runtime import TABLE_SPECS, format_table, reproduce_table, shape_report
 
+    fault_spec = _load_fault_spec(args)
     names = ["table3", "table4", "table5"] if args.table == "all" else [args.table]
     for name in names:
         spec = TABLE_SPECS[name]
         sizes = [n for n in spec.sizes if n <= 800] if args.quick else None
         procs = spec.proc_counts[:2] if args.quick else None
-        repro = reproduce_table(name, sizes=sizes, proc_counts=procs)
+        repro = reproduce_table(
+            name,
+            sizes=sizes,
+            proc_counts=procs,
+            faults=fault_spec,
+            fault_seed=args.fault_seed,
+        )
         print(format_table(repro))
         print(f"   shape report: {shape_report(repro)}")
+        if fault_spec is not None:
+            totals = repro.fault_totals()
+            print(f"   fault totals (seed {args.fault_seed}):")
+            for phase, bucket in totals.items():
+                counters = " ".join(f"{k}={v}" for k, v in bucket.items())
+                print(f"     {phase}: {counters}")
         print()
     return 0
 

@@ -63,6 +63,9 @@ class SchemeResult:
     distribution_breakdown: PhaseBreakdown
     compression_breakdown: PhaseBreakdown
     locals_: tuple[CompressedLocal, ...]
+    #: per-phase fault counters from the machine's injector (None = no
+    #: injector attached; the run was the exact fault-free simulator)
+    fault_summary: dict[str, dict[str, int]] | None = None
 
     @property
     def t_total(self) -> float:
@@ -77,6 +80,28 @@ class SchemeResult:
     @property
     def n_messages(self) -> int:
         return self.distribution_breakdown.n_messages
+
+    @property
+    def total_retries(self) -> int:
+        """Retransmissions charged across all phases (0 when fault-free)."""
+        if not self.fault_summary:
+            return 0
+        return sum(b.get("retries", 0) for b in self.fault_summary.values())
+
+    def fault_line(self) -> str:
+        """One-line retries/drops/corruptions/duplicates summary."""
+        if self.fault_summary is None:
+            return "faults: off"
+        totals: dict[str, int] = {}
+        for bucket in self.fault_summary.values():
+            for k, v in bucket.items():
+                totals[k] = totals.get(k, 0) + v
+        if not totals:
+            return "faults: injector on, no faults fired"
+        keys = ("retries", "drops", "corruptions", "crash_drops", "duplicates", "reorders", "forced")
+        return "faults: " + " ".join(
+            f"{k}={totals[k]}" for k in keys if totals.get(k)
+        )
 
     @property
     def sparse_ratio(self) -> float:
@@ -149,6 +174,7 @@ class DistributionScheme:
             distribution_breakdown=dist,
             compression_breakdown=comp,
             locals_=tuple(locals_),
+            fault_summary=machine.fault_summary(),
         )
 
     def __repr__(self) -> str:

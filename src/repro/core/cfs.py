@@ -78,7 +78,11 @@ class CFSScheme(DistributionScheme):
         locals_ = []
         for assignment, conv in zip(plan, conversions):
             proc = machine.processor(assignment.rank)
-            buf = proc.receive().payload
+            # machine.receive verifies the packed buffer's wire checksum
+            # when fault injection is active (no-op otherwise)
+            buf = machine.receive(
+                assignment.rank, phase=Phase.DISTRIBUTION
+            ).payload
             arrays, unpack_ops = buf.unpack()
             machine.charge_proc_ops(
                 assignment.rank, unpack_ops, Phase.DISTRIBUTION, label="unpack"

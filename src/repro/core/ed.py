@@ -75,7 +75,11 @@ class EDScheme(DistributionScheme):
         locals_ = []
         for assignment, conv in zip(plan, conversions):
             proc = machine.processor(assignment.rank)
-            buf = proc.receive("special-buffer").payload
+            # machine.receive verifies the special buffer's wire checksum
+            # when fault injection is active (no-op otherwise)
+            buf = machine.receive(
+                assignment.rank, "special-buffer", phase=Phase.DISTRIBUTION
+            ).payload
             compressed, decode_ops = buf.decode(conv)
             machine.charge_proc_ops(
                 assignment.rank, decode_ops, Phase.COMPRESSION, label="decode"

@@ -70,6 +70,13 @@ class EncodedBuffer:
     def nnz(self) -> int:
         return (self.n_elements - self.n_segments) // 2
 
+    @property
+    def checksum(self) -> int:
+        """CRC-32 of the wire bytes (the reliable-delivery frame check)."""
+        from ..faults.checksum import wire_checksum
+
+        return wire_checksum(self.data)
+
     # ------------------------------------------------------------------
     # encoding (host side)
     # ------------------------------------------------------------------

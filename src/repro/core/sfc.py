@@ -87,7 +87,11 @@ class SFCScheme(DistributionScheme):
         locals_ = []
         for assignment in plan:
             proc = machine.processor(assignment.rank)
-            dense = proc.receive("dense-block").payload
+            # machine.receive verifies the dense block's wire checksum
+            # when fault injection is active (no-op otherwise)
+            dense = machine.receive(
+                assignment.rank, "dense-block", phase=Phase.DISTRIBUTION
+            ).payload
             compressed = compression.from_dense(dense)
             scan_ops = dense.size + 3 * compressed.nnz
             machine.charge_proc_ops(

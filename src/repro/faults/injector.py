@@ -1,0 +1,156 @@
+"""The deterministic fault engine.
+
+A :class:`FaultInjector` owns a seeded ``numpy`` generator and turns a
+:class:`~repro.faults.spec.FaultSpec` into concrete decisions, one draw
+per question in a fixed order — so a given ``(spec, seed)`` pair replays
+the *exact* same fault sequence on the exact same run, which the
+determinism tests pin (same seed ⇒ identical trace and identical charged
+costs).
+
+The injector is transport-agnostic: it never touches payloads or the
+trace itself.  :class:`~repro.machine.machine.Machine` asks it questions
+(:meth:`attempt_outcome`, :meth:`should_duplicate`,
+:meth:`reorder_insert`, :meth:`slowdown_factor`) and does the actual
+charging, corruption, delivery and retrying.
+
+Per-processor state (slowdown factors, transient-crash budgets) is
+sampled *up front* in :meth:`bind`, in rank order, so those draws do not
+depend on the traffic pattern.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from .spec import FaultSpec
+from .stats import FaultStats
+
+__all__ = ["Attempt", "FaultInjector"]
+
+#: rank the injector uses for "the host" in crash/slowdown tables — the
+#: host never crashes in this model (it owns the global array), but the
+#: constant keeps dict keys honest if that ever changes.
+_HOST = -1
+
+
+class Attempt(enum.Enum):
+    """Outcome of one send attempt, as decided by the injector."""
+
+    DELIVER = "deliver"    # frame arrives intact
+    DROP = "drop"          # frame lost on the wire
+    CORRUPT = "corrupt"    # frame arrives bit-flipped (checksum catches it)
+    CRASH = "crash"        # destination transiently down; counts as a loss
+
+
+class FaultInjector:
+    """Seedable, deterministic source of fault decisions.
+
+    Parameters
+    ----------
+    spec:
+        The fault plan.
+    seed:
+        Seed for the injector's private generator; the whole fault
+        sequence is a pure function of ``(spec, seed, machine run)``.
+    """
+
+    def __init__(self, spec: FaultSpec, seed: int = 0) -> None:
+        self.spec = spec
+        self.seed = int(seed)
+        self.stats = FaultStats()
+        self.rng = np.random.default_rng(self.seed)
+        self._next_seq = 0
+        self._slow_factor: dict[int, float] = {}
+        self._crash_budget: dict[int, int] = {}
+        self._bound_procs: int | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def bind(self, n_procs: int) -> None:
+        """Sample per-processor state for a machine of ``n_procs`` ranks.
+
+        Called by the machine at attach time.  Draws happen in rank order
+        (slowdowns first, then crash budgets) so per-processor fates are
+        independent of later traffic.
+        """
+        self._bound_procs = n_procs
+        self._slow_factor = {}
+        self._crash_budget = {}
+        sd, cr = self.spec.slowdown, self.spec.crash
+        for rank in range(n_procs):
+            slowed = sd.probability > 0 and self.rng.random() < sd.probability
+            self._slow_factor[rank] = sd.factor if slowed else 1.0
+        for rank in range(n_procs):
+            crashed = cr.probability > 0 and self.rng.random() < cr.probability
+            self._crash_budget[rank] = (
+                int(self.rng.integers(1, cr.max_failed_sends + 1)) if crashed else 0
+            )
+
+    def reset(self) -> None:
+        """Restore the injector to its just-constructed state (same seed)."""
+        self.stats.clear()
+        self.rng = np.random.default_rng(self.seed)
+        self._next_seq = 0
+        if self._bound_procs is not None:
+            self.bind(self._bound_procs)
+
+    # ------------------------------------------------------------------
+    # per-message decisions (called by the machine, in traffic order)
+    # ------------------------------------------------------------------
+    def next_seq(self) -> int:
+        """A fresh message sequence number (duplicate detection)."""
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
+    def attempt_outcome(self, dst: int, *, corruptible: bool) -> Attempt:
+        """Fate of one send attempt towards ``dst``.
+
+        A transiently-crashed destination rejects the attempt outright
+        (consuming one unit of its crash budget); otherwise one uniform
+        draw picks drop / corrupt / deliver.  ``corruptible`` is False for
+        empty wire buffers (no bits to flip) — the corruption band then
+        collapses into a successful delivery.
+        """
+        if self._crash_budget.get(dst, 0) > 0:
+            self._crash_budget[dst] -= 1
+            return Attempt.CRASH
+        u = self.rng.random()
+        if u < self.spec.drop:
+            return Attempt.DROP
+        if u < self.spec.drop + self.spec.corrupt and corruptible:
+            return Attempt.CORRUPT
+        return Attempt.DELIVER
+
+    def should_duplicate(self) -> bool:
+        """Whether the network duplicates a just-delivered frame."""
+        return self.spec.duplicate > 0 and self.rng.random() < self.spec.duplicate
+
+    def reorder_insert(self, mailbox_len: int) -> int | None:
+        """Out-of-order arrival position, or ``None`` for in-order append.
+
+        With probability ``reorder`` the frame overtakes traffic already
+        queued at the destination: it is inserted at a uniformly-drawn
+        position *before* the end of the mailbox.  An empty mailbox has
+        nothing to overtake, so arrival stays in order (no draw is made —
+        the decision would be unobservable).
+        """
+        if self.spec.reorder <= 0 or mailbox_len == 0:
+            return None
+        if self.rng.random() < self.spec.reorder:
+            return int(self.rng.integers(0, mailbox_len))
+        return None
+
+    def slowdown_factor(self, rank: int) -> float:
+        """This rank's constant op-time multiplier (1.0 = nominal)."""
+        return self._slow_factor.get(rank, 1.0)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return (
+            f"FaultInjector(seed={self.seed}, spec={self.spec!r}, "
+            f"stats={self.stats.summary()})"
+        )

@@ -1,0 +1,202 @@
+"""Declarative fault plans: what can go wrong, how often, and the retry policy.
+
+A :class:`FaultSpec` is pure data — probabilities and policy knobs, no
+randomness.  The :class:`~repro.faults.injector.FaultInjector` combines a
+spec with a seed to produce a deterministic stream of per-attempt
+outcomes.  Specs round-trip through plain dicts/JSON so the CLI can load
+them from a file (``repro run --faults spec.json``).
+
+Fault taxonomy (see DESIGN.md §"Fault model"):
+
+==============  =====================================================
+``drop``        the frame vanishes on the wire; sender times out, backs
+                off and resends
+``corrupt``     the frame arrives with a flipped bit; the receiver's
+                CRC-32 check fails, it NACKs, the sender resends
+``duplicate``   the network delivers the frame twice; the receiver
+                discards the second copy by sequence number
+``reorder``     the frame overtakes (or is overtaken by) other traffic
+                to the same destination; arrival order is permuted but
+                tagged receives still find their message
+``slowdown``    a processor runs all its element operations a constant
+                factor slower for the whole run (thermal throttling,
+                noisy neighbour)
+``crash``       a processor is unreachable for its first ``k`` incoming
+                send attempts (transient crash + reboot); those sends
+                are retried like drops
+==============  =====================================================
+
+Eventual delivery is guaranteed by construction: per-message failures are
+capped at ``retry.max_retries`` after which the attempt succeeds (a real
+stack would escalate; the simulator's fault plans are by contract
+eventually-delivered), and crash budgets are finite.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+__all__ = ["RetryPolicy", "SlowdownSpec", "CrashSpec", "FaultSpec"]
+
+
+def _check_probability(name: str, value: float, *, upper: float = 1.0) -> None:
+    if not 0.0 <= value < upper:
+        raise ValueError(
+            f"{name} must be a probability in [0, {upper}), got {value}"
+        )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Ack/timeout/resend policy for reliable delivery.
+
+    ``timeout_ms`` is the initial retransmission timeout charged to the
+    sender when an attempt fails; attempt ``k``'s timeout is
+    ``timeout_ms · backoff^(k-1)`` (exponential backoff).  After
+    ``max_retries`` failed attempts the next attempt is forced to succeed,
+    guaranteeing eventual delivery.
+    """
+
+    timeout_ms: float = 0.04
+    backoff: float = 2.0
+    max_retries: int = 10
+
+    def __post_init__(self) -> None:
+        if self.timeout_ms < 0:
+            raise ValueError(f"timeout_ms must be >= 0, got {self.timeout_ms}")
+        if self.backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1, got {self.backoff}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+
+    def backoff_ms(self, attempt: int) -> float:
+        """Timeout charged after failed attempt number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        return self.timeout_ms * self.backoff ** (attempt - 1)
+
+
+@dataclass(frozen=True)
+class SlowdownSpec:
+    """Per-processor constant slowdown: with ``probability``, a processor
+    runs its ops ``factor``× slower for the whole run."""
+
+    probability: float = 0.0
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        _check_probability("slowdown.probability", self.probability)
+        if self.factor < 1.0:
+            raise ValueError(
+                f"slowdown.factor must be >= 1 (faults never speed a "
+                f"processor up), got {self.factor}"
+            )
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """Transient processor crash: with ``probability``, a processor rejects
+    its first 1..``max_failed_sends`` incoming send attempts."""
+
+    probability: float = 0.0
+    max_failed_sends: int = 3
+
+    def __post_init__(self) -> None:
+        _check_probability("crash.probability", self.probability)
+        if self.max_failed_sends < 1:
+            raise ValueError(
+                f"crash.max_failed_sends must be >= 1, got "
+                f"{self.max_failed_sends}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A complete fault plan (see module docstring for the taxonomy)."""
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    corrupt: float = 0.0
+    slowdown: SlowdownSpec = field(default_factory=SlowdownSpec)
+    crash: CrashSpec = field(default_factory=CrashSpec)
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "duplicate", "reorder", "corrupt"):
+            _check_probability(name, getattr(self, name))
+        if self.drop + self.corrupt >= 1.0:
+            raise ValueError(
+                "drop + corrupt must be < 1 so a send attempt can succeed "
+                f"(got {self.drop} + {self.corrupt})"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def any_faults(self) -> bool:
+        """True when this plan can actually perturb a run."""
+        return (
+            self.drop > 0
+            or self.duplicate > 0
+            or self.reorder > 0
+            or self.corrupt > 0
+            or (self.slowdown.probability > 0 and self.slowdown.factor > 1)
+            or self.crash.probability > 0
+        )
+
+    @classmethod
+    def disabled(cls) -> "FaultSpec":
+        """The all-zero plan (useful for overhead-only measurements)."""
+        return cls()
+
+    @classmethod
+    def lossy(cls, f: float = 0.05) -> "FaultSpec":
+        """A simple preset: rate ``f`` for drop and ``f/2`` for the rest —
+        the single-knob "failure rate" used to re-derive Tables 3–5."""
+        return cls(drop=f, duplicate=f / 2, reorder=f / 2, corrupt=f / 2)
+
+    # ------------------------------------------------------------------
+    # (de)serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, Any]) -> "FaultSpec":
+        """Build a spec from a plain mapping (e.g. parsed JSON).
+
+        Unknown keys are rejected so typos in a spec file fail loudly.
+        """
+        known = {"drop", "duplicate", "reorder", "corrupt", "slowdown", "crash", "retry"}
+        unknown = set(raw) - known
+        if unknown:
+            raise ValueError(
+                f"unknown fault-spec keys {sorted(unknown)}; known: {sorted(known)}"
+            )
+        kwargs: dict[str, Any] = {
+            k: float(raw[k])
+            for k in ("drop", "duplicate", "reorder", "corrupt")
+            if k in raw
+        }
+        if "slowdown" in raw:
+            kwargs["slowdown"] = SlowdownSpec(**dict(raw["slowdown"]))
+        if "crash" in raw:
+            kwargs["crash"] = CrashSpec(**dict(raw["crash"]))
+        if "retry" in raw:
+            kwargs["retry"] = RetryPolicy(**dict(raw["retry"]))
+        return cls(**kwargs)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultSpec":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "FaultSpec":
+        """Load a spec from a JSON file (the CLI's ``--faults`` argument)."""
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))

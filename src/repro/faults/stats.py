@@ -1,0 +1,89 @@
+"""Per-phase fault counters — what the injector did to a run.
+
+Kept deliberately free of machine imports (phases are passed in as enum
+members or strings and stored by their ``value``), so the stats layer can
+be consumed by reports without pulling in the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+__all__ = ["FaultStats", "COUNTER_KEYS"]
+
+#: every counter a run can accumulate, in reporting order
+COUNTER_KEYS = (
+    "attempts",      # send attempts that went onto the wire (incl. resends)
+    "retries",       # failed attempts that triggered a backoff + resend
+    "drops",         # frames lost on the wire
+    "corruptions",   # frames delivered corrupted and caught by checksum
+    "crash_drops",   # frames rejected by a transiently-crashed processor
+    "duplicates",    # duplicate deliveries discarded by sequence number
+    "reorders",      # deliveries that arrived out of order
+    "forced",        # deliveries forced after max_retries (escalation)
+)
+
+
+def _phase_key(phase: Any) -> str:
+    return getattr(phase, "value", str(phase))
+
+
+class FaultStats:
+    """Mutable per-phase counters, keyed ``phase value -> counter name``."""
+
+    def __init__(self) -> None:
+        self.by_phase: dict[str, dict[str, int]] = {}
+
+    def count(self, phase: Any, what: str, n: int = 1) -> None:
+        if what not in COUNTER_KEYS:
+            raise KeyError(f"unknown fault counter {what!r}; known: {COUNTER_KEYS}")
+        bucket = self.by_phase.setdefault(_phase_key(phase), dict.fromkeys(COUNTER_KEYS, 0))
+        bucket[what] += n
+
+    def get(self, phase: Any, what: str) -> int:
+        return self.by_phase.get(_phase_key(phase), {}).get(what, 0)
+
+    def total(self, what: str) -> int:
+        """One counter summed over all phases."""
+        return sum(bucket.get(what, 0) for bucket in self.by_phase.values())
+
+    @property
+    def retries(self) -> int:
+        return self.total("retries")
+
+    @property
+    def drops(self) -> int:
+        return self.total("drops")
+
+    @property
+    def corruptions(self) -> int:
+        return self.total("corruptions")
+
+    @property
+    def duplicates(self) -> int:
+        return self.total("duplicates")
+
+    def summary(self) -> dict[str, dict[str, int]]:
+        """A JSON-compatible snapshot (phases with no activity omitted)."""
+        return {
+            phase: {k: v for k, v in bucket.items() if v}
+            for phase, bucket in sorted(self.by_phase.items())
+            if any(bucket.values())
+        }
+
+    @staticmethod
+    def merge(summaries: list[Mapping[str, Mapping[str, int]]]) -> dict[str, dict[str, int]]:
+        """Combine several :meth:`summary` snapshots (e.g. across a table grid)."""
+        out: dict[str, dict[str, int]] = {}
+        for s in summaries:
+            for phase, bucket in s.items():
+                dst = out.setdefault(phase, {})
+                for k, v in bucket.items():
+                    dst[k] = dst.get(k, 0) + v
+        return out
+
+    def clear(self) -> None:
+        self.by_phase.clear()
+
+    def __repr__(self) -> str:
+        return f"FaultStats({self.summary()})"

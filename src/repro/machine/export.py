@@ -32,6 +32,18 @@ def trace_to_dict(trace: TraceLog) -> dict[str, Any]:
             "messages": bd.n_messages,
             "elements_sent": bd.elements_sent,
             "ops": bd.ops,
+            # fault-mode extras: omitted on fault-free traces so their
+            # serialisation is byte-identical to the pre-fault simulator
+            **(
+                {"retries": bd.n_retries, "retry_time_ms": bd.retry_time}
+                if bd.n_retries
+                else {}
+            ),
+            **(
+                {"faults": bd.n_faults, "faults_by_label": dict(sorted(bd.faults_by_label.items()))}
+                if bd.n_faults
+                else {}
+            ),
         }
     events = [
         {
@@ -66,6 +78,11 @@ def result_to_dict(result) -> dict[str, Any]:
         "locals": [
             {"shape": list(l.shape), "nnz": l.nnz} for l in result.locals_
         ],
+        **(
+            {"fault_summary": result.fault_summary}
+            if getattr(result, "fault_summary", None) is not None
+            else {}
+        ),
     }
 
 

@@ -23,16 +23,39 @@ physically handed to processor mailboxes, so correctness tests can assert
 what every processor ends up holding, and all charged quantities are
 derived from the actual buffers built — never from the closed-form
 formulas being validated.
+
+Reliable delivery (fault mode)
+------------------------------
+Attaching a :class:`~repro.faults.injector.FaultInjector` switches every
+send onto an ack/retry/timeout protocol (DESIGN.md §"Fault model"):
+
+* each attempt — original or resend — is charged the full
+  ``T_Startup + m·T_Data·hops`` message cost to the sender's timeline;
+* a failed attempt (drop, checksum-detected corruption, crashed receiver)
+  additionally charges the retry policy's exponential-backoff timeout as a
+  ``RETRY`` event and is recorded as a ``FAULT`` event;
+* delivered frames carry a sequence number (duplicate suppression) and a
+  CRC-32 checksum of their wire image; duplicates are discarded at the
+  receiver, reordered frames are inserted out of order in the mailbox;
+* failures per message are capped at ``retry.max_retries``, after which
+  delivery is forced — fault plans are eventually-delivered by contract,
+  so the final machine state always equals the fault-free run's.
+
+With ``faults=None`` (the default) none of this code runs: the trace and
+all charged costs are byte-identical to the fault-free simulator.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from .cost_model import CostModel, sp2_cost_model
 from .processor import Message, Processor
 from .topology import HOST, SwitchTopology, Topology
 from .trace import Event, EventKind, Phase, TraceLog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.injector import FaultInjector
 
 __all__ = ["Machine", "HOST"]
 
@@ -52,6 +75,11 @@ class Machine:
         Optional per-processor speed factors (ops complete ``speed×``
         faster).  Defaults to a homogeneous machine — the paper's setting;
         heterogeneous speeds back the speed-aware-partitioning ablation.
+    faults:
+        Optional :class:`~repro.faults.injector.FaultInjector`.  When
+        attached, all sends go through the reliable-delivery protocol
+        (see module docstring); when ``None`` the machine is the exact
+        fault-free simulator.
     """
 
     def __init__(
@@ -61,6 +89,7 @@ class Machine:
         cost: CostModel | None = None,
         topology: Topology | None = None,
         proc_speeds: list[float] | None = None,
+        faults: "FaultInjector | None" = None,
     ) -> None:
         if n_procs <= 0:
             raise ValueError(f"n_procs must be positive, got {n_procs}")
@@ -88,6 +117,11 @@ class Machine:
         #: messages sent back to the host (gather traffic), arrival order
         self.host_mailbox: list[Message] = []
         self.trace = TraceLog()
+        self.faults = faults
+        #: sequence numbers the host has accepted (duplicate suppression)
+        self._host_seen_seqs: set[int] = set()
+        if self.faults is not None:
+            self.faults.bind(n_procs)
 
     # ------------------------------------------------------------------
     # cost charging
@@ -108,9 +142,13 @@ class Machine:
         A processor with speed ``s`` takes ``1/s`` of the nominal
         ``T_Operation`` per op — the heterogeneous-cluster extension
         (uniform machines keep all speeds at 1, the paper's setting).
+        In fault mode an injected per-processor slowdown multiplies the
+        time by its (≥ 1) factor.
         """
         self._check_rank(rank)
         t = self.cost.ops_time(n_ops) / self.proc_speeds[rank]
+        if self.faults is not None:
+            t *= self.faults.slowdown_factor(rank)
         self.trace.record(
             Event(phase, EventKind.OPS, rank, t, quantity=int(n_ops), label=label)
         )
@@ -135,11 +173,19 @@ class Machine:
         model).  The payload object itself is handed over by reference;
         share-nothing discipline is the scheme author's responsibility and
         is checked by the test suite's aliasing tests.
+
+        In fault mode the send goes through the reliable-delivery
+        protocol; the returned time then covers all attempts plus backoff
+        waits.
         """
         self._check_rank(dst)
         if n_elements < 0:
             raise ValueError(f"n_elements must be non-negative, got {n_elements}")
         hops = max(self.topology.hops(src, dst), 1)
+        if self.faults is not None:
+            return self._reliable_transmit(
+                src, dst, payload, n_elements, phase, tag, hops, actor=src
+            )
         t = self.cost.message_time(n_elements, hops=hops)
         self.trace.record(
             Event(
@@ -176,6 +222,10 @@ class Machine:
         if n_elements < 0:
             raise ValueError(f"n_elements must be non-negative, got {n_elements}")
         hops = max(self.topology.hops(src, HOST), 1)
+        if self.faults is not None:
+            return self._reliable_transmit(
+                src, HOST, payload, n_elements, phase, tag, hops, actor=HOST
+            )
         t = self.cost.message_time(n_elements, hops=hops)
         self.trace.record(
             Event(
@@ -193,6 +243,212 @@ class Machine:
             Message(src=src, dst=HOST, tag=tag, payload=payload, n_elements=n_elements)
         )
         return t
+
+    # ------------------------------------------------------------------
+    # reliable delivery (fault mode only)
+    # ------------------------------------------------------------------
+    def _deliver(self, msg: Message, insert_at: int | None = None) -> bool:
+        """Hand a frame to its destination mailbox; False = duplicate."""
+        if msg.dst == HOST:
+            if msg.seq >= 0 and msg.seq in self._host_seen_seqs:
+                return False
+            if msg.seq >= 0:
+                self._host_seen_seqs.add(msg.seq)
+            if insert_at is None:
+                self.host_mailbox.append(msg)
+            else:
+                self.host_mailbox.insert(insert_at, msg)
+            return True
+        return self.procs[msg.dst].deliver(msg, insert_at=insert_at)
+
+    def _mailbox_len(self, dst: int) -> int:
+        return len(self.host_mailbox if dst == HOST else self.procs[dst].mailbox)
+
+    def _reliable_transmit(
+        self,
+        src: int,
+        dst: int,
+        payload: Any,
+        n_elements: int,
+        phase: Phase,
+        tag: str,
+        hops: int,
+        *,
+        actor: int,
+    ) -> float:
+        """Send with ack/retry/timeout semantics (see module docstring).
+
+        ``actor`` is the rank whose timeline advances — the sender for
+        host→processor traffic, the host for gather traffic (it receives
+        serially), matching the fault-free accounting.  Returns the total
+        time charged: every attempt costs the full message time, every
+        failure adds its exponential-backoff timeout.
+        """
+        from ..faults.checksum import corrupt_payload, payload_checksum
+        from ..faults.injector import Attempt
+
+        inj = self.faults
+        assert inj is not None
+        seq = inj.next_seq()
+        cksum = payload_checksum(payload)
+        corruptible = cksum is not None and n_elements > 0
+        policy = inj.spec.retry
+        total = 0.0
+        attempt = 0
+        while True:
+            attempt += 1
+            t = self.cost.message_time(n_elements, hops=hops)
+            self.trace.record(
+                Event(
+                    phase,
+                    EventKind.MESSAGE,
+                    actor,
+                    t,
+                    quantity=int(n_elements),
+                    label=tag,
+                    src=src,
+                    dst=dst,
+                )
+            )
+            total += t
+            inj.stats.count(phase, "attempts")
+            forced = attempt > policy.max_retries
+            outcome = (
+                Attempt.DELIVER
+                if forced
+                else inj.attempt_outcome(dst, corruptible=corruptible)
+            )
+            if outcome is Attempt.CORRUPT:
+                # the frame physically arrives bit-flipped; the receiving
+                # NIC recomputes the CRC, sees the mismatch and NACKs.
+                damaged = corrupt_payload(payload, inj.rng)
+                if damaged is None or payload_checksum(damaged) == cksum:
+                    outcome = Attempt.DELIVER  # nothing corruptible after all
+                else:
+                    inj.stats.count(phase, "corruptions")
+            if outcome is Attempt.DROP:
+                inj.stats.count(phase, "drops")
+            elif outcome is Attempt.CRASH:
+                inj.stats.count(phase, "crash_drops")
+            if outcome is not Attempt.DELIVER:
+                self.trace.record(
+                    Event(
+                        phase,
+                        EventKind.FAULT,
+                        actor,
+                        0.0,
+                        quantity=int(n_elements),
+                        label=outcome.value,
+                        src=src,
+                        dst=dst,
+                    )
+                )
+                backoff = policy.backoff_ms(attempt)
+                self.trace.record(
+                    Event(
+                        phase,
+                        EventKind.RETRY,
+                        actor,
+                        backoff,
+                        quantity=attempt,
+                        label=tag,
+                        src=src,
+                        dst=dst,
+                    )
+                )
+                total += backoff
+                inj.stats.count(phase, "retries")
+                continue
+            if forced:
+                inj.stats.count(phase, "forced")
+            msg = Message(
+                src=src,
+                dst=dst,
+                tag=tag,
+                payload=payload,
+                n_elements=n_elements,
+                seq=seq,
+                checksum=cksum,
+            )
+            insert_at = inj.reorder_insert(self._mailbox_len(dst))
+            if insert_at is not None:
+                inj.stats.count(phase, "reorders")
+                self.trace.record(
+                    Event(
+                        phase,
+                        EventKind.FAULT,
+                        actor,
+                        0.0,
+                        quantity=int(n_elements),
+                        label="reorder",
+                        src=src,
+                        dst=dst,
+                    )
+                )
+            self._deliver(msg, insert_at)
+            # the network may duplicate the delivered frame; the copy
+            # occupies the wire again and is discarded at the receiver.
+            if inj.should_duplicate():
+                t_dup = self.cost.message_time(n_elements, hops=hops)
+                self.trace.record(
+                    Event(
+                        phase,
+                        EventKind.MESSAGE,
+                        actor,
+                        t_dup,
+                        quantity=int(n_elements),
+                        label=tag,
+                        src=src,
+                        dst=dst,
+                    )
+                )
+                total += t_dup
+                inj.stats.count(phase, "attempts")
+                accepted = self._deliver(msg, None)
+                if not accepted:
+                    inj.stats.count(phase, "duplicates")
+                    self.trace.record(
+                        Event(
+                            phase,
+                            EventKind.FAULT,
+                            actor,
+                            0.0,
+                            quantity=int(n_elements),
+                            label="duplicate",
+                            src=src,
+                            dst=dst,
+                        )
+                    )
+            return total
+
+    def receive(
+        self, rank: int, tag: str | None = None, *, phase: Phase | None = None
+    ) -> Message:
+        """Pop processor ``rank``'s oldest message, verifying its checksum.
+
+        Fault-free machines simply forward to the processor's mailbox —
+        no extra events, no behaviour change.  In fault mode the receiver
+        additionally verifies the frame's CRC-32 against its wire image
+        (one scan op per element, charged to ``phase`` when given) and
+        raises :class:`~repro.faults.checksum.CorruptFrameError` on a
+        mismatch — which the reliable-delivery protocol guarantees never
+        happens unless someone mutated a delivered payload.
+        """
+        self._check_rank(rank)
+        msg = self.procs[rank].receive(tag)
+        if self.faults is not None and msg.checksum is not None:
+            from ..faults.checksum import CorruptFrameError, payload_checksum
+
+            if phase is not None:
+                self.charge_proc_ops(
+                    rank, msg.n_elements, phase, label="checksum-verify"
+                )
+            if payload_checksum(msg.payload) != msg.checksum:
+                raise CorruptFrameError(
+                    f"rank {rank}: frame seq={msg.seq} tag={msg.tag!r} failed "
+                    "checksum verification after delivery"
+                )
+        return msg
 
     def host_receive(self, tag: str | None = None) -> Message:
         """Pop the host's oldest message (optionally the oldest with ``tag``)."""
@@ -215,12 +471,25 @@ class Machine:
         return self.procs[rank]
 
     def reset(self) -> None:
-        """Clear all processor memories, mailboxes and the trace."""
+        """Clear all processor memories, mailboxes and the trace.
+
+        An attached fault injector is rewound to its initial seeded state,
+        so ``run → reset → run`` replays the identical fault sequence.
+        """
         for p in self.procs:
             p.reset()
         self.host_memory.clear()
         self.host_mailbox.clear()
+        self._host_seen_seqs.clear()
         self.trace.clear()
+        if self.faults is not None:
+            self.faults.reset()
+
+    def fault_summary(self) -> dict[str, dict[str, int]] | None:
+        """Per-phase fault counters, or ``None`` on a fault-free machine."""
+        if self.faults is None:
+            return None
+        return self.faults.stats.summary()
 
     # convenience accessors mirroring the paper's reported quantities -----
     @property

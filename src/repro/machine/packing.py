@@ -44,6 +44,13 @@ class PackedBuffer:
         """Wire size in elements (what the network charges ``T_Data`` for)."""
         return int(len(self.data))
 
+    @property
+    def checksum(self) -> int:
+        """CRC-32 of the wire bytes (the reliable-delivery frame check)."""
+        from ..faults.checksum import wire_checksum
+
+        return wire_checksum(self.data)
+
     @classmethod
     def pack(
         cls, arrays: Mapping[str, np.ndarray], order: Sequence[str] | None = None

@@ -5,6 +5,13 @@ processor holds lives in its :attr:`memory` dict and everything it learns
 arrives through :meth:`deliver`.  Scheme code running "on" a processor is
 ordinary Python that only touches that processor's memory — the machine
 enforces the discipline, the cost model charges the time.
+
+Reliable-delivery support (used only when a
+:class:`~repro.faults.injector.FaultInjector` is attached to the machine):
+messages carry a sequence number and a wire checksum; :meth:`deliver`
+discards duplicate sequence numbers (the receiver side of at-least-once
+delivery) and can insert a frame out of order to model network reordering.
+Fault-free messages keep ``seq = -1`` and skip all of that.
 """
 
 from __future__ import annotations
@@ -17,13 +24,23 @@ __all__ = ["Message", "Processor"]
 
 @dataclass(frozen=True)
 class Message:
-    """An in-flight message: source, tag and an opaque payload."""
+    """An in-flight message: source, tag and an opaque payload.
+
+    ``seq`` and ``checksum`` belong to the reliable-delivery protocol:
+    ``seq`` is a machine-wide sequence number used for duplicate
+    suppression (``-1`` = unsequenced, fault-free traffic) and
+    ``checksum`` is the CRC-32 of the payload's wire image computed at
+    send time (``None`` when the payload has no wire image or faults are
+    off).
+    """
 
     src: int
     dst: int
     tag: str
     payload: Any
     n_elements: int
+    seq: int = -1
+    checksum: int | None = None
 
 
 class Processor:
@@ -37,13 +54,30 @@ class Processor:
         self.memory: dict[str, Any] = {}
         #: received, not-yet-consumed messages in arrival order
         self.mailbox: list[Message] = []
+        #: sequence numbers already accepted (duplicate suppression)
+        self.seen_seqs: set[int] = set()
 
-    def deliver(self, message: Message) -> None:
+    def deliver(self, message: Message, *, insert_at: int | None = None) -> bool:
+        """Accept ``message`` into the mailbox.
+
+        Returns ``True`` if the message was enqueued, ``False`` if it was
+        a duplicate (its sequence number was already accepted) and was
+        discarded.  ``insert_at`` places the frame out of order — the
+        reordering fault; ``None`` appends (in-order arrival).
+        """
         if message.dst != self.rank:
             raise ValueError(
                 f"message for rank {message.dst} delivered to rank {self.rank}"
             )
-        self.mailbox.append(message)
+        if message.seq >= 0:
+            if message.seq in self.seen_seqs:
+                return False  # duplicate frame: drop silently
+            self.seen_seqs.add(message.seq)
+        if insert_at is None:
+            self.mailbox.append(message)
+        else:
+            self.mailbox.insert(insert_at, message)
+        return True
 
     def receive(self, tag: str | None = None) -> Message:
         """Pop the oldest message (optionally the oldest with ``tag``)."""
@@ -66,6 +100,7 @@ class Processor:
     def reset(self) -> None:
         self.memory.clear()
         self.mailbox.clear()
+        self.seen_seqs.clear()
 
     def __repr__(self) -> str:
         return (

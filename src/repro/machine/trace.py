@@ -37,7 +37,9 @@ class Phase(enum.Enum):
 
 class EventKind(enum.Enum):
     OPS = "ops"          # elementary operations on array elements
-    MESSAGE = "message"  # one send/receive pair
+    MESSAGE = "message"  # one send/receive pair (original or resend)
+    RETRY = "retry"      # a failed attempt's timeout/backoff wait (fault mode)
+    FAULT = "fault"      # an injected fault observation (drop/corrupt/...)
 
 
 @dataclass(frozen=True)
@@ -61,13 +63,22 @@ class Event:
 
 @dataclass
 class PhaseBreakdown:
-    """Aggregated times for one phase."""
+    """Aggregated times for one phase.
+
+    The fault-mode fields (``n_retries``, ``retry_time``, ``n_faults``,
+    ``faults_by_label``) stay at their zero defaults on fault-free runs —
+    the trace then contains no ``RETRY``/``FAULT`` events at all.
+    """
 
     host_time: float = 0.0
     proc_times: dict[int, float] = field(default_factory=dict)
     n_messages: int = 0
     elements_sent: int = 0
     ops: int = 0
+    n_retries: int = 0
+    retry_time: float = 0.0
+    n_faults: int = 0
+    faults_by_label: dict[str, int] = field(default_factory=dict)
 
     @property
     def max_proc_time(self) -> float:
@@ -102,8 +113,16 @@ class TraceLog:
             if e.kind is EventKind.MESSAGE:
                 out.n_messages += 1
                 out.elements_sent += e.quantity
-            else:
+            elif e.kind is EventKind.OPS:
                 out.ops += e.quantity
+            elif e.kind is EventKind.RETRY:
+                out.n_retries += 1
+                out.retry_time += e.time
+            elif e.kind is EventKind.FAULT:
+                out.n_faults += 1
+                out.faults_by_label[e.label] = (
+                    out.faults_by_label.get(e.label, 0) + 1
+                )
         return out
 
     def elapsed(self, phase: Phase) -> float:

@@ -12,6 +12,8 @@ from dataclasses import dataclass, field
 
 from ..core.base import CompressedLocal, SchemeResult
 from ..core.registry import get_compression, get_partition, get_scheme
+from ..faults.injector import FaultInjector
+from ..faults.spec import FaultSpec
 from ..machine.cost_model import CostModel, sp2_cost_model
 from ..machine.machine import Machine
 from ..machine.topology import Topology
@@ -33,17 +35,22 @@ def run_scheme(
     cost: CostModel | None = None,
     topology: Topology | None = None,
     plan: PartitionPlan | None = None,
+    faults: FaultSpec | None = None,
+    fault_seed: int = 0,
 ) -> SchemeResult:
     """Run one scheme on a fresh simulated machine.
 
     Parameters mirror the paper's experimental knobs.  ``plan`` overrides
     ``partition``/``n_procs`` when a pre-built (e.g. bin-packing) plan is
-    wanted.
+    wanted.  ``faults`` attaches a deterministic fault injector (seeded
+    with ``fault_seed``); the result's ``fault_summary`` then reports what
+    the injector did and all retries are charged through the cost model.
     """
     if plan is None:
         method = partition if isinstance(partition, PartitionMethod) else get_partition(partition)
         plan = method.plan(matrix.shape, n_procs)
-    machine = Machine(plan.n_procs, cost=cost, topology=topology)
+    injector = FaultInjector(faults, seed=fault_seed) if faults is not None else None
+    machine = Machine(plan.n_procs, cost=cost, topology=topology, faults=injector)
     comp: type[CompressedLocal] = get_compression(compression)
     return get_scheme(scheme).run(machine, matrix, plan, comp)
 
@@ -54,6 +61,8 @@ class ExperimentConfig:
 
     ``mesh_shape`` selects an explicit processor mesh for the ``mesh2d``
     partition (``None`` = most-square factorisation of ``n_procs``).
+    ``faults``/``fault_seed`` re-derive the cell under a fault plan — the
+    reliability-vs-cost extension (DESIGN.md §"Fault model").
     """
 
     scheme: str
@@ -65,6 +74,8 @@ class ExperimentConfig:
     seed: int = 0
     mesh_shape: tuple[int, int] | None = None
     cost: CostModel = field(default_factory=sp2_cost_model)
+    faults: FaultSpec | None = None
+    fault_seed: int = 0
 
     def make_matrix(self) -> COOMatrix:
         """The test sample for this cell (paper: n×n, fixed sparse ratio)."""
@@ -87,4 +98,6 @@ def run_config(config: ExperimentConfig, matrix: COOMatrix | None = None) -> Sch
         n_procs=config.n_procs,
         compression=config.compression,
         cost=config.cost,
+        faults=config.faults,
+        fault_seed=config.fault_seed,
     )

@@ -17,6 +17,8 @@ from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
 from ..core.base import SchemeResult
+from ..faults.spec import FaultSpec
+from ..faults.stats import FaultStats
 from ..machine.cost_model import CostModel, sp2_cost_model
 from .driver import ExperimentConfig, run_config
 from .paper_results import PAPER_TABLES, TABLE3_SIZES, TABLE5_SIZES
@@ -109,6 +111,13 @@ class TableReproduction:
         """Remark 4 / Conclusion 3: ED total below CFS total."""
         return self.t(p, "ed", n, "t_total") < self.t(p, "cfs", n, "t_total")
 
+    def fault_totals(self) -> dict[str, dict[str, int]]:
+        """Fault counters merged over every cell of the grid (empty when
+        the grid ran fault-free)."""
+        return FaultStats.merge(
+            [r.fault_summary for r in self.cells.values() if r.fault_summary]
+        )
+
 
 def reproduce_table(
     table_id: str,
@@ -119,8 +128,16 @@ def reproduce_table(
     cost: CostModel | None = None,
     seed: int = 2002,
     schemes: Iterable[str] = SCHEMES_ORDER,
+    faults: FaultSpec | None = None,
+    fault_seed: int = 0,
 ) -> TableReproduction:
-    """Rerun one published table's grid on the simulated machine."""
+    """Rerun one published table's grid on the simulated machine.
+
+    ``faults`` re-derives the whole grid under a fault plan (every cell
+    gets a fresh injector seeded with ``fault_seed`` so cells stay
+    independent and reproducible) — the "Tables 3–5 under a failure rate
+    f" extension.
+    """
     spec = TABLE_SPECS[table_id]
     sizes = tuple(sizes) if sizes is not None else spec.sizes
     proc_counts = tuple(proc_counts) if proc_counts is not None else spec.proc_counts
@@ -151,6 +168,8 @@ def reproduce_table(
                     seed=base.seed,
                     mesh_shape=base.mesh_shape,
                     cost=cost,
+                    faults=faults,
+                    fault_seed=fault_seed,
                 )
                 repro.cells[(p, scheme, n)] = run_config(cfg, matrix)
     return repro

@@ -9,6 +9,28 @@ from repro.machine import Machine, unit_cost_model
 from repro.partition import ColumnPartition, Mesh2DPartition, RowPartition
 from repro.sparse import COOMatrix, random_sparse
 
+try:  # hypothesis profiles for the chaos suite (dev fast, CI thorough)
+    from hypothesis import HealthCheck, settings as hyp_settings
+
+    hyp_settings.register_profile(
+        "ci",
+        max_examples=200,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+        derandomize=True,
+    )
+    hyp_settings.register_profile(
+        "dev",
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    # no load_profile here: the default profile keeps its stock settings
+    # for the pre-existing property suites; select with
+    # `--hypothesis-profile=ci` (the CI chaos job) or `=dev` (quick local).
+except ImportError:  # pragma: no cover - hypothesis is a test dependency
+    pass
+
 
 @pytest.fixture
 def rng():

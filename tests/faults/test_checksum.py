@@ -1,0 +1,96 @@
+"""Wire checksums: every wire buffer kind, bit-flip detection, corruption."""
+
+import numpy as np
+import pytest
+
+from repro.core import EncodedBuffer, ConversionSpec
+from repro.faults import (
+    corrupt_payload,
+    payload_checksum,
+    payload_wire_data,
+    wire_checksum,
+)
+from repro.machine import PackedBuffer
+from repro.sparse import COOMatrix, random_sparse
+
+
+def make_packed():
+    buf, _ = PackedBuffer.pack(
+        {
+            "RO": np.array([0, 2, 3], dtype=np.int64),
+            "CO": np.array([1, 4, 2], dtype=np.int64),
+            "VL": np.array([1.5, -2.0, 3.25]),
+        },
+        order=("RO", "CO", "VL"),
+    )
+    return buf
+
+
+def make_encoded():
+    local = random_sparse((6, 6), 0.3, seed=11)
+    buf, _ = EncodedBuffer.encode(local, "crs", ConversionSpec(kind="none"))
+    return buf
+
+
+class TestWireChecksum:
+    def test_deterministic(self):
+        data = np.arange(16, dtype=np.float64)
+        assert wire_checksum(data) == wire_checksum(data.copy())
+
+    def test_any_single_bit_flip_changes_checksum(self):
+        data = np.arange(8, dtype=np.float64)
+        base = wire_checksum(data)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            flipped = corrupt_payload(data, rng)
+            assert wire_checksum(flipped) != base
+
+    def test_empty_buffer_has_a_checksum_but_cannot_be_corrupted(self):
+        empty = np.empty(0, dtype=np.float64)
+        assert isinstance(wire_checksum(empty), int)
+        assert corrupt_payload(empty, np.random.default_rng(0)) is None
+
+    def test_opaque_payload_has_no_wire_image(self):
+        assert payload_wire_data({"not": "wire"}) is None
+        assert payload_checksum(object()) is None
+        assert corrupt_payload(object(), np.random.default_rng(0)) is None
+
+
+class TestBufferChecksums:
+    def test_packed_buffer_checksum_property(self):
+        buf = make_packed()
+        assert buf.checksum == wire_checksum(buf.data)
+        assert payload_checksum(buf) == buf.checksum
+
+    def test_encoded_buffer_checksum_property(self):
+        buf = make_encoded()
+        assert buf.checksum == wire_checksum(buf.data)
+        assert payload_checksum(buf) == buf.checksum
+
+    def test_dense_block_checksum(self):
+        dense = random_sparse((5, 7), 0.4, seed=3).to_dense()
+        assert payload_checksum(dense) == wire_checksum(np.ascontiguousarray(dense).reshape(-1))
+
+    @pytest.mark.parametrize("maker", [make_packed, make_encoded])
+    def test_corruption_leaves_original_untouched(self, maker):
+        buf = maker()
+        before = buf.data.copy()
+        damaged = corrupt_payload(buf, np.random.default_rng(5))
+        assert damaged is not buf
+        assert np.array_equal(buf.data, before)
+        assert not np.array_equal(
+            damaged.data.view(np.uint8), buf.data.view(np.uint8)
+        )
+        assert damaged.checksum != buf.checksum
+
+    def test_corrupted_packed_buffer_keeps_layout(self):
+        buf = make_packed()
+        damaged = corrupt_payload(buf, np.random.default_rng(9))
+        assert damaged.layout == buf.layout
+        assert damaged.n_elements == buf.n_elements
+
+    def test_corrupt_dense_block_preserves_shape(self):
+        dense = np.ones((4, 5))
+        damaged = corrupt_payload(dense, np.random.default_rng(1))
+        assert damaged.shape == dense.shape
+        assert wire_checksum(damaged.reshape(-1)) != wire_checksum(dense.reshape(-1))

@@ -1,0 +1,129 @@
+"""Determinism guarantees of the fault layer.
+
+Two contracts, both acceptance criteria of the fault-injection PR:
+
+1. **Injector off ⇒ byte-identical to the pre-fault simulator.**  The
+   ``fixtures/golden_traces.json`` fixture was generated from the
+   simulator *before* the fault layer existed (Table 3–5 style
+   configurations across all three schemes, partitions and both
+   compressions); a fault-free machine must reproduce every event and
+   every phase cost exactly.
+
+2. **Same fault seed ⇒ identical trace and identical charged costs.**
+   Running the same scheme twice with the same ``(spec, seed)`` must
+   replay the exact same event sequence.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import get_compression, get_partition, get_scheme
+from repro.faults import FaultInjector, FaultSpec
+from repro.machine import Machine, sp2_cost_model, trace_to_dict
+from repro.sparse import random_sparse
+
+FIXTURE = Path(__file__).parent / "fixtures" / "golden_traces.json"
+
+#: (scheme, partition, compression, n, p) — must match the generator that
+#: produced the fixture (see the fixture's sibling test for regeneration).
+GOLDEN_CONFIGS = [
+    ("sfc", "row", "crs", 200, 4),
+    ("cfs", "row", "crs", 200, 4),
+    ("ed", "row", "crs", 200, 4),
+    ("sfc", "column", "crs", 200, 4),
+    ("cfs", "column", "crs", 200, 4),
+    ("ed", "column", "crs", 200, 4),
+    ("sfc", "mesh2d", "crs", 120, 4),
+    ("cfs", "mesh2d", "crs", 120, 4),
+    ("ed", "mesh2d", "crs", 120, 4),
+    ("cfs", "row", "ccs", 200, 4),
+    ("ed", "row", "ccs", 200, 4),
+]
+
+
+def run_one(scheme, partition, compression, n, p, *, faults=None):
+    matrix = random_sparse((n, n), 0.1, seed=2002 + n + 131 * p)
+    plan = get_partition(partition).plan(matrix.shape, p)
+    machine = Machine(p, cost=sp2_cost_model(), faults=faults)
+    result = get_scheme(scheme).run(
+        machine, matrix, plan, get_compression(compression)
+    )
+    return machine, result
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(FIXTURE, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+class TestGoldenTraces:
+    """Faults disabled ⇒ trace and costs byte-identical to pre-PR output."""
+
+    @pytest.mark.parametrize(
+        "scheme,partition,compression,n,p",
+        GOLDEN_CONFIGS,
+        ids=[f"{s}-{pt}-{c}-n{n}-p{p}" for s, pt, c, n, p in GOLDEN_CONFIGS],
+    )
+    def test_trace_matches_golden(self, golden, scheme, partition, compression, n, p):
+        key = f"{scheme}-{partition}-{compression}-n{n}-p{p}"
+        machine, result = run_one(scheme, partition, compression, n, p)
+        assert trace_to_dict(machine.trace) == golden[key]["trace"]
+        assert result.t_distribution == golden[key]["t_distribution"]
+        assert result.t_compression == golden[key]["t_compression"]
+        assert result.fault_summary is None
+
+    def test_fixture_covers_all_configs(self, golden):
+        keys = {f"{s}-{pt}-{c}-n{n}-p{p}" for s, pt, c, n, p in GOLDEN_CONFIGS}
+        assert keys == set(golden)
+
+
+def event_tuples(machine):
+    return [
+        (e.phase.value, e.kind.value, e.actor, e.time, e.quantity, e.label, e.src, e.dst)
+        for e in machine.trace.events
+    ]
+
+
+class TestFaultSeedDeterminism:
+    SPEC = FaultSpec.lossy(0.2)
+
+    @pytest.mark.parametrize("scheme", ["sfc", "cfs", "ed"])
+    def test_same_seed_identical_trace_and_costs(self, scheme):
+        runs = []
+        for _ in range(2):
+            machine, result = run_one(
+                scheme, "row", "crs", 100, 4,
+                faults=FaultInjector(self.SPEC, seed=99),
+            )
+            runs.append((event_tuples(machine), result.t_distribution,
+                         result.t_compression, result.fault_summary))
+        assert runs[0] == runs[1]
+
+    def test_different_seed_diverges(self):
+        # high enough fault rates that two seeds virtually never coincide
+        spec = FaultSpec.lossy(0.4)
+        a, _ = run_one("cfs", "row", "crs", 100, 4, faults=FaultInjector(spec, seed=1))
+        b, _ = run_one("cfs", "row", "crs", 100, 4, faults=FaultInjector(spec, seed=2))
+        assert event_tuples(a) != event_tuples(b)
+
+    def test_zero_spec_injector_changes_costs_only_by_checksum_overhead(self):
+        """An attached all-zero spec fires no faults: same messages, same
+        locals; only the (documented) checksum-verify ops are added."""
+        clean_m, clean_r = run_one("ed", "row", "crs", 100, 4)
+        inj_m, inj_r = run_one(
+            "ed", "row", "crs", 100, 4,
+            faults=FaultInjector(FaultSpec.disabled(), seed=0),
+        )
+        clean_bd = clean_r.distribution_breakdown
+        inj_bd = inj_r.distribution_breakdown
+        assert inj_bd.n_messages == clean_bd.n_messages
+        assert inj_bd.elements_sent == clean_bd.elements_sent
+        assert inj_bd.n_retries == 0 and inj_bd.n_faults == 0
+        assert inj_r.fault_summary is not None
+        for a, b in zip(clean_r.locals_, inj_r.locals_):
+            assert a.shape == b.shape and a.nnz == b.nnz
+        extra = [e for e in inj_m.trace.events if e.label == "checksum-verify"]
+        assert len(extra) == 4  # one verification per receiving processor

@@ -1,0 +1,209 @@
+"""Edge cases under fault injection: zero-nnz locals, empty blocks, and the
+non-contiguous ("general") index-conversion fallback.
+
+The paper's Cases 3.x.1–3.x.3 all assume contiguous block ownership and at
+least a few nonzeros per processor.  The fault layer must not disturb either
+degenerate end:
+
+* matrices with **zero nonzeros** (every CO/VL wire segment empty) and
+  partitions where some processor owns **no rows/columns at all** must
+  still round-trip through the reliable-delivery protocol — empty wire
+  buffers are not corruptible, so the injector's CORRUPT outcome has to
+  downgrade to a clean delivery rather than stall the retry loop;
+* the **block-cyclic** partitions (``paper_case_label(...) == "general"``)
+  route received global indices through the gather-map fallback
+  (``ConversionSpec(kind="map")``, src/repro/core/index_conversion.py) —
+  chaos must leave that path's results identical to the fault-free run too.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConversionSpec,
+    LOCAL_KEY,
+    conversion_for,
+    get_compression,
+    get_scheme,
+    paper_case_label,
+)
+from repro.faults import FaultInjector, FaultSpec
+from repro.faults.spec import RetryPolicy
+from repro.partition import (
+    BlockCyclicColumnPartition,
+    BlockCyclicRowPartition,
+    RowPartition,
+)
+from repro.runtime import verify_all_schemes_agree
+from repro.sparse import random_sparse
+
+ALL_SCHEMES = ["sfc", "cfs", "ed"]
+
+#: every fault class enabled, hot enough to fire on small traffic
+CHAOS = FaultSpec(
+    drop=0.3,
+    duplicate=0.2,
+    reorder=0.2,
+    corrupt=0.3,
+    retry=RetryPolicy(timeout_ms=0.01, backoff=2.0, max_retries=6),
+)
+
+
+def run_pair(scheme, matrix, plan, compression, *, spec=CHAOS, seed=7):
+    """(fault-free result, chaotic machine, chaotic result) on one problem."""
+    from repro.machine import Machine, sp2_cost_model
+
+    clean_m = Machine(plan.n_procs, cost=sp2_cost_model())
+    clean = get_scheme(scheme).run(
+        clean_m, matrix, plan, get_compression(compression)
+    )
+    chaos_m = Machine(
+        plan.n_procs,
+        cost=sp2_cost_model(),
+        faults=FaultInjector(spec, seed=seed),
+    )
+    chaotic = get_scheme(scheme).run(
+        chaos_m, matrix, plan, get_compression(compression)
+    )
+    return clean, chaos_m, chaotic
+
+
+def assert_locals_match(clean, chaotic):
+    assert len(clean.locals_) == len(chaotic.locals_)
+    for a, b in zip(clean.locals_, chaotic.locals_):
+        assert a.shape == b.shape
+        np.testing.assert_array_equal(a.indptr, b.indptr)
+        np.testing.assert_array_equal(a.indices, b.indices)
+        np.testing.assert_array_equal(a.values, b.values)
+
+
+class TestZeroNnzUnderFaults:
+    """An all-zero matrix: every CO/VL wire segment is empty."""
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    @pytest.mark.parametrize("compression", ["crs", "ccs"])
+    def test_empty_matrix_distributes_identically(self, scheme, compression):
+        matrix = random_sparse((9, 7), 0.0, seed=1)
+        assert matrix.nnz == 0
+        plan = RowPartition().plan(matrix.shape, 3)
+        clean, machine, chaotic = run_pair(scheme, matrix, plan, compression)
+        assert_locals_match(clean, chaotic)
+        for local in chaotic.locals_:
+            assert local.nnz == 0
+        assert chaotic.t_total >= clean.t_total
+
+    def test_corrupt_downgrades_on_empty_wire_payload(self):
+        """A corrupt-only spec cannot stall delivery of empty payloads:
+        the machine downgrades CORRUPT to DELIVER when there is nothing
+        to flip, so an all-empty buffer lands on the first attempt."""
+        from repro.machine import Machine, Phase, unit_cost_model
+
+        spec = FaultSpec(corrupt=0.95, retry=RetryPolicy(timeout_ms=0.0))
+        m = Machine(
+            2, cost=unit_cost_model(), faults=FaultInjector(spec, seed=3)
+        )
+        empty = np.empty((0, 4))  # dense block of a rank owning no rows
+        for i in range(20):
+            m.send(0, empty, 0, Phase.DISTRIBUTION, tag=f"t{i}")
+        stats = m.faults.stats
+        assert len(m.procs[0].mailbox) == 20
+        # every CORRUPT draw was downgraded: nothing retried, nothing forced
+        assert stats.total("corruptions") == 0
+        assert stats.total("retries") == 0
+        assert stats.total("forced") == 0
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_corrupt_heavy_zero_nnz_run_still_converges(self, scheme):
+        """Zero-nnz wire traffic under a 95% corruption rate: the checksum
+        protocol must still hand every processor its (empty) local array."""
+        matrix = random_sparse((6, 6), 0.0, seed=2)
+        plan = RowPartition().plan(matrix.shape, 6)  # single-row blocks
+        spec = FaultSpec(corrupt=0.95, retry=RetryPolicy(timeout_ms=0.0))
+        clean, machine, chaotic = run_pair(
+            scheme, matrix, plan, "crs", spec=spec, seed=3
+        )
+        assert_locals_match(clean, chaotic)
+        assert chaotic.t_total >= clean.t_total
+
+    def test_zero_nnz_schemes_agree_under_chaos(self):
+        matrix = random_sparse((8, 8), 0.0, seed=4)
+        plan = RowPartition().plan(matrix.shape, 4)
+        results = [
+            run_pair(s, matrix, plan, "crs", seed=10 + i)[2]
+            for i, s in enumerate(ALL_SCHEMES)
+        ]
+        verify_all_schemes_agree(results)
+
+
+class TestEmptyBlocksUnderFaults:
+    """More processors than rows: some processors own nothing at all."""
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    @pytest.mark.parametrize("compression", ["crs", "ccs"])
+    def test_processor_with_no_rows_survives_chaos(self, scheme, compression):
+        matrix = random_sparse((3, 10), 0.5, seed=5)
+        plan = RowPartition().plan(matrix.shape, 5)  # ranks 3, 4 get no rows
+        empties = [a.rank for a in plan if a.local_shape[0] == 0]
+        assert empties, "expected at least one empty assignment"
+        clean, machine, chaotic = run_pair(scheme, matrix, plan, compression)
+        assert_locals_match(clean, chaotic)
+        for rank in empties:
+            local = chaotic.locals_[rank]
+            assert local.nnz == 0 and local.shape[0] == 0
+            stored = machine.processor(rank).load(LOCAL_KEY)
+            assert stored.nnz == 0
+
+    def test_empty_assignment_conversion_is_free(self):
+        plan = RowPartition().plan((3, 10), 5)
+        empty = [a for a in plan if a.local_shape[0] == 0][0]
+        # zero owned rows, contiguous by convention -> offset 0 -> "none"
+        assert conversion_for(empty, "ccs").kind == "none"
+
+
+class TestGeneralConversionFallback:
+    """Block-cyclic ownership: no single offset exists -> gather-map path."""
+
+    @pytest.mark.parametrize("scheme", ["cfs", "ed"])
+    @pytest.mark.parametrize(
+        "partition,compression",
+        [
+            (BlockCyclicRowPartition(2), "ccs"),   # rows scattered -> map
+            (BlockCyclicColumnPartition(3), "crs"),  # cols scattered -> map
+        ],
+    )
+    def test_map_conversion_survives_chaos(self, scheme, partition, compression):
+        matrix = random_sparse((12, 12), 0.3, seed=6)
+        plan = partition.plan(matrix.shape, 3)
+        # precondition: this really is the non-contiguous fallback
+        kinds = {conversion_for(a, compression).kind for a in plan}
+        assert "map" in kinds
+        assert paper_case_label(plan.method, compression, scheme) == "general"
+        clean, machine, chaotic = run_pair(scheme, matrix, plan, compression)
+        assert_locals_match(clean, chaotic)
+        assert chaotic.t_total >= clean.t_total
+
+    def test_all_schemes_agree_on_block_cyclic_under_chaos(self):
+        matrix = random_sparse((14, 9), 0.25, seed=8)
+        plan = BlockCyclicRowPartition(1).plan(matrix.shape, 4)
+        results = [
+            run_pair(s, matrix, plan, "ccs", seed=20 + i)[2]
+            for i, s in enumerate(ALL_SCHEMES)
+        ]
+        verify_all_schemes_agree(results)
+
+    def test_map_spec_handles_empty_index_sets(self):
+        """Degenerate gather maps: no owned ids and no received indices."""
+        empty_ids = ConversionSpec(kind="map", global_ids=np.empty(0, np.int64))
+        out = empty_ids.to_local(np.empty(0, np.int64))
+        assert out.size == 0
+        assert empty_ids.to_global(np.empty(0, np.int64)).size == 0
+        some = ConversionSpec(kind="map", global_ids=np.array([4, 9]))
+        assert some.to_local(np.empty(0, np.int64)).size == 0
+
+    def test_block_cyclic_zero_nnz_chaos(self):
+        """Both edges at once: scattered ownership *and* an empty matrix."""
+        matrix = random_sparse((10, 10), 0.0, seed=9)
+        plan = BlockCyclicRowPartition(2).plan(matrix.shape, 3)
+        for scheme in ALL_SCHEMES:
+            clean, _, chaotic = run_pair(scheme, matrix, plan, "ccs")
+            assert_locals_match(clean, chaotic)

@@ -1,0 +1,116 @@
+"""FaultInjector: deterministic decision streams, per-rank state, stats."""
+
+import numpy as np
+import pytest
+
+from repro.faults import Attempt, FaultInjector, FaultSpec, FaultStats
+from repro.faults.spec import CrashSpec, SlowdownSpec
+
+
+def outcome_stream(injector, n=200, dst=0):
+    return [injector.attempt_outcome(dst, corruptible=True) for _ in range(n)]
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        spec = FaultSpec(drop=0.3, corrupt=0.2)
+        a = FaultInjector(spec, seed=17)
+        b = FaultInjector(spec, seed=17)
+        a.bind(4), b.bind(4)
+        assert outcome_stream(a) == outcome_stream(b)
+
+    def test_different_seed_different_stream(self):
+        spec = FaultSpec(drop=0.3, corrupt=0.2)
+        a, b = FaultInjector(spec, seed=1), FaultInjector(spec, seed=2)
+        a.bind(4), b.bind(4)
+        assert outcome_stream(a) != outcome_stream(b)
+
+    def test_reset_replays_identically(self):
+        spec = FaultSpec(drop=0.3, duplicate=0.3, reorder=0.3)
+        inj = FaultInjector(spec, seed=5)
+        inj.bind(3)
+        first = outcome_stream(inj, 50) + [inj.should_duplicate() for _ in range(50)]
+        inj.reset()
+        second = outcome_stream(inj, 50) + [inj.should_duplicate() for _ in range(50)]
+        assert first == second
+        assert inj.stats.summary() == {}
+
+    def test_seq_numbers_monotonic_and_reset(self):
+        inj = FaultInjector(FaultSpec(), seed=0)
+        assert [inj.next_seq() for _ in range(3)] == [0, 1, 2]
+        inj.reset()
+        assert inj.next_seq() == 0
+
+
+class TestOutcomes:
+    def test_zero_spec_always_delivers(self):
+        inj = FaultInjector(FaultSpec(), seed=0)
+        inj.bind(2)
+        assert set(outcome_stream(inj, 100)) == {Attempt.DELIVER}
+        assert not inj.should_duplicate()
+        assert inj.reorder_insert(5) is None
+
+    def test_drop_rate_roughly_matches_probability(self):
+        inj = FaultInjector(FaultSpec(drop=0.4), seed=3)
+        inj.bind(1)
+        outs = outcome_stream(inj, 2000)
+        rate = outs.count(Attempt.DROP) / len(outs)
+        assert 0.33 < rate < 0.47
+
+    def test_uncorruptible_attempts_never_corrupt(self):
+        inj = FaultInjector(FaultSpec(corrupt=0.9), seed=0)
+        inj.bind(1)
+        outs = [inj.attempt_outcome(0, corruptible=False) for _ in range(200)]
+        assert Attempt.CORRUPT not in outs
+
+    def test_crash_budget_consumed_then_recovers(self):
+        spec = FaultSpec(crash=CrashSpec(probability=0.999999999, max_failed_sends=3))
+        inj = FaultInjector(spec, seed=1)
+        inj.bind(1)
+        budget = inj._crash_budget[0]
+        assert 1 <= budget <= 3
+        outs = [inj.attempt_outcome(0, corruptible=True) for _ in range(budget + 5)]
+        assert outs[:budget] == [Attempt.CRASH] * budget
+        assert Attempt.CRASH not in outs[budget:]
+
+    def test_slowdown_factors_sampled_per_rank(self):
+        spec = FaultSpec(slowdown=SlowdownSpec(probability=0.5, factor=3.0))
+        inj = FaultInjector(spec, seed=8)
+        inj.bind(64)
+        factors = {inj.slowdown_factor(r) for r in range(64)}
+        assert factors == {1.0, 3.0}  # some slowed, some nominal at p=0.5
+        # unbound ranks are nominal
+        assert inj.slowdown_factor(1000) == 1.0
+
+    def test_reorder_insert_bounds(self):
+        inj = FaultInjector(FaultSpec(reorder=1.0 - 1e-12), seed=0)
+        inj.bind(1)
+        assert inj.reorder_insert(0) is None  # nothing to overtake
+        for _ in range(50):
+            pos = inj.reorder_insert(4)
+            assert pos is not None and 0 <= pos < 4
+
+
+class TestStats:
+    def test_counters_accumulate_and_merge(self):
+        stats = FaultStats()
+        stats.count("distribution", "drops")
+        stats.count("distribution", "drops")
+        stats.count("compression", "retries", 3)
+        assert stats.drops == 2
+        assert stats.retries == 3
+        summary = stats.summary()
+        assert summary["distribution"] == {"drops": 2}
+        merged = FaultStats.merge([summary, summary])
+        assert merged["distribution"]["drops"] == 4
+
+    def test_unknown_counter_rejected(self):
+        with pytest.raises(KeyError):
+            FaultStats().count("distribution", "explosions")
+
+    def test_phase_enum_keys_collapse_to_values(self):
+        from repro.machine import Phase
+
+        stats = FaultStats()
+        stats.count(Phase.DISTRIBUTION, "retries")
+        assert stats.get("distribution", "retries") == 1

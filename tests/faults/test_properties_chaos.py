@@ -1,0 +1,173 @@
+"""Chaos property suite: eventual delivery ⇒ fault-free final state.
+
+Hypothesis generates random matrices × partitions × compressions × fault
+plans (all eventually-delivered by construction — the retry cap forces
+delivery) and asserts the headline invariants of the reliable-delivery
+layer, extending ``tests/core/test_scheme_equivalence.py`` into the
+failure dimension:
+
+* **state**: under any fault plan, every processor ends up holding a
+  compressed local array *identical* to the fault-free run's — same
+  ``RO``/``CO``/``VL``, element for element;
+* **cost**: the total charged time is ≥ the fault-free total (retries,
+  backoff waits, duplicates and slowdowns are never free);
+* **agreement**: all three schemes still agree with each other under
+  independent fault sequences.
+
+Run with ``pytest -m chaos`` (deselected from tier-1); CI runs
+``--hypothesis-profile=ci`` for 200 examples.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import LOCAL_KEY, get_compression, get_partition, get_scheme
+from repro.faults import FaultInjector, FaultSpec
+from repro.faults.spec import CrashSpec, RetryPolicy, SlowdownSpec
+from repro.machine import Machine, sp2_cost_model
+from repro.runtime import verify_all_schemes_agree
+from repro.sparse import random_sparse
+
+pytestmark = pytest.mark.chaos
+
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+fault_specs = st.builds(
+    FaultSpec,
+    drop=st.floats(0.0, 0.45),
+    duplicate=st.floats(0.0, 0.4),
+    reorder=st.floats(0.0, 0.4),
+    corrupt=st.floats(0.0, 0.45),
+    slowdown=st.builds(
+        SlowdownSpec,
+        probability=st.floats(0.0, 0.9),
+        factor=st.floats(1.0, 4.0),
+    ),
+    crash=st.builds(
+        CrashSpec,
+        probability=st.floats(0.0, 0.9),
+        max_failed_sends=st.integers(1, 3),
+    ),
+    retry=st.builds(
+        RetryPolicy,
+        timeout_ms=st.floats(0.0, 0.1),
+        backoff=st.floats(1.0, 3.0),
+        max_retries=st.integers(2, 12),
+    ),
+).filter(lambda s: s.drop + s.corrupt < 1.0)
+
+matrix_params = st.tuples(
+    st.integers(6, 28),            # rows
+    st.integers(6, 28),            # cols
+    st.floats(0.0, 0.4),           # sparse ratio (includes zero-nnz)
+    st.integers(0, 2**16),         # matrix seed
+)
+
+scenarios = st.tuples(
+    matrix_params,
+    st.sampled_from(["row", "column", "mesh2d"]),
+    st.sampled_from(["crs", "ccs"]),
+    st.integers(1, 5),             # processors
+    st.integers(0, 2**16),         # fault seed
+)
+
+
+def run_scheme_on(scheme, matrix, plan, compression, injector=None):
+    machine = Machine(plan.n_procs, cost=sp2_cost_model(), faults=injector)
+    result = get_scheme(scheme).run(
+        machine, matrix, plan, get_compression(compression)
+    )
+    return machine, result
+
+
+def assert_locals_identical(clean, chaotic):
+    assert len(clean.locals_) == len(chaotic.locals_)
+    for a, b in zip(clean.locals_, chaotic.locals_):
+        assert a.shape == b.shape
+        assert np.array_equal(a.indptr, b.indptr)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.values, b.values)
+
+
+# ---------------------------------------------------------------------------
+# properties
+# ---------------------------------------------------------------------------
+class TestChaosEquivalence:
+    @pytest.mark.parametrize("scheme", ["sfc", "cfs", "ed"])
+    @given(scenario=scenarios, spec=fault_specs)
+    @settings(deadline=None)
+    def test_final_state_matches_fault_free_run(self, scheme, scenario, spec):
+        (rows, cols, ratio, mseed), partition, compression, p, fseed = scenario
+        matrix = random_sparse((rows, cols), ratio, seed=mseed)
+        plan = get_partition(partition).plan(matrix.shape, p)
+
+        _, clean = run_scheme_on(scheme, matrix, plan, compression)
+        machine, chaotic = run_scheme_on(
+            scheme, matrix, plan, compression,
+            injector=FaultInjector(spec, seed=fseed),
+        )
+
+        # 1. every processor holds the exact fault-free local array
+        assert_locals_identical(clean, chaotic)
+        # ... both in the result and physically in processor memory
+        for assignment in plan:
+            stored = machine.processor(assignment.rank).load(LOCAL_KEY)
+            ref = clean.locals_[assignment.rank]
+            assert np.array_equal(stored.indptr, ref.indptr)
+            assert np.array_equal(stored.indices, ref.indices)
+            assert np.array_equal(stored.values, ref.values)
+
+        # 2. retries are never free: charged cost dominates fault-free cost
+        assert chaotic.t_distribution >= clean.t_distribution
+        assert chaotic.t_compression >= clean.t_compression
+        assert chaotic.t_total >= clean.t_total
+
+        # 3. accounting is visible: any failed attempt surfaced as a retry
+        bd = chaotic.distribution_breakdown
+        assert bd.n_messages >= clean.distribution_breakdown.n_messages
+        if bd.n_faults:
+            assert chaotic.fault_summary, "faults fired but summary empty"
+
+    @given(scenario=scenarios, spec=fault_specs)
+    @settings(deadline=None)
+    def test_all_three_schemes_agree_under_chaos(self, scenario, spec):
+        (rows, cols, ratio, mseed), partition, compression, p, fseed = scenario
+        matrix = random_sparse((rows, cols), ratio, seed=mseed)
+        plan = get_partition(partition).plan(matrix.shape, p)
+        results = []
+        for i, scheme in enumerate(("sfc", "cfs", "ed")):
+            # each scheme gets an *independent* fault sequence
+            _, r = run_scheme_on(
+                scheme, matrix, plan, compression,
+                injector=FaultInjector(spec, seed=fseed + i),
+            )
+            results.append(r)
+        verify_all_schemes_agree(results)
+
+    @given(scenario=scenarios, spec=fault_specs)
+    @settings(deadline=None)
+    def test_chaos_replays_identically_with_same_seed(self, scenario, spec):
+        (rows, cols, ratio, mseed), partition, compression, p, fseed = scenario
+        matrix = random_sparse((rows, cols), ratio, seed=mseed)
+        plan = get_partition(partition).plan(matrix.shape, p)
+        traces = []
+        for _ in range(2):
+            machine, result = run_scheme_on(
+                "ed", matrix, plan, compression,
+                injector=FaultInjector(spec, seed=fseed),
+            )
+            traces.append(
+                (
+                    [
+                        (e.phase.value, e.kind.value, e.actor, e.time,
+                         e.quantity, e.label, e.src, e.dst)
+                        for e in machine.trace.events
+                    ],
+                    result.t_total,
+                    result.fault_summary,
+                )
+            )
+        assert traces[0] == traces[1]

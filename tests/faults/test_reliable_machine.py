@@ -1,0 +1,236 @@
+"""The machine's reliable-delivery protocol: retries, dedup, checksums, cost."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    CorruptFrameError,
+    FaultInjector,
+    FaultSpec,
+)
+from repro.faults.spec import CrashSpec, RetryPolicy, SlowdownSpec
+from repro.machine import (
+    EventKind,
+    Machine,
+    Message,
+    PackedBuffer,
+    Phase,
+    unit_cost_model,
+)
+
+
+def faulty_machine(n_procs=2, spec=None, seed=0, **kw):
+    spec = spec if spec is not None else FaultSpec()
+    return Machine(
+        n_procs,
+        cost=unit_cost_model(),
+        faults=FaultInjector(spec, seed=seed),
+        **kw,
+    )
+
+
+def wire_payload(n=4):
+    buf, _ = PackedBuffer.pack({"X": np.arange(n, dtype=np.float64)})
+    return buf
+
+
+class TestRetryCharging:
+    def test_every_attempt_charges_full_message_cost(self):
+        # drop ~half the frames; each resend must cost T_Startup + m*T_Data
+        spec = FaultSpec(drop=0.5, retry=RetryPolicy(timeout_ms=0.0))
+        m = faulty_machine(spec=spec, seed=4)
+        payload = wire_payload(10)
+        t = m.send(0, payload, 10, Phase.DISTRIBUTION)
+        msgs = [
+            e for e in m.trace.events if e.kind is EventKind.MESSAGE
+        ]
+        assert len(msgs) >= 1
+        per_message = 1.0 + 10 * 1.0  # unit cost model, 1 hop
+        assert t == pytest.approx(len(msgs) * per_message)
+
+    def test_backoff_grows_exponentially(self):
+        spec = FaultSpec(
+            drop=0.49, corrupt=0.49, retry=RetryPolicy(timeout_ms=1.0, backoff=2.0)
+        )
+        m = faulty_machine(spec=spec, seed=1)
+        for i in range(20):  # enough traffic to see multi-retry messages
+            m.send(0, wire_payload(2), 2, Phase.DISTRIBUTION, tag=f"t{i}")
+        retries = [e for e in m.trace.events if e.kind is EventKind.RETRY]
+        assert retries, "expected some retries at 98% failure rate"
+        for e in retries:
+            # quantity records the attempt number; backoff = 2^(attempt-1)
+            assert e.time == pytest.approx(2.0 ** (e.quantity - 1))
+
+    def test_forced_delivery_after_max_retries(self):
+        spec = FaultSpec(
+            drop=0.8, retry=RetryPolicy(timeout_ms=0.0, max_retries=2)
+        )
+        m = faulty_machine(spec=spec, seed=2)
+        for i in range(30):
+            m.send(0, wire_payload(1), 1, Phase.DISTRIBUTION, tag=f"t{i}")
+        # every message eventually arrived despite the 80% drop rate
+        assert len(m.procs[0].mailbox) == 30
+        stats = m.faults.stats
+        assert stats.total("forced") >= 1
+        # no message got more than max_retries+1 attempts
+        assert stats.total("attempts") <= 30 * 3 + stats.total("duplicates")
+
+    def test_faulted_send_never_cheaper_than_clean(self):
+        clean = Machine(2, cost=unit_cost_model())
+        t_clean = clean.send(0, wire_payload(8), 8, Phase.DISTRIBUTION)
+        for seed in range(10):
+            m = faulty_machine(spec=FaultSpec.lossy(0.3), seed=seed)
+            t = m.send(0, wire_payload(8), 8, Phase.DISTRIBUTION)
+            assert t >= t_clean
+
+
+class TestDeliverySemantics:
+    def test_payload_arrives_intact_under_corruption(self):
+        spec = FaultSpec(corrupt=0.7, retry=RetryPolicy(timeout_ms=0.0))
+        m = faulty_machine(spec=spec, seed=3)
+        payload = wire_payload(16)
+        original = payload.data.copy()
+        m.send(0, payload, 16, Phase.DISTRIBUTION, tag="x")
+        got = m.receive(0, "x").payload
+        assert np.array_equal(got.data, original)
+        assert m.faults.stats.corruptions >= 1
+
+    def test_duplicates_are_discarded_by_seq(self):
+        spec = FaultSpec(duplicate=0.999999)
+        m = faulty_machine(spec=spec, seed=0)
+        for i in range(5):
+            m.send(0, wire_payload(2), 2, Phase.DISTRIBUTION, tag=f"t{i}")
+        assert len(m.procs[0].mailbox) == 5  # every dup dropped
+        assert m.faults.stats.duplicates == 5
+
+    def test_crashed_processor_recovers_and_receives(self):
+        spec = FaultSpec(
+            crash=CrashSpec(probability=0.999999999, max_failed_sends=2),
+            retry=RetryPolicy(timeout_ms=0.0),
+        )
+        m = faulty_machine(spec=spec, seed=5)
+        m.send(0, wire_payload(3), 3, Phase.DISTRIBUTION, tag="after-crash")
+        assert len(m.procs[0].mailbox) == 1
+        assert m.faults.stats.total("crash_drops") >= 1
+
+    def test_reordering_permutes_but_preserves_content(self):
+        spec = FaultSpec(reorder=0.9)
+        m = faulty_machine(spec=spec, seed=6)
+        for i in range(8):
+            m.send(0, wire_payload(1), 1, Phase.DISTRIBUTION, tag=f"t{i}")
+        tags = [msg.tag for msg in m.procs[0].mailbox]
+        assert sorted(tags) == [f"t{i}" for i in range(8)]
+        assert m.faults.stats.total("reorders") >= 1
+        assert tags != [f"t{i}" for i in range(8)]  # seed 6 does reorder
+        # tagged receive still finds each message
+        for i in range(8):
+            assert m.receive(0, f"t{i}").tag == f"t{i}"
+
+    def test_send_to_host_goes_through_protocol_too(self):
+        spec = FaultSpec(drop=0.5, retry=RetryPolicy(timeout_ms=0.0))
+        m = faulty_machine(spec=spec, seed=7)
+        m.send_to_host(1, wire_payload(4), 4, Phase.DISTRIBUTION, tag="gather")
+        assert len(m.host_mailbox) == 1
+        assert m.host_receive("gather").n_elements == 4
+
+    def test_slowdown_multiplies_proc_ops(self):
+        spec = FaultSpec(slowdown=SlowdownSpec(probability=1.0 - 1e-12, factor=2.5))
+        m = faulty_machine(spec=spec, seed=0)
+        t = m.charge_proc_ops(0, 100, Phase.COMPRESSION)
+        assert t == pytest.approx(250.0)
+        # host ops unaffected
+        assert m.charge_host_ops(100, Phase.COMPRESSION) == pytest.approx(100.0)
+
+
+class TestChecksumVerification:
+    def test_receive_verifies_and_charges(self):
+        m = faulty_machine(spec=FaultSpec(), seed=0)
+        m.send(0, wire_payload(6), 6, Phase.DISTRIBUTION, tag="ok")
+        msg = m.receive(0, "ok", phase=Phase.DISTRIBUTION)
+        assert msg.checksum is not None
+        verify_events = [
+            e for e in m.trace.events if e.label == "checksum-verify"
+        ]
+        assert len(verify_events) == 1
+        assert verify_events[0].quantity == 6
+
+    def test_tampered_payload_raises_corrupt_frame_error(self):
+        m = faulty_machine(spec=FaultSpec(), seed=0)
+        payload = wire_payload(6)
+        m.send(0, payload, 6, Phase.DISTRIBUTION, tag="x")
+        # violate share-nothing: mutate the delivered buffer in place
+        m.procs[0].mailbox[0].payload.data[0] += 1.0
+        with pytest.raises(CorruptFrameError):
+            m.receive(0, "x")
+
+    def test_faultfree_machine_receive_is_passthrough(self):
+        m = Machine(2, cost=unit_cost_model())
+        m.send(0, wire_payload(4), 4, Phase.DISTRIBUTION, tag="x")
+        events_before = len(m.trace.events)
+        msg = m.receive(0, "x", phase=Phase.DISTRIBUTION)
+        assert msg.checksum is None and msg.seq == -1
+        assert len(m.trace.events) == events_before  # no verify charge
+
+    def test_opaque_payload_skips_checksum(self):
+        m = faulty_machine(spec=FaultSpec(corrupt=0.9), seed=0)
+        m.send(0, {"opaque": True}, 0, Phase.DISTRIBUTION, tag="obj")
+        msg = m.receive(0, "obj")
+        assert msg.checksum is None
+        assert msg.payload == {"opaque": True}
+
+
+class TestProcessorDedup:
+    def test_deliver_discards_seen_seq(self):
+        from repro.machine import Processor
+
+        p = Processor(0)
+        msg = Message(src=-1, dst=0, tag="t", payload=None, n_elements=0, seq=7)
+        assert p.deliver(msg) is True
+        assert p.deliver(msg) is False
+        assert len(p.mailbox) == 1
+
+    def test_unsequenced_messages_never_dedup(self):
+        from repro.machine import Processor
+
+        p = Processor(0)
+        msg = Message(src=-1, dst=0, tag="t", payload=None, n_elements=0)
+        assert p.deliver(msg) is True
+        assert p.deliver(msg) is True
+        assert len(p.mailbox) == 2
+
+    def test_insert_at_places_out_of_order(self):
+        from repro.machine import Processor
+
+        p = Processor(0)
+        for i in range(3):
+            p.deliver(Message(src=-1, dst=0, tag=f"t{i}", payload=None, n_elements=0))
+        late = Message(src=-1, dst=0, tag="late", payload=None, n_elements=0)
+        p.deliver(late, insert_at=0)
+        assert p.mailbox[0].tag == "late"
+
+    def test_reset_clears_seen_seqs(self):
+        from repro.machine import Processor
+
+        p = Processor(0)
+        p.deliver(Message(src=-1, dst=0, tag="t", payload=None, n_elements=0, seq=1))
+        p.reset()
+        assert p.seen_seqs == set()
+
+
+class TestMachineReset:
+    def test_reset_rewinds_injector(self):
+        spec = FaultSpec(drop=0.5, retry=RetryPolicy(timeout_ms=0.0))
+        m = faulty_machine(spec=spec, seed=9)
+
+        def run():
+            for i in range(10):
+                m.send(0, wire_payload(2), 2, Phase.DISTRIBUTION, tag=f"t{i}")
+            return (
+                [(e.kind, e.actor, e.time, e.label) for e in m.trace.events],
+                m.faults.stats.summary(),
+            )
+
+        first = run()
+        m.reset()
+        second = run()
+        assert first == second

@@ -1,0 +1,100 @@
+"""FaultSpec: validation, presets and (de)serialisation."""
+
+import json
+
+import pytest
+
+from repro.faults import CrashSpec, FaultSpec, RetryPolicy, SlowdownSpec
+
+
+class TestValidation:
+    def test_default_spec_is_all_quiet(self):
+        spec = FaultSpec()
+        assert not spec.any_faults
+        assert spec.disabled() == spec
+
+    @pytest.mark.parametrize("field", ["drop", "duplicate", "reorder", "corrupt"])
+    @pytest.mark.parametrize("bad", [-0.1, 1.0, 1.5])
+    def test_probabilities_must_be_in_unit_interval(self, field, bad):
+        with pytest.raises(ValueError, match=field):
+            FaultSpec(**{field: bad})
+
+    def test_drop_plus_corrupt_must_leave_room_for_success(self):
+        with pytest.raises(ValueError, match="drop \\+ corrupt"):
+            FaultSpec(drop=0.6, corrupt=0.5)
+
+    def test_slowdown_factor_below_one_rejected(self):
+        with pytest.raises(ValueError, match="factor"):
+            SlowdownSpec(probability=0.5, factor=0.5)
+
+    def test_crash_budget_must_be_positive(self):
+        with pytest.raises(ValueError, match="max_failed_sends"):
+            CrashSpec(probability=0.5, max_failed_sends=0)
+
+    def test_retry_policy_validation(self):
+        with pytest.raises(ValueError, match="backoff"):
+            RetryPolicy(backoff=0.5)
+        with pytest.raises(ValueError, match="timeout_ms"):
+            RetryPolicy(timeout_ms=-1)
+        with pytest.raises(ValueError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+
+    def test_backoff_is_exponential(self):
+        policy = RetryPolicy(timeout_ms=1.0, backoff=2.0)
+        assert [policy.backoff_ms(k) for k in (1, 2, 3, 4)] == [1.0, 2.0, 4.0, 8.0]
+        with pytest.raises(ValueError):
+            policy.backoff_ms(0)
+
+    def test_any_faults_detects_each_knob(self):
+        assert FaultSpec(drop=0.1).any_faults
+        assert FaultSpec(duplicate=0.1).any_faults
+        assert FaultSpec(reorder=0.1).any_faults
+        assert FaultSpec(corrupt=0.1).any_faults
+        assert FaultSpec(slowdown=SlowdownSpec(probability=0.5, factor=2.0)).any_faults
+        assert FaultSpec(crash=CrashSpec(probability=0.5)).any_faults
+        # a slowdown with factor 1 changes nothing
+        assert not FaultSpec(slowdown=SlowdownSpec(probability=0.5, factor=1.0)).any_faults
+
+    def test_lossy_preset(self):
+        spec = FaultSpec.lossy(0.1)
+        assert spec.drop == 0.1
+        assert spec.duplicate == spec.reorder == spec.corrupt == 0.05
+        assert spec.any_faults
+
+
+class TestSerialisation:
+    def test_json_roundtrip(self):
+        spec = FaultSpec(
+            drop=0.2,
+            duplicate=0.1,
+            reorder=0.05,
+            corrupt=0.02,
+            slowdown=SlowdownSpec(probability=0.3, factor=2.5),
+            crash=CrashSpec(probability=0.1, max_failed_sends=4),
+            retry=RetryPolicy(timeout_ms=0.1, backoff=1.5, max_retries=7),
+        )
+        assert FaultSpec.from_json(spec.to_json()) == spec
+
+    def test_from_dict_partial(self):
+        spec = FaultSpec.from_dict({"drop": 0.25})
+        assert spec.drop == 0.25
+        assert spec.duplicate == 0.0
+        assert spec.retry == RetryPolicy()
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="dorp"):
+            FaultSpec.from_dict({"dorp": 0.1})
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"drop": 0.1, "retry": {"max_retries": 3}}))
+        spec = FaultSpec.from_file(path)
+        assert spec.drop == 0.1
+        assert spec.retry.max_retries == 3
+
+    def test_example_spec_file_parses(self):
+        from pathlib import Path
+
+        example = Path(__file__).resolve().parents[2] / "examples" / "faults" / "lossy.json"
+        spec = FaultSpec.from_file(example)
+        assert spec.any_faults
