@@ -4,7 +4,7 @@ from .conjugate_gradient import CGResult, distributed_cg, spd_system
 from .jacobi import JacobiResult, diagonally_dominant, distributed_jacobi
 from .power_iteration import PowerIterationResult, distributed_power_iteration
 from .spgemm import RESULT_KEY, distributed_spgemm
-from .spmv import distributed_spmv, distributed_spmv_transpose
+from .spmv import distributed_spmv, distributed_spmv_transpose, resilient_spmv
 from .spmv_allgather import distributed_spmv_allgather
 
 __all__ = [
@@ -20,5 +20,6 @@ __all__ = [
     "distributed_spmv",
     "distributed_spmv_allgather",
     "distributed_spmv_transpose",
+    "resilient_spmv",
     "spd_system",
 ]

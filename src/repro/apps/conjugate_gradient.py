@@ -13,6 +13,7 @@ Convergence requires ``A`` symmetric positive definite;
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -21,7 +22,10 @@ from ..machine.trace import Phase
 from ..partition.base import PartitionPlan
 from ..sparse.coo import COOMatrix
 from ..sparse.generators import random_sparse
-from .spmv import distributed_spmv
+from .spmv import distributed_spmv, resilient_spmv
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..recovery.manager import RecoveryRuntime
 
 __all__ = ["CGResult", "distributed_cg", "spd_system"]
 
@@ -48,6 +52,9 @@ class CGResult:
     iterations: int
     converged: bool
     residual_norm: float
+    #: iterations replayed after mid-iteration fail-stop deaths (0 when the
+    #: solver ran without a recovery runtime or nothing died)
+    rollbacks: int = 0
 
 
 def distributed_cg(
@@ -58,13 +65,33 @@ def distributed_cg(
     x0: np.ndarray | None = None,
     tol: float = 1e-10,
     max_iter: int | None = None,
+    recovery: "RecoveryRuntime | None" = None,
 ) -> CGResult:
     """Solve ``A·x = b`` by CG against the machine's distributed ``A``.
 
     Requires a prior scheme run on ``machine`` with the same (square)
     ``plan``.  Host-side vector arithmetic is charged per element to the
     COMPUTE phase; the SpMV runs distributed.
+
+    With a :class:`~repro.recovery.manager.RecoveryRuntime` the solver
+    survives fail-stop rank deaths: every iteration's state (``x``, ``r``,
+    ``p``) lives host-side, so after the runtime repairs the machine the
+    interrupted multiply is replayed and the solve resumes from the last
+    completed iteration.  The result's ``rollbacks`` counts those replays.
     """
+    if recovery is not None and recovery.machine is not machine:
+        raise ValueError("recovery runtime is bound to a different machine")
+
+    def matvec(v: np.ndarray) -> np.ndarray:
+        if recovery is not None:
+            return resilient_spmv(recovery, v)
+        return distributed_spmv(machine, plan, v)
+
+    rollbacks_at_entry = recovery.rollbacks if recovery is not None else 0
+
+    def rollbacks() -> int:
+        return (recovery.rollbacks - rollbacks_at_entry) if recovery is not None else 0
+
     n_rows, n_cols = plan.global_shape
     if n_rows != n_cols:
         raise ValueError(f"CG needs a square system, got {plan.global_shape}")
@@ -78,7 +105,7 @@ def distributed_cg(
         raise ValueError(f"x0 must have shape ({n_rows},), got {x.shape}")
 
     b_norm = float(np.linalg.norm(b))
-    r = b - distributed_spmv(machine, plan, x)
+    r = b - matvec(x)
     machine.charge_host_ops(n_rows, Phase.COMPUTE, label="cg-residual")
     p = r.copy()
     rs_old = float(r @ r)
@@ -86,10 +113,10 @@ def distributed_cg(
 
     residual_norm = float(np.sqrt(rs_old))
     if residual_norm <= tol * max(1.0, b_norm):
-        return CGResult(x, 0, True, residual_norm)
+        return CGResult(x, 0, True, residual_norm, rollbacks())
 
     for iteration in range(1, max_iter + 1):
-        ap = distributed_spmv(machine, plan, p)
+        ap = matvec(p)
         p_ap = float(p @ ap)
         machine.charge_host_ops(2 * n_rows, Phase.COMPUTE, label="cg-dot")
         if p_ap <= 0.0:
@@ -104,8 +131,8 @@ def distributed_cg(
         machine.charge_host_ops(2 * n_rows, Phase.COMPUTE, label="cg-dot")
         residual_norm = float(np.sqrt(rs_new))
         if residual_norm <= tol * max(1.0, b_norm):
-            return CGResult(x, iteration, True, residual_norm)
+            return CGResult(x, iteration, True, residual_norm, rollbacks())
         p = r + (rs_new / rs_old) * p
         machine.charge_host_ops(2 * n_rows, Phase.COMPUTE, label="cg-direction")
         rs_old = rs_new
-    return CGResult(x, max_iter, False, residual_norm)
+    return CGResult(x, max_iter, False, residual_norm, rollbacks())

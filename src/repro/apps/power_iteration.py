@@ -10,13 +10,17 @@ normalisation and convergence bookkeeping (charged per element).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..machine.machine import Machine
 from ..machine.trace import Phase
 from ..partition.base import PartitionPlan
-from .spmv import distributed_spmv
+from .spmv import distributed_spmv, resilient_spmv
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..recovery.manager import RecoveryRuntime
 
 __all__ = ["PowerIterationResult", "distributed_power_iteration"]
 
@@ -30,6 +34,9 @@ class PowerIterationResult:
     iterations: int
     converged: bool
     residual: float
+    #: iterations replayed after mid-iteration fail-stop deaths (0 when run
+    #: without a recovery runtime or nothing died)
+    rollbacks: int = 0
 
 
 def distributed_power_iteration(
@@ -40,12 +47,32 @@ def distributed_power_iteration(
     tol: float = 1e-10,
     max_iter: int = 500,
     seed: int = 0,
+    recovery: "RecoveryRuntime | None" = None,
 ) -> PowerIterationResult:
     """Run power iteration against the machine's distributed local arrays.
 
     Requires a square global array and a prior scheme run on ``machine``
     (the processors must hold their compressed locals).
+
+    With a :class:`~repro.recovery.manager.RecoveryRuntime` the iteration
+    survives fail-stop rank deaths: ``x`` and the Rayleigh bookkeeping
+    live host-side, so after the runtime repairs the machine the
+    interrupted multiply is replayed — a rollback to the last completed
+    iteration.  ``rollbacks`` in the result counts those replays.
     """
+    if recovery is not None and recovery.machine is not machine:
+        raise ValueError("recovery runtime is bound to a different machine")
+
+    def matvec(v: np.ndarray) -> np.ndarray:
+        if recovery is not None:
+            return resilient_spmv(recovery, v)
+        return distributed_spmv(machine, plan, v)
+
+    rollbacks_at_entry = recovery.rollbacks if recovery is not None else 0
+
+    def rollbacks() -> int:
+        return (recovery.rollbacks - rollbacks_at_entry) if recovery is not None else 0
+
     n_rows, n_cols = plan.global_shape
     if n_rows != n_cols:
         raise ValueError(f"power iteration needs a square array, got {plan.global_shape}")
@@ -62,19 +89,19 @@ def distributed_power_iteration(
 
     eigenvalue = 0.0
     for iteration in range(1, max_iter + 1):
-        y = distributed_spmv(machine, plan, x)
+        y = matvec(x)
         machine.charge_host_ops(2 * n_rows, Phase.COMPUTE, label="normalise")
         y_norm = np.linalg.norm(y)
         if y_norm == 0.0:
             # x is in the null space; the dominant eigenvalue along it is 0
-            return PowerIterationResult(0.0, x, iteration, True, 0.0)
+            return PowerIterationResult(0.0, x, iteration, True, 0.0, rollbacks())
         new_eigenvalue = float(x @ y)  # Rayleigh quotient (‖x‖ = 1)
         x_next = y / y_norm
         residual = float(np.linalg.norm(y - new_eigenvalue * x))
         if abs(new_eigenvalue - eigenvalue) <= tol * max(1.0, abs(new_eigenvalue)):
             return PowerIterationResult(
-                new_eigenvalue, x_next, iteration, True, residual
+                new_eigenvalue, x_next, iteration, True, residual, rollbacks()
             )
         eigenvalue = new_eigenvalue
         x = x_next
-    return PowerIterationResult(eigenvalue, x, max_iter, False, residual)
+    return PowerIterationResult(eigenvalue, x, max_iter, False, residual, rollbacks())

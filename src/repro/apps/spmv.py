@@ -16,19 +16,30 @@ works for *any* partition plan:
 All traffic and ops are charged to :data:`~repro.machine.trace.Phase.
 COMPUTE`, so distribution-phase timings stay untouched and one machine can
 run distribute-then-compute pipelines.
+
+:func:`resilient_spmv` is the fail-stop-tolerant wrapper: it computes the
+same product through a :class:`~repro.recovery.manager.RecoveryRuntime`,
+replaying the multiply after the runtime repairs any rank death — the
+checkpoint/rollback building block of the iterative apps.
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..core.base import LOCAL_KEY
 from ..machine.machine import Machine
+from ..machine.membership import DeadRankError
 from ..machine.trace import Phase
 from ..partition.base import PartitionPlan
 from ..sparse.ops import spmv as local_spmv
 
-__all__ = ["distributed_spmv", "distributed_spmv_transpose"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..recovery.manager import RecoveryRuntime
+
+__all__ = ["distributed_spmv", "distributed_spmv_transpose", "resilient_spmv"]
 
 
 def distributed_spmv(
@@ -81,6 +92,25 @@ def distributed_spmv(
         np.add.at(y, plan[msg.src].row_ids, msg.payload)
         machine.charge_host_ops(len(msg.payload), Phase.COMPUTE, label="assemble")
     return y
+
+
+def resilient_spmv(runtime: "RecoveryRuntime", x: np.ndarray) -> np.ndarray:
+    """``y = A @ x`` that survives fail-stop rank deaths mid-multiply.
+
+    Runs :func:`distributed_spmv` against the runtime's current
+    ``(view, plan)`` pair.  If a rank dies mid-iteration the runtime
+    confirms the failure (detection timeouts charged), restores a degraded
+    plan from its host-side checkpoints and the multiply is *replayed* on
+    the shrunken machine — ``x`` lives host-side, so replaying the
+    interrupted multiply is exactly a rollback to the last completed
+    iteration.  Terminates because every failure permanently removes a
+    rank and at least one always survives.
+    """
+    while True:
+        try:
+            return distributed_spmv(runtime.view, runtime.plan, x)
+        except DeadRankError as err:
+            runtime.handle(err)
 
 
 def distributed_spmv_transpose(

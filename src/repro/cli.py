@@ -53,6 +53,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-seed", type=int, default=0,
         help="seed for the deterministic fault injector (default 0)",
     )
+    run.add_argument(
+        "--recovery", choices=["off", "host-resend", "peer-redistribute"],
+        default="off",
+        help="fail-stop recovery policy: repair rank deaths from the fault "
+        "plan's fail_stop spec on the surviving processors (needs --faults)",
+    )
 
     tables = sub.add_parser("tables", help="reproduce Tables 3-5")
     tables.add_argument(
@@ -129,13 +135,40 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+class FaultSpecError(SystemExit):
+    """Friendly one-line exit for a bad ``--faults`` argument."""
+
+    def __init__(self, message: str) -> None:
+        print(f"error: {message}")
+        super().__init__(2)
+
+
 def _load_fault_spec(args):
-    """Parse ``--faults`` (a JSON FaultSpec path) or return None."""
+    """Parse ``--faults`` (a JSON FaultSpec path) or return None.
+
+    Malformed JSON, unknown spec keys and out-of-range values all exit
+    with a single friendly line instead of a traceback — the file is user
+    input, not programmer input.
+    """
     if getattr(args, "faults", None) is None:
         return None
+    import json
+
     from .faults import FaultSpec
 
-    return FaultSpec.from_file(args.faults)
+    try:
+        return FaultSpec.from_file(args.faults)
+    except FileNotFoundError:
+        raise FaultSpecError(f"fault spec {args.faults!r} does not exist")
+    except IsADirectoryError:
+        raise FaultSpecError(f"fault spec {args.faults!r} is a directory")
+    except json.JSONDecodeError as exc:
+        raise FaultSpecError(
+            f"fault spec {args.faults!r} is not valid JSON "
+            f"(line {exc.lineno}, column {exc.colno}: {exc.msg})"
+        )
+    except (TypeError, ValueError) as exc:
+        raise FaultSpecError(f"fault spec {args.faults!r} is invalid: {exc}")
 
 
 def _print_fault_summary(result) -> None:
@@ -154,6 +187,10 @@ def _cmd_run(args) -> int:
     from .sparse import random_sparse
 
     fault_spec = _load_fault_spec(args)
+    recovery = None if args.recovery == "off" else args.recovery
+    if recovery is not None and fault_spec is None:
+        print("error: --recovery needs a fault plan (--faults SPEC.json)")
+        return 2
     matrix = random_sparse((args.n, args.n), args.sparse_ratio, seed=args.seed)
     schemes = ["sfc", "cfs", "ed"] if args.scheme == "all" else [args.scheme]
     print(
@@ -180,9 +217,19 @@ def _cmd_run(args) -> int:
                 else None
             )
             last_machine = Machine(args.procs, faults=injector)
-            result = get_scheme(scheme).run(
-                last_machine, matrix, plan, get_compression(args.compression)
-            )
+            if recovery is not None:
+                from .recovery import run_with_recovery
+
+                result = run_with_recovery(
+                    scheme, last_machine, matrix,
+                    get_partition(args.partition),
+                    get_compression(args.compression),
+                    policy=recovery,
+                )
+            else:
+                result = get_scheme(scheme).run(
+                    last_machine, matrix, plan, get_compression(args.compression)
+                )
         else:
             result = run_scheme(
                 scheme,
@@ -192,11 +239,14 @@ def _cmd_run(args) -> int:
                 compression=args.compression,
                 faults=fault_spec,
                 fault_seed=args.fault_seed,
+                recovery=recovery,
             )
         results.append(result)
         print(f"  {result.summary()}")
         if fault_spec is not None:
             _print_fault_summary(result)
+        if result.recovery_summary is not None:
+            print(f"    {result.recovery_line()}")
     if len(results) > 1:
         verify_all_schemes_agree(results)
         print("  all schemes delivered identical local arrays (verified)")

@@ -16,7 +16,7 @@ finer-grained analysis.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Literal, Sequence, Type, Union
+from typing import TYPE_CHECKING, Literal, Sequence, Type, Union
 
 from ..machine.machine import Machine
 from ..machine.trace import Phase, PhaseBreakdown
@@ -24,6 +24,9 @@ from ..partition.base import PartitionPlan
 from ..sparse.ccs import CCSMatrix
 from ..sparse.coo import COOMatrix
 from ..sparse.crs import CRSMatrix
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (recovery -> core)
+    from ..recovery.summary import RecoverySummary
 
 __all__ = ["LOCAL_KEY", "CompressedLocal", "SchemeResult", "DistributionScheme", "compression_kind"]
 
@@ -66,6 +69,9 @@ class SchemeResult:
     #: per-phase fault counters from the machine's injector (None = no
     #: injector attached; the run was the exact fault-free simulator)
     fault_summary: dict[str, dict[str, int]] | None = None
+    #: recovery subsystem report (None = no fail-stop failure occurred, or
+    #: the run was executed without a recovery policy)
+    recovery_summary: "RecoverySummary | None" = None
 
     @property
     def t_total(self) -> float:
@@ -102,6 +108,12 @@ class SchemeResult:
         return "faults: " + " ".join(
             f"{k}={totals[k]}" for k in keys if totals.get(k)
         )
+
+    def recovery_line(self) -> str:
+        """One-line recovery summary (policy, dead ranks, costs)."""
+        if self.recovery_summary is None:
+            return "recovery: n/a"
+        return self.recovery_summary.line()
 
     @property
     def sparse_ratio(self) -> float:

@@ -37,10 +37,17 @@ from ..partition.base import BlockAssignment, PartitionPlan
 from ..sparse.coo import COOMatrix
 from .base import LOCAL_KEY, CompressedLocal, compression_kind
 
-__all__ = ["RedistributionResult", "redistribute"]
+__all__ = [
+    "RedistributionResult",
+    "assemble_block",
+    "local_to_global_coo",
+    "ownership_maps",
+    "redistribute",
+    "triplet_buffer",
+]
 
 
-def _local_to_global_coo(
+def local_to_global_coo(
     local: COOMatrix, assignment: BlockAssignment
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Lift a local compressed block's coordinates to global indices."""
@@ -51,7 +58,7 @@ def _local_to_global_coo(
     )
 
 
-def _ownership_maps(plan: PartitionPlan) -> tuple[np.ndarray, np.ndarray]:
+def ownership_maps(plan: PartitionPlan) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """(row_owner_component, col_owner_component) lookup tables.
 
     ``owner = row_component[r] , col_component[c]`` — a processor owns the
@@ -85,6 +92,72 @@ def _ownership_maps(plan: PartitionPlan) -> tuple[np.ndarray, np.ndarray]:
     for (ri, ci), rank in pair_to_rank.items():
         owner_of_pair[ri * n_col_comps + ci] = rank
     return row_comp * n_col_comps, col_comp, owner_of_pair
+
+
+def triplet_buffer(
+    g_rows: np.ndarray, g_cols: np.ndarray, values: np.ndarray, mask: np.ndarray
+) -> np.ndarray:
+    """Encode the masked nonzeros as one flat ``rows|cols|values`` buffer.
+
+    The ED-style coordinate-pair wire format of this module: coordinates
+    are *global*, so the receiver needs no per-hop conversion tables.
+    """
+    return np.concatenate(
+        [
+            g_rows[mask].astype(np.float64),
+            g_cols[mask].astype(np.float64),
+            values[mask],
+        ]
+    )
+
+
+def assemble_block(
+    machine: Machine,
+    assignment: BlockAssignment,
+    pieces: list[np.ndarray],
+    global_shape: tuple[int, int],
+    compression: Type[CompressedLocal],
+) -> CompressedLocal:
+    """Decode triplet buffers into this rank's compressed local block.
+
+    Shared by :func:`redistribute` and the peer-redistribution recovery
+    policy (src/repro/recovery/): decodes every buffer, converts global →
+    local coordinates, recompresses, charges the ops to the DISTRIBUTION
+    phase and stores the result under ``LOCAL_KEY``.
+    """
+    rows_parts, cols_parts, vals_parts = [], [], []
+    decode_ops = 0
+    for buf in pieces:
+        count = len(buf) // 3
+        rows_parts.append(buf[:count].astype(np.int64))
+        cols_parts.append(buf[count : 2 * count].astype(np.int64))
+        vals_parts.append(buf[2 * count :])
+        decode_ops += 3 * count
+    g_rows = np.concatenate(rows_parts) if rows_parts else np.empty(0, np.int64)
+    g_cols = np.concatenate(cols_parts) if cols_parts else np.empty(0, np.int64)
+    values = np.concatenate(vals_parts) if vals_parts else np.empty(0)
+    # global -> local conversion: one lookup per coordinate pair
+    row_lookup = np.full(global_shape[0], -1, dtype=np.int64)
+    row_lookup[assignment.row_ids] = np.arange(len(assignment.row_ids))
+    col_lookup = np.full(global_shape[1], -1, dtype=np.int64)
+    col_lookup[assignment.col_ids] = np.arange(len(assignment.col_ids))
+    l_rows = row_lookup[g_rows]
+    l_cols = col_lookup[g_cols]
+    if np.any(l_rows < 0) or np.any(l_cols < 0):
+        raise ValueError(
+            f"rank {assignment.rank} received a cell it does not own"
+        )
+    local_coo = COOMatrix(assignment.local_shape, l_rows, l_cols, values)
+    compressed = compression.from_coo(local_coo)
+    # decode + conversion + recompression (3 ops per nonzero)
+    machine.charge_proc_ops(
+        assignment.rank,
+        decode_ops + 2 * len(values) + 3 * compressed.nnz,
+        Phase.DISTRIBUTION,
+        label="decode-recompress",
+    )
+    machine.processor(assignment.rank).store(LOCAL_KEY, compressed)
+    return compressed
 
 
 @dataclass(frozen=True)
@@ -121,7 +194,7 @@ def redistribute(
             f"{new_plan.global_shape}"
         )
     kind = compression_kind(compression)
-    row_key, col_comp, owner_of_pair = _ownership_maps(new_plan)
+    row_key, col_comp, owner_of_pair = ownership_maps(new_plan)
 
     # -- each source processor splits its block by destination ------------
     n_messages = 0
@@ -135,7 +208,7 @@ def redistribute(
                 f"rank {assignment.rank}: stored local shape {local.shape} "
                 f"does not match old plan {assignment.local_shape}"
             )
-        g_rows, g_cols, values = _local_to_global_coo(local.to_coo(), assignment)
+        g_rows, g_cols, values = local_to_global_coo(local.to_coo(), assignment)
         owners = owner_of_pair[row_key[g_rows] + col_comp[g_cols]]
         # encode one triplet buffer per destination: scan each stored
         # nonzero once (owner lookup) + 3 writes per forwarded nonzero
@@ -147,13 +220,7 @@ def redistribute(
             count = int(mask.sum())
             if count == 0 and dst != assignment.rank:
                 continue
-            buffer = np.concatenate(
-                [
-                    g_rows[mask].astype(np.float64),
-                    g_cols[mask].astype(np.float64),
-                    values[mask],
-                ]
-            )
+            buffer = triplet_buffer(g_rows, g_cols, values, mask)
             machine.charge_proc_ops(
                 assignment.rank, 3 * count, Phase.DISTRIBUTION, label="encode"
             )
@@ -181,39 +248,11 @@ def redistribute(
                 pieces.append(proc.receive("redistribute").payload)
             except LookupError:
                 break
-        rows_parts, cols_parts, vals_parts = [], [], []
-        decode_ops = 0
-        for buf in pieces:
-            count = len(buf) // 3
-            rows_parts.append(buf[:count].astype(np.int64))
-            cols_parts.append(buf[count : 2 * count].astype(np.int64))
-            vals_parts.append(buf[2 * count :])
-            decode_ops += 3 * count
-        g_rows = np.concatenate(rows_parts) if rows_parts else np.empty(0, np.int64)
-        g_cols = np.concatenate(cols_parts) if cols_parts else np.empty(0, np.int64)
-        values = np.concatenate(vals_parts) if vals_parts else np.empty(0)
-        # global -> local conversion: one lookup per coordinate pair
-        row_lookup = np.full(new_plan.global_shape[0], -1, dtype=np.int64)
-        row_lookup[assignment.row_ids] = np.arange(len(assignment.row_ids))
-        col_lookup = np.full(new_plan.global_shape[1], -1, dtype=np.int64)
-        col_lookup[assignment.col_ids] = np.arange(len(assignment.col_ids))
-        l_rows = row_lookup[g_rows]
-        l_cols = col_lookup[g_cols]
-        if np.any(l_rows < 0) or np.any(l_cols < 0):
-            raise ValueError(
-                f"rank {assignment.rank} received a cell it does not own"
+        locals_.append(
+            assemble_block(
+                machine, assignment, pieces, new_plan.global_shape, compression
             )
-        local_coo = COOMatrix(assignment.local_shape, l_rows, l_cols, values)
-        compressed = compression.from_coo(local_coo)
-        # decode + conversion + recompression (3 ops per nonzero)
-        machine.charge_proc_ops(
-            assignment.rank,
-            decode_ops + 2 * len(values) + 3 * compressed.nnz,
-            Phase.DISTRIBUTION,
-            label="decode-recompress",
         )
-        proc.store(LOCAL_KEY, compressed)
-        locals_.append(compressed)
 
     return RedistributionResult(
         source=old_plan.method,

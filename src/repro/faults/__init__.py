@@ -38,13 +38,14 @@ from .checksum import (
     wire_checksum,
 )
 from .injector import Attempt, FaultInjector
-from .spec import CrashSpec, FaultSpec, RetryPolicy, SlowdownSpec
+from .spec import CrashSpec, FailStopSpec, FaultSpec, RetryPolicy, SlowdownSpec
 from .stats import FaultStats
 
 __all__ = [
     "Attempt",
     "CorruptFrameError",
     "CrashSpec",
+    "FailStopSpec",
     "FaultInjector",
     "FaultSpec",
     "FaultStats",

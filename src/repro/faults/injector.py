@@ -42,6 +42,7 @@ class Attempt(enum.Enum):
     DROP = "drop"          # frame lost on the wire
     CORRUPT = "corrupt"    # frame arrives bit-flipped (checksum catches it)
     CRASH = "crash"        # destination transiently down; counts as a loss
+    FAILSTOP = "fail-stop" # destination permanently dead; never acks again
 
 
 class FaultInjector:
@@ -64,6 +65,10 @@ class FaultInjector:
         self._next_seq = 0
         self._slow_factor: dict[int, float] = {}
         self._crash_budget: dict[int, int] = {}
+        #: fail-stop state: doomed rank -> frames it accepts before dying
+        self._fail_after: dict[int, int] = {}
+        #: frames accepted so far by each doomed rank
+        self._accepted: dict[int, int] = {}
         self._bound_procs: int | None = None
 
     # ------------------------------------------------------------------
@@ -88,6 +93,25 @@ class FaultInjector:
             self._crash_budget[rank] = (
                 int(self.rng.integers(1, cr.max_failed_sends + 1)) if crashed else 0
             )
+        # fail-stop fates, in rank order after the transient draws.  The
+        # explicit kill list is honoured first (no draw needed), then each
+        # remaining rank rolls against the probability.  At least one rank
+        # is always spared: a machine that loses every processor has no
+        # surviving membership to recover onto (and a p=1 machine cannot
+        # lose its only rank at all).
+        fs = self.spec.fail_stop
+        self._fail_after = {}
+        self._accepted = {}
+        doomed = {r for r in fs.dead_ranks if 0 <= r < n_procs}
+        if fs.probability > 0:
+            for rank in range(n_procs):
+                if rank not in doomed and self.rng.random() < fs.probability:
+                    doomed.add(rank)
+        while doomed and len(doomed) >= n_procs:
+            doomed.discard(max(doomed))  # deterministically spare the top rank
+        for rank in sorted(doomed):
+            self._fail_after[rank] = fs.after_accepts
+            self._accepted[rank] = 0
 
     def reset(self) -> None:
         """Restore the injector to its just-constructed state (same seed)."""
@@ -147,6 +171,41 @@ class FaultInjector:
     def slowdown_factor(self, rank: int) -> float:
         """This rank's constant op-time multiplier (1.0 = nominal)."""
         return self._slow_factor.get(rank, 1.0)
+
+    # ------------------------------------------------------------------
+    # fail-stop (permanent death) state
+    # ------------------------------------------------------------------
+    @property
+    def doomed_ranks(self) -> tuple[int, ...]:
+        """Ranks fated to die this run (whether or not they have yet)."""
+        return tuple(sorted(self._fail_after))
+
+    def rank_failed(self, rank: int) -> bool:
+        """True once ``rank`` is permanently dead (fail-stop fired).
+
+        A doomed rank dies the moment it has accepted its
+        ``after_accepts``-th frame (0 = dead from the start).  Death is
+        a *physical* fact; whether the host has paid to detect it is the
+        :class:`~repro.machine.membership.Membership` layer's business.
+        """
+        fa = self._fail_after.get(rank)
+        return fa is not None and self._accepted.get(rank, 0) >= fa
+
+    def record_accept(self, rank: int) -> None:
+        """Count one successfully accepted frame at a doomed rank."""
+        if rank in self._fail_after:
+            self._accepted[rank] = self._accepted.get(rank, 0) + 1
+
+    def kill_rank(self, rank: int) -> None:
+        """Force ``rank`` permanently dead right now (test / scenario hook).
+
+        Used to script post-distribution failures deterministically; the
+        rank behaves exactly like a doomed rank whose budget just ran out.
+        ``reset()`` forgets scripted kills (they are not part of the
+        seeded plan).
+        """
+        self._fail_after[rank] = 0
+        self._accepted[rank] = 0
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:

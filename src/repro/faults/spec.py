@@ -24,12 +24,22 @@ Fault taxonomy (see DESIGN.md §"Fault model"):
 ``crash``       a processor is unreachable for its first ``k`` incoming
                 send attempts (transient crash + reboot); those sends
                 are retried like drops
+``fail_stop``   a processor dies *permanently* (fail-stop model): it
+                accepts its first ``after_accepts`` frames, then never
+                acks again.  The host learns of the death only by
+                paying for ``detect_after`` missed-ack timeouts, after
+                which the membership layer declares the rank dead and
+                recovery (src/repro/recovery/) takes over
 ==============  =====================================================
 
-Eventual delivery is guaranteed by construction: per-message failures are
-capped at ``retry.max_retries`` after which the attempt succeeds (a real
-stack would escalate; the simulator's fault plans are by contract
-eventually-delivered), and crash budgets are finite.
+Eventual delivery is guaranteed by construction for every *transient*
+class: per-message failures are capped at ``retry.max_retries`` after
+which the attempt succeeds (a real stack would escalate; the simulator's
+fault plans are by contract eventually-delivered), and crash budgets are
+finite.  ``fail_stop`` is the deliberate exception — sends to a dead rank
+are *never* forced through; they surface as a
+:class:`~repro.machine.membership.DeadRankError` after the detection
+timeouts are charged.
 """
 
 from __future__ import annotations
@@ -39,7 +49,7 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any, Mapping
 
-__all__ = ["RetryPolicy", "SlowdownSpec", "CrashSpec", "FaultSpec"]
+__all__ = ["RetryPolicy", "SlowdownSpec", "CrashSpec", "FailStopSpec", "FaultSpec"]
 
 
 def _check_probability(name: str, value: float, *, upper: float = 1.0) -> None:
@@ -114,6 +124,61 @@ class CrashSpec:
 
 
 @dataclass(frozen=True)
+class FailStopSpec:
+    """Permanent (fail-stop) processor death — distinct from the transient
+    :class:`CrashSpec`, whose victims eventually come back.
+
+    Attributes
+    ----------
+    probability:
+        Per-rank chance of being doomed, sampled once at bind time.  The
+        injector always spares at least one rank so a run can complete on
+        a non-empty surviving membership (and never kills the only rank
+        of a ``p = 1`` machine).
+    dead_ranks:
+        Explicit, deterministic kill list (union'd with the sampled
+        victims; out-of-range ranks are ignored at bind time).
+    after_accepts:
+        How many frames a doomed rank accepts before dying.  ``0`` (the
+        default) means dead on arrival — the failure strikes during
+        distribution; a larger value lets the rank survive distribution
+        and die mid-application, which is the peer-redistribution
+        recovery scenario.
+    detect_after:
+        Missed-ack threshold ``k``: the host only *declares* a rank dead
+        after ``k`` consecutive unacknowledged attempts, each charged
+        the full message cost plus its backoff timeout — detection is
+        never free knowledge.
+    """
+
+    probability: float = 0.0
+    dead_ranks: tuple[int, ...] = ()
+    after_accepts: int = 0
+    detect_after: int = 3
+
+    def __post_init__(self) -> None:
+        _check_probability("fail_stop.probability", self.probability)
+        object.__setattr__(self, "dead_ranks", tuple(int(r) for r in self.dead_ranks))
+        if any(r < 0 for r in self.dead_ranks):
+            raise ValueError(
+                f"fail_stop.dead_ranks must be non-negative, got {self.dead_ranks}"
+            )
+        if self.after_accepts < 0:
+            raise ValueError(
+                f"fail_stop.after_accepts must be >= 0, got {self.after_accepts}"
+            )
+        if self.detect_after < 1:
+            raise ValueError(
+                f"fail_stop.detect_after must be >= 1, got {self.detect_after}"
+            )
+
+    @property
+    def active(self) -> bool:
+        """True when this spec can actually kill a rank."""
+        return self.probability > 0 or bool(self.dead_ranks)
+
+
+@dataclass(frozen=True)
 class FaultSpec:
     """A complete fault plan (see module docstring for the taxonomy)."""
 
@@ -123,6 +188,7 @@ class FaultSpec:
     corrupt: float = 0.0
     slowdown: SlowdownSpec = field(default_factory=SlowdownSpec)
     crash: CrashSpec = field(default_factory=CrashSpec)
+    fail_stop: FailStopSpec = field(default_factory=FailStopSpec)
     retry: RetryPolicy = field(default_factory=RetryPolicy)
 
     def __post_init__(self) -> None:
@@ -145,6 +211,7 @@ class FaultSpec:
             or self.corrupt > 0
             or (self.slowdown.probability > 0 and self.slowdown.factor > 1)
             or self.crash.probability > 0
+            or self.fail_stop.active
         )
 
     @classmethod
@@ -170,7 +237,10 @@ class FaultSpec:
 
         Unknown keys are rejected so typos in a spec file fail loudly.
         """
-        known = {"drop", "duplicate", "reorder", "corrupt", "slowdown", "crash", "retry"}
+        known = {
+            "drop", "duplicate", "reorder", "corrupt",
+            "slowdown", "crash", "fail_stop", "retry",
+        }
         unknown = set(raw) - known
         if unknown:
             raise ValueError(
@@ -185,6 +255,18 @@ class FaultSpec:
             kwargs["slowdown"] = SlowdownSpec(**dict(raw["slowdown"]))
         if "crash" in raw:
             kwargs["crash"] = CrashSpec(**dict(raw["crash"]))
+        if "fail_stop" in raw:
+            fs = dict(raw["fail_stop"])
+            fs_known = {"probability", "dead_ranks", "after_accepts", "detect_after"}
+            fs_unknown = set(fs) - fs_known
+            if fs_unknown:
+                raise ValueError(
+                    f"unknown fail_stop keys {sorted(fs_unknown)}; "
+                    f"known: {sorted(fs_known)}"
+                )
+            if "dead_ranks" in fs:
+                fs["dead_ranks"] = tuple(fs["dead_ranks"])
+            kwargs["fail_stop"] = FailStopSpec(**fs)
         if "retry" in raw:
             kwargs["retry"] = RetryPolicy(**dict(raw["retry"]))
         return cls(**kwargs)

@@ -21,6 +21,9 @@ COUNTER_KEYS = (
     "duplicates",    # duplicate deliveries discarded by sequence number
     "reorders",      # deliveries that arrived out of order
     "forced",        # deliveries forced after max_retries (escalation)
+    "failstop_drops",  # frames sent to a permanently dead rank (no ack ever)
+    "detections",    # rank deaths declared after detect_after missed acks
+    "heartbeats",    # explicit heartbeat probes sent by the host
 )
 
 

@@ -8,6 +8,7 @@ from .collectives import allgather, broadcast, gather, reduce, ring_allgather, s
 from .cost_model import CostModel, ratio_cost_model, sp2_cost_model, unit_cost_model
 from .export import dump_json, result_to_dict, trace_to_dict
 from .machine import HOST, Machine
+from .membership import DeadRankError, DetectionRecord, Membership
 from .packing import PackedBuffer
 from .processor import Message, Processor
 from .timeline import render_timeline
@@ -26,9 +27,12 @@ __all__ = [
     "ring_allgather",
     "scatter",
     "CostModel",
+    "DeadRankError",
+    "DetectionRecord",
     "Event",
     "EventKind",
     "Machine",
+    "Membership",
     "MeshTopology",
     "Message",
     "PackedBuffer",

@@ -83,6 +83,11 @@ def result_to_dict(result) -> dict[str, Any]:
             if getattr(result, "fault_summary", None) is not None
             else {}
         ),
+        **(
+            {"recovery_summary": result.recovery_summary.to_dict()}
+            if getattr(result, "recovery_summary", None) is not None
+            else {}
+        ),
     }
 
 

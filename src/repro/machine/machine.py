@@ -50,6 +50,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any
 
 from .cost_model import CostModel, sp2_cost_model
+from .membership import DeadRankError, Membership
 from .processor import Message, Processor
 from .topology import HOST, SwitchTopology, Topology
 from .trace import Event, EventKind, Phase, TraceLog
@@ -57,7 +58,7 @@ from .trace import Event, EventKind, Phase, TraceLog
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults.injector import FaultInjector
 
-__all__ = ["Machine", "HOST"]
+__all__ = ["Machine", "HOST", "DeadRankError"]
 
 
 class Machine:
@@ -112,6 +113,9 @@ class Machine:
                 f"machine has {n_procs}"
             )
         self.procs = [Processor(r) for r in range(n_procs)]
+        #: the host's view of which ranks are alive (fail-stop detection);
+        #: full membership forever on machines without fail-stop faults
+        self.membership = Membership(n_procs)
         #: the host's own memory (the global array lives here)
         self.host_memory: dict[str, Any] = {}
         #: messages sent back to the host (gather traffic), arrival order
@@ -146,6 +150,7 @@ class Machine:
         time by its (≥ 1) factor.
         """
         self._check_rank(rank)
+        self._check_not_failed(rank)
         t = self.cost.ops_time(n_ops) / self.proc_speeds[rank]
         if self.faults is not None:
             t *= self.faults.slowdown_factor(rank)
@@ -183,6 +188,39 @@ class Machine:
             raise ValueError(f"n_elements must be non-negative, got {n_elements}")
         hops = max(self.topology.hops(src, dst), 1)
         if self.faults is not None:
+            if src != HOST:
+                self._check_not_failed(src)  # dead nodes send nothing
+            if src == dst:
+                # self-send: the frame never touches the interconnect, so
+                # there is nothing for the injector to drop, corrupt,
+                # duplicate or reorder.  Charged and delivered exactly
+                # like the fault-free path (p=1 edge case; see
+                # tests/faults/test_edge_cases.py).
+                t = self.cost.message_time(n_elements, hops=hops)
+                self.trace.record(
+                    Event(
+                        phase,
+                        EventKind.MESSAGE,
+                        src,
+                        t,
+                        quantity=int(n_elements),
+                        label=tag,
+                        src=src,
+                        dst=dst,
+                    )
+                )
+                self.procs[dst].deliver(
+                    Message(
+                        src=src, dst=dst, tag=tag,
+                        payload=payload, n_elements=n_elements,
+                    )
+                )
+                return t
+            if not self.membership.is_alive(dst):
+                # the host already paid the detection timeouts for this
+                # rank; addressing it again is a programming error in the
+                # recovery layer, surfaced for free.
+                raise DeadRankError(dst, detected=True)
             return self._reliable_transmit(
                 src, dst, payload, n_elements, phase, tag, hops, actor=src
             )
@@ -223,6 +261,7 @@ class Machine:
             raise ValueError(f"n_elements must be non-negative, got {n_elements}")
         hops = max(self.topology.hops(src, HOST), 1)
         if self.faults is not None:
+            self._check_not_failed(src)  # dead nodes send nothing
             return self._reliable_transmit(
                 src, HOST, payload, n_elements, phase, tag, hops, actor=HOST
             )
@@ -295,8 +334,55 @@ class Machine:
         policy = inj.spec.retry
         total = 0.0
         attempt = 0
+        missed_acks = 0   # consecutive attempts swallowed by a dead rank
+        t_detect = 0.0    # time charged for those missed-ack attempts
         while True:
             attempt += 1
+            if dst != HOST and inj.rank_failed(dst):
+                # Fail-stop: the destination is permanently dead.  The
+                # frame goes onto the wire (full message cost), no ack
+                # ever comes back (backoff timeout), and — unlike every
+                # transient fault — delivery is never forced.  After
+                # ``detect_after`` missed acks the host declares the rank
+                # dead and the failure surfaces as DeadRankError.
+                t = self.cost.message_time(n_elements, hops=hops)
+                self.trace.record(
+                    Event(
+                        phase, EventKind.MESSAGE, actor, t,
+                        quantity=int(n_elements), label=tag, src=src, dst=dst,
+                    )
+                )
+                backoff = policy.backoff_ms(attempt)
+                self.trace.record(
+                    Event(
+                        phase, EventKind.FAULT, actor, 0.0,
+                        quantity=int(n_elements),
+                        label=Attempt.FAILSTOP.value, src=src, dst=dst,
+                    )
+                )
+                self.trace.record(
+                    Event(
+                        phase, EventKind.RETRY, actor, backoff,
+                        quantity=attempt, label=tag, src=src, dst=dst,
+                    )
+                )
+                total += t + backoff
+                t_detect += t + backoff
+                missed_acks += 1
+                inj.stats.count(phase, "attempts")
+                inj.stats.count(phase, "failstop_drops")
+                inj.stats.count(phase, "retries")
+                if missed_acks >= inj.spec.fail_stop.detect_after:
+                    self._declare_dead(
+                        dst, phase, missed_acks=missed_acks, time_ms=t_detect
+                    )
+                    raise DeadRankError(
+                        dst,
+                        detected=True,
+                        missed_acks=missed_acks,
+                        time_charged=total,
+                    )
+                continue
             t = self.cost.message_time(n_elements, hops=hops)
             self.trace.record(
                 Event(
@@ -386,6 +472,11 @@ class Machine:
                     )
                 )
             self._deliver(msg, insert_at)
+            if dst != HOST:
+                # a doomed rank counts accepted frames towards its
+                # fail-stop budget; once it hits after_accepts it is dead
+                # for all subsequent traffic (this frame dies with it).
+                inj.record_accept(dst)
             # the network may duplicate the delivered frame; the copy
             # occupies the wire again and is discarded at the receiver.
             if inj.should_duplicate():
@@ -435,6 +526,7 @@ class Machine:
         happens unless someone mutated a delivered payload.
         """
         self._check_rank(rank)
+        self._check_not_failed(rank)
         msg = self.procs[rank].receive(tag)
         if self.faults is not None and msg.checksum is not None:
             from ..faults.checksum import CorruptFrameError, payload_checksum
@@ -460,6 +552,113 @@ class Machine:
         )
 
     # ------------------------------------------------------------------
+    # fail-stop detection and membership (fault mode only)
+    # ------------------------------------------------------------------
+    def _check_not_failed(self, rank: int) -> None:
+        """Simulator guard: code cannot run on / talk from a dead node.
+
+        Raises :class:`DeadRankError` with ``detected`` reflecting whether
+        the host has already paid for the knowledge.  No-op on fault-free
+        machines and for live ranks.
+        """
+        if self.faults is not None and self.faults.rank_failed(rank):
+            raise DeadRankError(
+                rank, detected=not self.membership.is_alive(rank)
+            )
+
+    def _declare_dead(
+        self, rank: int, phase: Phase, *, missed_acks: int, time_ms: float
+    ) -> None:
+        """Record a completed detection: epoch bump + trace event + wipe."""
+        inj = self.faults
+        if inj is not None:
+            inj.stats.count(phase, "detections")
+        self.membership.declare_dead(
+            rank, phase=phase.value, missed_acks=missed_acks, time_ms=time_ms
+        )
+        self.trace.record(
+            Event(
+                phase, EventKind.FAULT, HOST, 0.0,
+                quantity=missed_acks, label="fail-stop-detect",
+                src=HOST, dst=rank,
+            )
+        )
+        # the node is gone: everything it held or had queued dies with it
+        self.procs[rank].reset()
+
+    def confirm_failure(self, rank: int, phase: Phase) -> float:
+        """Heartbeat-probe a suspected-dead rank until the detect threshold.
+
+        Used when death is learned receive-side (a simulator guard raised
+        ``DeadRankError(detected=False)``): the host cannot act on
+        knowledge it has not paid for, so it sends ``detect_after``
+        zero-element heartbeat probes — each charged ``T_Startup·hops``
+        plus the retry policy's backoff — and only then declares the rank
+        dead.  Returns the total time charged (0.0 if already declared).
+        """
+        self._check_rank(rank)
+        if not self.membership.is_alive(rank):
+            return 0.0
+        inj = self.faults
+        if inj is None:
+            raise ValueError("confirm_failure needs an attached fault injector")
+        if not inj.rank_failed(rank):
+            raise ValueError(f"rank {rank} is alive; nothing to confirm")
+        fs = inj.spec.fail_stop
+        policy = inj.spec.retry
+        hops = max(self.topology.hops(HOST, rank), 1)
+        total = 0.0
+        for attempt in range(1, fs.detect_after + 1):
+            t = self.cost.message_time(0, hops=hops)
+            self.trace.record(
+                Event(
+                    phase, EventKind.MESSAGE, HOST, t,
+                    quantity=0, label="heartbeat", src=HOST, dst=rank,
+                )
+            )
+            backoff = policy.backoff_ms(attempt)
+            self.trace.record(
+                Event(
+                    phase, EventKind.RETRY, HOST, backoff,
+                    quantity=attempt, label="heartbeat", src=HOST, dst=rank,
+                )
+            )
+            total += t + backoff
+            inj.stats.count(phase, "attempts")
+            inj.stats.count(phase, "heartbeats")
+            inj.stats.count(phase, "retries")
+        self._declare_dead(
+            rank, phase, missed_acks=fs.detect_after, time_ms=total
+        )
+        return total
+
+    def purge_mailboxes(self, tag: str | None = None) -> int:
+        """Drop undelivered frames from every mailbox (host included).
+
+        Recovery bookkeeping: after a membership change, in-flight frames
+        addressed under the old epoch are stale and must not be consumed
+        by re-driven traffic.  Free of charge (the frames are simply never
+        read).  Returns how many frames were discarded.
+        """
+        dropped = 0
+        for proc in self.procs:
+            if tag is None:
+                dropped += len(proc.mailbox)
+                proc.mailbox.clear()
+            else:
+                keep = [m for m in proc.mailbox if m.tag != tag]
+                dropped += len(proc.mailbox) - len(keep)
+                proc.mailbox[:] = keep
+        if tag is None:
+            dropped += len(self.host_mailbox)
+            self.host_mailbox.clear()
+        else:
+            keep = [m for m in self.host_mailbox if m.tag != tag]
+            dropped += len(self.host_mailbox) - len(keep)
+            self.host_mailbox[:] = keep
+        return dropped
+
+    # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
     def _check_rank(self, rank: int) -> None:
@@ -468,6 +667,7 @@ class Machine:
 
     def processor(self, rank: int) -> Processor:
         self._check_rank(rank)
+        self._check_not_failed(rank)
         return self.procs[rank]
 
     def reset(self) -> None:
@@ -482,6 +682,7 @@ class Machine:
         self.host_mailbox.clear()
         self._host_seen_seqs.clear()
         self.trace.clear()
+        self.membership.reset()
         if self.faults is not None:
             self.faults.reset()
 

@@ -1,0 +1,95 @@
+"""Recovery report: what a fail-stop failure cost and how it was repaired.
+
+Kept free of intra-package imports so :mod:`repro.core.base` can reference
+:class:`RecoverySummary` (under ``TYPE_CHECKING``) without a cycle — the
+recovery manager imports the core schemes, not the other way round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RecoverySummary"]
+
+
+@dataclass(frozen=True)
+class RecoverySummary:
+    """Detection + repair accounting for one recovered run.
+
+    All times are simulated milliseconds already recorded in the machine's
+    trace; this record just separates *recovery* costs (everything charged
+    after the first failure surfaced) from the productive work.
+    """
+
+    #: ``"host-resend"`` or ``"peer-redistribute"`` (``"app-rollback"`` for
+    #: the iterative-app runtime)
+    policy: str
+    #: physical ranks declared dead, ascending
+    failed_ranks: tuple[int, ...] = ()
+    #: physical ranks still alive, ascending (the degraded roster)
+    survivor_ranks: tuple[int, ...] = ()
+    #: membership epoch after the last declaration (0 = no failures)
+    epoch: int = 0
+    #: completed dead-rank declarations
+    detections: int = 0
+    #: unacknowledged sends / heartbeat probes paid before declaring
+    missed_acks: int = 0
+    #: message + backoff time charged for all detections (ms)
+    detection_time_ms: float = 0.0
+    #: re-driven scheme runs / redistribution attempts (0 = clean run)
+    recovery_rounds: int = 0
+    #: messages charged after the first failure surfaced
+    recovery_messages: int = 0
+    #: array elements moved by those messages
+    recovery_elements: int = 0
+    #: simulated time charged after the first failure surfaced (ms)
+    recovery_time_ms: float = 0.0
+    #: elements gathered into host-side RO/CO/VL checkpoint replicas
+    checkpoint_elements: int = 0
+    #: app iterations replayed after a mid-iteration failure
+    rollbacks: int = 0
+    #: dead ranks per repair step, for multi-failure post-mortems
+    failure_sequence: tuple[int, ...] = field(default=())
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.failed_ranks)
+
+    def line(self) -> str:
+        """One-line human summary (mirrors ``SchemeResult.fault_line``)."""
+        if not self.failed:
+            return f"recovery[{self.policy}]: no failures"
+        parts = [
+            f"recovery[{self.policy}]:",
+            f"dead={list(self.failed_ranks)}",
+            f"epoch={self.epoch}",
+            f"detect={self.missed_acks} acks/{self.detection_time_ms:.3f}ms",
+            f"rounds={self.recovery_rounds}",
+            f"moved={self.recovery_elements} elems"
+            f"/{self.recovery_messages} msgs",
+            f"t_rec={self.recovery_time_ms:.3f}ms",
+        ]
+        if self.checkpoint_elements:
+            parts.append(f"ckpt={self.checkpoint_elements} elems")
+        if self.rollbacks:
+            parts.append(f"rollbacks={self.rollbacks}")
+        return " ".join(parts)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (used by the runtime exporters and the CLI)."""
+        return {
+            "policy": self.policy,
+            "failed_ranks": list(self.failed_ranks),
+            "survivor_ranks": list(self.survivor_ranks),
+            "epoch": self.epoch,
+            "detections": self.detections,
+            "missed_acks": self.missed_acks,
+            "detection_time_ms": self.detection_time_ms,
+            "recovery_rounds": self.recovery_rounds,
+            "recovery_messages": self.recovery_messages,
+            "recovery_elements": self.recovery_elements,
+            "recovery_time_ms": self.recovery_time_ms,
+            "checkpoint_elements": self.checkpoint_elements,
+            "rollbacks": self.rollbacks,
+            "failure_sequence": list(self.failure_sequence),
+        }

@@ -1,0 +1,277 @@
+"""Machine views used by the recovery layer.
+
+:class:`SurvivorView`
+    Presents the surviving processors of a partially-failed machine as a
+    dense virtual machine with ranks ``0..p'-1``.  Scheme and app code is
+    written against contiguous ranks (a partition plan's assignments are
+    ``0..p-1``); after a fail-stop death the physical roster has holes, so
+    recovery re-plans for ``p'`` processors and runs the unchanged code
+    against this facade, which translates every rank on the way through.
+
+:class:`GhostView`
+    Presents the *original* ``p`` ranks of a machine whose dead slots are
+    simulated host-side by ghost :class:`~repro.machine.processor.
+    Processor` objects.  The peer-redistribution policy uses it to re-drive
+    a scheme under the old partition plan: live ranks do their work on the
+    real machine; a dead rank's share is performed *by the host* (its
+    "send" is a host-local buffer move, its compute is charged to the
+    host's serial timeline).  Afterwards the ghosts hold exactly the
+    RO/CO/VL state the dead processors would have held — the host-side
+    checkpoint replicas that peer redistribution then scatters over the
+    survivors.
+
+Both views deliberately expose only the :class:`~repro.machine.machine.
+Machine` surface the schemes/apps use (``send``/``receive``/``charge_*``/
+``processor``/``trace``/…); anything else is a bug worth surfacing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Sequence
+
+from ..machine.machine import HOST, Machine
+from ..machine.processor import Message, Processor
+from ..machine.trace import Phase
+
+__all__ = ["GhostView", "SurvivorView"]
+
+
+class SurvivorView:
+    """A dense-rank facade over the surviving processors of ``machine``."""
+
+    def __init__(self, machine: Machine, ranks: Sequence[int]) -> None:
+        ranks = list(ranks)
+        if not ranks:
+            raise ValueError("a survivor view needs at least one rank")
+        seen = set()
+        for r in ranks:
+            if not 0 <= r < machine.n_procs:
+                raise ValueError(f"rank {r} out of range for p={machine.n_procs}")
+            if r in seen:
+                raise ValueError(f"duplicate rank {r} in survivor view")
+            seen.add(r)
+        self.machine = machine
+        self._physical = list(ranks)
+        self._virtual = {phys: v for v, phys in enumerate(ranks)}
+
+    # -- rank translation ------------------------------------------------
+    @property
+    def n_procs(self) -> int:
+        return len(self._physical)
+
+    def physical(self, rank: int) -> int:
+        """Physical rank behind virtual ``rank``."""
+        try:
+            return self._physical[rank]
+        except IndexError:
+            raise ValueError(
+                f"virtual rank {rank} out of range for p'={self.n_procs}"
+            ) from None
+
+    def virtual(self, phys: int) -> int:
+        """Virtual rank of physical ``phys`` (must be a survivor)."""
+        try:
+            return self._virtual[phys]
+        except KeyError:
+            raise ValueError(f"physical rank {phys} is not in this view") from None
+
+    # -- delegated machine surface --------------------------------------
+    @property
+    def cost(self):
+        return self.machine.cost
+
+    @property
+    def topology(self):
+        return self.machine.topology
+
+    @property
+    def trace(self):
+        return self.machine.trace
+
+    @property
+    def membership(self):
+        return self.machine.membership
+
+    @property
+    def faults(self):
+        return self.machine.faults
+
+    @property
+    def host_memory(self) -> dict[str, Any]:
+        return self.machine.host_memory
+
+    def fault_summary(self):
+        return self.machine.fault_summary()
+
+    def charge_host_ops(self, n_ops: int, phase: Phase, label: str = "") -> float:
+        return self.machine.charge_host_ops(n_ops, phase, label)
+
+    def charge_proc_ops(
+        self, rank: int, n_ops: int, phase: Phase, label: str = ""
+    ) -> float:
+        return self.machine.charge_proc_ops(self.physical(rank), n_ops, phase, label)
+
+    def processor(self, rank: int) -> Processor:
+        return self.machine.processor(self.physical(rank))
+
+    def send(
+        self,
+        dst: int,
+        payload: Any,
+        n_elements: int,
+        phase: Phase,
+        *,
+        src: int = HOST,
+        tag: str = "",
+    ) -> float:
+        return self.machine.send(
+            self.physical(dst),
+            payload,
+            n_elements,
+            phase,
+            src=src if src == HOST else self.physical(src),
+            tag=tag,
+        )
+
+    def send_to_host(
+        self, src: int, payload: Any, n_elements: int, phase: Phase, *, tag: str = ""
+    ) -> float:
+        return self.machine.send_to_host(
+            self.physical(src), payload, n_elements, phase, tag=tag
+        )
+
+    def receive(
+        self, rank: int, tag: str | None = None, *, phase: Phase | None = None
+    ) -> Message:
+        return self.machine.receive(self.physical(rank), tag, phase=phase)
+
+    def host_receive(self, tag: str | None = None) -> Message:
+        """Pop a host message, translating its source to the virtual rank."""
+        msg = self.machine.host_receive(tag)
+        if msg.src == HOST or msg.src not in self._virtual:
+            return msg
+        return replace(msg, src=self._virtual[msg.src])
+
+    def __repr__(self) -> str:
+        return f"SurvivorView(p'={self.n_procs}, physical={self._physical})"
+
+
+class GhostView:
+    """The original roster with dead slots simulated host-side.
+
+    ``ghosts`` maps a dead physical rank to the host-held ghost
+    :class:`Processor` standing in for it.  Traffic to a ghost never
+    touches the interconnect: the host moves the buffer into the ghost's
+    mailbox at one op per element, and the ghost's compute is charged to
+    the host's *serial* timeline (the host really does that work while the
+    live processors run in parallel — a deliberately honest overhead).
+    """
+
+    def __init__(self, machine: Machine, ghosts: dict[int, Processor]) -> None:
+        for rank in ghosts:
+            if not 0 <= rank < machine.n_procs:
+                raise ValueError(f"ghost rank {rank} out of range")
+            if machine.membership.is_alive(rank):
+                raise ValueError(f"rank {rank} is alive; it cannot be a ghost")
+        self.machine = machine
+        self.ghosts = ghosts
+
+    @property
+    def n_procs(self) -> int:
+        return self.machine.n_procs
+
+    @property
+    def cost(self):
+        return self.machine.cost
+
+    @property
+    def topology(self):
+        return self.machine.topology
+
+    @property
+    def trace(self):
+        return self.machine.trace
+
+    @property
+    def membership(self):
+        return self.machine.membership
+
+    @property
+    def faults(self):
+        return self.machine.faults
+
+    @property
+    def host_memory(self) -> dict[str, Any]:
+        return self.machine.host_memory
+
+    def fault_summary(self):
+        return self.machine.fault_summary()
+
+    def charge_host_ops(self, n_ops: int, phase: Phase, label: str = "") -> float:
+        return self.machine.charge_host_ops(n_ops, phase, label)
+
+    def charge_proc_ops(
+        self, rank: int, n_ops: int, phase: Phase, label: str = ""
+    ) -> float:
+        if rank in self.ghosts:
+            # the host performs the dead processor's work, serially
+            return self.machine.charge_host_ops(n_ops, phase, label=f"ghost-{label}")
+        return self.machine.charge_proc_ops(rank, n_ops, phase, label)
+
+    def processor(self, rank: int) -> Processor:
+        if rank in self.ghosts:
+            return self.ghosts[rank]
+        return self.machine.processor(rank)
+
+    def send(
+        self,
+        dst: int,
+        payload: Any,
+        n_elements: int,
+        phase: Phase,
+        *,
+        src: int = HOST,
+        tag: str = "",
+    ) -> float:
+        if dst in self.ghosts:
+            if src != HOST and src in self.ghosts:
+                raise ValueError("ghost-to-ghost traffic is not modelled")
+            # host-local buffer move into the ghost replica: one op/element
+            t = self.machine.charge_host_ops(
+                n_elements, phase, label=f"ghost-send:{tag}" if tag else "ghost-send"
+            )
+            self.ghosts[dst].deliver(
+                Message(src=src, dst=dst, tag=tag, payload=payload, n_elements=n_elements)
+            )
+            return t
+        return self.machine.send(dst, payload, n_elements, phase, src=src, tag=tag)
+
+    def send_to_host(
+        self, src: int, payload: Any, n_elements: int, phase: Phase, *, tag: str = ""
+    ) -> float:
+        if src in self.ghosts:
+            t = self.machine.charge_host_ops(
+                n_elements, phase, label=f"ghost-gather:{tag}" if tag else "ghost-gather"
+            )
+            self.machine.host_mailbox.append(
+                Message(src=src, dst=HOST, tag=tag, payload=payload, n_elements=n_elements)
+            )
+            return t
+        return self.machine.send_to_host(src, payload, n_elements, phase, tag=tag)
+
+    def receive(
+        self, rank: int, tag: str | None = None, *, phase: Phase | None = None
+    ) -> Message:
+        if rank in self.ghosts:
+            # ghost frames never crossed the wire: no checksum, no verify op
+            return self.ghosts[rank].receive(tag)
+        return self.machine.receive(rank, tag, phase=phase)
+
+    def host_receive(self, tag: str | None = None) -> Message:
+        return self.machine.host_receive(tag)
+
+    def __repr__(self) -> str:
+        return (
+            f"GhostView(p={self.n_procs}, ghosts={sorted(self.ghosts)})"
+        )

@@ -37,6 +37,7 @@ def run_scheme(
     plan: PartitionPlan | None = None,
     faults: FaultSpec | None = None,
     fault_seed: int = 0,
+    recovery: str | None = None,
 ) -> SchemeResult:
     """Run one scheme on a fresh simulated machine.
 
@@ -45,13 +46,28 @@ def run_scheme(
     wanted.  ``faults`` attaches a deterministic fault injector (seeded
     with ``fault_seed``); the result's ``fault_summary`` then reports what
     the injector did and all retries are charged through the cost model.
+
+    ``recovery`` (``"host-resend"`` | ``"peer-redistribute"``) runs the
+    scheme through the fail-stop recovery manager: rank deaths from the
+    fault plan's ``fail_stop`` spec are detected, repaired on the
+    surviving membership and reported in ``result.recovery_summary``.
+    Requires ``faults``; a pre-built ``plan`` cannot be combined with it
+    (recovery re-plans for the survivors).
     """
+    method = partition if isinstance(partition, PartitionMethod) else get_partition(partition)
     if plan is None:
-        method = partition if isinstance(partition, PartitionMethod) else get_partition(partition)
         plan = method.plan(matrix.shape, n_procs)
     injector = FaultInjector(faults, seed=fault_seed) if faults is not None else None
     machine = Machine(plan.n_procs, cost=cost, topology=topology, faults=injector)
     comp: type[CompressedLocal] = get_compression(compression)
+    if recovery is not None:
+        if injector is None:
+            raise ValueError("recovery needs a fault plan (faults=...)")
+        from ..recovery.manager import run_with_recovery
+
+        return run_with_recovery(
+            get_scheme(scheme), machine, matrix, method, comp, policy=recovery
+        )
     return get_scheme(scheme).run(machine, matrix, plan, comp)
 
 
@@ -76,6 +92,10 @@ class ExperimentConfig:
     cost: CostModel = field(default_factory=sp2_cost_model)
     faults: FaultSpec | None = None
     fault_seed: int = 0
+    #: fail-stop recovery policy ("host-resend" | "peer-redistribute");
+    #: None runs without the recovery manager (a fail-stop death then
+    #: surfaces as DeadRankError)
+    recovery: str | None = None
 
     def make_matrix(self) -> COOMatrix:
         """The test sample for this cell (paper: n×n, fixed sparse ratio)."""
@@ -100,4 +120,5 @@ def run_config(config: ExperimentConfig, matrix: COOMatrix | None = None) -> Sch
         cost=config.cost,
         faults=config.faults,
         fault_seed=config.fault_seed,
+        recovery=config.recovery,
     )

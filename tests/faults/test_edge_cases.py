@@ -207,3 +207,135 @@ class TestGeneralConversionFallback:
         for scheme in ALL_SCHEMES:
             clean, _, chaotic = run_pair(scheme, matrix, plan, "ccs")
             assert_locals_match(clean, chaotic)
+
+
+class TestSingleProcessorUnderFaults:
+    """p = 1: every proc-to-proc frame is a self-send (src == dst).
+
+    A frame that never touches the interconnect cannot be dropped,
+    corrupted, duplicated or reordered — the machine short-circuits
+    self-sends past the injector, charging them exactly like the
+    fault-free path.  And a one-rank machine can never lose its only
+    rank: the injector refuses to doom it.
+    """
+
+    def test_self_send_bypasses_injection(self):
+        from repro.faults.spec import FailStopSpec
+        from repro.machine import Machine, Phase, unit_cost_model
+
+        spec = FaultSpec(
+            drop=0.45, duplicate=0.4, reorder=0.4, corrupt=0.45,
+            fail_stop=FailStopSpec(dead_ranks=(0,)),
+            retry=RetryPolicy(timeout_ms=0.01),
+        )
+        m = Machine(
+            1, cost=unit_cost_model(), faults=FaultInjector(spec, seed=5)
+        )
+        assert m.faults.doomed_ranks == ()  # the only rank is spared
+        payload = np.arange(8.0)
+        for i in range(25):
+            t = m.send(0, payload, 8, Phase.COMPUTE, src=0, tag=f"s{i}")
+            assert t == m.cost.message_time(8)  # fault-free price
+        assert len(m.procs[0].mailbox) == 25
+        stats = m.faults.stats
+        for counter in ("drops", "corruptions", "duplicates", "reorders",
+                        "retries", "forced", "failstop_drops"):
+            assert stats.total(counter) == 0, counter
+
+    def test_self_send_charged_like_fault_free_machine(self):
+        from repro.machine import Machine, Phase, unit_cost_model
+
+        clean = Machine(1, cost=unit_cost_model())
+        chaotic = Machine(
+            1, cost=unit_cost_model(),
+            faults=FaultInjector(CHAOS, seed=2),
+        )
+        payload = np.arange(5.0)
+        t_clean = clean.send(0, payload, 5, Phase.DISTRIBUTION, src=0)
+        t_chaos = chaotic.send(0, payload, 5, Phase.DISTRIBUTION, src=0)
+        assert t_chaos == t_clean
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_p1_schemes_identical_under_chaos(self, scheme):
+        """A full scheme run on p = 1 (host→rank traffic still goes through
+        the reliable protocol; proc self-traffic does not)."""
+        matrix = random_sparse((8, 8), 0.25, seed=12)
+        plan = RowPartition().plan(matrix.shape, 1)
+        clean, machine, chaotic = run_pair(scheme, matrix, plan, "crs")
+        assert_locals_match(clean, chaotic)
+        assert chaotic.t_total >= clean.t_total
+
+
+class TestCombinedReorderDuplicateCorrupt:
+    """All three non-loss fault classes at once (no drops): duplicates must
+    be deduped, reordered frames must still be found by tag, and corrupt
+    frames must be NACKed and resent — simultaneously."""
+
+    COMBO = FaultSpec(
+        duplicate=0.4,
+        reorder=0.4,
+        corrupt=0.45,
+        retry=RetryPolicy(timeout_ms=0.01, backoff=2.0, max_retries=8),
+    )
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    @pytest.mark.parametrize("compression", ["crs", "ccs"])
+    def test_state_identical_and_all_three_fired(self, scheme, compression):
+        matrix = random_sparse((24, 24), 0.3, seed=21)
+        plan = RowPartition().plan(matrix.shape, 6)
+        clean, machine, chaotic = run_pair(
+            scheme, matrix, plan, compression, spec=self.COMBO, seed=31
+        )
+        assert_locals_match(clean, chaotic)
+        assert chaotic.t_total > clean.t_total
+        stats = machine.faults.stats
+        # the enabled classes perturbed the run ...
+        assert stats.total("duplicates") + stats.total("corruptions") > 0
+        # ... and the disabled one never fired
+        assert stats.total("drops") == 0
+
+    def test_all_three_classes_fire_on_one_stream(self):
+        """Reordering needs a backlog (it permutes *pending* mailbox
+        entries), so drive a long host→rank stream without draining and
+        check every enabled class actually fired — simultaneously."""
+        from repro.machine import Machine, Phase, unit_cost_model
+
+        m = Machine(
+            2, cost=unit_cost_model(),
+            faults=FaultInjector(self.COMBO, seed=13),
+        )
+        payload = np.arange(6.0)
+        for i in range(60):
+            m.send(0, payload, 6, Phase.DISTRIBUTION, tag=f"f{i}")
+        stats = m.faults.stats
+        assert stats.total("duplicates") > 0
+        assert stats.total("reorders") > 0
+        assert stats.total("corruptions") > 0
+        assert stats.total("drops") == 0
+        # duplicates were discarded and reorders only permuted: exactly
+        # one copy of each tagged frame is retrievable
+        for i in range(60):
+            msg = m.receive(0, tag=f"f{i}")
+            np.testing.assert_array_equal(msg.payload, payload)
+        assert len(m.procs[0].mailbox) == 0
+
+    def test_combined_plan_keeps_schemes_agreeing(self):
+        matrix = random_sparse((18, 18), 0.25, seed=23)
+        plan = RowPartition().plan(matrix.shape, 3)
+        results = [
+            run_pair(s, matrix, plan, "crs", spec=self.COMBO, seed=40 + i)[2]
+            for i, s in enumerate(ALL_SCHEMES)
+        ]
+        verify_all_schemes_agree(results)
+
+    def test_combined_plan_is_seed_deterministic(self):
+        matrix = random_sparse((16, 16), 0.25, seed=25)
+        plan = RowPartition().plan(matrix.shape, 4)
+        runs = [
+            run_pair("cfs", matrix, plan, "crs", spec=self.COMBO, seed=9)
+            for _ in range(2)
+        ]
+        (_, m1, r1), (_, m2, r2) = runs
+        assert_locals_match(r1, r2)
+        assert r1.t_total == r2.t_total
+        assert m1.faults.stats.summary() == m2.faults.stats.summary()

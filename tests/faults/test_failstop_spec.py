@@ -1,0 +1,73 @@
+"""FailStopSpec validation and (de)serialisation."""
+
+import pytest
+
+from repro.faults import FailStopSpec, FaultSpec
+
+
+class TestValidation:
+    def test_defaults_are_inactive(self):
+        fs = FailStopSpec()
+        assert not fs.active
+        assert not FaultSpec().any_faults
+
+    def test_active_via_probability_or_kill_list(self):
+        assert FailStopSpec(probability=0.5).active
+        assert FailStopSpec(dead_ranks=(2,)).active
+        assert FaultSpec(fail_stop=FailStopSpec(dead_ranks=(0,))).any_faults
+
+    def test_probability_range(self):
+        with pytest.raises(ValueError, match="probability"):
+            FailStopSpec(probability=1.0)
+        with pytest.raises(ValueError, match="probability"):
+            FailStopSpec(probability=-0.1)
+
+    def test_negative_dead_ranks_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FailStopSpec(dead_ranks=(1, -2))
+
+    def test_dead_ranks_coerced_to_int_tuple(self):
+        fs = FailStopSpec(dead_ranks=[3.0, 1])
+        assert fs.dead_ranks == (3, 1)
+
+    def test_after_accepts_nonnegative(self):
+        with pytest.raises(ValueError, match="after_accepts"):
+            FailStopSpec(after_accepts=-1)
+
+    def test_detect_after_at_least_one(self):
+        with pytest.raises(ValueError, match="detect_after"):
+            FailStopSpec(detect_after=0)
+
+
+class TestSerialisation:
+    def test_round_trip_through_json(self):
+        spec = FaultSpec(
+            drop=0.1,
+            fail_stop=FailStopSpec(
+                probability=0.25, dead_ranks=(1, 4), after_accepts=2,
+                detect_after=5,
+            ),
+        )
+        again = FaultSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.fail_stop.dead_ranks == (1, 4)
+
+    def test_from_dict_accepts_fail_stop_block(self):
+        spec = FaultSpec.from_dict(
+            {"fail_stop": {"dead_ranks": [2], "detect_after": 4}}
+        )
+        assert spec.fail_stop.dead_ranks == (2,)
+        assert spec.fail_stop.detect_after == 4
+        assert spec.fail_stop.after_accepts == 0  # default preserved
+
+    def test_unknown_fail_stop_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown fail_stop keys"):
+            FaultSpec.from_dict({"fail_stop": {"dead_rank": 2}})
+
+    def test_unknown_top_level_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault-spec keys"):
+            FaultSpec.from_dict({"failstop": {}})
+
+    def test_out_of_range_values_rejected_from_dict(self):
+        with pytest.raises(ValueError, match="detect_after"):
+            FaultSpec.from_dict({"fail_stop": {"detect_after": 0}})

@@ -1,0 +1,210 @@
+"""Fail-stop detection: missed-ack timeouts, membership epochs, heartbeats.
+
+The host never gets death knowledge for free (DESIGN.md §"Failure model"):
+a doomed rank stops acking, the sender pays ``detect_after`` full message
+costs plus exponential backoff, and only then does the membership layer
+declare the rank dead and raise :class:`DeadRankError`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults import FailStopSpec, FaultInjector, FaultSpec
+from repro.faults.spec import RetryPolicy
+from repro.machine import (
+    DeadRankError,
+    EventKind,
+    Machine,
+    Membership,
+    Phase,
+    unit_cost_model,
+)
+
+PAYLOAD = np.arange(6.0)
+
+
+def failstop_machine(n_procs=4, *, dead_ranks=(1,), after_accepts=0,
+                     detect_after=3, seed=0):
+    spec = FaultSpec(
+        fail_stop=FailStopSpec(
+            dead_ranks=dead_ranks,
+            after_accepts=after_accepts,
+            detect_after=detect_after,
+        ),
+        retry=RetryPolicy(timeout_ms=0.05, backoff=2.0),
+    )
+    return Machine(
+        n_procs, cost=unit_cost_model(), faults=FaultInjector(spec, seed=seed)
+    )
+
+
+class TestSendSideDetection:
+    def test_send_to_doomed_rank_pays_then_raises(self):
+        m = failstop_machine(detect_after=3)
+        with pytest.raises(DeadRankError) as exc:
+            m.send(1, PAYLOAD, len(PAYLOAD), Phase.DISTRIBUTION, tag="x")
+        err = exc.value
+        assert err.rank == 1
+        assert err.detected is True
+        assert err.missed_acks == 3
+        # 3 × (message + backoff): backoffs are 0.05, 0.1, 0.2
+        assert err.time_charged > 3 * m.cost.message_time(len(PAYLOAD))
+        assert m.membership.dead == [1]
+        assert m.membership.epoch == 1
+        [rec] = m.membership.detections
+        assert rec.rank == 1 and rec.missed_acks == 3
+        assert rec.time_ms == pytest.approx(err.time_charged)
+
+    def test_detection_events_recorded_in_trace(self):
+        m = failstop_machine(detect_after=4)
+        with pytest.raises(DeadRankError):
+            m.send(1, PAYLOAD, len(PAYLOAD), Phase.DISTRIBUTION, tag="x")
+        events = m.trace.phase_events(Phase.DISTRIBUTION)
+        drops = [e for e in events
+                 if e.kind is EventKind.FAULT and e.label == "fail-stop"]
+        retries = [e for e in events if e.kind is EventKind.RETRY]
+        declared = [e for e in events if e.label == "fail-stop-detect"]
+        assert len(drops) == 4
+        assert len(retries) == 4
+        assert len(declared) == 1
+        assert m.faults.stats.total("failstop_drops") == 4
+        assert m.faults.stats.total("detections") == 1
+
+    def test_second_send_to_declared_dead_raises_for_free(self):
+        m = failstop_machine()
+        with pytest.raises(DeadRankError):
+            m.send(1, PAYLOAD, len(PAYLOAD), Phase.DISTRIBUTION)
+        n_events = len(m.trace.events)
+        with pytest.raises(DeadRankError) as exc:
+            m.send(1, PAYLOAD, len(PAYLOAD), Phase.DISTRIBUTION)
+        assert exc.value.detected is True
+        assert len(m.trace.events) == n_events  # no extra charge
+
+    def test_after_accepts_budget_spends_before_death(self):
+        m = failstop_machine(dead_ranks=(2,), after_accepts=2)
+        m.send(2, PAYLOAD, len(PAYLOAD), Phase.DISTRIBUTION, tag="a")
+        m.send(2, PAYLOAD, len(PAYLOAD), Phase.DISTRIBUTION, tag="b")
+        assert len(m.procs[2].mailbox) == 2
+        with pytest.raises(DeadRankError):
+            m.send(2, PAYLOAD, len(PAYLOAD), Phase.DISTRIBUTION, tag="c")
+        # the node is gone: its mailbox died with it
+        assert len(m.procs[2].mailbox) == 0
+
+    def test_dead_rank_cannot_send(self):
+        m = failstop_machine(dead_ranks=(1,), after_accepts=0)
+        with pytest.raises(DeadRankError):
+            m.send(2, PAYLOAD, len(PAYLOAD), Phase.DISTRIBUTION, src=1)
+
+
+class TestSimulatorGuardsAndHeartbeats:
+    def test_compute_on_dead_rank_is_undetected(self):
+        m = failstop_machine(dead_ranks=(1,))
+        with pytest.raises(DeadRankError) as exc:
+            m.charge_proc_ops(1, 10, Phase.COMPUTE)
+        assert exc.value.detected is False
+        assert m.membership.is_alive(1)  # knowledge not paid for yet
+
+    def test_confirm_failure_charges_heartbeats(self):
+        m = failstop_machine(dead_ranks=(1,), detect_after=3)
+        with pytest.raises(DeadRankError):
+            m.charge_proc_ops(1, 10, Phase.COMPUTE)
+        t = m.confirm_failure(1, Phase.COMPUTE)
+        assert t > 0.0
+        assert m.membership.dead == [1]
+        assert m.faults.stats.total("heartbeats") == 3
+        beats = [e for e in m.trace.phase_events(Phase.COMPUTE)
+                 if e.label == "heartbeat" and e.kind is EventKind.MESSAGE]
+        assert len(beats) == 3
+        # idempotent: a second confirmation is free
+        assert m.confirm_failure(1, Phase.COMPUTE) == 0.0
+
+    def test_confirm_failure_rejects_live_rank(self):
+        m = failstop_machine(dead_ranks=(1,))
+        with pytest.raises(ValueError, match="alive"):
+            m.confirm_failure(2, Phase.COMPUTE)
+
+    def test_kill_rank_scripts_a_death(self):
+        m = failstop_machine(dead_ranks=())
+        m.send(3, PAYLOAD, len(PAYLOAD), Phase.DISTRIBUTION)
+        m.faults.kill_rank(3)
+        with pytest.raises(DeadRankError) as exc:
+            m.receive(3, phase=Phase.DISTRIBUTION)
+        assert exc.value.detected is False
+
+    def test_purge_mailboxes_drops_stale_frames(self):
+        m = failstop_machine(dead_ranks=())
+        m.send(0, PAYLOAD, len(PAYLOAD), Phase.DISTRIBUTION, tag="stale")
+        m.send(2, PAYLOAD, len(PAYLOAD), Phase.DISTRIBUTION, tag="stale")
+        m.send_to_host(2, PAYLOAD, len(PAYLOAD), Phase.DISTRIBUTION, tag="up")
+        assert m.purge_mailboxes("stale") == 2
+        assert m.purge_mailboxes() == 1  # the host frame
+        assert m.purge_mailboxes() == 0
+
+
+class TestMembership:
+    def test_initial_roster(self):
+        ms = Membership(4)
+        assert ms.survivors == [0, 1, 2, 3]
+        assert ms.dead == [] and ms.epoch == 0
+
+    def test_declare_dead_bumps_epoch(self):
+        ms = Membership(4)
+        rec = ms.declare_dead(2, phase="distribution", missed_acks=3,
+                              time_ms=1.5)
+        assert ms.survivors == [0, 1, 3]
+        assert ms.epoch == 1 == rec.epoch
+        assert ms.detection_time_ms == pytest.approx(1.5)
+        assert ms.missed_acks_total == 3
+
+    def test_declare_dead_idempotent(self):
+        ms = Membership(4)
+        first = ms.declare_dead(2, phase="compute", missed_acks=3, time_ms=1.0)
+        again = ms.declare_dead(2, phase="compute", missed_acks=9, time_ms=9.0)
+        assert again is first
+        assert ms.epoch == 1
+
+    def test_last_survivor_is_protected(self):
+        ms = Membership(2)
+        ms.declare_dead(0, phase="compute", missed_acks=1, time_ms=0.1)
+        with pytest.raises(ValueError, match="last survivor"):
+            ms.declare_dead(1, phase="compute", missed_acks=1, time_ms=0.1)
+
+    def test_machine_reset_restores_membership(self):
+        m = failstop_machine(dead_ranks=(1,))
+        with pytest.raises(DeadRankError):
+            m.send(1, PAYLOAD, len(PAYLOAD), Phase.DISTRIBUTION)
+        assert m.membership.dead == [1]
+        m.reset()
+        assert m.membership.survivors == [0, 1, 2, 3]
+        assert m.membership.epoch == 0
+
+
+class TestInjectorDooming:
+    def test_explicit_kill_list_spares_top_rank_when_total(self):
+        inj = FaultInjector(
+            FaultSpec(fail_stop=FailStopSpec(dead_ranks=(0, 1, 2, 3))), seed=0
+        )
+        inj.bind(4)
+        assert inj.doomed_ranks == (0, 1, 2)  # rank 3 deterministically spared
+
+    def test_out_of_range_ranks_ignored(self):
+        inj = FaultInjector(
+            FaultSpec(fail_stop=FailStopSpec(dead_ranks=(1, 17))), seed=0
+        )
+        inj.bind(4)
+        assert inj.doomed_ranks == (1,)
+
+    def test_probability_dooming_is_seed_deterministic(self):
+        spec = FaultSpec(fail_stop=FailStopSpec(probability=0.5))
+        a, b = (FaultInjector(spec, seed=7) for _ in range(2))
+        a.bind(8), b.bind(8)
+        assert a.doomed_ranks == b.doomed_ranks
+        assert len(a.doomed_ranks) < 8  # at least one rank always survives
+
+    def test_p1_machine_never_loses_its_only_rank(self):
+        inj = FaultInjector(
+            FaultSpec(fail_stop=FailStopSpec(dead_ranks=(0,), probability=0.99)),
+            seed=3,
+        )
+        inj.bind(1)
+        assert inj.doomed_ranks == ()

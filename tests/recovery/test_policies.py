@@ -1,0 +1,232 @@
+"""Recovery policies: degraded re-distribution after fail-stop deaths.
+
+The headline invariant (ISSUE/DESIGN §"Failure model"): for any fail-stop
+plan killing fewer than ``p`` ranks, both ``host-resend`` and
+``peer-redistribute`` leave every survivor's compressed local array
+byte-identical to a *fault-free* run of the same scheme on the surviving
+membership — and the recovered run costs strictly more than that
+fault-free run (detection timeouts and recovery traffic are charged).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import get_compression, get_partition, get_scheme
+from repro.faults import FailStopSpec, FaultSpec
+from repro.machine import Machine, result_to_dict, sp2_cost_model
+from repro.recovery import POLICIES, RecoverySummary, run_with_recovery
+from repro.runtime import run_scheme
+from repro.sparse import random_sparse
+
+ALL_SCHEMES = ["sfc", "cfs", "ed"]
+
+
+def failstop_spec(dead_ranks, *, after_accepts=0, detect_after=2):
+    return FaultSpec(
+        fail_stop=FailStopSpec(
+            dead_ranks=tuple(dead_ranks),
+            after_accepts=after_accepts,
+            detect_after=detect_after,
+        )
+    )
+
+
+def fault_free_baseline(scheme, matrix, partition, n_procs, compression="crs"):
+    """The reference run: same scheme on a fresh machine of the survivors."""
+    plan = get_partition(partition).plan(matrix.shape, n_procs)
+    machine = Machine(n_procs, cost=sp2_cost_model())
+    return get_scheme(scheme).run(
+        machine, matrix, plan, get_compression(compression)
+    )
+
+
+def assert_locals_identical(expected, actual):
+    assert len(expected.locals_) == len(actual.locals_)
+    for a, b in zip(expected.locals_, actual.locals_):
+        assert a.shape == b.shape
+        np.testing.assert_array_equal(a.indptr, b.indptr)
+        np.testing.assert_array_equal(a.indices, b.indices)
+        np.testing.assert_array_equal(a.values, b.values)
+
+
+class TestByteIdenticalInvariant:
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_row_partition_two_deaths(self, scheme, policy):
+        matrix = random_sparse((40, 40), 0.15, seed=3)
+        result = run_scheme(
+            scheme, matrix, partition="row", n_procs=5,
+            faults=failstop_spec([1, 3]), recovery=policy,
+        )
+        baseline = fault_free_baseline(scheme, matrix, "row", 3)
+        assert result.n_procs == 3
+        assert_locals_identical(baseline, result)
+        assert result.t_total > baseline.t_total
+        rs = result.recovery_summary
+        assert rs is not None and rs.policy == policy
+        assert rs.failed_ranks == (1, 3)
+        assert rs.survivor_ranks == (0, 2, 4)
+        assert rs.epoch == 2
+        assert rs.detections == 2
+        assert rs.missed_acks >= 2 and rs.detection_time_ms > 0
+        assert rs.recovery_rounds >= 1
+        assert rs.recovery_messages > 0 and rs.recovery_time_ms > 0
+        assert set(rs.failure_sequence) == {1, 3}
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize(
+        "partition,compression", [("column", "ccs"), ("mesh2d", "crs")]
+    )
+    def test_other_partitions_and_compressions(self, policy, partition,
+                                               compression):
+        matrix = random_sparse((36, 36), 0.2, seed=11)
+        result = run_scheme(
+            "cfs", matrix, partition=partition, n_procs=6,
+            compression=compression,
+            faults=failstop_spec([2]), recovery=policy,
+        )
+        baseline = fault_free_baseline("cfs", matrix, partition, 5,
+                                       compression)
+        assert_locals_identical(baseline, result)
+        assert result.t_total > baseline.t_total
+        assert result.recovery_summary.failed_ranks == (2,)
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_all_but_one_doomed_degrades_to_p1(self, policy):
+        matrix = random_sparse((24, 24), 0.2, seed=5)
+        result = run_scheme(
+            "sfc", matrix, partition="row", n_procs=4,
+            faults=failstop_spec([0, 1, 2, 3]),  # injector spares rank 3
+            recovery=policy,
+        )
+        baseline = fault_free_baseline("sfc", matrix, "row", 1)
+        assert result.n_procs == 1
+        assert_locals_identical(baseline, result)
+        assert result.recovery_summary.survivor_ranks == (3,)
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_no_deaths_reports_no_failures(self, policy):
+        """A fail-stop plan that never fires: full-roster result, trivial
+        summary, and locals identical to the fault-free full-p run."""
+        matrix = random_sparse((30, 30), 0.15, seed=7)
+        result = run_scheme(
+            "ed", matrix, partition="row", n_procs=4,
+            faults=failstop_spec([]), recovery=policy,
+        )
+        baseline = fault_free_baseline("ed", matrix, "row", 4)
+        assert result.n_procs == 4
+        assert_locals_identical(baseline, result)
+        rs = result.recovery_summary
+        assert rs is not None and not rs.failed
+        assert rs.recovery_rounds == 0
+        assert rs.line().endswith("no failures")
+
+    def test_large_accept_budget_never_triggers_death(self):
+        """A doomed rank whose ``after_accepts`` budget exceeds the run's
+        traffic is semantically a no-failure run: full roster, trivial
+        summary."""
+        matrix = random_sparse((24, 24), 0.2, seed=9)
+        result = run_scheme(
+            "ed", matrix, partition="row", n_procs=4,
+            faults=failstop_spec([1], after_accepts=1000),
+            recovery="host-resend",
+        )
+        assert result.n_procs == 4
+        assert not result.recovery_summary.failed
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_mid_distribution_death_with_accept_budget(self, policy):
+        """``after_accepts ≥ 1``: the rank takes part of its block, then
+        dies — recovery must still land the byte-identical degraded state."""
+        matrix = random_sparse((32, 32), 0.2, seed=13)
+        result = run_scheme(
+            "cfs", matrix, partition="row", n_procs=4,
+            faults=failstop_spec([2], after_accepts=1), recovery=policy,
+        )
+        baseline = fault_free_baseline("cfs", matrix, "row", 3)
+        assert result.recovery_summary.failed_ranks == (2,)
+        assert_locals_identical(baseline, result)
+        assert result.t_total > baseline.t_total
+
+
+class TestDriverAndReporting:
+    def test_recovery_requires_fault_plan(self):
+        matrix = random_sparse((16, 16), 0.2, seed=1)
+        with pytest.raises(ValueError, match="fault plan"):
+            run_scheme("sfc", matrix, n_procs=2, recovery="host-resend")
+
+    def test_unknown_policy_rejected(self):
+        matrix = random_sparse((16, 16), 0.2, seed=1)
+        with pytest.raises(ValueError, match="policy"):
+            run_scheme(
+                "sfc", matrix, n_procs=4,
+                faults=failstop_spec([1]), recovery="quantum-heal",
+            )
+
+    def test_run_with_recovery_accepts_objects_and_names(self):
+        matrix = random_sparse((20, 20), 0.2, seed=2)
+        from repro.faults import FaultInjector
+
+        machine = Machine(
+            4, faults=FaultInjector(failstop_spec([2]), seed=0)
+        )
+        result = run_with_recovery(
+            "cfs", machine, matrix, "row", "crs", policy="peer-redistribute"
+        )
+        assert result.recovery_summary.failed_ranks == (2,)
+        assert result.recovery_summary.checkpoint_elements > 0
+
+    def test_recovery_summary_serialises(self):
+        matrix = random_sparse((24, 24), 0.2, seed=4)
+        result = run_scheme(
+            "sfc", matrix, partition="row", n_procs=4,
+            faults=failstop_spec([1]), recovery="host-resend",
+        )
+        d = result_to_dict(result)
+        assert d["n_procs"] == 3
+        rs = d["recovery_summary"]
+        assert rs["policy"] == "host-resend"
+        assert rs["failed_ranks"] == [1]
+        json.dumps(d)  # JSON-clean end to end
+        # fault-free results omit the key entirely (byte-stable exports)
+        clean = fault_free_baseline("sfc", matrix, "row", 3)
+        assert "recovery_summary" not in result_to_dict(clean)
+
+    def test_recovery_line_renders(self):
+        matrix = random_sparse((24, 24), 0.2, seed=4)
+        result = run_scheme(
+            "sfc", matrix, partition="row", n_procs=4,
+            faults=failstop_spec([1]), recovery="peer-redistribute",
+        )
+        line = result.recovery_line()
+        assert line.startswith("recovery[peer-redistribute]:")
+        assert "dead=[1]" in line and "t_rec=" in line
+        clean = fault_free_baseline("sfc", matrix, "row", 3)
+        assert clean.recovery_line() == "recovery: n/a"
+
+    def test_summary_dataclass_defaults(self):
+        rs = RecoverySummary(policy="host-resend")
+        assert not rs.failed
+        assert rs.to_dict()["failed_ranks"] == []
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_same_seed_replays_identically(self, policy):
+        matrix = random_sparse((30, 30), 0.15, seed=6)
+
+        def once():
+            return run_scheme(
+                "cfs", matrix, partition="row", n_procs=5,
+                faults=failstop_spec([1, 4]), fault_seed=42,
+                recovery=policy,
+            )
+
+        a, b = once(), once()
+        assert_locals_identical(a, b)
+        assert a.t_total == b.t_total
+        assert a.recovery_summary == b.recovery_summary

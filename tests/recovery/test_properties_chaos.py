@@ -1,0 +1,141 @@
+"""Chaos property suite for fail-stop recovery.
+
+Hypothesis draws random problems × kill lists × accept budgets × detection
+thresholds (optionally with the full transient-fault chaos mixed in) and
+asserts the robustness contract for *both* policies:
+
+* **state** — the survivors' compressed locals are byte-identical to a
+  fault-free run of the same scheme on the surviving membership;
+* **cost** — when at least one rank died, the recovered run charged
+  strictly more time than that fault-free run;
+* **accounting** — the `RecoverySummary` is consistent (dead ∪ survivors
+  = full roster, epoch = number of deaths, detection costs positive).
+
+Run with ``pytest -m chaos`` (deselected from tier-1).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import get_compression, get_partition, get_scheme
+from repro.faults import FailStopSpec, FaultSpec
+from repro.faults.spec import RetryPolicy
+from repro.machine import Machine, sp2_cost_model
+from repro.recovery import POLICIES
+from repro.runtime import run_scheme
+from repro.sparse import random_sparse
+
+pytestmark = pytest.mark.chaos
+
+ALL_SCHEMES = ("sfc", "cfs", "ed")
+
+
+@st.composite
+def failstop_problems(draw):
+    n_procs = draw(st.integers(2, 6))
+    n = draw(st.integers(12, 28))
+    ratio = draw(st.floats(0.05, 0.4))
+    # any subset of ranks may be doomed; the injector spares one if all are
+    dead = draw(st.sets(st.integers(0, n_procs - 1), max_size=n_procs))
+    spec = FaultSpec(
+        fail_stop=FailStopSpec(
+            dead_ranks=tuple(sorted(dead)),
+            after_accepts=draw(st.integers(0, 2)),
+            detect_after=draw(st.integers(1, 4)),
+        ),
+        retry=RetryPolicy(timeout_ms=0.01, backoff=2.0),
+    )
+    scheme = draw(st.sampled_from(ALL_SCHEMES))
+    policy = draw(st.sampled_from(POLICIES))
+    seed = draw(st.integers(0, 2**16))
+    return n_procs, n, ratio, spec, scheme, policy, seed
+
+
+def fault_free(scheme, matrix, n_procs):
+    plan = get_partition("row").plan(matrix.shape, n_procs)
+    machine = Machine(n_procs, cost=sp2_cost_model())
+    return get_scheme(scheme).run(
+        machine, matrix, plan, get_compression("crs")
+    )
+
+
+def assert_contract(result, matrix, scheme, n_procs):
+    rs = result.recovery_summary
+    assert rs is not None
+    assert sorted(rs.failed_ranks + rs.survivor_ranks) == list(range(n_procs))
+    assert rs.epoch == len(rs.failed_ranks) == rs.detections
+    baseline = fault_free(scheme, matrix, len(rs.survivor_ranks))
+    assert result.n_procs == len(rs.survivor_ranks)
+    for a, b in zip(baseline.locals_, result.locals_):
+        assert a.shape == b.shape
+        np.testing.assert_array_equal(a.indptr, b.indptr)
+        np.testing.assert_array_equal(a.indices, b.indices)
+        np.testing.assert_array_equal(a.values, b.values)
+    if rs.failed:
+        assert rs.detection_time_ms > 0 and rs.missed_acks > 0
+        assert rs.recovery_rounds >= 1
+        assert result.t_total > baseline.t_total
+    return rs
+
+
+@settings(deadline=None, max_examples=40)
+@given(failstop_problems())
+def test_recovered_state_is_byte_identical(problem):
+    n_procs, n, ratio, spec, scheme, policy, seed = problem
+    matrix = random_sparse((n, n), ratio, seed=seed % 97)
+    result = run_scheme(
+        scheme, matrix, partition="row", n_procs=n_procs,
+        faults=spec, fault_seed=seed, recovery=policy,
+    )
+    assert_contract(result, matrix, scheme, n_procs)
+
+
+@settings(deadline=None, max_examples=15)
+@given(
+    failstop_problems(),
+    st.floats(0.0, 0.25),
+    st.floats(0.0, 0.2),
+)
+def test_failstop_composes_with_transient_chaos(problem, drop, corrupt):
+    """Fail-stop deaths layered on top of drop/duplicate/reorder/corrupt:
+    the transient layer retries through, the permanent layer recovers, and
+    the final state still matches the fault-free survivor run."""
+    n_procs, n, ratio, spec, scheme, policy, seed = problem
+    spec = FaultSpec(
+        drop=drop,
+        duplicate=corrupt,
+        reorder=drop,
+        corrupt=corrupt,
+        fail_stop=spec.fail_stop,
+        retry=spec.retry,
+    )
+    matrix = random_sparse((n, n), ratio, seed=seed % 89)
+    result = run_scheme(
+        scheme, matrix, partition="row", n_procs=n_procs,
+        faults=spec, fault_seed=seed, recovery=policy,
+    )
+    assert_contract(result, matrix, scheme, n_procs)
+
+
+@settings(deadline=None, max_examples=20)
+@given(failstop_problems())
+def test_policies_agree_on_final_state(problem):
+    """Both policies repair to the same degraded state (they may charge
+    different costs, but the survivors' arrays must be identical)."""
+    n_procs, n, ratio, spec, scheme, _, seed = problem
+    matrix = random_sparse((n, n), ratio, seed=seed % 83)
+    results = [
+        run_scheme(
+            scheme, matrix, partition="row", n_procs=n_procs,
+            faults=spec, fault_seed=seed, recovery=policy,
+        )
+        for policy in POLICIES
+    ]
+    a, b = results
+    assert a.recovery_summary.failed_ranks == b.recovery_summary.failed_ranks
+    assert len(a.locals_) == len(b.locals_)
+    for la, lb in zip(a.locals_, b.locals_):
+        np.testing.assert_array_equal(la.indptr, lb.indptr)
+        np.testing.assert_array_equal(la.indices, lb.indices)
+        np.testing.assert_array_equal(la.values, lb.values)

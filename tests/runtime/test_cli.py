@@ -148,3 +148,98 @@ def test_run_with_timeline(capsys):
                  "--timeline"]) == 0
     out = capsys.readouterr().out
     assert "phase" in out and "lane" in out and "#" in out
+
+
+class TestFaultSpecLoading:
+    """``--faults`` is user input: every malformed file must exit with one
+    friendly ``error:`` line (exit code 2), never a traceback."""
+
+    def _run(self, capsys, *argv):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "--scheme", "sfc", "--n", "24", "--procs", "2",
+                  *argv])
+        assert exc.value.code == 2
+        return capsys.readouterr().out
+
+    def test_malformed_json_reports_line_and_column(self, tmp_path, capsys):
+        bad = tmp_path / "faults.json"
+        bad.write_text('{"drop": 0.1,,}')
+        out = self._run(capsys, "--faults", str(bad))
+        assert out.startswith("error:")
+        assert "not valid JSON" in out
+        assert "line 1" in out
+
+    def test_unknown_key_rejected_with_known_list(self, tmp_path, capsys):
+        bad = tmp_path / "faults.json"
+        bad.write_text('{"drp": 0.1}')
+        out = self._run(capsys, "--faults", str(bad))
+        assert "error:" in out and "unknown fault-spec keys" in out
+        assert "'drp'" in out and "drop" in out  # the fix is on screen
+
+    def test_unknown_fail_stop_key_rejected(self, tmp_path, capsys):
+        bad = tmp_path / "faults.json"
+        bad.write_text('{"fail_stop": {"dead_rank": 1}}')
+        out = self._run(capsys, "--faults", str(bad))
+        assert "unknown fail_stop keys" in out
+
+    def test_out_of_range_value_rejected(self, tmp_path, capsys):
+        bad = tmp_path / "faults.json"
+        bad.write_text('{"drop": 1.5}')
+        out = self._run(capsys, "--faults", str(bad))
+        assert "error:" in out and "invalid" in out
+
+    def test_missing_file(self, capsys, tmp_path):
+        out = self._run(capsys, "--faults", str(tmp_path / "nope.json"))
+        assert "does not exist" in out
+
+    def test_directory_path(self, capsys, tmp_path):
+        out = self._run(capsys, "--faults", str(tmp_path))
+        assert "is a directory" in out
+
+
+class TestRecoveryFlag:
+    def _spec_file(self, tmp_path, dead_ranks=(1,)):
+        path = tmp_path / "failstop.json"
+        path.write_text(
+            '{"fail_stop": {"dead_ranks": %s, "detect_after": 2}}'
+            % list(dead_ranks)
+        )
+        return str(path)
+
+    def test_parser_accepts_policies(self):
+        args = build_parser().parse_args(
+            ["run", "--recovery", "peer-redistribute"]
+        )
+        assert args.recovery == "peer-redistribute"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--recovery", "pray"])
+
+    def test_recovery_without_faults_is_an_error(self, capsys):
+        assert main(["run", "--scheme", "sfc", "--n", "24", "--procs", "2",
+                     "--recovery", "host-resend"]) == 2
+        assert "needs a fault plan" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("policy", ["host-resend", "peer-redistribute"])
+    def test_recovered_run_prints_summary_line(self, policy, tmp_path,
+                                               capsys):
+        spec = self._spec_file(tmp_path)
+        assert main(["run", "--scheme", "cfs", "--n", "30", "--procs", "3",
+                     "--faults", spec, "--recovery", policy]) == 0
+        out = capsys.readouterr().out
+        assert f"recovery[{policy}]:" in out
+        assert "dead=[1]" in out
+
+    def test_recovered_run_with_timeline(self, tmp_path, capsys):
+        spec = self._spec_file(tmp_path)
+        assert main(["run", "--scheme", "ed", "--n", "24", "--procs", "3",
+                     "--faults", spec, "--recovery", "host-resend",
+                     "--timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "recovery[host-resend]:" in out
+        assert "lane" in out
+
+    def test_clean_fault_plan_reports_no_failures(self, tmp_path, capsys):
+        spec = self._spec_file(tmp_path, dead_ranks=())
+        assert main(["run", "--scheme", "sfc", "--n", "24", "--procs", "2",
+                     "--faults", spec, "--recovery", "host-resend"]) == 0
+        assert "no failures" in capsys.readouterr().out
