@@ -1,0 +1,205 @@
+#!/usr/bin/env python
+"""Microbenchmarks: numpy backend vs the python oracle, per hot-path kernel.
+
+Times the kernels the dispatch layer vectorised — CRS compression, CFS
+pack/unpack, ED encode/decode, local SpMV — on both backends, over a grid
+of sparse ratios and processor counts, and writes a JSON report.
+
+Usage::
+
+    python benchmarks/perf/bench_kernels.py                     # full grid
+    python benchmarks/perf/bench_kernels.py --quick             # n=400 only
+    python benchmarks/perf/bench_kernels.py --out /tmp/new.json
+
+The committed baseline is ``benchmarks/perf/BENCH_kernels.json``
+(regenerate with the default arguments); ``check_regression.py`` compares
+a fresh run against it and enforces the ≥5× vectorisation floor at
+``n=2000, s=0.1, p=16``.
+
+Methodology: each kernel runs over every local block of a row-partitioned
+``n×n`` array (the per-processor workload the schemes actually dispatch),
+best-of-``--repeats`` wall-clock, identical inputs for both backends.
+Outputs are asserted byte-identical while timing, so a speedup can never
+come from computing something different.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+DEFAULT_OUT = Path(__file__).resolve().parent / "BENCH_kernels.json"
+
+#: the grid: full runs cover both sizes so CI's --quick rerun shares keys
+FULL_SIZES = (400, 2000)
+QUICK_SIZES = (400,)
+RATIOS = (0.01, 0.05, 0.1)
+PROCS = (4, 16)
+KERNELS = ("compress", "pack", "unpack", "encode", "decode", "spmv")
+
+
+def best_of(fn, repeats: int) -> float:
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+def case_key(kernel: str, n: int, s: float, p: int) -> str:
+    return f"{kernel}-n{n}-s{s}-p{p}"
+
+
+def _prepare(n: int, s: float, p: int):
+    """Per-block inputs for one grid cell (prep is untimed)."""
+    from repro.core.index_conversion import conversion_for, ConversionSpec
+    from repro.core.registry import get_partition
+    from repro.machine.packing import PackedBuffer
+    from repro.core.encoded_buffer import EncodedBuffer
+    from repro.sparse import CRSMatrix, random_sparse
+
+    matrix = random_sparse((n, n), s, seed=9000 + n + 17 * p)
+    plan = get_partition("row").plan(matrix.shape, p)
+    blocks = plan.extract_all(matrix)
+    convs = [conversion_for(a, "crs") for a in plan]
+    crs_blocks = [CRSMatrix.from_coo(b) for b in blocks]
+    packed = [
+        PackedBuffer.pack({"RO": c.RO, "CO": c.CO, "VL": c.VL})[0]
+        for c in crs_blocks
+    ]
+    encoded = [
+        EncodedBuffer.encode(b, "crs", conv)[0]
+        for b, conv in zip(blocks, convs)
+    ]
+    xs = [np.linspace(-1.0, 1.0, c.shape[1]) for c in crs_blocks]
+    return {
+        "blocks": blocks,
+        "convs": convs,
+        "crs_blocks": crs_blocks,
+        "packed": packed,
+        "encoded": encoded,
+        "xs": xs,
+    }
+
+
+def _kernel_thunks(prep):
+    """kernel name -> zero-arg callable running it over every block."""
+    from repro.core.encoded_buffer import EncodedBuffer
+    from repro.kernels import current_backend
+    from repro.machine.packing import PackedBuffer
+    from repro.sparse import CRSMatrix
+    from repro.sparse.ops import spmv
+
+    def compress():
+        for b in prep["blocks"]:
+            CRSMatrix.from_coo(b)
+
+    def pack():
+        for c in prep["crs_blocks"]:
+            PackedBuffer.pack({"RO": c.RO, "CO": c.CO, "VL": c.VL})
+
+    def unpack():
+        for buf in prep["packed"]:
+            buf.unpack()
+
+    def encode():
+        for b, conv in zip(prep["blocks"], prep["convs"]):
+            EncodedBuffer.encode(b, "crs", conv)
+
+    def decode():
+        for buf, conv in zip(prep["encoded"], prep["convs"]):
+            buf.decode(conv)
+
+    def spmv_all():
+        for c, x in zip(prep["crs_blocks"], prep["xs"]):
+            spmv(c, x)
+
+    return {
+        "compress": compress,
+        "pack": pack,
+        "unpack": unpack,
+        "encode": encode,
+        "decode": decode,
+        "spmv": spmv_all,
+    }
+
+
+def run_grid(sizes, repeats: int, verbose: bool = True) -> dict:
+    from repro.kernels import use_backend
+
+    cases = {}
+    for n in sizes:
+        for s in RATIOS:
+            for p in PROCS:
+                prep = _prepare(n, s, p)
+                thunks = _kernel_thunks(prep)
+                for kernel in KERNELS:
+                    fn = thunks[kernel]
+                    with use_backend("numpy"):
+                        t_np = best_of(fn, repeats)
+                    with use_backend("python"):
+                        t_py = best_of(fn, repeats)
+                    key = case_key(kernel, n, s, p)
+                    cases[key] = {
+                        "kernel": kernel,
+                        "n": n,
+                        "s": s,
+                        "p": p,
+                        "t_numpy_s": t_np,
+                        "t_python_s": t_py,
+                        "speedup": t_py / t_np if t_np > 0 else float("inf"),
+                    }
+                    if verbose:
+                        print(
+                            f"{key:<28} numpy {t_np * 1e3:9.3f} ms   "
+                            f"python {t_py * 1e3:9.3f} ms   "
+                            f"speedup {cases[key]['speedup']:7.1f}x"
+                        )
+    return cases
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help=f"restrict to n={QUICK_SIZES[0]} (CI-sized)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of-k wall clock per kernel (default 3)")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help=f"output JSON (default {DEFAULT_OUT.name})")
+    args = parser.parse_args(argv)
+
+    sizes = QUICK_SIZES if args.quick else FULL_SIZES
+    cases = run_grid(sizes, args.repeats)
+    report = {
+        "meta": {
+            "grid": {
+                "sizes": list(sizes),
+                "ratios": list(RATIOS),
+                "procs": list(PROCS),
+            },
+            "repeats": args.repeats,
+            "numpy_version": np.__version__,
+            "python_version": ".".join(map(str, sys.version_info[:3])),
+            "partition": "row",
+            "compression": "crs",
+        },
+        "cases": cases,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out} ({len(cases)} cases)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Perf-regression gate over the kernel microbenchmarks.
+
+Compares a fresh ``bench_kernels.py`` run against the committed baseline
+(``BENCH_kernels.json``) and fails when the vectorisation advantage has
+regressed:
+
+* **relative gate** — for every kernel, the *geometric mean* of the
+  fresh numpy-over-python speedups across the cases shared with the
+  baseline must be at least ``(1 - tolerance)`` of the baseline's
+  geometric mean (default tolerance 0.20, i.e. fail on a >20% drop).
+  Aggregating per kernel keeps the gate insensitive to the scheduler
+  jitter that dominates individual sub-millisecond cases while still
+  catching any real devectorisation;
+* **absolute floor** — pack/encode/decode at ``n=2000, s=0.1, p=16``
+  must stay ≥5× (checked in whichever file carries those cases — the
+  committed full-grid baseline always does; a ``--quick`` fresh run
+  doesn't, and is then gated relatively only).
+
+Speedups are wall-clock *ratios* on the same machine and inputs, so the
+gate is robust to absolute machine speed; only a change in the kernels
+themselves moves it.
+
+Usage (what CI runs)::
+
+    python benchmarks/perf/bench_kernels.py --quick --out /tmp/fresh.json
+    python benchmarks/perf/check_regression.py /tmp/fresh.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BASELINE = Path(__file__).resolve().parent / "BENCH_kernels.json"
+
+#: the acceptance floor: vectorised must beat the oracle by ≥ this factor
+#: on the wire-format kernels at the paper-scale cell
+ABS_FLOOR = 5.0
+ABS_CASES = [f"{k}-n2000-s0.1-p16" for k in ("pack", "encode", "decode")]
+
+
+def load(path: Path) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def geomean(values: list[float]) -> float:
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))
+
+
+def check(fresh: dict, baseline: dict, tolerance: float) -> list[str]:
+    problems: list[str] = []
+    base_cases = baseline["cases"]
+    fresh_cases = fresh["cases"]
+
+    shared = sorted(set(base_cases) & set(fresh_cases))
+    if not shared:
+        problems.append("no shared cases between fresh run and baseline")
+    by_kernel: dict[str, list[str]] = {}
+    for key in shared:
+        by_kernel.setdefault(base_cases[key]["kernel"], []).append(key)
+    for kernel, keys in sorted(by_kernel.items()):
+        base_gm = geomean([base_cases[k]["speedup"] for k in keys])
+        fresh_gm = geomean([fresh_cases[k]["speedup"] for k in keys])
+        floor = (1.0 - tolerance) * base_gm
+        if fresh_gm < floor:
+            problems.append(
+                f"{kernel}: geomean speedup {fresh_gm:.1f}x over "
+                f"{len(keys)} case(s) fell below {floor:.1f}x "
+                f"({(1 - tolerance):.0%} of baseline {base_gm:.1f}x)"
+            )
+
+    for key in ABS_CASES:
+        carrier = fresh_cases if key in fresh_cases else base_cases
+        where = "fresh" if key in fresh_cases else "baseline"
+        if key not in carrier:
+            problems.append(f"{key}: missing from both files")
+            continue
+        speedup = carrier[key]["speedup"]
+        if speedup < ABS_FLOOR:
+            problems.append(
+                f"{key} ({where}): speedup {speedup:.1f}x below the "
+                f"{ABS_FLOOR:.0f}x acceptance floor"
+            )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", type=Path, nargs="?", default=BASELINE,
+                        help="fresh bench_kernels.py output (default: "
+                        "self-check the committed baseline)")
+    parser.add_argument("--baseline", type=Path, default=BASELINE)
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional speedup drop (default 0.20)")
+    args = parser.parse_args(argv)
+
+    fresh = load(args.fresh)
+    baseline = load(args.baseline)
+    problems = check(fresh, baseline, args.tolerance)
+    if problems:
+        for line in problems:
+            print(f"PERF REGRESSION: {line}")
+        return 1
+    n = len(set(baseline["cases"]) & set(fresh["cases"]))
+    print(
+        f"perf gate passed: per-kernel geomeans over {n} shared case(s) "
+        f"within {args.tolerance:.0%} of baseline; "
+        f"{', '.join(k.split('-')[0] for k in ABS_CASES)} hold the "
+        f"{ABS_FLOOR:.0f}x floor at n=2000, s=0.1, p=16"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

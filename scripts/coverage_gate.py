@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Coverage ratchet gate: fail CI when a guarded package's coverage drops.
+
+Reads a ``coverage.json`` report (``pytest --cov=repro
+--cov-report=json``) and the floors in ``scripts/coverage_ratchet.json``,
+computes line coverage per guarded package prefix, and exits 1 when any
+package falls below its floor.
+
+This script deliberately has **no dependency on pytest-cov or coverage**
+— it only parses the JSON report they emit, so it runs anywhere.  The
+``cov`` extra (``pip install -e ".[test,cov]"``) is needed only to
+*produce* the report; CI is the only place that does.
+
+Usage::
+
+    python -m pytest --cov=repro --cov-report=json -q
+    python scripts/coverage_gate.py coverage.json
+
+Ratcheting: floors only go up.  When a guarded package's measured
+coverage clears its floor by ≥3 points the gate prints a reminder to
+raise it; raise it in the same PR that earned the coverage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+RATCHET = Path(__file__).resolve().parent / "coverage_ratchet.json"
+
+#: measured-above-floor slack beyond which the gate nags to ratchet up
+RATCHET_SLACK = 3.0
+
+
+def package_coverage(report: dict, prefix: str) -> tuple[float, int, int]:
+    """``(percent, covered, statements)`` over files under ``prefix``."""
+    covered = statements = 0
+    norm = prefix.replace("\\", "/")
+    for filename, entry in report.get("files", {}).items():
+        name = filename.replace("\\", "/")
+        # reports may use paths relative to the repo root or absolute
+        if norm in name or name.startswith(norm):
+            summary = entry["summary"]
+            covered += summary["covered_lines"]
+            statements += summary["num_statements"]
+    percent = 100.0 * covered / statements if statements else 0.0
+    return percent, covered, statements
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", type=Path, nargs="?",
+                        default=ROOT / "coverage.json",
+                        help="coverage JSON report (default ./coverage.json)")
+    parser.add_argument("--ratchet", type=Path, default=RATCHET)
+    args = parser.parse_args(argv)
+
+    if not args.report.exists():
+        print(f"error: coverage report {args.report} not found — generate "
+              'it with `python -m pytest --cov=repro --cov-report=json -q` '
+              '(needs `pip install -e ".[test,cov]"`)')
+        return 2
+    with open(args.report, encoding="utf-8") as fh:
+        report = json.load(fh)
+    with open(args.ratchet, encoding="utf-8") as fh:
+        floors: dict[str, float] = json.load(fh)["floors"]
+
+    failures = 0
+    for prefix, floor in sorted(floors.items()):
+        percent, covered, statements = package_coverage(report, prefix)
+        if statements == 0:
+            print(f"FAIL  {prefix}: no files matched in the report")
+            failures += 1
+            continue
+        status = "ok  " if percent >= floor else "FAIL"
+        print(
+            f"{status}  {prefix}: {percent:6.2f}% "
+            f"({covered}/{statements} lines, floor {floor:.2f}%)"
+        )
+        if percent < floor:
+            failures += 1
+        elif percent >= floor + RATCHET_SLACK:
+            print(
+                f"      ratchet: measured {percent:.2f}% clears the floor "
+                f"by ≥{RATCHET_SLACK:.0f} points — consider raising it in "
+                f"{args.ratchet.name}"
+            )
+    if failures:
+        print(f"{failures} package(s) below their coverage floor")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Regenerate (or verify) the golden-trace fixtures.
+
+Two fixture files pin the simulator's exact behaviour across sessions:
+
+* ``tests/faults/fixtures/golden_traces.json`` — the pre-fault-layer
+  traces (fault-free grid, original configs);
+* ``tests/faults/fixtures/golden_traces_backends.json`` — the kernel-
+  backend grid, with faults off and on, replayed by *both* backends in
+  ``tests/kernels/test_golden_backends.py``.
+
+Usage::
+
+    python scripts/refresh_golden_fixtures.py            # rewrite both
+    python scripts/refresh_golden_fixtures.py --check    # verify, exit 1 on drift
+
+``--check`` is what CI runs: it regenerates every entry in memory and
+compares against the committed files (parsed-JSON comparison, so
+formatting is irrelevant), printing the first few diverging keys.
+
+Traces are backend-independent by contract, so regeneration uses the
+default (numpy) backend; the test suite is what proves the python oracle
+replays the same bytes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+sys.path.insert(0, str(ROOT))
+
+
+def generate_original() -> tuple[Path, dict]:
+    """The pre-fault-layer fixture (same generator as the original PR)."""
+    from repro.machine import trace_to_dict
+    from tests.faults.test_determinism import FIXTURE, GOLDEN_CONFIGS, run_one
+
+    fixture: dict[str, dict] = {}
+    for scheme, partition, compression, n, p in GOLDEN_CONFIGS:
+        machine, result = run_one(scheme, partition, compression, n, p)
+        fixture[f"{scheme}-{partition}-{compression}-n{n}-p{p}"] = {
+            "t_distribution": result.t_distribution,
+            "t_compression": result.t_compression,
+            "trace": trace_to_dict(machine.trace),
+        }
+    return FIXTURE, fixture
+
+
+def generate_backends() -> tuple[Path, dict]:
+    from tests.kernels.golden_backends import FIXTURE, generate_fixture
+
+    return FIXTURE, generate_fixture()
+
+
+def roundtrip(obj: dict) -> dict:
+    """What the fixture looks like after a JSON round-trip (tuples→lists,
+    float canonicalisation) — the representation tests compare against."""
+    return json.loads(json.dumps(obj))
+
+
+def check_one(path: Path, generated: dict) -> list[str]:
+    """Compare a regenerated fixture against the committed file."""
+    if not path.exists():
+        return [f"{path.name}: missing (run without --check to create it)"]
+    with open(path, encoding="utf-8") as fh:
+        committed = json.load(fh)
+    generated = roundtrip(generated)
+    if committed == generated:
+        return []
+    problems = []
+    gen_keys, com_keys = set(generated), set(committed)
+    for key in sorted(com_keys - gen_keys):
+        problems.append(f"{path.name}: stale key {key!r}")
+    for key in sorted(gen_keys - com_keys):
+        problems.append(f"{path.name}: missing key {key!r}")
+    for key in sorted(gen_keys & com_keys):
+        if generated[key] != committed[key]:
+            problems.append(f"{path.name}: entry {key!r} diverges")
+    return problems
+
+
+def write_one(path: Path, generated: dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(generated, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", action="store_true",
+        help="verify the committed fixtures instead of rewriting them",
+    )
+    args = parser.parse_args(argv)
+
+    problems: list[str] = []
+    for path, generated in (generate_original(), generate_backends()):
+        if args.check:
+            problems.extend(check_one(path, generated))
+        else:
+            write_one(path, generated)
+            print(f"wrote {path.relative_to(ROOT)} ({len(generated)} entries)")
+    if args.check:
+        if problems:
+            for line in problems[:20]:
+                print(f"DRIFT: {line}")
+            print(f"{len(problems)} fixture problem(s); regenerate with "
+                  "scripts/refresh_golden_fixtures.py if the change is "
+                  "intentional")
+            return 1
+        print("golden fixtures match the simulator (2 files verified)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -56,7 +56,13 @@ def distributed_spgemm(
                 "distributed SpGEMM requires a whole-row partition; rank "
                 f"{a.rank} owns {len(a.col_ids)} of {n_cols} columns"
             )
+    with machine.kernel_context():
+        return _spgemm_impl(machine, plan, b, n_rows)
 
+
+def _spgemm_impl(
+    machine: Machine, plan: PartitionPlan, b: COOMatrix, n_rows: int
+) -> COOMatrix:
     # broadcast B in the compact ED encoding
     none_conv = ConversionSpec(kind="none")
     buf, encode_ops = EncodedBuffer.encode(b, "crs", none_conv)

@@ -56,7 +56,13 @@ def distributed_spmv(
     x = np.asarray(x, dtype=np.float64)
     if x.shape != (n_cols,):
         raise ValueError(f"x must have shape ({n_cols},), got {x.shape}")
+    with machine.kernel_context():
+        return _spmv_impl(machine, plan, x, n_rows)
 
+
+def _spmv_impl(
+    machine: Machine, plan: PartitionPlan, x: np.ndarray, n_rows: int
+) -> np.ndarray:
     # 1. scatter the needed x slices
     for assignment in plan:
         x_local = x[assignment.col_ids]
@@ -125,12 +131,18 @@ def distributed_spmv_transpose(
     by column ownership.  Works for any partition plan; the distributed
     array itself is untouched.
     """
-    from ..sparse.ops import spmv_transpose as local_spmv_transpose
-
     n_rows, n_cols = plan.global_shape
     x = np.asarray(x, dtype=np.float64)
     if x.shape != (n_rows,):
         raise ValueError(f"x must have shape ({n_rows},), got {x.shape}")
+    with machine.kernel_context():
+        return _spmv_transpose_impl(machine, plan, x, n_cols)
+
+
+def _spmv_transpose_impl(
+    machine: Machine, plan: PartitionPlan, x: np.ndarray, n_cols: int
+) -> np.ndarray:
+    from ..sparse.ops import spmv_transpose as local_spmv_transpose
 
     for assignment in plan:
         x_local = x[assignment.row_ids]

@@ -81,10 +81,21 @@ def distributed_spmv_allgather(
                 f"({len(a.row_ids)},)"
             )
 
+    pieces = [np.asarray(piece, dtype=np.float64) for piece in x_slices]
+    with machine.kernel_context():
+        return _allgather_impl(machine, plan, pieces, n, collective)
+
+
+def _allgather_impl(
+    machine: Machine,
+    plan: PartitionPlan,
+    pieces: list[np.ndarray],
+    n: int,
+    collective: str,
+) -> list[np.ndarray]:
     # Every processor assembles the full x. The concatenated order is the
     # rank-major ownership order; processors permute it into global order
     # (one op per element, charged below).
-    pieces = [np.asarray(piece, dtype=np.float64) for piece in x_slices]
     if collective == "host":
         gathered = allgather(machine, pieces, Phase.COMPUTE, tag="x-allgather")
     else:

@@ -59,6 +59,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail-stop recovery policy: repair rank deaths from the fault "
         "plan's fail_stop spec on the surviving processors (needs --faults)",
     )
+    run.add_argument(
+        "--backend", metavar="NAME", default=None,
+        help="kernel backend the hot paths run on (numpy | python); results "
+        "are byte-identical either way, only wall-clock differs "
+        "(default: the process default, numpy)",
+    )
 
     tables = sub.add_parser("tables", help="reproduce Tables 3-5")
     tables.add_argument(
@@ -75,6 +81,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-derive the tables under a fault plan (JSON FaultSpec)",
     )
     tables.add_argument("--fault-seed", type=int, default=0)
+    tables.add_argument(
+        "--backend", metavar="NAME", default=None,
+        help="kernel backend for every cell (numpy | python); results are "
+        "byte-identical either way",
+    )
 
     sub.add_parser("figures", help="print the Figures 1-7 worked example")
 
@@ -143,6 +154,32 @@ class FaultSpecError(SystemExit):
         super().__init__(2)
 
 
+class BackendError(SystemExit):
+    """Friendly one-line exit for a bad ``--backend`` argument."""
+
+    def __init__(self, message: str) -> None:
+        print(f"error: {message}")
+        super().__init__(2)
+
+
+def _resolve_backend(args):
+    """Validate ``--backend`` against the kernel registry or return None.
+
+    Mirrors the ``--faults`` convention: a typo'd backend name exits with
+    one friendly line (listing the real choices) instead of a traceback.
+    """
+    name = getattr(args, "backend", None)
+    if name is None:
+        return None
+    from .kernels import get_backend
+
+    try:
+        get_backend(name)
+    except ValueError as exc:
+        raise BackendError(str(exc))
+    return name
+
+
 def _load_fault_spec(args):
     """Parse ``--faults`` (a JSON FaultSpec path) or return None.
 
@@ -187,6 +224,7 @@ def _cmd_run(args) -> int:
     from .sparse import random_sparse
 
     fault_spec = _load_fault_spec(args)
+    backend = _resolve_backend(args)
     recovery = None if args.recovery == "off" else args.recovery
     if recovery is not None and fault_spec is None:
         print("error: --recovery needs a fault plan (--faults SPEC.json)")
@@ -216,7 +254,7 @@ def _cmd_run(args) -> int:
                 if fault_spec is not None
                 else None
             )
-            last_machine = Machine(args.procs, faults=injector)
+            last_machine = Machine(args.procs, faults=injector, backend=backend)
             if recovery is not None:
                 from .recovery import run_with_recovery
 
@@ -240,6 +278,7 @@ def _cmd_run(args) -> int:
                 faults=fault_spec,
                 fault_seed=args.fault_seed,
                 recovery=recovery,
+                backend=backend,
             )
         results.append(result)
         print(f"  {result.summary()}")
@@ -260,6 +299,7 @@ def _cmd_tables(args) -> int:
     from .runtime import TABLE_SPECS, format_table, reproduce_table, shape_report
 
     fault_spec = _load_fault_spec(args)
+    backend = _resolve_backend(args)
     names = ["table3", "table4", "table5"] if args.table == "all" else [args.table]
     for name in names:
         spec = TABLE_SPECS[name]
@@ -271,6 +311,7 @@ def _cmd_tables(args) -> int:
             proc_counts=procs,
             faults=fault_spec,
             fault_seed=args.fault_seed,
+            backend=backend,
         )
         print(format_table(repro))
         print(f"   shape report: {shape_report(repro)}")

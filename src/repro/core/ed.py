@@ -47,7 +47,10 @@ class EDScheme(DistributionScheme):
     ) -> SchemeResult:
         self._check_inputs(machine, global_matrix, plan)
         kind = compression_kind(compression)
+        with machine.kernel_context():
+            return self._run(machine, global_matrix, plan, compression, kind)
 
+    def _run(self, machine, global_matrix, plan, compression, kind):
         # -- phase 1: partition (untimed) ------------------------------------
         local_arrays = plan.extract_all(global_matrix)
 

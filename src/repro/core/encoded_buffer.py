@@ -28,6 +28,8 @@ from typing import Literal
 
 import numpy as np
 
+from ..kernels import current_backend
+from ..machine.packing import MAX_EXACT_INT
 from ..sparse.ccs import CCSMatrix
 from ..sparse.coo import COOMatrix
 from ..sparse.crs import CRSMatrix
@@ -110,21 +112,17 @@ class EncodedBuffer:
             raise ValueError(f"mode must be 'crs' or 'ccs', got {mode!r}")
         n_seg = len(counts)
         nnz = local.nnz
-        data = np.empty(n_seg + 2 * nnz, dtype=np.float64)
-        # Segment start offsets in the wire buffer: seg i begins at
-        # i + 2 * (nnz in segments < i); its R_i sits there, pairs follow.
-        seg_starts = np.arange(n_seg, dtype=np.int64)
-        if n_seg:
-            seg_starts += 2 * np.concatenate(([0], np.cumsum(counts[:-1])))
-        data[seg_starts] = counts
-        if nnz:
-            # nonzeros are already grouped by segment (canonical COO for CRS,
-            # the lexsort above for CCS); position within segment:
-            first_of_seg = np.concatenate(([0], np.cumsum(counts)))[seg_of]
-            within = np.arange(nnz, dtype=np.int64) - first_of_seg
-            c_pos = seg_starts[seg_of] + 1 + 2 * within
-            data[c_pos] = idx_wire
-            data[c_pos + 1] = vals
+        if nnz and (
+            int(idx_wire.max()) > MAX_EXACT_INT or int(idx_wire.min()) < -MAX_EXACT_INT
+        ):
+            raise OverflowError(
+                "encoded buffer: wire indices outside ±2**53 cannot ride the "
+                "float64 wire exactly"
+            )
+        # nonzeros are already grouped by segment (canonical COO for CRS,
+        # the lexsort above for CCS); the backend lays out the Figure 6
+        # R_i, C, V, C, V, ... stream (vectorised or per-element).
+        data = current_backend().ed_encode(n_seg, counts, seg_of, idx_wire, vals)
         buf = cls(data=data, mode=mode, local_shape=(lr, lc))
         encode_ops = lr * lc + 3 * nnz
         return buf, encode_ops
@@ -142,29 +140,16 @@ class EncodedBuffer:
         ``C`` and ``V``, one subtract/lookup per nonzero when converting.
         """
         n_seg = self.n_segments
-        counts = np.empty(n_seg, dtype=np.int64)
-        seg_starts = np.empty(n_seg, dtype=np.int64)
-        pos = 0
-        for i in range(n_seg):  # sequential: R_i's position depends on R_{<i}
-            seg_starts[i] = pos
-            counts[i] = int(self.data[pos])
-            pos += 1 + 2 * counts[i]
-        if pos != len(self.data):
-            raise ValueError(
-                f"corrupt encoded buffer: walked {pos} of {len(self.data)} elements"
-            )
+        kernels = current_backend()
+        # sequential walk: R_i's position depends on R_{<i}; raises on a
+        # corrupt buffer (negative / non-integral counts, bad walk length)
+        counts, seg_starts = kernels.ed_decode_counts(self.data, n_seg)
         nnz = int(counts.sum())
         indptr = np.zeros(n_seg + 1, dtype=np.int64)
         np.cumsum(counts, out=indptr[1:])
-        if nnz:
-            first_of_seg = np.repeat(indptr[:-1], counts)
-            within = np.arange(nnz, dtype=np.int64) - first_of_seg
-            c_pos = np.repeat(seg_starts, counts) + 1 + 2 * within
-            wire_idx = self.data[c_pos].astype(np.int64)
-            values = self.data[c_pos + 1].copy()
-        else:
-            wire_idx = np.empty(0, dtype=np.int64)
-            values = np.empty(0, dtype=np.float64)
+        wire_idx, values = kernels.ed_decode_pairs(
+            self.data, counts, seg_starts, indptr
+        )
         local_idx = conversion.to_local(wire_idx)
         if self.mode == "crs":
             matrix = CRSMatrix(self.local_shape, indptr, local_idx, values)

@@ -30,6 +30,7 @@ from typing import Literal
 
 import numpy as np
 
+from ..kernels import current_backend
 from ..partition.base import BlockAssignment
 
 __all__ = ["ConversionSpec", "conversion_for", "paper_case_label"]
@@ -59,26 +60,30 @@ class ConversionSpec:
         return 0 if self.kind == "none" else 1
 
     def to_global(self, local: np.ndarray) -> np.ndarray:
-        """Map local indices to the global indices placed on the wire."""
+        """Map local indices to the global indices placed on the wire.
+
+        Dispatches to the active kernel backend (one add / table lookup
+        per nonzero — the same element operations the cost model charges).
+        """
         local = np.asarray(local, dtype=np.int64)
         if self.kind == "none":
             return local
         if self.kind == "offset":
-            return local + self.offset
-        return self.global_ids[local]
+            return current_backend().shift_indices(local, self.offset)
+        return current_backend().gather_indices(local, self.global_ids)
 
     def to_local(self, global_: np.ndarray) -> np.ndarray:
         """Convert received global indices to local ones (the Cases' step)."""
         global_ = np.asarray(global_, dtype=np.int64)
         if self.kind == "none":
             return global_
+        kernels = current_backend()
         if self.kind == "offset":
-            return global_ - self.offset
-        lookup = np.full(
-            int(self.global_ids.max(initial=-1)) + 1, -1, dtype=np.int64
+            return kernels.shift_indices(global_, -self.offset)
+        lookup = kernels.build_index_lookup(
+            self.global_ids, int(self.global_ids.max(initial=-1)) + 1
         )
-        lookup[self.global_ids] = np.arange(len(self.global_ids), dtype=np.int64)
-        local = lookup[global_]
+        local = kernels.gather_indices(global_, lookup)
         if np.any(local < 0):
             raise ValueError("received a global index this processor does not own")
         return local

@@ -61,7 +61,10 @@ class SFCScheme(DistributionScheme):
     ) -> SchemeResult:
         self._check_inputs(machine, global_matrix, plan)
         kind = compression_kind(compression)
+        with machine.kernel_context():
+            return self._run(machine, global_matrix, plan, compression, kind)
 
+    def _run(self, machine, global_matrix, plan, compression, kind):
         # -- phase 1: partition (untimed, per Section 4: "we do not
         # consider the data partition time") --------------------------------
         local_arrays = plan.extract_all(global_matrix)

@@ -1,0 +1,266 @@
+"""Naive per-element Python implementations — the reference oracle.
+
+Each kernel here is a direct transliteration of the paper's Section 3/4
+pseudo-code: one Python-level loop iteration per array element or per
+nonzero, no whole-array numpy operations on the hot path.  This backend
+is deliberately slow; its job is to be *obviously correct* so the
+vectorised :mod:`repro.kernels.numpy_backend` can be proven byte-identical
+against it (``tests/kernels/test_differential.py``) instead of merely
+"close".
+
+Byte-identity ground rules honoured throughout:
+
+* results are materialised into arrays of the contract dtypes
+  (``int64`` indices, ``float64`` values/wire) by per-element assignment,
+  so numpy performs the same C-level casts as the fast path's ``astype``;
+* float accumulations (``spmv``, duplicate summation downstream of
+  ``spgemm_expand``) run in the identical element order as the fast
+  path, because float addition is not associative.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .dispatch import KernelBackend
+
+__all__ = ["PythonBackend"]
+
+
+class PythonBackend(KernelBackend):
+    name = "python"
+
+    # ------------------------------------------------------------------
+    # compression
+    # ------------------------------------------------------------------
+    def coo_from_dense(self, dense: np.ndarray):
+        n_rows, n_cols = dense.shape
+        rows: list[int] = []
+        cols: list[int] = []
+        vals: list[float] = []
+        for r in range(n_rows):  # row-major scan, one test per element
+            for c in range(n_cols):
+                v = dense[r, c]
+                if v != 0.0:
+                    rows.append(r)
+                    cols.append(c)
+                    vals.append(float(v))
+        return (
+            np.array(rows, dtype=np.int64),
+            np.array(cols, dtype=np.int64),
+            np.array(vals, dtype=np.float64),
+        )
+
+    def crs_from_coo(self, shape, rows, cols, values):
+        n_rows = int(shape[0])
+        nnz = len(rows)
+        counts = [0] * n_rows
+        for r in rows:
+            counts[r] += 1
+        indptr = np.zeros(n_rows + 1, dtype=np.int64)
+        running = 0
+        for i in range(n_rows):
+            running += counts[i]
+            indptr[i + 1] = running
+        indices = np.empty(nnz, dtype=np.int64)
+        out_vals = np.empty(nnz, dtype=np.float64)
+        for k in range(nnz):  # canonical COO is already row-major
+            indices[k] = cols[k]
+            out_vals[k] = values[k]
+        return indptr, indices, out_vals
+
+    def ccs_from_coo(self, shape, rows, cols, values):
+        n_cols = int(shape[1])
+        nnz = len(rows)
+        counts = [0] * n_cols
+        for c in cols:
+            counts[c] += 1
+        indptr = np.zeros(n_cols + 1, dtype=np.int64)
+        running = 0
+        for j in range(n_cols):
+            running += counts[j]
+            indptr[j + 1] = running
+        # stable counting sort by column: row-major input order is kept
+        # within each column, exactly lexsort((rows, cols))'s tie rule
+        cursor = [int(indptr[j]) for j in range(n_cols)]
+        indices = np.empty(nnz, dtype=np.int64)
+        out_vals = np.empty(nnz, dtype=np.float64)
+        for k in range(nnz):
+            j = int(cols[k])
+            pos = cursor[j]
+            indices[pos] = rows[k]
+            out_vals[pos] = values[k]
+            cursor[j] = pos + 1
+        return indptr, indices, out_vals
+
+    # ------------------------------------------------------------------
+    # CFS wire packing
+    # ------------------------------------------------------------------
+    def pack_segments(self, segments: Sequence[np.ndarray]) -> np.ndarray:
+        total = sum(len(s) for s in segments)
+        data = np.empty(total, dtype=np.float64)
+        pos = 0
+        for seg in segments:
+            for k in range(len(seg)):  # one move op per element
+                data[pos] = seg[k]
+                pos += 1
+        return data
+
+    def unpack_segment(self, data, offset, length, dtype):
+        out = np.empty(length, dtype=dtype)
+        for k in range(length):  # one move op per element
+            out[k] = data[offset + k]
+        return out
+
+    # ------------------------------------------------------------------
+    # ED special buffer
+    # ------------------------------------------------------------------
+    def ed_encode(self, n_seg, counts, seg_of, idx_wire, values) -> np.ndarray:
+        nnz = len(values)
+        data = np.empty(n_seg + 2 * nnz, dtype=np.float64)
+        pos = 0
+        k = 0  # next nonzero (segment-major order)
+        for i in range(n_seg):
+            c = int(counts[i])
+            data[pos] = c  # write R_i
+            pos += 1
+            for _ in range(c):  # write the alternating C/V pairs
+                data[pos] = idx_wire[k]
+                data[pos + 1] = values[k]
+                pos += 2
+                k += 1
+        return data
+
+    def ed_decode_counts(self, data: np.ndarray, n_seg: int):
+        counts = np.empty(n_seg, dtype=np.int64)
+        seg_starts = np.empty(n_seg, dtype=np.int64)
+        pos = 0
+        end = len(data)
+        for i in range(n_seg):
+            if pos >= end:
+                raise ValueError(
+                    f"corrupt encoded buffer: walked past the end at segment {i}"
+                )
+            seg_starts[i] = pos
+            r = data[pos]
+            c = int(r)
+            if c < 0 or r != c:
+                raise ValueError(
+                    f"corrupt encoded buffer: segment {i} count {r!r} is not a "
+                    "non-negative integer"
+                )
+            counts[i] = c
+            pos += 1 + 2 * c
+        if pos != end:
+            raise ValueError(
+                f"corrupt encoded buffer: walked {pos} of {end} elements"
+            )
+        return counts, seg_starts
+
+    def ed_decode_pairs(self, data, counts, seg_starts, indptr):
+        nnz = int(indptr[-1])
+        wire_idx = np.empty(nnz, dtype=np.int64)
+        values = np.empty(nnz, dtype=np.float64)
+        k = 0
+        for i in range(len(counts)):
+            pos = int(seg_starts[i]) + 1
+            for _ in range(int(counts[i])):  # one move per C and per V
+                wire_idx[k] = data[pos]
+                values[k] = data[pos + 1]
+                pos += 2
+                k += 1
+        return wire_idx, values
+
+    # ------------------------------------------------------------------
+    # index conversion
+    # ------------------------------------------------------------------
+    def shift_indices(self, idx, delta):
+        out = np.empty(len(idx), dtype=np.int64)
+        for k in range(len(idx)):  # one subtraction/addition per nonzero
+            out[k] = idx[k] + delta
+        return out
+
+    def gather_indices(self, idx, table):
+        out = np.empty(len(idx), dtype=np.int64)
+        for k in range(len(idx)):  # one table lookup per nonzero
+            out[k] = table[idx[k]]
+        return out
+
+    def build_index_lookup(self, global_ids, size):
+        lookup = np.full(size, -1, dtype=np.int64)
+        for k in range(len(global_ids)):
+            lookup[global_ids[k]] = k
+        return lookup
+
+    # ------------------------------------------------------------------
+    # SpMV traversals (one multiply + one add per stored element)
+    # ------------------------------------------------------------------
+    def spmv_crs(self, shape, indptr, indices, values, x):
+        y = np.zeros(shape[0], dtype=np.float64)
+        for i in range(shape[0]):
+            for k in range(int(indptr[i]), int(indptr[i + 1])):
+                y[i] += values[k] * x[indices[k]]
+        return y
+
+    def spmv_ccs(self, shape, indptr, indices, values, x):
+        y = np.zeros(shape[0], dtype=np.float64)
+        for j in range(shape[1]):
+            for k in range(int(indptr[j]), int(indptr[j + 1])):
+                y[indices[k]] += values[k] * x[j]
+        return y
+
+    def spmv_coo(self, shape, rows, cols, values, x):
+        y = np.zeros(shape[0], dtype=np.float64)
+        for k in range(len(values)):
+            y[rows[k]] += values[k] * x[cols[k]]
+        return y
+
+    def spmv_t_crs(self, shape, indptr, indices, values, x):
+        y = np.zeros(shape[1], dtype=np.float64)
+        for i in range(shape[0]):
+            for k in range(int(indptr[i]), int(indptr[i + 1])):
+                y[indices[k]] += values[k] * x[i]
+        return y
+
+    def spmv_t_ccs(self, shape, indptr, indices, values, x):
+        y = np.zeros(shape[1], dtype=np.float64)
+        for j in range(shape[1]):
+            for k in range(int(indptr[j]), int(indptr[j + 1])):
+                y[j] += values[k] * x[indices[k]]
+        return y
+
+    def spmv_t_coo(self, shape, rows, cols, values, x):
+        y = np.zeros(shape[1], dtype=np.float64)
+        for k in range(len(values)):
+            y[cols[k]] += values[k] * x[rows[k]]
+        return y
+
+    # ------------------------------------------------------------------
+    # SpGEMM expansion
+    # ------------------------------------------------------------------
+    def spgemm_expand(self, a_rows, a_cols, a_values, b_indptr, b_indices, b_values):
+        rows: list[int] = []
+        cols: list[int] = []
+        vals: list[float] = []
+        # identical traversal order to the fast path: distinct k ascending,
+        # then A's col-k nonzeros in row-major order, then B[k, :]
+        for k in sorted(set(int(c) for c in a_cols)):
+            lo, hi = int(b_indptr[k]), int(b_indptr[k + 1])
+            if lo == hi:
+                continue
+            for ak in range(len(a_cols)):
+                if int(a_cols[ak]) != k:
+                    continue
+                av = float(a_values[ak])
+                ar = int(a_rows[ak])
+                for bk in range(lo, hi):
+                    rows.append(ar)
+                    cols.append(int(b_indices[bk]))
+                    vals.append(av * float(b_values[bk]))
+        return (
+            np.array(rows, dtype=np.int64),
+            np.array(cols, dtype=np.int64),
+            np.array(vals, dtype=np.float64),
+        )

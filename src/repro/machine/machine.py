@@ -81,6 +81,12 @@ class Machine:
         attached, all sends go through the reliable-delivery protocol
         (see module docstring); when ``None`` the machine is the exact
         fault-free simulator.
+    backend:
+        Kernel backend name (``"python"`` | ``"numpy"``) the schemes and
+        apps run their hot paths on while driving this machine; ``None``
+        (default) inherits the process-wide default (numpy).  Backend
+        choice never changes charged costs or wire bytes — only
+        wall-clock speed (the differential suite's contract).
     """
 
     def __init__(
@@ -91,9 +97,15 @@ class Machine:
         topology: Topology | None = None,
         proc_speeds: list[float] | None = None,
         faults: "FaultInjector | None" = None,
+        backend: str | None = None,
     ) -> None:
         if n_procs <= 0:
             raise ValueError(f"n_procs must be positive, got {n_procs}")
+        if backend is not None:
+            from ..kernels import get_backend
+
+            get_backend(backend)  # validate eagerly: fail at construction
+        self.backend = backend
         self.n_procs = n_procs
         self.cost = cost if cost is not None else sp2_cost_model()
         if proc_speeds is None:
@@ -661,6 +673,19 @@ class Machine:
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
+    def kernel_context(self):
+        """Dynamic scope installing this machine's kernel backend.
+
+        Schemes and distributed apps wrap their bodies in
+        ``with machine.kernel_context():`` so every hot-path kernel
+        (pack/encode/decode/convert/traverse) dispatches to the backend
+        the machine was constructed with.  A machine without an explicit
+        ``backend`` yields a no-op scope (process default applies).
+        """
+        from ..kernels import use_backend
+
+        return use_backend(self.backend)
+
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self.n_procs:
             raise ValueError(f"rank {rank} out of range for p={self.n_procs}")

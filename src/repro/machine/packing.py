@@ -10,8 +10,15 @@ them.
 
 Integer segments (RO/CO) are stored as float64 on the wire.  That is
 faithful to the element-count accounting (the paper counts *elements*, not
-bytes) and loses nothing: indices are exactly representable in a double far
-beyond any array size we simulate.
+bytes) and loses nothing **as long as every integer fits a double
+exactly**: pack/unpack therefore guard the ±2⁵³ exact-integer window and
+the declared segment dtype's range, so an int counter silently drifting
+through the wire (e.g. an int32 row counter fed a >2³¹ count) raises
+instead of wrapping — see ``tests/kernels/test_overflow.py``.
+
+The element moves themselves run on the active kernel backend
+(:mod:`repro.kernels`): vectorised numpy by default, or the per-element
+python oracle under ``backend="python"`` — byte-identical by contract.
 """
 
 from __future__ import annotations
@@ -21,7 +28,44 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["PackedBuffer"]
+from ..kernels import current_backend
+
+__all__ = ["PackedBuffer", "MAX_EXACT_INT"]
+
+#: largest magnitude an integer may have and still be exactly
+#: representable in the float64 wire format (2**53)
+MAX_EXACT_INT = 1 << 53
+
+
+def _check_wire_exact(name: str, arr: np.ndarray) -> None:
+    """Refuse integers that would lose precision on the float64 wire."""
+    if arr.size and np.issubdtype(arr.dtype, np.integer):
+        lo, hi = int(arr.min()), int(arr.max())
+        if hi > MAX_EXACT_INT or lo < -MAX_EXACT_INT:
+            raise OverflowError(
+                f"segment {name!r} holds integers outside ±2**53 "
+                f"(min={lo}, max={hi}); they cannot ride the float64 wire "
+                "exactly"
+            )
+
+
+def _check_dtype_fits(name: str, segment: np.ndarray, dtype: np.dtype) -> None:
+    """Refuse wire values that do not round-trip into the declared dtype."""
+    if not segment.size or not np.issubdtype(dtype, np.integer):
+        return
+    if np.any(segment != np.trunc(segment)):
+        raise ValueError(
+            f"segment {name!r} carries non-integral wire values for "
+            f"integer dtype {dtype}"
+        )
+    info = np.iinfo(dtype)
+    lo, hi = float(segment.min()), float(segment.max())
+    if lo < info.min or hi > info.max:
+        raise ValueError(
+            f"segment {name!r} wire values [{lo:.0f}, {hi:.0f}] do not fit "
+            f"the declared dtype {dtype} "
+            f"([{info.min}, {info.max}]) — integer counter overflow"
+        )
 
 
 @dataclass(frozen=True)
@@ -59,7 +103,8 @@ class PackedBuffer:
 
         Returns ``(buffer, move_ops)`` where ``move_ops`` is the number of
         element moves performed (= total elements), the quantity the host
-        is charged ``T_Operation`` each for.
+        is charged ``T_Operation`` each for.  Runs on the active kernel
+        backend.
         """
         names = list(order) if order is not None else list(arrays)
         segments = []
@@ -68,13 +113,10 @@ class PackedBuffer:
             arr = np.asarray(arrays[name])
             if arr.ndim != 1:
                 raise ValueError(f"segment {name!r} must be 1-D, got shape {arr.shape}")
-            segments.append(arr.astype(np.float64, copy=False))
+            _check_wire_exact(name, arr)
+            segments.append(arr)
             layout.append((name, len(arr), str(arr.dtype)))
-        data = (
-            np.concatenate(segments)
-            if segments
-            else np.empty(0, dtype=np.float64)
-        )
+        data = current_backend().pack_segments(segments)
         buf = cls(data=data, layout=tuple(layout))
         return buf, buf.n_elements
 
@@ -83,12 +125,16 @@ class PackedBuffer:
 
         Returns ``(arrays, move_ops)``; ``move_ops`` equals total elements
         (each element is copied out once), charged to the receiver.
+        Raises ``ValueError`` when a wire value does not round-trip into
+        its declared integer dtype (corruption or counter overflow).
         """
+        kernels = current_backend()
         out: dict[str, np.ndarray] = {}
         offset = 0
         for name, length, dtype in self.layout:
-            segment = self.data[offset : offset + length]
-            out[name] = segment.astype(np.dtype(dtype))
+            dt = np.dtype(dtype)
+            _check_dtype_fits(name, self.data[offset : offset + length], dt)
+            out[name] = kernels.unpack_segment(self.data, offset, length, dt)
             offset += length
         if offset != len(self.data):
             raise ValueError(

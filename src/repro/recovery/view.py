@@ -104,6 +104,9 @@ class SurvivorView:
     def fault_summary(self):
         return self.machine.fault_summary()
 
+    def kernel_context(self):
+        return self.machine.kernel_context()
+
     def charge_host_ops(self, n_ops: int, phase: Phase, label: str = "") -> float:
         return self.machine.charge_host_ops(n_ops, phase, label)
 
@@ -207,6 +210,9 @@ class GhostView:
 
     def fault_summary(self):
         return self.machine.fault_summary()
+
+    def kernel_context(self):
+        return self.machine.kernel_context()
 
     def charge_host_ops(self, n_ops: int, phase: Phase, label: str = "") -> float:
         return self.machine.charge_host_ops(n_ops, phase, label)

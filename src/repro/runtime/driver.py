@@ -38,6 +38,7 @@ def run_scheme(
     faults: FaultSpec | None = None,
     fault_seed: int = 0,
     recovery: str | None = None,
+    backend: str | None = None,
 ) -> SchemeResult:
     """Run one scheme on a fresh simulated machine.
 
@@ -53,12 +54,18 @@ def run_scheme(
     surviving membership and reported in ``result.recovery_summary``.
     Requires ``faults``; a pre-built ``plan`` cannot be combined with it
     (recovery re-plans for the survivors).
+
+    ``backend`` selects the kernel backend (``"python"`` | ``"numpy"``)
+    the hot paths run on; ``None`` inherits the process default (numpy).
+    Results are byte-identical either way (DESIGN.md §"Kernel backends").
     """
     method = partition if isinstance(partition, PartitionMethod) else get_partition(partition)
     if plan is None:
         plan = method.plan(matrix.shape, n_procs)
     injector = FaultInjector(faults, seed=fault_seed) if faults is not None else None
-    machine = Machine(plan.n_procs, cost=cost, topology=topology, faults=injector)
+    machine = Machine(
+        plan.n_procs, cost=cost, topology=topology, faults=injector, backend=backend
+    )
     comp: type[CompressedLocal] = get_compression(compression)
     if recovery is not None:
         if injector is None:
@@ -96,6 +103,8 @@ class ExperimentConfig:
     #: None runs without the recovery manager (a fail-stop death then
     #: surfaces as DeadRankError)
     recovery: str | None = None
+    #: kernel backend ("python" | "numpy"); None = process default
+    backend: str | None = None
 
     def make_matrix(self) -> COOMatrix:
         """The test sample for this cell (paper: n×n, fixed sparse ratio)."""
@@ -121,4 +130,5 @@ def run_config(config: ExperimentConfig, matrix: COOMatrix | None = None) -> Sch
         faults=config.faults,
         fault_seed=config.fault_seed,
         recovery=config.recovery,
+        backend=config.backend,
     )

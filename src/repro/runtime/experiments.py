@@ -130,13 +130,16 @@ def reproduce_table(
     schemes: Iterable[str] = SCHEMES_ORDER,
     faults: FaultSpec | None = None,
     fault_seed: int = 0,
+    backend: str | None = None,
 ) -> TableReproduction:
     """Rerun one published table's grid on the simulated machine.
 
     ``faults`` re-derives the whole grid under a fault plan (every cell
     gets a fresh injector seeded with ``fault_seed`` so cells stay
     independent and reproducible) — the "Tables 3–5 under a failure rate
-    f" extension.
+    f" extension.  ``backend`` selects the kernel backend every cell runs
+    on (``None`` = process default); measured times are identical either
+    way, only wall-clock differs.
     """
     spec = TABLE_SPECS[table_id]
     sizes = tuple(sizes) if sizes is not None else spec.sizes
@@ -170,6 +173,7 @@ def reproduce_table(
                     cost=cost,
                     faults=faults,
                     fault_seed=fault_seed,
+                    backend=backend,
                 )
                 repro.cells[(p, scheme, n)] = run_config(cfg, matrix)
     return repro

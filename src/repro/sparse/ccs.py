@@ -104,11 +104,17 @@ class CCSMatrix:
     # ------------------------------------------------------------------
     @classmethod
     def from_coo(cls, coo: COOMatrix) -> "CCSMatrix":
-        """Compress a COO matrix into CCS (column-major resorting included)."""
-        order = np.lexsort((coo.rows, coo.cols))
-        indptr = np.zeros(coo.shape[1] + 1, dtype=np.int64)
-        np.cumsum(coo.col_counts(), out=indptr[1:])
-        return cls(coo.shape, indptr, coo.rows[order], coo.values[order], check=False)
+        """Compress a COO matrix into CCS (column-major resorting included).
+
+        The column-major resort and offset pass run on the active kernel
+        backend (stable, so row order within a column is preserved).
+        """
+        from ..kernels import current_backend
+
+        indptr, indices, values = current_backend().ccs_from_coo(
+            coo.shape, coo.rows, coo.cols, coo.values
+        )
+        return cls(coo.shape, indptr, indices, values, check=False)
 
     @classmethod
     def from_dense(cls, dense) -> "CCSMatrix":

@@ -107,12 +107,18 @@ class COOMatrix:
 
     @classmethod
     def from_dense(cls, dense) -> "COOMatrix":
-        """Build a COO matrix from a dense 2-D array."""
+        """Build a COO matrix from a dense 2-D array.
+
+        The nonzero scan (one test per element, the paper's compression
+        inner loop) runs on the active kernel backend.
+        """
+        from ..kernels import current_backend
+
         dense = np.asarray(dense, dtype=np.float64)
         if dense.ndim != 2:
             raise ValueError(f"expected a 2-D array, got ndim={dense.ndim}")
-        rows, cols = np.nonzero(dense)
-        return cls(dense.shape, rows, cols, dense[rows, cols], canonical=True)
+        rows, cols, values = current_backend().coo_from_dense(dense)
+        return cls(dense.shape, rows, cols, values, canonical=True)
 
     @classmethod
     def empty(cls, shape) -> "COOMatrix":

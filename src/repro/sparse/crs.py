@@ -113,10 +113,16 @@ class CRSMatrix:
     # ------------------------------------------------------------------
     @classmethod
     def from_coo(cls, coo: COOMatrix) -> "CRSMatrix":
-        """Compress a canonical COO matrix (row-major sorted) into CRS."""
-        indptr = np.zeros(coo.shape[0] + 1, dtype=np.int64)
-        np.cumsum(coo.row_counts(), out=indptr[1:])
-        return cls(coo.shape, indptr, coo.cols, coo.values, check=False)
+        """Compress a canonical COO matrix (row-major sorted) into CRS.
+
+        The row-count/offset pass runs on the active kernel backend.
+        """
+        from ..kernels import current_backend
+
+        indptr, indices, values = current_backend().crs_from_coo(
+            coo.shape, coo.rows, coo.cols, coo.values
+        )
+        return cls(coo.shape, indptr, indices, values, check=False)
 
     @classmethod
     def from_dense(cls, dense) -> "CRSMatrix":

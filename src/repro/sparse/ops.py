@@ -6,15 +6,17 @@ dynamics, finite elements, climate modeling).  These kernels are what a
 processor runs on its compressed local array *after* distribution, and what
 the :mod:`repro.apps` workloads are built from.
 
-All kernels are vectorised numpy (per the HPC guide: no per-element Python
-loops on hot paths); the loopy reference forms live in the test suite as
-oracles.
+The traversal kernels (``spmv``, ``spmv_transpose``, ``spgemm``) dispatch
+to the active kernel backend (:mod:`repro.kernels`): vectorised numpy by
+default, or the per-nonzero python oracle under ``backend="python"`` —
+byte-identical outputs either way (the differential suite's contract).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..kernels import current_backend
 from .ccs import CCSMatrix
 from .coo import COOMatrix
 from .crs import CRSMatrix
@@ -35,33 +37,23 @@ __all__ = [
 ]
 
 
-def _row_ids(m: CRSMatrix) -> np.ndarray:
-    return np.repeat(np.arange(m.shape[0], dtype=np.int64), m.row_counts())
-
-
-def _col_ids(m: CCSMatrix) -> np.ndarray:
-    return np.repeat(np.arange(m.shape[1], dtype=np.int64), m.col_counts())
-
-
 def spmv(m: AnySparse, x: np.ndarray) -> np.ndarray:
     """Sparse matrix–vector product ``y = m @ x``.
 
     Accepts any of the three sparse classes; ``x`` must have length
-    ``m.n_cols``.
+    ``m.n_cols``.  The traversal runs on the active kernel backend.
     """
     x = np.asarray(x, dtype=np.float64)
     if x.shape != (m.shape[1],):
         raise ValueError(f"x must have shape ({m.shape[1]},), got {x.shape}")
-    y = np.zeros(m.shape[0], dtype=np.float64)
+    kernels = current_backend()
     if isinstance(m, CRSMatrix):
-        np.add.at(y, _row_ids(m), m.values * x[m.indices])
-    elif isinstance(m, CCSMatrix):
-        np.add.at(y, m.indices, m.values * x[_col_ids(m)])
-    elif isinstance(m, COOMatrix):
-        np.add.at(y, m.rows, m.values * x[m.cols])
-    else:
-        raise TypeError(f"unsupported sparse type {type(m).__name__}")
-    return y
+        return kernels.spmv_crs(m.shape, m.indptr, m.indices, m.values, x)
+    if isinstance(m, CCSMatrix):
+        return kernels.spmv_ccs(m.shape, m.indptr, m.indices, m.values, x)
+    if isinstance(m, COOMatrix):
+        return kernels.spmv_coo(m.shape, m.rows, m.cols, m.values, x)
+    raise TypeError(f"unsupported sparse type {type(m).__name__}")
 
 
 def spmv_transpose(m: AnySparse, x: np.ndarray) -> np.ndarray:
@@ -69,16 +61,14 @@ def spmv_transpose(m: AnySparse, x: np.ndarray) -> np.ndarray:
     x = np.asarray(x, dtype=np.float64)
     if x.shape != (m.shape[0],):
         raise ValueError(f"x must have shape ({m.shape[0]},), got {x.shape}")
-    y = np.zeros(m.shape[1], dtype=np.float64)
+    kernels = current_backend()
     if isinstance(m, CRSMatrix):
-        np.add.at(y, m.indices, m.values * x[_row_ids(m)])
-    elif isinstance(m, CCSMatrix):
-        np.add.at(y, _col_ids(m), m.values * x[m.indices])
-    elif isinstance(m, COOMatrix):
-        np.add.at(y, m.cols, m.values * x[m.rows])
-    else:
-        raise TypeError(f"unsupported sparse type {type(m).__name__}")
-    return y
+        return kernels.spmv_t_crs(m.shape, m.indptr, m.indices, m.values, x)
+    if isinstance(m, CCSMatrix):
+        return kernels.spmv_t_ccs(m.shape, m.indptr, m.indices, m.values, x)
+    if isinstance(m, COOMatrix):
+        return kernels.spmv_t_coo(m.shape, m.rows, m.cols, m.values, x)
+    raise TypeError(f"unsupported sparse type {type(m).__name__}")
 
 
 def sp_add(a: AnySparse, b: AnySparse) -> COOMatrix:
@@ -169,10 +159,12 @@ def spgemm(a: AnySparse, b: AnySparse) -> COOMatrix:
     """Sparse matrix–matrix product ``C = A @ B`` (result in canonical COO).
 
     Row-by-row expansion on CRS operands: for each stored ``A[i, k]`` the
-    whole compressed row ``B[k, :]`` is scaled and accumulated.  Vectorised
-    per distinct ``k`` (gather–scale–scatter), so the Python-level loop is
-    over the columns of ``A`` that are actually populated, not over
-    nonzeros.
+    whole compressed row ``B[k, :]`` is scaled and accumulated.  The
+    expansion traversal runs on the active kernel backend (the numpy
+    backend vectorises per distinct ``k`` — gather–scale–scatter — so its
+    Python-level loop is over the populated columns of ``A``, not over
+    nonzeros; the python oracle walks nonzero by nonzero in the identical
+    order).
     """
     if a.shape[1] != b.shape[0]:
         raise ValueError(
@@ -181,26 +173,10 @@ def spgemm(a: AnySparse, b: AnySparse) -> COOMatrix:
     a_crs = convert(a, CRSMatrix)
     b_crs = convert(b, CRSMatrix)
     a_coo = a_crs.to_coo()
-    rows_out: list[np.ndarray] = []
-    cols_out: list[np.ndarray] = []
-    vals_out: list[np.ndarray] = []
-    b_counts = b_crs.row_counts()
-    for k in np.unique(a_coo.cols):
-        nnz_bk = int(b_counts[k])
-        if nnz_bk == 0:
-            continue
-        mask = a_coo.cols == k
-        a_rows = a_coo.rows[mask]
-        a_vals = a_coo.values[mask]
-        b_cols, b_vals = b_crs.row(int(k))
-        rows_out.append(np.repeat(a_rows, nnz_bk))
-        cols_out.append(np.tile(b_cols, len(a_rows)))
-        vals_out.append(np.outer(a_vals, b_vals).ravel())
-    if not rows_out:
-        return COOMatrix.empty((a.shape[0], b.shape[1]))
-    return COOMatrix(
-        (a.shape[0], b.shape[1]),
-        np.concatenate(rows_out),
-        np.concatenate(cols_out),
-        np.concatenate(vals_out),
+    rows, cols, vals = current_backend().spgemm_expand(
+        a_coo.rows, a_coo.cols, a_coo.values,
+        b_crs.indptr, b_crs.indices, b_crs.values,
     )
+    if not len(rows):
+        return COOMatrix.empty((a.shape[0], b.shape[1]))
+    return COOMatrix((a.shape[0], b.shape[1]), rows, cols, vals)

@@ -1,0 +1,85 @@
+"""Shared config/runner for the backend golden-trace fixture.
+
+Used by ``tests/kernels/test_golden_backends.py`` (replay + compare) and
+``scripts/refresh_golden_fixtures.py`` (regenerate / ``--check``).  Kept
+out of the test module so the refresh script can import it without
+pulling in pytest.
+
+The fixture pins, for a grid of scheme × partition × compression cells
+*with faults off and on*, the full machine trace and phase times.  Both
+kernel backends must replay every entry exactly — the cross-session
+regression net over the byte-identity contract.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core import get_compression, get_partition, get_scheme
+from repro.faults import FaultInjector, FaultSpec
+from repro.machine import Machine, sp2_cost_model, trace_to_dict
+from repro.sparse import random_sparse
+
+FIXTURE = Path(__file__).resolve().parents[1] / "faults" / "fixtures" / (
+    "golden_traces_backends.json"
+)
+
+#: seed for the lossy injector runs (drop/corrupt/duplicate/reorder all on)
+LOSSY_SEED = 5
+
+#: (scheme, partition, compression, n, p, fault_tag); fault_tag is
+#: "clean" (no injector) or "lossy" (FaultSpec.lossy(0.2), seed above)
+BACKEND_GOLDEN_CONFIGS = [
+    ("sfc", "row", "crs", 100, 4, "clean"),
+    ("cfs", "row", "crs", 100, 4, "clean"),
+    ("ed", "row", "crs", 100, 4, "clean"),
+    ("cfs", "column", "ccs", 100, 2, "clean"),
+    ("ed", "mesh2d", "ccs", 60, 4, "clean"),
+    ("sfc", "row", "crs", 100, 4, "lossy"),
+    ("cfs", "row", "crs", 100, 4, "lossy"),
+    ("ed", "row", "crs", 100, 4, "lossy"),
+    ("cfs", "column", "ccs", 100, 2, "lossy"),
+    ("ed", "mesh2d", "ccs", 60, 4, "lossy"),
+]
+
+
+def config_key(scheme, partition, compression, n, p, fault_tag) -> str:
+    return f"{scheme}-{partition}-{compression}-n{n}-p{p}-{fault_tag}"
+
+
+def run_backend_config(scheme, partition, compression, n, p, fault_tag,
+                       *, backend=None):
+    """Run one fixture cell; ``backend`` selects the kernel backend."""
+    matrix = random_sparse((n, n), 0.1, seed=2002 + n + 131 * p)
+    plan = get_partition(partition).plan(matrix.shape, p)
+    injector = (
+        FaultInjector(FaultSpec.lossy(0.2), seed=LOSSY_SEED)
+        if fault_tag == "lossy"
+        else None
+    )
+    machine = Machine(
+        p, cost=sp2_cost_model(), faults=injector, backend=backend
+    )
+    result = get_scheme(scheme).run(
+        machine, matrix, plan, get_compression(compression)
+    )
+    return machine, result
+
+
+def entry_for(config, *, backend=None) -> dict:
+    """The JSON entry one fixture cell pins."""
+    machine, result = run_backend_config(*config, backend=backend)
+    return {
+        "t_distribution": result.t_distribution,
+        "t_compression": result.t_compression,
+        "fault_summary": result.fault_summary,
+        "trace": trace_to_dict(machine.trace),
+    }
+
+
+def generate_fixture(*, backend=None) -> dict:
+    """All cells, keyed by :func:`config_key`."""
+    return {
+        config_key(*config): entry_for(config, backend=backend)
+        for config in BACKEND_GOLDEN_CONFIGS
+    }

@@ -1,0 +1,61 @@
+"""Both kernel backends must replay the golden backend fixture exactly.
+
+The fixture (``tests/faults/fixtures/golden_traces_backends.json``) pins
+full traces for a scheme × partition × compression grid with faults off
+*and* on.  Regenerate / verify it with::
+
+    python scripts/refresh_golden_fixtures.py [--check]
+
+A failure here means a kernel change altered a simulated cost, a wire
+buffer or the fault-injection stream — either fix the kernel (the usual
+answer: backends must stay byte-identical) or, for a deliberate
+cost-model change, refresh the fixture and say so in the commit.
+"""
+
+import json
+
+import pytest
+
+from .golden_backends import (
+    BACKEND_GOLDEN_CONFIGS,
+    FIXTURE,
+    config_key,
+    entry_for,
+)
+
+BACKENDS = ["numpy", "python"]
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(FIXTURE, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize(
+    "config",
+    BACKEND_GOLDEN_CONFIGS,
+    ids=[config_key(*c) for c in BACKEND_GOLDEN_CONFIGS],
+)
+def test_backend_replays_golden_trace(golden, config, backend):
+    got = entry_for(config, backend=backend)
+    want = golden[config_key(*config)]
+    assert got["trace"] == want["trace"]
+    assert got["t_distribution"] == want["t_distribution"]
+    assert got["t_compression"] == want["t_compression"]
+    assert got["fault_summary"] == want["fault_summary"]
+
+
+def test_fixture_covers_all_configs(golden):
+    keys = {config_key(*c) for c in BACKEND_GOLDEN_CONFIGS}
+    assert keys == set(golden)
+
+
+def test_fixture_includes_faulty_and_clean_cells(golden):
+    tags = {key.rsplit("-", 1)[1] for key in golden}
+    assert tags == {"clean", "lossy"}
+    # the lossy cells actually exercised the injector
+    assert any(
+        e["fault_summary"] for k, e in golden.items() if k.endswith("lossy")
+    )

@@ -1,0 +1,173 @@
+"""Regression tests for wire-format hardening (PR 3 bugfix satellite).
+
+Everything in this repo rides a flat ``float64`` wire buffer, so integers
+are exact only inside the ±2**53 window, and a segment's *declared* dtype
+(``int32`` vs ``int64``) bounds what may legally come back out.  Before
+the hardening, an oversized counter silently lost precision on pack or
+wrapped on unpack; now both directions raise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.encoded_buffer import EncodedBuffer
+from repro.core.index_conversion import ConversionSpec
+from repro.kernels import use_backend
+from repro.machine.packing import MAX_EXACT_INT, PackedBuffer
+from repro.sparse import COOMatrix
+
+BACKENDS = ["numpy", "python"]
+NONE_CONV = ConversionSpec(kind="none")
+
+
+class TestPackOverflow:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_int_beyond_2_53_refused(self, backend):
+        with use_backend(backend):
+            with pytest.raises(OverflowError, match=r"±2\*\*53"):
+                PackedBuffer.pack(
+                    {"RO": np.array([0, MAX_EXACT_INT + 1], dtype=np.int64)}
+                )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_negative_beyond_2_53_refused(self, backend):
+        with use_backend(backend):
+            with pytest.raises(OverflowError):
+                PackedBuffer.pack(
+                    {"CO": np.array([-(MAX_EXACT_INT + 1)], dtype=np.int64)}
+                )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_boundary_survives_roundtrip(self, backend):
+        """±2**53 itself is exactly representable and must round-trip."""
+        with use_backend(backend):
+            edge = np.array([MAX_EXACT_INT, -MAX_EXACT_INT, 0], dtype=np.int64)
+            buf, _ = PackedBuffer.pack({"RO": edge})
+            out, _ = buf.unpack()
+            np.testing.assert_array_equal(out["RO"], edge)
+            assert out["RO"].dtype == np.int64
+
+    def test_float_segments_unguarded(self):
+        """Only integer segments are range-guarded; floats pass through."""
+        big = np.array([1e300, -1e300])
+        buf, _ = PackedBuffer.pack({"VL": big})
+        out, _ = buf.unpack()
+        np.testing.assert_array_equal(out["VL"], big)
+
+
+class TestUnpackDtypeDrift:
+    def _buffer_with_layout(self, values, dtype_str, name="RO"):
+        """A wire buffer whose layout *claims* ``dtype_str`` for ``name``."""
+        data = np.asarray(values, dtype=np.float64)
+        return PackedBuffer(data=data, layout=((name, len(data), dtype_str),))
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_int32_counter_overflow_detected(self, backend):
+        """An int32 row counter fed a >2**31 count must raise, not wrap."""
+        buf = self._buffer_with_layout([0.0, float(2**31)], "int32")
+        with use_backend(backend):
+            with pytest.raises(ValueError, match="integer counter overflow"):
+                buf.unpack()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_int32_underflow_detected(self, backend):
+        buf = self._buffer_with_layout([-float(2**31) - 1.0], "int32")
+        with use_backend(backend):
+            with pytest.raises(ValueError, match="integer counter overflow"):
+                buf.unpack()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_non_integral_wire_value_for_int_dtype(self, backend):
+        """A corrupted (fractional) wire value must not be truncated."""
+        buf = self._buffer_with_layout([1.0, 2.5], "int64")
+        with use_backend(backend):
+            with pytest.raises(ValueError, match="non-integral wire values"):
+                buf.unpack()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_int32_in_range_roundtrips_as_int32(self, backend):
+        buf = self._buffer_with_layout([0.0, 7.0, float(2**31 - 1)], "int32")
+        with use_backend(backend):
+            out, _ = buf.unpack()
+        assert out["RO"].dtype == np.int32
+        assert out["RO"].tolist() == [0, 7, 2**31 - 1]
+
+    def test_layout_mismatch_detected(self):
+        buf = PackedBuffer(
+            data=np.zeros(3), layout=(("RO", 2, "int64"),)
+        )
+        with pytest.raises(ValueError, match="layout covers 2"):
+            buf.unpack()
+
+    def test_non_1d_segment_rejected_at_pack(self):
+        with pytest.raises(ValueError, match="must be 1-D"):
+            PackedBuffer.pack({"RO": np.zeros((2, 2))})
+
+
+class TestEncodedBufferHardening:
+    def _tiny(self):
+        return COOMatrix(
+            (3, 4),
+            np.array([0, 0, 2], dtype=np.int64),
+            np.array([1, 3, 0], dtype=np.int64),
+            np.array([1.5, 2.5, 3.5]),
+        )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_wire_index_beyond_2_53_refused(self, backend):
+        conv = ConversionSpec(kind="offset", offset=MAX_EXACT_INT)
+        with use_backend(backend):
+            with pytest.raises(OverflowError, match=r"±2\*\*53"):
+                EncodedBuffer.encode(self._tiny(), "crs", conv)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_corrupt_negative_count(self, backend):
+        buf, _ = EncodedBuffer.encode(self._tiny(), "crs", NONE_CONV)
+        data = buf.data.copy()
+        data[0] = -1.0  # R_0
+        bad = EncodedBuffer(data=data, mode="crs", local_shape=buf.local_shape)
+        with use_backend(backend):
+            with pytest.raises(ValueError, match="corrupt encoded buffer"):
+                bad.decode(NONE_CONV)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_corrupt_fractional_count(self, backend):
+        buf, _ = EncodedBuffer.encode(self._tiny(), "crs", NONE_CONV)
+        data = buf.data.copy()
+        data[0] = 1.5
+        bad = EncodedBuffer(data=data, mode="crs", local_shape=buf.local_shape)
+        with use_backend(backend):
+            with pytest.raises(ValueError, match="is not a"):
+                bad.decode(NONE_CONV)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_corrupt_count_walks_past_end(self, backend):
+        buf, _ = EncodedBuffer.encode(self._tiny(), "crs", NONE_CONV)
+        data = buf.data.copy()
+        data[0] = 50.0  # claims 50 pairs in a 9-element buffer
+        bad = EncodedBuffer(data=data, mode="crs", local_shape=buf.local_shape)
+        with use_backend(backend):
+            with pytest.raises(ValueError, match="corrupt encoded buffer"):
+                bad.decode(NONE_CONV)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_walk_length_mismatch(self, backend):
+        buf, _ = EncodedBuffer.encode(self._tiny(), "crs", NONE_CONV)
+        # drop the final V: the walk no longer lands on the buffer end
+        bad = EncodedBuffer(
+            data=buf.data[:-1].copy(), mode="crs", local_shape=buf.local_shape
+        )
+        with use_backend(backend):
+            with pytest.raises(ValueError, match="corrupt encoded buffer"):
+                bad.decode(NONE_CONV)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_clean_roundtrip_still_works(self, backend):
+        m = self._tiny()
+        with use_backend(backend):
+            buf, _ = EncodedBuffer.encode(m, "crs", NONE_CONV)
+            out, _ = buf.decode(NONE_CONV)
+        coo = out.to_coo()
+        np.testing.assert_array_equal(coo.rows, m.rows)
+        np.testing.assert_array_equal(coo.cols, m.cols)
+        np.testing.assert_array_equal(coo.values, m.values)

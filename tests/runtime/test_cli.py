@@ -197,6 +197,67 @@ class TestFaultSpecLoading:
         assert "is a directory" in out
 
 
+class TestBackendFlag:
+    """``--backend`` is user input: a typo'd name must exit with one
+    friendly ``error:`` line (exit code 2, same convention as --faults)."""
+
+    def test_parser_default_is_none(self):
+        args = build_parser().parse_args(["run"])
+        assert args.backend is None
+
+    @pytest.mark.parametrize("name", ["numpy", "python"])
+    def test_run_with_backend(self, name, capsys):
+        assert main(["run", "--scheme", "ed", "--n", "30", "--procs", "2",
+                     "--backend", name]) == 0
+        assert "ED" in capsys.readouterr().out
+
+    def test_backends_print_identical_phase_times(self, capsys):
+        assert main(["run", "--n", "40", "--procs", "4",
+                     "--backend", "python"]) == 0
+        out_py = capsys.readouterr().out
+        assert main(["run", "--n", "40", "--procs", "4",
+                     "--backend", "numpy"]) == 0
+        out_np = capsys.readouterr().out
+        assert out_py == out_np  # byte-identical contract, end to end
+
+    def test_unknown_backend_friendly_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "--scheme", "sfc", "--n", "24", "--procs", "2",
+                  "--backend", "cython"])
+        assert exc.value.code == 2
+        out = capsys.readouterr().out
+        assert out.startswith("error:")
+        assert "unknown kernel backend 'cython'" in out
+        assert "numpy" in out and "python" in out  # the fix is on screen
+
+    def test_backend_with_timeline_path(self, capsys):
+        assert main(["run", "--scheme", "ed", "--n", "24", "--procs", "2",
+                     "--backend", "python", "--timeline"]) == 0
+        assert "lane" in capsys.readouterr().out
+
+    def test_tables_accepts_backend(self, capsys, monkeypatch):
+        import repro.runtime.experiments as experiments
+
+        seen = {}
+        original = experiments.reproduce_table
+
+        def small(table_id, **kwargs):
+            seen["backend"] = kwargs.get("backend")
+            kwargs.setdefault("sizes", [40])
+            kwargs.setdefault("proc_counts", [4])
+            return original(table_id, **kwargs)
+
+        monkeypatch.setattr("repro.runtime.reproduce_table", small)
+        assert main(["tables", "table3", "--backend", "python"]) == 0
+        assert seen["backend"] == "python"
+
+    def test_tables_unknown_backend_friendly_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["tables", "table3", "--backend", "fortran"])
+        assert exc.value.code == 2
+        assert "unknown kernel backend 'fortran'" in capsys.readouterr().out
+
+
 class TestRecoveryFlag:
     def _spec_file(self, tmp_path, dead_ranks=(1,)):
         path = tmp_path / "failstop.json"
