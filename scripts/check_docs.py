@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Docs gate: markdown link checker + public-API docstring presence.
+
+Two checks, zero dependencies:
+
+1. **Links** — every relative markdown link and every ``file:symbol`` /
+   bare-path reference in the documentation set (README.md, DESIGN.md,
+   EXPERIMENTS.md, CHANGES.md, docs/*.md) must point at a file that
+   exists in the repository.  In-page anchors (``#section``) are checked
+   against the target file's headings.  External (http/https/mailto)
+   links are *not* fetched — CI must not depend on the network.
+
+2. **Docstrings** — every public symbol exported by the observability
+   layer (``repro.obs.__all__`` and the ``__all__`` of its submodules)
+   must carry a docstring, as must the modules themselves and the public
+   methods of public classes.  The docs site leans on these docstrings;
+   an undocumented export is a build error, not a style nit.
+
+Exit status 0 = clean, 1 = problems (each printed one per line).
+Run from the repository root:  ``python scripts/check_docs.py``
+"""
+
+from __future__ import annotations
+
+import inspect
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+#: the documentation set the link checker walks
+DOC_FILES = [
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "CHANGES.md",
+    "ROADMAP.md",
+    *sorted(str(p.relative_to(REPO)) for p in (REPO / "docs").glob("*.md")),
+]
+
+#: markdown inline links: [text](target)
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: markdown headings, for anchor checking
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def _slugify(heading: str) -> str:
+    """GitHub-style anchor slug for one heading line."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors_of(path: Path) -> set[str]:
+    return {_slugify(h) for h in _HEADING_RE.findall(path.read_text())}
+
+
+def check_links() -> list[str]:
+    problems: list[str] = []
+    for rel in DOC_FILES:
+        doc = REPO / rel
+        if not doc.exists():
+            problems.append(f"{rel}: documented file is missing")
+            continue
+        text = doc.read_text()
+        for match in _LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            target, _, anchor = target.partition("#")
+            if not target:  # pure in-page anchor
+                if anchor and _slugify(anchor) not in _anchors_of(doc):
+                    problems.append(f"{rel}: broken anchor #{anchor}")
+                continue
+            resolved = (doc.parent / target).resolve()
+            if not resolved.exists():
+                problems.append(f"{rel}: broken link -> {target}")
+            elif anchor and resolved.suffix == ".md":
+                if _slugify(anchor) not in _anchors_of(resolved):
+                    problems.append(
+                        f"{rel}: broken anchor -> {target}#{anchor}"
+                    )
+        # `path:symbol` and bare-path references in backticks
+        # the path ends at the first ":" (a `path:symbol` or
+        # `path::test` reference) or at the closing backtick
+        for ref in re.findall(
+            r"`((?:src|docs|tests|examples|scripts|benchmarks)/[^`\s:]+)"
+            r"(?::[^`]*)?`",
+            text,
+        ):
+            if not (REPO / ref).exists():
+                problems.append(f"{rel}: dangling path reference -> {ref}")
+    return problems
+
+
+def _public_members(obj) -> list[tuple[str, object]]:
+    """(name, member) for an object's declared public API."""
+    names = getattr(obj, "__all__", None)
+    if names is None:
+        names = [n for n in vars(obj) if not n.startswith("_")]
+    return [(n, getattr(obj, n)) for n in names if hasattr(obj, n)]
+
+
+def check_obs_docstrings() -> list[str]:
+    sys.path.insert(0, str(REPO / "src"))
+    import importlib
+
+    problems: list[str] = []
+    modules = [
+        "repro.obs",
+        "repro.obs.metrics",
+        "repro.obs.spans",
+        "repro.obs.exporters",
+        "repro.obs.inspect",
+    ]
+    for modname in modules:
+        module = importlib.import_module(modname)
+        if not (module.__doc__ or "").strip():
+            problems.append(f"{modname}: module docstring missing")
+        for name, member in _public_members(module):
+            if not (inspect.isclass(member) or inspect.isfunction(member)):
+                continue  # constants need no docstring
+            if not (inspect.getdoc(member) or "").strip():
+                problems.append(f"{modname}.{name}: docstring missing")
+            if inspect.isclass(member):
+                for mname, meth in vars(member).items():
+                    if mname.startswith("_") or not callable(meth):
+                        continue
+                    if not (getattr(meth, "__doc__", "") or "").strip():
+                        problems.append(
+                            f"{modname}.{name}.{mname}: docstring missing"
+                        )
+    return problems
+
+
+def main() -> int:
+    problems = check_links() + check_obs_docstrings()
+    for problem in problems:
+        print(f"docs: {problem}")
+    if problems:
+        print(f"docs check FAILED ({len(problems)} problems)")
+        return 1
+    n_docs = sum(1 for rel in DOC_FILES if (REPO / rel).exists())
+    print(f"docs check passed ({n_docs} documents, obs API documented)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,6 +10,7 @@ Commands
 ``analyze``    memory footprints, break-even iterations, format advice
 ``collection`` sparse-ratio statistics of the synthetic HB-style collection
 ``report``     write EXPERIMENTS.md (paper-vs-measured for everything)
+``inspect``    render the comm matrix / top spans of a saved JSONL run log
 """
 
 from __future__ import annotations
@@ -64,6 +65,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="kernel backend the hot paths run on (numpy | python); results "
         "are byte-identical either way, only wall-clock differs "
         "(default: the process default, numpy)",
+    )
+    run.add_argument(
+        "--trace-out", metavar="TRACE.json", default=None,
+        help="write a Chrome trace-event JSON of the last scheme's run "
+        "(open in ui.perfetto.dev or chrome://tracing); enables "
+        "observability for the run",
+    )
+    run.add_argument(
+        "--metrics-out", metavar="METRICS.prom", default=None,
+        help="write the last scheme's metrics registry in Prometheus text "
+        "format; enables observability for the run",
+    )
+    run.add_argument(
+        "--log-out", metavar="RUN.jsonl", default=None,
+        help="write the last scheme's full observability state as a JSONL "
+        "run log readable by `repro inspect`; enables observability",
     )
 
     tables = sub.add_parser("tables", help="reproduce Tables 3-5")
@@ -142,6 +159,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = sub.add_parser("report", help="write EXPERIMENTS.md")
     report.add_argument("path", nargs="?", default="EXPERIMENTS.md")
+
+    inspect_p = sub.add_parser(
+        "inspect", help="render a saved JSONL run log (comm matrix, top spans)"
+    )
+    inspect_p.add_argument(
+        "log", metavar="RUN.jsonl",
+        help="run log written by `repro run --log-out RUN.jsonl`",
+    )
+    inspect_p.add_argument(
+        "--top", type=int, default=5,
+        help="how many spans to show, slowest (simulated) first (default 5)",
+    )
 
     return parser
 
@@ -229,6 +258,7 @@ def _cmd_run(args) -> int:
     if recovery is not None and fault_spec is None:
         print("error: --recovery needs a fault plan (--faults SPEC.json)")
         return 2
+    observe = any((args.trace_out, args.metrics_out, args.log_out))
     matrix = random_sparse((args.n, args.n), args.sparse_ratio, seed=args.seed)
     schemes = ["sfc", "cfs", "ed"] if args.scheme == "all" else [args.scheme]
     print(
@@ -243,7 +273,20 @@ def _cmd_run(args) -> int:
         )
     results = []
     last_machine = None
+    last_obs = None
     for scheme in schemes:
+        obs = None
+        if observe:
+            from .obs import Observability
+
+            # one recorder per scheme run (the verification contract
+            # compares against exactly one machine's trace)
+            obs = Observability(
+                scheme=scheme, n=args.n, sparse_ratio=args.sparse_ratio,
+                partition=args.partition, compression=args.compression,
+                seed=args.seed,
+            )
+            last_obs = obs
         if args.timeline:
             from .core.registry import get_partition
             from .faults import FaultInjector
@@ -254,7 +297,9 @@ def _cmd_run(args) -> int:
                 if fault_spec is not None
                 else None
             )
-            last_machine = Machine(args.procs, faults=injector, backend=backend)
+            last_machine = Machine(
+                args.procs, faults=injector, backend=backend, obs=obs
+            )
             if recovery is not None:
                 from .recovery import run_with_recovery
 
@@ -279,6 +324,7 @@ def _cmd_run(args) -> int:
                 fault_seed=args.fault_seed,
                 recovery=recovery,
                 backend=backend,
+                obs=obs,
             )
         results.append(result)
         print(f"  {result.summary()}")
@@ -292,6 +338,35 @@ def _cmd_run(args) -> int:
     if args.timeline and last_machine is not None:
         print()
         print(render_timeline(last_machine.trace))
+    if last_obs is not None:
+        from .obs import write_chrome_trace, write_jsonl, write_prometheus
+
+        if args.trace_out:
+            write_chrome_trace(last_obs, args.trace_out)
+            print(f"wrote Chrome trace to {args.trace_out} (open in ui.perfetto.dev)")
+        if args.metrics_out:
+            write_prometheus(last_obs, args.metrics_out)
+            print(f"wrote Prometheus metrics to {args.metrics_out}")
+        if args.log_out:
+            write_jsonl(last_obs, args.log_out)
+            print(f"wrote run log to {args.log_out} (repro inspect {args.log_out})")
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    from .obs import inspect_run_log
+
+    try:
+        print(inspect_run_log(args.log, top=args.top))
+    except FileNotFoundError:
+        print(f"error: run log {args.log!r} does not exist")
+        return 2
+    except IsADirectoryError:
+        print(f"error: run log {args.log!r} is a directory")
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
     return 0
 
 
@@ -477,6 +552,7 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "collection": _cmd_collection,
     "report": _cmd_report,
+    "inspect": _cmd_inspect,
 }
 
 

@@ -26,6 +26,7 @@ from ..sparse.coo import COOMatrix
 from ..sparse.crs import CRSMatrix
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (recovery -> core)
+    from ..obs.spans import ObsSnapshot
     from ..recovery.summary import RecoverySummary
 
 __all__ = ["LOCAL_KEY", "CompressedLocal", "SchemeResult", "DistributionScheme", "compression_kind"]
@@ -72,6 +73,9 @@ class SchemeResult:
     #: recovery subsystem report (None = no fail-stop failure occurred, or
     #: the run was executed without a recovery policy)
     recovery_summary: "RecoverySummary | None" = None
+    #: observability snapshot (None = the run was executed with
+    #: observability disabled — the default, byte-identical golden path)
+    observability: "ObsSnapshot | None" = None
 
     @property
     def t_total(self) -> float:
@@ -174,6 +178,15 @@ class DistributionScheme:
     ) -> SchemeResult:
         dist = machine.trace.breakdown(Phase.DISTRIBUTION)
         comp = machine.trace.breakdown(Phase.COMPRESSION)
+        observability = None
+        if machine.obs.enabled:
+            # the no-drift contract: every observed run self-checks that
+            # the metrics registry and the TraceLog breakdowns agree
+            machine.obs.meta.setdefault("scheme", self.name)
+            machine.obs.meta.setdefault("partition", plan.method)
+            machine.obs.meta.setdefault("compression", kind)
+            machine.obs.verify_against_trace(machine.trace)
+            observability = machine.obs.snapshot()
         return SchemeResult(
             scheme=self.name,
             partition=plan.method,
@@ -187,6 +200,7 @@ class DistributionScheme:
             compression_breakdown=comp,
             locals_=tuple(locals_),
             fault_summary=machine.fault_summary(),
+            observability=observability,
         )
 
     def __repr__(self) -> str:

@@ -46,62 +46,77 @@ class CFSScheme(DistributionScheme):
             return self._run(machine, global_matrix, plan, compression, kind)
 
     def _run(self, machine, global_matrix, plan, compression, kind):
+        obs = machine.obs
         # -- phase 1: partition (untimed) ------------------------------------
         local_arrays = plan.extract_all(global_matrix)
 
         # -- phase 2: compression — the host compresses every local array ----
         conversions = []
         compressed_locals = []
-        for assignment, local in zip(plan, local_arrays):
-            comp = compression.from_coo(local)
-            machine.charge_host_ops(
-                local.shape[0] * local.shape[1] + 3 * comp.nnz,
-                Phase.COMPRESSION,
-                label="compress",
-            )
-            conversions.append(conversion_for(assignment, kind))
-            compressed_locals.append(comp)
+        with obs.span("cfs.compress", phase="compression"):
+            for assignment, local in zip(plan, local_arrays):
+                with obs.span("cfs.compress_block", rank=assignment.rank):
+                    comp = compression.from_coo(local)
+                    machine.charge_host_ops(
+                        local.shape[0] * local.shape[1] + 3 * comp.nnz,
+                        Phase.COMPRESSION,
+                        label="compress",
+                    )
+                obs.record_compressed(self.name, comp.nnz)
+                conversions.append(conversion_for(assignment, kind))
+                compressed_locals.append(comp)
 
         # -- phase 3: distribution — pack, send in sequence, unpack ----------
-        for assignment, comp, conv in zip(plan, compressed_locals, conversions):
-            wire_co = conv.to_global(comp.indices)  # the paper's global CO
-            buf, pack_ops = PackedBuffer.pack(
-                {"RO": comp.indptr, "CO": wire_co, "VL": comp.values},
-                order=("RO", "CO", "VL"),
-            )
-            machine.charge_host_ops(pack_ops, Phase.DISTRIBUTION, label="pack")
-            machine.send(
-                assignment.rank,
-                buf,
-                buf.n_elements,
-                Phase.DISTRIBUTION,
-                tag="crs-triple" if kind == "crs" else "ccs-triple",
-            )
+        with obs.span("cfs.send", phase="distribution"):
+            for assignment, comp, conv in zip(
+                plan, compressed_locals, conversions
+            ):
+                with obs.span("cfs.pack_send", rank=assignment.rank):
+                    wire_co = conv.to_global(comp.indices)  # global CO
+                    buf, pack_ops = PackedBuffer.pack(
+                        {"RO": comp.indptr, "CO": wire_co, "VL": comp.values},
+                        order=("RO", "CO", "VL"),
+                    )
+                    machine.charge_host_ops(
+                        pack_ops, Phase.DISTRIBUTION, label="pack"
+                    )
+                    machine.send(
+                        assignment.rank,
+                        buf,
+                        buf.n_elements,
+                        Phase.DISTRIBUTION,
+                        tag="crs-triple" if kind == "crs" else "ccs-triple",
+                    )
 
         locals_ = []
-        for assignment, conv in zip(plan, conversions):
-            proc = machine.processor(assignment.rank)
-            # machine.receive verifies the packed buffer's wire checksum
-            # when fault injection is active (no-op otherwise)
-            buf = machine.receive(
-                assignment.rank, phase=Phase.DISTRIBUTION
-            ).payload
-            arrays, unpack_ops = buf.unpack()
-            machine.charge_proc_ops(
-                assignment.rank, unpack_ops, Phase.DISTRIBUTION, label="unpack"
-            )
-            local_co = conv.to_local(arrays["CO"])
-            if conv.ops_per_nonzero:
-                machine.charge_proc_ops(
-                    assignment.rank,
-                    conv.ops_per_nonzero * len(local_co),
-                    Phase.DISTRIBUTION,
-                    label="index-conversion",
-                )
-            compressed = compression(
-                assignment.local_shape, arrays["RO"], local_co, arrays["VL"]
-            )
-            proc.store(LOCAL_KEY, compressed)
-            locals_.append(compressed)
+        with obs.span("cfs.unpack", phase="distribution"):
+            for assignment, conv in zip(plan, conversions):
+                proc = machine.processor(assignment.rank)
+                with obs.span("cfs.unpack_convert", rank=assignment.rank):
+                    # machine.receive verifies the packed buffer's wire
+                    # checksum when fault injection is active (no-op
+                    # otherwise)
+                    buf = machine.receive(
+                        assignment.rank, phase=Phase.DISTRIBUTION
+                    ).payload
+                    arrays, unpack_ops = buf.unpack()
+                    machine.charge_proc_ops(
+                        assignment.rank, unpack_ops, Phase.DISTRIBUTION,
+                        label="unpack",
+                    )
+                    local_co = conv.to_local(arrays["CO"])
+                    if conv.ops_per_nonzero:
+                        machine.charge_proc_ops(
+                            assignment.rank,
+                            conv.ops_per_nonzero * len(local_co),
+                            Phase.DISTRIBUTION,
+                            label="index-conversion",
+                        )
+                    compressed = compression(
+                        assignment.local_shape, arrays["RO"], local_co,
+                        arrays["VL"],
+                    )
+                proc.store(LOCAL_KEY, compressed)
+                locals_.append(compressed)
 
         return self._result(machine, global_matrix, plan, kind, locals_)

@@ -51,43 +51,56 @@ class EDScheme(DistributionScheme):
             return self._run(machine, global_matrix, plan, compression, kind)
 
     def _run(self, machine, global_matrix, plan, compression, kind):
+        obs = machine.obs
         # -- phase 1: partition (untimed) ------------------------------------
         local_arrays = plan.extract_all(global_matrix)
 
         # -- phase 2a: encoding — host builds one special buffer per block ---
         conversions = []
         buffers = []
-        for assignment, local in zip(plan, local_arrays):
-            conv = conversion_for(assignment, kind)
-            buf, encode_ops = EncodedBuffer.encode(local, kind, conv)
-            machine.charge_host_ops(encode_ops, Phase.COMPRESSION, label="encode")
-            conversions.append(conv)
-            buffers.append(buf)
+        with obs.span("ed.encode", phase="compression"):
+            for assignment, local in zip(plan, local_arrays):
+                with obs.span("ed.encode_block", rank=assignment.rank):
+                    conv = conversion_for(assignment, kind)
+                    buf, encode_ops = EncodedBuffer.encode(local, kind, conv)
+                    machine.charge_host_ops(
+                        encode_ops, Phase.COMPRESSION, label="encode"
+                    )
+                obs.record_compressed(self.name, local.nnz)
+                conversions.append(conv)
+                buffers.append(buf)
 
         # -- phase 3: distribution — the buffer IS the wire format -----------
-        for assignment, buf in zip(plan, buffers):
-            machine.send(
-                assignment.rank,
-                buf,
-                buf.n_elements,
-                Phase.DISTRIBUTION,
-                tag="special-buffer",
-            )
+        with obs.span("ed.send", phase="distribution"):
+            for assignment, buf in zip(plan, buffers):
+                with obs.span("ed.send_buffer", rank=assignment.rank):
+                    machine.send(
+                        assignment.rank,
+                        buf,
+                        buf.n_elements,
+                        Phase.DISTRIBUTION,
+                        tag="special-buffer",
+                    )
 
         # -- phase 2b: decoding — each processor, in parallel -----------------
         locals_ = []
-        for assignment, conv in zip(plan, conversions):
-            proc = machine.processor(assignment.rank)
-            # machine.receive verifies the special buffer's wire checksum
-            # when fault injection is active (no-op otherwise)
-            buf = machine.receive(
-                assignment.rank, "special-buffer", phase=Phase.DISTRIBUTION
-            ).payload
-            compressed, decode_ops = buf.decode(conv)
-            machine.charge_proc_ops(
-                assignment.rank, decode_ops, Phase.COMPRESSION, label="decode"
-            )
-            proc.store(LOCAL_KEY, compressed)
-            locals_.append(compressed)
+        with obs.span("ed.decode", phase="compression"):
+            for assignment, conv in zip(plan, conversions):
+                proc = machine.processor(assignment.rank)
+                with obs.span("ed.decode_buffer", rank=assignment.rank):
+                    # machine.receive verifies the special buffer's wire
+                    # checksum when fault injection is active (no-op
+                    # otherwise)
+                    buf = machine.receive(
+                        assignment.rank, "special-buffer",
+                        phase=Phase.DISTRIBUTION,
+                    ).payload
+                    compressed, decode_ops = buf.decode(conv)
+                    machine.charge_proc_ops(
+                        assignment.rank, decode_ops, Phase.COMPRESSION,
+                        label="decode",
+                    )
+                proc.store(LOCAL_KEY, compressed)
+                locals_.append(compressed)
 
         return self._result(machine, global_matrix, plan, kind, locals_)

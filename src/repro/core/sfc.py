@@ -65,42 +65,53 @@ class SFCScheme(DistributionScheme):
             return self._run(machine, global_matrix, plan, compression, kind)
 
     def _run(self, machine, global_matrix, plan, compression, kind):
+        obs = machine.obs
         # -- phase 1: partition (untimed, per Section 4: "we do not
         # consider the data partition time") --------------------------------
         local_arrays = plan.extract_all(global_matrix)
 
         # -- phase 2: distribution — dense blocks, sent in sequence ---------
-        for assignment, local in zip(plan, local_arrays):
-            dense = local.to_dense()
-            n_elements = dense.size
-            if not dense_block_is_contiguous(assignment, global_matrix.shape):
-                # strided block: gather into a send buffer, one move/element
-                machine.charge_host_ops(
-                    n_elements, Phase.DISTRIBUTION, label="pack-dense"
-                )
-            machine.send(
-                assignment.rank,
-                dense,
-                n_elements,
-                Phase.DISTRIBUTION,
-                tag="dense-block",
-            )
+        with obs.span("sfc.distribute", phase="distribution"):
+            for assignment, local in zip(plan, local_arrays):
+                with obs.span("sfc.send", rank=assignment.rank):
+                    dense = local.to_dense()
+                    n_elements = dense.size
+                    if not dense_block_is_contiguous(
+                        assignment, global_matrix.shape
+                    ):
+                        # strided block: gather into a send buffer, one
+                        # move op per element
+                        machine.charge_host_ops(
+                            n_elements, Phase.DISTRIBUTION, label="pack-dense"
+                        )
+                    machine.send(
+                        assignment.rank,
+                        dense,
+                        n_elements,
+                        Phase.DISTRIBUTION,
+                        tag="dense-block",
+                    )
 
         # -- phase 3: compression — each processor, in parallel -------------
         locals_ = []
-        for assignment in plan:
-            proc = machine.processor(assignment.rank)
-            # machine.receive verifies the dense block's wire checksum
-            # when fault injection is active (no-op otherwise)
-            dense = machine.receive(
-                assignment.rank, "dense-block", phase=Phase.DISTRIBUTION
-            ).payload
-            compressed = compression.from_dense(dense)
-            scan_ops = dense.size + 3 * compressed.nnz
-            machine.charge_proc_ops(
-                assignment.rank, scan_ops, Phase.COMPRESSION, label="compress"
-            )
-            proc.store(LOCAL_KEY, compressed)
-            locals_.append(compressed)
+        with obs.span("sfc.compress", phase="compression"):
+            for assignment in plan:
+                proc = machine.processor(assignment.rank)
+                with obs.span("sfc.compress_local", rank=assignment.rank):
+                    # machine.receive verifies the dense block's wire
+                    # checksum when fault injection is active (no-op
+                    # otherwise)
+                    dense = machine.receive(
+                        assignment.rank, "dense-block", phase=Phase.DISTRIBUTION
+                    ).payload
+                    compressed = compression.from_dense(dense)
+                    scan_ops = dense.size + 3 * compressed.nnz
+                    machine.charge_proc_ops(
+                        assignment.rank, scan_ops, Phase.COMPRESSION,
+                        label="compress",
+                    )
+                obs.record_compressed(self.name, compressed.nnz)
+                proc.store(LOCAL_KEY, compressed)
+                locals_.append(compressed)
 
         return self._result(machine, global_matrix, plan, kind, locals_)

@@ -28,6 +28,8 @@ from .dispatch import (
     available_backends,
     current_backend,
     get_backend,
+    observe_kernel_calls,
+    register_backend,
     set_default_backend,
     use_backend,
 )
@@ -37,6 +39,8 @@ __all__ = [
     "available_backends",
     "current_backend",
     "get_backend",
+    "observe_kernel_calls",
+    "register_backend",
     "set_default_backend",
     "use_backend",
 ]

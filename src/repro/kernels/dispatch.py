@@ -32,6 +32,7 @@ __all__ = [
     "available_backends",
     "current_backend",
     "get_backend",
+    "observe_kernel_calls",
     "register_backend",
     "set_default_backend",
     "use_backend",
@@ -199,10 +200,68 @@ def set_default_backend(name: str) -> None:
     _default_name = name
 
 
+#: active kernel-call observation hooks (`observe_kernel_calls` scopes)
+_call_hooks: list = []
+
+
+class _ObservedBackend:
+    """Transparent counting proxy around one backend.
+
+    Returned by :func:`current_backend` only while at least one
+    :func:`observe_kernel_calls` scope is active; each public kernel
+    method fetched through it reports ``(backend_name, kernel_name)`` to
+    every hook before delegating.  With no hooks installed the proxy is
+    never built, so the un-observed dispatch path is unchanged.
+    """
+
+    __slots__ = ("_backend",)
+
+    def __init__(self, backend: KernelBackend) -> None:
+        self._backend = backend
+
+    @property
+    def name(self) -> str:
+        return self._backend.name
+
+    def __getattr__(self, attr: str):
+        target = getattr(self._backend, attr)
+        if attr.startswith("_") or not callable(target):
+            return target
+        backend_name = self._backend.name
+
+        def observed(*args, **kwargs):
+            for hook in _call_hooks:
+                hook(backend_name, attr)
+            return target(*args, **kwargs)
+
+        return observed
+
+    def __repr__(self) -> str:  # pragma: no cover - debug nicety
+        return f"<ObservedBackend {self._backend.name!r}>"
+
+
+@contextmanager
+def observe_kernel_calls(hook) -> Iterator[None]:
+    """Scope during which ``hook(backend_name, kernel_name)`` is called
+    for every kernel dispatched through :func:`current_backend`.
+
+    Used by the observability layer to count kernel calls per backend;
+    costs nothing outside the scope (see :class:`_ObservedBackend`).
+    """
+    _call_hooks.append(hook)
+    try:
+        yield
+    finally:
+        _call_hooks.remove(hook)
+
+
 def current_backend() -> KernelBackend:
     """The backend hot paths dispatch to right now."""
     name = _scope_stack[-1] if _scope_stack else _default_name
-    return get_backend(name)
+    backend = get_backend(name)
+    if _call_hooks:
+        return _ObservedBackend(backend)  # type: ignore[return-value]
+    return backend
 
 
 @contextmanager

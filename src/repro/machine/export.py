@@ -88,6 +88,14 @@ def result_to_dict(result) -> dict[str, Any]:
             if getattr(result, "recovery_summary", None) is not None
             else {}
         ),
+        # observability snapshot: omitted when the run was executed with
+        # observability off, so fault-free golden serialisations are
+        # byte-identical to the pre-observability exporter
+        **(
+            {"observability": result.observability.to_dict()}
+            if getattr(result, "observability", None) is not None
+            else {}
+        ),
     }
 
 

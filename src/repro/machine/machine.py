@@ -47,6 +47,7 @@ all charged costs are byte-identical to the fault-free simulator.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import TYPE_CHECKING, Any
 
 from .cost_model import CostModel, sp2_cost_model
@@ -57,6 +58,7 @@ from .trace import Event, EventKind, Phase, TraceLog
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults.injector import FaultInjector
+    from ..obs.spans import Observability
 
 __all__ = ["Machine", "HOST", "DeadRankError"]
 
@@ -87,6 +89,13 @@ class Machine:
         (default) inherits the process-wide default (numpy).  Backend
         choice never changes charged costs or wire bytes — only
         wall-clock speed (the differential suite's contract).
+    obs:
+        Optional :class:`~repro.obs.spans.Observability` recorder.  When
+        given (and enabled) it subscribes to this machine's trace and
+        mirrors every charged event into spans/metrics; when ``None``
+        the shared inert :data:`~repro.obs.spans.NULL_OBS` is installed
+        and every instrumentation site short-circuits — the golden
+        traces pin that this costs nothing and changes nothing.
     """
 
     def __init__(
@@ -98,6 +107,7 @@ class Machine:
         proc_speeds: list[float] | None = None,
         faults: "FaultInjector | None" = None,
         backend: str | None = None,
+        obs: "Observability | None" = None,
     ) -> None:
         if n_procs <= 0:
             raise ValueError(f"n_procs must be positive, got {n_procs}")
@@ -138,6 +148,13 @@ class Machine:
         self._host_seen_seqs: set[int] = set()
         if self.faults is not None:
             self.faults.bind(n_procs)
+        if obs is None:
+            from ..obs.spans import NULL_OBS
+
+            obs = NULL_OBS
+        #: the machine's observability recorder (inert NULL_OBS by default)
+        self.obs = obs
+        self.obs.attach(self)
 
     # ------------------------------------------------------------------
     # cost charging
@@ -334,7 +351,41 @@ class Machine:
         serially), matching the fault-free accounting.  Returns the total
         time charged: every attempt costs the full message time, every
         failure adds its exponential-backoff timeout.
+
+        When observability is enabled the whole ack/retry/backoff cycle
+        is wrapped in one ``machine.reliable_send`` span (never entered
+        on the golden paths — fault-free sends bypass this method).
         """
+        if not self.obs.enabled:
+            return self._reliable_attempts(
+                src, dst, payload, n_elements, phase, tag, hops, actor=actor
+            )
+        from ..obs.spans import actor_label
+
+        with self.obs.span(
+            "machine.reliable_send",
+            phase=phase.value,
+            src=actor_label(src),
+            dst=actor_label(dst),
+            tag=tag,
+        ):
+            return self._reliable_attempts(
+                src, dst, payload, n_elements, phase, tag, hops, actor=actor
+            )
+
+    def _reliable_attempts(
+        self,
+        src: int,
+        dst: int,
+        payload: Any,
+        n_elements: int,
+        phase: Phase,
+        tag: str,
+        hops: int,
+        *,
+        actor: int,
+    ) -> float:
+        """The attempt loop behind :meth:`_reliable_transmit`."""
         from ..faults.checksum import corrupt_payload, payload_checksum
         from ..faults.injector import Attempt
 
@@ -595,6 +646,7 @@ class Machine:
                 src=HOST, dst=rank,
             )
         )
+        self.obs.record_detection(rank, missed_acks, time_ms)
         # the node is gone: everything it held or had queued dies with it
         self.procs[rank].reset()
 
@@ -620,28 +672,31 @@ class Machine:
         policy = inj.spec.retry
         hops = max(self.topology.hops(HOST, rank), 1)
         total = 0.0
-        for attempt in range(1, fs.detect_after + 1):
-            t = self.cost.message_time(0, hops=hops)
-            self.trace.record(
-                Event(
-                    phase, EventKind.MESSAGE, HOST, t,
-                    quantity=0, label="heartbeat", src=HOST, dst=rank,
+        with self.obs.span(
+            "machine.confirm_failure", phase=phase.value, rank=str(rank)
+        ):
+            for attempt in range(1, fs.detect_after + 1):
+                t = self.cost.message_time(0, hops=hops)
+                self.trace.record(
+                    Event(
+                        phase, EventKind.MESSAGE, HOST, t,
+                        quantity=0, label="heartbeat", src=HOST, dst=rank,
+                    )
                 )
-            )
-            backoff = policy.backoff_ms(attempt)
-            self.trace.record(
-                Event(
-                    phase, EventKind.RETRY, HOST, backoff,
-                    quantity=attempt, label="heartbeat", src=HOST, dst=rank,
+                backoff = policy.backoff_ms(attempt)
+                self.trace.record(
+                    Event(
+                        phase, EventKind.RETRY, HOST, backoff,
+                        quantity=attempt, label="heartbeat", src=HOST, dst=rank,
+                    )
                 )
+                total += t + backoff
+                inj.stats.count(phase, "attempts")
+                inj.stats.count(phase, "heartbeats")
+                inj.stats.count(phase, "retries")
+            self._declare_dead(
+                rank, phase, missed_acks=fs.detect_after, time_ms=total
             )
-            total += t + backoff
-            inj.stats.count(phase, "attempts")
-            inj.stats.count(phase, "heartbeats")
-            inj.stats.count(phase, "retries")
-        self._declare_dead(
-            rank, phase, missed_acks=fs.detect_after, time_ms=total
-        )
         return total
 
     def purge_mailboxes(self, tag: str | None = None) -> int:
@@ -681,10 +736,25 @@ class Machine:
         (pack/encode/decode/convert/traverse) dispatches to the backend
         the machine was constructed with.  A machine without an explicit
         ``backend`` yields a no-op scope (process default applies).
+
+        With observability enabled the scope additionally counts every
+        kernel dispatch (``repro_kernel_calls_total{backend,kernel}``)
+        via :func:`~repro.kernels.observe_kernel_calls`.
         """
         from ..kernels import use_backend
 
-        return use_backend(self.backend)
+        if not self.obs.enabled:
+            return use_backend(self.backend)
+        return self._observed_kernel_context()
+
+    @contextmanager
+    def _observed_kernel_context(self):
+        """Kernel scope + per-dispatch counting (obs-enabled runs only)."""
+        from ..kernels import observe_kernel_calls, use_backend
+
+        with use_backend(self.backend) as backend:
+            with observe_kernel_calls(self.obs.record_kernel_call):
+                yield backend
 
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self.n_procs:

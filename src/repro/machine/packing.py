@@ -129,6 +129,15 @@ class PackedBuffer:
         its declared integer dtype (corruption or counter overflow).
         """
         kernels = current_backend()
+        # validate coverage *before* touching any segment: a truncated or
+        # padded buffer must fail identically on every kernel backend
+        # (the python oracle indexes element-by-element and would other-
+        # wise die with an IndexError instead of this ValueError)
+        total = sum(length for _, length, _ in self.layout)
+        if total != len(self.data):
+            raise ValueError(
+                f"layout covers {total} elements but buffer has {len(self.data)}"
+            )
         out: dict[str, np.ndarray] = {}
         offset = 0
         for name, length, dtype in self.layout:
@@ -136,10 +145,6 @@ class PackedBuffer:
             _check_dtype_fits(name, self.data[offset : offset + length], dt)
             out[name] = kernels.unpack_segment(self.data, offset, length, dt)
             offset += length
-        if offset != len(self.data):
-            raise ValueError(
-                f"layout covers {offset} elements but buffer has {len(self.data)}"
-            )
         return out, self.n_elements
 
     def segment(self, name: str) -> np.ndarray:

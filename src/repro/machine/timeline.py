@@ -18,7 +18,7 @@ Example (ED, row partition, 4 processors)::
 
 from __future__ import annotations
 
-from .trace import Phase, TraceLog
+from .trace import EventKind, Phase, TraceLog
 from .topology import HOST
 
 __all__ = ["render_timeline"]
@@ -31,36 +31,49 @@ def render_timeline(trace: TraceLog, *, width: int = 50) -> str:
     """Render the trace as an ASCII per-lane busy chart.
 
     ``width`` is the number of columns representing the longest single
-    lane-phase time.
+    lane-phase time.  Lanes appear for *every* actor a phase charged —
+    including actors whose only activity was zero-time fault observations
+    or retry waits (fault mode): a lane whose busy time is pure retry
+    backoff is real wall time in the model and must not be omitted.  When
+    a lane includes retry waits its legend is annotated with the retry
+    share, e.g. ``2.400ms (retry 0.900ms)``.  A trace with no events (or
+    only zero-time events) renders a degenerate chart without crashing.
     """
     if width < 1:
         raise ValueError(f"width must be positive, got {width}")
-    lanes: list[tuple[Phase, int, float]] = []  # (phase, actor, busy)
+    # (phase, actor, busy incl. retry waits, retry share of busy)
+    lanes: list[tuple[Phase, int, float, float]] = []
     for phase in _PHASE_ORDER:
         events = trace.phase_events(phase)
         if not events:
             continue
         busy: dict[int, float] = {}
+        retry: dict[int, float] = {}
         for e in events:
             busy[e.actor] = busy.get(e.actor, 0.0) + e.time
+            if e.kind is EventKind.RETRY:
+                retry[e.actor] = retry.get(e.actor, 0.0) + e.time
         for actor in sorted(busy, key=lambda a: (a != HOST, a)):
-            lanes.append((phase, actor, busy[actor]))
+            lanes.append((phase, actor, busy[actor], retry.get(actor, 0.0)))
     if not lanes:
         return "(empty trace)"
-    scale = max(t for _, _, t in lanes)
-    if scale == 0.0:
-        scale = 1.0
-    name_w = max(len(p.value) for p, _, _ in lanes)
+    scale = max(t for _, _, t, _ in lanes)
+    name_w = max(len(p.value) for p, _, _, _ in lanes)
     out = [
         f"{'phase':<{name_w}}  {'lane':<5} 0ms "
         + "." * width
         + f" {scale:.3f}ms"
     ]
-    for phase, actor, busy in lanes:
+    for phase, actor, busy, retry_time in lanes:
         lane = "host" if actor == HOST else f"P{actor}"
-        bar = "#" * max(1 if busy > 0 else 0, round(width * busy / scale))
+        if scale > 0.0 and busy > 0.0:
+            bar = "#" * max(1, round(width * busy / scale))
+        else:
+            bar = ""
+        legend = f"{busy:.3f}ms"
+        if retry_time > 0.0:
+            legend += f" (retry {retry_time:.3f}ms)"
         out.append(
-            f"{phase.value:<{name_w}}  {lane:<5} {bar:<{width + 4}} "
-            f"{busy:.3f}ms"
+            f"{phase.value:<{name_w}}  {lane:<5} {bar:<{width + 4}} {legend}"
         )
     return "\n".join(out)

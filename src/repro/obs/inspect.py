@@ -1,0 +1,114 @@
+"""ASCII rendering of saved run logs (the ``repro inspect`` subcommand).
+
+Works purely from a :class:`~repro.obs.exporters.RunLog` (a parsed JSONL
+run log), so a run can be inspected long after the process that produced
+it is gone — the same decoupling Prometheus/Perfetto give, but for a
+terminal.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .exporters import RunLog, read_run_log
+
+__all__ = [
+    "inspect_run_log",
+    "render_comm_matrix",
+    "render_metrics_summary",
+    "render_top_spans",
+]
+
+
+def _lane_sort_key(label: str) -> tuple[int, int | str]:
+    """Sort lanes host-first, then ranks numerically."""
+    if label == "host":
+        return (0, 0)
+    try:
+        return (1, int(label))
+    except ValueError:
+        return (2, label)
+
+
+def render_comm_matrix(matrix: dict[str, dict[str, int]]) -> str:
+    """ASCII table of wire elements per sender (rows) → receiver (cols)."""
+    if not matrix:
+        return "(no wire traffic recorded)"
+    senders = sorted(matrix, key=_lane_sort_key)
+    receivers = sorted(
+        {dst for row in matrix.values() for dst in row}, key=_lane_sort_key
+    )
+    cells = {
+        (src, dst): str(matrix.get(src, {}).get(dst, 0) or "·")
+        for src in senders for dst in receivers
+    }
+    src_w = max(len("src\\dst"), *(len(s) for s in senders))
+    col_w = {
+        dst: max(len(dst), *(len(cells[(src, dst)]) for src in senders))
+        for dst in receivers
+    }
+    lines = [
+        " ".join(["src\\dst".ljust(src_w)]
+                 + [dst.rjust(col_w[dst]) for dst in receivers])
+    ]
+    for src in senders:
+        lines.append(
+            " ".join([src.ljust(src_w)]
+                     + [cells[(src, dst)].rjust(col_w[dst])
+                        for dst in receivers])
+        )
+    total = sum(v for row in matrix.values() for v in row.values())
+    lines.append(f"total elements on wire: {total}")
+    return "\n".join(lines)
+
+
+def render_top_spans(log: RunLog, n: int = 5) -> str:
+    """The ``n`` slowest spans as an indented table (simulated + wall)."""
+    spans = log.top_spans(n)
+    if not spans:
+        return "(no spans recorded)"
+    lines = [f"{'sim ms':>10}  {'wall ms':>9}  {'events':>6}  span"]
+    for span in spans:
+        labels = ",".join(f"{k}={v}" for k, v in span.labels.items())
+        name = f"{'  ' * span.depth}{span.name}"
+        if labels:
+            name += f" [{labels}]"
+        lines.append(
+            f"{span.sim_elapsed_ms:>10.3f}  {span.wall_elapsed_s * 1e3:>9.3f}"
+            f"  {span.n_events:>6d}  {name}"
+        )
+    return "\n".join(lines)
+
+
+def render_metrics_summary(log: RunLog) -> str:
+    """One line per counter family: name and grand total."""
+    lines = []
+    for metric in log.metrics.collect():
+        if metric.kind != "counter":
+            continue
+        total = sum(metric.samples[k] for k in metric.labelsets())
+        value = int(total) if float(total).is_integer() else total
+        lines.append(f"  {metric.name}: {value}")
+    return "\n".join(lines) if lines else "  (no counters)"
+
+
+def inspect_run_log(path: str | Path, *, top: int = 5) -> str:
+    """Full ``repro inspect`` report for one JSONL run log."""
+    log = read_run_log(path)
+    meta = ", ".join(f"{k}={v}" for k, v in sorted(log.meta.items()))
+    parts = [
+        f"run log: {path}",
+        f"meta: {meta or '(none)'}",
+        f"simulated time: {log.sim_time_ms:.3f} ms over "
+        f"{len(log.events)} events, {len(log.spans)} spans",
+        "",
+        "communication matrix (elements on wire, incl. resends):",
+        render_comm_matrix(log.comm_matrix()),
+        "",
+        f"top {top} spans by simulated time:",
+        render_top_spans(log, top),
+        "",
+        "counter totals:",
+        render_metrics_summary(log),
+    ]
+    return "\n".join(parts)

@@ -1,0 +1,306 @@
+"""Metrics registry: counters, gauges and histograms with label support.
+
+A deliberately small, dependency-free take on the Prometheus data model —
+just enough structure that one registry can hold every quantity the
+observability layer derives from a run (bytes on the wire per rank pair,
+retries per phase, kernel calls per backend, detection latencies, …) and
+the exporters in :mod:`repro.obs.exporters` can render it losslessly as
+Prometheus text, JSONL, or a plain dict.
+
+Design rules:
+
+* **Labels are sorted tuples.**  A sample is keyed by the sorted
+  ``(name, value)`` pairs of its labels, so ``inc(src="host", dst="0")``
+  and ``inc(dst="0", src="host")`` address the same series.
+* **Metric types never collide.**  Re-requesting a metric with the same
+  name but a different type (or help string) raises — the same contract
+  Prometheus client libraries enforce.
+* **Everything is JSON-compatible.**  ``MetricsRegistry.to_dict()`` emits
+  plain dicts/lists/numbers, and :func:`metrics_from_dict` round-trips
+  them — the basis of the JSONL run-log format read back by
+  ``repro inspect``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+    "metrics_from_dict",
+]
+
+#: default histogram buckets, in simulated milliseconds (plus +Inf)
+DEFAULT_BUCKETS = (0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0)
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, Any]) -> LabelKey:
+    """Normalise a label mapping to a hashable, order-independent key."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Metric:
+    """Base class of one named metric family (all samples share the name).
+
+    Subclasses set :attr:`kind` (``"counter"`` | ``"gauge"`` |
+    ``"histogram"``) and define how samples are updated; this base class
+    owns the name, the help string and the per-label-set sample store.
+    """
+
+    kind: str = "untyped"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        if not name or not name.replace("_", "a").replace(":", "a").isalnum():
+            raise ValueError(f"invalid metric name {name!r}")
+        if name[0].isdigit():
+            raise ValueError(f"metric name {name!r} may not start with a digit")
+        self.name = name
+        self.help = help
+        self.samples: dict[LabelKey, Any] = {}
+
+    def labelsets(self) -> Iterable[LabelKey]:
+        """All label-key tuples with at least one recorded sample."""
+        return self.samples.keys()
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible snapshot: kind, help and every sample."""
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "samples": [
+                {"labels": dict(key), "value": self._sample_value(key)}
+                for key in sorted(self.samples)
+            ],
+        }
+
+    def _sample_value(self, key: LabelKey) -> Any:
+        return self.samples[key]
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r} ({len(self.samples)} series)>"
+
+
+class Counter(Metric):
+    """A monotonically increasing sum (``*_total`` by convention)."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1, **labels: Any) -> None:
+        """Add ``amount`` (must be >= 0) to the labelled series."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease ({amount})")
+        key = _label_key(labels)
+        self.samples[key] = self.samples.get(key, 0) + amount
+
+    def value(self, **labels: Any) -> float:
+        """Current value of one labelled series (0 if never incremented)."""
+        return self.samples.get(_label_key(labels), 0)
+
+    def total(self, **match: Any) -> float:
+        """Sum over every series whose labels include all of ``match``."""
+        want = set(_label_key(match))
+        return sum(v for k, v in self.samples.items() if want <= set(k))
+
+
+class Gauge(Metric):
+    """A value that can go up and down (e.g. a per-lane simulated clock)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        """Set the labelled series to ``value``."""
+        self.samples[_label_key(labels)] = value
+
+    def inc(self, amount: float = 1, **labels: Any) -> None:
+        """Add ``amount`` (may be negative) to the labelled series."""
+        key = _label_key(labels)
+        self.samples[key] = self.samples.get(key, 0) + amount
+
+    def value(self, **labels: Any) -> float:
+        """Current value of one labelled series (0 if never set)."""
+        return self.samples.get(_label_key(labels), 0)
+
+
+class Histogram(Metric):
+    """Cumulative-bucket histogram (Prometheus semantics).
+
+    Each labelled series keeps per-bucket counts, a running sum and a
+    count; buckets are upper bounds with an implicit ``+Inf`` final
+    bucket.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b != b or b == -math.inf for b in bounds):  # NaN / -inf guard
+            raise ValueError(f"invalid bucket bounds {bounds}")
+        if bounds and bounds[-1] == math.inf:
+            bounds = bounds[:-1]
+        self.buckets = bounds
+
+    def observe(self, value: float, **labels: Any) -> None:
+        """Record one observation into the labelled series."""
+        key = _label_key(labels)
+        sample = self.samples.get(key)
+        if sample is None:
+            sample = {"bucket_counts": [0] * (len(self.buckets) + 1),
+                      "sum": 0.0, "count": 0}
+            self.samples[key] = sample
+        idx = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                idx = i
+                break
+        sample["bucket_counts"][idx] += 1
+        sample["sum"] += value
+        sample["count"] += 1
+
+    def count(self, **labels: Any) -> int:
+        """Number of observations in one labelled series."""
+        sample = self.samples.get(_label_key(labels))
+        return 0 if sample is None else sample["count"]
+
+    def sum(self, **labels: Any) -> float:
+        """Sum of observations in one labelled series."""
+        sample = self.samples.get(_label_key(labels))
+        return 0.0 if sample is None else sample["sum"]
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON snapshot including the bucket bounds."""
+        out = super().to_dict()
+        out["buckets"] = list(self.buckets)
+        return out
+
+    def _sample_value(self, key: LabelKey) -> Any:
+        s = self.samples[key]
+        return {"bucket_counts": list(s["bucket_counts"]),
+                "sum": s["sum"], "count": s["count"]}
+
+
+class MetricsRegistry:
+    """A named collection of metrics, the single source the exporters read.
+
+    ``counter`` / ``gauge`` / ``histogram`` create-or-return by name, so
+    instrumentation sites can call them repeatedly without coordination;
+    a name registered as one kind can never be re-registered as another.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+
+    # -- registration ----------------------------------------------------
+    def _get_or_create(self, cls, name: str, help: str, **kwargs) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise TypeError(
+                    f"metric {name!r} is a {existing.kind}, not a "
+                    f"{cls.kind}"
+                )
+            return existing
+        metric = cls(name, help, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Create or fetch the counter called ``name``."""
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Create or fetch the gauge called ``name``."""
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self, name: str, help: str = "", buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        """Create or fetch the histogram called ``name``."""
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    # -- reading ----------------------------------------------------------
+    def get(self, name: str) -> Metric | None:
+        """The metric called ``name``, or None."""
+        return self._metrics.get(name)
+
+    def collect(self) -> list[Metric]:
+        """Every registered metric, in name order (exporters iterate this)."""
+        return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def value(self, name: str, **labels: Any) -> float:
+        """Shortcut: a counter/gauge series value (0 for unknown names)."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            return 0
+        if not isinstance(metric, (Counter, Gauge)):
+            raise TypeError(f"metric {name!r} is a {metric.kind}; use get()")
+        return metric.value(**labels)
+
+    def total(self, name: str, **match: Any) -> float:
+        """Shortcut: a counter's sum over series matching ``match``."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            return 0
+        if not isinstance(metric, Counter):
+            raise TypeError(f"metric {name!r} is a {metric.kind}, not a counter")
+        return metric.total(**match)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible snapshot of every metric (name-sorted)."""
+        return {m.name: m.to_dict() for m in self.collect()}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({len(self._metrics)} metrics)"
+
+
+def metrics_from_dict(payload: Mapping[str, Any]) -> MetricsRegistry:
+    """Rebuild a registry from :meth:`MetricsRegistry.to_dict` output.
+
+    Used by ``repro inspect`` to reload the metrics block of a JSONL run
+    log; values survive the round trip exactly (they are plain floats and
+    integer bucket counts).
+    """
+    registry = MetricsRegistry()
+    for name, body in payload.items():
+        kind = body.get("kind")
+        if kind == "counter":
+            metric: Metric = registry.counter(name, body.get("help", ""))
+            for sample in body.get("samples", ()):
+                metric.inc(sample["value"], **sample["labels"])
+        elif kind == "gauge":
+            metric = registry.gauge(name, body.get("help", ""))
+            for sample in body.get("samples", ()):
+                metric.set(sample["value"], **sample["labels"])
+        elif kind == "histogram":
+            metric = registry.histogram(
+                name, body.get("help", ""),
+                buckets=tuple(body.get("buckets", DEFAULT_BUCKETS)),
+            )
+            for sample in body.get("samples", ()):
+                key = _label_key(sample["labels"])
+                metric.samples[key] = {
+                    "bucket_counts": list(sample["value"]["bucket_counts"]),
+                    "sum": sample["value"]["sum"],
+                    "count": sample["value"]["count"],
+                }
+        else:
+            raise ValueError(f"metric {name!r} has unknown kind {kind!r}")
+    return registry

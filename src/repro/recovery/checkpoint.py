@@ -64,30 +64,41 @@ def checkpoint_locals(
     May raise :class:`~repro.machine.membership.DeadRankError` if a doomed
     rank dies mid-gather — callers retry after confirming the failure.
     """
+    from ..obs.spans import NULL_OBS
+
+    obs = getattr(machine, "obs", NULL_OBS)
     elements = 0
-    for assignment in plan:
-        comp = machine.processor(assignment.rank).load(LOCAL_KEY)
-        if comp.shape != assignment.local_shape:
-            raise ValueError(
-                f"rank {assignment.rank}: stored local shape {comp.shape} "
-                f"does not match the plan {assignment.local_shape}"
+    with obs.span("recovery.checkpoint", phase=phase.value, p=plan.n_procs):
+        for assignment in plan:
+            comp = machine.processor(assignment.rank).load(LOCAL_KEY)
+            if comp.shape != assignment.local_shape:
+                raise ValueError(
+                    f"rank {assignment.rank}: stored local shape {comp.shape} "
+                    f"does not match the plan {assignment.local_shape}"
+                )
+            n = wire_elements(comp)
+            machine.charge_proc_ops(
+                assignment.rank, n, phase, label="checkpoint-pack"
             )
-        n = wire_elements(comp)
-        machine.charge_proc_ops(assignment.rank, n, phase, label="checkpoint-pack")
-        machine.send_to_host(
-            assignment.rank, copy_compressed(comp), n, phase, tag="checkpoint"
-        )
-        elements += n
-    blocks: dict[int, CompressedLocal] = {}
-    for _ in plan:
-        msg = machine.host_receive("checkpoint")
-        blocks[msg.src] = msg.payload
-    machine.host_memory[CHECKPOINT_KEY] = {
-        "plan": plan,
-        "epoch": machine.membership.epoch,
-        "blocks": blocks,
-        "elements": elements,
-    }
+            machine.send_to_host(
+                assignment.rank, copy_compressed(comp), n, phase, tag="checkpoint"
+            )
+            elements += n
+        blocks: dict[int, CompressedLocal] = {}
+        for _ in plan:
+            msg = machine.host_receive("checkpoint")
+            blocks[msg.src] = msg.payload
+        machine.host_memory[CHECKPOINT_KEY] = {
+            "plan": plan,
+            "epoch": machine.membership.epoch,
+            "blocks": blocks,
+            "elements": elements,
+        }
+    obs.count(
+        "repro_checkpoint_elements_total",
+        elements,
+        help="Wire elements gathered into host-side checkpoints",
+    )
     return elements
 
 

@@ -164,6 +164,29 @@ def peer_redistribute(
     Raises :class:`DeadRankError` if a rank dies mid-move — the caller
     retries on the shrunken roster, sourcing from checkpoints only.
     """
+    with machine.obs.span(
+        "recovery.peer_redistribute",
+        phase=phase.value,
+        old_p=old_plan.n_procs,
+        new_p=new_plan.n_procs,
+    ):
+        return _peer_redistribute_impl(
+            machine, old_plan, new_view, new_plan, compression,
+            sources=sources, phase=phase,
+        )
+
+
+def _peer_redistribute_impl(
+    machine: Machine,
+    old_plan: PartitionPlan,
+    new_view: SurvivorView,
+    new_plan: PartitionPlan,
+    compression: Type[CompressedLocal],
+    *,
+    sources: dict[int, Source],
+    phase: Phase,
+) -> list[CompressedLocal]:
+    """The data-movement body behind :func:`peer_redistribute`."""
     if old_plan.global_shape != new_plan.global_shape:
         raise ValueError(
             f"plans cover different arrays: {old_plan.global_shape} vs "
@@ -301,6 +324,11 @@ def _run_host_resend(
             failure_sequence.append(err.rank)
             _confirm(machine, err, Phase.DISTRIBUTION)
             rounds += 1
+            machine.obs.count(
+                "repro_recovery_rounds_total",
+                help="Recovery rounds driven after fail-stop deaths",
+                policy="host-resend",
+            )
     return replace(
         result,
         recovery_summary=_summary(
@@ -361,6 +389,11 @@ def _run_peer(
             failure_sequence.append(err.rank)
             _confirm(machine, err, Phase.DISTRIBUTION)
             rounds += 1
+            machine.obs.count(
+                "repro_recovery_rounds_total",
+                help="Recovery rounds driven after fail-stop deaths",
+                policy="peer-redistribute",
+            )
 
     # -- phase B: survivors absorb the lost partition ----------------------
     from_checkpoints_only = False
@@ -388,6 +421,11 @@ def _run_peer(
             # block from the immutable host checkpoints
             from_checkpoints_only = True
             rounds += 1
+            machine.obs.count(
+                "repro_recovery_rounds_total",
+                help="Recovery rounds driven after fail-stop deaths",
+                policy="peer-redistribute",
+            )
 
     result = scheme._result(new_view, global_matrix, new_plan, kind, locals_)
     return replace(
@@ -462,35 +500,45 @@ class RecoveryRuntime:
             self._snapshot = _snapshot(self.machine)
         self.failure_sequence.append(err.rank)
         _confirm(self.machine, err, self.phase)
-        while True:
-            self.recovery_rounds += 1
-            survivors = self.machine.membership.survivors
-            new_plan = self.partition.plan(self.plan.global_shape, len(survivors))
-            new_view = SurvivorView(self.machine, survivors)
-            ckpt = get_checkpoint(self.machine)
-            if ckpt is None:  # pragma: no cover - defensive
-                raise RuntimeError("no checkpoint to recover from")
-            sources: dict[int, Source] = {
-                a.rank: ("host", ckpt["blocks"][a.rank]) for a in ckpt["plan"]
-            }
-            try:
-                peer_redistribute(
-                    self.machine, ckpt["plan"], new_view, new_plan,
-                    self.compression, sources=sources, phase=self.phase,
+        with self.machine.obs.span(
+            "recovery.rollback", rank=str(err.rank), phase=self.phase.value
+        ):
+            while True:
+                self.recovery_rounds += 1
+                survivors = self.machine.membership.survivors
+                new_plan = self.partition.plan(
+                    self.plan.global_shape, len(survivors)
                 )
-                # the recovery round is complete: only now swap the
-                # checkpoint over to the new plan (a half-finished round
-                # must be able to restart from the old epoch's replicas)
-                self.checkpoint_elements += checkpoint_locals(
-                    new_view, new_plan, phase=self.phase
-                )
-                break
-            except DeadRankError as err2:
-                self.failure_sequence.append(err2.rank)
-                _confirm(self.machine, err2, self.phase)
+                new_view = SurvivorView(self.machine, survivors)
+                ckpt = get_checkpoint(self.machine)
+                if ckpt is None:  # pragma: no cover - defensive
+                    raise RuntimeError("no checkpoint to recover from")
+                sources: dict[int, Source] = {
+                    a.rank: ("host", ckpt["blocks"][a.rank])
+                    for a in ckpt["plan"]
+                }
+                try:
+                    peer_redistribute(
+                        self.machine, ckpt["plan"], new_view, new_plan,
+                        self.compression, sources=sources, phase=self.phase,
+                    )
+                    # the recovery round is complete: only now swap the
+                    # checkpoint over to the new plan (a half-finished round
+                    # must be able to restart from the old epoch's replicas)
+                    self.checkpoint_elements += checkpoint_locals(
+                        new_view, new_plan, phase=self.phase
+                    )
+                    break
+                except DeadRankError as err2:
+                    self.failure_sequence.append(err2.rank)
+                    _confirm(self.machine, err2, self.phase)
         self.view = new_view
         self.plan = new_plan
         self.rollbacks += 1
+        self.machine.obs.count(
+            "repro_rollbacks_total",
+            help="App-level checkpoint rollbacks after mid-iteration deaths",
+        )
 
     def summary(self) -> RecoverySummary:
         """The app-level recovery report (policy ``"app-rollback"``)."""

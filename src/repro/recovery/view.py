@@ -101,6 +101,10 @@ class SurvivorView:
     def host_memory(self) -> dict[str, Any]:
         return self.machine.host_memory
 
+    @property
+    def obs(self):
+        return self.machine.obs
+
     def fault_summary(self):
         return self.machine.fault_summary()
 
@@ -207,6 +211,10 @@ class GhostView:
     @property
     def host_memory(self) -> dict[str, Any]:
         return self.machine.host_memory
+
+    @property
+    def obs(self):
+        return self.machine.obs
 
     def fault_summary(self):
         return self.machine.fault_summary()

@@ -9,6 +9,7 @@ times and every processor's compressed local array.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..core.base import CompressedLocal, SchemeResult
 from ..core.registry import get_compression, get_partition, get_scheme
@@ -21,6 +22,9 @@ from ..partition.base import PartitionMethod, PartitionPlan
 from ..partition.mesh2d import Mesh2DPartition
 from ..sparse.coo import COOMatrix
 from ..sparse.generators import random_sparse
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.spans import Observability
 
 __all__ = ["ExperimentConfig", "run_scheme", "run_config"]
 
@@ -39,6 +43,7 @@ def run_scheme(
     fault_seed: int = 0,
     recovery: str | None = None,
     backend: str | None = None,
+    obs: "Observability | None" = None,
 ) -> SchemeResult:
     """Run one scheme on a fresh simulated machine.
 
@@ -58,13 +63,21 @@ def run_scheme(
     ``backend`` selects the kernel backend (``"python"`` | ``"numpy"``)
     the hot paths run on; ``None`` inherits the process default (numpy).
     Results are byte-identical either way (DESIGN.md §"Kernel backends").
+
+    ``obs`` attaches an :class:`~repro.obs.spans.Observability` recorder:
+    spans, a metrics registry and per-rank communication totals are then
+    collected during the run, self-verified against the trace ledger, and
+    snapshotted into ``result.observability``.  ``None`` (default) runs
+    fully un-instrumented — byte-identical to pre-observability builds
+    (docs/OBSERVABILITY.md).
     """
     method = partition if isinstance(partition, PartitionMethod) else get_partition(partition)
     if plan is None:
         plan = method.plan(matrix.shape, n_procs)
     injector = FaultInjector(faults, seed=fault_seed) if faults is not None else None
     machine = Machine(
-        plan.n_procs, cost=cost, topology=topology, faults=injector, backend=backend
+        plan.n_procs, cost=cost, topology=topology, faults=injector,
+        backend=backend, obs=obs,
     )
     comp: type[CompressedLocal] = get_compression(compression)
     if recovery is not None:

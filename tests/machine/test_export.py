@@ -84,3 +84,78 @@ class TestDumpJson:
         dump_json(result, path)
         parsed = json.loads(path.read_text())
         assert parsed["scheme"] == "ed"
+
+
+class TestFaultModeExtras:
+    """RETRY/FAULT aggregates appear iff present, and round-trip."""
+
+    def _run_with_faults(self):
+        from repro.faults import FaultInjector, FaultSpec
+
+        matrix = random_sparse((24, 24), 0.2, seed=1)
+        injector = FaultInjector(FaultSpec(drop=0.3, duplicate=0.2), seed=5)
+        machine = Machine(4, cost=unit_cost_model(), faults=injector)
+        from repro.core import get_compression, get_scheme
+        from repro.partition import RowPartition
+
+        plan = RowPartition().plan(matrix.shape, 4)
+        get_scheme("ed").run(machine, matrix, plan, get_compression("crs"))
+        return machine
+
+    def test_retry_and_fault_keys_present(self):
+        machine = self._run_with_faults()
+        d = trace_to_dict(machine.trace)
+        dist = d["phases"]["distribution"]
+        assert dist["retries"] >= 1
+        assert dist["retry_time_ms"] > 0
+        assert dist["faults"] >= 1
+        assert sum(dist["faults_by_label"].values()) == dist["faults"]
+
+    def test_fault_extras_round_trip_json(self):
+        machine = self._run_with_faults()
+        parsed = json.loads(json.dumps(trace_to_dict(machine.trace)))
+        bd = machine.trace.breakdown(Phase.DISTRIBUTION)
+        dist = parsed["phases"]["distribution"]
+        assert dist["retries"] == bd.n_retries
+        assert dist["retry_time_ms"] == bd.retry_time
+        assert dist["faults_by_label"] == bd.faults_by_label
+
+    def test_fault_free_trace_omits_extras(self, run):
+        machine, _ = run
+        dist = trace_to_dict(machine.trace)["phases"]["distribution"]
+        assert "retries" not in dist and "faults" not in dist
+
+
+class TestSingleProcessor:
+    def test_p1_run_exports(self):
+        matrix = random_sparse((12, 12), 0.25, seed=9)
+        machine = Machine(1, cost=unit_cost_model())
+        from repro.core import get_compression, get_scheme
+        from repro.partition import RowPartition
+
+        plan = RowPartition().plan(matrix.shape, 1)
+        result = get_scheme("sfc").run(
+            machine, matrix, plan, get_compression("crs")
+        )
+        d = result_to_dict(result)
+        assert d["n_procs"] == 1 and len(d["locals"]) == 1
+        t = trace_to_dict(machine.trace)
+        # SFC: the lone rank compresses locally; the host only sends
+        assert t["phases"]["compression"]["proc_times_ms"].keys() == {"0"}
+        assert t["phases"]["distribution"]["messages"] == 1
+
+
+class TestObservabilityExport:
+    def test_snapshot_embedded_when_observed(self):
+        from repro.obs import Observability
+
+        matrix = random_sparse((24, 24), 0.2, seed=1)
+        obs = Observability()
+        result = run_scheme("ed", matrix, n_procs=4, obs=obs)
+        d = result_to_dict(result)
+        assert d["observability"]["n_events"] > 0
+        assert json.loads(json.dumps(d))  # JSON-compatible throughout
+
+    def test_unobserved_result_has_no_observability_key(self, run):
+        _, result = run
+        assert "observability" not in result_to_dict(result)

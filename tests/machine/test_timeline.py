@@ -81,3 +81,49 @@ def test_scheme_trace_renders(medium_matrix):
     # (proc lanes in distribution)
     assert "compression" in text and "distribution" in text
     assert "P3" in text
+
+
+class TestFaultModeRendering:
+    """Retry-only phases, zero-time traces, and the retry legend."""
+
+    def test_retry_only_phase_gets_a_lane(self, machine):
+        from repro.machine.trace import Event, EventKind
+
+        machine.trace.record(
+            Event(Phase.DISTRIBUTION, EventKind.RETRY, 1, 2.5, label="timeout")
+        )
+        text = render_timeline(machine.trace)
+        assert "distribution" in text and "P1" in text
+        assert "2.500ms (retry 2.500ms)" in text
+
+    def test_retry_share_annotated_next_to_busy_time(self, machine):
+        from repro.machine.trace import Event, EventKind
+
+        machine.charge_proc_ops(0, 3, Phase.DISTRIBUTION)
+        machine.trace.record(
+            Event(Phase.DISTRIBUTION, EventKind.RETRY, 0, 1.0, label="timeout")
+        )
+        text = render_timeline(machine.trace)
+        assert "4.000ms (retry 1.000ms)" in text
+
+    def test_no_retry_annotation_on_fault_free_lanes(self, machine):
+        machine.charge_host_ops(2, Phase.COMPUTE)
+        assert "retry" not in render_timeline(machine.trace)
+
+    def test_all_zero_time_trace_does_not_crash_or_mislabel(self, machine):
+        from repro.machine.trace import Event, EventKind
+
+        machine.trace.record(
+            Event(Phase.DISTRIBUTION, EventKind.FAULT, 0, 0.0, label="drop")
+        )
+        text = render_timeline(machine.trace)
+        assert "0.000ms" in text.splitlines()[0]  # header scale is honest
+        assert "1.000ms" not in text
+        assert "P0" in text  # the fault observer's lane still shows
+
+    def test_single_processor_machine(self):
+        machine = Machine(1, cost=unit_cost_model())
+        machine.send(0, None, 5, Phase.DISTRIBUTION)
+        machine.charge_proc_ops(0, 2, Phase.DISTRIBUTION)
+        text = render_timeline(machine.trace)
+        assert "host" in text and "P0" in text

@@ -1,0 +1,106 @@
+"""End-to-end tests of the CLI observability flags and `repro inspect`."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_obs_flags_default_off(self):
+        args = build_parser().parse_args(["run"])
+        assert args.trace_out is None
+        assert args.metrics_out is None
+        assert args.log_out is None
+
+    def test_inspect_args(self):
+        args = build_parser().parse_args(["inspect", "run.jsonl", "--top", "9"])
+        assert args.log == "run.jsonl" and args.top == 9
+
+    def test_inspect_requires_log(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["inspect"])
+
+
+class TestRunExports:
+    def test_all_three_outputs(self, tmp_path, capsys):
+        trace = tmp_path / "t.json"
+        prom = tmp_path / "m.prom"
+        log = tmp_path / "r.jsonl"
+        rc = main([
+            "run", "--n", "60", "--procs", "4", "--scheme", "ed",
+            "--trace-out", str(trace), "--metrics-out", str(prom),
+            "--log-out", str(log),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "wrote Chrome trace" in out
+        assert "wrote Prometheus metrics" in out
+        assert "wrote run log" in out
+
+        parsed = json.loads(trace.read_text())
+        assert parsed["traceEvents"]
+        assert all("ph" in e for e in parsed["traceEvents"])
+        assert "# TYPE repro_messages_total counter" in prom.read_text()
+        first = json.loads(log.read_text().splitlines()[0])
+        assert first["type"] == "meta" and first["meta"]["scheme"] == "ed"
+
+    def test_exports_cover_last_scheme_of_all(self, tmp_path):
+        log = tmp_path / "r.jsonl"
+        assert main([
+            "run", "--n", "60", "--procs", "4", "--log-out", str(log),
+        ]) == 0
+        meta = json.loads(log.read_text().splitlines()[0])["meta"]
+        assert meta["scheme"] == "ed"  # last of sfc, cfs, ed
+
+    def test_observed_run_times_match_unobserved(self, tmp_path, capsys):
+        main(["run", "--n", "60", "--procs", "4", "--scheme", "cfs"])
+        plain = capsys.readouterr().out
+        main([
+            "run", "--n", "60", "--procs", "4", "--scheme", "cfs",
+            "--log-out", str(tmp_path / "r.jsonl"),
+        ])
+        observed = capsys.readouterr().out
+        plain_line = next(l for l in plain.splitlines() if "CFS" in l)
+        observed_line = next(l for l in observed.splitlines() if "CFS" in l)
+        assert plain_line == observed_line
+
+    def test_timeline_and_trace_out_compose(self, tmp_path, capsys):
+        rc = main([
+            "run", "--n", "60", "--procs", "4", "--scheme", "sfc",
+            "--timeline", "--trace-out", str(tmp_path / "t.json"),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "phase" in out and "lane" in out  # timeline header
+        assert (tmp_path / "t.json").exists()
+
+
+class TestInspectCommand:
+    def test_round_trip_through_inspect(self, tmp_path, capsys):
+        log = tmp_path / "r.jsonl"
+        main([
+            "run", "--n", "60", "--procs", "4", "--scheme", "ed",
+            "--log-out", str(log),
+        ])
+        capsys.readouterr()
+        assert main(["inspect", str(log), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "communication matrix" in out
+        assert "top 3 spans" in out
+        assert "repro_wire_elements_total" in out
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["inspect", str(tmp_path / "absent.jsonl")]) == 2
+        assert "does not exist" in capsys.readouterr().out
+
+    def test_directory_exits_2(self, tmp_path, capsys):
+        assert main(["inspect", str(tmp_path)]) == 2
+        assert "directory" in capsys.readouterr().out
+
+    def test_garbage_file_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("definitely not json\n")
+        assert main(["inspect", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().out

@@ -1,0 +1,93 @@
+"""Unit tests for the run-log renderers behind ``repro inspect``."""
+
+import pytest
+
+from repro.machine import Machine, Phase, unit_cost_model
+from repro.obs import (
+    Observability,
+    inspect_run_log,
+    read_run_log,
+    render_comm_matrix,
+    render_metrics_summary,
+    render_top_spans,
+    write_jsonl,
+)
+
+
+@pytest.fixture
+def log_path(tmp_path):
+    obs = Observability(scheme="sfc", n=16)
+    machine = Machine(3, cost=unit_cost_model(), obs=obs)
+    with obs.span("sfc.distribute", phase="distribution"):
+        machine.send(0, b"a", 4, Phase.DISTRIBUTION)
+        machine.send(2, b"b", 9, Phase.DISTRIBUTION)
+    return write_jsonl(obs, tmp_path / "run.jsonl")
+
+
+class TestCommMatrix:
+    def test_table_shape_and_totals(self, log_path):
+        text = render_comm_matrix(read_run_log(log_path).comm_matrix())
+        lines = text.splitlines()
+        assert lines[0].startswith("src\\dst")
+        assert "host" in lines[1]
+        assert "total elements on wire: 13" in text
+
+    def test_zero_cells_are_dots(self):
+        text = render_comm_matrix({"host": {"0": 5}, "0": {"1": 2}})
+        assert "·" in text  # host→1 (and 0→0) never communicated
+
+    def test_empty_matrix(self):
+        assert render_comm_matrix({}) == "(no wire traffic recorded)"
+
+    def test_lanes_sorted_host_first_then_numeric(self):
+        text = render_comm_matrix(
+            {"10": {"2": 1}, "2": {"10": 1}, "host": {"2": 1}}
+        )
+        rows = [l.split()[0] for l in text.splitlines()[1:-1]]
+        assert rows == ["host", "2", "10"]
+
+
+class TestTopSpans:
+    def test_table_lists_spans_with_labels(self, log_path):
+        log = read_run_log(log_path)
+        text = render_top_spans(log, 5)
+        assert "sfc.distribute [phase=distribution]" in text
+        assert "sim ms" in text and "wall ms" in text
+
+    def test_no_spans(self, log_path):
+        log = read_run_log(log_path)
+        log.spans = []
+        assert render_top_spans(log, 3) == "(no spans recorded)"
+
+
+class TestMetricsSummary:
+    def test_counter_totals_listed(self, log_path):
+        text = render_metrics_summary(read_run_log(log_path))
+        assert "repro_messages_total: 2" in text
+        assert "repro_wire_elements_total: 13" in text
+        assert "repro_sim_time_ms" not in text  # gauges are skipped
+
+    def test_no_counters(self, log_path):
+        log = read_run_log(log_path)
+        from repro.obs import MetricsRegistry
+
+        log.metrics = MetricsRegistry()
+        assert "(no counters)" in render_metrics_summary(log)
+
+
+class TestFullReport:
+    def test_report_sections(self, log_path):
+        report = inspect_run_log(log_path, top=3)
+        for heading in (
+            "run log:",
+            "meta: ",
+            "communication matrix",
+            "top 3 spans",
+            "counter totals:",
+        ):
+            assert heading in report
+        assert "scheme=sfc" in report
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            inspect_run_log(tmp_path / "absent.jsonl")

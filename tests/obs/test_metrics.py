@@ -1,0 +1,152 @@
+"""Unit tests for the dependency-free metrics registry."""
+
+import math
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metrics_from_dict,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("repro_things_total")
+        c.inc(3, phase="distribution")
+        c.inc(2, phase="distribution")
+        c.inc(5, phase="compression")
+        assert c.value(phase="distribution") == 5
+        assert c.value(phase="compression") == 5
+        assert c.value(phase="compute") == 0
+
+    def test_label_order_is_irrelevant(self):
+        c = Counter("repro_wire_total")
+        c.inc(7, src="host", dst="0")
+        c.inc(1, dst="0", src="host")
+        assert c.value(src="host", dst="0") == 8
+
+    def test_total_matches_label_subsets(self):
+        c = Counter("repro_wire_total")
+        c.inc(10, phase="distribution", src="host", dst="0")
+        c.inc(20, phase="distribution", src="host", dst="1")
+        c.inc(5, phase="compression", src="host", dst="0")
+        assert c.total() == 35
+        assert c.total(phase="distribution") == 30
+        assert c.total(dst="0") == 15
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("repro_x_total").inc(-1)
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("")
+        with pytest.raises(ValueError):
+            Counter("has space")
+        with pytest.raises(ValueError):
+            Counter("1starts_with_digit")
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        g = Gauge("repro_clock_ms")
+        g.set(4.5, actor="host")
+        g.inc(-1.5, actor="host")
+        assert g.value(actor="host") == 3.0
+        assert g.value(actor="0") == 0
+
+
+class TestHistogram:
+    def test_bucket_counts_cumulate_in_export_only(self):
+        h = Histogram("repro_latency_ms", buckets=(1.0, 10.0))
+        for v in (0.5, 0.7, 5.0, 100.0):
+            h.observe(v)
+        sample = h.samples[()]
+        assert sample["bucket_counts"] == [2, 1, 1]  # per-bucket, not cumulative
+        assert sample["count"] == 4
+        assert sample["sum"] == pytest.approx(106.2)
+
+    def test_inf_bucket_is_implicit(self):
+        h = Histogram("repro_h_ms", buckets=(1.0, math.inf))
+        assert h.buckets == (1.0,)
+
+    def test_invalid_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("repro_h_ms", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("repro_h_ms", buckets=(float("nan"),))
+
+    def test_count_and_sum_helpers(self):
+        h = Histogram("repro_h_ms")
+        h.observe(2.0, rank="1")
+        h.observe(3.0, rank="1")
+        assert h.count(rank="1") == 2
+        assert h.sum(rank="1") == 5.0
+        assert h.count(rank="2") == 0
+
+
+class TestRegistry:
+    def test_create_or_fetch_is_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("repro_a_total", "help text")
+        b = reg.counter("repro_a_total")
+        assert a is b
+        assert len(reg) == 1
+
+    def test_kind_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_a_total")
+        with pytest.raises(TypeError):
+            reg.gauge("repro_a_total")
+        with pytest.raises(TypeError):
+            reg.histogram("repro_a_total")
+
+    def test_value_and_total_shortcuts(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_a_total").inc(4, phase="compute")
+        assert reg.value("repro_a_total", phase="compute") == 4
+        assert reg.total("repro_a_total") == 4
+        assert reg.total("repro_missing_total") == 0
+        reg.gauge("repro_g").set(1)
+        with pytest.raises(TypeError):
+            reg.total("repro_g")
+        reg.histogram("repro_h_ms").observe(1.0)
+        with pytest.raises(TypeError):
+            reg.value("repro_h_ms")
+
+    def test_collect_is_name_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_b_total")
+        reg.counter("repro_a_total")
+        assert [m.name for m in reg.collect()] == [
+            "repro_a_total", "repro_b_total"
+        ]
+
+
+class TestRoundTrip:
+    def test_counters_gauges_histograms_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_c_total", "a counter").inc(3, phase="p")
+        reg.gauge("repro_g", "a gauge").set(2.5, actor="host")
+        h = reg.histogram("repro_h_ms", "a histogram", buckets=(1.0, 5.0))
+        h.observe(0.2, rank="0")
+        h.observe(4.0, rank="0")
+        h.observe(100.0, rank="0")
+
+        back = metrics_from_dict(reg.to_dict())
+        assert back.to_dict() == reg.to_dict()
+        assert back.value("repro_c_total", phase="p") == 3
+        assert back.get("repro_h_ms").count(rank="0") == 3
+        assert back.get("repro_h_ms").buckets == (1.0, 5.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            metrics_from_dict({"repro_x": {"kind": "summary", "samples": []}})
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
