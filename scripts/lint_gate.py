@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Pragma-budget ratchet gate: the lint escape hatch cannot silently grow.
+
+``# reprolint: disable=…`` pragmas are reprolint's escape hatch — each
+one is a *reviewed* exception to an invariant the rules otherwise prove.
+This gate runs ``repro lint`` in-process over the default paths and
+compares the total pragma count against the budget committed in
+``scripts/lint_budget.json``.  More pragmas than budgeted fails CI;
+fewer prints a reminder to ratchet the budget down (mirroring
+``coverage_gate.py``: budgets only move in the strict direction, in the
+same PR that earns the movement).
+
+The gate also re-asserts the zero-violation bar: any live diagnostic
+fails, with the full report echoed for CI annotations.
+
+Usage::
+
+    PYTHONPATH=src python scripts/lint_gate.py
+    PYTHONPATH=src python scripts/lint_gate.py --budget scripts/lint_budget.json
+
+Exit codes follow the repo contract: 0 = within budget and clean,
+1 = violations or budget exceeded, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+BUDGET = Path(__file__).resolve().parent / "lint_budget.json"
+
+sys.path.insert(0, str(ROOT / "src"))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--budget", type=Path, default=BUDGET,
+        help="budget file (default scripts/lint_budget.json)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.budget, encoding="utf-8") as fh:
+            budget = json.load(fh)["pragma_budget"]
+    except (OSError, json.JSONDecodeError, KeyError) as exc:
+        print(f"error: cannot read pragma budget from {args.budget}: {exc}")
+        return 2
+
+    from repro.analysis import lint_paths, project_config
+    from repro.analysis.config import DEFAULT_LINT_PATHS
+
+    paths = [ROOT / p for p in DEFAULT_LINT_PATHS if (ROOT / p).exists()]
+    result = lint_paths(paths, project_config(), root=ROOT)
+
+    failures = 0
+    if not result.clean:
+        print(result.render())
+        failures += 1
+    count = result.pragma_count
+    status = "ok  " if count <= budget else "FAIL"
+    print(f"{status}  pragmas: {count} disable pragma(s), budget {budget}")
+    if count > budget:
+        print(
+            "      the lint escape hatch grew — remove the new pragma or "
+            "argue the exception in review and raise the budget in "
+            f"{args.budget.name}"
+        )
+        failures += 1
+    elif count < budget:
+        print(
+            f"      ratchet: only {count} pragma(s) in the tree — lower "
+            f"the budget to {count} in {args.budget.name}"
+        )
+    if failures:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,66 @@
+"""``reprolint`` — the repo's project-specific static-analysis engine.
+
+The repo's headline guarantees (byte-identical wire formats across kernel
+backends, cost charges that exactly equal trace breakdowns, the paper's
+legal phase orderings for SFC/CFS/ED) are enforced *dynamically* by golden
+fixtures and ``verify_against_trace``.  This package enforces the same
+invariants *statically*, at review time, over the ``ast`` of every source
+file — so a PR that calls ``np.`` directly in a kernel-boundary module or
+sends bytes without charging the cost model fails ``repro lint`` before a
+fixture ever has to catch it.
+
+Zero dependencies beyond the standard library: the engine is plain
+``ast`` walking plus a rule registry (:mod:`repro.analysis.engine`), a
+committed project configuration of per-rule scopes and allowlists
+(:mod:`repro.analysis.config`) and six shipped rules
+(:mod:`repro.analysis.rules`):
+
+========  =============================================================
+RL001     kernel-boundary — no direct numpy calls in backend-dispatched
+          modules (PR 3's byte-identity contract)
+RL002     cost-accounting — no mailbox/transport access outside
+          ``machine/``; all sends/receives ride the charged API
+RL003     phase-protocol — schemes follow the paper-legal phase order
+          partition → {compress|encode}? → distribute →
+          {decompress|decode}? (§3.1–3.3)
+RL004     determinism — no wall clocks, unseeded RNGs or set-iteration
+          order in wire-format/cost-model modules
+RL005     obs-transparency — ``obs.span`` only as a context manager; no
+          module-level mutable obs state outside ``obs/``
+RL006     exit-contract — CLI error paths print one line and exit 2
+========  =============================================================
+
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue, the pragma
+policy (``# reprolint: disable=RLxxx``) and how to add a rule.
+"""
+
+from .config import project_config
+from .diagnostics import Diagnostic
+from .engine import (
+    FileContext,
+    LintConfig,
+    LintResult,
+    Rule,
+    all_rules,
+    count_pragmas,
+    get_rule,
+    lint_paths,
+    register_rule,
+)
+
+__all__ = [
+    "Diagnostic",
+    "FileContext",
+    "LintConfig",
+    "LintResult",
+    "Rule",
+    "all_rules",
+    "count_pragmas",
+    "get_rule",
+    "lint_paths",
+    "project_config",
+    "register_rule",
+]
+
+# importing the rules package populates the registry as a side effect
+from . import rules as _rules  # noqa: E402,F401  (registration import)

@@ -1,0 +1,99 @@
+"""The ``repro lint`` subcommand.
+
+Runs the reprolint engine over the repository (default: ``src`` and
+``tests`` below the current directory) with the committed project
+configuration.  Exit status follows the repo-wide contract: 0 = clean,
+1 = violations found, 2 = usage error (one friendly line).
+
+``--json`` emits the machine-readable payload consumed by
+``scripts/lint_gate.py`` and CI annotations; ``--select`` narrows to
+specific rules; ``--no-pragmas`` reports pragma-suppressed findings as
+live (how the fixture corpus proves every rule fires).
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Sequence
+
+__all__ = ["add_lint_arguments", "cmd_lint"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``lint`` subcommand's arguments to ``parser``."""
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the machine-readable diagnostics payload",
+    )
+    parser.add_argument(
+        "--select", metavar="RL001[,RL002...]", default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--no-pragmas", action="store_true",
+        help="ignore `# reprolint: disable` pragmas (report everything)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def _list_rules() -> int:
+    from .engine import all_rules
+
+    for rule in all_rules():
+        print(f"{rule.code}  {rule.name}")
+        print(f"       {rule.summary}")
+        print(f"       protects: {rule.protects}")
+    return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Entry point invoked by ``repro lint``."""
+    from .config import DEFAULT_LINT_PATHS, project_config
+    from .engine import lint_paths
+
+    if args.list_rules:
+        return _list_rules()
+    raw_paths: Sequence[str] = args.paths or [
+        p for p in DEFAULT_LINT_PATHS if Path(p).exists()
+    ]
+    if not raw_paths:
+        print(
+            "error: nothing to lint — run from the repository root or "
+            "pass explicit paths"
+        )
+        return 2
+    missing = [p for p in raw_paths if not Path(p).exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(missing)}")
+        return 2
+    select = None
+    if args.select is not None:
+        select = [c.strip().upper() for c in args.select.split(",") if c.strip()]
+        from .engine import get_rule
+
+        try:
+            for code in select:
+                get_rule(code)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}")
+            return 2
+    result = lint_paths(
+        [Path(p) for p in raw_paths],
+        project_config(),
+        root=Path.cwd(),
+        select=select,
+        honor_pragmas=not args.no_pragmas,
+    )
+    if args.as_json:
+        print(result.to_json())
+    else:
+        print(result.render())
+    return 0 if result.clean else 1

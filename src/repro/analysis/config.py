@@ -1,0 +1,113 @@
+"""The committed project configuration for ``repro lint``.
+
+This is the single place where the rules' scopes and allowlists are
+burned in.  Editing it is a *reviewed* act — the allowlists below are the
+static-analysis analogue of golden fixtures: they pin today's audited
+state, and any new entry must argue (in review) why the invariant does
+not apply to it.
+
+RL001 allowlists
+----------------
+Kernel-boundary modules may keep the listed numpy attributes as *glue*
+(allocation, dtype plumbing, validation guards, prefix sums feeding the
+backend).  Everything data-parallel over nonzeros — packing, encoding,
+decoding, index conversion, SpMV/SpGEMM traversal — must dispatch through
+:func:`repro.kernels.current_backend` so the python oracle stays an
+honest differential reference.  Adding a numpy verb here instead of the
+backend is exactly the regression RL001 exists to catch.
+"""
+
+from __future__ import annotations
+
+from .engine import LintConfig
+
+__all__ = ["project_config", "DEFAULT_LINT_PATHS"]
+
+#: what ``repro lint`` walks when no paths are given
+DEFAULT_LINT_PATHS = ("src", "tests")
+
+#: RL001 — audited numpy glue per kernel-boundary module (see module
+#: docstring; keep each set minimal and alphabetised)
+_KERNEL_BOUNDARY = {
+    "src/repro/core/encoded_buffer.py": frozenset({
+        # RO prefix sum feeding the backend's pair gather; layout glue
+        "cumsum", "lexsort", "zeros",
+    }),
+    "src/repro/core/gather.py": frozenset({
+        # host-side concatenation of received COO pieces (cold path)
+        "concatenate", "empty",
+    }),
+    "src/repro/core/index_conversion.py": frozenset({
+        # argument normalisation + the out-of-range validation guard
+        "any", "asarray",
+    }),
+    "src/repro/core/jds_schemes.py": frozenset({
+        # JDS wire build/walk (future-work module; not yet backend-routed,
+        # tracked as the RL001 burn-down list)
+        "concatenate", "cumsum", "empty", "zeros",
+    }),
+    "src/repro/core/redistribute.py": frozenset({
+        # piece bucketing on the host before charged sends (cold path)
+        "any", "arange", "concatenate", "empty", "full",
+    }),
+    "src/repro/core/sfc.py": frozenset(),
+    "src/repro/core/cfs.py": frozenset(),
+    "src/repro/core/ed.py": frozenset(),
+    "src/repro/core/base.py": frozenset(),
+    "src/repro/core/registry.py": frozenset(),
+    "src/repro/core/transpose.py": frozenset({
+        # transpose is pure index relabelling on host-held COO (cold path)
+        "lexsort",
+    }),
+    "src/repro/machine/packing.py": frozenset({
+        # wire-exactness guards + dtype plumbing around pack_segments/
+        # unpack_segment (the moves themselves are backend calls)
+        "any", "asarray", "dtype", "iinfo", "issubdtype", "trunc",
+    }),
+    "src/repro/sparse/ops.py": frozenset({
+        # COO canonicalisation + norm/diagnostic helpers; the SpMV/SpGEMM
+        # traversals themselves dispatch through the backend
+        "abs", "add.at", "asarray", "concatenate", "intersect1d", "sqrt",
+        "sum", "zeros",
+    }),
+}
+
+#: RL002 — the layers allowed to touch mailboxes/frames directly
+_TRANSPORT_EXEMPT = (
+    "src/repro/machine/*.py",      # the transport itself
+    "src/repro/faults/*.py",       # frame-level fault injection
+    "src/repro/recovery/view.py",  # transport virtualisation (ghost ranks)
+)
+
+#: RL004 — wire-format and cost-model modules that must be bit-deterministic
+_DETERMINISM_SCOPE = (
+    "src/repro/machine/cost_model.py",
+    "src/repro/machine/packing.py",
+    "src/repro/machine/trace.py",
+    "src/repro/core/encoded_buffer.py",
+    "src/repro/core/index_conversion.py",
+    "src/repro/faults/checksum.py",
+    "src/repro/faults/injector.py",
+    "src/repro/faults/spec.py",
+    "src/repro/kernels/*.py",
+)
+
+
+def project_config() -> LintConfig:
+    """The configuration ``repro lint`` runs with on this repository."""
+    return LintConfig(
+        kernel_boundary=dict(_KERNEL_BOUNDARY),
+        transport_scope=("src/repro/*.py",),
+        transport_exempt=_TRANSPORT_EXEMPT,
+        scheme_scope=("src/repro/core/*.py",),
+        determinism_scope=_DETERMINISM_SCOPE,
+        obs_scope=("src/repro/*.py",),
+        obs_exempt=("src/repro/obs/*.py",),
+        cli_scope=(
+            "src/repro/cli.py",
+            "src/repro/analysis/cli.py",
+        ),
+        exclude=(
+            "tests/analysis/fixtures/*",
+        ),
+    )

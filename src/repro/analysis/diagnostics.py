@@ -1,0 +1,61 @@
+"""Diagnostic records and their rendering (text + JSON).
+
+A :class:`Diagnostic` is one finding at one source location.  The text
+form is the classic ``path:line:col: CODE message`` that editors and CI
+log-scrapers parse; line numbers are 1-based and columns 0-based, exactly
+as the :mod:`ast` module reports them, so the location is byte-offset
+accurate against the file on disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Diagnostic"]
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One rule finding at one source location.
+
+    Attributes
+    ----------
+    path:
+        Repo-root-relative posix path of the offending file.
+    line:
+        1-based line number (``ast`` convention).
+    col:
+        0-based column offset (``ast`` convention).
+    code:
+        The rule code (``"RL001"`` … ``"RL006"``).
+    message:
+        What invariant the line breaks.
+    hint:
+        A fix-it: the smallest change that restores the invariant.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    hint: str = ""
+
+    def render(self) -> str:
+        """``path:line:col: CODE message [hint: …]`` (one line)."""
+        text = f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+        if self.hint:
+            text += f" [hint: {self.hint}]"
+        return text
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form (the ``repro lint --json`` schema)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+            "hint": self.hint,
+        }

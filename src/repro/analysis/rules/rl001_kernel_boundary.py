@@ -1,0 +1,115 @@
+"""RL001 kernel-boundary — no direct numpy work behind the backend's back.
+
+PR 3's contract: every hot-path kernel (compression, CFS pack/unpack, ED
+encode/decode, index conversion, SpMV/SpGEMM traversal) dispatches
+through :func:`repro.kernels.current_backend`, and the numpy and python
+backends are byte-identical.  A direct ``np.`` call in a kernel-boundary
+module silently forks the two implementations: the numpy path gains code
+the python oracle never executes, and the differential suite can only
+catch the divergence if a fixture happens to cover it.
+
+The rule flags, in every module configured under
+``LintConfig.kernel_boundary``:
+
+* ``from numpy import …`` — aliasing that makes the boundary invisible;
+* any *call* ``np.attr(…)`` / ``numpy.attr(…)`` whose dotted attribute
+  is not in the module's audited glue allowlist.
+
+Bare attribute references (``np.int64``, ``np.float64``, ``np.ndarray``
+in annotations and dtype arguments) are always legal — dtypes are part
+of the backend contract, not array work.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from ..diagnostics import Diagnostic
+from ..engine import FileContext, Rule, register_rule
+
+__all__ = ["KernelBoundaryRule"]
+
+_NUMPY_MODULES = {"numpy"}
+
+
+def _numpy_aliases(tree: ast.Module) -> set[str]:
+    """Local names bound to the numpy module (``np`` usually)."""
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.name in _NUMPY_MODULES:
+                    aliases.add(item.asname or item.name)
+    return aliases
+
+
+def _dotted_numpy_call(call: ast.Call, aliases: set[str]) -> str | None:
+    """``"add.at"`` for ``np.add.at(…)``; None for non-numpy calls."""
+    parts: list[str] = []
+    node: ast.expr = call.func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name) and node.id in aliases and parts:
+        return ".".join(reversed(parts))
+    return None
+
+
+@register_rule
+class KernelBoundaryRule(Rule):
+    """Kernel-boundary modules route array work through the backend."""
+
+    code = "RL001"
+    name = "kernel-boundary"
+    summary = (
+        "modules behind the KernelBackend dispatch may not call numpy "
+        "directly (audited glue allowlist excepted)"
+    )
+    protects = (
+        "PR 3 byte-identity: numpy and python backends share every hot "
+        "path (DESIGN.md 'Kernel backends')"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.matches(ctx.config.kernel_boundary)
+
+    def _allowed(self, ctx: FileContext) -> frozenset[str]:
+        for pattern, allowed in ctx.config.kernel_boundary.items():
+            if ctx.config.matches(ctx.path, [pattern]):
+                return allowed
+        return frozenset()
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        yield from self._check(ctx)
+
+    def _check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        allowed = self._allowed(ctx)
+        aliases = _numpy_aliases(ctx.tree)
+        for node in ctx.walk():
+            if isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if module == "numpy" or module.startswith("numpy."):
+                    yield self.diag(
+                        ctx,
+                        node,
+                        f"'from {module} import …' hides the kernel "
+                        "boundary in a kernel-boundary module",
+                        hint="import numpy as np (so RL001 can audit call "
+                        "sites) or dispatch via repro.kernels."
+                        "current_backend()",
+                    )
+            elif isinstance(node, ast.Call) and aliases:
+                dotted = _dotted_numpy_call(node, aliases)
+                if dotted is not None and dotted not in allowed:
+                    yield self.diag(
+                        ctx,
+                        node,
+                        f"direct numpy call np.{dotted}() in a "
+                        "kernel-boundary module bypasses the KernelBackend "
+                        "dispatch",
+                        hint="route the array work through repro.kernels."
+                        "current_backend() (both backends must stay "
+                        f"byte-identical), or audit 'np.{dotted}' into the "
+                        "RL001 allowlist in repro/analysis/config.py",
+                    )

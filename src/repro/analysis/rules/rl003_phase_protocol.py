@@ -1,0 +1,284 @@
+"""RL003 phase-protocol — schemes follow the paper-legal phase order.
+
+Sections 3.1–3.3 define the three legal orderings over one shared
+grammar:
+
+    partition → {compress | encode}?  → distribute → {decompress | decode}?
+
+* **SFC** (§3.1): partition → distribute dense → compress locally;
+* **CFS** (§3.2): partition → compress on host → distribute packed;
+* **ED**  (§3.3): partition → encode on host → distribute → decode.
+
+The rule proves every distribution scheme satisfies that grammar by
+abstract interpretation of its driver function: each statement is
+classified into phase *events* and the event sequence (per control-flow
+path) must be accepted by the grammar's automaton.
+
+Event classification (the markers are the charged API itself, so the
+static protocol and the dynamic cost ledger can't drift apart):
+
+=============================================  ==========================
+``plan.extract_all(…)``                        PARTITION
+``charge_host_ops(…, Phase.COMPRESSION)``      PRE  (host compress/encode)
+``send/send_to_host(…, Phase.DISTRIBUTION)``   DISTRIBUTE
+``charge_host_ops(…, Phase.DISTRIBUTION)``     DISTRIBUTE (pack charges)
+``charge_proc_ops(…, Phase.DISTRIBUTION)``     DISTRIBUTE (unpack/convert)
+``charge_proc_ops(…, Phase.COMPRESSION)``      POST (local compress/decode)
+=============================================  ==========================
+
+Accepted sequences are exactly the monotone ones
+``PARTITION* PRE* DISTRIBUTE* POST*`` with at least one PARTITION before
+the first DISTRIBUTE.  ``if``/``elif``/``else`` and ``try`` fork the
+analysis per path (the JDS variants select their ordering by branch);
+loop bodies are traversed once in source order — a sound linearisation
+for the host-sequential machine model, where each loop stays within one
+phase.
+
+Analysed functions: methods named ``run``/``_run`` of classes deriving
+from a ``…Scheme`` base, and module functions named ``run_*`` inside the
+configured scheme scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Sequence
+
+from ..diagnostics import Diagnostic
+from ..engine import FileContext, Rule, register_rule
+
+__all__ = ["PhaseProtocolRule"]
+
+#: event categories in their only legal order
+PARTITION, PRE, DISTRIBUTE, POST = "partition", "pre-compress", "distribute", "post-compress"
+_ORDER = {PARTITION: 0, PRE: 1, DISTRIBUTE: 2, POST: 3}
+
+#: cap on distinct control-flow paths analysed per function
+_MAX_PATHS = 128
+
+_SEND_NAMES = {"send", "send_to_host"}
+_CHARGE_HOST = "charge_host_ops"
+_CHARGE_PROC = "charge_proc_ops"
+
+
+def _phase_argument(call: ast.Call) -> str | None:
+    """``"DISTRIBUTION"``/``"COMPRESSION"`` from a ``Phase.X`` argument."""
+    candidates: list[ast.expr] = list(call.args)
+    candidates.extend(kw.value for kw in call.keywords if kw.value is not None)
+    for arg in candidates:
+        if (
+            isinstance(arg, ast.Attribute)
+            and isinstance(arg.value, ast.Name)
+            and arg.value.id == "Phase"
+        ):
+            return arg.attr
+    return None
+
+
+def _classify_call(call: ast.Call) -> tuple[str, ast.Call] | None:
+    """Map one call to a phase event, if it is a marker."""
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    attr = func.attr
+    if attr == "extract_all":
+        return (PARTITION, call)
+    phase = _phase_argument(call)
+    if attr in _SEND_NAMES and phase == "DISTRIBUTION":
+        return (DISTRIBUTE, call)
+    if attr == _CHARGE_HOST and phase == "COMPRESSION":
+        return (PRE, call)
+    if attr == _CHARGE_HOST and phase == "DISTRIBUTION":
+        return (DISTRIBUTE, call)
+    if attr == _CHARGE_PROC and phase == "DISTRIBUTION":
+        return (DISTRIBUTE, call)
+    if attr == _CHARGE_PROC and phase == "COMPRESSION":
+        return (POST, call)
+    return None
+
+
+def _events_of_expr(node: ast.AST) -> list[tuple[str, ast.Call]]:
+    """Phase events inside one (non-branching) expression/statement."""
+    events: list[tuple[str, ast.Call]] = []
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            event = _classify_call(child)
+            if event is not None:
+                events.append(event)
+    return events
+
+
+def _paths_of(body: Sequence[ast.stmt]) -> list[list[tuple[str, ast.Call]]]:
+    """Event sequences along every control-flow path of ``body``.
+
+    Branching statements fork; loop bodies contribute their events once,
+    in source order.  The path count is capped at ``_MAX_PATHS`` (the
+    analysis degrades to the first N paths, never crashes).
+    """
+    paths: list[list[tuple[str, ast.Call]]] = [[]]
+
+    def extend_all(suffixes: list[list[tuple[str, ast.Call]]]) -> None:
+        nonlocal paths
+        new_paths = []
+        for prefix in paths:
+            for suffix in suffixes:
+                new_paths.append(prefix + suffix)
+                if len(new_paths) >= _MAX_PATHS:
+                    break
+            if len(new_paths) >= _MAX_PATHS:
+                break
+        paths = new_paths
+
+    for stmt in body:
+        if isinstance(stmt, ast.If):
+            head = _events_of_expr(stmt.test)
+            forks = [
+                head + p for p in _paths_of(stmt.body)
+            ] + [
+                head + p for p in _paths_of(stmt.orelse)
+            ]
+            extend_all(forks)
+        elif isinstance(stmt, ast.Try):
+            base = _paths_of(stmt.body)
+            forks = [p + q for p in base for q in _paths_of(stmt.orelse)]
+            forks += [
+                p + h
+                for p in base
+                for handler in stmt.handlers
+                for h in _paths_of(handler.body)
+            ] or base
+            final = _paths_of(stmt.finalbody)
+            extend_all([p + f for p in forks for f in final])
+        elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            head = _events_of_expr(
+                stmt.iter if isinstance(stmt, (ast.For, ast.AsyncFor)) else stmt.test
+            )
+            body_paths = _paths_of(stmt.body)
+            else_paths = _paths_of(stmt.orelse)
+            extend_all(
+                [head + b + e for b in body_paths for e in else_paths]
+            )
+        elif isinstance(stmt, ast.With):
+            head: list[tuple[str, ast.Call]] = []
+            for item in stmt.items:
+                head.extend(_events_of_expr(item.context_expr))
+            extend_all([head + p for p in _paths_of(stmt.body)])
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue  # nested definitions are analysed separately if eligible
+        else:
+            extend_all([_events_of_expr(stmt)])
+    return paths
+
+
+def _is_scheme_class(cls: ast.ClassDef) -> bool:
+    """True for classes deriving from a ``…Scheme`` base."""
+    for base in cls.bases:
+        name = base.attr if isinstance(base, ast.Attribute) else (
+            base.id if isinstance(base, ast.Name) else ""
+        )
+        if name.endswith("Scheme"):
+            return True
+    return False
+
+
+@register_rule
+class PhaseProtocolRule(Rule):
+    """Schemes must follow partition → compress? → distribute → decode?."""
+
+    code = "RL003"
+    name = "phase-protocol"
+    summary = (
+        "distribution schemes must order their phases "
+        "partition → {compress|encode}? → distribute → {decompress|decode}?"
+    )
+    protects = "paper §3.1 (SFC), §3.2 (CFS), §3.3 (ED) phase orderings"
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.matches(ctx.config.scheme_scope)
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        for func in self._driver_functions(ctx.tree):
+            yield from self._check_function(ctx, func)
+
+    def _driver_functions(
+        self, tree: ast.Module
+    ) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef) and _is_scheme_class(node):
+                for item in node.body:
+                    if isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ) and item.name in ("run", "_run"):
+                        yield item
+            elif isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ) and node.name.startswith("run_"):
+                yield node
+
+    def _check_function(
+        self,
+        ctx: FileContext,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterator[Diagnostic]:
+        seen: set[tuple[int, str]] = set()
+        for path in _paths_of(func.body):
+            if not any(kind == DISTRIBUTE for kind, _ in path):
+                continue  # phase-free helper path: nothing to prove
+            violation = self._first_violation(path)
+            if violation is None:
+                continue
+            kind, call, message = violation
+            key = (call.lineno, message)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield self.diag(
+                ctx,
+                call,
+                f"{func.name}: {message}",
+                hint="legal order is partition → {compress|encode}? → "
+                "distribute → {decompress|decode}? (paper §3.1–3.3)",
+            )
+
+    @staticmethod
+    def _first_violation(
+        path: list[tuple[str, ast.Call]]
+    ) -> tuple[str, ast.Call, str] | None:
+        """First grammar violation along one event path, if any."""
+        seen_partition = False
+        frontier = 0  # highest category reached so far
+        for kind, call in path:
+            rank = _ORDER[kind]
+            if kind == PARTITION:
+                if frontier > 0:
+                    return (
+                        kind,
+                        call,
+                        "partitions after compression/distribution began "
+                        "(partition must be the first phase)",
+                    )
+                seen_partition = True
+                continue
+            if kind == DISTRIBUTE and not seen_partition:
+                return (
+                    kind,
+                    call,
+                    "distributes before partitioning (no plan.extract_all "
+                    "precedes the first charged send)",
+                )
+            if rank < frontier:
+                if kind == PRE:
+                    return (
+                        kind,
+                        call,
+                        "host-side compression/encoding after distribution "
+                        "began (compress/encode must precede the sends)",
+                    )
+                return (
+                    kind,
+                    call,
+                    "distribution work after local decompression/decoding "
+                    "began (distribute must precede decode)",
+                )
+            frontier = max(frontier, rank)
+        return None

@@ -1,0 +1,144 @@
+"""RL004 determinism — wire formats and cost charges are pure functions.
+
+Golden-trace byte-identity (PR 1/PR 3) only holds if the modules that
+build wire buffers and charge costs are deterministic: same inputs, same
+bytes, same charges, on every run and every platform.  Three classic ways
+to break that silently:
+
+* **wall clocks** — ``time.time()`` / ``datetime.now()`` leaking into a
+  charged quantity or wire field;
+* **unseeded randomness** — module-level ``random.random()`` /
+  ``np.random.rand()`` draw from global, cross-test-polluted state; the
+  repo's convention is an explicitly seeded ``random.Random(seed)`` /
+  ``np.random.default_rng(seed)`` (the fault injector, the generators);
+* **set-iteration order** — ``for x in {…}`` / ``set(…)`` iterates in
+  hash order, which varies across processes for str keys; anything that
+  feeds a wire buffer or a charge must iterate a list, a tuple or
+  ``sorted(…)``.
+
+The rule patrols the configured wire-format/cost-model modules only —
+elsewhere (CLI wall-clock prints, benchmark timers) these calls are fine.
+``time.perf_counter`` is always legal: it feeds wall-clock observability,
+which is explicitly outside the byte-identity contract.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from ..diagnostics import Diagnostic
+from ..engine import FileContext, Rule, dotted_name, register_rule
+
+__all__ = ["DeterminismRule"]
+
+#: wall-clock calls that must not feed wire formats or cost charges
+_WALL_CLOCKS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+}
+
+#: module-level (unseeded, global-state) random draws
+_GLOBAL_RANDOM = {
+    "random.betavariate", "random.choice", "random.choices",
+    "random.expovariate", "random.gauss", "random.getrandbits",
+    "random.randint", "random.random", "random.randrange",
+    "random.sample", "random.seed", "random.shuffle", "random.uniform",
+}
+
+#: numpy legacy global-state RNG (np.random.default_rng(seed) is legal)
+_NUMPY_GLOBAL_RANDOM_PREFIXES = ("np.random.", "numpy.random.")
+_NUMPY_ALLOWED = {"np.random.default_rng", "numpy.random.default_rng"}
+
+
+@register_rule
+class DeterminismRule(Rule):
+    """No wall clocks, global RNGs or set-order iteration in wire modules."""
+
+    code = "RL004"
+    name = "determinism"
+    summary = (
+        "wire-format/cost-model modules must be deterministic: no wall "
+        "clocks, unseeded RNGs or set-iteration order"
+    )
+    protects = (
+        "golden-trace byte-identity (PR 1) and backend byte-identity "
+        "(PR 3): same inputs → same bytes, same charges"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.matches(ctx.config.determinism_scope)
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        yield from self._check(ctx)
+
+    def _check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ctx.walk():
+            if isinstance(node, ast.Call):
+                dotted = dotted_name(node.func)
+                if dotted is None:
+                    continue
+                if dotted in _WALL_CLOCKS:
+                    yield self.diag(
+                        ctx,
+                        node,
+                        f"wall clock {dotted}() in a deterministic module "
+                        "(charges and wire bytes must not depend on it)",
+                        hint="derive times from the CostModel's simulated "
+                        "clock; wall clocks belong to obs/ "
+                        "(time.perf_counter) and benchmarks",
+                    )
+                elif dotted in _GLOBAL_RANDOM:
+                    yield self.diag(
+                        ctx,
+                        node,
+                        f"global-state {dotted}() is unseeded and "
+                        "cross-test polluted",
+                        hint="thread an explicit random.Random(seed) "
+                        "instance through (the FaultInjector convention)",
+                    )
+                elif dotted.startswith(
+                    _NUMPY_GLOBAL_RANDOM_PREFIXES
+                ) and dotted not in _NUMPY_ALLOWED:
+                    yield self.diag(
+                        ctx,
+                        node,
+                        f"legacy numpy global RNG {dotted}() in a "
+                        "deterministic module",
+                        hint="use np.random.default_rng(seed) and pass the "
+                        "Generator explicitly",
+                    )
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if self._is_set_expr(node.iter):
+                    yield self.diag(
+                        ctx,
+                        node.iter,
+                        "iterating a set in a deterministic module: "
+                        "element order is hash-order and varies across "
+                        "processes",
+                        hint="iterate sorted(...) or keep a list/tuple "
+                        "(dicts preserve insertion order and are fine)",
+                    )
+            elif isinstance(node, ast.comprehension):
+                if self._is_set_expr(node.iter):
+                    yield self.diag(
+                        ctx,
+                        node.iter,
+                        "comprehension over a set in a deterministic "
+                        "module: element order is hash-order",
+                        hint="wrap the set in sorted(...) before iterating",
+                    )
+
+    @staticmethod
+    def _is_set_expr(node: ast.expr) -> bool:
+        """Set literal, set comprehension or ``set(…)``/``frozenset(…)``."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in ("set", "frozenset")
+        return False

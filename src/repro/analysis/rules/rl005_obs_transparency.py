@@ -1,0 +1,140 @@
+"""RL005 obs-transparency — observability can never leak or linger.
+
+PR 4's transparency contract: with observability off the simulator is
+byte-identical to an un-instrumented build, and with it on, spans nest
+coherently because every ``obs.span(…)`` is entered and exited through a
+``with`` block.  Two statically checkable ways instrumentation rots:
+
+* ``obs.span(…)`` called but **not used as a context manager** — the
+  span record is opened (or worse, a live ``_LiveSpan`` is dropped on
+  the floor), the stack never pops, and every later span nests under a
+  phantom parent.  The expression must be the context of a ``with``
+  item, directly or via an ``ExitStack.enter_context(…)`` wrapper.
+* **module-level mutable obs state** outside ``obs/`` — a module-global
+  ``Observability()`` / ``MetricsRegistry()`` outlives the machine run
+  it was meant to observe, double-counts the next run and breaks the
+  one-recorder-per-machine attach contract.  The shared inert
+  ``NULL_OBS`` lives in ``obs/spans.py`` and is the only sanctioned
+  module-level recorder.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from ..diagnostics import Diagnostic
+from ..engine import FileContext, Rule, register_rule
+
+__all__ = ["ObsTransparencyRule"]
+
+#: constructors that build mutable observability state
+_OBS_STATE = {"Observability", "MetricsRegistry"}
+
+
+@register_rule
+class ObsTransparencyRule(Rule):
+    """``obs.span`` as context manager only; no global obs state."""
+
+    code = "RL005"
+    name = "obs-transparency"
+    summary = (
+        "obs.span(...) must be a `with` context; no module-level mutable "
+        "obs state outside obs/"
+    )
+    protects = (
+        "PR 4 transparency: obs off == byte-identical, obs on == "
+        "coherent span nesting and one recorder per machine"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.matches(ctx.config.obs_scope)
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        yield from self._check_span_usage(ctx)
+        if not ctx.matches(ctx.config.obs_exempt):
+            yield from self._check_module_state(ctx)
+
+    # ------------------------------------------------------------------
+    # span usage
+    # ------------------------------------------------------------------
+    def _check_span_usage(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        sanctioned: set[int] = set()
+        for node in ctx.walk():
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    expr = item.context_expr
+                    sanctioned.add(id(expr))
+                    # with obs.span(...) as s / contextlib.ExitStack forms
+            elif isinstance(node, ast.Call) and self._is_enter_context(node):
+                for arg in node.args:
+                    sanctioned.add(id(arg))
+        for node in ctx.walk():
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "span"
+                and self._is_obs_receiver(node.func.value)
+                and id(node) not in sanctioned
+            ):
+                yield self.diag(
+                    ctx,
+                    node,
+                    "obs.span(...) used outside a `with` block: the span "
+                    "is never closed and later spans nest under a phantom "
+                    "parent",
+                    hint="write `with obs.span(name, ...):` (or "
+                    "stack.enter_context(obs.span(...)))",
+                )
+
+    @staticmethod
+    def _is_enter_context(call: ast.Call) -> bool:
+        return (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr == "enter_context"
+        )
+
+    @staticmethod
+    def _is_obs_receiver(node: ast.expr) -> bool:
+        """``obs.span`` / ``self.obs.span`` / ``machine.obs.span``."""
+        if isinstance(node, ast.Name):
+            return node.id == "obs" or node.id.endswith("_obs")
+        if isinstance(node, ast.Attribute):
+            return node.attr == "obs" or node.attr.endswith("_obs")
+        return False
+
+    # ------------------------------------------------------------------
+    # module-level obs state
+    # ------------------------------------------------------------------
+    def _check_module_state(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for stmt in ctx.tree.body:
+            targets: list[ast.expr]
+            if isinstance(stmt, ast.Assign):
+                value, targets = stmt.value, stmt.targets
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                value, targets = stmt.value, [stmt.target]
+            else:
+                continue
+            name = self._constructor_name(value)
+            if name in _OBS_STATE:
+                target = targets[0] if targets else stmt
+                yield self.diag(
+                    ctx,
+                    target,
+                    f"module-level {name}() outside obs/ outlives the run "
+                    "it observes and double-counts the next one",
+                    hint="build the recorder per run and pass it to "
+                    "Machine(obs=...); NULL_OBS is the only sanctioned "
+                    "module-level instance",
+                )
+
+    @staticmethod
+    def _constructor_name(value: ast.expr) -> str | None:
+        if not isinstance(value, ast.Call):
+            return None
+        func = value.func
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        return None

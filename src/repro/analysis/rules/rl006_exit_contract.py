@@ -1,0 +1,170 @@
+"""RL006 exit-contract — CLI error paths print one line and exit 2.
+
+PR 2 hardened the CLI against user input: a malformed ``--faults`` file,
+an unknown ``--backend`` or a missing run log prints **one friendly
+line** and exits with status **2** — never a traceback, never a
+multi-line dump, never an undocumented exit code.  Scripts and CI wrap
+the CLI and branch on those codes (0 = ok, 1 = findings/regression,
+2 = usage error), so the contract is API.
+
+In the configured CLI modules the rule flags:
+
+* ``sys.exit(x)`` / ``raise SystemExit(x)`` with anything other than an
+  integer literal ``0``, ``1`` or ``2`` — string arguments make Python
+  print the string *and exit 1*, which both breaks the code contract
+  and bypasses the one-line convention;
+* ``return <int>`` inside command handlers (``main`` / ``_cmd_*``) with
+  a literal outside {0, 1, 2};
+* ``traceback.print_exc()`` / ``print_exception`` — tracebacks are for
+  programmer errors; user errors get one line;
+* ``except`` handlers that exit with status 2 but print **more than one
+  line** on the way out (multiple ``print`` calls).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from ..diagnostics import Diagnostic
+from ..engine import FileContext, Rule, dotted_name, register_rule
+
+__all__ = ["ExitContractRule"]
+
+_ALLOWED_CODES = {0, 1, 2}
+_HANDLER_NAMES = ("main",)
+_HANDLER_PREFIX = "_cmd_"
+
+
+def _exit_code_of(call: ast.Call) -> ast.expr | None:
+    """The argument of a ``sys.exit``/``SystemExit`` call, if it is one."""
+    dotted = dotted_name(call.func)
+    if dotted in ("sys.exit", "SystemExit", "exit"):
+        return call.args[0] if call.args else ast.Constant(value=0)
+    return None
+
+
+@register_rule
+class ExitContractRule(Rule):
+    """CLI error paths: one printed line, exit status in {0, 1, 2}."""
+
+    code = "RL006"
+    name = "exit-contract"
+    summary = (
+        "CLI error paths print one friendly line and exit 2; exit codes "
+        "are limited to {0, 1, 2}"
+    )
+    protects = "PR 2 hardened CLI contract (DESIGN.md, --faults errors)"
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.matches(ctx.config.cli_scope)
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        yield from self._check_exit_codes(ctx)
+        yield from self._check_tracebacks(ctx)
+        yield from self._check_handlers(ctx)
+
+    # ------------------------------------------------------------------
+    def _check_exit_codes(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ctx.walk():
+            if isinstance(node, ast.Call):
+                arg = _exit_code_of(node)
+                if arg is None:
+                    continue
+                if self._is_propagated_status(arg):
+                    continue  # SystemExit(main()) — status computed upstream
+                if not (
+                    isinstance(arg, ast.Constant)
+                    and isinstance(arg.value, int)
+                    and not isinstance(arg.value, bool)
+                    and arg.value in _ALLOWED_CODES
+                ):
+                    yield self.diag(
+                        ctx,
+                        node,
+                        "exit status must be a literal 0, 1 or 2 "
+                        "(string arguments exit 1 and print outside the "
+                        "one-line contract)",
+                        hint="print('error: ...') one line, then exit 2 "
+                        "for usage errors (PR 2 contract)",
+                    )
+            elif isinstance(node, ast.FunctionDef) and (
+                node.name in _HANDLER_NAMES
+                or node.name.startswith(_HANDLER_PREFIX)
+            ):
+                for ret in ast.walk(node):
+                    if (
+                        isinstance(ret, ast.Return)
+                        and isinstance(ret.value, ast.Constant)
+                        and isinstance(ret.value.value, int)
+                        and not isinstance(ret.value.value, bool)
+                        and ret.value.value not in _ALLOWED_CODES
+                    ):
+                        yield self.diag(
+                            ctx,
+                            ret,
+                            f"command handler {node.name} returns exit "
+                            f"status {ret.value.value}; only 0 (ok), "
+                            "1 (findings) and 2 (usage error) are in the "
+                            "contract",
+                            hint="map the condition onto 0/1/2; scripts "
+                            "branch on these codes",
+                        )
+
+    @staticmethod
+    def _is_propagated_status(arg: ast.expr) -> bool:
+        """``SystemExit(main())`` style — the code comes from a handler."""
+        return isinstance(arg, (ast.Call, ast.Name, ast.Attribute))
+
+    # ------------------------------------------------------------------
+    def _check_tracebacks(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ctx.walk():
+            if isinstance(node, ast.Call):
+                dotted = dotted_name(node.func)
+                if dotted in (
+                    "traceback.print_exc",
+                    "traceback.print_exception",
+                    "traceback.format_exc",
+                ):
+                    yield self.diag(
+                        ctx,
+                        node,
+                        "tracebacks in CLI error paths break the one-line "
+                        "contract (they are for programmer errors)",
+                        hint="catch the specific exception and "
+                        "print(f'error: {exc}') then exit 2",
+                    )
+
+    # ------------------------------------------------------------------
+    def _check_handlers(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ctx.walk():
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            exits_two = False
+            prints = []
+            for child in ast.walk(node):
+                if isinstance(child, ast.Return) and (
+                    isinstance(child.value, ast.Constant)
+                    and child.value.value == 2
+                ):
+                    exits_two = True
+                elif isinstance(child, ast.Call):
+                    arg = _exit_code_of(child)
+                    if (
+                        arg is not None
+                        and isinstance(arg, ast.Constant)
+                        and arg.value == 2
+                    ):
+                        exits_two = True
+                    dotted = dotted_name(child.func)
+                    if dotted == "print":
+                        prints.append(child)
+            if exits_two and len(prints) > 1:
+                yield self.diag(
+                    ctx,
+                    prints[1],
+                    "error handler prints more than one line before "
+                    "exiting 2 (the contract is one friendly line)",
+                    hint="fold the context into a single print('error: "
+                    "...') line",
+                )

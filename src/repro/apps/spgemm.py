@@ -75,7 +75,7 @@ def _spgemm_impl(
     local_results: list[CRSMatrix] = []
     for a in plan:
         proc = machine.processor(a.rank)
-        received = proc.receive("B-bcast").payload
+        received = machine.receive(a.rank, "B-bcast").payload
         b_local, decode_ops = received.decode(none_conv)
         machine.charge_proc_ops(a.rank, decode_ops, Phase.COMPUTE, label="decode-B")
         a_local = proc.load(LOCAL_KEY)

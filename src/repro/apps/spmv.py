@@ -74,7 +74,7 @@ def _spmv_impl(
     partials: list[np.ndarray] = []
     for assignment in plan:
         proc = machine.processor(assignment.rank)
-        x_local = proc.receive("x-slice").payload
+        x_local = machine.receive(assignment.rank, "x-slice").payload
         local = proc.load(LOCAL_KEY)
         if local.shape != assignment.local_shape:
             raise ValueError(
@@ -153,7 +153,7 @@ def _spmv_transpose_impl(
     partials: list[np.ndarray] = []
     for assignment in plan:
         proc = machine.processor(assignment.rank)
-        x_local = proc.receive("xT-slice").payload
+        x_local = machine.receive(assignment.rank, "xT-slice").payload
         local = proc.load(LOCAL_KEY)
         if local.shape != assignment.local_shape:
             raise ValueError(

@@ -11,6 +11,7 @@ Commands
 ``collection`` sparse-ratio statistics of the synthetic HB-style collection
 ``report``     write EXPERIMENTS.md (paper-vs-measured for everything)
 ``inspect``    render the comm matrix / top spans of a saved JSONL run log
+``lint``       run the reprolint static-analysis rules (RL001–RL006)
 """
 
 from __future__ import annotations
@@ -171,6 +172,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--top", type=int, default=5,
         help="how many spans to show, slowest (simulated) first (default 5)",
     )
+
+    lint_p = sub.add_parser(
+        "lint",
+        help="prove the repo's invariants statically (rules RL001-RL006)",
+    )
+    from .analysis.cli import add_lint_arguments
+
+    add_lint_arguments(lint_p)
 
     return parser
 
@@ -543,6 +552,12 @@ def _cmd_report(args) -> int:
     return report_main(["report", args.path])
 
 
+def _cmd_lint(args) -> int:
+    from .analysis.cli import cmd_lint
+
+    return cmd_lint(args)
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "tables": _cmd_tables,
@@ -553,6 +568,7 @@ _COMMANDS = {
     "collection": _cmd_collection,
     "report": _cmd_report,
     "inspect": _cmd_inspect,
+    "lint": _cmd_lint,
 }
 
 

@@ -134,7 +134,7 @@ def run_jds_scheme(
             machine.send(a.rank, dense, dense.size, Phase.DISTRIBUTION, tag="jds-dense")
         for a, local in zip(plan, local_arrays):
             proc = machine.processor(a.rank)
-            dense = proc.receive("jds-dense").payload
+            dense = machine.receive(a.rank, "jds-dense").payload
             jds = JDSMatrix.from_dense(dense)
             machine.charge_proc_ops(
                 a.rank, _jds_build_ops(local), Phase.COMPRESSION, label="jds-build"
@@ -163,7 +163,7 @@ def run_jds_scheme(
             machine.send(a.rank, buf, buf.n_elements, Phase.DISTRIBUTION, tag="jds-triple")
         for a in plan:
             proc = machine.processor(a.rank)
-            buf = proc.receive("jds-triple").payload
+            buf = machine.receive(a.rank, "jds-triple").payload
             arrays, unpack_ops = buf.unpack()
             machine.charge_proc_ops(a.rank, unpack_ops, Phase.DISTRIBUTION, label="unpack")
             jds = JDSMatrix(
@@ -190,7 +190,7 @@ def run_jds_scheme(
             )
         for a in plan:
             proc = machine.processor(a.rank)
-            buffer = proc.receive("jds-buffer").payload
+            buffer = machine.receive(a.rank, "jds-buffer").payload
             lr, lc = a.local_shape
             jds, decode_ops = _decode_jds(buffer, lr, lc)
             machine.charge_proc_ops(

@@ -241,11 +241,12 @@ def redistribute(
     # -- each destination assembles and recompresses ----------------------
     locals_: list[CompressedLocal] = []
     for assignment in new_plan:
-        proc = machine.processor(assignment.rank)
         pieces = [buf for _, buf in staged[assignment.rank]]
         while True:
             try:
-                pieces.append(proc.receive("redistribute").payload)
+                pieces.append(
+                    machine.receive(assignment.rank, "redistribute").payload
+                )
             except LookupError:
                 break
         locals_.append(

@@ -119,7 +119,7 @@ def tensor_inner_product(dist: TensorDistribution, other: SparseTensor) -> float
         )
     for assignment in dist.plan:
         proc = machine.processor(assignment.rank)
-        piece = proc.receive("inner-piece").payload
+        piece = machine.receive(assignment.rank, "inner-piece").payload
         local = proc.load(LOCAL_KEY)
         product = sp_elementwise_multiply(local.to_coo(), piece)
         partial = float(product.values.sum())

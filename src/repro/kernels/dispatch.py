@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import os
 from contextlib import contextmanager
-from typing import Iterator, Sequence
+from typing import Iterator, Sequence, cast
 
 import numpy as np
 
@@ -260,7 +260,9 @@ def current_backend() -> KernelBackend:
     name = _scope_stack[-1] if _scope_stack else _default_name
     backend = get_backend(name)
     if _call_hooks:
-        return _ObservedBackend(backend)  # type: ignore[return-value]
+        # the proxy forwards every kernel attribute to the real backend;
+        # it deliberately does not subclass (no shared code), so cast
+        return cast(KernelBackend, _ObservedBackend(backend))
     return backend
 
 

@@ -79,11 +79,11 @@ def gather(
     for rank, piece in enumerate(contributions):
         piece = np.asarray(piece)
         machine.send_to_host(rank, piece, piece.size, phase, tag=tag)
-    out: list[np.ndarray | None] = [None] * machine.n_procs
+    received: dict[int, np.ndarray] = {}
     for _ in range(machine.n_procs):
         msg = machine.host_receive(tag)
-        out[msg.src] = msg.payload
-    return out  # type: ignore[return-value]
+        received[msg.src] = msg.payload
+    return [received[rank] for rank in range(machine.n_procs)]
 
 
 def reduce(
@@ -146,10 +146,8 @@ def ring_allgather(
     if len(contributions) != p:
         raise ValueError(f"need exactly {p} contributions, got {len(contributions)}")
     pieces = [np.asarray(c) for c in contributions]
-    # holdings[r][k] = piece originating at rank k, or None if not yet seen
-    holdings: list[list[np.ndarray | None]] = [
-        [pieces[r] if k == r else None for k in range(p)] for r in range(p)
-    ]
+    # holdings[r][k] = piece originating at rank k (absent until seen)
+    holdings: list[dict[int, np.ndarray]] = [{r: pieces[r]} for r in range(p)]
     for round_k in range(p - 1):
         # every processor forwards the piece that originated (rank - round)
         for src in range(p):
@@ -164,4 +162,4 @@ def ring_allgather(
             msg = machine.processor(dst).receive(f"{tag}-r{round_k}")
             origin, piece = msg.payload
             holdings[dst][origin] = piece
-    return [list(h) for h in holdings]  # type: ignore[arg-type]
+    return [[h[k] for k in range(p)] for h in holdings]

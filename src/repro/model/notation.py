@@ -11,7 +11,7 @@ partition plan instead of assuming ``s' = s``.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 from ..machine.cost_model import CostModel, sp2_cost_model
 from ..partition.base import PartitionPlan
@@ -55,7 +55,7 @@ class ProblemSpec:
     p: int
     s: float
     s_prime: float | None = None
-    cost: CostModel = None  # type: ignore[assignment]
+    cost: CostModel = field(default_factory=sp2_cost_model)
     mesh_shape: tuple[int, int] | None = None
 
     def __post_init__(self):

@@ -103,6 +103,9 @@ class SpanRecord:
     wall_elapsed_s: float = 0.0
     n_events: int = 0
     closed: bool = False
+    #: events recorded when the span opened (internal bookkeeping for
+    #: ``n_events``; not part of :meth:`to_dict`)
+    _event_mark: int = field(default=0, repr=False, compare=False)
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-compatible snapshot of the span."""
@@ -214,7 +217,7 @@ class Observability:
         self._next_span_id += 1
         self.spans.append(record)
         self._stack.append(record)
-        record._event_mark = len(self.events)  # type: ignore[attr-defined]
+        record._event_mark = len(self.events)
         return record
 
     def _close_span(self, record: SpanRecord) -> None:
@@ -225,7 +228,7 @@ class Observability:
             self._stack.pop()
         record.sim_elapsed_ms = self._sim_total - record.sim_start_ms
         record.wall_elapsed_s = time.perf_counter() - record.wall_start_s
-        record.n_events = len(self.events) - record._event_mark  # type: ignore[attr-defined]
+        record.n_events = len(self.events) - record._event_mark
         record.closed = True
 
     # ------------------------------------------------------------------

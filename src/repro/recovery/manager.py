@@ -54,13 +54,12 @@ from ..core.redistribute import (
 )
 from ..core.registry import get_compression, get_partition, get_scheme
 from ..machine.machine import HOST, DeadRankError, Machine
-from ..machine.processor import Processor
 from ..machine.trace import Phase
 from ..partition.base import PartitionMethod, PartitionPlan
 from ..sparse.coo import COOMatrix
 from .checkpoint import CHECKPOINT_KEY, checkpoint_locals, get_checkpoint
 from .summary import RecoverySummary
-from .view import GhostView, SurvivorView
+from .view import GhostView, SurvivorView, make_ghosts
 
 __all__ = [
     "POLICIES",
@@ -359,7 +358,7 @@ def _run_peer(
     # -- phase A: produce the full old-plan state, ghosting dead slots -----
     while True:
         dead = machine.membership.dead
-        ghosts = {r: Processor(r) for r in dead}
+        ghosts = make_ghosts(dead)
         gview: Machine | GhostView = (
             GhostView(machine, ghosts) if ghosts else machine
         )

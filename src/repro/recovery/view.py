@@ -28,13 +28,13 @@ Machine` surface the schemes/apps use (``send``/``receive``/``charge_*``/
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Any, Sequence
+from typing import Any, Iterable, Sequence
 
 from ..machine.machine import HOST, Machine
 from ..machine.processor import Message, Processor
 from ..machine.trace import Phase
 
-__all__ = ["GhostView", "SurvivorView"]
+__all__ = ["GhostView", "SurvivorView", "make_ghosts"]
 
 
 class SurvivorView:
@@ -289,3 +289,17 @@ class GhostView:
         return (
             f"GhostView(p={self.n_procs}, ghosts={sorted(self.ghosts)})"
         )
+
+
+def make_ghosts(dead: Iterable[int]) -> dict[int, Processor]:
+    """Host-held ghost processors standing in for the ``dead`` ranks.
+
+    The recovery policies build their :class:`GhostView` rosters through
+    this factory so that ghost :class:`Processor` construction stays
+    inside the transport-virtualisation layer — the one place (besides
+    :class:`~repro.machine.machine.Machine` itself) entitled to own
+    processor endpoints.  A ghost never touches the interconnect: its
+    traffic is host-local by construction (see :class:`GhostView`), so
+    the cost model's no-drift contract survives the detour.
+    """
+    return {r: Processor(r) for r in dead}

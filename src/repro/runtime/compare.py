@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.base import SchemeResult
-from ..core.registry import get_compression, get_scheme
+from ..core.registry import get_scheme
 from ..machine.cost_model import CostModel
 from ..machine.machine import Machine
 from ..machine.topology import Topology

@@ -1,0 +1,5 @@
+"""RL000 fixture: this file deliberately does not parse."""
+
+
+def broken(:
+    pass

@@ -1,0 +1,15 @@
+"""Pragma fixture: one violation suppressed on its line, one live.
+
+The corpus config puts this directory in the determinism scope, so both
+``time.time`` calls are RL004 findings — but only the second is live.
+"""
+
+import time
+
+
+def stamp():
+    return time.time()  # reprolint: disable=RL004
+
+
+def stamp_ns():
+    return time.time_ns()  # EXPECT: RL004

@@ -1,0 +1,21 @@
+"""RL001 clean: array work dispatches through the backend.
+
+The corpus config allowlists ``zeros`` for this directory — the one
+audited glue call below.  Everything data-parallel goes through
+``current_backend()``.
+"""
+
+import numpy as np
+
+from repro.kernels import current_backend
+
+
+def pack(values):
+    out = np.zeros(len(values))  # audited glue: allocation only
+    backend = current_backend()
+    return backend.pack_segments(out, [values])
+
+
+def dtype_glue(values):
+    # bare attribute references (dtype plumbing) are always legal
+    return pack(values).astype(np.int64)

@@ -1,0 +1,13 @@
+"""RL001 violation: direct numpy calls off the audited glue allowlist."""
+
+import numpy as np
+
+
+def traverse(indices, values):
+    order = np.argsort(indices)  # EXPECT: RL001
+    return np.take(values, order)  # EXPECT: RL001
+
+
+def scatter_add(out, idx, values):
+    np.add.at(out, idx, values)  # EXPECT: RL001
+    return out

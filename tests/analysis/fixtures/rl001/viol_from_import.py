@@ -1,0 +1,7 @@
+"""RL001 violation: ``from numpy import …`` hides the kernel boundary."""
+
+from numpy import argsort  # EXPECT: RL001
+
+
+def order(values):
+    return argsort(values)

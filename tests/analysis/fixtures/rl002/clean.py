@@ -1,0 +1,16 @@
+"""RL002 clean: every byte rides the Machine's charged API."""
+
+
+def scatter(machine, plan, phase):
+    for a in plan:
+        machine.send(a.rank, a.payload, a.n_elements, phase, tag="piece")
+    for a in plan:
+        msg = machine.receive(a.rank, "piece", phase=phase)
+        machine.processor(a.rank).store("local", msg.payload)
+
+
+def gather(machine, plan, phase):
+    for a in plan:
+        local = machine.processor(a.rank).load("local")
+        machine.send_to_host(a.rank, local, a.n_elements, phase, tag="back")
+    return [machine.host_receive("back").payload for _ in plan]

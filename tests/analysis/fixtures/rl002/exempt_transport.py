@@ -1,0 +1,13 @@
+"""RL002 exempt: the transport layer itself may touch mailboxes.
+
+This file matches the corpus config's ``transport_exempt`` glob, so the
+raw accesses below are sanctioned (they mirror what ``machine/`` does).
+"""
+
+
+def deliver(proc, frame):
+    proc.mailbox.append(frame)
+
+
+def pop(proc):
+    return proc.mailbox.pop(0)

@@ -1,0 +1,5 @@
+"""RL002 violation: injecting frames without a send charge or checksum."""
+
+
+def inject(machine, rank, frame):
+    machine.processor(rank).deliver(frame)  # EXPECT: RL002

@@ -1,0 +1,7 @@
+"""RL002 violation: constructing a private transport endpoint."""
+
+from repro.machine.processor import Processor
+
+
+def ghost(rank):
+    return Processor(rank)  # EXPECT: RL002

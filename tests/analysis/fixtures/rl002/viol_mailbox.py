@@ -1,0 +1,10 @@
+"""RL002 violation: raw mailbox access moves bytes without a charge."""
+
+
+def peek(machine, rank):
+    proc = machine.processor(rank)
+    return proc.mailbox[0]  # EXPECT: RL002
+
+
+def host_peek(machine):
+    return machine.host_mailbox.pop()  # EXPECT: RL002

@@ -1,0 +1,14 @@
+"""RL002 violation: uncharged, checksum-blind receives."""
+
+
+def drain(machine, rank):
+    proc = machine.processor(rank)
+    return proc.receive("tag").payload  # EXPECT: RL002
+
+
+def chained(machine, rank):
+    return machine.processor(rank).receive("tag")  # EXPECT: RL002
+
+
+def subscripted(machine, rank):
+    return machine.procs[rank].receive("tag")  # EXPECT: RL002 RL002

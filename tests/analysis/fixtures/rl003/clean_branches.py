@@ -1,0 +1,44 @@
+"""RL003 clean: per-branch variant selection (the JDS idiom) — every
+control-flow path is individually legal."""
+
+from repro.machine.trace import Phase
+
+
+class DistributionScheme:
+    pass
+
+
+class JdsLikeScheme(DistributionScheme):
+    def run(self, machine, matrix, plan, variant):
+        pieces = plan.extract_all(matrix)
+        if variant == "sfc":
+            for a, local in zip(plan, pieces):
+                machine.send(
+                    a.rank, local, local.size, Phase.DISTRIBUTION, tag="dense"
+                )
+            for a, local in zip(plan, pieces):
+                machine.charge_proc_ops(
+                    a.rank, local.nnz, Phase.COMPRESSION, label="build"
+                )
+        elif variant == "cfs":
+            for local in pieces:
+                machine.charge_host_ops(
+                    local.nnz, Phase.COMPRESSION, label="build"
+                )
+            for a, local in zip(plan, pieces):
+                machine.send(
+                    a.rank, local, local.nnz, Phase.DISTRIBUTION, tag="triple"
+                )
+        else:
+            for local in pieces:
+                machine.charge_host_ops(
+                    local.nnz, Phase.COMPRESSION, label="encode"
+                )
+            for a, local in zip(plan, pieces):
+                machine.send(
+                    a.rank, local, local.nnz, Phase.DISTRIBUTION, tag="buf"
+                )
+            for a in plan:
+                machine.charge_proc_ops(
+                    a.rank, 5, Phase.COMPRESSION, label="decode"
+                )

@@ -1,0 +1,17 @@
+"""RL003 clean: the CFS ordering — partition, compress on host,
+distribute packed (paper §3.2)."""
+
+from repro.machine.trace import Phase
+
+
+def run_cfs(machine, matrix, plan):
+    pieces = plan.extract_all(matrix)
+    compressed = []
+    for local in pieces:
+        machine.charge_host_ops(local.nnz, Phase.COMPRESSION, label="compress")
+        compressed.append(local)
+    for a, local in zip(plan, compressed):
+        machine.charge_host_ops(local.nnz, Phase.DISTRIBUTION, label="pack")
+        machine.send(a.rank, local, local.nnz, Phase.DISTRIBUTION, tag="packed")
+    for a in plan:
+        machine.charge_proc_ops(a.rank, 3, Phase.DISTRIBUTION, label="unpack")

@@ -1,0 +1,16 @@
+"""RL003 clean: the ED ordering — partition, encode on host, distribute,
+decode locally (paper §3.3)."""
+
+from repro.machine.trace import Phase
+
+
+def run_ed(machine, matrix, plan):
+    pieces = plan.extract_all(matrix)
+    buffers = []
+    for local in pieces:
+        machine.charge_host_ops(local.nnz, Phase.COMPRESSION, label="encode")
+        buffers.append(local)
+    for a, buffer in zip(plan, buffers):
+        machine.send(a.rank, buffer, len(buffer), Phase.DISTRIBUTION, tag="buf")
+    for a in plan:
+        machine.charge_proc_ops(a.rank, 5, Phase.COMPRESSION, label="decode")

@@ -1,0 +1,16 @@
+"""RL003 clean: the SFC ordering — partition, distribute dense, compress
+locally (paper §3.1)."""
+
+from repro.machine.trace import Phase
+
+
+def run_sfc(machine, matrix, plan):
+    locals_ = plan.extract_all(matrix)
+    for a, local in zip(plan, locals_):
+        machine.send(a.rank, local, local.size, Phase.DISTRIBUTION, tag="dense")
+    for a, local in zip(plan, locals_):
+        msg = machine.receive(a.rank, "dense", phase=Phase.DISTRIBUTION)
+        machine.charge_proc_ops(
+            a.rank, local.nnz, Phase.COMPRESSION, label="compress"
+        )
+        machine.processor(a.rank).store("local", msg.payload)

@@ -1,0 +1,29 @@
+"""RL003 violation on exactly one branch — proves the analysis is
+path-sensitive, not bag-of-calls."""
+
+from repro.machine.trace import Phase
+
+
+class DistributionScheme:
+    pass
+
+
+class HalfLegalScheme(DistributionScheme):
+    def run(self, machine, matrix, plan, packed):
+        pieces = plan.extract_all(matrix)
+        if packed:
+            machine.charge_host_ops(10, Phase.COMPRESSION, label="pack")
+            for a in plan:
+                machine.send(a.rank, pieces, 10, Phase.DISTRIBUTION, tag="p")
+        else:
+            for a in plan:
+                machine.send(a.rank, pieces, 10, Phase.DISTRIBUTION, tag="p")
+            machine.charge_host_ops(10, Phase.COMPRESSION, label="pack")  # EXPECT: RL003
+
+
+def run_decode_then_send(machine, matrix, plan):
+    pieces = plan.extract_all(matrix)
+    for a, piece in zip(plan, pieces):
+        machine.charge_proc_ops(a.rank, piece.nnz, Phase.COMPRESSION, label="d")
+    for a, piece in zip(plan, pieces):
+        machine.send(a.rank, piece, piece.size, Phase.DISTRIBUTION, tag="p")  # EXPECT: RL003

@@ -1,0 +1,11 @@
+"""RL003 violation: distributes before partitioning — the send fires
+before any ``plan.extract_all`` produced local pieces."""
+
+from repro.machine.trace import Phase
+
+
+def run_backwards(machine, matrix, plan):
+    for a in plan:
+        machine.send(a.rank, matrix, matrix.size, Phase.DISTRIBUTION, tag="raw")  # EXPECT: RL003
+    locals_ = plan.extract_all(matrix)
+    return locals_

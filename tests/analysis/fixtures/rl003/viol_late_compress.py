@@ -1,0 +1,10 @@
+"""RL003 violation: host-side compression after distribution began."""
+
+from repro.machine.trace import Phase
+
+
+def run_late_compress(machine, matrix, plan):
+    pieces = plan.extract_all(matrix)
+    for a, piece in zip(plan, pieces):
+        machine.send(a.rank, piece, piece.size, Phase.DISTRIBUTION, tag="p")
+    machine.charge_host_ops(100, Phase.COMPRESSION, label="late-pack")  # EXPECT: RL003

@@ -1,0 +1,18 @@
+"""RL004 clean: deterministic by construction.
+
+``time.perf_counter`` (wall-clock observability), an explicitly seeded
+``random.Random``, and ``sorted(…)`` over sets are all sanctioned.
+"""
+
+import random
+import time
+
+
+def charge(n, seed):
+    rng = random.Random(seed)
+    started = time.perf_counter()
+    order = sorted({n, n + 1, n + 2})
+    total = 0
+    for value in order:
+        total += value
+    return rng.random(), total, started

@@ -1,0 +1,18 @@
+"""RL004 violation: global-state RNG draws in a deterministic module."""
+
+import random
+
+import numpy as np
+
+
+def jitter(n):
+    return random.random() * n  # EXPECT: RL004
+
+
+def noise(n):
+    return np.random.rand(n)  # EXPECT: RL004
+
+
+def seeded(n, seed):
+    # the sanctioned form: an explicit Generator, threaded through
+    return np.random.default_rng(seed).random(n)

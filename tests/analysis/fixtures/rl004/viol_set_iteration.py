@@ -1,0 +1,11 @@
+"""RL004 violation: hash-order iteration feeding a wire buffer."""
+
+
+def pack_fields(buffer):
+    for name in {"ro", "co", "vl"}:  # EXPECT: RL004
+        buffer.append(name)
+    return buffer
+
+
+def field_list(fields):
+    return [n for n in set(fields)]  # EXPECT: RL004

@@ -1,0 +1,10 @@
+"""RL004 violation: wall clocks leaking into a wire header."""
+
+import time
+from datetime import datetime
+
+
+def stamp(header):
+    header.t = time.time()  # EXPECT: RL004
+    header.day = datetime.now()  # EXPECT: RL004
+    return header

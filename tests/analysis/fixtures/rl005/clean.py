@@ -1,0 +1,12 @@
+"""RL005 clean: spans enter and exit through `with` (directly or via an
+ExitStack); no module-level recorder."""
+
+from contextlib import ExitStack
+
+
+def run(machine, obs, phase):
+    with obs.span("distribute", n_elements=4):
+        machine.send(0, b"x", 1, phase, tag="t")
+    with ExitStack() as stack:
+        stack.enter_context(obs.span("compress"))
+        return machine.receive(0, "t", phase=phase)

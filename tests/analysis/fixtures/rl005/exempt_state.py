@@ -1,0 +1,7 @@
+"""RL005 exempt: matches the corpus ``obs_exempt`` glob (the obs/
+package itself), so the module-level recorder is sanctioned — the
+NULL_OBS idiom."""
+
+from repro.obs import Observability
+
+NULL_OBS_LIKE = Observability()

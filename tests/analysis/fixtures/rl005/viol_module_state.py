@@ -1,0 +1,7 @@
+"""RL005 violation: module-level mutable observability state."""
+
+from repro.obs import MetricsRegistry, Observability
+
+RECORDER = Observability()  # EXPECT: RL005
+
+METRICS: MetricsRegistry = MetricsRegistry()  # EXPECT: RL005

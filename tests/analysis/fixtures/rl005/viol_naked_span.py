@@ -1,0 +1,10 @@
+"""RL005 violation: spans opened outside a `with` never pop the stack."""
+
+
+def run(obs):
+    span = obs.span("distribute")  # EXPECT: RL005
+    return span
+
+
+def mark(machine):
+    machine.obs.span("phase")  # EXPECT: RL005

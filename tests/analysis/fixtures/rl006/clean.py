@@ -1,0 +1,16 @@
+"""RL006 clean: one friendly line, exit 2; status propagation is fine."""
+
+import sys
+
+
+def main(argv=None):
+    try:
+        value = int((argv or ["0"])[0])
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    return 0 if value >= 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,9 @@
+"""RL006 violation: exit statuses outside the {0, 1, 2} contract."""
+
+import sys
+
+
+def _cmd_run(args):
+    if args is None:
+        return 3  # EXPECT: RL006
+    sys.exit("boom")  # EXPECT: RL006

@@ -1,0 +1,11 @@
+"""RL006 violation: tracebacks are for programmer errors, not users."""
+
+import traceback
+
+
+def main(argv=None):
+    try:
+        raise ValueError("x")
+    except ValueError:
+        traceback.print_exc()  # EXPECT: RL006
+        return 2

@@ -1,0 +1,11 @@
+"""RL006 violation: two lines printed on the way to exit 2."""
+
+
+def main(argv=None):
+    try:
+        raise ValueError("x")
+    except ValueError as exc:
+        print("error: something went wrong")
+        print(f"detail: {exc}")  # EXPECT: RL006
+        return 2
+    return 0

@@ -1,0 +1,110 @@
+"""Integration tests for the ``repro lint`` subcommand.
+
+Exit-code contract (the one RL006 itself enforces): 0 = clean,
+1 = violations found, 2 = usage error with one friendly line.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+REPO = Path(__file__).resolve().parents[2]
+
+#: a scheme that distributes before partitioning — seeded RL003 violation
+BACKWARDS_SCHEME = '''\
+"""A deliberately backwards scheme."""
+
+from repro.machine.trace import Phase
+
+
+def run_backwards(machine, matrix, plan):
+    for a in plan:
+        machine.send(a.rank, matrix, 1, Phase.DISTRIBUTION, tag="raw")
+    plan.extract_all(matrix)
+'''
+
+
+def _seed_bad_tree(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "bad_scheme.py").write_text(BACKWARDS_SCHEME)
+    return pkg / "bad_scheme.py"
+
+
+class TestExitCodes:
+    def test_clean_directory_exits_zero(self, capsys, monkeypatch):
+        monkeypatch.chdir(REPO)
+        assert main(["lint", "src/repro/analysis"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_violations_exit_one(self, capsys, tmp_path, monkeypatch):
+        _seed_bad_tree(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "src"]) == 1
+        out = capsys.readouterr().out
+        assert "RL003" in out
+        assert "src/repro/core/bad_scheme.py:8:" in out
+
+    def test_missing_path_exits_two(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "no/such/path"]) == 2
+        out = capsys.readouterr().out.strip()
+        assert out.startswith("error:") and len(out.splitlines()) == 1
+
+    def test_nothing_to_lint_exits_two(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)  # no src/ or tests/ here
+        assert main(["lint"]) == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_unknown_rule_exits_two(self, capsys, tmp_path, monkeypatch):
+        _seed_bad_tree(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "--select", "RL999", "src"]) == 2
+        assert "unknown rule" in capsys.readouterr().out
+
+
+class TestOptions:
+    def test_json_payload(self, capsys, tmp_path, monkeypatch):
+        _seed_bad_tree(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "--json", "src"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is False
+        codes = {d["code"] for d in payload["diagnostics"]}
+        assert codes == {"RL003"}
+
+    def test_select_narrows(self, capsys, tmp_path, monkeypatch):
+        _seed_bad_tree(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        # RL002 does not fire on this fixture; selecting it hides RL003
+        assert main(["lint", "--select", "RL002", "src"]) == 0
+
+    def test_select_lowercase_accepted(self, capsys, tmp_path, monkeypatch):
+        _seed_bad_tree(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "--select", "rl003", "src"]) == 1
+
+    def test_pragma_suppression_and_override(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        bad = _seed_bad_tree(tmp_path)
+        source = bad.read_text().replace(
+            'tag="raw")', 'tag="raw")  # reprolint: disable=RL003'
+        )
+        bad.write_text(source)
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "src"]) == 0
+        out = capsys.readouterr().out
+        assert "1 suppressed" in out
+        assert main(["lint", "--no-pragmas", "src"]) == 1
+
+    def test_list_rules(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RL001", "RL006"):
+            assert code in out
+        assert "protects:" in out

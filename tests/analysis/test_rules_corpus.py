@@ -1,0 +1,142 @@
+"""The fixture corpus proves every rule fires — and only where seeded.
+
+Acceptance contract (ISSUE): each rule has >=1 clean and >=2 violating
+snippets, and the engine reports exactly the seeded ``path:line:rule``
+triples — nothing missing, nothing extra, byte-offset accurate.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.analysis import all_rules, lint_paths
+
+from .corpus import CORPUS, corpus_config, expected_findings
+
+RULE_CODES = tuple(rule.code for rule in all_rules())
+
+
+def _run_corpus():
+    return lint_paths([CORPUS], corpus_config(), root=CORPUS)
+
+
+class TestCorpusExactness:
+    def test_findings_match_markers_exactly(self):
+        result = _run_corpus()
+        assert not result.parse_errors, [d.render() for d in result.parse_errors]
+        found = Counter(
+            (d.path, d.line, d.code) for d in result.diagnostics
+        )
+        expected = expected_findings()
+        missing = expected - found
+        extra = found - expected
+        assert not missing, f"rules failed to fire: {sorted(missing)}"
+        assert not extra, f"unseeded findings: {sorted(extra)}"
+
+    def test_every_rule_fires_at_least_twice(self):
+        expected = expected_findings()
+        by_code = Counter(code for (_, _, code) in expected.elements())
+        for code in RULE_CODES:
+            assert by_code[code] >= 2, (
+                f"{code} needs >=2 seeded violations, found {by_code[code]}"
+            )
+
+    def test_every_rule_has_a_clean_fixture(self):
+        for rule in all_rules():
+            directory = CORPUS / rule.code.lower()
+            clean = [
+                f
+                for f in directory.glob("*.py")
+                if "EXPECT:" not in f.read_text(encoding="utf-8")
+            ]
+            assert clean, f"{rule.code} has no clean fixture in {directory}"
+
+    def test_diagnostics_carry_hints(self):
+        result = _run_corpus()
+        assert result.diagnostics
+        for diag in result.diagnostics:
+            assert diag.hint, f"{diag.render()} has no fix-it hint"
+            assert diag.code in RULE_CODES
+
+
+class TestCorpusScoping:
+    @pytest.mark.parametrize("code", RULE_CODES)
+    def test_select_narrows_to_one_rule(self, code):
+        result = lint_paths(
+            [CORPUS], corpus_config(), root=CORPUS, select=[code]
+        )
+        assert {d.code for d in result.diagnostics} == {code}
+
+    def test_exempt_transport_fixture_is_clean(self):
+        result = lint_paths(
+            [CORPUS / "rl002" / "exempt_transport.py"],
+            corpus_config(),
+            root=CORPUS,
+        )
+        assert result.clean
+
+    def test_exempt_obs_state_fixture_is_clean(self):
+        result = lint_paths(
+            [CORPUS / "rl005" / "exempt_state.py"],
+            corpus_config(),
+            root=CORPUS,
+        )
+        assert result.clean
+
+    def test_distribute_before_partition_rejected(self):
+        """The acceptance-named fixture: sends before extract_all."""
+        result = lint_paths(
+            [CORPUS / "rl003" / "viol_distribute_first.py"],
+            corpus_config(),
+            root=CORPUS,
+            select=["RL003"],
+        )
+        assert len(result.diagnostics) == 1
+        diag = result.diagnostics[0]
+        assert "before partitioning" in diag.message
+        assert diag.line == 9
+
+
+class TestPragmas:
+    def test_pragma_suppresses_on_line_only(self):
+        result = lint_paths(
+            [CORPUS / "pragmas"], corpus_config(), root=CORPUS
+        )
+        assert len(result.suppressed) == 1
+        assert result.suppressed[0].code == "RL004"
+        assert [d.code for d in result.diagnostics] == ["RL004"]
+        assert result.pragma_count == 1
+
+    def test_no_pragmas_reports_everything(self):
+        result = lint_paths(
+            [CORPUS / "pragmas"],
+            corpus_config(),
+            root=CORPUS,
+            honor_pragmas=False,
+        )
+        assert len(result.diagnostics) == 2
+        assert not result.suppressed
+
+
+class TestParseErrors:
+    def test_syntax_error_reported_as_rl000(self):
+        config = corpus_config()
+        from dataclasses import replace
+
+        config = replace(config, exclude=())
+        result = lint_paths(
+            [CORPUS / "broken" / "syntax_error.py"], config, root=CORPUS
+        )
+        assert not result.clean
+        assert len(result.parse_errors) == 1
+        error = result.parse_errors[0]
+        assert error.code == "RL000"
+        assert error.path == "broken/syntax_error.py"
+
+    def test_broken_dir_excluded_by_corpus_config(self):
+        result = _run_corpus()
+        assert all(
+            not d.path.startswith("broken/") for d in result.diagnostics
+        )

@@ -11,7 +11,7 @@ from repro.faults import (
     wire_checksum,
 )
 from repro.machine import PackedBuffer
-from repro.sparse import COOMatrix, random_sparse
+from repro.sparse import random_sparse
 
 
 def make_packed():

@@ -10,7 +10,7 @@ from repro.apps import (
     distributed_spmv,
 )
 from repro.core import get_compression, get_scheme
-from repro.machine import Machine, MeshTopology, Phase, RingTopology, unit_cost_model
+from repro.machine import Machine, MeshTopology, RingTopology, unit_cost_model
 from repro.partition import (
     BinPackingRowPartition,
     Mesh2DPartition,

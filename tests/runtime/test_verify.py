@@ -5,7 +5,7 @@ import dataclasses
 import numpy as np
 import pytest
 
-from repro.core import get_compression, get_scheme
+from repro.core import get_scheme
 from repro.machine import Machine
 from repro.partition import RowPartition
 from repro.runtime import run_scheme, verify_all_schemes_agree, verify_distribution

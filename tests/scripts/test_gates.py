@@ -1,0 +1,175 @@
+"""Tests for the CI gate scripts (docs, coverage ratchet, lint budget).
+
+The scripts are plain files, not a package — each is imported through
+``importlib`` from ``scripts/``.  Every gate gets its happy path plus at
+least one failure fixture, so a regression in a gate fails loudly here
+instead of silently green-lighting CI.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+SCRIPTS = REPO / "scripts"
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(name, SCRIPTS / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def check_docs():
+    return _load("check_docs")
+
+
+@pytest.fixture(scope="module")
+def coverage_gate():
+    return _load("coverage_gate")
+
+
+@pytest.fixture(scope="module")
+def lint_gate():
+    return _load("lint_gate")
+
+
+# ---------------------------------------------------------------------------
+# check_docs.py
+# ---------------------------------------------------------------------------
+class TestCheckDocs:
+    def test_happy_path_on_real_repo(self, check_docs, capsys):
+        assert check_docs.main() == 0
+        assert "docs check passed" in capsys.readouterr().out
+
+    def test_slugify_matches_github_style(self, check_docs):
+        assert check_docs._slugify("Cost model") == "cost-model"
+        assert check_docs._slugify("A `code` Heading!") == "a-code-heading"
+
+    def test_broken_link_detected(self, check_docs, tmp_path, monkeypatch):
+        doc = tmp_path / "BROKEN.md"
+        doc.write_text("# T\n\nsee [missing](no/such/file.md)\n")
+        monkeypatch.setattr(check_docs, "REPO", tmp_path)
+        monkeypatch.setattr(check_docs, "DOC_FILES", ["BROKEN.md"])
+        problems = check_docs.check_links()
+        assert problems == ["BROKEN.md: broken link -> no/such/file.md"]
+
+    def test_broken_anchor_detected(self, check_docs, tmp_path, monkeypatch):
+        doc = tmp_path / "A.md"
+        doc.write_text("# Real Heading\n\n[jump](#not-a-heading)\n")
+        monkeypatch.setattr(check_docs, "REPO", tmp_path)
+        monkeypatch.setattr(check_docs, "DOC_FILES", ["A.md"])
+        problems = check_docs.check_links()
+        assert problems == ["A.md: broken anchor #not-a-heading"]
+
+    def test_dangling_path_reference_detected(
+        self, check_docs, tmp_path, monkeypatch
+    ):
+        doc = tmp_path / "B.md"
+        doc.write_text("# T\n\nsee `src/repro/nope.py`\n")
+        monkeypatch.setattr(check_docs, "REPO", tmp_path)
+        monkeypatch.setattr(check_docs, "DOC_FILES", ["B.md"])
+        problems = check_docs.check_links()
+        assert problems == ["B.md: dangling path reference -> src/repro/nope.py"]
+
+
+# ---------------------------------------------------------------------------
+# coverage_gate.py
+# ---------------------------------------------------------------------------
+def _coverage_report(tmp_path, percent: float) -> Path:
+    statements = 100
+    covered = int(statements * percent / 100)
+    report = {
+        "files": {
+            "src/repro/machine/machine.py": {
+                "summary": {
+                    "covered_lines": covered,
+                    "num_statements": statements,
+                }
+            }
+        }
+    }
+    path = tmp_path / "coverage.json"
+    path.write_text(json.dumps(report))
+    return path
+
+
+def _ratchet(tmp_path, floor: float) -> Path:
+    path = tmp_path / "ratchet.json"
+    path.write_text(json.dumps({"floors": {"src/repro/machine": floor}}))
+    return path
+
+
+class TestCoverageGate:
+    def test_above_floor_passes(self, coverage_gate, tmp_path, capsys):
+        report = _coverage_report(tmp_path, 90.0)
+        ratchet = _ratchet(tmp_path, 80.0)
+        assert coverage_gate.main([str(report), "--ratchet", str(ratchet)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_below_floor_fails(self, coverage_gate, tmp_path, capsys):
+        report = _coverage_report(tmp_path, 50.0)
+        ratchet = _ratchet(tmp_path, 80.0)
+        assert coverage_gate.main([str(report), "--ratchet", str(ratchet)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_missing_report_is_usage_error(
+        self, coverage_gate, tmp_path, capsys
+    ):
+        ratchet = _ratchet(tmp_path, 80.0)
+        missing = tmp_path / "nope.json"
+        assert coverage_gate.main([str(missing), "--ratchet", str(ratchet)]) == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_ratchet_nag_when_slack_clears(
+        self, coverage_gate, tmp_path, capsys
+    ):
+        report = _coverage_report(tmp_path, 95.0)
+        ratchet = _ratchet(tmp_path, 80.0)
+        assert coverage_gate.main([str(report), "--ratchet", str(ratchet)]) == 0
+        assert "ratchet:" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# lint_gate.py
+# ---------------------------------------------------------------------------
+def _budget(tmp_path, n: int) -> Path:
+    path = tmp_path / "budget.json"
+    path.write_text(json.dumps({"pragma_budget": n}))
+    return path
+
+
+class TestLintGate:
+    def test_within_budget_passes(self, lint_gate, tmp_path, capsys):
+        budget = _budget(tmp_path, 0)
+        assert lint_gate.main(["--budget", str(budget)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_over_budget_fails(self, lint_gate, tmp_path, capsys):
+        # a negative budget makes even the clean tree exceed it
+        budget = _budget(tmp_path, -1)
+        assert lint_gate.main(["--budget", str(budget)]) == 1
+        assert "escape hatch grew" in capsys.readouterr().out
+
+    def test_slack_budget_nags_to_ratchet_down(
+        self, lint_gate, tmp_path, capsys
+    ):
+        budget = _budget(tmp_path, 5)
+        assert lint_gate.main(["--budget", str(budget)]) == 0
+        assert "ratchet:" in capsys.readouterr().out
+
+    def test_missing_budget_is_usage_error(self, lint_gate, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert lint_gate.main(["--budget", str(missing)]) == 2
+        out = capsys.readouterr().out.strip()
+        assert out.startswith("error:") and len(out.splitlines()) == 1
+
+    def test_committed_budget_matches_tree(self, lint_gate, capsys):
+        """The committed budget file gates the committed tree — green."""
+        assert lint_gate.main([]) == 0
