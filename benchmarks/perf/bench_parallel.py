@@ -1,0 +1,172 @@
+#!/usr/bin/env python
+"""Wall-clock scaling of the rank-per-process executor vs the simulator.
+
+Two kinds of cells, both timing the *same work* on both executors (the
+simulated results are byte-identical by the differential battery — this
+file only measures wall-clock):
+
+* ``overlap-p{4,16}`` — every rank runs a fixed ``exec.sleep`` task.
+  The inline simulator executes rank tasks serially (p·t seconds); the
+  process executor runs one OS process per rank, so the sleeps overlap
+  (≈t seconds).  The speedup is a direct measurement of *real task
+  concurrency*, independent of how many CPU cores the host has — the
+  cell that proves rank tasks genuinely execute in parallel.
+* ``spmv-n2000-p{4,16}`` — repeated ``y = A·x`` against distributed
+  compressed locals (n=2000, s=0.1, the paper-scale workload).  This is
+  CPU-bound numpy work: its speedup tracks physical cores.  On a
+  multi-core host p=4 exceeds 1.8×; on a single-core host the process
+  executor can only add IPC overhead, so the report records the host's
+  ``cores`` and ``check_regression.py`` arms the CPU-bound gate only
+  when the run had ≥2 cores to scale onto (the overlap gate is
+  unconditional).
+
+Usage::
+
+    python benchmarks/perf/bench_parallel.py            # full grid
+    python benchmarks/perf/bench_parallel.py --quick    # overlap cells only
+    python benchmarks/perf/bench_parallel.py --out /tmp/fresh.json
+
+The committed baseline is ``benchmarks/perf/BENCH_parallel.json``;
+``check_regression.py --parallel`` enforces the floors against it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+DEFAULT_OUT = Path(__file__).resolve().parent / "BENCH_parallel.json"
+
+PROCS = (4, 16)
+#: per-rank sleep for the overlap cells — long enough to swamp dispatch
+#: overhead (a task round-trip is <1 ms), short enough for CI
+SLEEP_S = 0.15
+SPMV_N = 2000
+
+
+def best_of(fn, repeats: int) -> float:
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+def time_overlap(executor: str, p: int, repeats: int) -> float:
+    """One round of per-rank ``exec.sleep`` tasks, submit-all-then-collect."""
+    from repro.machine import Machine
+    from repro.machine.trace import Phase
+
+    machine = Machine(p, executor=executor)
+    try:
+        pool = machine.rank_pool()
+        for r in range(p):  # warm-up: spawn workers, prime the pipes
+            pool.submit(r, "exec.echo", Phase.COMPUTE, payload=None)
+        for r in range(p):
+            pool.result(r)
+
+        def once():
+            for r in range(p):
+                pool.submit(r, "exec.sleep", Phase.COMPUTE, seconds=SLEEP_S)
+            for r in range(p):
+                pool.result(r)
+
+        return best_of(once, repeats)
+    finally:
+        machine.shutdown()
+
+
+def time_spmv(executor: str, n: int, p: int, repeats: int) -> float:
+    """Repeated distributed SpMV after one scheme run placed the locals."""
+    from repro.apps.spmv import distributed_spmv
+    from repro.core import get_compression, get_partition, get_scheme
+    from repro.machine import Machine, sp2_cost_model
+    from repro.sparse import random_sparse
+
+    matrix = random_sparse((n, n), 0.1, seed=2002 + n)
+    plan = get_partition("row").plan(matrix.shape, p)
+    machine = Machine(p, cost=sp2_cost_model(), executor=executor)
+    try:
+        get_scheme("ed").run(machine, matrix, plan, get_compression("crs"))
+        x = np.linspace(-1.0, 1.0, n)
+        distributed_spmv(machine, plan, x)  # warm-up: ships + caches locals
+        return best_of(lambda: distributed_spmv(machine, plan, x), repeats)
+    finally:
+        machine.shutdown()
+
+
+def run_cells(quick: bool, repeats: int, verbose: bool = True) -> dict:
+    cases: dict[str, dict] = {}
+
+    def record(key, kind, n, p, t_sim, t_proc):
+        cases[key] = {
+            "kind": kind,
+            "n": n,
+            "p": p,
+            "t_sim_s": t_sim,
+            "t_process_s": t_proc,
+            "speedup": t_sim / t_proc if t_proc > 0 else float("inf"),
+        }
+        if verbose:
+            print(
+                f"{key:<18} sim {t_sim * 1e3:9.1f} ms   "
+                f"process {t_proc * 1e3:9.1f} ms   "
+                f"speedup {cases[key]['speedup']:5.2f}x"
+            )
+
+    for p in PROCS:
+        t_sim = time_overlap("sim", p, repeats)
+        t_proc = time_overlap("process", p, repeats)
+        record(f"overlap-p{p}", "overlap", None, p, t_sim, t_proc)
+
+    if not quick:
+        for p in PROCS:
+            t_sim = time_spmv("sim", SPMV_N, p, repeats)
+            t_proc = time_spmv("process", SPMV_N, p, repeats)
+            record(f"spmv-n{SPMV_N}-p{p}", "spmv", SPMV_N, p, t_sim, t_proc)
+    return cases
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="overlap cells only (CI-sized)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of-k wall clock per cell (default 3)")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help=f"output JSON (default {DEFAULT_OUT.name})")
+    args = parser.parse_args(argv)
+
+    cases = run_cells(args.quick, args.repeats)
+    report = {
+        "meta": {
+            "cores": os.cpu_count() or 1,
+            "procs": list(PROCS),
+            "sleep_s": SLEEP_S,
+            "spmv_n": SPMV_N,
+            "repeats": args.repeats,
+            "numpy_version": np.__version__,
+            "python_version": ".".join(map(str, sys.version_info[:3])),
+        },
+        "cases": cases,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out} ({len(cases)} cases, "
+          f"{report['meta']['cores']} core(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

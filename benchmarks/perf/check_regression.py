@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Perf-regression gate over the kernel microbenchmarks.
+"""Perf-regression gate over the kernel and executor-scaling benchmarks.
 
 Compares a fresh ``bench_kernels.py`` run against the committed baseline
 (``BENCH_kernels.json``) and fails when the vectorisation advantage has
@@ -21,10 +21,28 @@ Speedups are wall-clock *ratios* on the same machine and inputs, so the
 gate is robust to absolute machine speed; only a change in the kernels
 themselves moves it.
 
+The ``--parallel`` gate covers the rank-per-process executor's scaling
+(``bench_parallel.py`` / ``BENCH_parallel.json``):
+
+* **overlap floor** — the ``exec.sleep`` concurrency cells must show
+  ≥1.8× at every measured p, *unconditionally*: overlapping sleeps
+  needs real concurrent rank processes but zero spare cores, so a
+  single-core CI box still proves (or refutes) genuine parallelism;
+* **CPU-bound floor** — the ``spmv-n2000-p4`` cell must show ≥1.8×
+  wall-clock, enforced against whichever report (fresh first, else
+  baseline) was measured on a host with ≥2 cores.  A single-core run
+  cannot speed up CPU-bound numpy work by running more processes, so
+  its spmv cells are recorded for the report but exempt from the floor
+  (each report carries ``meta.cores`` for exactly this decision).
+
 Usage (what CI runs)::
 
     python benchmarks/perf/bench_kernels.py --quick --out /tmp/fresh.json
-    python benchmarks/perf/check_regression.py /tmp/fresh.json
+    python benchmarks/perf/bench_parallel.py --quick --out /tmp/par.json
+    python benchmarks/perf/check_regression.py /tmp/fresh.json --parallel /tmp/par.json
+
+With no ``--parallel`` argument the committed ``BENCH_parallel.json`` is
+self-checked, so the executor gates always run.
 """
 
 from __future__ import annotations
@@ -35,11 +53,17 @@ import sys
 from pathlib import Path
 
 BASELINE = Path(__file__).resolve().parent / "BENCH_kernels.json"
+PARALLEL_BASELINE = Path(__file__).resolve().parent / "BENCH_parallel.json"
 
 #: the acceptance floor: vectorised must beat the oracle by ≥ this factor
 #: on the wire-format kernels at the paper-scale cell
 ABS_FLOOR = 5.0
 ABS_CASES = [f"{k}-n2000-s0.1-p16" for k in ("pack", "encode", "decode")]
+
+#: executor-scaling floors (see module docstring for the arming rules)
+OVERLAP_FLOOR = 1.8
+SPMV_FLOOR = 1.8
+SPMV_CASE = "spmv-n2000-p4"
 
 
 def load(path: Path) -> dict:
@@ -91,6 +115,40 @@ def check(fresh: dict, baseline: dict, tolerance: float) -> list[str]:
     return problems
 
 
+def check_parallel(fresh: dict, baseline: dict) -> list[str]:
+    """Executor-scaling gates (see module docstring)."""
+    problems: list[str] = []
+
+    # overlap floor: unconditional, on the fresh run's concurrency cells
+    overlap = {
+        k: c for k, c in fresh["cases"].items() if c["kind"] == "overlap"
+    }
+    if not overlap:
+        problems.append("parallel: fresh run has no overlap cells")
+    for key, case in sorted(overlap.items()):
+        if case["speedup"] < OVERLAP_FLOOR:
+            problems.append(
+                f"parallel: {key}: concurrency factor "
+                f"{case['speedup']:.2f}x below the {OVERLAP_FLOOR}x floor "
+                "(rank tasks are not actually overlapping)"
+            )
+
+    # CPU-bound floor: armed on the first report measured with >=2 cores
+    for where, report in (("fresh", fresh), ("baseline", baseline)):
+        cores = report.get("meta", {}).get("cores", 1)
+        if cores < 2 or SPMV_CASE not in report.get("cases", {}):
+            continue
+        speedup = report["cases"][SPMV_CASE]["speedup"]
+        if speedup < SPMV_FLOOR:
+            problems.append(
+                f"parallel: {SPMV_CASE} ({where}, {cores} cores): "
+                f"wall-clock speedup {speedup:.2f}x below the "
+                f"{SPMV_FLOOR}x floor"
+            )
+        break  # one armed report is the gate; don't double-report
+    return problems
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("fresh", type=Path, nargs="?", default=BASELINE,
@@ -99,11 +157,19 @@ def main(argv=None) -> int:
     parser.add_argument("--baseline", type=Path, default=BASELINE)
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="allowed fractional speedup drop (default 0.20)")
+    parser.add_argument("--parallel", type=Path, default=PARALLEL_BASELINE,
+                        help="fresh bench_parallel.py output (default: "
+                        "self-check the committed parallel baseline)")
+    parser.add_argument("--parallel-baseline", type=Path,
+                        default=PARALLEL_BASELINE)
     args = parser.parse_args(argv)
 
     fresh = load(args.fresh)
     baseline = load(args.baseline)
     problems = check(fresh, baseline, args.tolerance)
+    problems += check_parallel(
+        load(args.parallel), load(args.parallel_baseline)
+    )
     if problems:
         for line in problems:
             print(f"PERF REGRESSION: {line}")
@@ -113,7 +179,8 @@ def main(argv=None) -> int:
         f"perf gate passed: per-kernel geomeans over {n} shared case(s) "
         f"within {args.tolerance:.0%} of baseline; "
         f"{', '.join(k.split('-')[0] for k in ABS_CASES)} hold the "
-        f"{ABS_FLOOR:.0f}x floor at n=2000, s=0.1, p=16"
+        f"{ABS_FLOOR:.0f}x floor at n=2000, s=0.1, p=16; executor "
+        f"overlap cells hold the {OVERLAP_FLOOR}x concurrency floor"
     )
     return 0
 

@@ -1,13 +1,18 @@
 #!/usr/bin/env python
 """Regenerate (or verify) the golden-trace fixtures.
 
-Two fixture files pin the simulator's exact behaviour across sessions:
+Three fixture files pin the simulator's exact behaviour across sessions:
 
 * ``tests/faults/fixtures/golden_traces.json`` — the pre-fault-layer
   traces (fault-free grid, original configs);
 * ``tests/faults/fixtures/golden_traces_backends.json`` — the kernel-
   backend grid, with faults off and on, replayed by *both* backends in
-  ``tests/kernels/test_golden_backends.py``.
+  ``tests/kernels/test_golden_backends.py``;
+* ``tests/faults/fixtures/golden_traces_executors.json`` — the executor
+  grid, with faults off and on, replayed by *both* executors (sim and
+  rank-per-process) in ``tests/exec/test_golden_executors.py``.
+  Regeneration runs the real process executor, so the committed bytes
+  are what the parallel tier actually produced.
 
 Usage::
 
@@ -57,6 +62,15 @@ def generate_backends() -> tuple[Path, dict]:
     return FIXTURE, generate_fixture()
 
 
+def generate_executors() -> tuple[Path, dict]:
+    """Executor grid — generated *by the process executor* so the fixture
+    pins what real worker processes produced (the sim replay in the test
+    suite then closes the loop from the other side)."""
+    from tests.exec.golden_executors import FIXTURE, generate_fixture
+
+    return FIXTURE, generate_fixture(executor="process")
+
+
 def roundtrip(obj: dict) -> dict:
     """What the fixture looks like after a JSON round-trip (tuples→lists,
     float canonicalisation) — the representation tests compare against."""
@@ -100,7 +114,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     problems: list[str] = []
-    for path, generated in (generate_original(), generate_backends()):
+    fixtures = (generate_original(), generate_backends(), generate_executors())
+    for path, generated in fixtures:
         if args.check:
             problems.extend(check_one(path, generated))
         else:
@@ -114,7 +129,8 @@ def main(argv: list[str] | None = None) -> int:
                   "scripts/refresh_golden_fixtures.py if the change is "
                   "intentional")
             return 1
-        print("golden fixtures match the simulator (2 files verified)")
+        print(f"golden fixtures match the simulator "
+              f"({len(fixtures)} files verified)")
     return 0
 
 

@@ -24,7 +24,14 @@ static protocol and the dynamic cost ledger can't drift apart):
 ``charge_host_ops(…, Phase.DISTRIBUTION)``     DISTRIBUTE (pack charges)
 ``charge_proc_ops(…, Phase.DISTRIBUTION)``     DISTRIBUTE (unpack/convert)
 ``charge_proc_ops(…, Phase.COMPRESSION)``      POST (local compress/decode)
+``pool.submit(…, Phase.DISTRIBUTION, …)``      DISTRIBUTE (rank task)
+``pool.submit(…, Phase.COMPRESSION, …)``       POST (rank task)
 =============================================  ==========================
+
+Rank tasks (the executor tier) charge processor-side work through the
+pool instead of calling ``charge_proc_ops`` inline, so a ``.submit``
+carrying a ``Phase`` argument classifies exactly like the charge it
+replays: the protocol proof covers both execution styles.
 
 Accepted sequences are exactly the monotone ones
 ``PARTITION* PRE* DISTRIBUTE* POST*`` with at least one PARTITION before
@@ -59,6 +66,7 @@ _MAX_PATHS = 128
 _SEND_NAMES = {"send", "send_to_host"}
 _CHARGE_HOST = "charge_host_ops"
 _CHARGE_PROC = "charge_proc_ops"
+_SUBMIT = "submit"
 
 
 def _phase_argument(call: ast.Call) -> str | None:
@@ -93,6 +101,10 @@ def _classify_call(call: ast.Call) -> tuple[str, ast.Call] | None:
     if attr == _CHARGE_PROC and phase == "DISTRIBUTION":
         return (DISTRIBUTE, call)
     if attr == _CHARGE_PROC and phase == "COMPRESSION":
+        return (POST, call)
+    if attr == _SUBMIT and phase == "DISTRIBUTION":
+        return (DISTRIBUTE, call)
+    if attr == _SUBMIT and phase == "COMPRESSION":
         return (POST, call)
     return None
 

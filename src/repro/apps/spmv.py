@@ -34,7 +34,6 @@ from ..machine.machine import Machine
 from ..machine.membership import DeadRankError
 from ..machine.trace import Phase
 from ..partition.base import PartitionPlan
-from ..sparse.ops import spmv as local_spmv
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..recovery.manager import RecoveryRuntime
@@ -70,22 +69,22 @@ def _spmv_impl(
             assignment.rank, x_local, len(x_local), Phase.COMPUTE, tag="x-slice"
         )
 
-    # 2. local partial products
+    # 2. local partial products — rank tasks on the machine's executor;
+    # the x-slice frame is checksum-verified (uncharged, phase=None like
+    # the serial receive) and the stored local array travels by reference
+    # (shipped to a worker once, then version-cached)
+    pool = machine.rank_pool()
+    for assignment in plan:
+        pool.submit(
+            assignment.rank, "spmv.partial", Phase.COMPUTE,
+            frame=pool.take_frame(assignment.rank, "x-slice"),
+            local=pool.ref(LOCAL_KEY),
+            expected_shape=assignment.local_shape,
+            transpose=False,
+        )
     partials: list[np.ndarray] = []
     for assignment in plan:
-        proc = machine.processor(assignment.rank)
-        x_local = machine.receive(assignment.rank, "x-slice").payload
-        local = proc.load(LOCAL_KEY)
-        if local.shape != assignment.local_shape:
-            raise ValueError(
-                f"rank {assignment.rank}: stored local array shape "
-                f"{local.shape} does not match the plan {assignment.local_shape}"
-            )
-        y_local = local_spmv(local, x_local)
-        machine.charge_proc_ops(
-            assignment.rank, 2 * local.nnz, Phase.COMPUTE, label="spmv"
-        )
-        partials.append(y_local)
+        partials.append(pool.result(assignment.rank))
 
     # 3. gather and assemble (host adds each returned element once)
     y = np.zeros(n_rows, dtype=np.float64)
@@ -142,29 +141,25 @@ def distributed_spmv_transpose(
 def _spmv_transpose_impl(
     machine: Machine, plan: PartitionPlan, x: np.ndarray, n_cols: int
 ) -> np.ndarray:
-    from ..sparse.ops import spmv_transpose as local_spmv_transpose
-
     for assignment in plan:
         x_local = x[assignment.row_ids]
         machine.send(
             assignment.rank, x_local, len(x_local), Phase.COMPUTE, tag="xT-slice"
         )
 
+    # rank tasks, exactly as in _spmv_impl but with the transpose kernel
+    pool = machine.rank_pool()
+    for assignment in plan:
+        pool.submit(
+            assignment.rank, "spmv.partial", Phase.COMPUTE,
+            frame=pool.take_frame(assignment.rank, "xT-slice"),
+            local=pool.ref(LOCAL_KEY),
+            expected_shape=assignment.local_shape,
+            transpose=True,
+        )
     partials: list[np.ndarray] = []
     for assignment in plan:
-        proc = machine.processor(assignment.rank)
-        x_local = machine.receive(assignment.rank, "xT-slice").payload
-        local = proc.load(LOCAL_KEY)
-        if local.shape != assignment.local_shape:
-            raise ValueError(
-                f"rank {assignment.rank}: stored local array shape "
-                f"{local.shape} does not match the plan {assignment.local_shape}"
-            )
-        y_local = local_spmv_transpose(local, x_local)
-        machine.charge_proc_ops(
-            assignment.rank, 2 * local.nnz, Phase.COMPUTE, label="spmv-T"
-        )
-        partials.append(y_local)
+        partials.append(pool.result(assignment.rank))
 
     y = np.zeros(n_cols, dtype=np.float64)
     for assignment, y_local in zip(plan, partials):

@@ -68,6 +68,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: the process default, numpy)",
     )
     run.add_argument(
+        "--executor", metavar="NAME", default=None,
+        help="executor rank tasks run on (sim | process); results are "
+        "byte-identical either way — process runs one OS process per "
+        "rank (default: $REPRO_EXECUTOR, else sim)",
+    )
+    run.add_argument(
         "--trace-out", metavar="TRACE.json", default=None,
         help="write a Chrome trace-event JSON of the last scheme's run "
         "(open in ui.perfetto.dev or chrome://tracing); enables "
@@ -102,6 +108,11 @@ def build_parser() -> argparse.ArgumentParser:
     tables.add_argument(
         "--backend", metavar="NAME", default=None,
         help="kernel backend for every cell (numpy | python); results are "
+        "byte-identical either way",
+    )
+    tables.add_argument(
+        "--executor", metavar="NAME", default=None,
+        help="executor for every cell (sim | process); results are "
         "byte-identical either way",
     )
 
@@ -218,6 +229,28 @@ def _resolve_backend(args):
     return name
 
 
+class ExecutorError(SystemExit):
+    """Friendly one-line exit for a bad ``--executor`` argument."""
+
+    def __init__(self, message: str) -> None:
+        print(f"error: {message}")
+        super().__init__(2)
+
+
+def _resolve_executor(args):
+    """Validate ``--executor`` against the executor registry or return None."""
+    name = getattr(args, "executor", None)
+    if name is None:
+        return None
+    from .exec import get_executor
+
+    try:
+        get_executor(name)
+    except ValueError as exc:
+        raise ExecutorError(str(exc))
+    return name
+
+
 def _load_fault_spec(args):
     """Parse ``--faults`` (a JSON FaultSpec path) or return None.
 
@@ -263,6 +296,7 @@ def _cmd_run(args) -> int:
 
     fault_spec = _load_fault_spec(args)
     backend = _resolve_backend(args)
+    executor = _resolve_executor(args)
     recovery = None if args.recovery == "off" else args.recovery
     if recovery is not None and fault_spec is None:
         print("error: --recovery needs a fault plan (--faults SPEC.json)")
@@ -307,21 +341,27 @@ def _cmd_run(args) -> int:
                 else None
             )
             last_machine = Machine(
-                args.procs, faults=injector, backend=backend, obs=obs
+                args.procs, faults=injector, backend=backend,
+                executor=executor, obs=obs,
             )
-            if recovery is not None:
-                from .recovery import run_with_recovery
+            try:
+                if recovery is not None:
+                    from .recovery import run_with_recovery
 
-                result = run_with_recovery(
-                    scheme, last_machine, matrix,
-                    get_partition(args.partition),
-                    get_compression(args.compression),
-                    policy=recovery,
-                )
-            else:
-                result = get_scheme(scheme).run(
-                    last_machine, matrix, plan, get_compression(args.compression)
-                )
+                    result = run_with_recovery(
+                        scheme, last_machine, matrix,
+                        get_partition(args.partition),
+                        get_compression(args.compression),
+                        policy=recovery,
+                    )
+                else:
+                    result = get_scheme(scheme).run(
+                        last_machine, matrix, plan,
+                        get_compression(args.compression),
+                    )
+            finally:
+                # the trace survives for --timeline; only workers die
+                last_machine.shutdown()
         else:
             result = run_scheme(
                 scheme,
@@ -333,6 +373,7 @@ def _cmd_run(args) -> int:
                 fault_seed=args.fault_seed,
                 recovery=recovery,
                 backend=backend,
+                executor=executor,
                 obs=obs,
             )
         results.append(result)
@@ -384,6 +425,7 @@ def _cmd_tables(args) -> int:
 
     fault_spec = _load_fault_spec(args)
     backend = _resolve_backend(args)
+    executor = _resolve_executor(args)
     names = ["table3", "table4", "table5"] if args.table == "all" else [args.table]
     for name in names:
         spec = TABLE_SPECS[name]
@@ -396,6 +438,7 @@ def _cmd_tables(args) -> int:
             faults=fault_spec,
             fault_seed=args.fault_seed,
             backend=backend,
+            executor=executor,
         )
         print(format_table(repro))
         print(f"   shape report: {shape_report(repro)}")

@@ -88,34 +88,24 @@ class CFSScheme(DistributionScheme):
                         tag="crs-triple" if kind == "crs" else "ccs-triple",
                     )
 
+        # each rank's unpack+convert runs as a rank task on the machine's
+        # executor; the task verifies the packed buffer's wire checksum
+        # when fault injection is active and its charges replay here in
+        # rank order, byte-identical to the serial loop
         locals_ = []
+        pool = machine.rank_pool()
         with obs.span("cfs.unpack", phase="distribution"):
             for assignment, conv in zip(plan, conversions):
+                pool.submit(
+                    assignment.rank, "cfs.unpack", Phase.DISTRIBUTION,
+                    frame=pool.take_frame(assignment.rank),
+                    conv=conv, kind=kind,
+                    local_shape=assignment.local_shape,
+                )
+            for assignment in plan:
                 proc = machine.processor(assignment.rank)
                 with obs.span("cfs.unpack_convert", rank=assignment.rank):
-                    # machine.receive verifies the packed buffer's wire
-                    # checksum when fault injection is active (no-op
-                    # otherwise)
-                    buf = machine.receive(
-                        assignment.rank, phase=Phase.DISTRIBUTION
-                    ).payload
-                    arrays, unpack_ops = buf.unpack()
-                    machine.charge_proc_ops(
-                        assignment.rank, unpack_ops, Phase.DISTRIBUTION,
-                        label="unpack",
-                    )
-                    local_co = conv.to_local(arrays["CO"])
-                    if conv.ops_per_nonzero:
-                        machine.charge_proc_ops(
-                            assignment.rank,
-                            conv.ops_per_nonzero * len(local_co),
-                            Phase.DISTRIBUTION,
-                            label="index-conversion",
-                        )
-                    compressed = compression(
-                        assignment.local_shape, arrays["RO"], local_co,
-                        arrays["VL"],
-                    )
+                    compressed = pool.result(assignment.rank)
                 proc.store(LOCAL_KEY, compressed)
                 locals_.append(compressed)
 

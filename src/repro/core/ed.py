@@ -83,23 +83,23 @@ class EDScheme(DistributionScheme):
                     )
 
         # -- phase 2b: decoding — each processor, in parallel -----------------
+        # each rank's decode runs as a rank task on the machine's
+        # executor; the task verifies the special buffer's wire checksum
+        # when fault injection is active and its charges replay here in
+        # rank order, byte-identical to the serial loop
         locals_ = []
+        pool = machine.rank_pool()
         with obs.span("ed.decode", phase="compression"):
             for assignment, conv in zip(plan, conversions):
+                pool.submit(
+                    assignment.rank, "ed.decode", Phase.COMPRESSION,
+                    frame=pool.take_frame(assignment.rank, "special-buffer"),
+                    conv=conv,
+                )
+            for assignment in plan:
                 proc = machine.processor(assignment.rank)
                 with obs.span("ed.decode_buffer", rank=assignment.rank):
-                    # machine.receive verifies the special buffer's wire
-                    # checksum when fault injection is active (no-op
-                    # otherwise)
-                    buf = machine.receive(
-                        assignment.rank, "special-buffer",
-                        phase=Phase.DISTRIBUTION,
-                    ).payload
-                    compressed, decode_ops = buf.decode(conv)
-                    machine.charge_proc_ops(
-                        assignment.rank, decode_ops, Phase.COMPRESSION,
-                        label="decode",
-                    )
+                    compressed = pool.result(assignment.rank)
                 proc.store(LOCAL_KEY, compressed)
                 locals_.append(compressed)
 

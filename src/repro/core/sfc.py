@@ -93,23 +93,24 @@ class SFCScheme(DistributionScheme):
                     )
 
         # -- phase 3: compression — each processor, in parallel -------------
+        # the rank pool runs every block's compress wherever the machine's
+        # executor puts it (inline / worker process); each task verifies
+        # its frame's wire checksum when fault injection is active and its
+        # charges replay here in rank order, byte-identical to the serial
+        # receive/compress/charge loop
         locals_ = []
+        pool = machine.rank_pool()
         with obs.span("sfc.compress", phase="compression"):
+            for assignment in plan:
+                pool.submit(
+                    assignment.rank, "sfc.compress", Phase.COMPRESSION,
+                    frame=pool.take_frame(assignment.rank, "dense-block"),
+                    kind=kind,
+                )
             for assignment in plan:
                 proc = machine.processor(assignment.rank)
                 with obs.span("sfc.compress_local", rank=assignment.rank):
-                    # machine.receive verifies the dense block's wire
-                    # checksum when fault injection is active (no-op
-                    # otherwise)
-                    dense = machine.receive(
-                        assignment.rank, "dense-block", phase=Phase.DISTRIBUTION
-                    ).payload
-                    compressed = compression.from_dense(dense)
-                    scan_ops = dense.size + 3 * compressed.nnz
-                    machine.charge_proc_ops(
-                        assignment.rank, scan_ops, Phase.COMPRESSION,
-                        label="compress",
-                    )
+                    compressed = pool.result(assignment.rank)
                 obs.record_compressed(self.name, compressed.nnz)
                 proc.store(LOCAL_KEY, compressed)
                 locals_.append(compressed)

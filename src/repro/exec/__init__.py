@@ -1,0 +1,66 @@
+"""Executor tiers: where rank tasks run (inline simulator or real processes).
+
+Public surface:
+
+* selection — :func:`get_executor`, :func:`available_executors`,
+  :func:`use_executor`, :func:`set_default_executor`,
+  :func:`current_executor_name` (``REPRO_EXECUTOR`` sets the default);
+* the coordinator API — :class:`RankPool` (via ``machine.rank_pool()``),
+  :func:`rank_task` for registering new tasks;
+* test/teardown hooks — :func:`reap_all_sessions`,
+  :func:`reap_leaked_segments`.
+
+See DESIGN.md §"Execution tiers" for the byte-identity contract.
+"""
+
+from .dispatch import (
+    Executor,
+    available_executors,
+    current_executor_name,
+    get_executor,
+    register_executor,
+    set_default_executor,
+    use_executor,
+)
+from .pool import RankPool
+from .process import ProcessExecutor, ProcessSession, reap_all_sessions
+from .sim import SimExecutor
+from .tasks import (
+    Charge,
+    ExecutorError,
+    PoisonFrame,
+    Ref,
+    TaskContext,
+    TaskResult,
+    WireFrame,
+    get_task,
+    rank_task,
+    run_task,
+)
+from .wire import reap_leaked_segments
+
+__all__ = [
+    "Charge",
+    "Executor",
+    "ExecutorError",
+    "PoisonFrame",
+    "ProcessExecutor",
+    "ProcessSession",
+    "RankPool",
+    "Ref",
+    "SimExecutor",
+    "TaskContext",
+    "TaskResult",
+    "WireFrame",
+    "available_executors",
+    "current_executor_name",
+    "get_executor",
+    "get_task",
+    "rank_task",
+    "reap_all_sessions",
+    "reap_leaked_segments",
+    "register_executor",
+    "run_task",
+    "set_default_executor",
+    "use_executor",
+]

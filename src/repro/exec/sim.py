@@ -1,0 +1,52 @@
+"""The inline executor: rank tasks run in the coordinating process.
+
+This is the original single-threaded simulator, expressed as the trivial
+executor.  The session is a stateless shared singleton — ``inline`` makes
+the :class:`~repro.exec.pool.RankPool` run every task at ``submit`` time
+inside the machine's ambient kernel scope, so ``dispatch``/``result``
+are never called and all lifecycle hooks are no-ops.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .dispatch import Executor
+
+__all__ = ["SimExecutor"]
+
+
+class _SimSession:
+    """The do-nothing session behind every ``sim`` machine."""
+
+    inline = True
+
+    def dispatch(self, *args: Any, **kwargs: Any) -> Any:
+        raise RuntimeError("the sim session runs tasks inline at submit()")
+
+    def result(self, handle: Any) -> Any:
+        raise RuntimeError("the sim session runs tasks inline at submit()")
+
+    def reset(self) -> None:
+        pass
+
+    def kill_rank(self, rank: int) -> None:
+        pass
+
+    def shutdown(self) -> None:
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debug nicety
+        return "<SimSession inline>"
+
+
+_SESSION = _SimSession()
+
+
+class SimExecutor(Executor):
+    """Inline execution (the default; byte-identity reference)."""
+
+    name = "sim"
+
+    def create_session(self, n_procs: int) -> _SimSession:
+        return _SESSION

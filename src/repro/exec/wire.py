@@ -1,0 +1,146 @@
+"""Wire transport between the coordinator and rank worker processes.
+
+Frames are serialised with pickle protocol 5; large array payloads ride
+out-of-band :class:`pickle.PickleBuffer` buffers that are copied into one
+:class:`multiprocessing.shared_memory.SharedMemory` segment per message
+(above :data:`SHM_THRESHOLD` total bytes) instead of being streamed
+through the pipe.  The receiver copies the buffers out of the segment via
+``memoryview`` slices, closes its mapping and unlinks the segment — one
+segment lives exactly as long as one in-flight message.
+
+Byte-fidelity contract: serialisation must never change payload bytes.
+Pickle-5 out-of-band buffers are verbatim copies of the arrays' memory,
+so a frame arrives with the exact bytes it was sent with — the property
+the executor differential suite pins.
+
+Leak discipline
+---------------
+Segments are named ``reproexec-<pid>-<n>`` so stragglers are attributable
+and sweepable.  Resource-tracker bookkeeping is left to the stdlib: on
+Python 3.11 *both* creating and attaching register a segment (the cache
+is a set, so the double registration collapses) and ``unlink`` performs
+the single unregister — the receiver unlinking after its copy-out leaves
+the tracker exactly balanced, with no explicit unregister calls that
+could race into double-removes.  :func:`reap_leaked_segments` is the
+belt-and-braces sweep the test suite runs after each test for segments
+orphaned by a killed worker; it unregisters what it unlinks so the
+tracker does not re-unlink (or warn about) swept names at exit.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import pickle
+from multiprocessing import resource_tracker, shared_memory
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "SHM_PREFIX",
+    "SHM_THRESHOLD",
+    "reap_leaked_segments",
+    "recv_msg",
+    "send_msg",
+]
+
+#: shared-memory segment name prefix (``/dev/shm/<prefix>-...`` on Linux)
+SHM_PREFIX = "reproexec"
+
+#: total out-of-band payload bytes above which a message's buffers move
+#: through one SharedMemory segment instead of the pipe (64 KiB)
+SHM_THRESHOLD = 64 * 1024
+
+_seg_counter = itertools.count()
+
+
+def _fresh_name() -> str:
+    return f"{SHM_PREFIX}-{os.getpid()}-{next(_seg_counter)}"
+
+
+def _untrack(name: str) -> None:
+    """Unregister a *swept* segment so the exit cleanup skips it.
+
+    Only :func:`reap_leaked_segments` calls this: a segment found leaked
+    on disk was registered at creation and never unlinked, so exactly one
+    unregister rebalances the tracker.  The normal wire path never calls
+    it — there ``unlink`` does the one unregister itself.
+    """
+    try:
+        resource_tracker.unregister("/" + name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary
+        pass
+
+
+def send_msg(conn: Any, obj: Any, *, threshold: int = SHM_THRESHOLD) -> None:
+    """Serialise ``obj`` onto ``conn`` (a duplex ``multiprocessing`` pipe).
+
+    Out-of-band buffers totalling ``threshold`` bytes or more are copied
+    into one fresh SharedMemory segment; smaller messages inline them.
+    """
+    buffers: list[pickle.PickleBuffer] = []
+    data = pickle.dumps(obj, protocol=5, buffer_callback=buffers.append)
+    raws = [buf.raw() for buf in buffers]
+    total = sum(r.nbytes for r in raws)
+    if total < threshold:
+        conn.send(("inline", data, [bytes(r) for r in raws]))
+        return
+    shm = shared_memory.SharedMemory(create=True, size=total, name=_fresh_name())
+    try:
+        offsets: list[tuple[int, int]] = []
+        pos = 0
+        for r in raws:
+            shm.buf[pos : pos + r.nbytes] = r
+            offsets.append((pos, r.nbytes))
+            pos += r.nbytes
+        conn.send(("shm", shm.name, data, offsets))
+    finally:
+        shm.close()  # the receiver owns the unlink (and its unregister)
+
+
+def recv_msg(conn: Any) -> Any:
+    """Receive one :func:`send_msg` frame from ``conn`` and deserialise it.
+
+    Raises ``EOFError``/``OSError`` when the peer died — callers translate
+    that into a dead-worker diagnosis.
+    """
+    frame = conn.recv()
+    kind = frame[0]
+    if kind == "inline":
+        _, data, raws = frame
+        return pickle.loads(data, buffers=raws)
+    _, name, data, offsets = frame
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        # copy out: the unpickled arrays must own their memory (the
+        # segment is gone the moment this function returns)
+        buffers = [bytes(shm.buf[pos : pos + length]) for pos, length in offsets]
+    finally:
+        shm.close()
+        try:
+            shm.unlink()  # also unregisters — the tracker's one remove
+        except FileNotFoundError:  # pragma: no cover - already swept
+            pass
+    return pickle.loads(data, buffers=buffers)
+
+
+def reap_leaked_segments() -> list[str]:
+    """Unlink every leftover ``reproexec-*`` segment; returns their names.
+
+    Only safe with no live executor session in flight (the test-suite
+    reaper shuts sessions down first).  Non-Linux hosts without
+    ``/dev/shm`` fall back to a no-op (leaks there are bounded by the
+    resource tracker's own exit sweep).
+    """
+    shm_dir = Path("/dev/shm")
+    if not shm_dir.is_dir():  # pragma: no cover - non-Linux
+        return []
+    reaped = []
+    for path in sorted(shm_dir.glob(f"{SHM_PREFIX}-*")):
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - concurrent sweep
+            continue
+        _untrack(path.name)
+        reaped.append(path.name)
+    return reaped

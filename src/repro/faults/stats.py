@@ -76,14 +76,28 @@ class FaultStats:
 
     @staticmethod
     def merge(summaries: list[Mapping[str, Mapping[str, int]]]) -> dict[str, dict[str, int]]:
-        """Combine several :meth:`summary` snapshots (e.g. across a table grid)."""
+        """Combine several :meth:`summary` snapshots (e.g. across a table grid).
+
+        The output order is pinned — phases sorted, counters in
+        :data:`COUNTER_KEYS` reporting order — rather than inherited from
+        whichever summary mentioned a phase first, so merged reports
+        serialise identically however the inputs were collected (a table
+        grid iterated in a different order, or per-rank summaries merged
+        back from worker processes).
+        """
         out: dict[str, dict[str, int]] = {}
         for s in summaries:
             for phase, bucket in s.items():
                 dst = out.setdefault(phase, {})
                 for k, v in bucket.items():
                     dst[k] = dst.get(k, 0) + v
-        return out
+
+        def bucket_order(bucket: dict[str, int]) -> dict[str, int]:
+            known = [k for k in COUNTER_KEYS if k in bucket]
+            extras = sorted(set(bucket) - set(known))
+            return {k: bucket[k] for k in (*known, *extras)}
+
+        return {phase: bucket_order(out[phase]) for phase in sorted(out)}
 
     def clear(self) -> None:
         self.by_phase.clear()

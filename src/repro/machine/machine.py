@@ -89,6 +89,14 @@ class Machine:
         (default) inherits the process-wide default (numpy).  Backend
         choice never changes charged costs or wire bytes — only
         wall-clock speed (the differential suite's contract).
+    executor:
+        Executor name (``"sim"`` | ``"process"``) rank tasks run on;
+        ``None`` (default) resolves the executor layer's current default
+        (``REPRO_EXECUTOR`` / :func:`~repro.exec.use_executor`) when the
+        first rank pool is created.  Like the kernel backend, executor
+        choice never changes charged costs or wire bytes — only where
+        the receiver-side arithmetic physically runs (DESIGN.md
+        §"Execution tiers").
     obs:
         Optional :class:`~repro.obs.spans.Observability` recorder.  When
         given (and enabled) it subscribes to this machine's trace and
@@ -107,6 +115,7 @@ class Machine:
         proc_speeds: list[float] | None = None,
         faults: "FaultInjector | None" = None,
         backend: str | None = None,
+        executor: str | None = None,
         obs: "Observability | None" = None,
     ) -> None:
         if n_procs <= 0:
@@ -115,7 +124,14 @@ class Machine:
             from ..kernels import get_backend
 
             get_backend(backend)  # validate eagerly: fail at construction
+        if executor is not None:
+            from ..exec import get_executor
+
+            get_executor(executor)  # validate eagerly: fail at construction
         self.backend = backend
+        self.executor = executor
+        #: lazily-created executor session (``_executor_session``)
+        self._exec_session: Any = None
         self.n_procs = n_procs
         self.cost = cost if cost is not None else sp2_cost_model()
         if proc_speeds is None:
@@ -605,6 +621,19 @@ class Machine:
                 )
         return msg
 
+    def _pop_frame(self, rank: int, tag: str | None = None) -> Message:
+        """Pop ``rank``'s oldest message *without* checksum verification.
+
+        The rank-pool half of :meth:`receive`: the pool wraps the popped
+        message into a wire frame and the executor's task performs the
+        verification (and its charge) receiver-side, so the combined
+        behaviour — guards, charge, error text — matches :meth:`receive`
+        exactly.  Scheme code uses :meth:`receive` or a pool, never this.
+        """
+        self._check_rank(rank)
+        self._check_not_failed(rank)
+        return self.procs[rank].receive(tag)
+
     def host_receive(self, tag: str | None = None) -> Message:
         """Pop the host's oldest message (optionally the oldest with ``tag``)."""
         for i, msg in enumerate(self.host_mailbox):
@@ -649,6 +678,8 @@ class Machine:
         self.obs.record_detection(rank, missed_acks, time_ms)
         # the node is gone: everything it held or had queued dies with it
         self.procs[rank].reset()
+        if self._exec_session is not None:
+            self._exec_session.kill_rank(rank)
 
     def confirm_failure(self, rank: int, phase: Phase) -> float:
         """Heartbeat-probe a suspected-dead rank until the detect threshold.
@@ -756,6 +787,46 @@ class Machine:
             with observe_kernel_calls(self.obs.record_kernel_call):
                 yield backend
 
+    def _executor_session(self):
+        """This machine's executor session, created on first use.
+
+        The executor name resolves like the kernel backend: an explicit
+        ``executor=`` wins, otherwise the executor layer's current
+        default (``REPRO_EXECUTOR`` / ``use_executor`` scope) at the
+        moment the first pool is created.
+        """
+        if self._exec_session is None:
+            from ..exec import current_executor_name, get_executor
+
+            name = (
+                self.executor
+                if self.executor is not None
+                else current_executor_name()
+            )
+            self._exec_session = get_executor(name).create_session(self.n_procs)
+        return self._exec_session
+
+    def rank_pool(self):
+        """A fresh :class:`~repro.exec.pool.RankPool` over this machine.
+
+        Scheme/app receiver loops submit their per-rank tasks through it
+        and collect results in rank order; where the tasks physically run
+        is the executor's business (DESIGN.md §"Execution tiers").
+        """
+        from ..exec import RankPool
+
+        return RankPool(self, self._executor_session())
+
+    def shutdown(self) -> None:
+        """Tear down the executor session (idempotent, sim = no-op).
+
+        Worker processes and wire segments die here; the machine itself
+        stays usable — the next pool lazily builds a fresh session.
+        """
+        if self._exec_session is not None:
+            self._exec_session.shutdown()
+            self._exec_session = None
+
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self.n_procs:
             raise ValueError(f"rank {rank} out of range for p={self.n_procs}")
@@ -780,6 +851,8 @@ class Machine:
         self.membership.reset()
         if self.faults is not None:
             self.faults.reset()
+        if self._exec_session is not None:
+            self._exec_session.reset()
 
     def fault_summary(self) -> dict[str, dict[str, int]] | None:
         """Per-phase fault counters, or ``None`` on a fault-free machine."""

@@ -56,6 +56,12 @@ class Processor:
         self.mailbox: list[Message] = []
         #: sequence numbers already accepted (duplicate suppression)
         self.seen_seqs: set[int] = set()
+        #: store version per name (see :meth:`store`); executor sessions
+        #: use these to invalidate worker-side cached copies
+        self.versions: dict[str, int] = {}
+        #: monotonic store counter — never rewound, even by :meth:`reset`,
+        #: so a version can never repeat across reset or rank death
+        self._store_seq = 0
 
     def deliver(self, message: Message, *, insert_at: int | None = None) -> bool:
         """Accept ``message`` into the mailbox.
@@ -90,6 +96,8 @@ class Processor:
 
     def store(self, name: str, value: Any) -> None:
         self.memory[name] = value
+        self._store_seq += 1
+        self.versions[name] = self._store_seq
 
     def load(self, name: str) -> Any:
         try:
@@ -101,6 +109,7 @@ class Processor:
         self.memory.clear()
         self.mailbox.clear()
         self.seen_seqs.clear()
+        self.versions.clear()  # _store_seq keeps counting: no version reuse
 
     def __repr__(self) -> str:
         return (

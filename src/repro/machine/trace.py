@@ -142,6 +142,13 @@ class TraceLog:
                 out.faults_by_label[e.label] = (
                     out.faults_by_label.get(e.label, 0) + 1
                 )
+        # pin the aggregate orders: rank order for per-processor times and
+        # label order for fault counts, rather than first-event order —
+        # consumers that serialise or zip over these dicts must see the
+        # same sequence regardless of which rank's event happened to come
+        # first (e.g. a reordered delivery under fault injection)
+        out.proc_times = dict(sorted(out.proc_times.items()))
+        out.faults_by_label = dict(sorted(out.faults_by_label.items()))
         return out
 
     def elapsed(self, phase: Phase) -> float:

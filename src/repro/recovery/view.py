@@ -153,6 +153,23 @@ class SurvivorView:
     ) -> Message:
         return self.machine.receive(self.physical(rank), tag, phase=phase)
 
+    def _pop_frame(self, rank: int, tag: str | None = None) -> Message:
+        return self.machine._pop_frame(self.physical(rank), tag)
+
+    def rank_pool(self):
+        """A rank pool whose worker addressing follows the survivor map.
+
+        Tasks are submitted (and charged) under *virtual* ranks; the pool
+        translates to physical ranks only to pick the worker process, so
+        the same re-driven scheme code parallelises on the shrunken
+        roster.
+        """
+        from ..exec import RankPool
+
+        return RankPool(
+            self, self.machine._executor_session(), physical=self.physical
+        )
+
     def host_receive(self, tag: str | None = None) -> Message:
         """Pop a host message, translating its source to the virtual rank."""
         msg = self.machine.host_receive(tag)
@@ -281,6 +298,29 @@ class GhostView:
             # ghost frames never crossed the wire: no checksum, no verify op
             return self.ghosts[rank].receive(tag)
         return self.machine.receive(rank, tag, phase=phase)
+
+    def _pop_frame(self, rank: int, tag: str | None = None) -> Message:
+        if rank in self.ghosts:
+            # ghost frames carry no checksum, so the task's open_frame
+            # verifies nothing — same as the serial ghost receive
+            return self.ghosts[rank].receive(tag)
+        return self.machine._pop_frame(rank, tag)
+
+    def rank_pool(self):
+        """A rank pool whose ghost ranks run inline, host-side.
+
+        A dead rank has no worker (fail-stop killed it); the host
+        executes its tasks itself and :meth:`charge_proc_ops` already
+        translates their charges onto the host's serial timeline — the
+        same honest overhead the serial ghost re-drive pays.
+        """
+        from ..exec import RankPool
+
+        return RankPool(
+            self,
+            self.machine._executor_session(),
+            inline_ranks=frozenset(self.ghosts),
+        )
 
     def host_receive(self, tag: str | None = None) -> Message:
         return self.machine.host_receive(tag)

@@ -43,6 +43,7 @@ def run_scheme(
     fault_seed: int = 0,
     recovery: str | None = None,
     backend: str | None = None,
+    executor: str | None = None,
     obs: "Observability | None" = None,
 ) -> SchemeResult:
     """Run one scheme on a fresh simulated machine.
@@ -64,6 +65,12 @@ def run_scheme(
     the hot paths run on; ``None`` inherits the process default (numpy).
     Results are byte-identical either way (DESIGN.md §"Kernel backends").
 
+    ``executor`` selects where rank tasks physically run (``"sim"`` |
+    ``"process"``); ``None`` inherits the executor layer's default
+    (``REPRO_EXECUTOR``, else sim).  Results — traces, charges, wire
+    bytes — are byte-identical either way (DESIGN.md §"Execution
+    tiers"); worker processes are torn down before this returns.
+
     ``obs`` attaches an :class:`~repro.obs.spans.Observability` recorder:
     spans, a metrics registry and per-rank communication totals are then
     collected during the run, self-verified against the trace ledger, and
@@ -77,18 +84,21 @@ def run_scheme(
     injector = FaultInjector(faults, seed=fault_seed) if faults is not None else None
     machine = Machine(
         plan.n_procs, cost=cost, topology=topology, faults=injector,
-        backend=backend, obs=obs,
+        backend=backend, executor=executor, obs=obs,
     )
     comp: type[CompressedLocal] = get_compression(compression)
-    if recovery is not None:
-        if injector is None:
-            raise ValueError("recovery needs a fault plan (faults=...)")
-        from ..recovery.manager import run_with_recovery
+    try:
+        if recovery is not None:
+            if injector is None:
+                raise ValueError("recovery needs a fault plan (faults=...)")
+            from ..recovery.manager import run_with_recovery
 
-        return run_with_recovery(
-            get_scheme(scheme), machine, matrix, method, comp, policy=recovery
-        )
-    return get_scheme(scheme).run(machine, matrix, plan, comp)
+            return run_with_recovery(
+                get_scheme(scheme), machine, matrix, method, comp, policy=recovery
+            )
+        return get_scheme(scheme).run(machine, matrix, plan, comp)
+    finally:
+        machine.shutdown()  # rank workers die with the run (sim: no-op)
 
 
 @dataclass(frozen=True)
@@ -118,6 +128,8 @@ class ExperimentConfig:
     recovery: str | None = None
     #: kernel backend ("python" | "numpy"); None = process default
     backend: str | None = None
+    #: executor ("sim" | "process"); None = the executor layer's default
+    executor: str | None = None
 
     def make_matrix(self) -> COOMatrix:
         """The test sample for this cell (paper: n×n, fixed sparse ratio)."""
@@ -144,4 +156,5 @@ def run_config(config: ExperimentConfig, matrix: COOMatrix | None = None) -> Sch
         fault_seed=config.fault_seed,
         recovery=config.recovery,
         backend=config.backend,
+        executor=config.executor,
     )

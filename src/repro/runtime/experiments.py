@@ -131,6 +131,7 @@ def reproduce_table(
     faults: FaultSpec | None = None,
     fault_seed: int = 0,
     backend: str | None = None,
+    executor: str | None = None,
 ) -> TableReproduction:
     """Rerun one published table's grid on the simulated machine.
 
@@ -138,8 +139,9 @@ def reproduce_table(
     gets a fresh injector seeded with ``fault_seed`` so cells stay
     independent and reproducible) — the "Tables 3–5 under a failure rate
     f" extension.  ``backend`` selects the kernel backend every cell runs
-    on (``None`` = process default); measured times are identical either
-    way, only wall-clock differs.
+    on and ``executor`` where each cell's rank tasks run (``None`` =
+    process defaults); measured times are identical either way, only
+    wall-clock differs.
     """
     spec = TABLE_SPECS[table_id]
     sizes = tuple(sizes) if sizes is not None else spec.sizes
@@ -174,6 +176,7 @@ def reproduce_table(
                     faults=faults,
                     fault_seed=fault_seed,
                     backend=backend,
+                    executor=executor,
                 )
                 repro.cells[(p, scheme, n)] = run_config(cfg, matrix)
     return repro

@@ -1,0 +1,21 @@
+"""RL003 clean: the executor-tier SFC ordering — partition, distribute
+dense, then compress via rank tasks submitted to the pool (paper §3.1)."""
+
+from repro.machine.trace import Phase
+
+
+def run_pool_sfc(machine, matrix, plan):
+    locals_ = plan.extract_all(matrix)
+    pool = machine.rank_pool()
+    for a, local in zip(plan, locals_):
+        machine.send(a.rank, local, local.size, Phase.DISTRIBUTION, tag="dense")
+    for a in plan:
+        pool.submit(
+            a.rank,
+            "sfc.compress",
+            Phase.COMPRESSION,
+            frame=pool.take_frame(a.rank, "dense"),
+            kind="crs",
+        )
+    for a in plan:
+        machine.processor(a.rank).store("local", pool.result(a.rank))

@@ -1,0 +1,15 @@
+"""RL003 violation: a distribution-phase rank task submitted after the
+local compression tasks began (distribute must precede decode)."""
+
+from repro.machine.trace import Phase
+
+
+def run_pool_late_distribute(machine, matrix, plan):
+    pieces = plan.extract_all(matrix)
+    pool = machine.rank_pool()
+    for a, piece in zip(plan, pieces):
+        machine.send(a.rank, piece, piece.size, Phase.DISTRIBUTION, tag="p")
+    for a in plan:
+        pool.submit(a.rank, "sfc.compress", Phase.COMPRESSION, frame=None, kind="crs")
+    for a in plan:
+        pool.submit(a.rank, "cfs.unpack", Phase.DISTRIBUTION, frame=None)  # EXPECT: RL003

@@ -32,6 +32,25 @@ except ImportError:  # pragma: no cover - hypothesis is a test dependency
     pass
 
 
+@pytest.fixture(autouse=True)
+def _reap_executor_leaks():
+    """Kill orphaned rank workers and leaked SharedMemory segments.
+
+    The process executor owns OS resources (one worker per rank, shared-
+    memory wire segments).  Sessions tear themselves down via
+    ``Machine.shutdown()`` / finalizers, but a test that fails mid-run —
+    or kills a rank the hard way — must not leak workers or ``/dev/shm``
+    segments into the next test.  Runs after *every* test; both reapers
+    are O(1) no-ops when nothing leaked.
+    """
+    yield
+    from repro.exec import reap_all_sessions, reap_leaked_segments
+
+    reap_all_sessions()
+    leaked = reap_leaked_segments()
+    assert not leaked, f"test leaked shared-memory segments: {leaked}"
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(12345)

@@ -1,0 +1,85 @@
+"""Shared config/runner for the executor golden-trace fixture.
+
+Used by ``tests/exec/test_golden_executors.py`` (replay + compare) and
+``scripts/refresh_golden_fixtures.py`` (regenerate / ``--check``).  Kept
+out of the test module so the refresh script can import it without
+pulling in pytest.
+
+The fixture pins, for a grid of scheme × partition × compression cells
+with faults off and on, the full machine trace and phase times.  Both
+executors must replay every entry exactly — the cross-session regression
+net over the executor byte-identity contract, the sibling of
+``tests/kernels/golden_backends.py`` for the execution tier.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core import get_compression, get_partition, get_scheme
+from repro.faults import FaultInjector, FaultSpec
+from repro.machine import Machine, sp2_cost_model, trace_to_dict
+from repro.sparse import random_sparse
+
+FIXTURE = Path(__file__).resolve().parents[1] / "faults" / "fixtures" / (
+    "golden_traces_executors.json"
+)
+
+#: seed for the lossy injector runs (drop/corrupt/duplicate/reorder all on)
+LOSSY_SEED = 5
+
+#: (scheme, partition, compression, n, p, fault_tag); fault_tag is
+#: "clean" (no injector) or "lossy" (FaultSpec.lossy(0.2), seed above)
+EXECUTOR_GOLDEN_CONFIGS = [
+    ("sfc", "row", "crs", 80, 4, "clean"),
+    ("cfs", "column", "ccs", 80, 4, "clean"),
+    ("ed", "mesh2d", "crs", 60, 4, "clean"),
+    ("sfc", "row", "crs", 80, 4, "lossy"),
+    ("cfs", "column", "ccs", 80, 4, "lossy"),
+    ("ed", "mesh2d", "crs", 60, 4, "lossy"),
+]
+
+
+def config_key(scheme, partition, compression, n, p, fault_tag) -> str:
+    return f"{scheme}-{partition}-{compression}-n{n}-p{p}-{fault_tag}"
+
+
+def run_executor_config(scheme, partition, compression, n, p, fault_tag,
+                        *, executor=None):
+    """Run one fixture cell; ``executor`` selects where rank tasks run."""
+    matrix = random_sparse((n, n), 0.1, seed=2002 + n + 131 * p)
+    plan = get_partition(partition).plan(matrix.shape, p)
+    injector = (
+        FaultInjector(FaultSpec.lossy(0.2), seed=LOSSY_SEED)
+        if fault_tag == "lossy"
+        else None
+    )
+    machine = Machine(
+        p, cost=sp2_cost_model(), faults=injector, executor=executor
+    )
+    try:
+        result = get_scheme(scheme).run(
+            machine, matrix, plan, get_compression(compression)
+        )
+        return machine, result, trace_to_dict(machine.trace)
+    finally:
+        machine.shutdown()
+
+
+def entry_for(config, *, executor=None) -> dict:
+    """The JSON entry one fixture cell pins."""
+    machine, result, trace = run_executor_config(*config, executor=executor)
+    return {
+        "t_distribution": result.t_distribution,
+        "t_compression": result.t_compression,
+        "fault_summary": result.fault_summary,
+        "trace": trace,
+    }
+
+
+def generate_fixture(*, executor=None) -> dict:
+    """All cells, keyed by :func:`config_key`."""
+    return {
+        config_key(*config): entry_for(config, executor=executor)
+        for config in EXECUTOR_GOLDEN_CONFIGS
+    }

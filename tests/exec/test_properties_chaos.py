@@ -1,0 +1,124 @@
+"""Property-based chaos battery over the process executor (opt-in).
+
+Hypothesis draws fault plans — lossy wire chaos (drop / duplicate /
+reorder / corrupt at drawn rates and seeds) and fail-stop kill plans —
+and every drawn scenario runs twice: once on the inline simulator, once
+with one real OS process per rank (where a fail-stop death SIGTERMs the
+actual worker).  The property is always the same: the process run's
+results, fault summaries and recovery summaries are byte-identical to
+the simulated run's.
+
+Opt-in via ``pytest -m chaos`` (tier-1 deselects the marker); example
+counts are pinned here (not by the profile) because every example costs
+two full machine runs with real process pools, and ``derandomize=True``
+keeps CI repeatable — the "fixed seed" of the battery.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultSpec
+from repro.faults.spec import FailStopSpec
+from repro.machine import result_to_dict
+from repro.runtime import run_scheme
+from repro.sparse import random_sparse
+
+pytestmark = pytest.mark.chaos
+
+CHAOS_SETTINGS = dict(
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.function_scoped_fixture,
+    ],
+)
+
+
+def run_pair(scheme, partition, *, faults, fault_seed, recovery=None,
+             n=48, p=4, matrix_seed=17):
+    """The same configuration on both executors → (sim, process) dicts."""
+    outs = []
+    for executor in ("sim", "process"):
+        matrix = random_sparse((n, n), 0.1, seed=matrix_seed)
+        result = run_scheme(
+            scheme, matrix, partition=partition, n_procs=p,
+            faults=faults, fault_seed=fault_seed, recovery=recovery,
+            executor=executor,
+        )
+        locals_bytes = [
+            (l.indptr.tobytes(), l.indices.tobytes(), l.values.tobytes())
+            for l in result.locals_
+        ]
+        outs.append((result_to_dict(result), locals_bytes))
+    return outs
+
+
+@settings(max_examples=12, **CHAOS_SETTINGS)
+@given(
+    scheme=st.sampled_from(["sfc", "cfs", "ed"]),
+    partition=st.sampled_from(["row", "column", "mesh2d"]),
+    f=st.floats(min_value=0.05, max_value=0.35),
+    fault_seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_lossy_chaos_matches_sim(scheme, partition, f, fault_seed):
+    """Drawn drop/duplicate/reorder/corrupt rates: identical retries,
+    charges, summaries and local array bytes under real processes."""
+    sim, proc = run_pair(
+        scheme, partition,
+        faults=FaultSpec.lossy(f), fault_seed=fault_seed,
+    )
+    assert sim == proc
+
+
+@settings(max_examples=10, **CHAOS_SETTINGS)
+@given(
+    scheme=st.sampled_from(["cfs", "ed"]),
+    policy=st.sampled_from(["host-resend", "peer-redistribute"]),
+    dead=st.lists(
+        st.integers(min_value=0, max_value=3),
+        min_size=1, max_size=2, unique=True,
+    ),
+    after_accepts=st.integers(min_value=0, max_value=3),
+    fault_seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_kill_rank_chaos_matches_sim(scheme, policy, dead, after_accepts,
+                                     fault_seed):
+    """Drawn fail-stop kill plans under recovery: the process executor
+    SIGTERMs the doomed rank's real worker, yet the degraded re-run and
+    its recovery summary match the simulator byte for byte."""
+    spec = FaultSpec(
+        fail_stop=FailStopSpec(
+            dead_ranks=tuple(dead), after_accepts=after_accepts
+        )
+    )
+    sim, proc = run_pair(
+        scheme, "row",
+        faults=spec, fault_seed=fault_seed, recovery=policy,
+    )
+    assert sim == proc
+
+
+@settings(max_examples=8, **CHAOS_SETTINGS)
+@given(
+    f=st.floats(min_value=0.05, max_value=0.25),
+    dead_rank=st.integers(min_value=0, max_value=3),
+    fault_seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_lossy_plus_kill_chaos_matches_sim(f, dead_rank, fault_seed):
+    """Wire chaos *and* a fail-stop death in the same run — the meanest
+    drawn scenario; recovery must still converge identically."""
+    lossy = FaultSpec.lossy(f)
+    spec = FaultSpec(
+        drop=lossy.drop, corrupt=lossy.corrupt,
+        duplicate=lossy.duplicate, reorder=lossy.reorder,
+        fail_stop=FailStopSpec(dead_ranks=(dead_rank,), after_accepts=1),
+    )
+    sim, proc = run_pair(
+        "ed", "row",
+        faults=spec, fault_seed=fault_seed, recovery="host-resend",
+    )
+    assert sim == proc

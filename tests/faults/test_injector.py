@@ -114,3 +114,27 @@ class TestStats:
         stats = FaultStats()
         stats.count(Phase.DISTRIBUTION, "retries")
         assert stats.get("distribution", "retries") == 1
+
+
+class TestMergeOrderPinned:
+    """FaultStats.merge output order is pinned (phases sorted, counters
+    in COUNTER_KEYS reporting order) regardless of input order."""
+
+    def test_phase_and_counter_order(self):
+        from repro.faults.stats import COUNTER_KEYS
+
+        a = {"distribution": {"retries": 1, "attempts": 4}}
+        b = {"compression": {"drops": 2, "attempts": 1}}
+        merged_ab = FaultStats.merge([a, b])
+        merged_ba = FaultStats.merge([b, a])
+        assert merged_ab == merged_ba
+        assert list(merged_ab) == sorted(merged_ab)
+        for bucket in merged_ab.values():
+            known = [k for k in COUNTER_KEYS if k in bucket]
+            assert list(bucket) == known
+
+    def test_counter_order_not_input_order(self):
+        # "retries" mentioned before "attempts" in the input: the merged
+        # bucket must still report attempts first (COUNTER_KEYS order)
+        merged = FaultStats.merge([{"compute": {"retries": 3, "attempts": 9}}])
+        assert list(merged["compute"]) == ["attempts", "retries"]

@@ -89,3 +89,30 @@ class TestBreakdown:
         bd = TraceLog().breakdown(Phase.PARTITION)
         assert bd.elapsed == 0.0
         assert bd.n_messages == 0
+
+
+class TestBreakdownOrderPinned:
+    """Aggregate dict orders are pinned, not first-event order."""
+
+    def test_proc_times_in_rank_order(self):
+        # events arrive rank 3 first (e.g. a reordered delivery) — the
+        # breakdown must still enumerate processors 0, 1, 3
+        log = TraceLog()
+        log.record(ops_event(Phase.COMPUTE, 3, 1.0))
+        log.record(ops_event(Phase.COMPUTE, 0, 2.0))
+        log.record(ops_event(Phase.COMPUTE, 1, 3.0))
+        log.record(ops_event(Phase.COMPUTE, 3, 4.0))
+        bd = log.breakdown(Phase.COMPUTE)
+        assert list(bd.proc_times) == [0, 1, 3]
+        assert bd.proc_times[3] == 5.0
+
+    def test_faults_by_label_sorted(self):
+        log = TraceLog()
+        for label in ("reorder", "drop", "corrupt", "drop"):
+            log.record(
+                Event(Phase.DISTRIBUTION, EventKind.FAULT, HOST, 0.0,
+                      quantity=1, label=label)
+            )
+        bd = log.breakdown(Phase.DISTRIBUTION)
+        assert list(bd.faults_by_label) == ["corrupt", "drop", "reorder"]
+        assert bd.faults_by_label["drop"] == 2
