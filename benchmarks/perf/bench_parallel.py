@@ -20,6 +20,15 @@ file only measures wall-clock):
   when the run had ≥2 cores to scale onto (the overlap gate is
   unconditional).
 
+A third cell kind prices the supervision layer itself:
+
+* ``supervised-p4`` — the p=4 overlap workload again, bare process
+  executor vs the same session wrapped in a default-spec
+  ``SupervisedSession``.  Supervision adds per-dispatch bookkeeping and
+  a ``connection.wait`` on (pipe, sentinel) instead of a blocking
+  ``recv`` — the cell records ``overhead`` = t_supervised/t_bare − 1,
+  and ``check_regression.py --parallel`` fails if it exceeds 5%.
+
 Usage::
 
     python benchmarks/perf/bench_parallel.py            # full grid
@@ -62,26 +71,29 @@ def best_of(fn, repeats: int) -> float:
     return min(times)
 
 
-def time_overlap(executor: str, p: int, repeats: int) -> float:
+def time_overlap(executor: str, p: int, repeats: int, supervise=None) -> float:
     """One round of per-rank ``exec.sleep`` tasks, submit-all-then-collect."""
+    from repro.exec import use_supervision
     from repro.machine import Machine
     from repro.machine.trace import Phase
 
     machine = Machine(p, executor=executor)
     try:
-        pool = machine.rank_pool()
-        for r in range(p):  # warm-up: spawn workers, prime the pipes
-            pool.submit(r, "exec.echo", Phase.COMPUTE, payload=None)
-        for r in range(p):
-            pool.result(r)
-
-        def once():
-            for r in range(p):
-                pool.submit(r, "exec.sleep", Phase.COMPUTE, seconds=SLEEP_S)
+        # session creation is lazy: the supervision scope must cover it
+        with use_supervision(supervise):
+            pool = machine.rank_pool()
+            for r in range(p):  # warm-up: spawn workers, prime the pipes
+                pool.submit(r, "exec.echo", Phase.COMPUTE, payload=None)
             for r in range(p):
                 pool.result(r)
 
-        return best_of(once, repeats)
+            def once():
+                for r in range(p):
+                    pool.submit(r, "exec.sleep", Phase.COMPUTE, seconds=SLEEP_S)
+                for r in range(p):
+                    pool.result(r)
+
+            return best_of(once, repeats)
     finally:
         machine.shutdown()
 
@@ -128,6 +140,27 @@ def run_cells(quick: bool, repeats: int, verbose: bool = True) -> dict:
         t_sim = time_overlap("sim", p, repeats)
         t_proc = time_overlap("process", p, repeats)
         record(f"overlap-p{p}", "overlap", None, p, t_sim, t_proc)
+
+    # supervision overhead: same p=4 overlap workload, bare vs supervised
+    from repro.exec import SuperviseSpec
+
+    t_bare = cases["overlap-p4"]["t_process_s"]
+    t_sup = time_overlap("process", 4, repeats, supervise=SuperviseSpec())
+    overhead = t_sup / t_bare - 1.0 if t_bare > 0 else float("inf")
+    cases["supervised-p4"] = {
+        "kind": "supervised",
+        "n": None,
+        "p": 4,
+        "t_bare_s": t_bare,
+        "t_supervised_s": t_sup,
+        "overhead": overhead,
+    }
+    if verbose:
+        print(
+            f"{'supervised-p4':<18} bare {t_bare * 1e3:8.1f} ms   "
+            f"supervised {t_sup * 1e3:6.1f} ms   "
+            f"overhead {overhead:+7.2%}"
+        )
 
     if not quick:
         for p in PROCS:

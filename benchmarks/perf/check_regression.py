@@ -33,7 +33,12 @@ The ``--parallel`` gate covers the rank-per-process executor's scaling
   baseline) was measured on a host with ≥2 cores.  A single-core run
   cannot speed up CPU-bound numpy work by running more processes, so
   its spmv cells are recorded for the report but exempt from the floor
-  (each report carries ``meta.cores`` for exactly this decision).
+  (each report carries ``meta.cores`` for exactly this decision);
+* **supervision overhead ceiling** — the ``supervised-p4`` cell prices
+  the supervision layer on the same overlap workload; its
+  ``overhead`` (t_supervised/t_bare − 1) must stay below 5%,
+  unconditionally — fault tolerance that taxes the healthy path is a
+  regression.
 
 Usage (what CI runs)::
 
@@ -64,6 +69,8 @@ ABS_CASES = [f"{k}-n2000-s0.1-p16" for k in ("pack", "encode", "decode")]
 OVERLAP_FLOOR = 1.8
 SPMV_FLOOR = 1.8
 SPMV_CASE = "spmv-n2000-p4"
+SUPERVISED_CASE = "supervised-p4"
+SUPERVISED_OVERHEAD_MAX = 0.05
 
 
 def load(path: Path) -> dict:
@@ -133,6 +140,23 @@ def check_parallel(fresh: dict, baseline: dict) -> list[str]:
                 "(rank tasks are not actually overlapping)"
             )
 
+    # supervision overhead ceiling: unconditional, like the overlap floor
+    carrier = (
+        fresh if SUPERVISED_CASE in fresh["cases"]
+        else baseline if SUPERVISED_CASE in baseline.get("cases", {})
+        else None
+    )
+    if carrier is None:
+        problems.append(f"parallel: {SUPERVISED_CASE}: missing from both files")
+    else:
+        overhead = carrier["cases"][SUPERVISED_CASE]["overhead"]
+        if overhead > SUPERVISED_OVERHEAD_MAX:
+            problems.append(
+                f"parallel: {SUPERVISED_CASE}: supervision overhead "
+                f"{overhead:+.2%} above the {SUPERVISED_OVERHEAD_MAX:.0%} "
+                "ceiling on the healthy path"
+            )
+
     # CPU-bound floor: armed on the first report measured with >=2 cores
     for where, report in (("fresh", fresh), ("baseline", baseline)):
         cores = report.get("meta", {}).get("cores", 1)
@@ -180,7 +204,8 @@ def main(argv=None) -> int:
         f"within {args.tolerance:.0%} of baseline; "
         f"{', '.join(k.split('-')[0] for k in ABS_CASES)} hold the "
         f"{ABS_FLOOR:.0f}x floor at n=2000, s=0.1, p=16; executor "
-        f"overlap cells hold the {OVERLAP_FLOOR}x concurrency floor"
+        f"overlap cells hold the {OVERLAP_FLOOR}x concurrency floor; "
+        f"supervision overhead within {SUPERVISED_OVERHEAD_MAX:.0%}"
     )
     return 0
 

@@ -74,6 +74,12 @@ def build_parser() -> argparse.ArgumentParser:
         "rank (default: $REPRO_EXECUTOR, else sim)",
     )
     run.add_argument(
+        "--supervise", metavar="SPEC.json", default=None,
+        help="supervise the process executor against real faults (JSON "
+        "SuperviseSpec: deadlines, restart budget, degradation); needs "
+        "--executor process; see examples/supervise/default.json",
+    )
+    run.add_argument(
         "--trace-out", metavar="TRACE.json", default=None,
         help="write a Chrome trace-event JSON of the last scheme's run "
         "(open in ui.perfetto.dev or chrome://tracing); enables "
@@ -114,6 +120,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--executor", metavar="NAME", default=None,
         help="executor for every cell (sim | process); results are "
         "byte-identical either way",
+    )
+    tables.add_argument(
+        "--supervise", metavar="SPEC.json", default=None,
+        help="supervise the process executor against real faults for "
+        "every cell (JSON SuperviseSpec); needs --executor process",
     )
 
     sub.add_parser("figures", help="print the Figures 1-7 worked example")
@@ -279,6 +290,50 @@ def _load_fault_spec(args):
         raise FaultSpecError(f"fault spec {args.faults!r} is invalid: {exc}")
 
 
+class SuperviseSpecError(SystemExit):
+    """Friendly one-line exit for a bad ``--supervise`` argument."""
+
+    def __init__(self, message: str) -> None:
+        print(f"error: {message}")
+        super().__init__(2)
+
+
+def _load_supervise_spec(args, executor):
+    """Parse ``--supervise`` (a JSON SuperviseSpec path) or return None.
+
+    Mirrors ``--faults``: malformed JSON, unknown keys and out-of-range
+    values exit with one friendly line.  Supervision only means anything
+    on the process executor, so a spec without ``--executor process``
+    (or ``REPRO_EXECUTOR=process``) is rejected rather than silently
+    ignored.
+    """
+    if getattr(args, "supervise", None) is None:
+        return None
+    import json
+
+    from .exec import SuperviseSpec, current_executor_name
+
+    effective = executor if executor is not None else current_executor_name()
+    if effective != "process":
+        raise SuperviseSpecError(
+            "--supervise needs the process executor (pass --executor "
+            f"process or set REPRO_EXECUTOR=process; current: {effective})"
+        )
+    try:
+        return SuperviseSpec.from_file(args.supervise)
+    except FileNotFoundError:
+        raise SuperviseSpecError(f"supervise spec {args.supervise!r} does not exist")
+    except IsADirectoryError:
+        raise SuperviseSpecError(f"supervise spec {args.supervise!r} is a directory")
+    except json.JSONDecodeError as exc:
+        raise SuperviseSpecError(
+            f"supervise spec {args.supervise!r} is not valid JSON "
+            f"(line {exc.lineno}, column {exc.colno}: {exc.msg})"
+        )
+    except (TypeError, ValueError) as exc:
+        raise SuperviseSpecError(f"supervise spec {args.supervise!r} is invalid: {exc}")
+
+
 def _print_fault_summary(result) -> None:
     """Surface retries/drops/corruptions per phase for one scheme run."""
     print(f"    {result.fault_line()}")
@@ -290,6 +345,7 @@ def _print_fault_summary(result) -> None:
 
 def _cmd_run(args) -> int:
     from .core import get_compression, get_scheme
+    from .exec import WorkerCrashError
     from .machine import Machine, render_timeline
     from .runtime import run_scheme, verify_all_schemes_agree
     from .sparse import random_sparse
@@ -297,6 +353,7 @@ def _cmd_run(args) -> int:
     fault_spec = _load_fault_spec(args)
     backend = _resolve_backend(args)
     executor = _resolve_executor(args)
+    supervise_spec = _load_supervise_spec(args, executor)
     recovery = None if args.recovery == "off" else args.recovery
     if recovery is not None and fault_spec is None:
         print("error: --recovery needs a fault plan (--faults SPEC.json)")
@@ -330,58 +387,69 @@ def _cmd_run(args) -> int:
                 seed=args.seed,
             )
             last_obs = obs
-        if args.timeline:
-            from .core.registry import get_partition
-            from .faults import FaultInjector
+        try:
+            if args.timeline:
+                from .core.registry import get_partition
+                from .exec import use_supervision
+                from .faults import FaultInjector
 
-            plan = get_partition(args.partition).plan(matrix.shape, args.procs)
-            injector = (
-                FaultInjector(fault_spec, seed=args.fault_seed)
-                if fault_spec is not None
-                else None
-            )
-            last_machine = Machine(
-                args.procs, faults=injector, backend=backend,
-                executor=executor, obs=obs,
-            )
-            try:
-                if recovery is not None:
-                    from .recovery import run_with_recovery
+                plan = get_partition(args.partition).plan(matrix.shape, args.procs)
+                injector = (
+                    FaultInjector(fault_spec, seed=args.fault_seed)
+                    if fault_spec is not None
+                    else None
+                )
+                last_machine = Machine(
+                    args.procs, faults=injector, backend=backend,
+                    executor=executor, obs=obs,
+                )
+                try:
+                    with use_supervision(supervise_spec):
+                        if recovery is not None:
+                            from .recovery import run_with_recovery
 
-                    result = run_with_recovery(
-                        scheme, last_machine, matrix,
-                        get_partition(args.partition),
-                        get_compression(args.compression),
-                        policy=recovery,
-                    )
-                else:
-                    result = get_scheme(scheme).run(
-                        last_machine, matrix, plan,
-                        get_compression(args.compression),
-                    )
-            finally:
-                # the trace survives for --timeline; only workers die
-                last_machine.shutdown()
-        else:
-            result = run_scheme(
-                scheme,
-                matrix,
-                partition=args.partition,
-                n_procs=args.procs,
-                compression=args.compression,
-                faults=fault_spec,
-                fault_seed=args.fault_seed,
-                recovery=recovery,
-                backend=backend,
-                executor=executor,
-                obs=obs,
-            )
+                            result = run_with_recovery(
+                                scheme, last_machine, matrix,
+                                get_partition(args.partition),
+                                get_compression(args.compression),
+                                policy=recovery,
+                            )
+                        else:
+                            result = get_scheme(scheme).run(
+                                last_machine, matrix, plan,
+                                get_compression(args.compression),
+                            )
+                finally:
+                    # the trace survives for --timeline; only workers die
+                    last_machine.shutdown()
+            else:
+                result = run_scheme(
+                    scheme,
+                    matrix,
+                    partition=args.partition,
+                    n_procs=args.procs,
+                    compression=args.compression,
+                    faults=fault_spec,
+                    fault_seed=args.fault_seed,
+                    recovery=recovery,
+                    backend=backend,
+                    executor=executor,
+                    obs=obs,
+                    supervise=supervise_spec,
+                )
+        except WorkerCrashError as exc:
+            # degrade=false and the restart budget ran out: one friendly
+            # line (which rank, which task) instead of a traceback
+            print(f"error: {exc}")
+            return 2
         results.append(result)
         print(f"  {result.summary()}")
         if fault_spec is not None:
             _print_fault_summary(result)
         if result.recovery_summary is not None:
             print(f"    {result.recovery_line()}")
+        if result.supervisor_summary is not None and not result.supervisor_summary.clean:
+            print(f"    {result.supervisor_line()}")
     if len(results) > 1:
         verify_all_schemes_agree(results)
         print("  all schemes delivered identical local arrays (verified)")
@@ -421,25 +489,28 @@ def _cmd_inspect(args) -> int:
 
 
 def _cmd_tables(args) -> int:
+    from .exec import use_supervision
     from .runtime import TABLE_SPECS, format_table, reproduce_table, shape_report
 
     fault_spec = _load_fault_spec(args)
     backend = _resolve_backend(args)
     executor = _resolve_executor(args)
+    supervise_spec = _load_supervise_spec(args, executor)
     names = ["table3", "table4", "table5"] if args.table == "all" else [args.table]
     for name in names:
         spec = TABLE_SPECS[name]
         sizes = [n for n in spec.sizes if n <= 800] if args.quick else None
         procs = spec.proc_counts[:2] if args.quick else None
-        repro = reproduce_table(
-            name,
-            sizes=sizes,
-            proc_counts=procs,
-            faults=fault_spec,
-            fault_seed=args.fault_seed,
-            backend=backend,
-            executor=executor,
-        )
+        with use_supervision(supervise_spec):
+            repro = reproduce_table(
+                name,
+                sizes=sizes,
+                proc_counts=procs,
+                faults=fault_spec,
+                fault_seed=args.fault_seed,
+                backend=backend,
+                executor=executor,
+            )
         print(format_table(repro))
         print(f"   shape report: {shape_report(repro)}")
         if fault_spec is not None:

@@ -26,6 +26,7 @@ from ..sparse.coo import COOMatrix
 from ..sparse.crs import CRSMatrix
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (recovery -> core)
+    from ..exec.supervise import SupervisorSummary
     from ..obs.spans import ObsSnapshot
     from ..recovery.summary import RecoverySummary
 
@@ -76,6 +77,9 @@ class SchemeResult:
     #: observability snapshot (None = the run was executed with
     #: observability disabled — the default, byte-identical golden path)
     observability: "ObsSnapshot | None" = None
+    #: real-fault supervision record (None = the run's executor session
+    #: was unsupervised — sim, or bare process executor)
+    supervisor_summary: "SupervisorSummary | None" = None
 
     @property
     def t_total(self) -> float:
@@ -118,6 +122,12 @@ class SchemeResult:
         if self.recovery_summary is None:
             return "recovery: n/a"
         return self.recovery_summary.line()
+
+    def supervisor_line(self) -> str:
+        """One-line real-fault supervision summary (crashes, restarts)."""
+        if self.supervisor_summary is None:
+            return "supervisor: off"
+        return self.supervisor_summary.line()
 
     @property
     def sparse_ratio(self) -> float:
@@ -201,6 +211,7 @@ class DistributionScheme:
             locals_=tuple(locals_),
             fault_summary=machine.fault_summary(),
             observability=observability,
+            supervisor_summary=machine.supervisor_summary(),
         )
 
     def __repr__(self) -> str:

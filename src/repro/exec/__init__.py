@@ -7,10 +7,16 @@ Public surface:
   :func:`current_executor_name` (``REPRO_EXECUTOR`` sets the default);
 * the coordinator API — :class:`RankPool` (via ``machine.rank_pool()``),
   :func:`rank_task` for registering new tasks;
+* supervision — :class:`SuperviseSpec`, :func:`use_supervision`,
+  :func:`set_default_supervision`, :func:`current_supervision`
+  (``REPRO_SUPERVISE`` sets the default), :class:`SupervisorSummary`,
+  :class:`WorkerCrashError` for real crash/hang/leak tolerance on the
+  process executor;
 * test/teardown hooks — :func:`reap_all_sessions`,
-  :func:`reap_leaked_segments`.
+  :func:`reap_leaked_segments`, :func:`shutdown_escalations`.
 
-See DESIGN.md §"Execution tiers" for the byte-identity contract.
+See DESIGN.md §"Execution tiers" for the byte-identity contract and
+§"Real-fault supervision" for the crash/hang/leak taxonomy.
 """
 
 from .dispatch import (
@@ -23,8 +29,22 @@ from .dispatch import (
     use_executor,
 )
 from .pool import RankPool
-from .process import ProcessExecutor, ProcessSession, reap_all_sessions
+from .process import (
+    ProcessExecutor,
+    ProcessSession,
+    reap_all_sessions,
+    shutdown_escalations,
+)
 from .sim import SimExecutor
+from .supervise import (
+    SupervisedSession,
+    SuperviseSpec,
+    SupervisorSummary,
+    WorkerCrashError,
+    current_supervision,
+    set_default_supervision,
+    use_supervision,
+)
 from .tasks import (
     Charge,
     ExecutorError,
@@ -49,11 +69,16 @@ __all__ = [
     "RankPool",
     "Ref",
     "SimExecutor",
+    "SupervisedSession",
+    "SuperviseSpec",
+    "SupervisorSummary",
     "TaskContext",
     "TaskResult",
     "WireFrame",
+    "WorkerCrashError",
     "available_executors",
     "current_executor_name",
+    "current_supervision",
     "get_executor",
     "get_task",
     "rank_task",
@@ -62,5 +87,8 @@ __all__ = [
     "register_executor",
     "run_task",
     "set_default_executor",
+    "set_default_supervision",
+    "shutdown_escalations",
     "use_executor",
+    "use_supervision",
 ]

@@ -41,18 +41,53 @@ from __future__ import annotations
 import multiprocessing
 import os
 import signal
+import time
+import warnings
 import weakref
 from itertools import count
-from typing import Any
+from multiprocessing import connection
+from typing import Any, Callable
 
 from .dispatch import Executor
 from .tasks import ExecutorError, Ref, TaskResult, run_task
 from .wire import recv_msg, send_msg
 
-__all__ = ["ProcessExecutor", "ProcessSession", "reap_all_sessions"]
+__all__ = [
+    "ProcessExecutor",
+    "ProcessSession",
+    "reap_all_sessions",
+    "shutdown_escalations",
+]
 
 #: every live session, for the test-suite orphan reaper
 _LIVE_SESSIONS: "weakref.WeakSet[ProcessSession]" = weakref.WeakSet()
+
+#: per-step grace period for teardown joins (tests shrink this)
+_JOIN_GRACE_S = 2.0
+
+#: workers that ever needed forced termination at shutdown, process-wide
+_escalations_total = 0
+_escalation_warned = False
+
+
+def shutdown_escalations() -> int:
+    """Shutdown joins that escalated to terminate/kill in this process."""
+    return _escalations_total
+
+
+def _note_escalations(n: int) -> None:
+    """Count ``n`` forced terminations; warn the host once per process."""
+    global _escalations_total, _escalation_warned
+    _escalations_total += n
+    if not _escalation_warned:
+        _escalation_warned = True
+        warnings.warn(
+            f"{n} rank worker(s) ignored the stop envelope and were "
+            "forcibly terminated (join -> terminate -> kill); a worker "
+            "that wedges at shutdown usually hung or stopped mid-task",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
 
 def reap_all_sessions() -> int:
@@ -172,6 +207,10 @@ class ProcessSession:
         self._gen = [0] * n_procs
         #: (rank, key) -> version the rank's worker last received
         self._cache: dict[tuple[int, str], int] = {}
+        #: supervisor hook: called ``(rank, segment_name)`` for every
+        #: host-created SharedMemory segment the moment it exists, so a
+        #: crash sweep can reclaim segments a dead worker never consumed
+        self._segment_sink: Callable[[int, str], None] | None = None
         self._task_ids = count()
         _LIVE_SESSIONS.add(self)
         self._finalizer = weakref.finalize(self, _shutdown_impl, self._workers, self._conns)
@@ -231,14 +270,17 @@ class ProcessSession:
         """
         conn = self._ensure_worker(rank)
         task_id = next(self._task_ids)
+        sink = self._segment_sink
+        on_segment = None if sink is None else (lambda name: sink(rank, name))
         try:
             for key, version, value in refs.values():
                 if self._cache.get((rank, key)) != version:
-                    send_msg(conn, ("value", key, value))
+                    send_msg(conn, ("value", key, value), on_segment=on_segment)
                     self._cache[(rank, key)] = version
             send_msg(
                 conn,
                 ("task", task_id, task, ctx_rank, backend, count_kernels, kwargs),
+                on_segment=on_segment,
             )
         except (OSError, BrokenPipeError) as err:
             raise ExecutorError(
@@ -274,6 +316,82 @@ class ProcessSession:
             # an older, abandoned task's reply: discard and keep reading
 
     # ------------------------------------------------------------------
+    # supervision primitives (repro.exec.supervise drives these)
+    # ------------------------------------------------------------------
+    def set_segment_sink(self, sink: Callable[[int, str], None] | None) -> None:
+        """Install the supervisor's host-created-segment ledger hook."""
+        self._segment_sink = sink
+
+    def worker_pid(self, rank: int) -> int | None:
+        """The rank's live worker pid (``None`` when not spawned)."""
+        worker = self._workers[rank]
+        return worker.pid if worker is not None else None
+
+    def kill_worker(self, rank: int) -> int | None:
+        """Hard-kill the rank's worker; returns its pid for attribution.
+
+        ``SIGKILL`` (not terminate) so even a ``SIGSTOP``-ped worker —
+        on which a ``SIGTERM`` would stay pending forever — dies now.
+        The worker's state is forgotten; the next dispatch respawns.
+        """
+        worker = self._workers[rank]
+        if worker is None:
+            return None
+        pid: int | None = worker.pid
+        if worker.is_alive():
+            worker.kill()
+            worker.join(timeout=_JOIN_GRACE_S)
+        self._forget_rank(rank)
+        return pid
+
+    def try_result(
+        self, handle: tuple[int, int, int], timeout: float
+    ) -> TaskResult | None:
+        """Poll one dispatched task for up to ``timeout`` seconds.
+
+        Waits on the worker's pipe *and* its process sentinel; returns
+        ``None`` when the worker is alive but silent past the timeout
+        (the supervisor's hang-detection window) and raises
+        :class:`ExecutorError` when the worker died first (pipe-EOF or
+        sentinel) — buffered replies are still drained before the
+        sentinel is believed.
+        """
+        rank, gen, task_id = handle
+        if gen != self._gen[rank] or self._conns[rank] is None:
+            raise ExecutorError(
+                f"worker for rank {rank} was restarted; task {task_id} is lost"
+            )
+        conn = self._conns[rank]
+        worker = self._workers[rank]
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            ready = connection.wait(
+                [conn, worker.sentinel], timeout=max(remaining, 0.0)
+            )
+            if conn in ready:
+                try:
+                    reply = recv_msg(conn)
+                except (EOFError, OSError) as err:
+                    self._forget_rank(rank)
+                    raise ExecutorError(
+                        f"worker for rank {rank} died before returning task "
+                        f"{task_id}: {err!r}"
+                    ) from err
+                if reply[0] == "result" and reply[1] == task_id:
+                    result: TaskResult = reply[2]
+                    return result
+                continue  # an abandoned task's reply: discard, keep reading
+            if worker.sentinel in ready:
+                self._forget_rank(rank)
+                raise ExecutorError(
+                    f"worker for rank {rank} died before returning task "
+                    f"{task_id}: process exited"
+                )
+            if remaining <= 0:
+                return None
+
+    # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def reset(self) -> None:
@@ -298,12 +416,21 @@ class ProcessSession:
         if worker is not None and worker.is_alive():
             worker.terminate()
             worker.join(timeout=5)
+            if worker.is_alive():  # e.g. SIGSTOPped: the TERM stays pending
+                worker.kill()
+                worker.join(timeout=5)
         self._forget_rank(rank)
         self._workers[rank] = None
 
-    def shutdown(self) -> None:
-        """Stop every worker and close every pipe (idempotent)."""
-        _shutdown_impl(self._workers, self._conns)
+    def shutdown(self) -> int:
+        """Stop every worker and close every pipe (idempotent).
+
+        Returns how many workers ignored the stop envelope and needed
+        the join → terminate → kill escalation (also counted in the
+        process-wide :func:`shutdown_escalations` metric, with a
+        once-per-process warning on the host).
+        """
+        escalated = _shutdown_impl(self._workers, self._conns)
         for rank in range(self.n_procs):
             self._workers[rank] = None
             self._conns[rank] = None
@@ -311,17 +438,25 @@ class ProcessSession:
         self._cache.clear()
         self._finalizer.detach()
         _LIVE_SESSIONS.discard(self)
+        if escalated:
+            _note_escalations(escalated)
+        return escalated
 
     def __repr__(self) -> str:  # pragma: no cover - debug nicety
         live = sum(1 for w in self._workers if w is not None and w.is_alive())
         return f"<ProcessSession p={self.n_procs} live_workers={live}>"
 
 
-def _shutdown_impl(workers: list[Any], conns: list[Any]) -> None:
+def _shutdown_impl(workers: list[Any], conns: list[Any]) -> int:
     """Teardown shared by :meth:`shutdown` and the GC finalizer.
 
     Takes the mutable lists (not the session) so ``weakref.finalize``
-    holds no reference cycle back to the session object.
+    holds no reference cycle back to the session object.  Returns the
+    number of workers that ignored the stop envelope and had to be
+    escalated join → terminate → kill; the final ``kill`` rung matters
+    because a stopped (``SIGSTOP``) worker never delivers the pending
+    ``SIGTERM`` — only ``SIGKILL`` fells it, and dropping through with
+    the worker alive would leak a zombie into the host's process table.
     """
     for worker, conn in zip(workers, conns):
         if conn is not None and worker is not None and worker.is_alive():
@@ -329,24 +464,44 @@ def _shutdown_impl(workers: list[Any], conns: list[Any]) -> None:
                 send_msg(conn, ("stop",))
             except (OSError, BrokenPipeError):  # pragma: no cover
                 pass
+    escalated = 0
     for worker in workers:
         if worker is not None and worker.is_alive():
-            worker.join(timeout=2)
-            if worker.is_alive():  # pragma: no cover - wedged worker
+            worker.join(timeout=_JOIN_GRACE_S)
+            if worker.is_alive():  # wedged worker: escalate
+                escalated += 1
                 worker.terminate()
-                worker.join(timeout=2)
+                worker.join(timeout=_JOIN_GRACE_S)
+                if worker.is_alive():  # stopped/unkillable-by-TERM: kill
+                    worker.kill()
+                    worker.join(timeout=_JOIN_GRACE_S)
     for conn in conns:
         if conn is not None:
             try:
                 conn.close()
             except OSError:  # pragma: no cover - already closed
                 pass
+    return escalated
 
 
 class ProcessExecutor(Executor):
-    """One worker process per rank, shared-memory wire buffers."""
+    """One worker process per rank, shared-memory wire buffers.
+
+    When a supervision plan is in scope (``--supervise`` /
+    ``REPRO_SUPERVISE`` / :func:`~repro.exec.supervise.use_supervision`),
+    the session comes wrapped in a
+    :class:`~repro.exec.supervise.SupervisedSession` — crash/hang
+    detection, bounded restart-and-replay and SharedMemory crash sweeps
+    ride on top of the bare session transparently.
+    """
 
     name = "process"
 
-    def create_session(self, n_procs: int) -> ProcessSession:
-        return ProcessSession(n_procs)
+    def create_session(self, n_procs: int) -> Any:
+        from .supervise import SupervisedSession, current_supervision
+
+        session = ProcessSession(n_procs)
+        spec = current_supervision()
+        if spec is None:
+            return session
+        return SupervisedSession(session, spec)

@@ -34,12 +34,14 @@ import os
 import pickle
 from multiprocessing import resource_tracker, shared_memory
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable
 
 __all__ = [
     "SHM_PREFIX",
     "SHM_THRESHOLD",
     "reap_leaked_segments",
+    "reap_named_segments",
+    "reap_segments_for_pid",
     "recv_msg",
     "send_msg",
 ]
@@ -72,11 +74,21 @@ def _untrack(name: str) -> None:
         pass
 
 
-def send_msg(conn: Any, obj: Any, *, threshold: int = SHM_THRESHOLD) -> None:
+def send_msg(
+    conn: Any,
+    obj: Any,
+    *,
+    threshold: int = SHM_THRESHOLD,
+    on_segment: Callable[[str], None] | None = None,
+) -> None:
     """Serialise ``obj`` onto ``conn`` (a duplex ``multiprocessing`` pipe).
 
     Out-of-band buffers totalling ``threshold`` bytes or more are copied
     into one fresh SharedMemory segment; smaller messages inline them.
+    ``on_segment`` (the supervisor's ledger hook) is called with the
+    segment name the moment the segment exists — *before* the pipe send —
+    so a receiver killed at any later point leaves an attributable name
+    for :func:`reap_named_segments`.
     """
     buffers: list[pickle.PickleBuffer] = []
     data = pickle.dumps(obj, protocol=5, buffer_callback=buffers.append)
@@ -86,6 +98,8 @@ def send_msg(conn: Any, obj: Any, *, threshold: int = SHM_THRESHOLD) -> None:
         conn.send(("inline", data, [bytes(r) for r in raws]))
         return
     shm = shared_memory.SharedMemory(create=True, size=total, name=_fresh_name())
+    if on_segment is not None:
+        on_segment(shm.name)
     try:
         offsets: list[tuple[int, int]] = []
         pos = 0
@@ -137,6 +151,50 @@ def reap_leaked_segments() -> list[str]:
         return []
     reaped = []
     for path in sorted(shm_dir.glob(f"{SHM_PREFIX}-*")):
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - concurrent sweep
+            continue
+        _untrack(path.name)
+        reaped.append(path.name)
+    return reaped
+
+
+def reap_named_segments(names: list[str]) -> list[str]:
+    """Unlink the ledger ``names`` that still exist; returns those reaped.
+
+    The supervisor's crash sweep for *host-created* segments: the ledger
+    over-approximates (a consumed segment's name stays listed until the
+    next successful result), so names already unlinked by the receiver
+    are silently skipped — no double-unregister reaches the tracker.
+    """
+    shm_dir = Path("/dev/shm")
+    if not shm_dir.is_dir():  # pragma: no cover - non-Linux
+        return []
+    reaped = []
+    for name in names:
+        try:
+            (shm_dir / name).unlink()
+        except OSError:
+            continue  # consumed (and unlinked) by the worker before it died
+        _untrack(name)
+        reaped.append(name)
+    return reaped
+
+
+def reap_segments_for_pid(pid: int) -> list[str]:
+    """Unlink every segment *created by* process ``pid``; returns names.
+
+    Segment names embed the creator's pid (``reproexec-<pid>-<n>``), so
+    a dead worker's in-flight result segments are attributable without a
+    ledger.  Only safe once ``pid`` is confirmed dead (killed and
+    joined): a live process may still be writing its segment.
+    """
+    shm_dir = Path("/dev/shm")
+    if not shm_dir.is_dir():  # pragma: no cover - non-Linux
+        return []
+    reaped = []
+    for path in sorted(shm_dir.glob(f"{SHM_PREFIX}-{pid}-*")):
         try:
             path.unlink()
         except OSError:  # pragma: no cover - concurrent sweep

@@ -88,6 +88,13 @@ def result_to_dict(result) -> dict[str, Any]:
             if getattr(result, "recovery_summary", None) is not None
             else {}
         ),
+        # real-fault supervision record: omitted on unsupervised runs so
+        # existing serialisations stay byte-identical
+        **(
+            {"supervisor_summary": result.supervisor_summary.to_dict()}
+            if getattr(result, "supervisor_summary", None) is not None
+            else {}
+        ),
         # observability snapshot: omitted when the run was executed with
         # observability off, so fault-free golden serialisations are
         # byte-identical to the pre-observability exporter

@@ -804,6 +804,11 @@ class Machine:
                 else current_executor_name()
             )
             self._exec_session = get_executor(name).create_session(self.n_procs)
+            # a supervised session reports restarts/reaps through obs; the
+            # hook is duck-typed so sim/bare sessions need no knowledge of it
+            attach = getattr(self._exec_session, "attach_obs", None)
+            if attach is not None and self.obs.enabled:
+                attach(self.obs)
         return self._exec_session
 
     def rank_pool(self):
@@ -859,6 +864,20 @@ class Machine:
         if self.faults is None:
             return None
         return self.faults.stats.summary()
+
+    def supervisor_summary(self):
+        """The executor session's real-fault record, or ``None``.
+
+        Non-``None`` only when the live session is supervised (process
+        executor under a :class:`~repro.exec.SuperviseSpec`); duck-typed
+        so sim/bare sessions stay supervision-agnostic.
+        """
+        if self._exec_session is None:
+            return None
+        summarise = getattr(self._exec_session, "supervisor_summary", None)
+        if summarise is None:
+            return None
+        return summarise()
 
     # convenience accessors mirroring the paper's reported quantities -----
     @property

@@ -8,7 +8,9 @@ Three renderings of one :class:`~repro.obs.spans.Observability` recorder:
   paper's host-serial / processor-parallel model (host = lane 0, rank
   *r* = lane *r*+1); zero-duration faults become ``"i"`` instants;
   hierarchical spans become ``"X"`` events on **pid 1** over the global
-  simulated clock, so nesting renders as flame-graph stacking.
+  simulated clock, so nesting renders as flame-graph stacking;
+  ``supervisor.*`` spans (real-fault restarts/degradations) get their own
+  lane (``tid`` 1 under pid 1), present only on supervised runs.
 * :func:`to_prometheus_text` — the Prometheus exposition format
   (``# HELP`` / ``# TYPE`` headers, escaped labels, cumulative
   ``_bucket{le=…}`` / ``_sum`` / ``_count`` for histograms).
@@ -46,6 +48,9 @@ __all__ = [
 MACHINE_PID = 0
 #: pid of the hierarchical span lanes in the Chrome export
 SPAN_PID = 1
+#: tid (under SPAN_PID) of the real-fault supervisor lane — restarts and
+#: degradations render beside, not inside, the algorithmic span stack
+SUPERVISOR_TID = 1
 
 
 def _tid_for_actor(actor: int) -> int:
@@ -88,6 +93,13 @@ def to_chrome_trace(obs: Observability) -> dict[str, Any]:
         "ph": "M", "pid": SPAN_PID, "tid": 0, "ts": 0,
         "name": "thread_name", "args": {"name": "span stack"},
     })
+    # supervisor lane metadata only when supervisor spans exist, so
+    # unsupervised exports stay byte-identical to earlier builds
+    if any(s.name.startswith("supervisor.") for s in obs.spans):
+        events.append({
+            "ph": "M", "pid": SPAN_PID, "tid": SUPERVISOR_TID, "ts": 0,
+            "name": "thread_name", "args": {"name": "supervisor"},
+        })
 
     # -- machine events: one lane per actor ------------------------------
     for rec in obs.events:
@@ -118,12 +130,13 @@ def to_chrome_trace(obs: Observability) -> dict[str, Any]:
         args = {str(k): v for k, v in span.labels.items()}
         args["wall_ms"] = span.wall_elapsed_s * 1000.0
         args["n_events"] = span.n_events
+        supervisor = span.name.startswith("supervisor.")
         events.append({
             "name": span.name,
-            "cat": "span",
+            "cat": "supervisor" if supervisor else "span",
             "ph": "X",
             "pid": SPAN_PID,
-            "tid": 0,
+            "tid": SUPERVISOR_TID if supervisor else 0,
             "ts": span.sim_start_ms * 1000.0,
             "dur": span.sim_elapsed_ms * 1000.0,
             "args": args,

@@ -108,6 +108,9 @@ class SurvivorView:
     def fault_summary(self):
         return self.machine.fault_summary()
 
+    def supervisor_summary(self):
+        return self.machine.supervisor_summary()
+
     def kernel_context(self):
         return self.machine.kernel_context()
 
@@ -235,6 +238,9 @@ class GhostView:
 
     def fault_summary(self):
         return self.machine.fault_summary()
+
+    def supervisor_summary(self):
+        return self.machine.supervisor_summary()
 
     def kernel_context(self):
         return self.machine.kernel_context()

@@ -24,6 +24,7 @@ from ..sparse.coo import COOMatrix
 from ..sparse.generators import random_sparse
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..exec.supervise import SuperviseSpec
     from ..obs.spans import Observability
 
 __all__ = ["ExperimentConfig", "run_scheme", "run_config"]
@@ -45,6 +46,7 @@ def run_scheme(
     backend: str | None = None,
     executor: str | None = None,
     obs: "Observability | None" = None,
+    supervise: "SuperviseSpec | None" = None,
 ) -> SchemeResult:
     """Run one scheme on a fresh simulated machine.
 
@@ -77,6 +79,13 @@ def run_scheme(
     snapshotted into ``result.observability``.  ``None`` (default) runs
     fully un-instrumented — byte-identical to pre-observability builds
     (docs/OBSERVABILITY.md).
+
+    ``supervise`` attaches a :class:`~repro.exec.SuperviseSpec` to the
+    run's executor session: real worker crashes and hangs are then healed
+    by restart-and-replay (degrading to the inline sim executor once the
+    budget is spent) and reported in ``result.supervisor_summary``.  Only
+    meaningful with the process executor; ``None`` inherits the
+    supervision layer's default (``REPRO_SUPERVISE``, else off).
     """
     method = partition if isinstance(partition, PartitionMethod) else get_partition(partition)
     if plan is None:
@@ -87,16 +96,21 @@ def run_scheme(
         backend=backend, executor=executor, obs=obs,
     )
     comp: type[CompressedLocal] = get_compression(compression)
-    try:
-        if recovery is not None:
-            if injector is None:
-                raise ValueError("recovery needs a fault plan (faults=...)")
-            from ..recovery.manager import run_with_recovery
+    from ..exec import use_supervision
 
-            return run_with_recovery(
-                get_scheme(scheme), machine, matrix, method, comp, policy=recovery
-            )
-        return get_scheme(scheme).run(machine, matrix, plan, comp)
+    try:
+        # use_supervision(None) is a no-op scope: the ambient default
+        # (REPRO_SUPERVISE / set_default_supervision) stays in force
+        with use_supervision(supervise):
+            if recovery is not None:
+                if injector is None:
+                    raise ValueError("recovery needs a fault plan (faults=...)")
+                from ..recovery.manager import run_with_recovery
+
+                return run_with_recovery(
+                    get_scheme(scheme), machine, matrix, method, comp, policy=recovery
+                )
+            return get_scheme(scheme).run(machine, matrix, plan, comp)
     finally:
         machine.shutdown()  # rank workers die with the run (sim: no-op)
 
@@ -130,6 +144,9 @@ class ExperimentConfig:
     backend: str | None = None
     #: executor ("sim" | "process"); None = the executor layer's default
     executor: str | None = None
+    #: real-fault supervision spec; None = the supervision layer's
+    #: default (REPRO_SUPERVISE, else off).  Process executor only.
+    supervise: "SuperviseSpec | None" = None
 
     def make_matrix(self) -> COOMatrix:
         """The test sample for this cell (paper: n×n, fixed sparse ratio)."""
@@ -157,4 +174,5 @@ def run_config(config: ExperimentConfig, matrix: COOMatrix | None = None) -> Sch
         recovery=config.recovery,
         backend=config.backend,
         executor=config.executor,
+        supervise=config.supervise,
     )

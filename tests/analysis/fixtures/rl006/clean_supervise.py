@@ -1,0 +1,39 @@
+"""RL006 clean: supervise-spec failures follow the exit contract.
+
+Mirrors the real CLI's ``--supervise`` handling — a ``SystemExit``
+subclass that prints one friendly line and carries status 2, and a
+crash handler that prints once and returns 2.
+"""
+
+import sys
+
+
+class SuperviseSpecError(SystemExit):
+    def __init__(self, message):
+        print(f"error: {message}")
+        super().__init__(2)
+
+
+class WorkerCrashError(RuntimeError):
+    pass
+
+
+def _load_supervise_spec(path, executor):
+    if executor != "process":
+        raise SuperviseSpecError(
+            f"--supervise needs the process executor (current: {executor})"
+        )
+    return path
+
+
+def _cmd_run(args):
+    try:
+        _load_supervise_spec(args, "process")
+    except WorkerCrashError as exc:
+        print(f"error: {exc}")
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(_cmd_run(None))

@@ -1,0 +1,24 @@
+"""RL006 violations: crash-recovery paths that break the exit contract."""
+
+
+class WorkerCrashError(RuntimeError):
+    pass
+
+
+def _cmd_run(args):
+    try:
+        raise WorkerCrashError("rank 1 crashed running 'exec.sleep'")
+    except WorkerCrashError as exc:
+        print(f"error: {exc}")
+        return 3  # EXPECT: RL006
+    return 0
+
+
+def _cmd_tables(args):
+    try:
+        raise ValueError("unknown supervise-spec keys: {'retries'}")
+    except ValueError as exc:
+        print("error: bad supervise spec")
+        print(f"  caused by: {exc}")  # EXPECT: RL006
+        return 2
+    return 0

@@ -44,11 +44,27 @@ def _reap_executor_leaks():
     are O(1) no-ops when nothing leaked.
     """
     yield
+    import multiprocessing
+    import time
+
     from repro.exec import reap_all_sessions, reap_leaked_segments
 
     reap_all_sessions()
     leaked = reap_leaked_segments()
     assert not leaked, f"test leaked shared-memory segments: {leaked}"
+    # a worker SIGKILLed moments ago may not have exited yet; give kills
+    # in flight a short window to land — a genuine leak never drains
+    deadline = time.monotonic() + 2.0
+    while True:
+        orphans = [
+            child.name
+            for child in multiprocessing.active_children()
+            if child.name.startswith("repro-rank-")
+        ]
+        if not orphans or time.monotonic() >= deadline:
+            break
+        time.sleep(0.05)
+    assert not orphans, f"test leaked rank worker processes: {orphans}"
 
 
 @pytest.fixture

@@ -304,3 +304,72 @@ class TestRecoveryFlag:
         assert main(["run", "--scheme", "sfc", "--n", "24", "--procs", "2",
                      "--faults", spec, "--recovery", "host-resend"]) == 0
         assert "no failures" in capsys.readouterr().out
+
+
+class TestSuperviseFlag:
+    """``--supervise`` is user input: bad specs and executor mismatches
+    must exit with one friendly ``error:`` line (exit code 2)."""
+
+    def _run(self, capsys, *argv):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "--scheme", "sfc", "--n", "24", "--procs", "2",
+                  *argv])
+        assert exc.value.code == 2
+        return capsys.readouterr().out
+
+    def _spec_file(self, tmp_path, body='{"max_restarts": 1}'):
+        spec = tmp_path / "supervise.json"
+        spec.write_text(body)
+        return str(spec)
+
+    def test_parser_default_is_none(self):
+        args = build_parser().parse_args(["run"])
+        assert args.supervise is None
+
+    def test_needs_process_executor(self, tmp_path, capsys):
+        out = self._run(capsys, "--executor", "sim",
+                        "--supervise", self._spec_file(tmp_path))
+        assert out.startswith("error:")
+        assert "needs the process executor" in out
+        assert "current: sim" in out
+
+    def test_missing_file(self, tmp_path, capsys):
+        out = self._run(capsys, "--executor", "process",
+                        "--supervise", str(tmp_path / "nope.json"))
+        assert out.startswith("error:") and "does not exist" in out
+
+    def test_directory_path(self, tmp_path, capsys):
+        out = self._run(capsys, "--executor", "process",
+                        "--supervise", str(tmp_path))
+        assert "is a directory" in out
+
+    def test_malformed_json_reports_line_and_column(self, tmp_path, capsys):
+        path = self._spec_file(tmp_path, '{"max_restarts": 1,,}')
+        out = self._run(capsys, "--executor", "process", "--supervise", path)
+        assert "not valid JSON" in out and "line 1" in out
+
+    def test_unknown_key_rejected_with_known_list(self, tmp_path, capsys):
+        path = self._spec_file(tmp_path, '{"retries": 3}')
+        out = self._run(capsys, "--executor", "process", "--supervise", path)
+        assert "unknown supervise-spec keys" in out
+        assert "'retries'" in out and "max_restarts" in out
+
+    def test_out_of_range_value_rejected(self, tmp_path, capsys):
+        path = self._spec_file(tmp_path, '{"max_restarts": -1}')
+        out = self._run(capsys, "--executor", "process", "--supervise", path)
+        assert "is invalid" in out
+
+    def test_supervised_run_succeeds_and_stays_quiet(self, tmp_path, capsys):
+        path = self._spec_file(tmp_path)
+        assert main(["run", "--scheme", "sfc", "--n", "24", "--procs", "2",
+                     "--executor", "process", "--supervise", path]) == 0
+        out = capsys.readouterr().out
+        assert "SFC" in out
+        # no real faults fired, so no supervisor noise in the report
+        assert "supervisor:" not in out
+
+    def test_supervised_tables_run(self, tmp_path, capsys):
+        path = self._spec_file(tmp_path)
+        assert main(["tables", "table4", "--quick", "--executor", "process",
+                     "--supervise", path]) == 0
+        assert "table4" in capsys.readouterr().out
