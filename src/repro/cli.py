@@ -140,14 +140,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sweep_p = sub.add_parser(
-        "sweep", help="sweep a knob and chart the scheme costs"
+        "sweep",
+        help="run a manifest of experiment cells, or sweep a model knob",
     )
     sweep_p.add_argument(
-        "parameter", choices=["s", "ratio", "p", "n"],
-        help="what to sweep: sparse ratio, T_Data/T_Op, processors, size",
+        "parameter", metavar="MANIFEST.json | s|ratio|p|n",
+        help="an experiment manifest to run into a result store, or a "
+        "model knob to chart (sparse ratio, T_Data/T_Op, processors, size)",
     )
-    sweep_p.add_argument("--start", type=float, required=True)
-    sweep_p.add_argument("--stop", type=float, required=True)
+    sweep_p.add_argument("--start", type=float, default=None)
+    sweep_p.add_argument("--stop", type=float, default=None)
+    sweep_p.add_argument(
+        "--store", metavar="RESULTS.jsonl", default=None,
+        help="result store path (manifest mode; default: the manifest "
+        "path with a .results.jsonl suffix)",
+    )
+    sweep_p.add_argument(
+        "--resume", action="store_true",
+        help="continue an interrupted sweep: skip committed cells, "
+        "re-run a torn final record (manifest mode)",
+    )
+    sweep_p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="cells to run concurrently, one worker process per cell "
+        "(manifest mode; default 1 = in-process)",
+    )
+    sweep_p.add_argument(
+        "--executor", choices=["sim", "process"], default=None,
+        help="executor every cell's rank tasks run on (manifest mode; "
+        "placement only — results and the store are identical either way)",
+    )
     sweep_p.add_argument("--points", type=int, default=20)
     sweep_p.add_argument("--n", type=int, default=500)
     sweep_p.add_argument("--procs", type=int, default=8)
@@ -182,6 +204,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = sub.add_parser("report", help="write EXPERIMENTS.md")
     report.add_argument("path", nargs="?", default="EXPERIMENTS.md")
+    report.add_argument(
+        "--store", metavar="RESULTS.jsonl", default=None,
+        help="persistent sweep store for the table grids: resumes it if "
+        "partial, reuses it verbatim if complete (default: a temporary "
+        "store, discarded after rendering)",
+    )
 
     inspect_p = sub.add_parser(
         "inspect", help="render a saved JSONL run log (comm matrix, top spans)"
@@ -583,7 +611,60 @@ def _cmd_crossover(args) -> int:
     return 0
 
 
+class SweepManifestError(SystemExit):
+    """Friendly one-line exit for a bad sweep manifest/store/argument."""
+
+    def __init__(self, message: str) -> None:
+        print(f"error: {message}")
+        super().__init__(2)
+
+
+def _cmd_sweep_manifest(args) -> int:
+    """Manifest mode: run (or resume) the grid into a JSONL result store."""
+    from pathlib import Path
+
+    from .sweep import Manifest, ManifestError, StoreError, SweepError, run_sweep
+
+    executor = _resolve_executor(args)
+    if args.jobs < 1:
+        raise SweepManifestError(f"--jobs must be >= 1, got {args.jobs}")
+    try:
+        manifest = Manifest.from_file(args.parameter)
+    except ManifestError as exc:
+        raise SweepManifestError(str(exc))
+    store_path = (
+        Path(args.store)
+        if args.store is not None
+        else Path(args.parameter).with_suffix(".results.jsonl")
+    )
+    try:
+        report = run_sweep(
+            manifest,
+            store_path,
+            resume=args.resume,
+            jobs=args.jobs,
+            executor=executor,
+            echo=print,
+        )
+    except (ManifestError, StoreError) as exc:
+        raise SweepManifestError(str(exc))
+    except SweepError as exc:
+        print(f"error: {exc}")
+        return 1
+    print(
+        f"sweep {manifest.name!r}: {report.executed} cell(s) run, "
+        f"{report.skipped} resumed, {report.total} total -> {report.store_path}"
+    )
+    return 0
+
+
 def _cmd_sweep(args) -> int:
+    if args.parameter not in ("s", "ratio", "p", "n"):
+        return _cmd_sweep_manifest(args)
+    if args.start is None or args.stop is None:
+        raise SweepManifestError(
+            f"knob sweeps over {args.parameter!r} need --start and --stop"
+        )
     import numpy as np
 
     from .machine import sp2_cost_model
@@ -663,7 +744,10 @@ def _cmd_collection(args) -> int:
 def _cmd_report(args) -> int:
     from .runtime.report import main as report_main
 
-    return report_main(["report", args.path])
+    argv = ["report", args.path]
+    if args.store is not None:
+        argv += ["--store", args.store]
+    return report_main(argv)
 
 
 def _cmd_lint(args) -> int:

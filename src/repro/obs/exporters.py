@@ -51,6 +51,9 @@ SPAN_PID = 1
 #: tid (under SPAN_PID) of the real-fault supervisor lane — restarts and
 #: degradations render beside, not inside, the algorithmic span stack
 SUPERVISOR_TID = 1
+#: tid (under SPAN_PID) of the sweep-orchestration lane — cell lifecycle
+#: spans render beside the per-run algorithmic span stack
+SWEEP_TID = 2
 
 
 def _tid_for_actor(actor: int) -> int:
@@ -100,6 +103,13 @@ def to_chrome_trace(obs: Observability) -> dict[str, Any]:
             "ph": "M", "pid": SPAN_PID, "tid": SUPERVISOR_TID, "ts": 0,
             "name": "thread_name", "args": {"name": "supervisor"},
         })
+    # likewise the sweep-orchestration lane: only manifests when a sweep
+    # actually ran under this recorder
+    if any(s.name.startswith("sweep.") for s in obs.spans):
+        events.append({
+            "ph": "M", "pid": SPAN_PID, "tid": SWEEP_TID, "ts": 0,
+            "name": "thread_name", "args": {"name": "sweep"},
+        })
 
     # -- machine events: one lane per actor ------------------------------
     for rec in obs.events:
@@ -131,12 +141,19 @@ def to_chrome_trace(obs: Observability) -> dict[str, Any]:
         args["wall_ms"] = span.wall_elapsed_s * 1000.0
         args["n_events"] = span.n_events
         supervisor = span.name.startswith("supervisor.")
+        sweep = span.name.startswith("sweep.")
+        if supervisor:
+            tid, cat = SUPERVISOR_TID, "supervisor"
+        elif sweep:
+            tid, cat = SWEEP_TID, "sweep"
+        else:
+            tid, cat = 0, "span"
         events.append({
             "name": span.name,
-            "cat": "supervisor" if supervisor else "span",
+            "cat": cat,
             "ph": "X",
             "pid": SPAN_PID,
-            "tid": SUPERVISOR_TID if supervisor else 0,
+            "tid": tid,
             "ts": span.sim_start_ms * 1000.0,
             "dur": span.sim_elapsed_ms * 1000.0,
             "args": args,

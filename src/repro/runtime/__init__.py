@@ -18,6 +18,7 @@ from .paper_results import (
     TABLE5_SIZES,
 )
 from .plot import ascii_chart
+from .session import RunRequest, RunSession
 from .stats import ReplicationStats, replicate
 from .tables import format_comparison_row, format_table, shape_report
 from .verify import verify_all_schemes_agree, verify_distribution
@@ -29,6 +30,8 @@ __all__ = [
     "PAPER_TABLE5",
     "PAPER_TABLES",
     "ReplicationStats",
+    "RunRequest",
+    "RunSession",
     "SchemeComparison",
     "SCHEMES_ORDER",
     "TABLE3_SIZES",

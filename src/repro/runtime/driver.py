@@ -11,12 +11,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from ..core.base import CompressedLocal, SchemeResult
-from ..core.registry import get_compression, get_partition, get_scheme
-from ..faults.injector import FaultInjector
+from ..core.base import SchemeResult
+from ..core.registry import get_partition
 from ..faults.spec import FaultSpec
 from ..machine.cost_model import CostModel, sp2_cost_model
-from ..machine.machine import Machine
 from ..machine.topology import Topology
 from ..partition.base import PartitionMethod, PartitionPlan
 from ..partition.mesh2d import Mesh2DPartition
@@ -87,32 +85,31 @@ def run_scheme(
     meaningful with the process executor; ``None`` inherits the
     supervision layer's default (``REPRO_SUPERVISE``, else off).
     """
+    from .session import RunSession
+
     method = partition if isinstance(partition, PartitionMethod) else get_partition(partition)
     if plan is None:
         plan = method.plan(matrix.shape, n_procs)
-    injector = FaultInjector(faults, seed=fault_seed) if faults is not None else None
-    machine = Machine(
-        plan.n_procs, cost=cost, topology=topology, faults=injector,
-        backend=backend, executor=executor, obs=obs,
+    request = ExperimentConfig(
+        scheme=scheme,
+        n=matrix.shape[0],
+        n_procs=plan.n_procs,
+        partition=method.name,
+        compression=compression,
+        seed=0,
+        cost=cost if cost is not None else sp2_cost_model(),
+        faults=faults,
+        fault_seed=fault_seed,
+        recovery=recovery,
+        backend=backend,
+        executor=executor,
+        supervise=supervise,
     )
-    comp: type[CompressedLocal] = get_compression(compression)
-    from ..exec import use_supervision
-
-    try:
-        # use_supervision(None) is a no-op scope: the ambient default
-        # (REPRO_SUPERVISE / set_default_supervision) stays in force
-        with use_supervision(supervise):
-            if recovery is not None:
-                if injector is None:
-                    raise ValueError("recovery needs a fault plan (faults=...)")
-                from ..recovery.manager import run_with_recovery
-
-                return run_with_recovery(
-                    get_scheme(scheme), machine, matrix, method, comp, policy=recovery
-                )
-            return get_scheme(scheme).run(machine, matrix, plan, comp)
-    finally:
-        machine.shutdown()  # rank workers die with the run (sim: no-op)
+    with RunSession(reuse_machines=False) as session:
+        return session.run(
+            request, matrix=matrix, method=method, plan=plan,
+            topology=topology, obs=obs,
+        )
 
 
 @dataclass(frozen=True)
@@ -159,20 +156,14 @@ class ExperimentConfig:
 
 
 def run_config(config: ExperimentConfig, matrix: COOMatrix | None = None) -> SchemeResult:
-    """Execute one experiment cell (generating the matrix unless given)."""
-    if matrix is None:
-        matrix = config.make_matrix()
-    return run_scheme(
-        config.scheme,
-        matrix,
-        partition=config.partition_method(),
-        n_procs=config.n_procs,
-        compression=config.compression,
-        cost=config.cost,
-        faults=config.faults,
-        fault_seed=config.fault_seed,
-        recovery=config.recovery,
-        backend=config.backend,
-        executor=config.executor,
-        supervise=config.supervise,
-    )
+    """Execute one experiment cell (generating the matrix unless given).
+
+    A one-shot :class:`~repro.runtime.session.RunSession` run: grids that
+    revisit matrices or machines should hold a session open instead
+    (that is what :func:`~repro.runtime.experiments.reproduce_table` and
+    the sweep orchestrator do).
+    """
+    from .session import RunSession
+
+    with RunSession(reuse_machines=False) as session:
+        return session.run(config, matrix=matrix)

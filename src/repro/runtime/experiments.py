@@ -20,8 +20,9 @@ from ..core.base import SchemeResult
 from ..faults.spec import FaultSpec
 from ..faults.stats import FaultStats
 from ..machine.cost_model import CostModel, sp2_cost_model
-from .driver import ExperimentConfig, run_config
+from .driver import ExperimentConfig
 from .paper_results import PAPER_TABLES, TABLE3_SIZES, TABLE5_SIZES
+from .session import RunSession
 
 __all__ = ["TABLE_SPECS", "TableSpec", "TableReproduction", "reproduce_table", "SCHEMES_ORDER"]
 
@@ -148,35 +149,40 @@ def reproduce_table(
     proc_counts = tuple(proc_counts) if proc_counts is not None else spec.proc_counts
     cost = cost if cost is not None else sp2_cost_model()
     repro = TableReproduction(spec=spec, sizes=sizes, proc_counts=proc_counts)
-    for p in proc_counts:
-        for n in sizes:
-            base = ExperimentConfig(
-                scheme="sfc",
-                n=n,
-                n_procs=p,
-                partition=spec.partition,
-                compression=spec.compression,
-                sparse_ratio=sparse_ratio,
-                seed=seed + n + 131 * p,
-                mesh_shape=spec.mesh_shape_for(p),
-                cost=cost,
-            )
-            matrix = base.make_matrix()  # one sample shared by all schemes
-            for scheme in schemes:
-                cfg = ExperimentConfig(
-                    scheme=scheme,
+    # one warm session for the whole grid: the generated sample is shared
+    # by all schemes in a cell (as on the real machine) and clean cells
+    # reuse one machine per p instead of rebuilding Machine/kernel state
+    # per cell (tests/sweep/test_session.py pins the byte-equivalence)
+    with RunSession() as session:
+        for p in proc_counts:
+            for n in sizes:
+                base = ExperimentConfig(
+                    scheme="sfc",
                     n=n,
                     n_procs=p,
-                    partition=base.partition,
-                    compression=base.compression,
+                    partition=spec.partition,
+                    compression=spec.compression,
                     sparse_ratio=sparse_ratio,
-                    seed=base.seed,
-                    mesh_shape=base.mesh_shape,
+                    seed=seed + n + 131 * p,
+                    mesh_shape=spec.mesh_shape_for(p),
                     cost=cost,
-                    faults=faults,
-                    fault_seed=fault_seed,
-                    backend=backend,
-                    executor=executor,
                 )
-                repro.cells[(p, scheme, n)] = run_config(cfg, matrix)
+                matrix = session.matrix_for(base)
+                for scheme in schemes:
+                    cfg = ExperimentConfig(
+                        scheme=scheme,
+                        n=n,
+                        n_procs=p,
+                        partition=base.partition,
+                        compression=base.compression,
+                        sparse_ratio=sparse_ratio,
+                        seed=base.seed,
+                        mesh_shape=base.mesh_shape,
+                        cost=cost,
+                        faults=faults,
+                        fault_seed=fault_seed,
+                        backend=backend,
+                        executor=executor,
+                    )
+                    repro.cells[(p, scheme, n)] = session.run(cfg, matrix=matrix)
     return repro

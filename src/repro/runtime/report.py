@@ -172,7 +172,15 @@ def _observability_section() -> list[str]:
     return lines
 
 
-def build_report() -> str:
+def build_report(store: str | None = None) -> str:
+    """Build the full EXPERIMENTS.md text.
+
+    ``store`` names a persistent sweep store for the Tables 3–5 grids:
+    the paper-tables manifest is resumed into it (no-op when complete)
+    and the table sections render exclusively from its records.  ``None``
+    uses a temporary store discarded after rendering — same pipeline,
+    nothing re-run on disk next time.
+    """
     t0 = time.time()
     out: list[str] = []
     out.append("# EXPERIMENTS — paper vs. this reproduction")
@@ -228,6 +236,24 @@ def build_report() -> str:
     )
     out.append("")
 
+    # Tables 3-5: run the declarative paper-tables manifest into a sweep
+    # store (resume = a complete store renders without re-running a cell)
+    # and build every table exclusively from the committed records.
+    import tempfile
+    from pathlib import Path
+
+    from ..sweep import paper_tables_manifest, run_sweep, table_from_store
+
+    manifest = paper_tables_manifest()
+    t_sweep = time.time()
+    with tempfile.TemporaryDirectory() as scratch:
+        store_path = (
+            Path(store) if store is not None else Path(scratch) / "paper-tables.jsonl"
+        )
+        sweep_report = run_sweep(manifest, store_path, resume=True)
+    records = sweep_report.records
+    t_sweep = time.time() - t_sweep
+
     for table_id, title, para in (
         (
             "table3",
@@ -253,8 +279,7 @@ def build_report() -> str:
             "**ED > CFS > SFC**.",
         ),
     ):
-        t_start = time.time()
-        repro = reproduce_table(table_id)
+        repro = table_from_store(records, table_id)
         out.append(f"## {title}")
         out.append("")
         out.append(para)
@@ -263,7 +288,9 @@ def build_report() -> str:
         out.append("")
         out.extend(_verdicts(repro))
         out.append(
-            f"- grid simulated in {time.time() - t_start:.1f}s wall-clock"
+            f"- rendered from the sweep result store "
+            f"({sweep_report.executed} cell(s) simulated in "
+            f"{t_sweep:.1f}s wall-clock, {sweep_report.skipped} reused)"
         )
         out.append("")
 
@@ -475,8 +502,17 @@ def build_report() -> str:
 
 
 def main(argv: list[str]) -> int:
-    path = argv[1] if len(argv) > 1 else "EXPERIMENTS.md"
-    report = build_report()
+    rest = list(argv[1:])
+    store: str | None = None
+    if "--store" in rest:
+        at = rest.index("--store")
+        if at + 1 >= len(rest):
+            print("error: --store needs a RESULTS.jsonl path")
+            return 2
+        store = rest[at + 1]
+        del rest[at : at + 2]
+    path = rest[0] if rest else "EXPERIMENTS.md"
+    report = build_report(store=store)
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(report)
     print(f"wrote {path} ({len(report.splitlines())} lines)")

@@ -1,0 +1,225 @@
+"""The reusable ``RunRequest → SchemeResult`` session object.
+
+Every way of running a scheme — the CLI's ``run``, the table grids in
+:mod:`repro.runtime.experiments`, the sweep orchestrator in
+:mod:`repro.sweep` and any future serve path — funnels through one
+:class:`RunSession`.  A session owns the *warm* state that used to be
+rebuilt from scratch per call:
+
+* the generated test matrices (one ``random_sparse`` sample per
+  ``(shape, sparse_ratio, seed)``, LRU-bounded), so the paper's
+  "same sample shared by all schemes in a cell" convention costs one
+  generation instead of three;
+* the simulated machines (one per ``(p, cost, backend, executor)``
+  signature), so the process executor's rank workers stay alive across
+  clean runs instead of being forked and torn down per cell.
+
+Reuse can never change a result: a reused machine is :meth:`~repro.
+machine.machine.Machine.reset` before every run (the documented
+replay-identical operation), and any request that carries per-run
+machine state — a fault injector, a recovery policy, an observability
+recorder, active supervision or an explicit topology — gets a fresh
+machine exactly as before.  ``tests/sweep/test_session.py`` pins the
+equivalence against per-call :func:`~repro.runtime.driver.run_scheme`
+runs on both executors.
+
+``RunRequest`` is the declarative request record — it *is*
+:class:`~repro.runtime.driver.ExperimentConfig`, re-exported under the
+name the service/orchestration layers use.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Any
+
+from ..core.base import CompressedLocal, SchemeResult
+from ..core.registry import get_compression, get_scheme
+from ..faults.injector import FaultInjector
+from ..machine.machine import Machine
+from ..machine.topology import Topology
+from ..partition.base import PartitionMethod, PartitionPlan
+from ..sparse.coo import COOMatrix
+from ..sparse.generators import random_sparse
+from .driver import ExperimentConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.spans import Observability
+
+__all__ = ["RunRequest", "RunSession"]
+
+#: the declarative request record (one table/sweep cell); see module
+#: docstring — the ``RunRequest → SchemeResult`` contract of ROADMAP 2/3
+RunRequest = ExperimentConfig
+
+
+class RunSession:
+    """A warm, reusable ``RunRequest → SchemeResult`` entry point.
+
+    Parameters
+    ----------
+    reuse_machines:
+        ``False`` builds (and tears down) a fresh machine per run —
+        exactly the historical per-call behaviour.  ``True`` (default)
+        keeps one machine per ``(p, cost, backend, executor)`` signature
+        warm between *clean* runs; requests with faults, recovery,
+        observability, supervision or an explicit topology always get a
+        fresh machine either way.
+    matrix_cache_size:
+        How many generated matrices to keep (LRU).  The table grids
+        revisit the same ``(n, ratio, seed)`` once per scheme, so a
+        handful of slots removes two thirds of the generation work.
+    """
+
+    def __init__(
+        self, *, reuse_machines: bool = True, matrix_cache_size: int = 4
+    ) -> None:
+        if matrix_cache_size < 1:
+            raise ValueError(
+                f"matrix_cache_size must be >= 1, got {matrix_cache_size}"
+            )
+        self.reuse_machines = reuse_machines
+        self._matrix_cache_size = matrix_cache_size
+        self._matrices: OrderedDict[
+            tuple[tuple[int, int], float, int], COOMatrix
+        ] = OrderedDict()
+        self._machines: dict[tuple[Any, ...], Machine] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # warm state
+    # ------------------------------------------------------------------
+    def matrix_for(self, request: RunRequest) -> COOMatrix:
+        """The request's test sample, generated once per (shape, s, seed)."""
+        key = ((request.n, request.n), request.sparse_ratio, request.seed)
+        cached = self._matrices.get(key)
+        if cached is not None:
+            self._matrices.move_to_end(key)
+            return cached
+        matrix = random_sparse(key[0], request.sparse_ratio, seed=request.seed)
+        self._matrices[key] = matrix
+        while len(self._matrices) > self._matrix_cache_size:
+            self._matrices.popitem(last=False)
+        return matrix
+
+    def _machine_for(
+        self,
+        request: RunRequest,
+        n_procs: int,
+        injector: FaultInjector | None,
+        topology: Topology | None,
+        obs: "Observability | None",
+    ) -> tuple[Machine, bool]:
+        """``(machine, reused)`` for one run; see class docstring."""
+        from ..exec import current_supervision
+
+        reusable = (
+            self.reuse_machines
+            and injector is None
+            and request.recovery is None
+            and topology is None
+            and obs is None
+            and request.supervise is None
+            and current_supervision() is None
+        )
+        if not reusable:
+            machine = Machine(
+                n_procs, cost=request.cost, topology=topology, faults=injector,
+                backend=request.backend, executor=request.executor, obs=obs,
+            )
+            return machine, False
+        key = (n_procs, request.cost, request.backend, request.executor)
+        machine = self._machines.get(key)
+        if machine is None:
+            machine = Machine(
+                n_procs, cost=request.cost,
+                backend=request.backend, executor=request.executor,
+            )
+            self._machines[key] = machine
+        else:
+            # the documented replay-identical operation: memories,
+            # mailboxes, trace and worker stores are all cleared
+            machine.reset()
+        return machine, True
+
+    # ------------------------------------------------------------------
+    # the entry point
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        request: RunRequest,
+        *,
+        matrix: COOMatrix | None = None,
+        method: PartitionMethod | None = None,
+        plan: PartitionPlan | None = None,
+        topology: Topology | None = None,
+        obs: "Observability | None" = None,
+    ) -> SchemeResult:
+        """Execute one request and return its :class:`SchemeResult`.
+
+        ``matrix`` overrides the generated sample (the grids share one
+        sample across schemes); ``method``/``plan``/``topology``/``obs``
+        are the driver-level overrides :func:`~repro.runtime.driver.
+        run_scheme` exposes, passed through unchanged.
+        """
+        if self._closed:
+            raise RuntimeError("RunSession is closed")
+        if matrix is None:
+            matrix = self.matrix_for(request)
+        if method is None:
+            method = request.partition_method()
+        if plan is None:
+            plan = method.plan(matrix.shape, request.n_procs)
+        injector = (
+            FaultInjector(request.faults, seed=request.fault_seed)
+            if request.faults is not None
+            else None
+        )
+        machine, reused = self._machine_for(
+            request, plan.n_procs, injector, topology, obs
+        )
+        comp: type[CompressedLocal] = get_compression(request.compression)
+        from ..exec import use_supervision
+
+        try:
+            # use_supervision(None) is a no-op scope: the ambient default
+            # (REPRO_SUPERVISE / set_default_supervision) stays in force
+            with use_supervision(request.supervise):
+                if request.recovery is not None:
+                    if injector is None:
+                        raise ValueError(
+                            "recovery needs a fault plan (faults=...)"
+                        )
+                    from ..recovery.manager import run_with_recovery
+
+                    return run_with_recovery(
+                        get_scheme(request.scheme), machine, matrix, method,
+                        comp, policy=request.recovery,
+                    )
+                return get_scheme(request.scheme).run(machine, matrix, plan, comp)
+        finally:
+            if not reused:
+                machine.shutdown()  # rank workers die with the run
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Tear down every warm machine (idempotent)."""
+        for machine in self._machines.values():
+            machine.shutdown()
+        self._machines.clear()
+        self._matrices.clear()
+        self._closed = True
+
+    def __enter__(self) -> "RunSession":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug nicety
+        return (
+            f"RunSession(machines={len(self._machines)}, "
+            f"matrices={len(self._matrices)}, closed={self._closed})"
+        )

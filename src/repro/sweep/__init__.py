@@ -1,0 +1,54 @@
+"""Manifest-driven experiment sweeps with a resumable JSONL result store.
+
+The declarative counterpart to :mod:`repro.runtime.experiments`'s table
+grids (ROADMAP item 3): a JSON :class:`Manifest` names parameter grids
+over scheme × partition × compression × n × p, :func:`run_sweep`
+executes the expansion through the shared
+:class:`~repro.runtime.session.RunSession` entry point (optionally
+fanned out over worker processes), and every completed cell is one
+fsync'd line in an append-only JSONL :class:`ResultStore` keyed by
+manifest hash + cell ID — so an interrupted sweep resumes exactly where
+it stopped and converges byte-identically to an uninterrupted run
+(DESIGN.md §"Sweep orchestration").
+"""
+
+from .manifest import (
+    Cell,
+    Grid,
+    Manifest,
+    ManifestError,
+    canonical_json,
+    cell_seed,
+)
+from .orchestrator import SweepCellError, SweepError, SweepReport, run_sweep
+from .report import StoredResult, paper_tables_manifest, table_from_store
+from .store import (
+    FORMAT_VERSION,
+    ResultStore,
+    StoreDriftError,
+    StoreError,
+    StoreState,
+    load_store,
+)
+
+__all__ = [
+    "Cell",
+    "FORMAT_VERSION",
+    "Grid",
+    "Manifest",
+    "ManifestError",
+    "ResultStore",
+    "StoreDriftError",
+    "StoreError",
+    "StoreState",
+    "StoredResult",
+    "SweepCellError",
+    "SweepError",
+    "SweepReport",
+    "canonical_json",
+    "cell_seed",
+    "load_store",
+    "paper_tables_manifest",
+    "run_sweep",
+    "table_from_store",
+]

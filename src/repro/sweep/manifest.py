@@ -1,0 +1,509 @@
+"""Declarative JSON experiment manifests and their grid expansion.
+
+A manifest names one or more parameter grids over the paper's experiment
+axes (scheme × partition × compression × n × p × sparse ratio); the
+orchestrator (:mod:`repro.sweep.orchestrator`) expands it into an ordered
+list of :class:`Cell`\\ s and runs each through a
+:class:`~repro.runtime.session.RunSession`.
+
+The format is deliberately small and strict — unknown keys are rejected
+with the full sorted key listing (the :class:`~repro.faults.spec.FaultSpec`
+convention), axis values are validated against the registries in
+:mod:`repro.core.registry`, and expansion is a *pure function* of the
+manifest: a fixed nested-loop axis order and a seed rule derived only from
+cell parameters.  That purity is what makes resume sound: the store
+records a cell by its :attr:`Cell.cell_id` — a SHA-256 prefix of the
+canonical-JSON parameter dict, stable under key reordering — and the
+manifest by :meth:`Manifest.manifest_hash`, so a drifted manifest can
+never silently reuse stale results (DESIGN.md §"Sweep orchestration").
+
+Cell seeds follow the published-table recipe ``seed + n + 131 * p``
+(:mod:`repro.runtime.experiments`): with ``"seed": 2002`` a manifest grid
+reproduces the exact matrices of Tables 3–5.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Mapping, Sequence
+
+from ..core.registry import COMPRESSIONS, PARTITIONS, SCHEMES
+from ..machine.cost_model import CostModel, sp2_cost_model
+from ..runtime.session import RunRequest
+
+__all__ = [
+    "Cell",
+    "Grid",
+    "Manifest",
+    "ManifestError",
+    "canonical_json",
+    "cell_seed",
+]
+
+#: per-processor seed stride of the table recipe (experiments.py)
+SEED_STRIDE_P = 131
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+def canonical_json(obj: Any) -> str:
+    """The canonical encoding hashes and the store are defined over:
+    sorted keys, no whitespace — byte-stable under key reordering."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def cell_seed(base_seed: int, n: int, n_procs: int) -> int:
+    """The table-grid seed recipe: ``base + n + 131 * p``."""
+    return base_seed + n + SEED_STRIDE_P * n_procs
+
+
+class ManifestError(ValueError):
+    """A manifest failed schema validation (message is CLI-friendly)."""
+
+
+# ----------------------------------------------------------------------
+# validation helpers (FaultSpec's strictness conventions)
+# ----------------------------------------------------------------------
+def _reject_unknown(data: Mapping[str, Any], known: Sequence[str], what: str) -> None:
+    unknown = sorted(set(data) - set(known))
+    if unknown:
+        raise ManifestError(
+            f"unknown {what} key(s) {unknown}; known keys: {sorted(known)}"
+        )
+
+
+def _as_list(value: Any, key: str) -> list[Any]:
+    """Promote a scalar axis value to a one-element list."""
+    if isinstance(value, list):
+        if not value:
+            raise ManifestError(f"grid axis {key!r} must not be empty")
+        return value
+    return [value]
+
+
+def _int_axis(values: list[Any], key: str) -> tuple[int, ...]:
+    out: list[int] = []
+    for v in values:
+        if isinstance(v, bool) or not isinstance(v, int):
+            raise ManifestError(f"grid axis {key!r} values must be integers, got {v!r}")
+        if v < 1:
+            raise ManifestError(f"grid axis {key!r} values must be >= 1, got {v}")
+        out.append(v)
+    if len(set(out)) != len(out):
+        raise ManifestError(f"grid axis {key!r} has duplicate values: {values}")
+    return tuple(out)
+
+
+def _ratio_axis(values: list[Any], key: str) -> tuple[float, ...]:
+    out: list[float] = []
+    for v in values:
+        if isinstance(v, bool) or not isinstance(v, (int, float)):
+            raise ManifestError(f"grid axis {key!r} values must be numbers, got {v!r}")
+        v = float(v)
+        if not 0.0 < v <= 1.0:
+            raise ManifestError(
+                f"grid axis {key!r} values must be in (0, 1], got {v}"
+            )
+        out.append(v)
+    if len(set(out)) != len(out):
+        raise ManifestError(f"grid axis {key!r} has duplicate values: {values}")
+    return tuple(out)
+
+
+def _name_axis(
+    values: list[Any], key: str, registry: Mapping[str, Any], what: str
+) -> tuple[str, ...]:
+    out: list[str] = []
+    for v in values:
+        if not isinstance(v, str):
+            raise ManifestError(f"grid axis {key!r} values must be strings, got {v!r}")
+        if v.lower() not in registry:
+            raise ManifestError(
+                f"unknown {what} {v!r} in grid axis {key!r}; "
+                f"available: {sorted(registry)}"
+            )
+        out.append(v.lower())
+    if len(set(out)) != len(out):
+        raise ManifestError(f"grid axis {key!r} has duplicate values: {values}")
+    return tuple(out)
+
+
+def _mesh_shapes(
+    value: Any, n_procs: tuple[int, ...], partitions: tuple[str, ...]
+) -> tuple[tuple[int, tuple[int, int]], ...]:
+    if not isinstance(value, Mapping):
+        raise ManifestError(
+            f"grid key 'mesh_shapes' must be an object mapping p -> [rows, cols], "
+            f"got {value!r}"
+        )
+    if "mesh2d" not in partitions:
+        raise ManifestError(
+            "grid key 'mesh_shapes' is only meaningful with the 'mesh2d' partition"
+        )
+    out: list[tuple[int, tuple[int, int]]] = []
+    for raw_p, shape in value.items():
+        try:
+            p = int(raw_p)
+        except (TypeError, ValueError):
+            raise ManifestError(
+                f"mesh_shapes keys must be processor counts, got {raw_p!r}"
+            ) from None
+        if p not in n_procs:
+            raise ManifestError(
+                f"mesh_shapes key {p} is not on the 'n_procs' axis {list(n_procs)}"
+            )
+        if (
+            not isinstance(shape, list)
+            or len(shape) != 2
+            or any(isinstance(s, bool) or not isinstance(s, int) or s < 1 for s in shape)
+        ):
+            raise ManifestError(
+                f"mesh_shapes[{p}] must be [rows, cols] with positive integers, "
+                f"got {shape!r}"
+            )
+        if shape[0] * shape[1] != p:
+            raise ManifestError(
+                f"mesh_shapes[{p}] = {shape} does not factor {p} processors"
+            )
+        out.append((p, (shape[0], shape[1])))
+    return tuple(sorted(out))
+
+
+# ----------------------------------------------------------------------
+# the expanded unit of work
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Cell:
+    """One expanded grid point — everything one run needs, by value.
+
+    ``seed`` is derived from the manifest seed by :func:`cell_seed`; it is
+    stored explicitly so a store record is self-describing.  ``cell_id``
+    hashes the canonical parameter dict, so it is independent of manifest
+    key order and of which grid produced the cell.
+    """
+
+    scheme: str
+    partition: str
+    compression: str
+    n: int
+    n_procs: int
+    sparse_ratio: float
+    seed: int
+    mesh_shape: tuple[int, int] | None = None
+
+    def params(self) -> dict[str, Any]:
+        """The canonical JSON-compatible parameter dict (ID + store form)."""
+        out: dict[str, Any] = {
+            "scheme": self.scheme,
+            "partition": self.partition,
+            "compression": self.compression,
+            "n": self.n,
+            "n_procs": self.n_procs,
+            "sparse_ratio": self.sparse_ratio,
+            "seed": self.seed,
+        }
+        if self.mesh_shape is not None:
+            out["mesh_shape"] = list(self.mesh_shape)
+        return out
+
+    @property
+    def cell_id(self) -> str:
+        """16-hex-digit stable ID: SHA-256 prefix of the canonical params."""
+        digest = hashlib.sha256(canonical_json(self.params()).encode("ascii"))
+        return digest.hexdigest()[:16]
+
+    def to_request(
+        self,
+        *,
+        cost: CostModel | None = None,
+        backend: str | None = None,
+        executor: str | None = None,
+    ) -> RunRequest:
+        """The session-layer request for this cell.
+
+        ``backend``/``executor`` are *run-time placement* overrides — they
+        never change measured results (DESIGN.md §"Execution tiers"), so
+        they are not part of the cell identity and not recorded in the
+        store.
+        """
+        return RunRequest(
+            scheme=self.scheme,
+            n=self.n,
+            n_procs=self.n_procs,
+            partition=self.partition,
+            compression=self.compression,
+            sparse_ratio=self.sparse_ratio,
+            seed=self.seed,
+            mesh_shape=self.mesh_shape,
+            cost=cost if cost is not None else sp2_cost_model(),
+            backend=backend,
+            executor=executor,
+        )
+
+    @classmethod
+    def from_params(cls, params: Mapping[str, Any]) -> "Cell":
+        """Rebuild a cell from its :meth:`params` dict (store records,
+        worker processes)."""
+        _reject_unknown(
+            params,
+            (
+                "scheme",
+                "partition",
+                "compression",
+                "n",
+                "n_procs",
+                "sparse_ratio",
+                "seed",
+                "mesh_shape",
+            ),
+            "cell params",
+        )
+        mesh = params.get("mesh_shape")
+        return cls(
+            scheme=params["scheme"],
+            partition=params["partition"],
+            compression=params["compression"],
+            n=params["n"],
+            n_procs=params["n_procs"],
+            sparse_ratio=params["sparse_ratio"],
+            seed=params["seed"],
+            mesh_shape=(mesh[0], mesh[1]) if mesh is not None else None,
+        )
+
+
+# ----------------------------------------------------------------------
+# one declared grid
+# ----------------------------------------------------------------------
+_GRID_KEYS = (
+    "scheme",
+    "partition",
+    "compression",
+    "n",
+    "n_procs",
+    "sparse_ratio",
+    "mesh_shapes",
+)
+
+
+@dataclass(frozen=True)
+class Grid:
+    """One rectangular block of the sweep: the cross product of its axes.
+
+    Axis defaults mirror the paper's fixed knobs (row partition, CRS
+    compression, sparse ratio 0.1).  ``mesh_shapes`` pins the processor
+    mesh per p for the ``mesh2d`` partition, like Table 5's 2×2/4×4/8×8.
+    """
+
+    scheme: tuple[str, ...]
+    n: tuple[int, ...]
+    n_procs: tuple[int, ...]
+    partition: tuple[str, ...] = ("row",)
+    compression: tuple[str, ...] = ("crs",)
+    sparse_ratio: tuple[float, ...] = (0.1,)
+    mesh_shapes: tuple[tuple[int, tuple[int, int]], ...] = ()
+
+    def mesh_shape_for(self, p: int) -> tuple[int, int] | None:
+        for q, shape in self.mesh_shapes:
+            if q == p:
+                return shape
+        return None
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Grid":
+        if not isinstance(data, Mapping):
+            raise ManifestError(f"each grid must be an object, got {data!r}")
+        _reject_unknown(data, _GRID_KEYS, "grid")
+        for required in ("scheme", "n", "n_procs"):
+            if required not in data:
+                raise ManifestError(f"grid is missing required key {required!r}")
+        partition = _name_axis(
+            _as_list(data.get("partition", "row"), "partition"),
+            "partition", PARTITIONS, "partition method",
+        )
+        n_procs = _int_axis(_as_list(data["n_procs"], "n_procs"), "n_procs")
+        mesh_raw = data.get("mesh_shapes")
+        return cls(
+            scheme=_name_axis(
+                _as_list(data["scheme"], "scheme"), "scheme", SCHEMES, "scheme"
+            ),
+            n=_int_axis(_as_list(data["n"], "n"), "n"),
+            n_procs=n_procs,
+            partition=partition,
+            compression=_name_axis(
+                _as_list(data.get("compression", "crs"), "compression"),
+                "compression", COMPRESSIONS, "compression method",
+            ),
+            sparse_ratio=_ratio_axis(
+                _as_list(data.get("sparse_ratio", 0.1), "sparse_ratio"),
+                "sparse_ratio",
+            ),
+            mesh_shapes=(
+                _mesh_shapes(mesh_raw, n_procs, partition) if mesh_raw is not None else ()
+            ),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Normalised form: every axis a list, in fixed key order."""
+        out: dict[str, Any] = {
+            "scheme": list(self.scheme),
+            "partition": list(self.partition),
+            "compression": list(self.compression),
+            "n": list(self.n),
+            "n_procs": list(self.n_procs),
+            "sparse_ratio": list(self.sparse_ratio),
+        }
+        if self.mesh_shapes:
+            out["mesh_shapes"] = {str(p): list(s) for p, s in self.mesh_shapes}
+        return out
+
+    def expand(self, base_seed: int) -> Iterator[Cell]:
+        """The grid's cells in the fixed nested-loop axis order.
+
+        The order (partition → compression → sparse_ratio → n_procs → n →
+        scheme) matches the table grids: all schemes of one (p, n) cell
+        are adjacent, so a warm session shares their generated matrix.
+        """
+        for partition in self.partition:
+            mesh = self.mesh_shapes if partition == "mesh2d" else ()
+            for compression in self.compression:
+                for ratio in self.sparse_ratio:
+                    for p in self.n_procs:
+                        shape = None
+                        for q, s in mesh:
+                            if q == p:
+                                shape = s
+                        for n in self.n:
+                            for scheme in self.scheme:
+                                yield Cell(
+                                    scheme=scheme,
+                                    partition=partition,
+                                    compression=compression,
+                                    n=n,
+                                    n_procs=p,
+                                    sparse_ratio=ratio,
+                                    seed=cell_seed(base_seed, n, p),
+                                    mesh_shape=shape,
+                                )
+
+
+# ----------------------------------------------------------------------
+# the manifest
+# ----------------------------------------------------------------------
+_MANIFEST_KEYS = ("name", "description", "seed", "grid", "grids")
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """A named, seeded collection of grids — the unit `repro sweep` runs."""
+
+    name: str
+    grids: tuple[Grid, ...]
+    description: str = ""
+    seed: int = 0
+    _cells: tuple[Cell, ...] = field(
+        default=(), init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not _NAME_RE.match(self.name):
+            raise ManifestError(
+                f"manifest 'name' must match [A-Za-z0-9][A-Za-z0-9._-]*, "
+                f"got {self.name!r}"
+            )
+        if isinstance(self.seed, bool) or not isinstance(self.seed, int):
+            raise ManifestError(f"manifest 'seed' must be an integer, got {self.seed!r}")
+        if not isinstance(self.description, str):
+            raise ManifestError(
+                f"manifest 'description' must be a string, got {self.description!r}"
+            )
+        if not self.grids:
+            raise ManifestError("manifest declares no grids")
+        cells = tuple(
+            cell for grid in self.grids for cell in grid.expand(self.seed)
+        )
+        seen: dict[str, Cell] = {}
+        for cell in cells:
+            prior = seen.get(cell.cell_id)
+            if prior is not None:
+                raise ManifestError(
+                    f"grids overlap: cell {cell.cell_id} "
+                    f"({canonical_json(cell.params())}) appears twice"
+                )
+            seen[cell.cell_id] = cell
+        object.__setattr__(self, "_cells", cells)
+
+    # -- expansion ------------------------------------------------------
+    def expand(self) -> tuple[Cell, ...]:
+        """All cells, grids concatenated in manifest order.  Pure: the
+        same manifest always yields the same ordered tuple."""
+        return self._cells
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    # -- (de)serialisation ---------------------------------------------
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Manifest":
+        if not isinstance(data, Mapping):
+            raise ManifestError(f"manifest must be a JSON object, got {data!r}")
+        _reject_unknown(data, _MANIFEST_KEYS, "manifest")
+        if "name" not in data:
+            raise ManifestError("manifest is missing required key 'name'")
+        if "grid" in data and "grids" in data:
+            raise ManifestError("manifest has both 'grid' and 'grids'; pick one")
+        raw_grids = data.get("grids", data.get("grid"))
+        if raw_grids is None:
+            raise ManifestError("manifest is missing required key 'grids' (or 'grid')")
+        if isinstance(raw_grids, Mapping):
+            raw_grids = [raw_grids]
+        if not isinstance(raw_grids, list):
+            raise ManifestError(
+                f"'grids' must be a grid object or a list of them, got {raw_grids!r}"
+            )
+        return cls(
+            name=data["name"],
+            description=data.get("description", ""),
+            seed=data.get("seed", 0),
+            grids=tuple(Grid.from_dict(g) for g in raw_grids),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Manifest":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as err:
+            raise ManifestError(f"manifest is not valid JSON: {err}") from None
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "Manifest":
+        path = Path(path)
+        if not path.exists():
+            raise ManifestError(f"manifest file not found: {path}")
+        if path.is_dir():
+            raise ManifestError(f"manifest path is a directory: {path}")
+        return cls.from_json(path.read_text())
+
+    def to_dict(self) -> dict[str, Any]:
+        """Normalised round-trippable form (``from_dict`` is its inverse)."""
+        out: dict[str, Any] = {"name": self.name}
+        if self.description:
+            out["description"] = self.description
+        out["seed"] = self.seed
+        out["grids"] = [grid.to_dict() for grid in self.grids]
+        return out
+
+    def manifest_hash(self) -> str:
+        """SHA-256 of the canonical normalised form — the drift detector.
+
+        Computed over :meth:`to_dict`, so cosmetic differences (key order,
+        whitespace, scalar-vs-list axes, ``grid`` vs ``grids``) hash
+        identically while any semantic change changes the hash.
+        """
+        return hashlib.sha256(
+            canonical_json(self.to_dict()).encode("ascii")
+        ).hexdigest()

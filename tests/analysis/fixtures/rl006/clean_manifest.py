@@ -1,0 +1,32 @@
+"""RL006 clean: manifest-sweep failures follow the exit contract.
+
+Mirrors the real CLI's manifest mode — a ``SystemExit`` subclass that
+prints one friendly line and carries status 2 for bad user input, and a
+cell-failure handler that prints once and returns 1.
+"""
+
+
+class SweepManifestError(SystemExit):
+    def __init__(self, message):
+        print(f"error: {message}")
+        super().__init__(2)
+
+
+class SweepCellError(RuntimeError):
+    pass
+
+
+def _load_manifest(path):
+    if not path.endswith(".json"):
+        raise SweepManifestError(f"manifest {path!r} is not a JSON file")
+    return path
+
+
+def _cmd_sweep(args):
+    try:
+        _load_manifest(args.parameter)
+        raise SweepCellError("cell 6402330bdcd7f22b failed: ValueError: boom")
+    except SweepCellError as exc:
+        print(f"error: {exc}")
+        return 1
+    return 0

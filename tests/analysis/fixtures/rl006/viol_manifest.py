@@ -1,0 +1,26 @@
+"""RL006 violations: manifest-sweep error paths that break the contract."""
+
+import sys
+import traceback
+
+
+class ManifestError(ValueError):
+    pass
+
+
+def _cmd_sweep(args):
+    try:
+        raise ManifestError("unknown grid key(s) ['procs']")
+    except ManifestError as exc:
+        sys.exit(f"bad manifest: {exc}")  # EXPECT: RL006
+    return 0
+
+
+def _cmd_report(args):
+    try:
+        raise ManifestError("store was written for another manifest")
+    except ManifestError:
+        print("error: manifest drift detected")
+        traceback.print_exc()  # EXPECT: RL006
+        return 2
+    return 0

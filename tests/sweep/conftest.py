@@ -1,0 +1,56 @@
+"""Per-test hard timeout for the sweep suite.
+
+The battery forks orchestrator and worker processes and kills them at
+seeded points; a bug in the resume path could otherwise hang a test
+forever.  Same SIGALRM watchdog convention as ``tests/exec/``.
+"""
+
+from __future__ import annotations
+
+import signal
+
+import pytest
+
+TEST_TIMEOUT_S = 180
+
+
+class SweepTestTimeout(Exception):
+    pass
+
+
+@pytest.fixture(autouse=True)
+def _sweep_test_timeout():
+    if not hasattr(signal, "SIGALRM"):  # pragma: no cover - non-POSIX
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise SweepTestTimeout(
+            f"tests/sweep test exceeded {TEST_TIMEOUT_S}s — "
+            "likely a wedged orchestrator or worker process"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.alarm(TEST_TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@pytest.fixture
+def tiny_manifest_dict():
+    """A 12-cell grid crossing scheme x partition x compression."""
+    return {
+        "name": "tiny",
+        "description": "scheme x partition x compression at one (n, p)",
+        "seed": 2002,
+        "grid": {
+            "scheme": ["sfc", "cfs", "ed"],
+            "partition": ["row", "column"],
+            "compression": ["crs", "ccs"],
+            "n": [40],
+            "n_procs": [4],
+        },
+    }

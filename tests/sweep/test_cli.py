@@ -1,0 +1,113 @@
+"""`repro sweep MANIFEST.json` / `repro report --store`: modes and errors."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.sweep import Manifest, run_sweep
+
+
+@pytest.fixture
+def manifest_file(tmp_path, tiny_manifest_dict):
+    path = tmp_path / "grid.json"
+    path.write_text(json.dumps(tiny_manifest_dict))
+    return path
+
+
+def _one_error_line(capsys):
+    out = capsys.readouterr().out
+    lines = [line for line in out.splitlines() if line]
+    assert len(lines) == 1 and lines[0].startswith("error: "), out
+    return lines[0]
+
+
+class TestManifestMode:
+    def test_runs_and_defaults_the_store_path(self, manifest_file, capsys):
+        assert main(["sweep", str(manifest_file)]) == 0
+        default_store = manifest_file.with_suffix(".results.jsonl")
+        assert default_store.exists()
+        out = capsys.readouterr().out
+        assert "12 cell(s) run" in out
+
+    def test_store_matches_programmatic_run(
+        self, tmp_path, manifest_file, tiny_manifest_dict
+    ):
+        store = tmp_path / "cli.jsonl"
+        assert main(["sweep", str(manifest_file), "--store", str(store)]) == 0
+        programmatic = tmp_path / "lib.jsonl"
+        run_sweep(Manifest.from_dict(tiny_manifest_dict), programmatic)
+        assert store.read_bytes() == programmatic.read_bytes()
+
+    def test_resume_skips_everything(self, manifest_file, capsys):
+        assert main(["sweep", str(manifest_file)]) == 0
+        capsys.readouterr()
+        assert main(["sweep", str(manifest_file), "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "0 cell(s) run, 12 resumed" in out
+
+    def test_jobs_flag_is_accepted(self, tmp_path, manifest_file):
+        store = tmp_path / "jobs.jsonl"
+        args = ["sweep", str(manifest_file), "--store", str(store), "--jobs", "3"]
+        assert main(args) == 0
+        serial = tmp_path / "serial.jsonl"
+        assert main(["sweep", str(manifest_file), "--store", str(serial)]) == 0
+        assert store.read_bytes() == serial.read_bytes()
+
+
+class TestFriendlyErrors:
+    def test_missing_manifest(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["sweep", str(tmp_path / "absent.json")])
+        assert exc.value.code == 2
+        assert "not found" in _one_error_line(capsys)
+
+    def test_invalid_manifest(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"name": "x", "grid": {"scheme": "ed", "n": 40}}')
+        with pytest.raises(SystemExit) as exc:
+            main(["sweep", str(bad)])
+        assert exc.value.code == 2
+        assert "n_procs" in _one_error_line(capsys)
+
+    def test_existing_store_without_resume(self, manifest_file, capsys):
+        assert main(["sweep", str(manifest_file)]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit) as exc:
+            main(["sweep", str(manifest_file)])
+        assert exc.value.code == 2
+        assert "--resume" in _one_error_line(capsys)
+
+    def test_drifted_manifest_is_refused(
+        self, manifest_file, tiny_manifest_dict, capsys
+    ):
+        assert main(["sweep", str(manifest_file)]) == 0
+        capsys.readouterr()
+        drifted = dict(tiny_manifest_dict, seed=9999)
+        manifest_file.write_text(json.dumps(drifted))
+        with pytest.raises(SystemExit) as exc:
+            main(["sweep", str(manifest_file), "--resume"])
+        assert exc.value.code == 2
+        assert "drift" in _one_error_line(capsys)
+
+    def test_bad_jobs_value(self, manifest_file, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["sweep", str(manifest_file), "--jobs", "0"])
+        assert exc.value.code == 2
+        assert "--jobs" in _one_error_line(capsys)
+
+    def test_knob_mode_still_demands_start_stop(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["sweep", "s"])
+        assert exc.value.code == 2
+        assert "--start" in _one_error_line(capsys)
+
+
+class TestKnobModeStillWorks:
+    def test_model_sweep_chart(self, capsys):
+        args = ["sweep", "s", "--start", "0.01", "--stop", "0.2", "--points", "5"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "winner changes near" in out or "wins across" in out

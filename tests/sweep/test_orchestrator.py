@@ -1,0 +1,183 @@
+"""Orchestrator semantics: ordering, fan-out, retries, observability."""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.exporters import SPAN_PID, SWEEP_TID, to_chrome_trace
+from repro.sweep import (
+    Manifest,
+    SweepCellError,
+    SweepError,
+    load_store,
+    run_sweep,
+)
+
+
+@pytest.fixture
+def manifest(tiny_manifest_dict):
+    return Manifest.from_dict(tiny_manifest_dict)
+
+
+class TestSerialRun:
+    def test_store_is_complete_and_ordered(self, tmp_path, manifest):
+        report = run_sweep(manifest, tmp_path / "s.jsonl")
+        assert report.executed == len(manifest) == report.total
+        assert report.skipped == 0
+        state = load_store(tmp_path / "s.jsonl")
+        assert [r["id"] for r in state.records] == [
+            c.cell_id for c in manifest.expand()
+        ]
+
+    def test_existing_store_without_resume_is_refused(self, tmp_path, manifest):
+        run_sweep(manifest, tmp_path / "s.jsonl")
+        from repro.sweep import StoreError
+
+        with pytest.raises(StoreError, match="already exists"):
+            run_sweep(manifest, tmp_path / "s.jsonl")
+
+    def test_resume_of_complete_store_runs_nothing(self, tmp_path, manifest):
+        first = run_sweep(manifest, tmp_path / "s.jsonl")
+        before = (tmp_path / "s.jsonl").read_bytes()
+        again = run_sweep(manifest, tmp_path / "s.jsonl", resume=True)
+        assert again.executed == 0
+        assert again.skipped == len(manifest)
+        assert again.records == first.records
+        assert (tmp_path / "s.jsonl").read_bytes() == before
+
+    def test_jobs_must_be_positive(self, tmp_path, manifest):
+        with pytest.raises(SweepError, match="jobs"):
+            run_sweep(manifest, tmp_path / "s.jsonl", jobs=0)
+
+    def test_failing_cell_reports_id_and_keeps_prefix(
+        self, tmp_path, manifest, monkeypatch
+    ):
+        import repro.sweep.orchestrator as orch
+
+        real = orch._run_cell
+        doomed = manifest.expand()[2]
+
+        def sabotaged(session, cell, executor, backend):
+            if cell.cell_id == doomed.cell_id:
+                raise ValueError("injected cell failure")
+            return real(session, cell, executor, backend)
+
+        monkeypatch.setattr(orch, "_run_cell", sabotaged)
+        with pytest.raises(SweepCellError, match=doomed.cell_id):
+            run_sweep(manifest, tmp_path / "s.jsonl")
+        state = load_store(tmp_path / "s.jsonl")
+        assert len(state.records) == 2  # everything before the bad cell
+
+
+class TestFanOut:
+    def test_fanned_out_store_is_byte_identical_to_serial(
+        self, tmp_path, manifest
+    ):
+        run_sweep(manifest, tmp_path / "serial.jsonl")
+        report = run_sweep(manifest, tmp_path / "fan.jsonl", jobs=4)
+        assert report.executed == len(manifest)
+        assert (
+            (tmp_path / "fan.jsonl").read_bytes()
+            == (tmp_path / "serial.jsonl").read_bytes()
+        )
+
+    def test_killed_workers_are_respawned(self, tmp_path, manifest):
+        serial = run_sweep(manifest, tmp_path / "serial.jsonl")
+        murdered: set[int] = set()
+
+        def assassin(seq: int, pid: int) -> None:
+            # first spawn for cells 1 and 3 dies immediately
+            if seq in (1, 3) and seq not in murdered:
+                murdered.add(seq)
+                os.kill(pid, signal.SIGKILL)
+
+        report = run_sweep(
+            manifest, tmp_path / "killed.jsonl", jobs=2,
+            on_worker_spawn=assassin,
+        )
+        assert report.retried >= 2
+        assert report.records == serial.records
+        assert (
+            (tmp_path / "killed.jsonl").read_bytes()
+            == (tmp_path / "serial.jsonl").read_bytes()
+        )
+
+    def test_persistent_murder_falls_back_inline(self, tmp_path, manifest):
+        serial = run_sweep(manifest, tmp_path / "serial.jsonl")
+
+        def relentless(seq: int, pid: int) -> None:
+            if seq == 0:
+                os.kill(pid, signal.SIGKILL)
+
+        report = run_sweep(
+            manifest, tmp_path / "killed.jsonl", jobs=2,
+            worker_retries=1, on_worker_spawn=relentless,
+        )
+        assert report.records == serial.records
+        assert (
+            (tmp_path / "killed.jsonl").read_bytes()
+            == (tmp_path / "serial.jsonl").read_bytes()
+        )
+
+    def test_worker_cell_failure_propagates(self, tmp_path, manifest, monkeypatch):
+        import repro.sweep.orchestrator as orch
+
+        real = orch._run_cell
+        doomed = manifest.expand()[1]
+
+        def sabotaged(session, cell, executor, backend):
+            if cell.cell_id == doomed.cell_id:
+                raise ValueError("injected worker failure")
+            return real(session, cell, executor, backend)
+
+        # fork workers inherit the patched module
+        monkeypatch.setattr(orch, "_run_cell", sabotaged)
+        with pytest.raises(SweepCellError, match="injected worker failure"):
+            run_sweep(manifest, tmp_path / "s.jsonl", jobs=2)
+
+
+class TestObservability:
+    def test_counters_and_spans(self, tmp_path, manifest):
+        obs = Observability()
+        run_sweep(manifest, tmp_path / "a.jsonl", obs=obs)
+        # resume immediately: all cells skip
+        run_sweep(manifest, tmp_path / "a.jsonl", resume=True, obs=obs)
+        counter = obs.metrics.counter("repro_sweep_cells_total")
+        assert counter.value(status="completed") == len(manifest)
+        assert counter.value(status="skipped") == len(manifest)
+        names = [s.name for s in obs.spans]
+        assert names.count("sweep.run") == 2
+        assert names.count("sweep.cell") == len(manifest)
+
+    def test_chrome_export_gains_a_sweep_lane(self, tmp_path, manifest):
+        obs = Observability()
+        run_sweep(manifest, tmp_path / "a.jsonl", obs=obs)
+        trace = to_chrome_trace(obs)
+        lanes = [
+            e for e in trace["traceEvents"]
+            if e["ph"] == "M" and e.get("args", {}).get("name") == "sweep"
+        ]
+        assert lanes and lanes[0]["tid"] == SWEEP_TID
+        cells = [
+            e for e in trace["traceEvents"]
+            if e.get("name") == "sweep.cell"
+        ]
+        assert cells
+        assert all(
+            e["pid"] == SPAN_PID and e["tid"] == SWEEP_TID and e["cat"] == "sweep"
+            for e in cells
+        )
+
+    def test_unobserved_export_has_no_sweep_lane(self):
+        obs = Observability()
+        with obs.span("algo.phase"):
+            pass
+        trace = to_chrome_trace(obs)
+        assert not [
+            e for e in trace["traceEvents"]
+            if e.get("args", {}).get("name") == "sweep" or e.get("cat") == "sweep"
+        ]

@@ -1,0 +1,92 @@
+"""Tables render exclusively from the store; example manifests stay honest."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.runtime import reproduce_table
+from repro.sweep import (
+    Manifest,
+    StoreError,
+    paper_tables_manifest,
+    run_sweep,
+    table_from_store,
+)
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples" / "sweeps"
+
+
+class TestExampleManifests:
+    def test_tables_json_is_the_paper_tables_manifest(self):
+        on_disk = json.loads((EXAMPLES / "tables.json").read_text())
+        assert on_disk == paper_tables_manifest().to_dict()
+        assert (
+            Manifest.from_file(EXAMPLES / "tables.json").manifest_hash()
+            == paper_tables_manifest().manifest_hash()
+        )
+
+    def test_tables_json_covers_the_published_grids(self):
+        manifest = Manifest.from_file(EXAMPLES / "tables.json")
+        cells = manifest.expand()
+        partitions = {c.partition for c in cells}
+        assert partitions == {"row", "column", "mesh2d"}
+        mesh = {c.n_procs: c.mesh_shape for c in cells if c.partition == "mesh2d"}
+        assert mesh == {4: (2, 2), 16: (4, 4), 64: (8, 8)}
+        # table recipe seeds throughout
+        assert all(c.seed == 2002 + c.n + 131 * c.n_procs for c in cells)
+
+    def test_smoke_json_loads_and_is_small(self):
+        manifest = Manifest.from_file(EXAMPLES / "smoke.json")
+        assert 1 <= len(manifest) <= 12
+
+
+class TestTableFromStore:
+    @pytest.fixture(scope="class")
+    def records(self, tmp_path_factory):
+        manifest = paper_tables_manifest(
+            sizes=[32, 48], proc_counts=[4],
+            mesh_sizes=[48], mesh_proc_counts=[4],
+        )
+        store = tmp_path_factory.mktemp("sweep") / "reduced.jsonl"
+        return run_sweep(manifest, store).records
+
+    def test_matches_reproduce_table_exactly(self, records):
+        repro = reproduce_table("table3", sizes=(32, 48), proc_counts=(4,))
+        stored = table_from_store(
+            records, "table3", sizes=(32, 48), proc_counts=(4,)
+        )
+        for key, cell in repro.cells.items():
+            assert stored.cells[key].t_distribution == cell.t_distribution
+            assert stored.cells[key].t_compression == cell.t_compression
+            assert stored.cells[key].t_total == cell.t_total
+
+    def test_table4_and_5_render_from_the_same_store(self, records):
+        t4 = table_from_store(records, "table4", sizes=(32, 48), proc_counts=(4,))
+        assert len(t4.cells) == 2 * 3
+        t5 = table_from_store(records, "table5", sizes=(48,), proc_counts=(4,))
+        assert len(t5.cells) == 3
+
+    def test_shape_verdicts_work_on_stored_cells(self, records):
+        stored = table_from_store(
+            records, "table3", sizes=(32, 48), proc_counts=(4,)
+        )
+        # the orderings are data facts; here we only need the calls to work
+        assert isinstance(stored.distribution_order_holds(4, 48), bool)
+        assert stored.fault_totals() == {}
+
+    def test_missing_cells_are_an_error_not_a_truncated_table(self, records):
+        with pytest.raises(StoreError, match="does not cover"):
+            table_from_store(records, "table3", sizes=(32, 9999), proc_counts=(4,))
+
+    def test_markdown_renderer_accepts_stored_tables(self, records):
+        from repro.runtime.report import _md_table
+
+        stored = table_from_store(
+            records, "table3", sizes=(32, 48), proc_counts=(4,)
+        )
+        lines = _md_table(stored)
+        assert lines[0].startswith("| p | scheme |")
+        assert len(lines) == 2 + 1 * 3 * 2  # header+sep, p x scheme x metric

@@ -1,0 +1,173 @@
+"""The interruption/resume battery (ISSUE 8's headline tests).
+
+A sweep is SIGKILLed at seeded points — the orchestrator right after a
+commit, workers mid-cell, the file torn mid-record — then restarted with
+``resume=True`` until it completes.  The invariant under every schedule:
+the final store is **byte-identical** to an uninterrupted run's.  No
+duplicated records (the prefix check would trip), no lost records (the
+byte comparison would trip), no torn lines surviving (resume truncates
+and re-runs them).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import random
+import signal
+
+import pytest
+
+from repro.sweep import Manifest, load_store, run_sweep
+
+_CTX = multiprocessing.get_context("fork")
+
+
+def _sweep_until_kill(manifest_dict, store_path, kill_at_seq, jobs):
+    """Child body: run with resume, SIGKILL ourselves after commit
+    ``kill_at_seq`` (an fsync'd record is already on disk by then)."""
+    manifest = Manifest.from_dict(manifest_dict)
+
+    def hook(seq, record):
+        if seq == kill_at_seq:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    run_sweep(
+        manifest, store_path, resume=True, jobs=jobs, after_record=hook
+    )
+
+
+def _interrupted_run(manifest_dict, store_path, kill_points, jobs):
+    """Drive the sweep through every seeded interruption, then to the end."""
+    for kill_at in kill_points:
+        proc = _CTX.Process(
+            target=_sweep_until_kill,
+            args=(manifest_dict, store_path, kill_at, jobs),
+        )
+        proc.start()
+        proc.join()
+        assert proc.exitcode == -signal.SIGKILL, (
+            f"child survived its own SIGKILL at seq {kill_at} "
+            f"(exitcode {proc.exitcode})"
+        )
+    manifest = Manifest.from_dict(manifest_dict)
+    return run_sweep(manifest, store_path, resume=True, jobs=jobs)
+
+
+@pytest.fixture
+def uninterrupted(tmp_path, tiny_manifest_dict):
+    manifest = Manifest.from_dict(tiny_manifest_dict)
+    path = tmp_path / "uninterrupted.jsonl"
+    run_sweep(manifest, path)
+    return path.read_bytes()
+
+
+class TestOrchestratorKills:
+    def test_seeded_kill_schedule_converges_byte_identically(
+        self, tmp_path, tiny_manifest_dict, uninterrupted
+    ):
+        n_cells = len(Manifest.from_dict(tiny_manifest_dict))
+        rng = random.Random(2002)  # the seeded part of "seeded points"
+        kill_points = sorted(rng.sample(range(n_cells - 1), 4))
+        store = tmp_path / "battered.jsonl"
+        report = _interrupted_run(
+            tiny_manifest_dict, store, kill_points, jobs=1
+        )
+        assert report.total == n_cells
+        assert store.read_bytes() == uninterrupted
+
+    def test_kill_after_every_single_commit(
+        self, tmp_path, tiny_manifest_dict, uninterrupted
+    ):
+        """The exhaustive schedule: die after each of the first cells."""
+        store = tmp_path / "battered.jsonl"
+        _interrupted_run(tiny_manifest_dict, store, [0, 1, 2, 3, 4], jobs=1)
+        assert store.read_bytes() == uninterrupted
+
+    def test_kills_under_fan_out(
+        self, tmp_path, tiny_manifest_dict, uninterrupted
+    ):
+        """Orchestrator dies while worker processes are in flight; the
+        fork-children are orphaned and must not corrupt the store."""
+        store = tmp_path / "battered.jsonl"
+        _interrupted_run(tiny_manifest_dict, store, [1, 5], jobs=3)
+        assert store.read_bytes() == uninterrupted
+
+
+class TestWorkerKills:
+    def test_worker_murder_plus_resume(
+        self, tmp_path, tiny_manifest_dict, uninterrupted
+    ):
+        """Workers die mid-cell AND the orchestrator dies mid-grid."""
+        store = tmp_path / "battered.jsonl"
+
+        def sweep_with_worker_kills(manifest_dict, path, kill_at_seq):
+            manifest = Manifest.from_dict(manifest_dict)
+            murdered = set()
+
+            def assassin(seq, pid):
+                if seq % 3 == 0 and seq not in murdered:
+                    murdered.add(seq)
+                    os.kill(pid, signal.SIGKILL)
+
+            def hook(seq, record):
+                if seq == kill_at_seq:
+                    os.kill(os.getpid(), signal.SIGKILL)
+
+            run_sweep(
+                manifest, path, resume=True, jobs=2,
+                on_worker_spawn=assassin, after_record=hook,
+            )
+
+        proc = _CTX.Process(
+            target=sweep_with_worker_kills,
+            args=(tiny_manifest_dict, store, 4),
+        )
+        proc.start()
+        proc.join()
+        assert proc.exitcode == -signal.SIGKILL
+        manifest = Manifest.from_dict(tiny_manifest_dict)
+        run_sweep(manifest, store, resume=True, jobs=2)
+        assert store.read_bytes() == uninterrupted
+
+
+class TestTornRecords:
+    def test_torn_final_record_is_rerun_not_fatal(
+        self, tmp_path, tiny_manifest_dict, uninterrupted
+    ):
+        """A kill mid-``write`` leaves an unterminated line; resume must
+        truncate it, re-run that cell, and still converge byte-identically."""
+        manifest = Manifest.from_dict(tiny_manifest_dict)
+        store = tmp_path / "battered.jsonl"
+        proc = _CTX.Process(
+            target=_sweep_until_kill,
+            args=(tiny_manifest_dict, store, 3, 1),
+        )
+        proc.start()
+        proc.join()
+        assert proc.exitcode == -signal.SIGKILL
+        # simulate the unlucky variant: the final record's write was cut
+        intact = store.read_bytes()
+        store.write_bytes(intact[:-17])
+        state = load_store(store)
+        assert state.torn
+        run_sweep(manifest, store, resume=True)
+        assert store.read_bytes() == uninterrupted
+
+    def test_repeated_tearing_between_every_resume(
+        self, tmp_path, tiny_manifest_dict, uninterrupted
+    ):
+        manifest = Manifest.from_dict(tiny_manifest_dict)
+        store = tmp_path / "battered.jsonl"
+        kill_points = [0, 2, 4]
+        for kill_at in kill_points:
+            proc = _CTX.Process(
+                target=_sweep_until_kill,
+                args=(tiny_manifest_dict, store, kill_at, 1),
+            )
+            proc.start()
+            proc.join()
+            assert proc.exitcode == -signal.SIGKILL
+            store.write_bytes(store.read_bytes()[:-9])  # tear the tail
+        run_sweep(manifest, store, resume=True)
+        assert store.read_bytes() == uninterrupted

@@ -1,0 +1,104 @@
+"""RunSession reuse equivalence and the experiments.py regression pin.
+
+Satellite 4 of ISSUE 8: ``reproduce_table`` used to rebuild Machine and
+kernel state per grid cell; it now routes through one warm
+:class:`~repro.runtime.session.RunSession`.  These tests pin that the
+routing is *observably identical* — per-cell results (times, wire
+bytes, and the compressed local arrays element-for-element) match
+fresh per-call runs on both executors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine.export import result_to_dict
+from repro.runtime import (
+    ExperimentConfig,
+    RunSession,
+    reproduce_table,
+    run_config,
+)
+from repro.sweep import canonical_json
+
+
+def _assert_results_identical(a, b):
+    assert canonical_json(result_to_dict(a)) == canonical_json(result_to_dict(b))
+    assert len(a.locals_) == len(b.locals_)
+    for la, lb in zip(a.locals_, b.locals_):
+        assert type(la) is type(lb)
+        for attr in ("RO", "CO", "VL", "indices"):
+            va, vb = getattr(la, attr, None), getattr(lb, attr, None)
+            assert (va is None) == (vb is None)
+            if va is not None:
+                np.testing.assert_array_equal(np.asarray(va), np.asarray(vb))
+
+
+_GRID = [
+    ExperimentConfig(scheme=s, n=n, n_procs=4, partition=p, seed=2002 + n)
+    for s in ("sfc", "ed")
+    for p in ("row", "column")
+    for n in (32, 48)
+]
+
+
+@pytest.mark.parametrize("executor", ["sim", "process"])
+def test_warm_session_equals_fresh_runs(executor):
+    configs = [
+        ExperimentConfig(**{**vars(c), "executor": executor}) for c in _GRID
+    ]
+    with RunSession() as session:
+        warm = [session.run(c) for c in configs]
+    cold = [run_config(c) for c in configs]
+    for w, c in zip(warm, cold):
+        _assert_results_identical(w, c)
+
+
+def test_machine_reuse_actually_happens():
+    first = _GRID[0]
+    twin = ExperimentConfig(**{**vars(first), "scheme": "cfs"})
+    with RunSession() as session:
+        session.run(first)
+        session.run(twin)
+        assert len(session._machines) == 1  # one (p, cost, backend, exec) key
+        # and the matrix cache holds one sample per (n, ratio, seed)
+        assert len(session._matrices) == 1
+
+
+def test_per_run_state_disables_reuse():
+    from repro.faults import FaultSpec
+
+    config = ExperimentConfig(
+        scheme="ed", n=32, n_procs=4, seed=9,
+        faults=FaultSpec.lossy(0.05), fault_seed=1,
+    )
+    with RunSession() as session:
+        session.run(config)
+        assert session._machines == {}  # fault runs always get a fresh machine
+
+
+def test_reproduce_table_matches_per_cell_driver_runs():
+    sizes, procs = (32, 48), (4,)
+    repro = reproduce_table("table3", sizes=sizes, proc_counts=procs)
+    for p in procs:
+        for n in sizes:
+            base = ExperimentConfig(
+                scheme="sfc", n=n, n_procs=p, partition="row",
+                seed=2002 + n + 131 * p,
+            )
+            matrix = base.make_matrix()
+            for scheme in ("sfc", "cfs", "ed"):
+                cell = repro.cells[(p, scheme, n)]
+                fresh = run_config(
+                    ExperimentConfig(**{**vars(base), "scheme": scheme}),
+                    matrix=matrix,
+                )
+                _assert_results_identical(cell, fresh)
+
+
+def test_closed_session_refuses_to_run():
+    session = RunSession()
+    session.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        session.run(_GRID[0])

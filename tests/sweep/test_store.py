@@ -1,0 +1,149 @@
+"""The JSONL result store: commit semantics, torn tails, drift."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.sweep import (
+    Manifest,
+    ResultStore,
+    StoreDriftError,
+    StoreError,
+    load_store,
+)
+
+
+@pytest.fixture
+def manifest():
+    return Manifest.from_dict({
+        "name": "store-test",
+        "seed": 7,
+        "grid": {"scheme": ["sfc", "ed"], "n": [16, 32], "n_procs": [2]},
+    })
+
+
+def _payload(cell):
+    return {"t_total_ms": 1.25, "scheme": cell.scheme, "n": cell.n}
+
+
+def _fill(path, manifest, count):
+    store = ResultStore.create(path, manifest)
+    for cell in manifest.expand()[:count]:
+        store.append(cell, _payload(cell))
+    store.close()
+
+
+class TestCreateAppendLoad:
+    def test_header_then_records_in_order(self, tmp_path, manifest):
+        path = tmp_path / "s.jsonl"
+        _fill(path, manifest, 3)
+        state = load_store(path)
+        assert state.header["kind"] == "header"
+        assert state.header["manifest"] == manifest.manifest_hash()
+        assert state.header["n_cells"] == len(manifest)
+        assert [r["seq"] for r in state.records] == [0, 1, 2]
+        assert [r["id"] for r in state.records] == [
+            c.cell_id for c in manifest.expand()[:3]
+        ]
+        assert not state.torn
+
+    def test_lines_are_canonical_json(self, tmp_path, manifest):
+        path = tmp_path / "s.jsonl"
+        _fill(path, manifest, 1)
+        for line in path.read_bytes().splitlines():
+            obj = json.loads(line)
+            canon = json.dumps(obj, sort_keys=True, separators=(",", ":"))
+            assert line.decode() == canon
+
+    def test_create_refuses_to_overwrite(self, tmp_path, manifest):
+        path = tmp_path / "s.jsonl"
+        _fill(path, manifest, 0)
+        with pytest.raises(StoreError, match="already exists"):
+            ResultStore.create(path, manifest)
+
+    def test_load_missing_is_friendly(self, tmp_path):
+        with pytest.raises(StoreError, match="not found"):
+            load_store(tmp_path / "absent.jsonl")
+
+
+class TestTornTail:
+    def test_torn_final_line_is_dropped_not_fatal(self, tmp_path, manifest):
+        path = tmp_path / "s.jsonl"
+        _fill(path, manifest, 2)
+        whole = path.read_bytes()
+        path.write_bytes(whole[:-7])  # cut mid-record, newline lost
+        state = load_store(path)
+        assert state.torn
+        assert len(state.records) == 1
+
+    def test_resume_truncates_the_tail_and_continues(self, tmp_path, manifest):
+        path = tmp_path / "s.jsonl"
+        _fill(path, manifest, 4)
+        complete = path.read_bytes()
+        # tear the last record, then resume and re-append it
+        path.write_bytes(complete[:-5])
+        store, records = ResultStore.resume(path, manifest)
+        assert len(records) == 3
+        cell = manifest.expand()[3]
+        store.append(cell, _payload(cell))
+        store.close()
+        assert path.read_bytes() == complete
+
+    def test_resume_on_missing_file_starts_fresh(self, tmp_path, manifest):
+        path = tmp_path / "fresh.jsonl"
+        store, records = ResultStore.resume(path, manifest)
+        store.close()
+        assert records == []
+        assert load_store(path).header["manifest"] == manifest.manifest_hash()
+
+
+class TestCorruptionAndDrift:
+    def test_corrupt_committed_line_is_fatal(self, tmp_path, manifest):
+        path = tmp_path / "s.jsonl"
+        _fill(path, manifest, 2)
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[1] = b'{"kind": "cell", ...garbage\n'
+        path.write_bytes(b"".join(lines))
+        with pytest.raises(StoreError, match="corrupt"):
+            load_store(path)
+
+    def test_drifted_manifest_is_detected(self, tmp_path, manifest):
+        path = tmp_path / "s.jsonl"
+        _fill(path, manifest, 2)
+        drifted = Manifest.from_dict({**manifest.to_dict(), "seed": 8})
+        with pytest.raises(StoreDriftError, match="drift"):
+            ResultStore.resume(path, drifted)
+
+    def test_reordered_records_are_detected(self, tmp_path, manifest):
+        path = tmp_path / "s.jsonl"
+        _fill(path, manifest, 2)
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[1], lines[2] = lines[2], lines[1]
+        path.write_bytes(b"".join(lines))
+        with pytest.raises(StoreError, match="out of order"):
+            ResultStore.resume(path, manifest)
+
+    def test_too_many_records_is_detected(self, tmp_path, manifest):
+        path = tmp_path / "s.jsonl"
+        _fill(path, manifest, len(manifest))
+        lines = path.read_bytes().splitlines(keepends=True)
+        path.write_bytes(b"".join(lines) + lines[-1])
+        with pytest.raises(StoreError, match="expands to"):
+            ResultStore.resume(path, manifest)
+
+    def test_missing_header_is_fatal(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text('{"kind": "cell", "seq": 0}\n')
+        with pytest.raises(StoreError, match="header"):
+            load_store(path)
+
+    def test_future_format_is_refused(self, tmp_path, manifest):
+        path = tmp_path / "s.jsonl"
+        _fill(path, manifest, 0)
+        obj = json.loads(path.read_text())
+        obj["format"] = 99
+        path.write_text(json.dumps(obj, sort_keys=True, separators=(",", ":")) + "\n")
+        with pytest.raises(StoreError, match="format"):
+            load_store(path)
