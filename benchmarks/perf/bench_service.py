@@ -1,0 +1,232 @@
+#!/usr/bin/env python
+"""Throughput and latency of the run service (`repro serve`).
+
+Two kinds of cells, both measured against a real :class:`RunService`
+listening on a unix socket (the server's event loop runs in a background
+thread; the measuring client is the same code path as ``repro load``):
+
+* ``session-warm-process-p4`` — the price of warm-session reuse.  One
+  fresh service per repeat: the first ``executor=process`` request pays
+  the cold path (build a :class:`RunSession`, fork p rank workers, build
+  the matrix), every repeat after it reuses the warm session.  The cell
+  records best-of cold and warm latencies and their ratio — the
+  acceptance bar is warm ≥1.5× over cold, and in practice forking alone
+  puts it far above that.
+* ``load-rps{R}`` — the seeded open-loop generator (`repro load`) offers
+  ``R`` requests/second of mixed-scheme sim traffic for a fixed window
+  and records achieved runs/sec, p50/p99 latency and the three loss
+  counters (rejected / errors / dropped).  Sweeping R upward finds the
+  **saturation point**: the highest offered rate the service absorbs
+  with zero loss and ≥90% of the offered rate achieved.  Below that
+  point the acceptance bar is *zero dropped responses*.
+
+The report's ``saturation`` block names that point; cells above it are
+recorded too (they document how the service degrades: typed 429 rejects,
+never unbounded buffering or silent drops).
+
+Usage::
+
+    python benchmarks/perf/bench_service.py            # full sweep
+    python benchmarks/perf/bench_service.py --quick    # CI-sized sweep
+    python benchmarks/perf/bench_service.py --out /tmp/fresh-service.json
+
+The committed baseline is ``benchmarks/perf/BENCH_service.json``;
+``check_regression.py --service`` enforces the floors against it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(ROOT / "src"))
+
+DEFAULT_OUT = Path(__file__).resolve().parent / "BENCH_service.json"
+
+#: the load cells' run shape (the `repro load` defaults)
+LOAD_N = 120
+LOAD_PROCS = 4
+#: offered-rate sweep (requests/second); --quick keeps the first three
+RATES = (25.0, 50.0, 100.0, 200.0, 400.0)
+QUICK_RATES = RATES[:3]
+#: a load cell is "absorbed" when achieved >= this fraction of offered
+SATURATION_FRACTION = 0.9
+
+#: the warm-reuse cell's shape
+WARM_PROCS = 4
+WARM_N = 120
+
+
+class ServiceHarness:
+    """A RunService on a unix socket, its loop in a background thread."""
+
+    def __init__(self, **kwargs):
+        from repro.service import RunService
+
+        self._dir = tempfile.TemporaryDirectory(prefix="repro-bench-svc-")
+        self.socket_path = Path(self._dir.name) / "run.sock"
+        self.service = RunService(socket_path=self.socket_path, **kwargs)
+        self.loop = asyncio.new_event_loop()
+        ready = threading.Event()
+
+        def run():
+            asyncio.set_event_loop(self.loop)
+            self.loop.run_until_complete(self.service.start())
+            ready.set()
+            self.loop.run_forever()
+            self.loop.close()
+
+        self._thread = threading.Thread(target=run, daemon=True)
+        self._thread.start()
+        if not ready.wait(timeout=30):
+            raise RuntimeError("service failed to start")
+
+    def close(self):
+        asyncio.run_coroutine_threadsafe(
+            self.service.stop(), self.loop
+        ).result(60)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join(timeout=30)
+        self._dir.cleanup()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+def time_warm_vs_cold(repeats: int, warm_runs: int) -> dict:
+    """Best-of cold (fresh service, first request) vs warm latency."""
+    from repro.service import ServiceClient
+
+    params = dict(
+        scheme="ed", n=WARM_N, n_procs=WARM_PROCS,
+        seed=0, executor="process",
+    )
+    cold, warm = [], []
+    for _ in range(repeats):
+        with ServiceHarness(workers=1) as harness:
+            with ServiceClient(socket_path=harness.socket_path) as client:
+                t0 = time.perf_counter()
+                client.run(**params)
+                cold.append(time.perf_counter() - t0)
+                for _ in range(warm_runs):
+                    t0 = time.perf_counter()
+                    client.run(**params)
+                    warm.append(time.perf_counter() - t0)
+    t_cold = min(cold)
+    t_warm = min(warm)
+    return {
+        "kind": "session",
+        "executor": "process",
+        "n": WARM_N,
+        "p": WARM_PROCS,
+        "t_cold_ms": t_cold * 1e3,
+        "t_warm_ms": t_warm * 1e3,
+        "speedup": t_cold / t_warm if t_warm > 0 else float("inf"),
+    }
+
+
+def run_load_cells(rates, duration_s: float, verbose: bool) -> dict:
+    """One `repro load` window per offered rate, all on one warm service."""
+    from repro.service import run_load
+
+    cells: dict[str, dict] = {}
+    with ServiceHarness(workers=2) as harness:
+        for rate in rates:
+            report = run_load(
+                rps=rate,
+                duration_s=duration_s,
+                seed=int(rate),
+                socket_path=harness.socket_path,
+                n=LOAD_N,
+                n_procs=LOAD_PROCS,
+            )
+            cells[f"load-rps{rate:g}"] = {
+                "kind": "load",
+                **report.to_dict(),
+            }
+            if verbose:
+                print(report.line())
+    return cells
+
+
+def find_saturation(cells: dict) -> dict:
+    """The highest offered rate absorbed with zero loss (see docstring)."""
+    absorbed = [
+        c for c in cells.values()
+        if c["kind"] == "load"
+        and c["dropped"] == 0
+        and c["errors"] == 0
+        and c["rejected"] == 0
+        and c["achieved_rps"] >= SATURATION_FRACTION * c["offered_rps"]
+    ]
+    if not absorbed:
+        return {"offered_rps": 0.0, "achieved_rps": 0.0}
+    best = max(absorbed, key=lambda c: c["offered_rps"])
+    return {
+        "offered_rps": best["offered_rps"],
+        "achieved_rps": best["achieved_rps"],
+        "p99_ms": best["p99_ms"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="shorter windows, lower rates (CI-sized)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="fresh services for the cold cell (default 3)")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help=f"output JSON (default {DEFAULT_OUT.name})")
+    args = parser.parse_args(argv)
+
+    rates = QUICK_RATES if args.quick else RATES
+    duration_s = 1.0 if args.quick else 2.0
+    warm_runs = 5 if args.quick else 10
+
+    warm = time_warm_vs_cold(args.repeats, warm_runs)
+    print(
+        f"{'session-warm':<18} cold {warm['t_cold_ms']:8.1f} ms   "
+        f"warm {warm['t_warm_ms']:8.1f} ms   "
+        f"speedup {warm['speedup']:5.2f}x"
+    )
+    cases = {"session-warm-process-p4": warm}
+    cases.update(run_load_cells(rates, duration_s, verbose=True))
+    saturation = find_saturation(cases)
+    print(
+        f"saturation: {saturation['offered_rps']:g} rps offered, "
+        f"{saturation['achieved_rps']:.1f} rps achieved"
+    )
+
+    report = {
+        "meta": {
+            "cores": os.cpu_count() or 1,
+            "load_n": LOAD_N,
+            "load_procs": LOAD_PROCS,
+            "duration_s": duration_s,
+            "rates": list(rates),
+            "repeats": args.repeats,
+            "python_version": ".".join(map(str, sys.version_info[:3])),
+        },
+        "cases": cases,
+        "saturation": saturation,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out} ({len(cases)} cases)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -40,14 +40,30 @@ The ``--parallel`` gate covers the rank-per-process executor's scaling
   unconditionally — fault tolerance that taxes the healthy path is a
   regression.
 
+The ``--service`` gate covers the run service's throughput bench
+(``bench_service.py`` / ``BENCH_service.json``):
+
+* **warm floor** — the ``session-warm-process-p4`` cell's cold/warm
+  latency ratio must be ≥1.5×, enforced against whichever file carries
+  the cell (fresh first, else baseline).  Warm-session reuse that no
+  longer beats a cold start by at least that much has lost its reason
+  to exist;
+* **zero loss below saturation** — every load cell at or below the
+  report's measured saturation point must show ``dropped == 0`` and
+  ``errors == 0``.  Rejects above saturation are fine (typed
+  backpressure is the design); losses *below* it are a regression.
+
 Usage (what CI runs)::
 
     python benchmarks/perf/bench_kernels.py --quick --out /tmp/fresh.json
     python benchmarks/perf/bench_parallel.py --quick --out /tmp/par.json
-    python benchmarks/perf/check_regression.py /tmp/fresh.json --parallel /tmp/par.json
+    python benchmarks/perf/bench_service.py --quick --out /tmp/svc.json
+    python benchmarks/perf/check_regression.py /tmp/fresh.json \
+        --parallel /tmp/par.json --service /tmp/svc.json
 
-With no ``--parallel`` argument the committed ``BENCH_parallel.json`` is
-self-checked, so the executor gates always run.
+With no ``--parallel`` / ``--service`` argument the committed
+``BENCH_parallel.json`` / ``BENCH_service.json`` are self-checked, so
+the executor and service gates always run.
 """
 
 from __future__ import annotations
@@ -59,6 +75,7 @@ from pathlib import Path
 
 BASELINE = Path(__file__).resolve().parent / "BENCH_kernels.json"
 PARALLEL_BASELINE = Path(__file__).resolve().parent / "BENCH_parallel.json"
+SERVICE_BASELINE = Path(__file__).resolve().parent / "BENCH_service.json"
 
 #: the acceptance floor: vectorised must beat the oracle by ≥ this factor
 #: on the wire-format kernels at the paper-scale cell
@@ -71,6 +88,10 @@ SPMV_FLOOR = 1.8
 SPMV_CASE = "spmv-n2000-p4"
 SUPERVISED_CASE = "supervised-p4"
 SUPERVISED_OVERHEAD_MAX = 0.05
+
+#: run-service floors (see module docstring for the arming rules)
+WARM_FLOOR = 1.5
+WARM_CASE = "session-warm-process-p4"
 
 
 def load(path: Path) -> dict:
@@ -173,6 +194,53 @@ def check_parallel(fresh: dict, baseline: dict) -> list[str]:
     return problems
 
 
+def check_service(fresh: dict, baseline: dict) -> list[str]:
+    """Run-service gates (see module docstring)."""
+    problems: list[str] = []
+
+    # warm floor: fresh if it carries the cell, else the baseline
+    carrier, where = (
+        (fresh, "fresh") if WARM_CASE in fresh.get("cases", {})
+        else (baseline, "baseline")
+    )
+    if WARM_CASE not in carrier.get("cases", {}):
+        problems.append(f"service: {WARM_CASE}: missing from both files")
+    else:
+        speedup = carrier["cases"][WARM_CASE]["speedup"]
+        if speedup < WARM_FLOOR:
+            problems.append(
+                f"service: {WARM_CASE} ({where}): warm-session speedup "
+                f"{speedup:.2f}x below the {WARM_FLOOR}x floor over a "
+                "cold start"
+            )
+
+    # zero loss below the measured saturation point, on the fresh run
+    load_cells = {
+        k: c for k, c in fresh.get("cases", {}).items()
+        if c.get("kind") == "load"
+    }
+    if not load_cells:
+        problems.append("service: fresh run has no load cells")
+        return problems
+    saturation_rps = fresh.get("saturation", {}).get("offered_rps", 0.0)
+    if saturation_rps <= 0.0:
+        problems.append(
+            "service: fresh run absorbed no offered rate cleanly "
+            "(saturation point is 0 rps)"
+        )
+    for key, case in sorted(load_cells.items()):
+        if case["offered_rps"] > saturation_rps:
+            continue  # above the knee: rejects are the designed answer
+        lost = case["dropped"] + case["errors"]
+        if lost:
+            problems.append(
+                f"service: {key}: {case['dropped']} dropped + "
+                f"{case['errors']} errored responses below the "
+                f"{saturation_rps:g} rps saturation point (must be zero)"
+            )
+    return problems
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("fresh", type=Path, nargs="?", default=BASELINE,
@@ -186,6 +254,11 @@ def main(argv=None) -> int:
                         "self-check the committed parallel baseline)")
     parser.add_argument("--parallel-baseline", type=Path,
                         default=PARALLEL_BASELINE)
+    parser.add_argument("--service", type=Path, default=SERVICE_BASELINE,
+                        help="fresh bench_service.py output (default: "
+                        "self-check the committed service baseline)")
+    parser.add_argument("--service-baseline", type=Path,
+                        default=SERVICE_BASELINE)
     args = parser.parse_args(argv)
 
     fresh = load(args.fresh)
@@ -193,6 +266,9 @@ def main(argv=None) -> int:
     problems = check(fresh, baseline, args.tolerance)
     problems += check_parallel(
         load(args.parallel), load(args.parallel_baseline)
+    )
+    problems += check_service(
+        load(args.service), load(args.service_baseline)
     )
     if problems:
         for line in problems:
@@ -205,7 +281,9 @@ def main(argv=None) -> int:
         f"{', '.join(k.split('-')[0] for k in ABS_CASES)} hold the "
         f"{ABS_FLOOR:.0f}x floor at n=2000, s=0.1, p=16; executor "
         f"overlap cells hold the {OVERLAP_FLOOR}x concurrency floor; "
-        f"supervision overhead within {SUPERVISED_OVERHEAD_MAX:.0%}"
+        f"supervision overhead within {SUPERVISED_OVERHEAD_MAX:.0%}; "
+        f"warm sessions hold the {WARM_FLOOR}x floor with zero loss "
+        "below saturation"
     )
     return 0
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""Docs gate: markdown link checker + public-API docstring presence.
+"""Docs gate: links, reachability, package coverage, API docstrings.
 
-Two checks, zero dependencies:
+Four checks, zero dependencies:
 
 1. **Links** — every relative markdown link and every ``file:symbol`` /
    bare-path reference in the documentation set (README.md, DESIGN.md,
@@ -10,9 +10,19 @@ Two checks, zero dependencies:
    against the target file's headings.  External (http/https/mailto)
    links are *not* fetched — CI must not depend on the network.
 
-2. **Docstrings** — every public symbol exported by the observability
-   layer (``repro.obs.__all__`` and the ``__all__`` of its submodules)
-   must carry a docstring, as must the modules themselves and the public
+2. **No orphan pages** — ``docs/*.md`` is globbed, not enumerated, so a
+   new page is checked the moment it exists; but a page nobody can
+   *reach* from README.md (its documentation map is the entry point) is
+   dead weight and fails the gate until it is linked.
+
+3. **Package coverage** — every package under ``src/repro/`` must appear
+   in README.md's module tree and carry a row in ARCHITECTURE.md's
+   module map.  New subsystems ship with their map entries, or CI says
+   so.
+
+4. **Docstrings** — every public symbol exported by the observability
+   layer and the run service (their ``__all__`` and submodules) must
+   carry a docstring, as must the modules themselves and the public
    methods of public classes.  The docs site leans on these docstrings;
    an undocumented export is a build error, not a style nit.
 
@@ -94,6 +104,49 @@ def check_links() -> list[str]:
     return problems
 
 
+def check_orphans() -> list[str]:
+    """Every docs/ page must be reachable from README.md's links."""
+    readme = REPO / "README.md"
+    linked: set[Path] = set()
+    for match in _LINK_RE.finditer(readme.read_text()):
+        target = match.group(1).partition("#")[0]
+        if not target or target.startswith(("http://", "https://", "mailto:")):
+            continue
+        resolved = (readme.parent / target).resolve()
+        if resolved.exists():
+            linked.add(resolved)
+    return [
+        f"docs/{page.name}: orphan page — add it to README.md's "
+        "documentation map"
+        for page in sorted((REPO / "docs").glob("*.md"))
+        if page.resolve() not in linked
+    ]
+
+
+def check_package_coverage() -> list[str]:
+    """Every src/repro package has a README tree entry and a map row."""
+    readme = (REPO / "README.md").read_text()
+    module_map = (REPO / "docs" / "ARCHITECTURE.md").read_text()
+    problems: list[str] = []
+    packages = sorted(
+        path.name
+        for path in (REPO / "src" / "repro").iterdir()
+        if path.is_dir() and (path / "__init__.py").exists()
+    )
+    for package in packages:
+        if not re.search(rf"^  {re.escape(package)}/\s", readme, re.MULTILINE):
+            problems.append(
+                f"README.md: src/repro/{package}/ is missing from the "
+                "module tree in 'What is in the box'"
+            )
+        if f"| `{package}/` |" not in module_map:
+            problems.append(
+                f"docs/ARCHITECTURE.md: src/repro/{package}/ has no row "
+                "in the module map"
+            )
+    return problems
+
+
 def _public_members(obj) -> list[tuple[str, object]]:
     """(name, member) for an object's declared public API."""
     names = getattr(obj, "__all__", None)
@@ -113,6 +166,11 @@ def check_obs_docstrings() -> list[str]:
         "repro.obs.spans",
         "repro.obs.exporters",
         "repro.obs.inspect",
+        "repro.service",
+        "repro.service.protocol",
+        "repro.service.queue",
+        "repro.service.server",
+        "repro.service.client",
     ]
     for modname in modules:
         module = importlib.import_module(modname)
@@ -135,14 +193,26 @@ def check_obs_docstrings() -> list[str]:
 
 
 def main() -> int:
-    problems = check_links() + check_obs_docstrings()
+    problems = (
+        check_links()
+        + check_orphans()
+        + check_package_coverage()
+        + check_obs_docstrings()
+    )
     for problem in problems:
         print(f"docs: {problem}")
     if problems:
         print(f"docs check FAILED ({len(problems)} problems)")
         return 1
     n_docs = sum(1 for rel in DOC_FILES if (REPO / rel).exists())
-    print(f"docs check passed ({n_docs} documents, obs API documented)")
+    n_packages = sum(
+        1 for p in (REPO / "src" / "repro").iterdir()
+        if p.is_dir() and (p / "__init__.py").exists()
+    )
+    print(
+        f"docs check passed ({n_docs} documents reachable, "
+        f"{n_packages} packages mapped, obs+service APIs documented)"
+    )
     return 0
 
 

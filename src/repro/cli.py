@@ -11,6 +11,8 @@ Commands
 ``collection`` sparse-ratio statistics of the synthetic HB-style collection
 ``report``     write EXPERIMENTS.md (paper-vs-measured for everything)
 ``inspect``    render the comm matrix / top spans of a saved JSONL run log
+``serve``      run the throughput run-service (JSONL protocol + /metrics)
+``load``       drive a running service with deterministic seeded load
 ``lint``       run the reprolint static-analysis rules (RL001–RL006)
 """
 
@@ -221,6 +223,81 @@ def build_parser() -> argparse.ArgumentParser:
     inspect_p.add_argument(
         "--top", type=int, default=5,
         help="how many spans to show, slowest (simulated) first (default 5)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the throughput run-service (JSONL requests + GET /metrics)",
+    )
+    serve.add_argument(
+        "--socket", metavar="PATH", default=None,
+        help="listen on a unix socket at PATH (exclusive with --port)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="TCP bind address (default 127.0.0.1; only with --port)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=None,
+        help="TCP port to listen on (0 = pick a free port; "
+        "default 7027 when --socket is not given)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="concurrent run workers draining the queue (default 2)",
+    )
+    serve.add_argument(
+        "--queue-size", type=int, default=64,
+        help="bounded queue capacity; beyond it requests get a typed 429 "
+        "reject line (default 64)",
+    )
+    serve.add_argument(
+        "--max-sessions", type=int, default=8,
+        help="warm RunSession pool bound, LRU-evicted (default 8)",
+    )
+    serve.add_argument(
+        "--backend", metavar="NAME", default=None,
+        help="default kernel backend for requests that do not pick one "
+        "(numpy | python); results are byte-identical either way",
+    )
+    serve.add_argument(
+        "--executor", metavar="NAME", default=None,
+        help="default executor for requests that do not pick one (sim | "
+        "process); results are byte-identical either way",
+    )
+
+    load = sub.add_parser(
+        "load",
+        help="drive a running service with a deterministic seeded load",
+    )
+    load.add_argument(
+        "--socket", metavar="PATH", default=None,
+        help="connect to a unix socket at PATH (exclusive with --port)",
+    )
+    load.add_argument("--host", default="127.0.0.1")
+    load.add_argument(
+        "--port", type=int, default=None,
+        help="TCP port the service listens on (default 7027 without --socket)",
+    )
+    load.add_argument(
+        "--rps", type=float, default=50.0,
+        help="offered request rate, open-loop (default 50)",
+    )
+    load.add_argument(
+        "--duration", type=float, default=5.0,
+        help="seconds to keep offering load (default 5)",
+    )
+    load.add_argument(
+        "--seed", type=int, default=0,
+        help="request-stream seed; the same seed replays byte-identical "
+        "traffic (default 0)",
+    )
+    load.add_argument(
+        "--n", type=int, default=120, help="array size per request (default 120)"
+    )
+    load.add_argument(
+        "--procs", type=int, default=4,
+        help="processors per request (default 4)",
     )
 
     lint_p = sub.add_parser(
@@ -750,6 +827,115 @@ def _cmd_report(args) -> int:
     return report_main(argv)
 
 
+class ServiceArgError(SystemExit):
+    """Friendly one-line exit for a bad serve/load argument."""
+
+    def __init__(self, message: str) -> None:
+        print(f"error: {message}")
+        super().__init__(2)
+
+
+def _service_endpoint(args):
+    """``(socket_path, host, port)`` from --socket/--host/--port.
+
+    ``--socket`` and ``--port`` are exclusive; with neither, the TCP
+    default port 7027 is used so `repro serve` and `repro load` pair up
+    out of the box.
+    """
+    if args.socket is not None and args.port is not None:
+        raise ServiceArgError("--socket and --port are exclusive; pick one")
+    if args.socket is not None:
+        return args.socket, None, None
+    port = args.port if args.port is not None else 7027
+    if not 0 <= port <= 65535:
+        raise ServiceArgError(f"--port must be in [0, 65535], got {port}")
+    return None, args.host, port
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .service import RunService
+
+    backend = _resolve_backend(args)
+    executor = _resolve_executor(args)
+    socket_path, host, port = _service_endpoint(args)
+    for name, floor in (("workers", 1), ("queue_size", 1), ("max_sessions", 1)):
+        value = getattr(args, name)
+        if value < floor:
+            raise ServiceArgError(
+                f"--{name.replace('_', '-')} must be >= {floor}, got {value}"
+            )
+
+    async def _serve() -> None:
+        service = RunService(
+            host=host or "127.0.0.1",
+            port=port,
+            socket_path=socket_path,
+            workers=args.workers,
+            queue_size=args.queue_size,
+            max_sessions=args.max_sessions,
+            backend=backend,
+            executor=executor,
+        )
+        await service.start()
+        kind = "unix socket" if socket_path is not None else "tcp"
+        print(
+            f"repro service listening on {kind} {service.address} "
+            f"(workers={args.workers} queue={args.queue_size} "
+            f"sessions<={args.max_sessions}); GET /metrics for Prometheus, "
+            "ctrl-c to stop",
+            flush=True,
+        )
+        try:
+            await service.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await service.stop()
+            print("repro service stopped", flush=True)
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_load(args) -> int:
+    from .service import run_load
+
+    socket_path, host, port = _service_endpoint(args)
+    if args.rps <= 0:
+        raise ServiceArgError(f"--rps must be > 0, got {args.rps}")
+    if args.duration <= 0:
+        raise ServiceArgError(f"--duration must be > 0, got {args.duration}")
+    if args.n < 1 or args.procs < 1:
+        raise ServiceArgError("--n and --procs must be >= 1")
+    try:
+        report = run_load(
+            rps=args.rps,
+            duration_s=args.duration,
+            seed=args.seed,
+            host=host or "127.0.0.1",
+            port=port,
+            socket_path=socket_path,
+            n=args.n,
+            n_procs=args.procs,
+        )
+    except (ConnectionError, OSError) as exc:
+        where = socket_path if socket_path is not None else f"{host}:{port}"
+        raise ServiceArgError(f"cannot reach a service at {where}: {exc}")
+    print(report.line())
+    if report.dropped or report.errors:
+        print(
+            f"error: {report.dropped} response(s) dropped, "
+            f"{report.errors} failed"
+        )
+        return 1
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from .analysis.cli import cmd_lint
 
@@ -766,6 +952,8 @@ _COMMANDS = {
     "collection": _cmd_collection,
     "report": _cmd_report,
     "inspect": _cmd_inspect,
+    "serve": _cmd_serve,
+    "load": _cmd_load,
     "lint": _cmd_lint,
 }
 

@@ -1,0 +1,328 @@
+"""Client side: a blocking convenience client + the seeded load generator.
+
+:class:`ServiceClient` is the simple synchronous path — connect, send one
+request line, read one response line — for scripts, tests and examples.
+
+:func:`run_load` is what ``repro load`` runs: a deterministic open-loop
+load generator.  The request stream is a pure function of ``seed`` (see
+:func:`load_requests`), requests are paced at a fixed offered rate on an
+asyncio clock, responses are matched back by ``id``, and the returned
+:class:`LoadReport` carries achieved runs/sec, p50/p99 latency and the
+three loss counters the CI smoke greps for: ``rejected`` (typed 429
+lines — backpressure working as designed), ``errors`` (500 lines) and
+``dropped`` (responses that never arrived — always zero below
+saturation, the acceptance bar).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import socket
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from .protocol import encode_line
+
+__all__ = ["LoadReport", "ServiceClient", "load_requests", "percentile", "run_load"]
+
+#: the palette the seeded stream draws from (every registry scheme)
+LOAD_SCHEMES = ("sfc", "cfs", "ed")
+
+
+def _connect(
+    host: str, port: int | None, socket_path: str | Path | None, timeout: float
+) -> socket.socket:
+    if (port is None) == (socket_path is None):
+        raise ValueError("pass exactly one of port= or socket_path=")
+    if socket_path is not None:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        sock.connect(str(socket_path))
+        return sock
+    return socket.create_connection((host, port), timeout=timeout)
+
+
+class ServiceClient:
+    """A blocking JSONL client: one request in flight at a time.
+
+    Usage::
+
+        with ServiceClient(socket_path="/tmp/repro.sock") as client:
+            payload = client.run(scheme="ed", n=120, n_procs=4)
+    """
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int | None = None,
+        socket_path: str | Path | None = None,
+        timeout: float = 60.0,
+    ) -> None:
+        self._sock = _connect(host, port, socket_path, timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Send one request object, return the decoded response line."""
+        self._file.write(encode_line(payload))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("service closed the connection")
+        response = json.loads(line)
+        if not isinstance(response, dict):
+            raise ValueError(f"malformed response line: {line!r}")
+        return response
+
+    def run(self, **params: Any) -> dict[str, Any]:
+        """Run one scheme (kwargs = protocol run keys); returns the
+        ``result_to_dict`` payload.  Raises on error/reject lines."""
+        response = self.request({"op": "run", **params})
+        if response.get("type") != "result":
+            raise RuntimeError(
+                f"run failed ({response.get('code')}): {response.get('error')}"
+            )
+        result = response["result"]
+        assert isinstance(result, dict)
+        return result
+
+    def ping(self) -> bool:
+        """True when the service answers a ping."""
+        return self.request({"op": "ping"}).get("type") == "pong"
+
+    def stats(self) -> dict[str, Any]:
+        """The server's queue/session counters (``op: stats``)."""
+        stats = self.request({"op": "stats"})["stats"]
+        assert isinstance(stats, dict)
+        return stats
+
+    def metrics_text(self) -> str:
+        """The live Prometheus registry (``op: metrics``)."""
+        text = self.request({"op": "metrics"})["text"]
+        assert isinstance(text, str)
+        return text
+
+    def close(self) -> None:
+        """Close the connection (idempotent; the server keeps running)."""
+        self._file.close()
+        self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# the deterministic load generator
+# ----------------------------------------------------------------------
+def load_requests(
+    seed: int, count: int, *, n: int = 120, n_procs: int = 4
+) -> list[dict[str, Any]]:
+    """The seeded request stream: a pure function of its arguments.
+
+    Every request is a clean ``(n, n_procs)`` run; the scheme and matrix
+    seed vary under ``random.Random(seed)``, so the same seed replays
+    byte-identical traffic (the determinism test and the CI smoke rely
+    on this).
+    """
+    rng = random.Random(seed)
+    out = []
+    for i in range(count):
+        out.append(
+            {
+                "op": "run",
+                "id": f"load-{seed}-{i}",
+                "scheme": rng.choice(LOAD_SCHEMES),
+                "n": n,
+                "n_procs": n_procs,
+                "seed": rng.randrange(4),
+            }
+        )
+    return out
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]); 0.0 on empty input."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, -(-len(ordered) * q // 100))  # ceil without math
+    return ordered[int(rank) - 1]
+
+
+@dataclass
+class LoadReport:
+    """What one ``repro load`` run measured."""
+
+    offered_rps: float
+    duration_s: float
+    seed: int
+    sent: int = 0
+    completed: int = 0
+    rejected: int = 0
+    errors: int = 0
+    dropped: int = 0
+    wall_s: float = 0.0
+    latencies_ms: list[float] = field(default_factory=list, repr=False)
+
+    @property
+    def achieved_rps(self) -> float:
+        """Completed runs per wall-clock second."""
+        return self.completed / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def p50_ms(self) -> float:
+        return percentile(self.latencies_ms, 50)
+
+    @property
+    def p99_ms(self) -> float:
+        return percentile(self.latencies_ms, 99)
+
+    def line(self) -> str:
+        """The one-line summary ``repro load`` prints (CI greps it)."""
+        return (
+            f"load seed={self.seed} offered={self.offered_rps:g}rps "
+            f"sent={self.sent} completed={self.completed} "
+            f"achieved={self.achieved_rps:.1f}rps "
+            f"p50={self.p50_ms:.1f}ms p99={self.p99_ms:.1f}ms "
+            f"rejected={self.rejected} errors={self.errors} "
+            f"dropped={self.dropped}"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON form (bench_service.py embeds this)."""
+        return {
+            "offered_rps": self.offered_rps,
+            "duration_s": self.duration_s,
+            "seed": self.seed,
+            "sent": self.sent,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "dropped": self.dropped,
+            "wall_s": self.wall_s,
+            "achieved_rps": self.achieved_rps,
+            "p50_ms": self.p50_ms,
+            "p99_ms": self.p99_ms,
+        }
+
+
+async def _load_async(
+    requests: list[dict[str, Any]],
+    rps: float,
+    report: LoadReport,
+    *,
+    host: str,
+    port: int | None,
+    socket_path: str | Path | None,
+    drain_timeout_s: float,
+) -> None:
+    if socket_path is not None:
+        reader, writer = await asyncio.open_unix_connection(str(socket_path))
+    else:
+        assert port is not None
+        reader, writer = await asyncio.open_connection(host, port)
+    loop = asyncio.get_running_loop()
+    sent_at: dict[str, float] = {}
+    outstanding: set[str] = set()
+    done = loop.create_future()
+
+    async def read_responses() -> None:
+        while outstanding or not done.done():
+            line = await reader.readline()
+            if not line:
+                return
+            response = json.loads(line)
+            rid = str(response.get("id"))
+            if rid in outstanding:
+                outstanding.discard(rid)
+                kind = response.get("type")
+                if kind == "result":
+                    report.completed += 1
+                    report.latencies_ms.append(
+                        (loop.time() - sent_at[rid]) * 1000.0
+                    )
+                elif kind == "reject":
+                    report.rejected += 1
+                else:
+                    report.errors += 1
+            if done.done() and not outstanding:
+                return
+
+    reader_task = loop.create_task(read_responses())
+    start = loop.time()
+    try:
+        for i, request in enumerate(requests):
+            delay = start + i / rps - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            rid = str(request["id"])
+            sent_at[rid] = loop.time()
+            outstanding.add(rid)
+            writer.write(encode_line(request))
+            await writer.drain()
+            report.sent += 1
+        done.set_result(None)
+        try:
+            await asyncio.wait_for(reader_task, timeout=drain_timeout_s)
+        except (TimeoutError, asyncio.TimeoutError):
+            pass  # whatever is still outstanding is counted as dropped
+    finally:
+        if not done.done():
+            done.set_result(None)
+        if not reader_task.done():
+            reader_task.cancel()
+            await asyncio.gather(reader_task, return_exceptions=True)
+        report.dropped = len(outstanding)
+        report.wall_s = loop.time() - start
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+def run_load(
+    *,
+    rps: float,
+    duration_s: float,
+    seed: int = 0,
+    host: str = "127.0.0.1",
+    port: int | None = None,
+    socket_path: str | Path | None = None,
+    n: int = 120,
+    n_procs: int = 4,
+    drain_timeout_s: float = 60.0,
+) -> LoadReport:
+    """Offer ``rps`` requests/second for ``duration_s`` seconds.
+
+    The stream is :func:`load_requests` of ``seed``; pacing is open-loop
+    (a slow server does not slow the offered rate — that is how the
+    saturation bench finds the knee).  After the last send, responses
+    are drained for up to ``drain_timeout_s``; anything still missing is
+    ``dropped``.
+    """
+    if rps <= 0:
+        raise ValueError(f"rps must be > 0, got {rps}")
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be > 0, got {duration_s}")
+    count = max(1, int(rps * duration_s))
+    requests = load_requests(seed, count, n=n, n_procs=n_procs)
+    report = LoadReport(offered_rps=rps, duration_s=duration_s, seed=seed)
+    asyncio.run(
+        _load_async(
+            requests,
+            rps,
+            report,
+            host=host,
+            port=port,
+            socket_path=socket_path,
+            drain_timeout_s=drain_timeout_s,
+        )
+    )
+    return report

@@ -1,0 +1,433 @@
+"""The JSONL wire protocol: strict request parsing + typed response lines.
+
+One request is one JSON object on one line.  The schema mirrors the sweep
+manifest's strictness conventions (:mod:`repro.sweep.manifest`): unknown
+keys are rejected with the full sorted key listing, names are validated
+against the registries in :mod:`repro.core.registry`, and every error is
+a single CLI-friendly sentence — the payload is *user* input arriving
+over a socket, not programmer input.
+
+Request keys (``op: "run"``, the default)::
+
+    {"id": "r1", "scheme": "ed", "n": 120, "n_procs": 4,
+     "partition": "row", "compression": "crs", "sparse_ratio": 0.1,
+     "seed": 0, "mesh_shape": [2, 2], "backend": "numpy",
+     "executor": "sim", "faults": {...}, "fault_seed": 0,
+     "recovery": "host-resend", "supervise": {...}, "observe": true}
+
+``faults`` / ``supervise`` are *inline* :class:`~repro.faults.spec.
+FaultSpec` / :class:`~repro.exec.SuperviseSpec` objects (the same JSON
+the CLI loads from files).  ``op`` may also be ``"ping"``, ``"stats"``
+or ``"metrics"`` — control operations that carry only ``id``.
+
+Response lines are typed by a ``"type"`` key: ``result`` (the
+:func:`~repro.machine.export.result_to_dict` payload under
+``"result"``), ``error`` (code 400/500 + one friendly line), ``reject``
+(code 429, queue full), ``pong``, ``stats`` and ``metrics``.  Lines are
+canonical JSON (sorted keys, compact separators), so a served result is
+byte-stable across processes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from ..core.registry import COMPRESSIONS, PARTITIONS, SCHEMES
+from ..machine.cost_model import CostModel
+from ..runtime.session import RunRequest
+
+__all__ = [
+    "ProtocolError",
+    "ServiceRequest",
+    "encode_line",
+    "error_response",
+    "parse_request_line",
+    "reject_response",
+    "result_response",
+    "session_key",
+]
+
+#: every key a ``run`` request may carry (the strict-schema listing)
+RUN_KEYS = (
+    "id",
+    "op",
+    "scheme",
+    "n",
+    "n_procs",
+    "partition",
+    "compression",
+    "sparse_ratio",
+    "seed",
+    "mesh_shape",
+    "backend",
+    "executor",
+    "faults",
+    "fault_seed",
+    "recovery",
+    "supervise",
+    "observe",
+)
+
+#: control operations that carry no run parameters
+CONTROL_OPS = ("metrics", "ping", "stats")
+
+#: fail-stop recovery policies the run layer understands
+RECOVERY_POLICIES = ("host-resend", "peer-redistribute")
+
+
+class ProtocolError(ValueError):
+    """A request line failed validation (message is one friendly line).
+
+    ``request_id`` carries the client's ``id`` when the line parsed far
+    enough to have one, so the error response can still be correlated.
+    """
+
+    def __init__(self, message: str, *, request_id: str | None = None) -> None:
+        super().__init__(message)
+        self.request_id = request_id
+
+
+@dataclass(frozen=True)
+class ServiceRequest:
+    """One validated request: a control op, or a run with its config."""
+
+    id: str
+    op: str
+    #: the fully resolved run request (``None`` for control ops); server
+    #: defaults for backend/executor are already applied
+    config: RunRequest | None = None
+    #: attach a per-run Observability recorder and ship its snapshot
+    #: inside the result payload
+    observe: bool = False
+
+
+def session_key(config: RunRequest) -> tuple[Any, ...]:
+    """The warm-session signature of one run: ``(p, cost, backend,
+    executor)`` — exactly the machine-reuse key of
+    :class:`~repro.runtime.session.RunSession`."""
+    return (config.n_procs, config.cost, config.backend, config.executor)
+
+
+# ----------------------------------------------------------------------
+# field validators (ManifestError-style messages, ProtocolError type)
+# ----------------------------------------------------------------------
+def _reject_unknown(
+    data: Mapping[str, Any], known: Sequence[str], what: str, rid: str | None
+) -> None:
+    unknown = sorted(set(data) - set(known))
+    if unknown:
+        raise ProtocolError(
+            f"unknown {what} key(s) {unknown}; known keys: {sorted(known)}",
+            request_id=rid,
+        )
+
+
+def _int_field(data: Mapping[str, Any], key: str, default: int | None,
+               rid: str | None, *, minimum: int | None = None) -> int:
+    if key not in data:
+        if default is None:
+            raise ProtocolError(
+                f"run request is missing required key {key!r}", request_id=rid
+            )
+        return default
+    value = data[key]
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(
+            f"request key {key!r} must be an integer, got {value!r}",
+            request_id=rid,
+        )
+    if minimum is not None and value < minimum:
+        raise ProtocolError(
+            f"request key {key!r} must be >= {minimum}, got {value}",
+            request_id=rid,
+        )
+    return value
+
+
+def _name_field(
+    data: Mapping[str, Any], key: str, default: str | None,
+    registry: Mapping[str, Any], what: str, rid: str | None,
+) -> str:
+    if key not in data:
+        if default is None:
+            raise ProtocolError(
+                f"run request is missing required key {key!r}", request_id=rid
+            )
+        return default
+    value = data[key]
+    if not isinstance(value, str):
+        raise ProtocolError(
+            f"request key {key!r} must be a string, got {value!r}",
+            request_id=rid,
+        )
+    if value.lower() not in registry:
+        raise ProtocolError(
+            f"unknown {what} {value!r}; available: {sorted(registry)}",
+            request_id=rid,
+        )
+    return value.lower()
+
+
+def _ratio_field(data: Mapping[str, Any], rid: str | None) -> float:
+    value = data.get("sparse_ratio", 0.1)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError(
+            f"request key 'sparse_ratio' must be a number, got {value!r}",
+            request_id=rid,
+        )
+    value = float(value)
+    if not 0.0 < value <= 1.0:
+        raise ProtocolError(
+            f"request key 'sparse_ratio' must be in (0, 1], got {value}",
+            request_id=rid,
+        )
+    return value
+
+
+def _mesh_field(
+    data: Mapping[str, Any], partition: str, n_procs: int, rid: str | None
+) -> tuple[int, int] | None:
+    raw = data.get("mesh_shape")
+    if raw is None:
+        return None
+    if partition != "mesh2d":
+        raise ProtocolError(
+            "request key 'mesh_shape' is only meaningful with the 'mesh2d' "
+            "partition",
+            request_id=rid,
+        )
+    if (
+        not isinstance(raw, list)
+        or len(raw) != 2
+        or any(isinstance(s, bool) or not isinstance(s, int) or s < 1 for s in raw)
+    ):
+        raise ProtocolError(
+            f"request key 'mesh_shape' must be [rows, cols] with positive "
+            f"integers, got {raw!r}",
+            request_id=rid,
+        )
+    if raw[0] * raw[1] != n_procs:
+        raise ProtocolError(
+            f"mesh_shape {raw} does not factor {n_procs} processors",
+            request_id=rid,
+        )
+    return (raw[0], raw[1])
+
+
+def _backend_field(data: Mapping[str, Any], default: str | None,
+                   rid: str | None) -> str | None:
+    name = data.get("backend", default)
+    if name is None:
+        return None
+    if not isinstance(name, str):
+        raise ProtocolError(
+            f"request key 'backend' must be a string, got {name!r}",
+            request_id=rid,
+        )
+    from ..kernels import get_backend
+
+    try:
+        get_backend(name)
+    except ValueError as exc:
+        raise ProtocolError(str(exc), request_id=rid) from None
+    return name
+
+
+def _executor_field(data: Mapping[str, Any], default: str | None,
+                    rid: str | None) -> str | None:
+    name = data.get("executor", default)
+    if name is None:
+        return None
+    if not isinstance(name, str):
+        raise ProtocolError(
+            f"request key 'executor' must be a string, got {name!r}",
+            request_id=rid,
+        )
+    from ..exec import get_executor
+
+    try:
+        get_executor(name)
+    except ValueError as exc:
+        raise ProtocolError(str(exc), request_id=rid) from None
+    return name
+
+
+def parse_request_line(
+    line: str | bytes,
+    *,
+    seq: int = 0,
+    default_backend: str | None = None,
+    default_executor: str | None = None,
+) -> ServiceRequest:
+    """Validate one wire line into a :class:`ServiceRequest`.
+
+    ``seq`` numbers the connection's requests so a line without an
+    ``id`` still gets a correlatable one (``"req-<seq>"``).
+    ``default_backend`` / ``default_executor`` are the *server's*
+    placement defaults (``repro serve --executor …``); an explicit key in
+    the request always wins.  Raises :class:`ProtocolError` with one
+    friendly line on any malformation.
+    """
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        data = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(
+            f"request is not valid JSON (column {exc.colno}: {exc.msg})"
+        ) from None
+    if not isinstance(data, dict):
+        raise ProtocolError(f"request must be a JSON object, got {data!r}")
+
+    raw_id = data.get("id", f"req-{seq}")
+    if isinstance(raw_id, bool) or not isinstance(raw_id, (str, int)):
+        raise ProtocolError(f"request key 'id' must be a string, got {raw_id!r}")
+    rid = str(raw_id)
+
+    op = data.get("op", "run")
+    if op in CONTROL_OPS:
+        _reject_unknown(data, ("id", "op"), f"{op} request", rid)
+        return ServiceRequest(id=rid, op=op)
+    if op != "run":
+        raise ProtocolError(
+            f"unknown op {op!r}; available: {sorted(('run',) + CONTROL_OPS)}",
+            request_id=rid,
+        )
+
+    _reject_unknown(data, RUN_KEYS, "run request", rid)
+    scheme = _name_field(data, "scheme", None, SCHEMES, "scheme", rid)
+    n = _int_field(data, "n", None, rid, minimum=1)
+    n_procs = _int_field(data, "n_procs", None, rid, minimum=1)
+    partition = _name_field(
+        data, "partition", "row", PARTITIONS, "partition method", rid
+    )
+    compression = _name_field(
+        data, "compression", "crs", COMPRESSIONS, "compression method", rid
+    )
+    sparse_ratio = _ratio_field(data, rid)
+    seed = _int_field(data, "seed", 0, rid)
+    fault_seed = _int_field(data, "fault_seed", 0, rid)
+    mesh_shape = _mesh_field(data, partition, n_procs, rid)
+    backend = _backend_field(data, default_backend, rid)
+    executor = _executor_field(data, default_executor, rid)
+
+    faults = None
+    if data.get("faults") is not None:
+        if not isinstance(data["faults"], dict):
+            raise ProtocolError(
+                f"request key 'faults' must be a FaultSpec object, "
+                f"got {data['faults']!r}",
+                request_id=rid,
+            )
+        from ..faults import FaultSpec
+
+        try:
+            faults = FaultSpec.from_dict(data["faults"])
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(
+                f"request key 'faults' is invalid: {exc}", request_id=rid
+            ) from None
+
+    recovery = data.get("recovery")
+    if recovery is not None:
+        if recovery not in RECOVERY_POLICIES:
+            raise ProtocolError(
+                f"unknown recovery policy {recovery!r}; "
+                f"available: {sorted(RECOVERY_POLICIES)}",
+                request_id=rid,
+            )
+        if faults is None:
+            raise ProtocolError(
+                "request key 'recovery' needs a fault plan ('faults': {...})",
+                request_id=rid,
+            )
+
+    supervise = None
+    if data.get("supervise") is not None:
+        if not isinstance(data["supervise"], dict):
+            raise ProtocolError(
+                f"request key 'supervise' must be a SuperviseSpec object, "
+                f"got {data['supervise']!r}",
+                request_id=rid,
+            )
+        if executor != "process":
+            raise ProtocolError(
+                "request key 'supervise' needs the process executor "
+                f"('executor': 'process'; effective: {executor or 'sim'})",
+                request_id=rid,
+            )
+        from ..exec import SuperviseSpec
+
+        try:
+            supervise = SuperviseSpec.from_dict(data["supervise"])
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(
+                f"request key 'supervise' is invalid: {exc}", request_id=rid
+            ) from None
+
+    observe = data.get("observe", False)
+    if not isinstance(observe, bool):
+        raise ProtocolError(
+            f"request key 'observe' must be a boolean, got {observe!r}",
+            request_id=rid,
+        )
+
+    config = RunRequest(
+        scheme=scheme,
+        n=n,
+        n_procs=n_procs,
+        partition=partition,
+        compression=compression,
+        sparse_ratio=sparse_ratio,
+        seed=seed,
+        mesh_shape=mesh_shape,
+        faults=faults,
+        fault_seed=fault_seed,
+        recovery=recovery,
+        backend=backend,
+        executor=executor,
+        supervise=supervise,
+    )
+    return ServiceRequest(id=rid, op="run", config=config, observe=observe)
+
+
+# ----------------------------------------------------------------------
+# response lines
+# ----------------------------------------------------------------------
+def encode_line(obj: Mapping[str, Any]) -> bytes:
+    """One canonical-JSON response line (sorted keys, trailing newline)."""
+    return (
+        json.dumps(obj, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def result_response(request_id: str, payload: Mapping[str, Any]) -> dict[str, Any]:
+    """A completed run: the ``result_to_dict`` payload, verbatim."""
+    return {"type": "result", "id": request_id, "result": dict(payload)}
+
+
+def error_response(
+    request_id: str | None, message: str, *, code: int = 400
+) -> dict[str, Any]:
+    """A failed request — one friendly line, never a traceback."""
+    out: dict[str, Any] = {"type": "error", "code": code, "error": message}
+    if request_id is not None:
+        out["id"] = request_id
+    return out
+
+
+def reject_response(request_id: str, queue_size: int) -> dict[str, Any]:
+    """Backpressure: the bounded queue is full (retry later)."""
+    return {
+        "type": "reject",
+        "id": request_id,
+        "code": 429,
+        "error": f"queue full ({queue_size} requests pending); retry later",
+    }
+
+
+def cost_signature(cost: CostModel) -> str:
+    """A short printable form of a cost model for stats payloads."""
+    return repr(cost)

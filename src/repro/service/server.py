@@ -1,0 +1,303 @@
+"""The asyncio listener: JSONL run protocol + a live ``GET /metrics``.
+
+:class:`RunService` binds one listener (TCP or a unix socket) and speaks
+two dialects on it, sniffed from the first line of each connection:
+
+* **JSONL** (the default): one request object per line, one typed
+  response line per request.  Requests on one connection are pipelined —
+  the read loop keeps consuming while earlier runs execute — and
+  responses stream back in *completion* order, correlated by ``id``.
+* **HTTP** (a line starting ``GET``/``HEAD``): a minimal one-shot
+  responder that serves the live Prometheus registry at ``/metrics``
+  (the PR 4 text exporter over the server's own obs recorder) so a
+  scrape target needs no second port.
+
+Disconnect tolerance: a client that vanishes mid-run never takes the
+service down — its in-flight responses are discarded (counted in
+``repro_service_discarded_total``), the warm session survives, and the
+next connection is served normally.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from pathlib import Path
+from typing import Any
+
+from ..obs.exporters import to_prometheus_text
+from ..obs.spans import Observability
+from .protocol import (
+    ProtocolError,
+    ServiceRequest,
+    encode_line,
+    error_response,
+    parse_request_line,
+    reject_response,
+)
+from .queue import QueueFullError, RunScheduler
+
+__all__ = ["RunService"]
+
+
+class RunService:
+    """One run-service endpoint: listener + scheduler + obs recorder.
+
+    Exactly one of ``port`` / ``socket_path`` selects the listener
+    flavour (``port=0`` asks the OS for a free port — tests use this).
+    ``backend`` / ``executor`` are placement *defaults* applied to
+    requests that do not choose their own; results are byte-identical
+    either way.  ``obs`` defaults to a fresh enabled recorder whose
+    registry backs ``GET /metrics``.
+    """
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int | None = None,
+        socket_path: str | Path | None = None,
+        workers: int = 2,
+        queue_size: int = 64,
+        max_sessions: int = 8,
+        backend: str | None = None,
+        executor: str | None = None,
+        obs: Observability | None = None,
+        on_batch_start: Any = None,
+    ) -> None:
+        if (port is None) == (socket_path is None):
+            raise ValueError("pass exactly one of port= or socket_path=")
+        self.host = host
+        self.port = port
+        self.socket_path = Path(socket_path) if socket_path is not None else None
+        self.default_backend = backend
+        self.default_executor = executor
+        self.obs = obs if obs is not None else Observability(service="repro")
+        self.scheduler = RunScheduler(
+            workers=workers,
+            queue_size=queue_size,
+            max_sessions=max_sessions,
+            obs=self.obs,
+            on_batch_start=on_batch_start,
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._connections = 0
+        self._disconnects = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> str:
+        """Printable bound address (resolved port for ``port=0``)."""
+        if self.socket_path is not None:
+            return str(self.socket_path)
+        sockets = getattr(self._server, "sockets", None)
+        if sockets:
+            host, port = sockets[0].getsockname()[:2]
+            return f"{host}:{port}"
+        return f"{self.host}:{self.port}"
+
+    async def start(self) -> None:
+        """Bind the listener and spawn the scheduler's workers."""
+        if self._server is not None:
+            raise RuntimeError("service already started")
+        self.scheduler.start()
+        if self.socket_path is not None:
+            self.socket_path.unlink(missing_ok=True)
+            self._server = await asyncio.start_unix_server(
+                self._handle, path=str(self.socket_path)
+            )
+        else:
+            assert self.port is not None
+            self._server = await asyncio.start_server(
+                self._handle, host=self.host, port=self.port
+            )
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled (``repro serve`` wraps this)."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting, drain the scheduler, close warm sessions."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.scheduler.stop()
+        if self.socket_path is not None:
+            self.socket_path.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections += 1
+        self.obs.count("repro_service_connections_total")
+        try:
+            first = await reader.readline()
+            if not first:
+                return
+            if first.startswith(b"GET ") or first.startswith(b"HEAD "):
+                await self._serve_http(first, reader, writer)
+                return
+            await self._serve_jsonl(first, reader, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            self._disconnects += 1
+            self.obs.count("repro_service_disconnects_total")
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _serve_jsonl(
+        self,
+        first: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        lock = asyncio.Lock()  # serialises response lines on this socket
+        in_flight: set[asyncio.Task[None]] = set()
+        seq = 0
+        line = first
+        while line:
+            seq += 1
+            task = self._dispatch(line, seq, writer, lock)
+            if task is not None:
+                in_flight.add(task)
+                task.add_done_callback(in_flight.discard)
+            line = await reader.readline()
+        # EOF: the client closed.  Anything still running is orphaned —
+        # cancel the response writers; the runs themselves complete and
+        # are discarded by the scheduler (counted, never fatal).
+        if in_flight:
+            self._disconnects += 1
+            self.obs.count("repro_service_disconnects_total")
+            for task in list(in_flight):
+                task.cancel()
+            await asyncio.gather(*in_flight, return_exceptions=True)
+
+    def _dispatch(
+        self,
+        line: bytes,
+        seq: int,
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+    ) -> "asyncio.Task[None] | None":
+        """Handle one request line; returns the response task for runs."""
+        try:
+            request = parse_request_line(
+                line,
+                seq=seq,
+                default_backend=self.default_backend,
+                default_executor=self.default_executor,
+            )
+        except ProtocolError as exc:
+            self.obs.count("repro_service_invalid_total")
+            return asyncio.get_running_loop().create_task(
+                self._write_line(
+                    writer, lock, error_response(exc.request_id, str(exc))
+                )
+            )
+        if request.op != "run":
+            return asyncio.get_running_loop().create_task(
+                self._write_line(writer, lock, self._control(request))
+            )
+        try:
+            future = self.scheduler.submit(request)
+        except QueueFullError:
+            return asyncio.get_running_loop().create_task(
+                self._write_line(
+                    writer,
+                    lock,
+                    reject_response(request.id, self.scheduler.queue_size),
+                )
+            )
+        return asyncio.get_running_loop().create_task(
+            self._respond(future, writer, lock)
+        )
+
+    def _control(self, request: ServiceRequest) -> dict[str, Any]:
+        """ping / stats / metrics control responses (loop thread, sync)."""
+        if request.op == "ping":
+            return {"type": "pong", "id": request.id}
+        if request.op == "stats":
+            return {
+                "type": "stats",
+                "id": request.id,
+                "stats": {
+                    **self.scheduler.stats(),
+                    "connections": self._connections,
+                    "disconnects": self._disconnects,
+                },
+            }
+        return {
+            "type": "metrics",
+            "id": request.id,
+            "text": to_prometheus_text(self.obs.metrics),
+        }
+
+    async def _respond(
+        self,
+        future: "asyncio.Future[dict[str, Any]]",
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+    ) -> None:
+        response = await future
+        await self._write_line(writer, lock, response)
+
+    async def _write_line(
+        self,
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+        response: dict[str, Any],
+    ) -> None:
+        async with lock:
+            if writer.is_closing():
+                return
+            writer.write(encode_line(response))
+            with contextlib.suppress(ConnectionError):
+                await writer.drain()
+
+    # ------------------------------------------------------------------
+    # the /metrics endpoint
+    # ------------------------------------------------------------------
+    async def _serve_http(
+        self,
+        first: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """One-shot HTTP responder: ``GET /metrics`` over the live registry."""
+        # drain the request headers (ignored; scrapes carry no body)
+        while True:
+            header = await reader.readline()
+            if header in (b"", b"\r\n", b"\n"):
+                break
+        parts = first.decode("latin-1").split()
+        path = parts[1] if len(parts) >= 2 else "/"
+        if path.split("?")[0] == "/metrics":
+            self.obs.count("repro_service_scrapes_total")
+            body = to_prometheus_text(self.obs.metrics).encode("utf-8")
+            status = "200 OK"
+            ctype = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = b"repro run service: scrape /metrics\n"
+            status = "404 Not Found"
+            ctype = "text/plain; charset=utf-8"
+        head = (
+            f"HTTP/1.1 {status}\r\n"
+            f"Content-Type: {ctype}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        writer.write(head if parts and parts[0] == "HEAD" else head + body)
+        with contextlib.suppress(ConnectionError):
+            await writer.drain()

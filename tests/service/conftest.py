@@ -1,0 +1,97 @@
+"""Fixtures: a live run service on a unix socket, in a background thread.
+
+The server's event loop runs in its own daemon thread so the blocking
+:class:`~repro.service.client.ServiceClient` (and raw sockets) can talk
+to it from the test thread.  Sockets live under ``/tmp`` via
+``tempfile`` — *not* under pytest's deep ``tmp_path`` — because
+``AF_UNIX`` paths are capped at ~104 bytes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+import pytest
+
+from repro.service import RunService
+
+
+class LiveService:
+    """One running :class:`RunService` + its loop thread."""
+
+    def __init__(self, service: RunService, loop: asyncio.AbstractEventLoop,
+                 thread: threading.Thread, socket_dir: tempfile.TemporaryDirectory):
+        self.service = service
+        self.loop = loop
+        self._thread = thread
+        self._socket_dir = socket_dir
+
+    @property
+    def socket_path(self) -> Path:
+        assert self.service.socket_path is not None
+        return self.service.socket_path
+
+    def call(self, coro: Any, timeout: float = 30.0) -> Any:
+        """Run a coroutine on the service's loop from the test thread."""
+        return asyncio.run_coroutine_threadsafe(coro, self.loop).result(timeout)
+
+    def stop(self) -> None:
+        if self.loop.is_running():
+            self.call(self.service.stop())
+            self.loop.call_soon_threadsafe(self.loop.stop)
+        self._thread.join(timeout=10)
+        self._socket_dir.cleanup()
+
+
+@pytest.fixture
+def make_service() -> Iterator[Callable[..., LiveService]]:
+    """Factory: start a configured service, auto-stopped at teardown."""
+    started: list[LiveService] = []
+
+    def _make(**kwargs: Any) -> LiveService:
+        socket_dir = tempfile.TemporaryDirectory(prefix="repro-svc-")
+        kwargs.setdefault("socket_path", Path(socket_dir.name) / "run.sock")
+        service = RunService(**kwargs)
+        loop = asyncio.new_event_loop()
+        ready = threading.Event()
+
+        def _run() -> None:
+            asyncio.set_event_loop(loop)
+            loop.run_until_complete(service.start())
+            ready.set()
+            loop.run_forever()
+            # drain cancelled callbacks so the loop closes cleanly
+            loop.run_until_complete(asyncio.sleep(0))
+            loop.close()
+
+        thread = threading.Thread(target=_run, daemon=True)
+        thread.start()
+        assert ready.wait(timeout=10), "service failed to start"
+        live = LiveService(service, loop, thread, socket_dir)
+        started.append(live)
+        return live
+
+    yield _make
+    for live in started:
+        live.stop()
+
+
+@pytest.fixture
+def service(make_service: Callable[..., LiveService]) -> LiveService:
+    """A default two-worker service on a unix socket."""
+    return make_service(workers=2)
+
+
+def wait_until(predicate: Callable[[], bool], timeout: float = 10.0) -> bool:
+    """Poll ``predicate`` until true or ``timeout`` elapses."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()

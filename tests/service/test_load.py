@@ -1,0 +1,112 @@
+"""The load generator and the two service CLI commands."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.service import LoadReport, load_requests, run_load
+from repro.service.client import percentile
+
+
+class TestLoadRequests:
+    def test_stream_is_a_pure_function_of_the_seed(self):
+        assert load_requests(7, 20) == load_requests(7, 20)
+        assert load_requests(7, 20) != load_requests(8, 20)
+
+    def test_stream_shape(self):
+        requests = load_requests(3, 10, n=48, n_procs=2)
+        assert len(requests) == 10
+        assert [r["id"] for r in requests] == [f"load-3-{i}" for i in range(10)]
+        assert all(r["op"] == "run" for r in requests)
+        assert all(r["n"] == 48 and r["n_procs"] == 2 for r in requests)
+        assert {r["scheme"] for r in requests} <= {"sfc", "cfs", "ed"}
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 50) == 50.0
+        assert percentile(values, 99) == 99.0
+        assert percentile(values, 100) == 100.0
+        assert percentile([42.0], 99) == 42.0
+        assert percentile([], 50) == 0.0
+
+
+class TestLoadReport:
+    def test_line_and_dict_forms(self):
+        report = LoadReport(offered_rps=10.0, duration_s=2.0, seed=4,
+                            sent=20, completed=20, wall_s=2.0,
+                            latencies_ms=[5.0] * 20)
+        assert report.achieved_rps == 10.0
+        line = report.line()
+        assert "seed=4" in line
+        assert "dropped=0" in line
+        assert report.to_dict()["p50_ms"] == 5.0
+
+    def test_run_load_validates_inputs(self):
+        with pytest.raises(ValueError, match="rps"):
+            run_load(rps=0, duration_s=1, socket_path="/tmp/nope.sock")
+        with pytest.raises(ValueError, match="duration_s"):
+            run_load(rps=1, duration_s=0, socket_path="/tmp/nope.sock")
+
+
+class TestLoadAgainstLiveService:
+    def test_zero_drops_below_saturation(self, service):
+        report = run_load(
+            rps=20.0, duration_s=0.5, seed=11,
+            socket_path=service.socket_path, n=48, n_procs=2,
+        )
+        assert report.sent == 10
+        assert report.completed == 10
+        assert report.rejected == 0
+        assert report.errors == 0
+        assert report.dropped == 0
+        assert report.p99_ms >= report.p50_ms > 0.0
+
+    def test_same_seed_replays_the_same_stream(self, service):
+        kwargs = dict(rps=30.0, duration_s=0.3, seed=2,
+                      socket_path=service.socket_path, n=48, n_procs=2)
+        first = run_load(**kwargs)
+        second = run_load(**kwargs)
+        assert first.completed == second.completed == first.sent
+
+    def test_cli_load_happy_path(self, service, capsys):
+        rc = main([
+            "load", "--socket", str(service.socket_path),
+            "--rps", "20", "--duration", "0.5", "--seed", "1",
+            "--n", "48", "--procs", "2",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "load seed=1" in out
+        assert "dropped=0" in out
+
+
+class TestCLIArgErrors:
+    def test_serve_rejects_socket_and_port_together(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--socket", "/tmp/x.sock", "--port", "7027"])
+        assert excinfo.value.code == 2
+        assert capsys.readouterr().out.startswith("error:")
+
+    def test_load_rejects_nonpositive_rate(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["load", "--socket", "/tmp/x.sock", "--rps", "0"])
+        assert excinfo.value.code == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_load_unreachable_service_is_one_friendly_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["load", "--socket", "/tmp/definitely-not-there.sock",
+                  "--rps", "5", "--duration", "0.2"])
+        assert excinfo.value.code == 2
+        out = capsys.readouterr().out
+        assert out.startswith("error: cannot reach a service at")
+        assert "Traceback" not in out
+
+    def test_serve_rejects_bad_port(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--port", "99999999"])
+        assert excinfo.value.code == 2
+        assert "error:" in capsys.readouterr().out
