@@ -13,6 +13,14 @@ same PR that earns the movement).
 The gate also re-asserts the zero-violation bar: any live diagnostic
 fails, with the full report echoed for CI annotations.
 
+Since PR 10 the gate additionally enforces a **runtime budget**
+(``runtime_budget_s`` in the same file): the full-repo lint — now
+including the interprocedural call-graph tier (RL007/RL011) — must
+finish inside a wall-clock ceiling, so an accidentally quadratic rule
+cannot silently eat CI time.  The ceiling is generous (CI machines
+jitter); the point is catching order-of-magnitude regressions, not
+milliseconds.
+
 Usage::
 
     PYTHONPATH=src python scripts/lint_gate.py
@@ -27,6 +35,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parents[1]
@@ -45,18 +54,34 @@ def main(argv=None) -> int:
 
     try:
         with open(args.budget, encoding="utf-8") as fh:
-            budget = json.load(fh)["pragma_budget"]
+            budgets = json.load(fh)
+        budget = budgets["pragma_budget"]
+        runtime_budget = budgets["runtime_budget_s"]
     except (OSError, json.JSONDecodeError, KeyError) as exc:
-        print(f"error: cannot read pragma budget from {args.budget}: {exc}")
+        print(f"error: cannot read budgets from {args.budget}: {exc}")
         return 2
 
     from repro.analysis import lint_paths, project_config
     from repro.analysis.config import DEFAULT_LINT_PATHS
 
     paths = [ROOT / p for p in DEFAULT_LINT_PATHS if (ROOT / p).exists()]
+    start = time.perf_counter()
     result = lint_paths(paths, project_config(), root=ROOT)
+    elapsed = time.perf_counter() - start
 
     failures = 0
+    status = "ok  " if elapsed <= runtime_budget else "FAIL"
+    print(
+        f"{status}  runtime: lint of {result.files_checked} file(s) took "
+        f"{elapsed:.2f}s, budget {runtime_budget:.0f}s"
+    )
+    if elapsed > runtime_budget:
+        print(
+            "      the lint pass blew its wall-clock ceiling — profile "
+            "the new rule (the call-graph tier is the usual suspect) or "
+            f"argue a higher runtime_budget_s in {args.budget.name}"
+        )
+        failures += 1
     if not result.clean:
         print(result.render())
         failures += 1

@@ -12,8 +12,9 @@ fixture ever has to catch it.
 Zero dependencies beyond the standard library: the engine is plain
 ``ast`` walking plus a rule registry (:mod:`repro.analysis.engine`), a
 committed project configuration of per-rule scopes and allowlists
-(:mod:`repro.analysis.config`) and six shipped rules
-(:mod:`repro.analysis.rules`):
+(:mod:`repro.analysis.config`), a cross-file symbol table + call graph
+for the interprocedural tier (:mod:`repro.analysis.callgraph`) and
+eleven shipped rules (:mod:`repro.analysis.rules`):
 
 ========  =============================================================
 RL001     kernel-boundary — no direct numpy calls in backend-dispatched
@@ -28,10 +29,23 @@ RL004     determinism — no wall clocks, unseeded RNGs or set-iteration
 RL005     obs-transparency — ``obs.span`` only as a context manager; no
           module-level mutable obs state outside ``obs/``
 RL006     exit-contract — CLI error paths print one line and exit 2
+RL007     async-blocking — no transitively-blocking call reachable from
+          a ``service/`` coroutine except via ``run_in_executor``
+          (interprocedural, via the call graph)
+RL008     async-loop-liveness — every ``while`` in an ``async def``
+          awaits on every continuing path (the PR 9 starvation shape)
+RL009     shm-lifecycle — ``SharedMemory`` create/attach pairs with a
+          ``finally:`` close or a segment-ledger registration
+RL010     rank-task-purity — ``@rank_task`` bodies stay pure w.r.t.
+          charge replay (no globals, clock reads, global RNG, obs)
+RL011     fork-safety — no thread creation in fork-spawning modules; no
+          ``os.fork`` reachable from async contexts
 ========  =============================================================
 
-See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue, the pragma
-policy (``# reprolint: disable=RLxxx``) and how to add a rule.
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue, the call-graph
+resolution policy, the pragma policy (``# reprolint: disable=RLxxx``)
+and how to add a rule.  :mod:`repro.analysis.sarif` exports findings as
+SARIF 2.1.0 for GitHub code scanning (``repro lint --sarif``).
 """
 
 from .config import project_config

@@ -1,0 +1,672 @@
+"""Cross-file symbol table + call graph for interprocedural rules.
+
+The per-file rules (RL001–RL006) prove single-module invariants.  The
+concurrency tier (RL007 async-blocking, RL011 fork-safety) needs to
+answer a harder question: *what does this call eventually do?* — e.g.
+an ``async def`` in ``service/`` calling a sync helper that three frames
+down calls ``time.sleep``.  This module builds the project-wide index
+those rules walk:
+
+* a **symbol table** per module: import aliases (``import time as t``,
+  ``from .wire import send_msg``, relative imports resolved against the
+  package), top-level functions, classes and their methods, and the
+  instance-attribute types a class's methods pin with
+  ``self.x = ClassName(...)`` / ``self.x: ClassName``;
+* a **call graph**: every :class:`ast.Call` in a function body resolved
+  to one of four kinds (see :class:`CallSite`):
+
+  ==========  ========================================================
+  kind        meaning
+  ==========  ========================================================
+  project     resolved to a function *in the linted tree* — the edge
+              interprocedural rules follow
+  external    resolved through the import table to a module outside
+              the tree (``time.sleep``) — rules match marker lists
+  benign      resolved to a project class with no ``__init__``
+              (dataclass-style constructors cannot block)
+  unknown     unresolvable receiver — the **assume-worst** bucket:
+              rules treat suspicious method names (``.wait()``,
+              ``.recv()``, …) as if they did the worst thing their
+              name suggests
+  ==========  ========================================================
+
+Resolution is deliberately conservative and cheap (stdlib ``ast`` only,
+no type inference): ``module.func`` via the import table, methods on
+``self``, on annotated parameters, on locals assigned exactly one known
+class, and on ``self.attr`` instance attributes with a single pinned
+type.  A name assigned two different classes, a star-imported name, or
+any receiver produced by a call stays ``unknown`` — never silently
+treated as safe.
+
+:class:`ReachabilityWalk` is the shared fixed-point driver: given a
+classifier that marks *root* call sites (``time.sleep`` is blocking,
+``threading.Thread`` creates a thread), it computes for any function
+whether a marked call is reachable through project edges, memoised,
+cycle-tolerant, and returns the human-readable call chain for the
+diagnostic hint.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Sequence
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "FuncKey",
+    "FunctionInfo",
+    "ReachabilityWalk",
+    "module_name_for",
+]
+
+#: call-site resolution kinds (see module docstring table)
+PROJECT, EXTERNAL, BENIGN, UNKNOWN = "project", "external", "benign", "unknown"
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name of a repo-relative posix path.
+
+    ``src/repro/service/queue.py`` → ``repro.service.queue``;
+    a fixture path like ``rl007/viol_sleep.py`` → ``rl007.viol_sleep``.
+    """
+    parts = path.split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass(frozen=True)
+class FuncKey:
+    """Identity of one project function: file path + qualified name."""
+
+    path: str
+    qualname: str
+
+    def __str__(self) -> str:
+        return f"{self.path}::{self.qualname}"
+
+
+@dataclass
+class FunctionInfo:
+    """One indexed function/method definition."""
+
+    key: FuncKey
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    module: str
+    class_name: str | None
+    is_async: bool
+
+    @property
+    def display(self) -> str:
+        """Short human name for call-chain hints (``Class.method``)."""
+        return self.key.qualname
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved :class:`ast.Call` inside a function body."""
+
+    line: int
+    col: int
+    #: source-level dotted target (``self._take_batch``), None for
+    #: computed targets like ``f()()``
+    raw: str | None
+    #: alias-expanded dotted name when the head resolved through the
+    #: import table (``t.sleep`` → ``time.sleep``); equals ``raw`` when
+    #: no expansion applied
+    dotted: str | None
+    #: final attribute/name segment (the assume-worst matching handle)
+    attr: str | None
+    #: resolution kind: ``project`` / ``external`` / ``benign`` / ``unknown``
+    kind: str
+    #: the project function this call resolves to (``project`` kind only)
+    target: FuncKey | None
+    target_is_async: bool
+    #: True when the call is the direct operand of an ``await`` —
+    #: awaited calls yield to the event loop and are never blocking
+    awaited: bool
+
+
+@dataclass
+class _ClassInfo:
+    name: str
+    node: ast.ClassDef
+    module: str
+    path: str
+    #: method name → FuncKey
+    methods: dict[str, FuncKey] = field(default_factory=dict)
+    #: base-class names as written (resolved lazily through the table)
+    bases: tuple[str, ...] = ()
+    #: ``self.attr`` → pinned class dotted name, or None when ambiguous
+    attr_types: dict[str, str | None] = field(default_factory=dict)
+
+
+@dataclass
+class _ModuleInfo:
+    path: str
+    module: str
+    is_package: bool = False
+    #: local alias → dotted target (``t`` → ``time``, ``send_msg`` →
+    #: ``repro.exec.wire.send_msg``)
+    imports: dict[str, str] = field(default_factory=dict)
+    has_star_import: bool = False
+    #: top-level (and nested) functions by qualname
+    functions: dict[str, FuncKey] = field(default_factory=dict)
+    classes: dict[str, _ClassInfo] = field(default_factory=dict)
+
+
+def _dotted(node: ast.AST) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _annotation_class(node: ast.expr | None) -> str | None:
+    """Class name named by a parameter/attribute annotation, if simple.
+
+    Handles ``x: RunSession``, ``x: mod.RunSession``, string annotations
+    and ``x: "RunSession | None"`` (the optional half is ignored — the
+    non-None arm still pins the method table).
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        text = node.value.strip()
+        for sep in ("|",):
+            if sep in text:
+                arms = [a.strip() for a in text.split(sep)]
+                arms = [a for a in arms if a and a != "None"]
+                text = arms[0] if len(arms) == 1 else ""
+        return text or None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        arms = [_annotation_class(node.left), _annotation_class(node.right)]
+        named = [a for a in arms if a is not None and a != "None"]
+        return named[0] if len(named) == 1 else None
+    if isinstance(node, ast.Constant) and node.value is None:
+        return "None"
+    return _dotted(node)
+
+
+def _body_nodes(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested defs/classes."""
+    stack: list[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class CallGraph:
+    """Symbol table + lazily-resolved call sites over a set of files."""
+
+    def __init__(self, files: Sequence[tuple[str, ast.Module]]) -> None:
+        #: module path → table
+        self._modules: dict[str, _ModuleInfo] = {}
+        #: dotted module name → path (project modules only)
+        self._by_module: dict[str, str] = {}
+        self._functions: dict[FuncKey, FunctionInfo] = {}
+        #: fully-dotted project symbol → FuncKey (``repro.exec.wire.send_msg``)
+        self._symbols: dict[str, FuncKey] = {}
+        #: fully-dotted project class name → _ClassInfo
+        self._class_symbols: dict[str, _ClassInfo] = {}
+        self._sites: dict[FuncKey, tuple[CallSite, ...]] = {}
+        for path, tree in files:
+            self._index_module(path, tree)
+        for path, _tree in files:
+            self._pin_attr_types(self._modules[path])
+
+    # ------------------------------------------------------------------
+    # indexing
+    # ------------------------------------------------------------------
+    def _index_module(self, path: str, tree: ast.Module) -> None:
+        mod = _ModuleInfo(
+            path=path,
+            module=module_name_for(path),
+            is_package=path.endswith("/__init__.py") or path == "__init__.py",
+        )
+        self._modules[path] = mod
+        self._by_module[mod.module] = path
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else local
+                    mod.imports[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                base = self._import_base(mod, node)
+                for alias in node.names:
+                    if alias.name == "*":
+                        mod.has_star_import = True
+                        continue
+                    local = alias.asname or alias.name
+                    mod.imports[local] = (
+                        f"{base}.{alias.name}" if base else alias.name
+                    )
+        self._index_scope(mod, tree.body, prefix="", class_name=None)
+
+    def _import_base(self, mod: _ModuleInfo, node: ast.ImportFrom) -> str:
+        if node.level == 0:
+            return node.module or ""
+        # relative import: climb ``level`` packages from the module (a
+        # package __init__ *is* its package, so it climbs one less)
+        parts = mod.module.split(".")
+        climb = node.level - 1 if mod.is_package else node.level
+        parts = parts[: len(parts) - climb] if climb else parts
+        if node.module:
+            parts.append(node.module)
+        return ".".join(parts)
+
+    def _index_scope(
+        self,
+        mod: _ModuleInfo,
+        body: Sequence[ast.stmt],
+        *,
+        prefix: str,
+        class_name: str | None,
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{stmt.name}"
+                key = FuncKey(path=mod.path, qualname=qualname)
+                info = FunctionInfo(
+                    key=key,
+                    node=stmt,
+                    module=mod.module,
+                    class_name=class_name,
+                    is_async=isinstance(stmt, ast.AsyncFunctionDef),
+                )
+                self._functions[key] = info
+                mod.functions[qualname] = key
+                self._symbols[f"{mod.module}.{qualname}"] = key
+                if class_name is not None:
+                    cls = mod.classes[class_name]
+                    cls.methods[stmt.name] = key
+                # nested defs are indexed too (resolvable as locals)
+                self._index_scope(
+                    mod, stmt.body, prefix=f"{qualname}.", class_name=class_name
+                )
+            elif isinstance(stmt, ast.ClassDef) and class_name is None:
+                info_cls = _ClassInfo(
+                    name=stmt.name,
+                    node=stmt,
+                    module=mod.module,
+                    path=mod.path,
+                    bases=tuple(
+                        b for b in (_dotted(base) for base in stmt.bases)
+                        if b is not None
+                    ),
+                )
+                mod.classes[stmt.name] = info_cls
+                self._class_symbols[f"{mod.module}.{stmt.name}"] = info_cls
+                self._index_scope(
+                    mod, stmt.body, prefix=f"{stmt.name}.", class_name=stmt.name
+                )
+
+    def _pin_attr_types(self, mod: _ModuleInfo) -> None:
+        """Record ``self.x = ClassName(...)`` instance-attribute types."""
+        for cls in mod.classes.values():
+            seen: dict[str, str | None] = {}
+            for key in cls.methods.values():
+                func = self._functions[key]
+                for node in _body_nodes(func.node):
+                    attr, pinned = self._self_attr_binding(mod, node)
+                    if attr is None:
+                        continue
+                    if attr in seen and seen[attr] != pinned:
+                        seen[attr] = None  # conflicting writes: assume worst
+                    else:
+                        seen[attr] = pinned
+            cls.attr_types = seen
+
+    def _self_attr_binding(
+        self, mod: _ModuleInfo, node: ast.AST
+    ) -> tuple[str | None, str | None]:
+        """``("attr", "pkg.Class" | None)`` for a ``self.attr = …`` write."""
+        target: ast.expr | None = None
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign):
+            target, value = node.target, node.value
+        if not (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            return None, None
+        pinned: str | None = None
+        if isinstance(node, ast.AnnAssign):
+            name = _annotation_class(node.annotation)
+            if name is not None:
+                pinned = self._class_dotted(mod, name)
+        if pinned is None and isinstance(value, ast.Call):
+            name = _dotted(value.func)
+            if name is not None:
+                pinned = self._class_dotted(mod, name)
+        return target.attr, pinned
+
+    def _class_dotted(self, mod: _ModuleInfo, name: str) -> str | None:
+        """Fully-dotted project class for a name written in ``mod``."""
+        head, _, rest = name.partition(".")
+        if head in mod.classes and not rest:
+            return f"{mod.module}.{head}"
+        expanded = mod.imports.get(head)
+        if expanded is not None:
+            full = f"{expanded}.{rest}" if rest else expanded
+            if full in self._class_symbols:
+                return full
+        if name in self._class_symbols:
+            return name
+        return None
+
+    # ------------------------------------------------------------------
+    # lookup API
+    # ------------------------------------------------------------------
+    def functions(self) -> Iterator[FunctionInfo]:
+        """Every indexed function, in deterministic order."""
+        for key in sorted(self._functions, key=str):
+            yield self._functions[key]
+
+    def functions_in(self, path: str) -> Iterator[FunctionInfo]:
+        """Indexed functions of one file, in source order."""
+        infos = [f for f in self._functions.values() if f.key.path == path]
+        infos.sort(key=lambda f: f.node.lineno)
+        yield from infos
+
+    def function(self, key: FuncKey) -> FunctionInfo | None:
+        return self._functions.get(key)
+
+    def call_sites(self, key: FuncKey) -> tuple[CallSite, ...]:
+        """Resolved call sites of one function body (cached)."""
+        cached = self._sites.get(key)
+        if cached is None:
+            info = self._functions[key]
+            cached = tuple(self._resolve_body(info))
+            self._sites[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+    def _resolve_body(self, info: FunctionInfo) -> Iterator[CallSite]:
+        mod = self._modules[info.key.path]
+        env = self._local_env(mod, info)
+        awaited: set[int] = set()
+        for node in _body_nodes(info.node):
+            if isinstance(node, ast.Await) and isinstance(
+                node.value, ast.Call
+            ):
+                awaited.add(id(node.value))
+        for node in _body_nodes(info.node):
+            if isinstance(node, ast.Call):
+                yield self._resolve_call(
+                    mod, info, env, node, awaited=id(node) in awaited
+                )
+
+    def _local_env(
+        self, mod: _ModuleInfo, info: FunctionInfo
+    ) -> dict[str, str | None]:
+        """Local name → pinned project-class dotted name (None = ambiguous).
+
+        Sources, in increasing priority: parameter annotations, then
+        ``x = ClassName(...)`` assignments.  A name assigned two
+        different classes — or a class and then something unresolvable —
+        degrades to ambiguous (*assume worst*), never to the first
+        binding: re-binding is exactly the case method resolution must
+        not guess about.
+        """
+        env: dict[str, str | None] = {}
+        args = info.node.args
+        all_args = [
+            *args.posonlyargs, *args.args, *args.kwonlyargs,
+            *( [args.vararg] if args.vararg else [] ),
+            *( [args.kwarg] if args.kwarg else [] ),
+        ]
+        for arg in all_args:
+            name = _annotation_class(arg.annotation)
+            if name is not None:
+                pinned = self._class_dotted(mod, name)
+                if pinned is not None:
+                    env[arg.arg] = pinned
+        for node in _body_nodes(info.node):
+            if not (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+            ):
+                continue
+            local = node.targets[0].id
+            pinned: str | None = None
+            if isinstance(node.value, ast.Call):
+                name = _dotted(node.value.func)
+                if name is not None:
+                    pinned = self._class_dotted(mod, name)
+            if local in env and env[local] != pinned:
+                env[local] = None  # reassigned to something else: unknown
+            else:
+                env[local] = pinned
+        return env
+
+    def _resolve_call(
+        self,
+        mod: _ModuleInfo,
+        info: FunctionInfo,
+        env: dict[str, str | None],
+        call: ast.Call,
+        *,
+        awaited: bool,
+    ) -> CallSite:
+        raw = _dotted(call.func)
+
+        def site(
+            kind: str,
+            target: FuncKey | None = None,
+            dotted: str | None = None,
+        ) -> CallSite:
+            target_info = (
+                self._functions.get(target) if target is not None else None
+            )
+            return CallSite(
+                line=call.lineno,
+                col=call.col_offset,
+                raw=raw,
+                dotted=dotted if dotted is not None else raw,
+                attr=(raw.rsplit(".", 1)[-1] if raw else None),
+                kind=kind,
+                target=target,
+                target_is_async=(
+                    target_info.is_async if target_info is not None else False
+                ),
+                awaited=awaited,
+            )
+
+        if raw is None:
+            return site(UNKNOWN)
+        parts = raw.split(".")
+        head = parts[0]
+
+        # self.method() / self.attr.method()
+        if head == "self" and info.class_name is not None:
+            cls = self._modules[info.key.path].classes.get(info.class_name)
+            if cls is not None and len(parts) == 2:
+                resolved = self._method_on(cls, parts[1])
+                if resolved is not None:
+                    return site(PROJECT, target=resolved)
+                return site(UNKNOWN)
+            if cls is not None and len(parts) == 3:
+                pinned = cls.attr_types.get(parts[1])
+                if pinned is not None:
+                    resolved = self._method_on(
+                        self._class_symbols[pinned], parts[2]
+                    )
+                    if resolved is not None:
+                        return site(PROJECT, target=resolved)
+                return site(UNKNOWN)
+            return site(UNKNOWN)
+
+        # a local pinned to a project class: x = ClassName(...); x.m()
+        if head in env and len(parts) == 2:
+            pinned = env[head]
+            if pinned is not None:
+                resolved = self._method_on(self._class_symbols[pinned], parts[1])
+                if resolved is not None:
+                    return site(PROJECT, target=resolved)
+            return site(UNKNOWN)
+
+        # sibling function in the same scope chain (nested defs first)
+        if len(parts) == 1:
+            scope = info.key.qualname.rsplit(".", 1)[0]
+            while True:
+                candidate = mod.functions.get(
+                    f"{scope}.{head}" if scope else head
+                )
+                if candidate is not None:
+                    return site(PROJECT, target=candidate)
+                if not scope:
+                    break
+                scope = scope.rsplit(".", 1)[0] if "." in scope else ""
+            if head in mod.classes:
+                return self._constructor_site(site, mod.classes[head])
+
+        # import-table expansion: module.func, aliased modules, from-imports
+        expanded = mod.imports.get(head)
+        if expanded is not None:
+            full = ".".join([expanded, *parts[1:]])
+            resolved = self._symbols.get(full)
+            if resolved is not None:
+                return site(PROJECT, target=resolved, dotted=full)
+            cls_info = self._class_symbols.get(full)
+            if cls_info is not None:
+                return self._constructor_site(site, cls_info, dotted=full)
+            # Class imported from a project module, then .method called
+            if len(parts) >= 2:
+                cls_info = self._class_symbols.get(
+                    ".".join([expanded, *parts[1:-1]])
+                )
+                if cls_info is not None:
+                    resolved = self._method_on(cls_info, parts[-1])
+                    if resolved is not None:
+                        return site(PROJECT, target=resolved, dotted=full)
+                    return site(UNKNOWN, dotted=full)
+            prefix = expanded.split(".")[0]
+            if prefix in self._by_module or any(
+                m.startswith(f"{prefix}.") for m in self._by_module
+            ):
+                # names the table knows belong to the project but cannot
+                # pin (getattr chains, re-exports): assume worst
+                return site(UNKNOWN, dotted=full)
+            return site(EXTERNAL, dotted=full)
+
+        # unimported bare name: a builtin (external) unless the module
+        # star-imports, which can shadow anything — then assume worst
+        if len(parts) == 1:
+            if mod.has_star_import:
+                return site(UNKNOWN)
+            return site(EXTERNAL)
+        return site(UNKNOWN)
+
+    def _constructor_site(
+        self,
+        site: Callable[..., CallSite],
+        cls: _ClassInfo,
+        *,
+        dotted: str | None = None,
+    ) -> CallSite:
+        init = self._method_on(cls, "__init__")
+        if init is not None:
+            return site(PROJECT, target=init, dotted=dotted)
+        return site(BENIGN, dotted=dotted)  # implicit object.__init__
+
+    def _method_on(self, cls: _ClassInfo, method: str) -> FuncKey | None:
+        """Method lookup on a class, following project base classes."""
+        seen: set[str] = set()
+        queue = [cls]
+        while queue:
+            current = queue.pop(0)
+            marker = f"{current.module}.{current.name}"
+            if marker in seen:
+                continue
+            seen.add(marker)
+            if method in current.methods:
+                return current.methods[method]
+            mod = self._modules[current.path]
+            for base in current.bases:
+                pinned = self._class_dotted(mod, base)
+                if pinned is not None:
+                    queue.append(self._class_symbols[pinned])
+        return None
+
+
+class ReachabilityWalk:
+    """Fixed-point "does this function reach a marked call?" driver.
+
+    ``classify`` maps a :class:`CallSite` to a reason string when the
+    site itself is a marker (``"time.sleep"``), else None.  ``reason``
+    then answers reachability through project edges: the result is the
+    human-readable chain (``"_take_batch → helper → time.sleep"``) or
+    None.  Async project callees are not followed — *calling* an
+    ``async def`` just builds a coroutine; its body runs under the event
+    loop's own rules and is checked as its own entry point.  Cycles are
+    tolerated (an on-stack callee contributes nothing — if the cycle
+    reaches a marker some other way, that path reports it).
+    """
+
+    def __init__(
+        self, graph: CallGraph, classify: Callable[[CallSite], str | None]
+    ) -> None:
+        self._graph = graph
+        self._classify = classify
+        self._memo: dict[FuncKey, str | None] = {}
+        self._stack: set[FuncKey] = set()
+
+    def site_reason(self, site: CallSite) -> str | None:
+        """Reason one call site is (or transitively reaches) a marker."""
+        direct = self._classify(site)
+        if direct is not None:
+            return direct
+        if (
+            site.kind == PROJECT
+            and site.target is not None
+            and not site.target_is_async
+        ):
+            deeper = self.reason(site.target)
+            if deeper is not None:
+                return f"{site.target.qualname} → {deeper}"
+        return None
+
+    def reason(self, key: FuncKey) -> str | None:
+        """First marker chain reachable from ``key``'s body, or None."""
+        if key in self._memo:
+            return self._memo[key]
+        if key in self._stack:
+            return None  # recursion: resolved by the outer frame
+        self._stack.add(key)
+        try:
+            found: str | None = None
+            for site in self._graph.call_sites(key):
+                if site.awaited:
+                    continue
+                found = self.site_reason(site)
+                if found is not None:
+                    break
+            self._memo[key] = found
+            return found
+        finally:
+            self._stack.discard(key)

@@ -8,7 +8,9 @@ configuration.  Exit status follows the repo-wide contract: 0 = clean,
 ``--json`` emits the machine-readable payload consumed by
 ``scripts/lint_gate.py`` and CI annotations; ``--select`` narrows to
 specific rules; ``--no-pragmas`` reports pragma-suppressed findings as
-live (how the fixture corpus proves every rule fires).
+live (how the fixture corpus proves every rule fires); ``--sarif FILE``
+additionally writes a SARIF 2.1.0 log that the CI lint job uploads to
+GitHub code scanning.
 """
 
 from __future__ import annotations
@@ -37,6 +39,10 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--no-pragmas", action="store_true",
         help="ignore `# reprolint: disable` pragmas (report everything)",
+    )
+    parser.add_argument(
+        "--sarif", metavar="FILE", default=None,
+        help="also write findings as SARIF 2.1.0 (for code scanning)",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -92,6 +98,10 @@ def cmd_lint(args: argparse.Namespace) -> int:
         select=select,
         honor_pragmas=not args.no_pragmas,
     )
+    if args.sarif is not None:
+        from .sarif import write_sarif
+
+        write_sarif(result, Path(args.sarif))
     if args.as_json:
         print(result.to_json())
     else:

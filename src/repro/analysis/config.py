@@ -15,6 +15,19 @@ decoding, index conversion, SpMV/SpGEMM traversal — must dispatch through
 :func:`repro.kernels.current_backend` so the python oracle stays an
 honest differential reference.  Adding a numpy verb here instead of the
 backend is exactly the regression RL001 exists to catch.
+
+RL007 marker lists
+------------------
+Three tiers, each reviewed separately.  ``blocking_calls`` are exact
+alias-expanded dotted names known to block the calling thread.
+``blocking_roots`` are *project* ``Class.method`` suffixes blocking by
+contract — ``RunSession.run`` joins rank processes end-to-end.
+``blocking_suspects`` is the assume-worst tier: method names treated as
+blocking when the receiver cannot be resolved.  It deliberately
+excludes ``read``/``write``/``close``/``unlink``/``acquire``/``run``/
+``set``/``clear`` — those appear on non-blocking receivers all over the
+service layer (``Path.unlink``, ``asyncio.Event.set``, dict ops), and a
+suspect tier that cries wolf gets pragma'd into silence.
 """
 
 from __future__ import annotations
@@ -93,6 +106,40 @@ _DETERMINISM_SCOPE = (
 )
 
 
+#: RL007 — exact dotted calls that block the calling thread
+_BLOCKING_CALLS = frozenset({
+    "open",
+    "input",
+    "os.wait", "os.waitpid", "os.waitid",
+    "select.select", "selectors.DefaultSelector",
+    "socket.create_connection", "socket.socket",
+    "subprocess.call", "subprocess.check_call", "subprocess.check_output",
+    "subprocess.run",
+    "time.sleep",
+    "urllib.request.urlopen",
+})
+
+#: RL007 — assume-worst method names on unresolved receivers
+_BLOCKING_SUSPECTS = frozenset({
+    "accept", "connect", "communicate", "join",
+    "readinto", "readline", "recv", "recv_bytes", "recv_into",
+    "select", "sleep", "wait",
+})
+
+#: RL007 — project methods blocking by contract (suffix-matched)
+_BLOCKING_ROOTS = frozenset({
+    "RunSession.run",
+})
+
+#: RL009 — calls that register a segment name with the crash reaper's
+#: ledger (``wire.py``'s ``on_segment`` hook, supervise's ledger note)
+_SHM_LEDGER_CALLS = frozenset({
+    "on_segment",
+    "_note_segment",
+    "record_segment",
+})
+
+
 def project_config() -> LintConfig:
     """The configuration ``repro lint`` runs with on this repository."""
     return LintConfig(
@@ -106,6 +153,23 @@ def project_config() -> LintConfig:
         cli_scope=(
             "src/repro/cli.py",
             "src/repro/analysis/cli.py",
+        ),
+        # RL007/RL008 — the asyncio throughput service is the only layer
+        # that runs coroutines on a shared event loop
+        async_scope=("src/repro/service/*.py",),
+        blocking_calls=_BLOCKING_CALLS,
+        blocking_suspects=_BLOCKING_SUSPECTS,
+        blocking_roots=_BLOCKING_ROOTS,
+        # RL009 — the SHM wire layer lives in exec/
+        shm_scope=("src/repro/exec/*.py",),
+        shm_ledger_calls=_SHM_LEDGER_CALLS,
+        # RL010 — @rank_task may be registered anywhere in src/
+        task_scope=("src/repro/*.py",),
+        task_purity_allow=frozenset(),  # every shipped task is pure today
+        # RL011 part A — the modules that own fork-based spawn sites
+        fork_scope=(
+            "src/repro/sweep/orchestrator.py",
+            "src/repro/exec/process.py",
         ),
         exclude=(
             "tests/analysis/fixtures/*",

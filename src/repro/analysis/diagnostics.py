@@ -28,7 +28,7 @@ class Diagnostic:
     col:
         0-based column offset (``ast`` convention).
     code:
-        The rule code (``"RL001"`` … ``"RL006"``).
+        The rule code (``"RL001"`` … ``"RL011"``).
     message:
         What invariant the line breaks.
     hint:

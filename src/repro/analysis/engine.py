@@ -37,6 +37,7 @@ from fnmatch import fnmatchcase
 from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator, Sequence, Type
 
+from .callgraph import CallGraph
 from .diagnostics import Diagnostic
 
 __all__ = [
@@ -44,8 +45,10 @@ __all__ = [
     "LintConfig",
     "LintResult",
     "PragmaSet",
+    "ProjectContext",
     "Rule",
     "all_rules",
+    "attach_decorator_pragmas",
     "count_pragmas",
     "get_rule",
     "lint_paths",
@@ -88,6 +91,33 @@ class LintConfig:
     obs_exempt: tuple[str, ...] = ()
     #: RL006 — CLI modules bound to the hardened exit contract
     cli_scope: tuple[str, ...] = ()
+    #: RL007/RL008 — globs whose ``async def`` bodies are held to the
+    #: event-loop contract (no blocking calls, no spin loops)
+    async_scope: tuple[str, ...] = ()
+    #: RL007 — dotted names that block the calling thread outright
+    #: (matched after import-alias expansion: ``t.sleep`` → ``time.sleep``)
+    blocking_calls: frozenset[str] = frozenset()
+    #: RL007 — method names assumed blocking on *unresolved* receivers
+    #: (the call graph's assume-worst policy: ``conn.recv()`` on an
+    #: unknown ``conn`` is treated as a socket read)
+    blocking_suspects: frozenset[str] = frozenset()
+    #: RL007 — project ``Class.method`` / ``module.func`` suffixes that
+    #: are blocking by contract regardless of what their bodies resolve
+    #: to (``RunSession.run`` joins rank workers three layers down)
+    blocking_roots: frozenset[str] = frozenset()
+    #: RL009 — globs whose SharedMemory create/attach sites must pair
+    #: with close/unlink or a segment-ledger registration
+    shm_scope: tuple[str, ...] = ()
+    #: RL009 — callable names accepted as segment-ledger registrations
+    #: (the wire/supervise discipline: the name is recorded before send)
+    shm_ledger_calls: frozenset[str] = frozenset()
+    #: RL010 — globs patrolled for ``@rank_task`` purity
+    task_scope: tuple[str, ...] = ()
+    #: RL010 — task registry names exempted after review (each entry
+    #: must argue in config.py why charge replay stays byte-identical)
+    task_purity_allow: frozenset[str] = frozenset()
+    #: RL011 — fork-spawning modules that must stay thread-free
+    fork_scope: tuple[str, ...] = ()
     #: files the engine never parses (fixture corpora of seeded
     #: violations, generated trees, …)
     exclude: tuple[str, ...] = ()
@@ -155,6 +185,40 @@ def parse_pragmas(source: str) -> PragmaSet:
     return PragmaSet(by_line=by_line, file_wide=frozenset(file_wide))
 
 
+def attach_decorator_pragmas(pragmas: PragmaSet, tree: ast.Module) -> PragmaSet:
+    """Extend line pragmas on decorators to cover the decorated ``def``.
+
+    A pragma written on a decorator line (``@rank_task("x")  # reprolint:
+    disable=RL010``) used to bind to the decorator's own line, while the
+    diagnostic for a decorated ``def``/``class`` is reported at the
+    ``def`` line — so the suppression silently missed.  This maps every
+    decorator-line pragma onto the definition line it visually annotates.
+    The returned set is for *suppression only*: the pragma budget counts
+    the original, unexpanded pragmas.
+    """
+    if not pragmas.by_line:
+        return pragmas
+    by_line = dict(pragmas.by_line)
+    changed = False
+    for node in ast.walk(tree):
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ) or not node.decorator_list:
+            continue
+        codes: set[str] = set()
+        for deco in node.decorator_list:
+            for line in range(deco.lineno, (deco.end_lineno or deco.lineno) + 1):
+                codes.update(by_line.get(line, frozenset()))
+        if codes:
+            by_line[node.lineno] = frozenset(
+                by_line.get(node.lineno, frozenset()) | codes
+            )
+            changed = True
+    if not changed:
+        return pragmas
+    return PragmaSet(by_line=by_line, file_wide=pragmas.file_wide)
+
+
 @dataclass
 class FileContext:
     """One parsed file handed to every applicable rule.
@@ -178,6 +242,29 @@ class FileContext:
         return ast.walk(self.tree)
 
 
+@dataclass
+class ProjectContext:
+    """Everything an interprocedural rule sees: all files + the graph.
+
+    Built once per :func:`lint_paths` run, only when a selected rule
+    declares ``requires_project`` — the per-file tier never pays for the
+    index.  ``graph`` spans *every* parsed file (not just one rule's
+    scope) so a scoped entry point can follow calls into helper modules
+    anywhere in the tree.
+    """
+
+    config: LintConfig
+    files: list[FileContext]
+    graph: CallGraph
+
+    def scoped(self, patterns: Iterable[str]) -> Iterator[FileContext]:
+        """The files matching ``patterns`` (a rule's entry-point scope)."""
+        pats = tuple(patterns)
+        for ctx in self.files:
+            if self.config.matches(ctx.path, pats):
+                yield ctx
+
+
 class Rule:
     """Base class for one lint rule.
 
@@ -194,6 +281,10 @@ class Rule:
     summary: str = ""
     #: the paper section / PR contract the rule protects
     protects: str = ""
+    #: True for interprocedural rules: the engine skips per-file
+    #: :meth:`check` and calls :meth:`check_project` once with the
+    #: whole-tree :class:`ProjectContext` instead
+    requires_project: bool = False
 
     def applies(self, ctx: FileContext) -> bool:
         """Whether this rule should run over ``ctx`` at all."""
@@ -203,12 +294,22 @@ class Rule:
         """Yield diagnostics for one file."""
         raise NotImplementedError
 
+    def check_project(self, project: ProjectContext) -> Iterable[Diagnostic]:
+        """Yield diagnostics over the whole tree (project rules only)."""
+        raise NotImplementedError
+
     def diag(
         self, ctx: FileContext, node: ast.AST, message: str, hint: str = ""
     ) -> Diagnostic:
         """Build a diagnostic at ``node``'s location."""
+        return self.diag_at(ctx.path, node, message, hint)
+
+    def diag_at(
+        self, path: str, node: ast.AST, message: str, hint: str = ""
+    ) -> Diagnostic:
+        """Build a diagnostic at ``node`` in ``path`` (project rules)."""
         return Diagnostic(
-            path=ctx.path,
+            path=path,
             line=getattr(node, "lineno", 1),
             col=getattr(node, "col_offset", 0),
             code=self.code,
@@ -325,15 +426,17 @@ def iter_python_files(
             yield file, rel
 
 
-def lint_file(
-    file: Path,
-    rel: str,
-    config: LintConfig,
-    rules: Sequence[Rule],
-) -> tuple[list[Diagnostic], list[Diagnostic], int, Diagnostic | None]:
-    """Lint one file: ``(live, suppressed, pragma_count, parse_error)``."""
+def _parse_one(
+    file: Path, rel: str, config: LintConfig
+) -> tuple[FileContext | None, PragmaSet, int, Diagnostic | None]:
+    """Parse one file: ``(ctx, pragmas, pragma_count, parse_error)``.
+
+    ``pragma_count`` is taken *before* decorator expansion — the budget
+    counts pragmas as written, not the derived suppression lines.
+    """
     source = file.read_text(encoding="utf-8")
     pragmas = parse_pragmas(source)
+    count = pragmas.count
     try:
         tree = ast.parse(source, filename=str(file))
     except SyntaxError as exc:
@@ -345,16 +448,34 @@ def lint_file(
             message=f"file does not parse: {exc.msg}",
             hint="fix the syntax error before linting",
         )
-        return [], [], pragmas.count, error
+        return None, pragmas, count, error
+    pragmas = attach_decorator_pragmas(pragmas, tree)
     ctx = FileContext(path=rel, source=source, tree=tree, config=config)
+    return ctx, pragmas, count, None
+
+
+def lint_file(
+    file: Path,
+    rel: str,
+    config: LintConfig,
+    rules: Sequence[Rule],
+) -> tuple[list[Diagnostic], list[Diagnostic], int, Diagnostic | None]:
+    """Lint one file: ``(live, suppressed, pragma_count, parse_error)``.
+
+    Per-file rules only — project rules (``requires_project``) need the
+    whole tree and run inside :func:`lint_paths`.
+    """
+    ctx, pragmas, count, error = _parse_one(file, rel, config)
+    if ctx is None:
+        return [], [], count, error
     live: list[Diagnostic] = []
     suppressed: list[Diagnostic] = []
     for rule in rules:
-        if not rule.applies(ctx):
+        if rule.requires_project or not rule.applies(ctx):
             continue
         for diag in rule.check(ctx):
             (suppressed if pragmas.suppresses(diag) else live).append(diag)
-    return sorted(live), sorted(suppressed), pragmas.count, None
+    return sorted(live), sorted(suppressed), count, None
 
 
 def lint_paths(
@@ -377,25 +498,53 @@ def lint_paths(
         rules = all_rules()
     else:
         rules = [get_rule(code) for code in select]
+    file_rules = [r for r in rules if not r.requires_project]
+    project_rules = [r for r in rules if r.requires_project]
     diagnostics: list[Diagnostic] = []
     suppressed: list[Diagnostic] = []
     parse_errors: list[Diagnostic] = []
+    contexts: list[FileContext] = []
+    pragma_sets: dict[str, PragmaSet] = {}
     files_checked = 0
     pragma_count = 0
     for file, rel in iter_python_files(
         [Path(p) for p in paths], root_path, config
     ):
-        live, muted, n_pragmas, error = lint_file(file, rel, config, rules)
+        ctx, pragmas, n_pragmas, error = _parse_one(file, rel, config)
         files_checked += 1
         pragma_count += n_pragmas
-        if error is not None:
-            parse_errors.append(error)
+        if ctx is None:
+            if error is not None:
+                parse_errors.append(error)
             continue
+        contexts.append(ctx)
+        pragma_sets[ctx.path] = pragmas
+        live: list[Diagnostic] = []
+        muted: list[Diagnostic] = []
+        for rule in file_rules:
+            if not rule.applies(ctx):
+                continue
+            for diag in rule.check(ctx):
+                (muted if pragmas.suppresses(diag) else live).append(diag)
         if honor_pragmas:
             diagnostics.extend(live)
             suppressed.extend(muted)
         else:
             diagnostics.extend(live + muted)
+    if project_rules:
+        project = ProjectContext(
+            config=config,
+            files=contexts,
+            graph=CallGraph([(ctx.path, ctx.tree) for ctx in contexts]),
+        )
+        empty = PragmaSet(by_line={}, file_wide=frozenset())
+        for rule in project_rules:
+            for diag in rule.check_project(project):
+                muted_by = pragma_sets.get(diag.path, empty).suppresses(diag)
+                if muted_by and honor_pragmas:
+                    suppressed.append(diag)
+                else:
+                    diagnostics.append(diag)
     return LintResult(
         diagnostics=sorted(diagnostics),
         suppressed=sorted(suppressed),

@@ -14,6 +14,11 @@ from . import (  # noqa: F401  (registration imports)
     rl004_determinism,
     rl005_obs_transparency,
     rl006_exit_contract,
+    rl007_async_blocking,
+    rl008_async_liveness,
+    rl009_shm_lifecycle,
+    rl010_task_purity,
+    rl011_fork_safety,
 )
 
 __all__ = [
@@ -23,4 +28,9 @@ __all__ = [
     "rl004_determinism",
     "rl005_obs_transparency",
     "rl006_exit_contract",
+    "rl007_async_blocking",
+    "rl008_async_liveness",
+    "rl009_shm_lifecycle",
+    "rl010_task_purity",
+    "rl011_fork_safety",
 ]

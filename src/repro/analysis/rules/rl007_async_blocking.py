@@ -1,0 +1,142 @@
+"""RL007 async-blocking — event-loop coroutines never block the thread.
+
+The PR 9 throughput service runs *everything* on one event loop: the
+listener, the JSONL read loops, the scheduler workers.  One blocking
+call anywhere in that async call tree stalls every connection at once —
+and, worse, can deadlock the loop against itself (the PR 9 starvation
+bug was exactly a worker monopolising the loop that its own
+``run_in_executor`` completion needed).  The contract is simple:
+
+    a coroutine in ``service/`` may block **only** through
+    ``loop.run_in_executor(...)`` — never inline.
+
+Proving it needs the call graph: the blocking call is rarely written in
+the ``async def`` itself.  ``_worker`` calls ``_take_batch`` calls a
+helper that calls ``time.sleep`` — the rule follows every resolvable
+project edge (see :mod:`repro.analysis.callgraph`) from each ``async
+def`` in the configured scope and reports the *call site in the
+coroutine* with the full chain in the message.
+
+What counts as blocking (all configurable on :class:`LintConfig`):
+
+* ``blocking_calls`` — exact dotted names after import-alias expansion:
+  ``time.sleep``, ``subprocess.run``, ``socket.create_connection``,
+  builtin ``open``, ``select.select``, …;
+* ``blocking_roots`` — project ``Class.method`` suffixes blocking by
+  contract (``RunSession.run`` joins rank workers; ``connection.wait``
+  parks the thread) even though their bodies resolve too deep to walk;
+* ``blocking_suspects`` — the assume-worst tier: method names like
+  ``wait``/``recv``/``accept``/``readline`` on receivers the graph
+  cannot type.  An *awaited* call is always exempt (awaiting yields),
+  and so is anything merely *passed* to ``run_in_executor`` — the rule
+  follows calls, and an executor argument is a reference, not a call.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..callgraph import EXTERNAL, UNKNOWN, CallSite, ReachabilityWalk
+from ..diagnostics import Diagnostic
+from ..engine import (
+    FileContext,
+    LintConfig,
+    ProjectContext,
+    Rule,
+    register_rule,
+)
+
+__all__ = ["AsyncBlockingRule"]
+
+
+@register_rule
+class AsyncBlockingRule(Rule):
+    """No transitively-blocking call reachable from a service coroutine."""
+
+    code = "RL007"
+    name = "async-blocking"
+    summary = (
+        "async def bodies in the service layer must not reach a blocking "
+        "call except through run_in_executor (interprocedural)"
+    )
+    protects = (
+        "the PR 9 single-event-loop service: one inline blocking call "
+        "stalls every connection and can deadlock the loop on itself"
+    )
+    requires_project = True
+
+    def check_project(self, project: ProjectContext) -> Iterable[Diagnostic]:
+        cfg = project.config
+        if not cfg.async_scope:
+            return
+        walk = ReachabilityWalk(
+            project.graph, lambda site: self._classify(cfg, site)
+        )
+        for ctx in project.scoped(cfg.async_scope):
+            yield from self._check_file(ctx, project, walk)
+
+    def _classify(self, cfg: LintConfig, site: CallSite) -> str | None:
+        """Reason string when one call site itself blocks, else None."""
+        if site.awaited:
+            return None
+        names = {n for n in (site.dotted, site.raw) if n is not None}
+        for dotted in sorted(names):
+            if dotted in cfg.blocking_calls:
+                return dotted
+            if any(
+                dotted == root or dotted.endswith(f".{root}")
+                for root in cfg.blocking_roots
+            ):
+                return f"{dotted} (blocking by contract)"
+        if (
+            site.kind in (UNKNOWN, EXTERNAL)
+            and site.attr is not None
+            and site.raw is not None
+            and "." in site.raw
+            and site.attr in cfg.blocking_suspects
+        ):
+            return (
+                f"{site.raw} (unresolved receiver; .{site.attr}() is "
+                "assumed blocking)"
+            )
+        return None
+
+    def _check_file(
+        self,
+        ctx: FileContext,
+        project: ProjectContext,
+        walk: ReachabilityWalk,
+    ) -> Iterator[Diagnostic]:
+        graph = project.graph
+        for info in graph.functions_in(ctx.path):
+            if not info.is_async:
+                continue
+            seen: set[tuple[int, str]] = set()
+            for site in graph.call_sites(info.key):
+                if site.awaited:
+                    continue
+                reason = walk.site_reason(site)
+                if reason is None:
+                    continue
+                key = (site.line, reason)
+                if key in seen:
+                    continue
+                seen.add(key)
+                label = site.raw or site.dotted or "<call>"
+                chain = reason if reason == label else f"{label} → {reason}"
+                yield Diagnostic(
+                    path=ctx.path,
+                    line=site.line,
+                    col=site.col,
+                    code=self.code,
+                    message=(
+                        f"{info.display}: blocking call reachable from an "
+                        f"async def — {chain}"
+                    ),
+                    hint=(
+                        "move the blocking work into a sync helper and "
+                        "await loop.run_in_executor(None, helper, ...) — "
+                        "or await the async equivalent (asyncio.sleep, "
+                        "StreamReader) instead"
+                    ),
+                )

@@ -1,0 +1,241 @@
+"""RL008 async-loop-liveness — every async loop path must yield.
+
+The PR 9 starvation deadlock in ``service/queue.py`` had exactly this
+shape: the scheduler worker's ``while True:`` had an idle branch that
+``continue``-d without awaiting anything —
+
+.. code-block:: python
+
+    while True:                       # pre-fix _worker shape
+        batch = self._take_batch() if self._pending else None
+        if batch is None:
+            if self._closed:
+                return
+            continue                  # ← hot spin: never yields
+        await self._run(batch)
+
+Under load the loop usually hit the ``await`` arm; idle, it monopolised
+the event loop, so the executor completion that would have re-armed it
+could never be scheduled.  The benchmark found it; this rule finds it at
+review time.
+
+The check is path-sensitive, in the style of RL003's phase-protocol
+walk: one symbolic iteration of every ``while`` loop inside an ``async
+def`` is abstractly executed, forking on ``if``/``try``/``match`` and
+the skip/take of inner loops.  A path is *live* when it ends the
+iteration ready to go around again (falls off the end or ``continue``)
+— and every live path must have crossed an ``await`` (including ``async
+for`` / ``async with``, which await by construction).  Paths that leave
+the loop (``break`` / ``return`` / ``raise``) need no await: they
+cannot spin.
+
+Exception-handler paths are exempt (*cold*): a handler that completes
+an iteration without awaiting is a burst of error handling, not a busy
+spin — requiring an await there would force contrived sleeps into
+recovery code (the fixed ``_worker``'s ``except Exception`` arm is
+exactly such a path).  Busy-waiting arises on the hot, normal-control
+path, which is what this rule proves live.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, replace
+from typing import Iterable, Iterator, Sequence
+
+from ..diagnostics import Diagnostic
+from ..engine import FileContext, Rule, register_rule
+
+__all__ = ["AsyncLoopLivenessRule"]
+
+#: fork cap per loop body, after which enumeration degrades gracefully
+#: (kept paths are still checked; excess forks are dropped — the rule
+#: may then miss a spin path, never invent one)
+_MAX_PATHS = 128
+
+_LOOP_EXITS = ("break", "return", "raise")
+
+
+@dataclass(frozen=True)
+class _P:
+    """One abstract path through a single loop iteration."""
+
+    awaited: bool = False
+    #: None = fell off the end; else "continue"/"break"/"return"/"raise"
+    exit: str | None = None
+    #: True once the path has entered an except handler (exempt)
+    cold: bool = False
+
+
+def _has_await(node: ast.AST) -> bool:
+    """Whether an ``await`` occurs in ``node``, outside nested defs."""
+    stack: list[ast.AST] = [node]
+    while stack:
+        cur = stack.pop()
+        if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if isinstance(cur, ast.Await):
+            return True
+        stack.extend(ast.iter_child_nodes(cur))
+    return False
+
+
+def _merge(paths: list[_P]) -> list[_P]:
+    """Dedupe and cap a path set (identical abstract states collapse)."""
+    out = list(dict.fromkeys(paths))
+    return out[:_MAX_PATHS]
+
+
+def _swallow_inner_exits(paths: list[_P]) -> list[_P]:
+    """Map an inner loop's break/continue back to plain fallthrough."""
+    return [
+        replace(p, exit=None) if p.exit in ("break", "continue") else p
+        for p in paths
+    ]
+
+
+def _seq(paths: list[_P], stmts: Sequence[ast.stmt]) -> list[_P]:
+    """Extend every still-running path through ``stmts``."""
+    for stmt in stmts:
+        nxt: list[_P] = []
+        for p in paths:
+            if p.exit is not None:
+                nxt.append(p)
+            else:
+                nxt.extend(_step(p, stmt))
+        paths = _merge(nxt)
+    return paths
+
+
+def _step(p: _P, stmt: ast.stmt) -> list[_P]:
+    """All abstract continuations of one path through one statement."""
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return [p]
+    if isinstance(stmt, ast.Return):
+        return [replace(p, awaited=p.awaited or _has_await(stmt), exit="return")]
+    if isinstance(stmt, ast.Raise):
+        return [replace(p, awaited=p.awaited or _has_await(stmt), exit="raise")]
+    if isinstance(stmt, ast.Break):
+        return [replace(p, exit="break")]
+    if isinstance(stmt, ast.Continue):
+        return [replace(p, exit="continue")]
+    if isinstance(stmt, ast.If):
+        entry = replace(p, awaited=p.awaited or _has_await(stmt.test))
+        return _merge(_seq([entry], stmt.body) + _seq([entry], stmt.orelse))
+    if isinstance(stmt, ast.Match):
+        entry = replace(p, awaited=p.awaited or _has_await(stmt.subject))
+        forks: list[_P] = [entry]  # no case may match
+        for case in stmt.cases:
+            forks.extend(_seq([entry], case.body))
+        return _merge(forks)
+    if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+        if isinstance(stmt, ast.AsyncFor):
+            # async for awaits __anext__ before any body runs
+            entry = replace(p, awaited=True)
+        else:
+            header = stmt.test if isinstance(stmt, ast.While) else stmt.iter
+            entry = replace(p, awaited=p.awaited or _has_await(header))
+        inner = _swallow_inner_exits(_seq([entry], stmt.body))
+        skipped = _seq([entry], stmt.orelse) if stmt.orelse else [entry]
+        return _merge(skipped + inner)
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        awaited = isinstance(stmt, ast.AsyncWith) or any(
+            _has_await(item) for item in stmt.items
+        )
+        return _seq([replace(p, awaited=p.awaited or awaited)], stmt.body)
+    if isinstance(stmt, ast.Try):
+        normal = _seq([p], stmt.body)
+        normal = _seq(normal, stmt.orelse)
+        forks = list(normal)
+        for handler in stmt.handlers:
+            forks.extend(_seq([replace(p, cold=True)], handler.body))
+        if stmt.finalbody:
+            final = _seq([_P()], stmt.finalbody)
+            forks = [
+                _P(
+                    awaited=a.awaited or f.awaited,
+                    exit=f.exit if f.exit is not None else a.exit,
+                    cold=a.cold or f.cold,
+                )
+                for a in forks
+                for f in final
+            ]
+        return _merge(forks)
+    # simple statement: Expr / Assign / AugAssign / Assert / Delete / …
+    return [replace(p, awaited=p.awaited or _has_await(stmt))]
+
+
+def _body_statements(
+    func: ast.AsyncFunctionDef,
+) -> Iterator[ast.stmt]:
+    """Statements of ``func``'s body, not descending into nested defs."""
+    stack: list[ast.stmt] = list(func.body)
+    while stack:
+        stmt = stack.pop()
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        yield stmt
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                stack.append(child)
+            elif isinstance(child, (ast.ExceptHandler, ast.match_case)):
+                stack.extend(child.body)
+
+
+@register_rule
+class AsyncLoopLivenessRule(Rule):
+    """Every ``while`` in an ``async def`` awaits on every live path."""
+
+    code = "RL008"
+    name = "async-loop-liveness"
+    summary = (
+        "every while loop in an async def must hit an await on every "
+        "path that continues the loop (path-sensitive)"
+    )
+    protects = (
+        "the event loop: a single non-awaiting loop path busy-spins and "
+        "starves every other coroutine — the PR 9 scheduler deadlock"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return bool(ctx.config.async_scope) and ctx.config.matches(
+            ctx.path, ctx.config.async_scope
+        )
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            for stmt in _body_statements(func):
+                if not isinstance(stmt, ast.While):
+                    continue
+                diag = self._check_loop(ctx, func, stmt)
+                if diag is not None:
+                    yield diag
+
+    def _check_loop(
+        self, ctx: FileContext, func: ast.AsyncFunctionDef, loop: ast.While
+    ) -> Diagnostic | None:
+        if _has_await(loop.test):
+            return None  # the loop header itself yields every iteration
+        spins = [
+            p
+            for p in _seq([_P()], loop.body)
+            if p.exit in (None, "continue") and not p.awaited and not p.cold
+        ]
+        if not spins:
+            return None
+        return self.diag(
+            ctx,
+            loop,
+            f"async def {func.name}: while loop has a path that repeats "
+            "without awaiting — it can busy-spin and starve the event "
+            "loop",
+            hint=(
+                "make every continuing path yield: await an Event/queue "
+                "(e.g. `self._wake.clear(); await self._wake.wait()`) or "
+                "`await asyncio.sleep(...)` before `continue`"
+            ),
+        )

@@ -1,0 +1,181 @@
+"""RL009 shm-lifecycle — every SharedMemory segment is owned by someone.
+
+The exec layer ships rank arguments and results through POSIX shared
+memory (``exec/wire.py``).  A ``SharedMemory`` handle that is neither
+closed nor handed to the segment ledger is a kernel object leak: the
+name stays in ``/dev/shm`` after the process dies, and the supervisor's
+leak reaper (PR 7) only knows about segments the ledger recorded.  The
+discipline ``wire.py`` established is therefore mandatory:
+
+* the **creator** closes (and eventually unlinks) the segment in a
+  ``finally:`` block, *and/or*
+* the segment name is **registered** with the ledger hook
+  (``on_segment(shm.name)``) so crash-cleanup can reap it.
+
+This rule walks every function in the configured ``shm_scope`` and
+checks each ``SharedMemory(...)`` construction (create *or* attach —
+both take a kernel handle) for one of those outcomes in the same scope:
+
+* bound to a name → that name must have ``.close()`` / ``.unlink()``
+  inside a ``finally:`` block of the scope, or be passed (as ``x`` or
+  ``x.name``) to a configured ledger call;
+* not bound at all → flagged outright: an anonymous handle cannot be
+  closed.
+
+The walk is scope-local and conservative: passing the handle to an
+arbitrary helper does not count as a release — ownership transfer must
+go through the ledger, which is the one transfer the reaper understands.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Sequence
+
+from ..diagnostics import Diagnostic
+from ..engine import FileContext, Rule, register_rule
+
+__all__ = ["ShmLifecycleRule"]
+
+
+def _dotted(node: ast.AST) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_shm_ctor(call: ast.Call) -> bool:
+    dotted = _dotted(call.func)
+    return dotted is not None and (
+        dotted == "SharedMemory" or dotted.endswith(".SharedMemory")
+    )
+
+
+def _scope_nodes(body: Sequence[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk one scope's statements without entering nested defs."""
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register_rule
+class ShmLifecycleRule(Rule):
+    """SharedMemory create/attach pairs with close/unlink or the ledger."""
+
+    code = "RL009"
+    name = "shm-lifecycle"
+    summary = (
+        "every SharedMemory create/attach in exec/ is closed in a "
+        "finally block or registered with the segment ledger"
+    )
+    protects = (
+        "/dev/shm hygiene: unowned segments outlive crashed ranks and "
+        "the PR 7 leak reaper can only reap what the ledger recorded"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return bool(ctx.config.shm_scope) and ctx.config.matches(
+            ctx.path, ctx.config.shm_scope
+        )
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        yield from self._check_scope(ctx, ctx.tree.body)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_scope(ctx, node.body)
+
+    def _check_scope(
+        self, ctx: FileContext, body: Sequence[ast.stmt]
+    ) -> Iterator[Diagnostic]:
+        bound: dict[int, str] = {}  # id(call) → bound name
+        ctors: list[ast.Call] = []
+        for node in _scope_nodes(body):
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign):
+                target, value = node.target, node.value
+            if (
+                target is not None
+                and isinstance(value, ast.Call)
+                and _is_shm_ctor(value)
+            ):
+                name = _dotted(target)
+                if name is not None:
+                    bound[id(value)] = name
+            if isinstance(node, ast.Call) and _is_shm_ctor(node):
+                ctors.append(node)
+        for call in ctors:
+            name = bound.get(id(call))
+            if name is None:
+                yield self.diag_at(
+                    ctx.path,
+                    call,
+                    "SharedMemory handle is never bound to a name — it "
+                    "cannot be closed or unlinked",
+                    hint=(
+                        "bind it (`shm = SharedMemory(...)`) and close it "
+                        "in a finally: block, or register the name with "
+                        "the segment ledger"
+                    ),
+                )
+            elif not (
+                self._released_in_finally(body, name)
+                or self._registered_with_ledger(ctx, body, name)
+            ):
+                yield self.diag_at(
+                    ctx.path,
+                    call,
+                    f"SharedMemory segment `{name}` is neither closed in "
+                    "a finally: block nor registered with the segment "
+                    "ledger in this scope",
+                    hint=(
+                        f"wrap the use in try/finally with `{name}.close()` "
+                        f"(owner also `{name}.unlink()`), or call a ledger "
+                        f"hook such as `on_segment({name}.name)` so the "
+                        "reaper can clean up after a crash"
+                    ),
+                )
+
+    def _released_in_finally(
+        self, body: Sequence[ast.stmt], name: str
+    ) -> bool:
+        for node in _scope_nodes(body):
+            if not (isinstance(node, ast.Try) and node.finalbody):
+                continue
+            for inner in _scope_nodes(node.finalbody):
+                if isinstance(inner, ast.Call):
+                    dotted = _dotted(inner.func)
+                    if dotted in (f"{name}.close", f"{name}.unlink"):
+                        return True
+        return False
+
+    def _registered_with_ledger(
+        self, ctx: FileContext, body: Sequence[ast.stmt], name: str
+    ) -> bool:
+        hooks = ctx.config.shm_ledger_calls
+        if not hooks:
+            return False
+        for node in _scope_nodes(body):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted is None or dotted.rsplit(".", 1)[-1] not in hooks:
+                continue
+            for arg in node.args:
+                arg_name = _dotted(arg)
+                if arg_name in (name, f"{name}.name"):
+                    return True
+        return False

@@ -1,0 +1,187 @@
+"""RL010 rank-task-purity — ``@rank_task`` bodies must replay byte-identically.
+
+The executor's correctness story (PR 6–7) rests on one equivalence: a
+task that ran inside a rank *process* must produce exactly the bytes the
+in-process simulator produces for the same inputs, because the
+differential battery compares them and the charge ledger replays them.
+That only holds if task bodies are **pure functions of their payload**:
+
+* no ``global`` / ``nonlocal`` mutation — rank processes are forked,
+  so module state silently diverges between sim and process replay;
+* no wall-clock *reads* (``time.time``, ``perf_counter``,
+  ``datetime.now``…) — two replays never see the same clock.
+  ``time.sleep`` is deliberately **legal**: the registered ``sleep``
+  task consumes time without observing it;
+* no unseeded RNG — the global ``random`` module and numpy's global
+  generator are process-wide state; a task must derive randomness from
+  its payload (``default_rng(seed)``) or not at all;
+* no direct observability/ledger access (``obs.…``, op-charging
+  hooks) — charging happens in the *harness* around the task, once;
+  a task that charges from inside double-counts under replay.
+
+Accounting for a legitimately-impure task is possible but must be
+explicit: list ``module.task_name`` in ``task_purity_allow``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from ..diagnostics import Diagnostic
+from ..engine import FileContext, Rule, register_rule
+from .rl004_determinism import (
+    _GLOBAL_RANDOM,
+    _NUMPY_ALLOWED,
+    _NUMPY_GLOBAL_RANDOM_PREFIXES,
+    _WALL_CLOCKS,
+)
+
+__all__ = ["RankTaskPurityRule"]
+
+#: clock reads beyond RL004's wire set — tasks may not observe any clock
+_TASK_WALL_CLOCKS = _WALL_CLOCKS | {
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+}
+
+#: obs/ledger access: the harness charges around the task, never inside
+_LEDGER_CALLS = {"charge_proc_ops", "charge_host_ops"}
+_LEDGER_HEADS = ("obs.", "self.obs.", "ledger.", "self.ledger.")
+
+
+def _dotted(node: ast.AST) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_rank_task(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for deco in func.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        dotted = _dotted(target)
+        if dotted is not None and dotted.rsplit(".", 1)[-1] == "rank_task":
+            return True
+    return False
+
+
+def _body_nodes(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[ast.AST]:
+    stack: list[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register_rule
+class RankTaskPurityRule(Rule):
+    """``@rank_task`` functions stay pure w.r.t. charge replay."""
+
+    code = "RL010"
+    name = "rank-task-purity"
+    summary = (
+        "@rank_task bodies: no global/nonlocal mutation, wall-clock "
+        "reads, unseeded RNG, or direct obs/ledger access"
+    )
+    protects = (
+        "byte-identity of sim vs. process replay: task output may "
+        "depend only on the task payload"
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return bool(ctx.config.task_scope) and ctx.config.matches(
+            ctx.path, ctx.config.task_scope
+        )
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        module = ctx.path.rsplit("/", 1)[-1].removesuffix(".py")
+        for func in ast.walk(ctx.tree):
+            if not isinstance(
+                func, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            if not _is_rank_task(func):
+                continue
+            if f"{module}.{func.name}" in ctx.config.task_purity_allow:
+                continue
+            yield from self._check_task(ctx, func)
+
+    def _check_task(
+        self, ctx: FileContext, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Diagnostic]:
+        prefix = f"@rank_task `{func.name}`"
+        for node in _body_nodes(func):
+            if isinstance(node, (ast.Global, ast.Nonlocal)):
+                kind = "global" if isinstance(node, ast.Global) else "nonlocal"
+                yield self.diag(
+                    ctx,
+                    node,
+                    f"{prefix} declares `{kind} {', '.join(node.names)}` — "
+                    "module state diverges between sim and process replay",
+                    hint=(
+                        "thread the state through the task payload and "
+                        "return value instead of mutating enclosing scope"
+                    ),
+                )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, prefix, node)
+
+    def _check_call(
+        self, ctx: FileContext, prefix: str, call: ast.Call
+    ) -> Iterator[Diagnostic]:
+        dotted = _dotted(call.func)
+        if dotted is None:
+            return
+        if dotted in _TASK_WALL_CLOCKS:
+            yield self.diag(
+                ctx,
+                call,
+                f"{prefix} reads the wall clock via `{dotted}()` — two "
+                "replays never observe the same time",
+                hint=(
+                    "take timestamps in the harness around run_task(); "
+                    "if the task needs a duration, pass it in the payload"
+                ),
+            )
+        elif dotted in _GLOBAL_RANDOM or (
+            dotted.startswith(_NUMPY_GLOBAL_RANDOM_PREFIXES)
+            and dotted not in _NUMPY_ALLOWED
+        ):
+            yield self.diag(
+                ctx,
+                call,
+                f"{prefix} draws from the process-global RNG via "
+                f"`{dotted}()` — replay order changes the stream",
+                hint=(
+                    "derive randomness from the payload: rng = "
+                    "numpy.random.default_rng(seed) with a seed argument"
+                ),
+            )
+        elif dotted.rsplit(".", 1)[-1] in _LEDGER_CALLS or dotted.startswith(
+            _LEDGER_HEADS
+        ):
+            yield self.diag(
+                ctx,
+                call,
+                f"{prefix} touches the obs/charge ledger via `{dotted}()` "
+                "— the harness charges around the task; charging inside "
+                "double-counts under replay",
+                hint=(
+                    "return op counts in the task result and let "
+                    "run_task() charge them once"
+                ),
+            )

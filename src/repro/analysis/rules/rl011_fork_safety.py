@@ -1,0 +1,153 @@
+"""RL011 fork-safety — threads and ``fork()`` never mix.
+
+The sweep orchestrator (PR 8) and the rank executor (PR 6) spawn worker
+processes with the ``fork`` start method on purpose: it is the only way
+the rank pays no re-import cost and inherits the prepared scheme state
+page-for-page.  ``fork()`` in a multi-threaded parent is undefined
+behaviour in all but name: the child gets a copy of *one* thread plus
+every lock in whatever state some other thread held it — a mutex held
+by a non-copied thread stays locked forever (the classic post-fork
+deadlock in logging/malloc internals).  CPython documents the
+combination as unsafe; this rule makes the repo's two fork sites prove
+it statically:
+
+* **part A** — in the configured ``fork_scope`` files (the modules that
+  own fork spawn sites), no function may create a thread, directly or
+  through any resolvable project call: ``threading.Thread``/``Timer``,
+  ``ThreadPoolExecutor``, ``multiprocessing.dummy`` pools.
+* **part B** — no ``os.fork`` / ``os.forkpty`` reachable from *any*
+  ``async def`` in the tree: the event loop owns watcher threads and
+  signal handling state that a raw fork shears in half (``asyncio``
+  refuses it loudly at runtime; we refuse it at review time).
+
+Matching is exact on alias-expanded dotted names — no assume-worst
+suffix tier here, because ``Machine(...)`` / ``ctx.Process(...)`` calls
+saturate the exec layer and name-suffix guessing would drown the rule
+in false positives.  The call graph's project edges supply the
+interprocedural reach.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..callgraph import CallGraph, CallSite, FunctionInfo, ReachabilityWalk
+from ..diagnostics import Diagnostic
+from ..engine import ProjectContext, Rule, register_rule
+
+__all__ = ["ForkSafetyRule"]
+
+#: alias-expanded constructors that start (or lazily own) threads
+_THREAD_MARKERS = frozenset(
+    {
+        "threading.Thread",
+        "threading.Timer",
+        "concurrent.futures.ThreadPoolExecutor",
+        "concurrent.futures.thread.ThreadPoolExecutor",
+        "multiprocessing.pool.ThreadPool",
+        "multiprocessing.dummy.Pool",
+        "multiprocessing.dummy.Process",
+    }
+)
+
+#: raw fork primitives — never callable from async context
+_FORK_MARKERS = frozenset({"os.fork", "os.forkpty"})
+
+
+def _match(site: CallSite, markers: frozenset[str]) -> str | None:
+    for name in (site.dotted, site.raw):
+        if name is not None and name in markers:
+            return name
+    return None
+
+
+@register_rule
+class ForkSafetyRule(Rule):
+    """No thread creation in fork-spawning modules; no fork from async."""
+
+    code = "RL011"
+    name = "fork-safety"
+    summary = (
+        "no thread creation reachable in fork-based spawn modules, and "
+        "no os.fork reachable from async contexts"
+    )
+    protects = (
+        "the fork start method: forking a threaded parent copies held "
+        "locks with no thread to release them — post-fork deadlock"
+    )
+    requires_project = True
+
+    def check_project(self, project: ProjectContext) -> Iterable[Diagnostic]:
+        graph = project.graph
+        thread_walk = ReachabilityWalk(
+            graph, lambda site: _match(site, _THREAD_MARKERS)
+        )
+        fork_walk = ReachabilityWalk(
+            graph, lambda site: _match(site, _FORK_MARKERS)
+        )
+        # part A: fork-scope modules must stay thread-free
+        for ctx in project.scoped(project.config.fork_scope):
+            for info in graph.functions_in(ctx.path):
+                yield from self._flag_reaches(
+                    graph,
+                    info,
+                    thread_walk,
+                    message=(
+                        "creates a thread in a fork-spawning module — a "
+                        "forked child copies locks held by threads that "
+                        "do not survive the fork"
+                    ),
+                    hint=(
+                        "keep this module thread-free: do the threaded "
+                        "work after the fork, or switch the helper to "
+                        "processes"
+                    ),
+                )
+        # part B: async defs anywhere must not reach a raw fork
+        for info in graph.functions():
+            if not info.is_async:
+                continue
+            yield from self._flag_reaches(
+                graph,
+                info,
+                fork_walk,
+                message=(
+                    "os.fork reachable from an async def — forking "
+                    "shears the event loop's watcher threads and signal "
+                    "state in half"
+                ),
+                hint=(
+                    "spawn through multiprocessing/subprocess from a "
+                    "sync helper outside the loop, or use "
+                    "asyncio.create_subprocess_exec"
+                ),
+            )
+
+    def _flag_reaches(
+        self,
+        graph: CallGraph,
+        info: FunctionInfo,
+        walk: ReachabilityWalk,
+        *,
+        message: str,
+        hint: str,
+    ) -> Iterator[Diagnostic]:
+        seen: set[tuple[int, str]] = set()
+        for site in graph.call_sites(info.key):
+            reason = walk.site_reason(site)
+            if reason is None:
+                continue
+            key = (site.line, reason)
+            if key in seen:
+                continue
+            seen.add(key)
+            label = site.raw or site.dotted or "<call>"
+            chain = reason if reason == label else f"{label} → {reason}"
+            yield Diagnostic(
+                path=info.key.path,
+                line=site.line,
+                col=site.col,
+                code=self.code,
+                message=f"{info.display}: {message} ({chain})",
+                hint=hint,
+            )

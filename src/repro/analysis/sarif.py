@@ -1,0 +1,121 @@
+"""SARIF 2.1.0 export for reprolint findings.
+
+SARIF (Static Analysis Results Interchange Format) is the interchange
+JSON that GitHub code scanning ingests: uploading one file from the CI
+``lint`` job turns every reprolint diagnostic into an inline PR
+annotation with the rule's help text attached.  The exporter maps:
+
+* each registered rule → a ``reportingDescriptor`` in the tool driver
+  (plus the ``RL000`` pseudo-rule for parse errors);
+* each diagnostic → a ``result`` with a ``physicalLocation`` whose URI
+  is the repo-relative path (what GitHub expects for checkout-rooted
+  uploads) — SARIF columns are 1-based, reprolint's are 0-based, hence
+  the ``col + 1``;
+* pragma-suppressed findings → results carrying an ``inSource``
+  suppression, so the dashboard shows them as reviewed, not fixed.
+
+Only stdlib ``json`` is involved; the schema subset used here is the
+one ``github/codeql-action/upload-sarif`` validates.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .diagnostics import Diagnostic
+from .engine import LintResult, all_rules
+
+__all__ = ["to_sarif", "write_sarif"]
+
+_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: parse failures are reported under this pseudo-rule
+_PARSE_RULE = {
+    "id": "RL000",
+    "name": "parse-error",
+    "shortDescription": {"text": "file failed to parse"},
+    "help": {"text": "fix the syntax error; nothing else was checked"},
+    "defaultConfiguration": {"level": "error"},
+}
+
+
+def _rule_descriptors() -> list[dict[str, Any]]:
+    descriptors: list[dict[str, Any]] = [_PARSE_RULE]
+    for rule in all_rules():
+        descriptors.append(
+            {
+                "id": rule.code,
+                "name": rule.name,
+                "shortDescription": {"text": rule.summary},
+                "help": {"text": f"protects: {rule.protects}"},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    return descriptors
+
+
+def _result(
+    diag: Diagnostic, rule_index: dict[str, int], *, suppressed: bool
+) -> dict[str, Any]:
+    text = diag.message if not diag.hint else f"{diag.message} ({diag.hint})"
+    payload: dict[str, Any] = {
+        "ruleId": diag.code,
+        "level": "error",
+        "message": {"text": text},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": diag.path},
+                    "region": {
+                        "startLine": diag.line,
+                        "startColumn": diag.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+    if diag.code in rule_index:
+        payload["ruleIndex"] = rule_index[diag.code]
+    if suppressed:
+        payload["suppressions"] = [{"kind": "inSource"}]
+    return payload
+
+
+def to_sarif(result: LintResult) -> dict[str, Any]:
+    """The SARIF 2.1.0 log document for one lint run."""
+    rules = _rule_descriptors()
+    rule_index = {r["id"]: i for i, r in enumerate(rules)}
+    results = [
+        _result(d, rule_index, suppressed=False)
+        for d in (*result.parse_errors, *result.diagnostics)
+    ]
+    results.extend(
+        _result(d, rule_index, suppressed=True) for d in result.suppressed
+    )
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "version": "1.0.0",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+
+
+def write_sarif(result: LintResult, path: Path) -> None:
+    """Serialise ``result`` as SARIF to ``path``."""
+    path.write_text(
+        json.dumps(to_sarif(result), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )

@@ -250,14 +250,14 @@ class RunScheduler:
         if self._tasks:
             await asyncio.gather(*self._tasks, return_exceptions=True)
             self._tasks = []
-        while self._pending:
-            item = self._pending.popleft()
+        for item in list(self._pending):
             if not item.future.done():
                 item.future.set_result(
                     error_response(
                         item.request.id, "server is shutting down", code=503
                     )
                 )
+        self._pending.clear()
         self._gauge_depth()
         # closing sessions joins worker processes; keep it off the loop
         await asyncio.get_running_loop().run_in_executor(

@@ -33,6 +33,17 @@ def corpus_config() -> LintConfig:
         obs_scope=("rl005/*.py",),
         obs_exempt=("rl005/exempt_*.py",),
         cli_scope=("rl006/*.py",),
+        async_scope=("rl007/*.py", "rl008/*.py"),
+        blocking_calls=frozenset({"time.sleep", "open", "subprocess.run"}),
+        blocking_suspects=frozenset({"join", "recv", "sleep", "wait"}),
+        blocking_roots=frozenset({"RunSession.run"}),
+        shm_scope=("rl009/*.py",),
+        shm_ledger_calls=frozenset({"on_segment"}),
+        task_scope=("rl010/*.py",),
+        task_purity_allow=frozenset({"clean_allowlisted.stamped"}),
+        # helper_threads.py sits outside fork scope on purpose: it is the
+        # cross-file callee the transitive RL011 fixture reaches into
+        fork_scope=("rl011/viol_*.py", "rl011/clean_*.py"),
         exclude=("broken/*",),
     )
 

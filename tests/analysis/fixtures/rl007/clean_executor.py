@@ -1,0 +1,22 @@
+"""RL007 clean: blocking work routed through ``run_in_executor``.
+
+``_work`` blocks — but the coroutine never *calls* it; it passes the
+reference to an executor thread and awaits the future.
+"""
+
+import asyncio
+import time
+
+
+def _work(seconds: float) -> float:
+    time.sleep(seconds)
+    return seconds
+
+
+async def relax(seconds: float) -> float:
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, _work, seconds)
+
+
+async def nap(seconds: float) -> None:
+    await asyncio.sleep(seconds)

@@ -1,0 +1,14 @@
+"""RL007 violations: unresolvable receivers with blocking-shaped names.
+
+The call graph cannot type ``conn`` or ``proc`` — assume-worst says a
+``.recv()`` / ``.join()`` on an unknown receiver blocks until proven
+otherwise.
+"""
+
+
+async def drain(conn) -> bytes:
+    return conn.recv()  # EXPECT: RL007
+
+
+async def reap(proc) -> None:
+    proc.join()  # EXPECT: RL007

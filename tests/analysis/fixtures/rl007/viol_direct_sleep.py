@@ -1,0 +1,14 @@
+"""RL007 violations: coroutines blocking the loop with direct calls."""
+
+import time as t
+
+
+async def poll(delay: float) -> None:
+    t.sleep(delay)  # EXPECT: RL007
+
+
+async def snapshot(path: str) -> str:
+    handle = open(path)  # EXPECT: RL007
+    text = handle.read()
+    handle.close()
+    return text

@@ -1,0 +1,16 @@
+"""RL007 violation: the blocking call hides two sync frames down."""
+
+import subprocess
+
+
+def _compress(payload: bytes) -> bytes:
+    done = subprocess.run(["gzip"], input=payload, capture_output=True)
+    return done.stdout
+
+
+def _publish(payload: bytes) -> bytes:
+    return _compress(payload)
+
+
+async def flush(payload: bytes) -> bytes:
+    return _publish(payload)  # EXPECT: RL007

@@ -1,0 +1,34 @@
+"""RL008 clean: the fixed PR 9 worker — every hot continuing path awaits.
+
+The idle arm parks on a wake event before going around; the exception
+arm completes an iteration without awaiting, which is fine — handler
+paths are cold, not hot spins (recovery code must not be forced to
+sleep).
+"""
+
+
+class Scheduler:
+    def __init__(self, wake) -> None:
+        self._wake = wake
+        self._jobs = []
+        self._closed = False
+
+    async def _run_batch(self, batch) -> None:
+        return None
+
+    def _fail(self, batch) -> None:
+        self._closed = True
+
+    async def _worker(self) -> None:
+        while True:
+            batch = self._jobs.pop() if self._jobs else None
+            if batch is None:
+                if self._closed:
+                    return
+                self._wake.clear()
+                await self._wake.wait()
+                continue
+            try:
+                await self._run_batch(batch)
+            except ValueError:
+                self._fail(batch)

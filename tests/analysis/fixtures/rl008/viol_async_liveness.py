@@ -1,0 +1,33 @@
+"""RL008 violation: the PR 9 scheduler starvation loop, pre-fix shape.
+
+This reproduces ``repro.service.queue.RunScheduler._worker`` as it was
+*before* the PR 9 deadlock fix: when the queue is idle, the ``continue``
+arm goes around without awaiting anything, so the coroutine monopolises
+the event loop — and the ``run_in_executor`` completion that would have
+refilled ``_pending`` can never be scheduled.  The service only
+stalled at idle, which is why the throughput benchmark (not the test
+suite) found it.  The shipped fix awaits a wake event before
+continuing: see ``service/queue.py`` (``self._wake.clear(); await
+self._wake.wait()``) and ``clean_wake_event.py`` next door.
+"""
+
+
+class Scheduler:
+    def __init__(self) -> None:
+        self._pending = []
+        self._closed = False
+
+    def _take_batch(self):
+        return self._pending.pop() if self._pending else None
+
+    async def _run_batch(self, batch) -> None:
+        return None
+
+    async def _worker(self) -> None:
+        while True:  # EXPECT: RL008
+            batch = self._take_batch() if self._pending else None
+            if batch is None:
+                if self._closed:
+                    return
+                continue
+            await self._run_batch(batch)

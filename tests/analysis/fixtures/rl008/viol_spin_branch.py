@@ -1,0 +1,19 @@
+"""RL008 violation: one forked path awaits, the other spins.
+
+Path-sensitivity is the point: the happy path yields at ``queue.get``,
+but the not-ready arm falls off the end of the iteration without ever
+awaiting — under the wrong phase ordering that arm busy-spins.
+"""
+
+
+async def pump(queue, ready) -> None:
+    while True:  # EXPECT: RL008
+        if ready():
+            item = await queue.get()
+            del item
+        else:
+            ready = refresh(ready)
+
+
+def refresh(probe):
+    return probe

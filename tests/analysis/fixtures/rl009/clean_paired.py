@@ -1,0 +1,34 @@
+"""RL009 clean: the ``wire.py`` discipline.
+
+``send`` closes in ``finally:`` *and* registers with the ledger;
+``recv`` (the attach side) closes and unlinks in ``finally:``;
+``register_only`` hands ownership to the ledger so the crash reaper
+can unlink the name later.
+"""
+
+from multiprocessing import shared_memory
+
+
+def send(payload: bytes, on_segment) -> str:
+    shm = shared_memory.SharedMemory(create=True, size=len(payload))
+    try:
+        on_segment(shm.name)
+        shm.buf[: len(payload)] = payload
+        return shm.name
+    finally:
+        shm.close()
+
+
+def recv(name: str) -> bytes:
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        return bytes(shm.buf)
+    finally:
+        shm.close()
+        shm.unlink()
+
+
+def register_only(payload: bytes, on_segment) -> str:
+    shm = shared_memory.SharedMemory(create=True, size=len(payload))
+    on_segment(shm.name)
+    return shm.name

@@ -1,0 +1,21 @@
+"""RL009 violations: segments created or attached and never released.
+
+``produce`` forgets the handle entirely; ``attach_and_read`` does call
+``close()`` — but outside a ``finally:``, so any exception between
+attach and close leaks the mapping.
+"""
+
+from multiprocessing import shared_memory
+
+
+def produce(payload: bytes) -> str:
+    shm = shared_memory.SharedMemory(create=True, size=len(payload))  # EXPECT: RL009
+    shm.buf[: len(payload)] = payload
+    return shm.name
+
+
+def attach_and_read(name: str) -> bytes:
+    shm = shared_memory.SharedMemory(name=name)  # EXPECT: RL009
+    data = bytes(shm.buf)
+    shm.close()
+    return data

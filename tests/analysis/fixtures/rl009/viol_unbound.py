@@ -1,0 +1,7 @@
+"""RL009 violation: an anonymous handle that can never be closed."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def peek(name: str) -> bytes:
+    return bytes(SharedMemory(name=name).buf)  # EXPECT: RL009

@@ -1,0 +1,18 @@
+"""RL010 clean: a deliberately-impure task allowlisted in config.
+
+``clean_allowlisted.stamped`` appears in ``task_purity_allow`` — the
+reviewed escape hatch for tasks whose impurity is the point.
+"""
+
+import time
+
+
+def rank_task(name):
+    def wrap(fn):
+        return fn
+    return wrap
+
+
+@rank_task("stamped")
+def stamped(payload):
+    return {"at": time.time()}

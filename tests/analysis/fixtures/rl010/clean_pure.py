@@ -1,0 +1,28 @@
+"""RL010 clean: pure tasks — payload in, result out.
+
+``time.sleep`` is legal (the registered ``sleep`` task *consumes* time
+without observing it) and seeded ``default_rng`` derives its stream
+from the payload.
+"""
+
+import time
+
+import numpy as np
+
+
+def rank_task(name):
+    def wrap(fn):
+        return fn
+    return wrap
+
+
+@rank_task("sleep")
+def sleep_task(payload):
+    time.sleep(payload["seconds"])
+    return {}
+
+
+@rank_task("noise")
+def noise(payload):
+    rng = np.random.default_rng(payload["seed"])
+    return {"sample": float(rng.random())}

@@ -1,0 +1,29 @@
+"""RL010 violations: global mutation, global RNG, ledger access."""
+
+import random
+
+_CALLS = 0
+
+
+def rank_task(name):
+    def wrap(fn):
+        return fn
+    return wrap
+
+
+@rank_task("count")
+def count(payload):
+    global _CALLS  # EXPECT: RL010
+    _CALLS += 1
+    return {"n": _CALLS}
+
+
+@rank_task("jitter")
+def jitter(payload):
+    return {"x": random.random()}  # EXPECT: RL010
+
+
+@rank_task("charge")
+def charge(payload, obs):
+    obs.charge_proc_ops(len(payload))  # EXPECT: RL010
+    return {}

@@ -1,0 +1,24 @@
+"""RL010 violations: tasks observing the wall clock.
+
+Two replays of the same payload never see the same time — any clock
+*read* inside a task breaks sim-vs-process byte identity.
+"""
+
+import time
+
+
+def rank_task(name):
+    def wrap(fn):
+        return fn
+    return wrap
+
+
+@rank_task("stamp")
+def stamp(payload):
+    return {"at": time.time()}  # EXPECT: RL010
+
+
+@rank_task("bench")
+def bench(payload):
+    start = time.perf_counter()  # EXPECT: RL010
+    return {"start": start}

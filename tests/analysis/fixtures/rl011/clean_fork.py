@@ -1,0 +1,14 @@
+"""RL011 clean: fork-only spawning, no threads anywhere in the module."""
+
+import multiprocessing
+
+
+def launch(target, args):
+    ctx = multiprocessing.get_context("fork")
+    proc = ctx.Process(target=target, args=args)
+    proc.start()
+    return proc
+
+
+async def schedule(target, args):
+    return launch(target, args)

@@ -1,0 +1,12 @@
+"""Cross-file callee for the transitive RL011 fixture.
+
+Deliberately outside ``fork_scope``: creating threads here is legal —
+reaching this from a fork-owning module is not.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+def start_pool(jobs):
+    pool = ThreadPoolExecutor(max_workers=2)
+    return [pool.submit(job) for job in jobs]

@@ -1,0 +1,20 @@
+"""RL011 violations: raw ``os.fork`` reached from coroutines.
+
+Forking an event-loop thread shears asyncio's watcher threads and
+signal state in half; asyncio refuses it at runtime, this rule refuses
+it at review time — directly or through a sync helper.
+"""
+
+import os
+
+
+def _spawn_worker():
+    return os.fork()
+
+
+async def serve():
+    os.fork()  # EXPECT: RL011
+
+
+async def respawn():
+    return _spawn_worker()  # EXPECT: RL011

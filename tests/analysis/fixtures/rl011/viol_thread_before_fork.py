@@ -1,0 +1,24 @@
+"""RL011 violations: threads created in a module that forks workers.
+
+A forked child copies every held lock but only the forking thread —
+a watchdog timer or worker thread alive at fork time is a deadlock
+waiting in the child.
+"""
+
+import multiprocessing
+import threading
+
+
+def _watchdog(flag):
+    timer = threading.Timer(5.0, flag.set)  # EXPECT: RL011
+    timer.start()
+    return timer
+
+
+def launch(target):
+    worker = threading.Thread(target=target)  # EXPECT: RL011
+    worker.start()
+    ctx = multiprocessing.get_context("fork")
+    proc = ctx.Process(target=target)
+    proc.start()
+    return proc

@@ -1,0 +1,12 @@
+"""RL011 violation: thread creation reached through another module.
+
+``helper_threads`` is *outside* the fork scope — the rule still flags
+the call here, because what matters is what this fork-owning module
+transitively does, not where the ``ThreadPoolExecutor`` is written.
+"""
+
+from .helper_threads import start_pool
+
+
+def prepare(jobs):
+    return start_pool(jobs)  # EXPECT: RL011

@@ -1,0 +1,288 @@
+"""Unit tests for the cross-file symbol table + call graph.
+
+The acceptance-named edge cases: star imports, aliased imports, method
+resolution on reassigned names, recursion, and the assume-worst
+fallback — each pinned against the resolution-policy table in
+``callgraph.py``'s docstring.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.callgraph import (
+    BENIGN,
+    EXTERNAL,
+    PROJECT,
+    UNKNOWN,
+    CallGraph,
+    FuncKey,
+    ReachabilityWalk,
+    module_name_for,
+)
+
+
+def graph_of(**files: str) -> CallGraph:
+    """Build a graph from ``{path_with__for_slash: source}`` kwargs."""
+    parsed = [
+        (name.replace("__", "/") + ".py", ast.parse(src))
+        for name, src in files.items()
+    ]
+    return CallGraph(parsed)
+
+
+def sites_of(graph: CallGraph, path: str, qualname: str):
+    return graph.call_sites(FuncKey(path=path, qualname=qualname))
+
+
+class TestModuleNames:
+    def test_src_prefix_stripped(self):
+        assert module_name_for("src/repro/exec/wire.py") == "repro.exec.wire"
+
+    def test_package_init_is_the_package(self):
+        assert module_name_for("src/repro/exec/__init__.py") == "repro.exec"
+
+    def test_fixture_relative_path(self):
+        assert module_name_for("rl011/helper.py") == "rl011.helper"
+
+
+class TestAliasedImports:
+    def test_import_as_expands(self):
+        graph = graph_of(mod="import time as t\n\ndef f():\n    t.sleep(1)\n")
+        (site,) = sites_of(graph, "mod.py", "f")
+        assert site.kind == EXTERNAL
+        assert site.raw == "t.sleep"
+        assert site.dotted == "time.sleep"
+
+    def test_from_import_function(self):
+        graph = graph_of(
+            helper="def work():\n    pass\n",
+            main="from helper import work\n\ndef go():\n    work()\n",
+        )
+        (site,) = sites_of(graph, "main.py", "go")
+        assert site.kind == PROJECT
+        assert site.target == FuncKey(path="helper.py", qualname="work")
+
+    def test_from_import_aliased_function(self):
+        graph = graph_of(
+            helper="def work():\n    pass\n",
+            main="from helper import work as w\n\ndef go():\n    w()\n",
+        )
+        (site,) = sites_of(graph, "main.py", "go")
+        assert site.kind == PROJECT
+        assert site.dotted == "helper.work"
+
+    def test_relative_import_resolves_in_package(self):
+        graph = graph_of(
+            pkg__wire="def send():\n    pass\n",
+            pkg__api=(
+                "from .wire import send\n\ndef publish():\n    send()\n"
+            ),
+        )
+        (site,) = sites_of(graph, "pkg/api.py", "publish")
+        assert site.kind == PROJECT
+        assert site.target == FuncKey(path="pkg/wire.py", qualname="send")
+
+
+class TestStarImports:
+    def test_bare_name_after_star_import_is_unknown(self):
+        graph = graph_of(
+            mod="from os.path import *\n\ndef f():\n    join('a', 'b')\n"
+        )
+        (site,) = sites_of(graph, "mod.py", "f")
+        assert site.kind == UNKNOWN
+
+    def test_bare_name_without_star_import_is_external(self):
+        # builtins: len/open/etc. resolve external, never assume-worst
+        graph = graph_of(mod="def f(x):\n    len(x)\n")
+        (site,) = sites_of(graph, "mod.py", "f")
+        assert site.kind == EXTERNAL
+
+
+class TestMethodResolution:
+    def test_local_pinned_to_project_class(self):
+        graph = graph_of(
+            mod=(
+                "class Box:\n"
+                "    def close(self):\n"
+                "        pass\n"
+                "\n"
+                "def f():\n"
+                "    box = Box()\n"
+                "    box.close()\n"
+            )
+        )
+        call = [s for s in sites_of(graph, "mod.py", "f") if s.attr == "close"]
+        assert call[0].kind == PROJECT
+        assert call[0].target == FuncKey(path="mod.py", qualname="Box.close")
+
+    def test_reassigned_name_degrades_to_unknown(self):
+        graph = graph_of(
+            mod=(
+                "class Box:\n"
+                "    def close(self):\n"
+                "        pass\n"
+                "\n"
+                "def f(thing):\n"
+                "    box = Box()\n"
+                "    box = thing.open()\n"
+                "    box.close()\n"
+            )
+        )
+        call = [s for s in sites_of(graph, "mod.py", "f") if s.attr == "close"]
+        assert call[0].kind == UNKNOWN  # never guesses the first binding
+
+    def test_self_method_resolves(self):
+        graph = graph_of(
+            mod=(
+                "class Worker:\n"
+                "    def step(self):\n"
+                "        self.finish()\n"
+                "    def finish(self):\n"
+                "        pass\n"
+            )
+        )
+        (site,) = sites_of(graph, "mod.py", "Worker.step")
+        assert site.kind == PROJECT
+        assert site.target == FuncKey(
+            path="mod.py", qualname="Worker.finish"
+        )
+
+    def test_dataclass_style_constructor_is_benign(self):
+        graph = graph_of(
+            mod=(
+                "class Point:\n"
+                "    def norm(self):\n"
+                "        pass\n"
+                "\n"
+                "def f():\n"
+                "    Point()\n"
+            )
+        )
+        (site,) = sites_of(graph, "mod.py", "f")
+        assert site.kind == BENIGN  # no __init__: nothing user-defined runs
+
+
+class TestReachability:
+    @staticmethod
+    def _sleep_walk(graph: CallGraph) -> ReachabilityWalk:
+        return ReachabilityWalk(
+            graph,
+            lambda s: s.dotted if s.dotted == "time.sleep" else None,
+        )
+
+    def test_transitive_chain_reported(self):
+        graph = graph_of(
+            mod=(
+                "import time\n"
+                "\n"
+                "def inner():\n"
+                "    time.sleep(1)\n"
+                "\n"
+                "def outer():\n"
+                "    inner()\n"
+            )
+        )
+        walk = self._sleep_walk(graph)
+        assert walk.reason(FuncKey(path="mod.py", qualname="outer")) == (
+            "inner → time.sleep"
+        )
+
+    def test_recursion_terminates(self):
+        graph = graph_of(
+            mod=(
+                "def ping(n):\n"
+                "    return pong(n - 1)\n"
+                "\n"
+                "def pong(n):\n"
+                "    return ping(n - 1)\n"
+            )
+        )
+        walk = self._sleep_walk(graph)
+        assert walk.reason(FuncKey(path="mod.py", qualname="ping")) is None
+
+    def test_recursive_cycle_still_finds_marker(self):
+        graph = graph_of(
+            mod=(
+                "import time\n"
+                "\n"
+                "def ping(n):\n"
+                "    pong(n)\n"
+                "\n"
+                "def pong(n):\n"
+                "    ping(n)\n"
+                "    time.sleep(1)\n"
+            )
+        )
+        walk = self._sleep_walk(graph)
+        assert walk.reason(FuncKey(path="mod.py", qualname="ping")) == (
+            "pong → time.sleep"
+        )
+
+    def test_async_callees_not_followed(self):
+        # calling an async def builds a coroutine; its body is checked
+        # as its own entry point, not as the caller's work
+        graph = graph_of(
+            mod=(
+                "import time\n"
+                "\n"
+                "async def later():\n"
+                "    time.sleep(1)\n"
+                "\n"
+                "def now():\n"
+                "    later()\n"
+            )
+        )
+        walk = self._sleep_walk(graph)
+        assert walk.reason(FuncKey(path="mod.py", qualname="now")) is None
+
+    def test_awaited_sites_skipped(self):
+        graph = graph_of(
+            mod=(
+                "import asyncio\n"
+                "\n"
+                "async def f():\n"
+                "    await asyncio.sleep(1)\n"
+            )
+        )
+        walk = ReachabilityWalk(
+            graph, lambda s: s.dotted if s.attr == "sleep" else None
+        )
+        assert walk.reason(FuncKey(path="mod.py", qualname="f")) is None
+
+
+class TestAssumeWorst:
+    def test_untyped_receiver_is_unknown(self):
+        graph = graph_of(mod="def f(conn):\n    conn.recv()\n")
+        (site,) = sites_of(graph, "mod.py", "f")
+        assert site.kind == UNKNOWN
+        assert site.attr == "recv"
+
+    def test_computed_callee_is_unknown(self):
+        graph = graph_of(mod="def f(factory):\n    factory()()\n")
+        sites = sites_of(graph, "mod.py", "f")
+        assert UNKNOWN in {s.kind for s in sites}
+
+    def test_conflicting_self_attr_writes_are_unknown(self):
+        graph = graph_of(
+            mod=(
+                "class Box:\n"
+                "    def close(self):\n"
+                "        pass\n"
+                "\n"
+                "class Holder:\n"
+                "    def __init__(self, flag):\n"
+                "        if flag:\n"
+                "            self.item = Box()\n"
+                "        else:\n"
+                "            self.item = open('f')\n"
+                "    def shut(self):\n"
+                "        self.item.close()\n"
+            )
+        )
+        call = [
+            s
+            for s in sites_of(graph, "mod.py", "Holder.shut")
+            if s.attr == "close"
+        ]
+        assert call[0].kind == UNKNOWN

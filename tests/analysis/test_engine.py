@@ -15,17 +15,32 @@ from repro.analysis import (
     lint_paths,
 )
 from repro.analysis.diagnostics import Diagnostic
-from repro.analysis.engine import dotted_name, parse_pragmas
+from repro.analysis.engine import (
+    attach_decorator_pragmas,
+    dotted_name,
+    parse_pragmas,
+)
 
 import ast
 
 
 class TestRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_eleven_rules_registered(self):
         codes = [r.code for r in all_rules()]
         assert codes == [
             "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+            "RL007", "RL008", "RL009", "RL010", "RL011",
         ]
+
+    def test_concurrency_tier_is_project_or_scoped(self):
+        # the interprocedural rules declare requires_project; the rest
+        # stay on the cheap per-file path
+        by_code = {r.code: r for r in all_rules()}
+        assert by_code["RL007"].requires_project
+        assert by_code["RL011"].requires_project
+        assert not by_code["RL008"].requires_project
+        assert not by_code["RL009"].requires_project
+        assert not by_code["RL010"].requires_project
 
     def test_rules_sorted_and_documented(self):
         for rule in all_rules():
@@ -83,6 +98,76 @@ class TestPragmaParsing:
         )
         assert pragmas.suppresses(on_line)
         assert not pragmas.suppresses(off_line)
+
+
+class TestDecoratorPragmas:
+    """Pragmas written on decorator lines must cover the decorated def."""
+
+    def test_pragma_on_decorator_binds_to_def_line(self):
+        src = (
+            '@rank_task("count")  # reprolint: disable=RL010\n'
+            "def count(payload):\n"
+            "    pass\n"
+        )
+        pragmas = attach_decorator_pragmas(parse_pragmas(src), ast.parse(src))
+        assert pragmas.by_line[2] == frozenset({"RL010"})
+        # the decorator's own line keeps its pragma too
+        assert pragmas.by_line[1] == frozenset({"RL010"})
+
+    def test_multi_code_pragma_on_decorator(self):
+        src = (
+            "@deco  # reprolint: disable=RL010, rl007\n"
+            "class Holder:\n"
+            "    pass\n"
+        )
+        pragmas = attach_decorator_pragmas(parse_pragmas(src), ast.parse(src))
+        assert pragmas.by_line[2] == frozenset({"RL007", "RL010"})
+
+    def test_multiline_decorator_call(self):
+        src = (
+            "@deco(\n"
+            '    "arg",  # reprolint: disable=RL010\n'
+            ")\n"
+            "def f():\n"
+            "    pass\n"
+        )
+        pragmas = attach_decorator_pragmas(parse_pragmas(src), ast.parse(src))
+        assert pragmas.by_line[4] == frozenset({"RL010"})
+
+    def test_undecorated_defs_untouched(self):
+        src = "x = 1  # reprolint: disable=RL004\ndef f():\n    pass\n"
+        parsed = parse_pragmas(src)
+        pragmas = attach_decorator_pragmas(parsed, ast.parse(src))
+        assert pragmas.by_line == parsed.by_line
+
+    def test_budget_counts_pre_expansion_pragmas(self, tmp_path):
+        # one pragma on a decorator suppresses the def-line diagnostic
+        # but still costs exactly one budget unit
+        file = tmp_path / "tasks.py"
+        file.write_text(
+            '@rank_task("count")  # reprolint: disable=RL010\n'
+            "def count(payload): global _N\n"
+        )
+        config = LintConfig(task_scope=("*.py",))
+        result = lint_paths([file], config, root=tmp_path)
+        assert not result.diagnostics
+        assert [d.code for d in result.suppressed] == ["RL010"]
+        assert result.pragma_count == 1
+
+    def test_disable_file_beats_line_pragmas(self, tmp_path):
+        # disable-file suppresses everywhere, even where a line pragma
+        # names a different code
+        file = tmp_path / "wire.py"
+        file.write_text(
+            "# reprolint: disable-file=RL004\n"
+            "import time\n"
+            "T = time.time()  # reprolint: disable=RL001\n"
+        )
+        config = LintConfig(determinism_scope=("wire.py",))
+        result = lint_paths([file], config, root=tmp_path)
+        assert not result.diagnostics
+        assert [d.code for d in result.suppressed] == ["RL004"]
+        assert result.pragma_count == 2
 
 
 class TestDottedName:

@@ -1,0 +1,97 @@
+"""SARIF 2.1.0 exporter tests — shape, columns, suppressions, CLI flag."""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.analysis import LintConfig, all_rules, lint_paths
+from repro.analysis.cli import add_lint_arguments, cmd_lint
+from repro.analysis.sarif import to_sarif, write_sarif
+
+
+def _violating_result(tmp_path):
+    file = tmp_path / "wire.py"
+    file.write_text(
+        "import time\n"
+        "T = time.time()\n"
+        "U = time.time_ns()  # reprolint: disable=RL004\n"
+    )
+    config = LintConfig(determinism_scope=("wire.py",))
+    return lint_paths([file], config, root=tmp_path)
+
+
+class TestDocumentShape:
+    def test_envelope(self, tmp_path):
+        doc = to_sarif(_violating_result(tmp_path))
+        assert doc["version"] == "2.1.0"
+        assert "sarif-2.1.0" in doc["$schema"]
+        (run,) = doc["runs"]
+        assert run["tool"]["driver"]["name"] == "reprolint"
+
+    def test_driver_lists_every_rule_plus_rl000(self, tmp_path):
+        doc = to_sarif(_violating_result(tmp_path))
+        ids = [r["id"] for r in doc["runs"][0]["tool"]["driver"]["rules"]]
+        assert ids[0] == "RL000"
+        assert ids[1:] == [r.code for r in all_rules()]
+        for rule in doc["runs"][0]["tool"]["driver"]["rules"]:
+            assert rule["shortDescription"]["text"]
+            assert rule["help"]["text"]
+
+    def test_result_location_is_one_based(self, tmp_path):
+        doc = to_sarif(_violating_result(tmp_path))
+        live = [
+            r
+            for r in doc["runs"][0]["results"]
+            if "suppressions" not in r
+        ]
+        (result,) = live
+        assert result["ruleId"] == "RL004"
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "wire.py"
+        assert loc["region"]["startLine"] == 2
+        # reprolint columns are 0-based, SARIF's are 1-based
+        assert loc["region"]["startColumn"] == 5
+        assert result["ruleIndex"] == [
+            r["id"] for r in doc["runs"][0]["tool"]["driver"]["rules"]
+        ].index("RL004")
+
+    def test_suppressed_findings_marked_in_source(self, tmp_path):
+        doc = to_sarif(_violating_result(tmp_path))
+        suppressed = [
+            r for r in doc["runs"][0]["results"] if "suppressions" in r
+        ]
+        (result,) = suppressed
+        assert result["suppressions"] == [{"kind": "inSource"}]
+        assert result["locations"][0]["physicalLocation"]["region"][
+            "startLine"
+        ] == 3
+
+    def test_parse_errors_reported_as_rl000(self, tmp_path):
+        file = tmp_path / "broken.py"
+        file.write_text("def f(:\n")
+        result = lint_paths([file], LintConfig(), root=tmp_path)
+        doc = to_sarif(result)
+        ids = [r["ruleId"] for r in doc["runs"][0]["results"]]
+        assert ids == ["RL000"]
+
+
+class TestWriteSarif:
+    def test_round_trips_through_json(self, tmp_path):
+        out = tmp_path / "out.sarif"
+        write_sarif(_violating_result(tmp_path), out)
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        assert doc["version"] == "2.1.0"
+
+    def test_cli_flag_writes_file(self, tmp_path, monkeypatch, capsys):
+        (tmp_path / "src").mkdir()
+        (tmp_path / "src" / "ok.py").write_text("x = 1\n")
+        monkeypatch.chdir(tmp_path)
+        parser = argparse.ArgumentParser()
+        add_lint_arguments(parser)
+        args = parser.parse_args(["src", "--sarif", "out.sarif"])
+        code = cmd_lint(args)
+        capsys.readouterr()
+        assert code == 0
+        doc = json.loads((tmp_path / "out.sarif").read_text())
+        assert doc["runs"][0]["results"] == []

@@ -139,9 +139,11 @@ class TestCoverageGate:
 # ---------------------------------------------------------------------------
 # lint_gate.py
 # ---------------------------------------------------------------------------
-def _budget(tmp_path, n: int) -> Path:
+def _budget(tmp_path, n: int, runtime_s: float = 300.0) -> Path:
     path = tmp_path / "budget.json"
-    path.write_text(json.dumps({"pragma_budget": n}))
+    path.write_text(
+        json.dumps({"pragma_budget": n, "runtime_budget_s": runtime_s})
+    )
     return path
 
 
@@ -169,6 +171,22 @@ class TestLintGate:
         assert lint_gate.main(["--budget", str(missing)]) == 2
         out = capsys.readouterr().out.strip()
         assert out.startswith("error:") and len(out.splitlines()) == 1
+
+    def test_missing_runtime_budget_is_usage_error(
+        self, lint_gate, tmp_path, capsys
+    ):
+        # a budget file predating the runtime ceiling must fail loudly,
+        # not silently skip the check
+        path = tmp_path / "budget.json"
+        path.write_text(json.dumps({"pragma_budget": 0}))
+        assert lint_gate.main(["--budget", str(path)]) == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_blown_runtime_budget_fails(self, lint_gate, tmp_path, capsys):
+        # a zero-second ceiling cannot be met by a real lint pass
+        budget = _budget(tmp_path, 0, runtime_s=0.0)
+        assert lint_gate.main(["--budget", str(budget)]) == 1
+        assert "wall-clock ceiling" in capsys.readouterr().out
 
     def test_committed_budget_matches_tree(self, lint_gate, capsys):
         """The committed budget file gates the committed tree — green."""
